@@ -1,0 +1,83 @@
+//! Per-node bound-evaluation cost: interval vs linear (KARL) vs
+//! quadratic (QUAD), across dimensionality 2–10.
+//!
+//! This isolates the paper's complexity claims: interval/linear are
+//! `O(d)`, QUAD Gaussian is `O(d²)` (Lemma 3) and QUAD distance-kernel
+//! is `O(d)` (Lemma 4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kdv_core::bounds::{node_bounds, BoundFamily};
+use kdv_core::kernel::{Kernel, KernelType};
+use kdv_geom::{Mbr, PointSet};
+use kdv_index::NodeStats;
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng as _};
+use std::hint::black_box;
+
+fn node_of_dim(d: usize) -> (NodeStats, Mbr, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(d as u64);
+    let flat: Vec<f64> = (0..1000 * d).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let ps = PointSet::from_rows(d, &flat);
+    let mut stats = NodeStats::zero(d);
+    for p in ps.iter() {
+        stats.accumulate(p.coords, p.weight);
+    }
+    let mbr = Mbr::of_set(&ps).expect("non-empty");
+    let q: Vec<f64> = (0..d).map(|_| rng.gen_range(-3.0..3.0)).collect();
+    (stats, mbr, q)
+}
+
+fn bench_gaussian_families(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bound_eval_gaussian");
+    for d in [2usize, 4, 6, 8, 10] {
+        let (stats, mbr, q) = node_of_dim(d);
+        let kernel = Kernel::gaussian(0.5);
+        for family in BoundFamily::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{family:?}"), d),
+                &d,
+                |b, _| {
+                    b.iter(|| {
+                        black_box(node_bounds(
+                            &kernel,
+                            family,
+                            black_box(&stats),
+                            black_box(&mbr),
+                            black_box(&q),
+                        ))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_distance_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bound_eval_distance_quadratic");
+    let (stats, mbr, q) = node_of_dim(2);
+    for ty in [
+        KernelType::Triangular,
+        KernelType::Cosine,
+        KernelType::Exponential,
+        KernelType::Epanechnikov,
+        KernelType::Quartic,
+    ] {
+        let kernel = Kernel::new(ty, 0.5);
+        group.bench_function(ty.name(), |b| {
+            b.iter(|| {
+                black_box(node_bounds(
+                    &kernel,
+                    BoundFamily::Quadratic,
+                    black_box(&stats),
+                    black_box(&mbr),
+                    black_box(&q),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gaussian_families, bench_distance_kernels);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion versions of the headline figure cells at reduced scale —
+//! statistically sound timings of whole-raster renders, complementing
+//! the single-shot `figures` harness.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kdv_bench::workload::{time_eps_render, time_tau_render, Workload};
+use kdv_core::kernel::KernelType;
+use kdv_core::method::MethodKind;
+use kdv_core::threshold::estimate_levels;
+use kdv_data::Dataset;
+use std::hint::black_box;
+use std::time::Duration;
+
+const BUDGET: Duration = Duration::from_secs(60);
+
+/// Fig 14 cell: crime, ε = 0.01, 64×48 raster, 20 k points.
+fn bench_fig14_cell(c: &mut Criterion) {
+    let w = Workload::build_with_n(Dataset::Crime, KernelType::Gaussian, 20_000, (64, 48), 9);
+    let mut group = c.benchmark_group("fig14_crime20k_64x48_eps001");
+    group.sample_size(10);
+    for m in [MethodKind::Akde, MethodKind::Karl, MethodKind::Quad] {
+        group.bench_function(m.name(), |b| {
+            b.iter(|| {
+                let mut ev = w.evaluator_eps(m, 0.01).expect("εKDV method");
+                black_box(time_eps_render(&mut *ev, &w.raster, 0.01, BUDGET))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Fig 15 cell: crime, τ = µ, same raster.
+fn bench_fig15_cell(c: &mut Criterion) {
+    let w = Workload::build_with_n(Dataset::Crime, KernelType::Gaussian, 20_000, (64, 48), 9);
+    let levels = estimate_levels(&w.tree, w.kernel, &w.raster, 16, 12);
+    let mut group = c.benchmark_group("fig15_crime20k_64x48_tau_mu");
+    group.sample_size(10);
+    for m in [MethodKind::Tkdc, MethodKind::Karl, MethodKind::Quad] {
+        group.bench_function(m.name(), |b| {
+            b.iter(|| {
+                let mut ev = w.evaluator_tau(m).expect("τKDV method");
+                black_box(time_tau_render(&mut *ev, &w.raster, levels.mu, BUDGET))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Fig 22 cell: triangular kernel, hep.
+fn bench_fig22_cell(c: &mut Criterion) {
+    let w = Workload::build_with_n(Dataset::Hep, KernelType::Triangular, 20_000, (64, 48), 9);
+    let mut group = c.benchmark_group("fig22_hep20k_triangular_eps001");
+    group.sample_size(10);
+    for m in [MethodKind::Akde, MethodKind::Quad] {
+        group.bench_function(m.name(), |b| {
+            b.iter(|| {
+                let mut ev = w.evaluator_eps(m, 0.01).expect("εKDV method");
+                black_box(time_eps_render(&mut *ev, &w.raster, 0.01, BUDGET))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig14_cell, bench_fig15_cell, bench_fig22_cell);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Cost of the moment contractions behind the `O(d)`/`O(d²)` claims:
+//! `Σ w·dist²` (Lemma 1's identity) and `Σ w·dist⁴` (Lemma 3), versus a
+//! brute-force point scan.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kdv_geom::vecmath::dist2;
+use kdv_geom::PointSet;
+use kdv_index::NodeStats;
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng as _};
+use std::hint::black_box;
+
+fn setup(d: usize, n: usize) -> (PointSet, NodeStats, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let flat: Vec<f64> = (0..n * d).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let ps = PointSet::from_rows(d, &flat);
+    let mut stats = NodeStats::zero(d);
+    for p in ps.iter() {
+        stats.accumulate(p.coords, p.weight);
+    }
+    let q: Vec<f64> = (0..d).map(|_| rng.gen_range(-2.0..2.0)).collect();
+    (ps, stats, q)
+}
+
+fn bench_sum_dist2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sum_dist2");
+    for d in [2usize, 4, 8] {
+        let (ps, stats, q) = setup(d, 4096);
+        group.bench_with_input(BenchmarkId::new("moment_identity", d), &d, |b, _| {
+            b.iter(|| black_box(stats.sum_dist2(black_box(&q))))
+        });
+        group.bench_with_input(BenchmarkId::new("brute_force_4096pts", d), &d, |b, _| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for i in 0..ps.len() {
+                    acc += dist2(&q, ps.point(i));
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sum_dist4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sum_dist4");
+    for d in [2usize, 4, 8] {
+        let (_, stats, q) = setup(d, 4096);
+        group.bench_with_input(BenchmarkId::new("moment_identity", d), &d, |b, _| {
+            b.iter(|| black_box(stats.sum_dist4(black_box(&q))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_accumulate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stats_accumulate");
+    for d in [2usize, 8] {
+        let (ps, _, _) = setup(d, 1024);
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
+            b.iter(|| {
+                let mut s = NodeStats::zero(d);
+                for p in ps.iter() {
+                    s.accumulate(black_box(p.coords), p.weight);
+                }
+                black_box(s)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sum_dist2, bench_sum_dist4, bench_accumulate);
+criterion_main!(benches);

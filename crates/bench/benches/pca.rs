@@ -1,0 +1,35 @@
+//! PCA substrate costs: covariance + Jacobi fit and projection, at the
+//! dimensionalities the Fig 24 sweep uses.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kdv_data::Dataset;
+use kdv_pca::Pca;
+use std::hint::black_box;
+
+fn bench_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pca_fit_10d");
+    group.sample_size(10);
+    for n in [10_000usize, 50_000] {
+        let ps = Dataset::Hep.generate_highdim(n, 10, 5);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(Pca::fit(black_box(&ps))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_transform(c: &mut Criterion) {
+    let ps = Dataset::Hep.generate_highdim(50_000, 10, 5);
+    let pca = Pca::fit(&ps);
+    let mut group = c.benchmark_group("pca_transform_50k");
+    group.sample_size(10);
+    for k in [2usize, 6, 10] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| black_box(pca.transform(black_box(&ps), k)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fit, bench_transform);
+criterion_main!(benches);

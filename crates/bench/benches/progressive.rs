@@ -1,0 +1,39 @@
+//! Cost of the progressive framework itself (§6): computing the
+//! quad-tree schedule and applying block fills. Both must be negligible
+//! next to density evaluation for the framework's real-time claim to
+//! hold.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kdv_viz::progressive::progressive_order;
+use kdv_viz::render::ProgressiveCanvas;
+use std::hint::black_box;
+
+fn bench_order(c: &mut Criterion) {
+    let mut group = c.benchmark_group("progressive_order");
+    group.sample_size(20);
+    for (w, h) in [(320u32, 240u32), (1280, 960)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{w}x{h}")),
+            &(w, h),
+            |b, &(w, h)| b.iter(|| black_box(progressive_order(w, h))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_canvas_apply(c: &mut Criterion) {
+    let (w, h) = (320u32, 240u32);
+    let steps = progressive_order(w, h);
+    c.bench_function("progressive_canvas_full_replay_320x240", |b| {
+        b.iter(|| {
+            let mut canvas = ProgressiveCanvas::new(w, h);
+            for (i, s) in steps.iter().enumerate() {
+                canvas.apply(s, i as f64);
+            }
+            black_box(canvas.into_grid())
+        })
+    });
+}
+
+criterion_group!(benches, bench_order, bench_canvas_apply);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Per-pixel εKDV / τKDV query cost across the paper's methods — the
+//! microscopic version of Figs 14–15.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kdv_bench::workload::Workload;
+use kdv_core::kernel::KernelType;
+use kdv_core::method::MethodKind;
+use kdv_core::threshold::estimate_levels;
+use kdv_data::Dataset;
+use std::hint::black_box;
+
+fn bench_eps_pixel(c: &mut Criterion) {
+    let w = Workload::build_with_n(Dataset::Crime, KernelType::Gaussian, 20_000, (64, 48), 1);
+    let q = w.raster.pixel_center(32, 24);
+    let mut group = c.benchmark_group("eps_pixel_crime20k");
+    for m in [
+        MethodKind::Exact,
+        MethodKind::Scikit,
+        MethodKind::Akde,
+        MethodKind::Karl,
+        MethodKind::Quad,
+    ] {
+        let mut ev = w.evaluator_eps(m, 0.01).expect("εKDV method");
+        group.bench_function(m.name(), |b| {
+            b.iter(|| black_box(ev.eval_eps(black_box(&q), 0.01)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_tau_pixel(c: &mut Criterion) {
+    let w = Workload::build_with_n(Dataset::Crime, KernelType::Gaussian, 20_000, (64, 48), 1);
+    let levels = estimate_levels(&w.tree, w.kernel, &w.raster, 16, 12);
+    let tau = levels.tau(0.0);
+    let q = w.raster.pixel_center(32, 24);
+    let mut group = c.benchmark_group("tau_pixel_crime20k");
+    for m in [MethodKind::Tkdc, MethodKind::Karl, MethodKind::Quad] {
+        let mut ev = w.evaluator_tau(m).expect("τKDV method");
+        group.bench_function(m.name(), |b| {
+            b.iter(|| black_box(ev.eval_tau(black_box(&q), tau)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_kernels_quad(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eps_pixel_quad_by_kernel");
+    for ty in KernelType::ALL {
+        let w = Workload::build_with_n(Dataset::Crime, ty, 20_000, (64, 48), 1);
+        let q = w.raster.pixel_center(20, 30);
+        let mut ev = w.evaluator_eps(MethodKind::Quad, 0.01).expect("QUAD");
+        group.bench_function(ty.name(), |b| {
+            b.iter(|| black_box(ev.eval_eps(black_box(&q), 0.01)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_eps_pixel, bench_tau_pixel, bench_kernels_quad);
+criterion_main!(benches);

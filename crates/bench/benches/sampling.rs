@@ -1,0 +1,37 @@
+//! Z-order sampling costs: Morton sorting (the preprocessing the
+//! Z-Order baseline pays once) and coreset extraction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kdv_data::Dataset;
+use kdv_sampling::{sample_size_for, sort_indices_by_morton, zorder_sample};
+use std::hint::black_box;
+
+fn bench_morton_sort(c: &mut Criterion) {
+    let mut group = c.benchmark_group("morton_sort");
+    group.sample_size(10);
+    for n in [10_000usize, 100_000] {
+        let ps = Dataset::Crime.generate(n, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(sort_indices_by_morton(black_box(&ps))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_coreset(c: &mut Criterion) {
+    let ps = Dataset::Crime.generate(100_000, 3);
+    let mut group = c.benchmark_group("zorder_sample_100k");
+    group.sample_size(10);
+    for eps in [0.05f64, 0.02, 0.01] {
+        let size = sample_size_for(eps, 0.2);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("eps{eps}_s{size}")),
+            &size,
+            |b, &size| b.iter(|| black_box(zorder_sample(black_box(&ps), size, 0.5))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_morton_sort, bench_coreset);
+criterion_main!(benches);

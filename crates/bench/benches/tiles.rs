@@ -1,0 +1,41 @@
+//! Tiled vs per-pixel τKDV (the tile-pruning extension, DESIGN.md).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kdv_bench::workload::Workload;
+use kdv_core::bounds::BoundFamily;
+use kdv_core::engine::RefineEvaluator;
+use kdv_core::kernel::KernelType;
+use kdv_core::threshold::estimate_levels;
+use kdv_data::Dataset;
+use kdv_viz::render::render_tau;
+use kdv_viz::tiles::render_tau_tiled;
+use std::hint::black_box;
+
+fn bench_tiled_tau(c: &mut Criterion) {
+    let w = Workload::build_with_n(Dataset::Crime, KernelType::Gaussian, 50_000, (320, 240), 9);
+    let levels = estimate_levels(&w.tree, w.kernel, &w.raster, 16, 12);
+    let tau = levels.tau(0.1);
+    let mut group = c.benchmark_group("tau_crime50k_320x240");
+    group.sample_size(10);
+    group.bench_function("per_pixel_quad", |b| {
+        b.iter(|| {
+            let mut ev = RefineEvaluator::new(&w.tree, w.kernel, BoundFamily::Quadratic);
+            black_box(render_tau(&mut ev, &w.raster, tau))
+        })
+    });
+    group.bench_function("tiled_quad_fallback", |b| {
+        b.iter(|| {
+            black_box(render_tau_tiled(
+                &w.tree,
+                w.kernel,
+                BoundFamily::Quadratic,
+                &w.raster,
+                tau,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tiled_tau);
+criterion_main!(benches);

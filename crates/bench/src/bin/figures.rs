@@ -1,0 +1,153 @@
+//! Figure harness CLI.
+//!
+//! ```text
+//! cargo run -p kdv-bench --release --bin figures -- all
+//! cargo run -p kdv-bench --release --bin figures -- fig14 fig18
+//! cargo run -p kdv-bench --release --bin figures -- --scale smoke all
+//! cargo run -p kdv-bench --release --bin figures -- --scale paper fig14
+//! cargo run -p kdv-bench --release --bin figures -- --list
+//! ```
+//!
+//! Tables print to stdout; TSV series and PPM images land in
+//! `target/figures/` (override with `--out DIR`).
+
+use kdv_bench::figures::{registry, FigureCtx};
+use kdv_bench::workload::RunScale;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn usage() -> String {
+    let mut s = String::from(
+        "usage: figures [--scale quick|medium|smoke|paper] [--out DIR] [--seed N] <ids...|all>\n\
+         \noptions:\n  --list    show available figure ids\n\navailable figures:\n",
+    );
+    for (id, desc, _) in registry() {
+        s.push_str(&format!("  {id:<8} {desc}\n"));
+    }
+    s
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = RunScale::quick();
+    let mut scale_name = "quick";
+    let mut out_dir = PathBuf::from("target/figures");
+    let mut seed = 20200614u64;
+    let mut ids: Vec<String> = Vec::new();
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                let Some(v) = args.get(i) else {
+                    eprintln!("--scale needs a value\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                scale_name = match v.as_str() {
+                    "quick" => {
+                        scale = RunScale::quick();
+                        "quick"
+                    }
+                    "smoke" => {
+                        scale = RunScale::smoke();
+                        "smoke"
+                    }
+                    "medium" => {
+                        scale = RunScale::medium();
+                        "medium"
+                    }
+                    "paper" => {
+                        scale = RunScale::paper();
+                        "paper"
+                    }
+                    other => {
+                        eprintln!("unknown scale {other:?}\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--out" => {
+                i += 1;
+                let Some(v) = args.get(i) else {
+                    eprintln!("--out needs a value\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                out_dir = PathBuf::from(v);
+            }
+            "--seed" => {
+                i += 1;
+                let Some(v) = args.get(i).and_then(|s| s.parse().ok()) else {
+                    eprintln!("--seed needs an integer\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                seed = v;
+            }
+            "--list" => {
+                print!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                print!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => ids.push(other.to_string()),
+        }
+        i += 1;
+    }
+
+    if ids.is_empty() {
+        eprint!("{}", usage());
+        return ExitCode::FAILURE;
+    }
+
+    let reg = registry();
+    let selected: Vec<_> = if ids.len() == 1 && ids[0] == "all" {
+        reg.iter().collect()
+    } else {
+        let mut sel = Vec::new();
+        for id in &ids {
+            match reg.iter().find(|(rid, _, _)| rid == id) {
+                Some(entry) => sel.push(entry),
+                None => {
+                    eprintln!("unknown figure id {id:?}\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        sel
+    };
+
+    let ctx = FigureCtx {
+        scale,
+        out_dir: out_dir.clone(),
+        seed,
+    };
+    println!(
+        "# QUAD figure harness — scale = {scale_name} (n_frac = {}, res ÷ {}, budget = {:?}), out = {}",
+        ctx.scale.n_frac,
+        ctx.scale.res_div,
+        ctx.scale.cell_budget,
+        out_dir.display()
+    );
+
+    for (id, desc, runner) in selected {
+        println!("\n### {id}: {desc}");
+        let start = Instant::now();
+        let tables = runner(&ctx);
+        for (i, t) in tables.iter().enumerate() {
+            println!("\n{}", t.to_text());
+            let name = if tables.len() == 1 {
+                format!("{id}")
+            } else {
+                format!("{id}_panel{i}")
+            };
+            if let Ok(Some(path)) = kdv_bench::plot::save_svg(t, &ctx.out_dir, &name) {
+                println!("[chart: {}]", path.display());
+            }
+        }
+        println!("[{id} done in {:.1?}]", start.elapsed());
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,68 @@
+//! Fig 14: εKDV response time varying the relative error ε, resolution
+//! 1280×960 (scaled), all four datasets.
+//!
+//! Paper expectation: QUAD ≥ one order of magnitude faster than KARL,
+//! which beats aKDE and Z-order; all curves fall as ε grows.
+
+use crate::figures::FigureCtx;
+use crate::report::Table;
+use crate::workload::{fmt_cell, time_eps_render, Workload};
+use kdv_core::kernel::KernelType;
+use kdv_core::method::MethodKind;
+use kdv_data::Dataset;
+
+/// The ε sweep of §7.2.
+pub const EPS_SWEEP: [f64; 5] = [0.01, 0.02, 0.03, 0.04, 0.05];
+
+/// Methods plotted in Fig 14.
+pub const METHODS: [MethodKind; 4] = [
+    MethodKind::Akde,
+    MethodKind::Karl,
+    MethodKind::Quad,
+    MethodKind::ZOrder,
+];
+
+/// Runs the figure.
+pub fn run(ctx: &FigureCtx) -> Vec<Table> {
+    let mut tables = Vec::new();
+    for ds in Dataset::ALL {
+        let w = Workload::build(ds, KernelType::Gaussian, &ctx.scale, (1280, 960), ctx.seed);
+        let mut t = Table::new(
+            format!(
+                "Fig 14 ({}) — εKDV time [s], n = {}, {}x{}",
+                ds.name(),
+                w.points.len(),
+                w.raster.width(),
+                w.raster.height()
+            ),
+            &["eps", "aKDE", "KARL", "QUAD", "Z-order"],
+        );
+        for eps in EPS_SWEEP {
+            let mut row = vec![format!("{eps}")];
+            for m in METHODS {
+                let mut ev = w.evaluator_eps(m, eps).expect("εKDV method");
+                let cell = time_eps_render(&mut *ev, &w.raster, eps, ctx.scale.cell_budget);
+                row.push(fmt_cell(cell, ctx.scale.cell_budget));
+            }
+            t.push_row(row);
+        }
+        let _ = t.save_tsv(&ctx.out_dir, &format!("fig14_{}", ds.name().replace(' ', "_")));
+        tables.push(t);
+    }
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_produces_four_panels() {
+        let ctx = FigureCtx::smoke();
+        let tables = run(&ctx);
+        assert_eq!(tables.len(), 4);
+        for t in &tables {
+            assert_eq!(t.len(), EPS_SWEEP.len());
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Fig 15: τKDV response time varying the threshold τ over
+//! `µ + k·σ, k ∈ {−0.3 … +0.3}`, all four datasets.
+//!
+//! Paper expectation: QUAD ≥ one order of magnitude faster than tKDC
+//! and KARL at every threshold; times peak near τ ≈ µ where the most
+//! pixels are boundary cases.
+
+use crate::figures::FigureCtx;
+use crate::report::Table;
+use crate::workload::{fmt_cell, time_tau_render, Workload};
+use kdv_core::kernel::KernelType;
+use kdv_core::method::MethodKind;
+use kdv_core::threshold::estimate_levels;
+use kdv_data::Dataset;
+
+/// The k of `τ = µ + k·σ` (paper's seven thresholds, §7.2).
+pub const K_SWEEP: [f64; 7] = [-0.3, -0.2, -0.1, 0.0, 0.1, 0.2, 0.3];
+
+/// Methods plotted in Fig 15.
+pub const METHODS: [MethodKind; 3] = [MethodKind::Tkdc, MethodKind::Karl, MethodKind::Quad];
+
+/// Runs the figure.
+pub fn run(ctx: &FigureCtx) -> Vec<Table> {
+    let mut tables = Vec::new();
+    for ds in Dataset::ALL {
+        let w = Workload::build(ds, KernelType::Gaussian, &ctx.scale, (1280, 960), ctx.seed);
+        let levels = estimate_levels(&w.tree, w.kernel, &w.raster, 48, 36);
+        let mut t = Table::new(
+            format!(
+                "Fig 15 ({}) — τKDV time [s], µ = {:.4e}, σ = {:.4e}",
+                ds.name(),
+                levels.mu,
+                levels.sigma
+            ),
+            &["tau_k", "tKDC", "KARL", "QUAD"],
+        );
+        for k in K_SWEEP {
+            let tau = levels.tau(k);
+            let mut row = vec![format!("{k:+.1}")];
+            for m in METHODS {
+                let mut ev = w.evaluator_tau(m).expect("τKDV method");
+                let cell = time_tau_render(&mut *ev, &w.raster, tau, ctx.scale.cell_budget);
+                row.push(fmt_cell(cell, ctx.scale.cell_budget));
+            }
+            t.push_row(row);
+        }
+        let _ = t.save_tsv(&ctx.out_dir, &format!("fig15_{}", ds.name().replace(' ', "_")));
+        tables.push(t);
+    }
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_sweeps_seven_thresholds() {
+        let tables = run(&FigureCtx::smoke());
+        assert_eq!(tables.len(), 4);
+        for t in &tables {
+            assert_eq!(t.len(), K_SWEEP.len());
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Fig 16: εKDV response time varying the screen resolution
+//! (320×240 … 2560×1920, scaled), ε = 0.01, all four datasets.
+//!
+//! Paper expectation: every method scales linearly with pixel count;
+//! QUAD stays an order of magnitude below the rest at all resolutions.
+
+use crate::figures::FigureCtx;
+use crate::report::Table;
+use crate::workload::{fmt_cell, time_eps_render, Workload};
+use kdv_core::kernel::KernelType;
+use kdv_core::method::MethodKind;
+use kdv_core::raster::PAPER_RESOLUTIONS;
+use kdv_data::Dataset;
+
+/// Methods plotted in Fig 16.
+pub const METHODS: [MethodKind; 4] = [
+    MethodKind::Akde,
+    MethodKind::Karl,
+    MethodKind::Quad,
+    MethodKind::ZOrder,
+];
+
+const EPS: f64 = 0.01;
+
+/// Runs the figure.
+pub fn run(ctx: &FigureCtx) -> Vec<Table> {
+    let mut tables = Vec::new();
+    for ds in Dataset::ALL {
+        // Build once at the largest resolution; reuse raster windows.
+        let w = Workload::build(ds, KernelType::Gaussian, &ctx.scale, (2560, 1920), ctx.seed);
+        let mut t = Table::new(
+            format!("Fig 16 ({}) — εKDV time [s] vs resolution, ε = 0.01", ds.name()),
+            &["resolution", "aKDE", "KARL", "QUAD", "Z-order"],
+        );
+        for (pw, ph) in PAPER_RESOLUTIONS {
+            let (rw, rh) = ctx.scale.resolution(pw, ph);
+            let raster = w.raster.with_resolution(rw, rh);
+            let mut row = vec![format!("{pw}x{ph}")];
+            for m in METHODS {
+                let mut ev = w.evaluator_eps(m, EPS).expect("εKDV method");
+                let cell = time_eps_render(&mut *ev, &raster, EPS, ctx.scale.cell_budget);
+                row.push(fmt_cell(cell, ctx.scale.cell_budget));
+            }
+            t.push_row(row);
+        }
+        let _ = t.save_tsv(&ctx.out_dir, &format!("fig16_{}", ds.name().replace(' ', "_")));
+        tables.push(t);
+    }
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_covers_four_resolutions() {
+        let tables = run(&FigureCtx::smoke());
+        assert_eq!(tables.len(), 4);
+        for t in &tables {
+            assert_eq!(t.len(), PAPER_RESOLUTIONS.len());
+        }
+    }
+}

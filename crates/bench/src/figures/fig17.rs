@@ -1,0 +1,75 @@
+//! Fig 17: response time vs dataset size on *hep* (1 M – 7 M points,
+//! scaled): (a) εKDV with ε = 0.01, (b) τKDV with τ = µ.
+//!
+//! Paper expectation: all methods grow with n; QUAD keeps a
+//! one-order-of-magnitude lead across sizes in both variants.
+
+use crate::figures::FigureCtx;
+use crate::report::Table;
+use crate::workload::{fmt_cell, time_eps_render, time_tau_render, Workload};
+use kdv_core::kernel::KernelType;
+use kdv_core::method::MethodKind;
+use kdv_core::threshold::estimate_levels;
+use kdv_data::Dataset;
+
+/// The paper's dataset-size sweep (millions of points, pre-scaling).
+pub const PAPER_SIZES_M: [usize; 4] = [1, 3, 5, 7];
+
+const EPS: f64 = 0.01;
+
+/// Runs both panels.
+pub fn run(ctx: &FigureCtx) -> Vec<Table> {
+    let mut eps_table = Table::new(
+        "Fig 17a — εKDV time [s] vs hep size, ε = 0.01",
+        &["n_million_paper", "n_scaled", "aKDE", "KARL", "QUAD", "Z-order"],
+    );
+    let mut tau_table = Table::new(
+        "Fig 17b — τKDV time [s] vs hep size, τ = µ",
+        &["n_million_paper", "n_scaled", "tKDC", "KARL", "QUAD"],
+    );
+
+    for m_pts in PAPER_SIZES_M {
+        let n = ((m_pts as f64 * 1e6 * ctx.scale.n_frac) as usize).max(500);
+        let (rw, rh) = ctx.scale.resolution(1280, 960);
+        let w = Workload::build_with_n(Dataset::Hep, KernelType::Gaussian, n, (rw, rh), ctx.seed);
+
+        let mut row = vec![format!("{m_pts}"), format!("{n}")];
+        for m in [
+            MethodKind::Akde,
+            MethodKind::Karl,
+            MethodKind::Quad,
+            MethodKind::ZOrder,
+        ] {
+            let mut ev = w.evaluator_eps(m, EPS).expect("εKDV method");
+            let cell = time_eps_render(&mut *ev, &w.raster, EPS, ctx.scale.cell_budget);
+            row.push(fmt_cell(cell, ctx.scale.cell_budget));
+        }
+        eps_table.push_row(row);
+
+        let levels = estimate_levels(&w.tree, w.kernel, &w.raster, 32, 24);
+        let mut row = vec![format!("{m_pts}"), format!("{n}")];
+        for m in [MethodKind::Tkdc, MethodKind::Karl, MethodKind::Quad] {
+            let mut ev = w.evaluator_tau(m).expect("τKDV method");
+            let cell = time_tau_render(&mut *ev, &w.raster, levels.mu, ctx.scale.cell_budget);
+            row.push(fmt_cell(cell, ctx.scale.cell_budget));
+        }
+        tau_table.push_row(row);
+    }
+
+    let _ = eps_table.save_tsv(&ctx.out_dir, "fig17a_eps");
+    let _ = tau_table.save_tsv(&ctx.out_dir, "fig17b_tau");
+    vec![eps_table, tau_table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_sweeps_sizes() {
+        let tables = run(&FigureCtx::smoke());
+        assert_eq!(tables.len(), 2);
+        assert_eq!(tables[0].len(), PAPER_SIZES_M.len());
+        assert_eq!(tables[1].len(), PAPER_SIZES_M.len());
+    }
+}

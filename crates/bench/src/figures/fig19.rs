@@ -1,0 +1,74 @@
+//! Fig 19: εKDV visualization quality at ε = 0.01 — the color maps of
+//! Exact, aKDE, Z-Order, KARL and QUAD on *home* are indistinguishable.
+//!
+//! The harness quantifies what the paper shows visually: mean relative
+//! error against the exact grid per method (all ≪ ε for deterministic
+//! methods), and writes the five PPM color maps.
+
+use crate::figures::FigureCtx;
+use crate::report::Table;
+use crate::workload::Workload;
+use kdv_core::kernel::KernelType;
+use kdv_core::method::MethodKind;
+use kdv_data::Dataset;
+use kdv_viz::colormap::ColorMap;
+use kdv_viz::render::render_eps;
+
+const EPS: f64 = 0.01;
+
+/// Methods compared in Fig 19 (Exact is the reference).
+pub const METHODS: [MethodKind; 5] = [
+    MethodKind::Exact,
+    MethodKind::Akde,
+    MethodKind::ZOrder,
+    MethodKind::Karl,
+    MethodKind::Quad,
+];
+
+/// Runs the figure.
+pub fn run(ctx: &FigureCtx) -> Vec<Table> {
+    let w = Workload::build(Dataset::Home, KernelType::Gaussian, &ctx.scale, (1280, 960), ctx.seed);
+    let cm = ColorMap::heat();
+
+    let mut exact_ev = w.evaluator_eps(MethodKind::Exact, EPS).expect("exact");
+    let exact = render_eps(&mut *exact_ev, &w.raster, EPS);
+
+    let mut t = Table::new(
+        "Fig 19 — εKDV quality on home, ε = 0.01 (mean relative error vs exact)",
+        &["method", "mean_rel_error", "guarantee"],
+    );
+    let _ = std::fs::create_dir_all(&ctx.out_dir);
+    for m in METHODS {
+        let mut ev = w.evaluator_eps(m, EPS).expect("εKDV method");
+        let grid = render_eps(&mut *ev, &w.raster, EPS);
+        let err = grid.mean_relative_error(&exact);
+        let guarantee = match m {
+            MethodKind::Exact => "exact",
+            MethodKind::ZOrder => "probabilistic",
+            _ => "deterministic (1±ε)",
+        };
+        t.push_row(vec![m.name().into(), format!("{err:.3e}"), guarantee.into()]);
+        let img = cm.render(&grid, true);
+        let _ = img.save_ppm(&ctx.out_dir.join(format!("fig19_{}.ppm", m.name())));
+    }
+    let _ = t.save_tsv(&ctx.out_dir, "fig19_quality");
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_methods_meet_eps() {
+        let tables = run(&FigureCtx::smoke());
+        let tsv = tables[0].to_tsv();
+        for line in tsv.lines().skip(2) {
+            let cells: Vec<&str> = line.split('\t').collect();
+            let err: f64 = cells[1].parse().expect("error cell");
+            if cells[2].starts_with("deterministic") || cells[2] == "exact" {
+                assert!(err <= EPS, "{} error {err} exceeds ε", cells[0]);
+            }
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Fig 20: average relative error of the progressive visualization
+//! framework after time budgets t ∈ {0.01, 0.05, 0.25, 1.25, 6.25} s,
+//! for EXACT, aKDE, KARL, QUAD and Z-Order, on all four datasets.
+//!
+//! Paper expectation: under the same budget QUAD evaluates the most
+//! pixels and thus shows the lowest error at every timestamp; all
+//! curves fall with t.
+
+use crate::figures::FigureCtx;
+use crate::report::Table;
+use crate::workload::Workload;
+use kdv_core::kernel::KernelType;
+use kdv_core::method::MethodKind;
+use kdv_data::Dataset;
+use kdv_viz::render::{render_eps, render_eps_progressive};
+use std::time::Duration;
+
+/// The paper's five timestamps (seconds).
+pub const BUDGETS_S: [f64; 5] = [0.01, 0.05, 0.25, 1.25, 6.25];
+
+/// Methods compared in Fig 20.
+pub const METHODS: [MethodKind; 5] = [
+    MethodKind::Exact,
+    MethodKind::Akde,
+    MethodKind::Karl,
+    MethodKind::Quad,
+    MethodKind::ZOrder,
+];
+
+const EPS: f64 = 0.01;
+
+/// Runs the figure.
+pub fn run(ctx: &FigureCtx) -> Vec<Table> {
+    let mut tables = Vec::new();
+    for ds in Dataset::ALL {
+        let w = Workload::build(ds, KernelType::Gaussian, &ctx.scale, (1280, 960), ctx.seed);
+        let mut exact_ev = w.evaluator_eps(MethodKind::Exact, EPS).expect("exact");
+        let truth = render_eps(&mut *exact_ev, &w.raster, EPS);
+
+        let mut t = Table::new(
+            format!("Fig 20 ({}) — progressive avg relative error vs budget", ds.name()),
+            &["t_sec", "EXACT", "aKDE", "KARL", "QUAD", "Z-order"],
+        );
+        for budget in BUDGETS_S {
+            let mut row = vec![format!("{budget}")];
+            for m in METHODS {
+                let mut ev = w.evaluator_eps(m, EPS).expect("εKDV method");
+                let out = render_eps_progressive(
+                    &mut *ev,
+                    &w.raster,
+                    EPS,
+                    Some(Duration::from_secs_f64(budget)),
+                );
+                row.push(format!("{:.4e}", out.grid.mean_relative_error(&truth)));
+            }
+            t.push_row(row);
+        }
+        let _ = t.save_tsv(&ctx.out_dir, &format!("fig20_{}", ds.name().replace(' ', "_")));
+        tables.push(t);
+    }
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quad_error_is_not_worse_than_exact_scan_at_first_budget() {
+        // One dataset at smoke scale to keep runtime tiny.
+        let ctx = FigureCtx::smoke();
+        let w = Workload::build(
+            Dataset::Crime,
+            KernelType::Gaussian,
+            &ctx.scale,
+            (1280, 960),
+            ctx.seed,
+        );
+        let mut exact_ev = w.evaluator_eps(MethodKind::Exact, EPS).expect("exact");
+        let truth = render_eps(&mut *exact_ev, &w.raster, EPS);
+
+        let budget = Some(Duration::from_millis(10));
+        let mut quad = w.evaluator_eps(MethodKind::Quad, EPS).expect("quad");
+        let qo = render_eps_progressive(&mut *quad, &w.raster, EPS, budget);
+        let mut exact = w.evaluator_eps(MethodKind::Exact, EPS).expect("exact");
+        let eo = render_eps_progressive(&mut *exact, &w.raster, EPS, budget);
+        // QUAD evaluates at least as many pixels per unit time.
+        assert!(
+            qo.evaluated >= eo.evaluated,
+            "QUAD evaluated {} < EXACT {}",
+            qo.evaluated,
+            eo.evaluated
+        );
+        let qe = qo.grid.mean_relative_error(&truth);
+        assert!(qe.is_finite());
+    }
+}

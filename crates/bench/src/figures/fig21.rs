@@ -1,0 +1,74 @@
+//! Fig 21: QUAD-based progressive visualization on *home* at five
+//! budgets t ∈ {0.02, 0.05, 0.2, 0.5, 2} s — the 0.5 s snapshot is
+//! already a "reasonable visualization result" (the paper's real-time
+//! headline).
+
+use crate::figures::FigureCtx;
+use crate::report::Table;
+use crate::workload::Workload;
+use kdv_core::kernel::KernelType;
+use kdv_core::method::MethodKind;
+use kdv_data::Dataset;
+use kdv_viz::colormap::ColorMap;
+use kdv_viz::render::{render_eps, render_eps_progressive};
+use std::time::Duration;
+
+/// The paper's snapshot budgets (seconds).
+pub const BUDGETS_S: [f64; 5] = [0.02, 0.05, 0.2, 0.5, 2.0];
+
+const EPS: f64 = 0.01;
+
+/// Runs the figure: writes one PPM per budget plus an error table.
+pub fn run(ctx: &FigureCtx) -> Vec<Table> {
+    let w = Workload::build(Dataset::Home, KernelType::Gaussian, &ctx.scale, (1280, 960), ctx.seed);
+    let cm = ColorMap::heat();
+    let _ = std::fs::create_dir_all(&ctx.out_dir);
+
+    let mut exact_ev = w.evaluator_eps(MethodKind::Exact, EPS).expect("exact");
+    let truth = render_eps(&mut *exact_ev, &w.raster, EPS);
+
+    let mut t = Table::new(
+        "Fig 21 — QUAD progressive snapshots on home",
+        &["t_sec", "pixels_evaluated", "fraction", "avg_rel_error"],
+    );
+    for budget in BUDGETS_S {
+        let mut ev = w.evaluator_eps(MethodKind::Quad, EPS).expect("QUAD");
+        let out = render_eps_progressive(
+            &mut *ev,
+            &w.raster,
+            EPS,
+            Some(Duration::from_secs_f64(budget)),
+        );
+        let err = out.grid.mean_relative_error(&truth);
+        t.push_row(vec![
+            format!("{budget}"),
+            format!("{}", out.evaluated),
+            format!("{:.4}", out.evaluated as f64 / w.raster.num_pixels() as f64),
+            format!("{err:.4e}"),
+        ]);
+        let img = cm.render(&out.grid, true);
+        let _ = img.save_ppm(&ctx.out_dir.join(format!("fig21_t{budget}.ppm")));
+    }
+    let _ = t.save_tsv(&ctx.out_dir, "fig21_snapshots");
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn longer_budgets_evaluate_at_least_as_many_pixels() {
+        let tables = run(&FigureCtx::smoke());
+        let tsv = tables[0].to_tsv();
+        let counts: Vec<usize> = tsv
+            .lines()
+            .skip(2)
+            .map(|l| l.split('\t').nth(1).expect("count").parse().expect("n"))
+            .collect();
+        assert_eq!(counts.len(), BUDGETS_S.len());
+        for w in counts.windows(2) {
+            assert!(w[1] >= w[0], "pixel counts must be non-decreasing: {counts:?}");
+        }
+    }
+}

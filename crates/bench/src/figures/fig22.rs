@@ -1,0 +1,76 @@
+//! Fig 22: εKDV response time for the **triangular** and **cosine**
+//! kernels on crime and hep, varying ε.
+//!
+//! KARL is absent by construction (§5.1: no `O(d)` linear bound exists
+//! for distance kernels); QUAD still beats aKDE and Z-Order by an order
+//! of magnitude.
+
+use crate::figures::FigureCtx;
+use crate::report::Table;
+use crate::workload::{fmt_cell, time_eps_render, Workload};
+use kdv_core::kernel::KernelType;
+use kdv_core::method::MethodKind;
+use kdv_data::Dataset;
+
+/// ε sweep shared with Fig 14.
+pub const EPS_SWEEP: [f64; 5] = [0.01, 0.02, 0.03, 0.04, 0.05];
+
+/// Methods plotted (KARL unsupported for these kernels).
+pub const METHODS: [MethodKind; 3] = [MethodKind::Akde, MethodKind::Quad, MethodKind::ZOrder];
+
+/// Runs all four panels.
+pub fn run(ctx: &FigureCtx) -> Vec<Table> {
+    let mut tables = Vec::new();
+    for kernel_ty in [KernelType::Triangular, KernelType::Cosine] {
+        for ds in [Dataset::Crime, Dataset::Hep] {
+            let w = Workload::build(ds, kernel_ty, &ctx.scale, (1280, 960), ctx.seed);
+            let mut t = Table::new(
+                format!(
+                    "Fig 22 ({}, {}) — εKDV time [s]",
+                    ds.name(),
+                    kernel_ty.name()
+                ),
+                &["eps", "aKDE", "QUAD", "Z-order"],
+            );
+            for eps in EPS_SWEEP {
+                let mut row = vec![format!("{eps}")];
+                for m in METHODS {
+                    let mut ev = w.evaluator_eps(m, eps).expect("εKDV method");
+                    let cell = time_eps_render(&mut *ev, &w.raster, eps, ctx.scale.cell_budget);
+                    row.push(fmt_cell(cell, ctx.scale.cell_budget));
+                }
+                t.push_row(row);
+            }
+            let _ = t.save_tsv(
+                &ctx.out_dir,
+                &format!("fig22_{}_{}", ds.name(), kernel_ty.name()),
+            );
+            tables.push(t);
+        }
+    }
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_produces_four_panels() {
+        let tables = run(&FigureCtx::smoke());
+        assert_eq!(tables.len(), 4);
+    }
+
+    #[test]
+    fn karl_is_rejected_for_distance_kernels() {
+        let ctx = FigureCtx::smoke();
+        let w = Workload::build(
+            Dataset::Crime,
+            KernelType::Triangular,
+            &ctx.scale,
+            (320, 240),
+            ctx.seed,
+        );
+        assert!(w.evaluator_eps(MethodKind::Karl, 0.01).is_none());
+    }
+}

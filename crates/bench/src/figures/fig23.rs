@@ -1,0 +1,68 @@
+//! Fig 23: τKDV response time for the **triangular** and **cosine**
+//! kernels on crime and hep, varying τ over `µ + k·σ`.
+//!
+//! Paper expectation: QUAD at least one order of magnitude below tKDC.
+
+use crate::figures::FigureCtx;
+use crate::report::Table;
+use crate::workload::{fmt_cell, time_tau_render, Workload};
+use kdv_core::kernel::KernelType;
+use kdv_core::method::MethodKind;
+use kdv_core::threshold::estimate_levels;
+use kdv_data::Dataset;
+
+/// The k of `τ = µ + k·σ` (Fig 23 plots five thresholds).
+pub const K_SWEEP: [f64; 5] = [-0.2, -0.1, 0.0, 0.1, 0.2];
+
+/// Methods plotted.
+pub const METHODS: [MethodKind; 2] = [MethodKind::Tkdc, MethodKind::Quad];
+
+/// Runs all four panels.
+pub fn run(ctx: &FigureCtx) -> Vec<Table> {
+    let mut tables = Vec::new();
+    for kernel_ty in [KernelType::Triangular, KernelType::Cosine] {
+        for ds in [Dataset::Crime, Dataset::Hep] {
+            let w = Workload::build(ds, kernel_ty, &ctx.scale, (1280, 960), ctx.seed);
+            let levels = estimate_levels(&w.tree, w.kernel, &w.raster, 32, 24);
+            let mut t = Table::new(
+                format!(
+                    "Fig 23 ({}, {}) — τKDV time [s], µ = {:.4e}",
+                    ds.name(),
+                    kernel_ty.name(),
+                    levels.mu
+                ),
+                &["tau_k", "tKDC", "QUAD"],
+            );
+            for k in K_SWEEP {
+                let tau = levels.tau(k);
+                let mut row = vec![format!("{k:+.1}")];
+                for m in METHODS {
+                    let mut ev = w.evaluator_tau(m).expect("τKDV method");
+                    let cell = time_tau_render(&mut *ev, &w.raster, tau, ctx.scale.cell_budget);
+                    row.push(fmt_cell(cell, ctx.scale.cell_budget));
+                }
+                t.push_row(row);
+            }
+            let _ = t.save_tsv(
+                &ctx.out_dir,
+                &format!("fig23_{}_{}", ds.name(), kernel_ty.name()),
+            );
+            tables.push(t);
+        }
+    }
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_produces_four_panels() {
+        let tables = run(&FigureCtx::smoke());
+        assert_eq!(tables.len(), 4);
+        for t in &tables {
+            assert_eq!(t.len(), K_SWEEP.len());
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Fig 24: general KDE throughput (queries/second) versus
+//! dimensionality 2–10 on *home* and *hep*, Gaussian kernel, ε = 0.01.
+//!
+//! The paper varies dimensionality "via PCA dimensionality reduction";
+//! we generate 10-dimensional emulations ([`Dataset::generate_highdim`])
+//! and PCA-project them to d ∈ {2, 4, 6, 8, 10}. SCAN (= EXACT) joins
+//! the comparison here, as in the paper.
+//!
+//! Paper expectation: bound-based throughput falls with d (QUAD's
+//! `O(d²)` moments and looser high-d boxes) but QUAD stays on top
+//! through d = 10.
+
+use crate::figures::FigureCtx;
+use crate::report::Table;
+use crate::workload::RunScale;
+use kdv_core::bandwidth::scott_gamma;
+use kdv_core::kernel::Kernel;
+use kdv_core::method::{make_evaluator, MethodKind, MethodParams};
+use kdv_data::Dataset;
+use kdv_index::KdTree;
+use kdv_pca::Pca;
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng as _};
+use std::time::Instant;
+
+/// The dimensionality sweep.
+pub const DIMS: [usize; 5] = [2, 4, 6, 8, 10];
+
+/// Methods plotted (SCAN is the paper's name for EXACT here).
+pub const METHODS: [MethodKind; 4] = [
+    MethodKind::Exact,
+    MethodKind::Akde,
+    MethodKind::Karl,
+    MethodKind::Quad,
+];
+
+const EPS: f64 = 0.01;
+
+/// Number of KDE queries measured per cell.
+fn query_count(scale: &RunScale) -> usize {
+    if scale.n_frac >= 0.005 {
+        200
+    } else {
+        50
+    }
+}
+
+/// Runs both panels.
+pub fn run(ctx: &FigureCtx) -> Vec<Table> {
+    let mut tables = Vec::new();
+    for ds in [Dataset::Home, Dataset::Hep] {
+        let n = ctx.scale.dataset_size(ds);
+        let full = ds.generate_highdim(n, 10, ctx.seed);
+        let pca = Pca::fit(&full);
+        let mut t = Table::new(
+            format!(
+                "Fig 24 ({}) — KDE throughput [queries/s] vs dimensionality, n = {n}",
+                ds.name()
+            ),
+            &["d", "SCAN", "aKDE", "KARL", "QUAD"],
+        );
+        let n_queries = query_count(&ctx.scale);
+        for d in DIMS {
+            let mut pts = pca.transform(&full, d);
+            pts.scale_weights(1.0 / pts.len() as f64);
+            let kernel = Kernel::gaussian(scott_gamma(&pts).gamma);
+            let tree = KdTree::build_default(&pts);
+
+            // Queries drawn uniformly from the projected data's bounding
+            // box (the KDE-workload analogue of pixel centers).
+            let bbox = kdv_geom::Mbr::of_set(&pts).expect("non-empty");
+            let mut rng = StdRng::seed_from_u64(ctx.seed ^ d as u64);
+            let queries: Vec<Vec<f64>> = (0..n_queries)
+                .map(|_| {
+                    (0..d)
+                        .map(|j| rng.gen_range(bbox.lo()[j]..=bbox.hi()[j]))
+                        .collect()
+                })
+                .collect();
+
+            let mut row = vec![format!("{d}")];
+            for m in METHODS {
+                let mut ev =
+                    make_evaluator(m, &tree, kernel, "εKDV", &MethodParams::default())
+                        .expect("Gaussian εKDV method");
+                let start = Instant::now();
+                for q in &queries {
+                    std::hint::black_box(ev.eval_eps(q, EPS));
+                }
+                let elapsed = start.elapsed().as_secs_f64();
+                row.push(format!("{:.1}", n_queries as f64 / elapsed.max(1e-12)));
+            }
+            t.push_row(row);
+        }
+        let _ = t.save_tsv(&ctx.out_dir, &format!("fig24_{}", ds.name()));
+        tables.push(t);
+    }
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_sweeps_dimensions() {
+        let tables = run(&FigureCtx::smoke());
+        assert_eq!(tables.len(), 2);
+        for t in &tables {
+            assert_eq!(t.len(), DIMS.len());
+        }
+    }
+}

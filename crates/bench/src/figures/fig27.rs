@@ -1,0 +1,77 @@
+//! Fig 27 (appendix §9.7): the **exponential** kernel — εKDV (a, b) and
+//! τKDV (c, d) response times on crime and hep.
+//!
+//! Paper expectation: same story as Figs 22–23 — QUAD at least an order
+//! of magnitude ahead; tKDC times out entirely on hep (panel d).
+
+use crate::figures::FigureCtx;
+use crate::report::Table;
+use crate::workload::{fmt_cell, time_eps_render, time_tau_render, Workload};
+use kdv_core::kernel::KernelType;
+use kdv_core::method::MethodKind;
+use kdv_core::threshold::estimate_levels;
+use kdv_data::Dataset;
+
+/// ε sweep (panels a–b).
+pub const EPS_SWEEP: [f64; 5] = [0.01, 0.02, 0.03, 0.04, 0.05];
+
+/// τ sweep factors (panels c–d).
+pub const K_SWEEP: [f64; 5] = [-0.2, -0.1, 0.0, 0.1, 0.2];
+
+/// Runs all four panels.
+pub fn run(ctx: &FigureCtx) -> Vec<Table> {
+    let mut tables = Vec::new();
+    for ds in [Dataset::Crime, Dataset::Hep] {
+        let w = Workload::build(ds, KernelType::Exponential, &ctx.scale, (1280, 960), ctx.seed);
+
+        let mut t = Table::new(
+            format!("Fig 27 εKDV ({}, exponential) — time [s]", ds.name()),
+            &["eps", "aKDE", "QUAD", "Z-order"],
+        );
+        for eps in EPS_SWEEP {
+            let mut row = vec![format!("{eps}")];
+            for m in [MethodKind::Akde, MethodKind::Quad, MethodKind::ZOrder] {
+                let mut ev = w.evaluator_eps(m, eps).expect("εKDV method");
+                let cell = time_eps_render(&mut *ev, &w.raster, eps, ctx.scale.cell_budget);
+                row.push(fmt_cell(cell, ctx.scale.cell_budget));
+            }
+            t.push_row(row);
+        }
+        let _ = t.save_tsv(&ctx.out_dir, &format!("fig27_eps_{}", ds.name()));
+        tables.push(t);
+
+        let levels = estimate_levels(&w.tree, w.kernel, &w.raster, 32, 24);
+        let mut t = Table::new(
+            format!(
+                "Fig 27 τKDV ({}, exponential) — time [s], µ = {:.4e}",
+                ds.name(),
+                levels.mu
+            ),
+            &["tau_k", "tKDC", "QUAD"],
+        );
+        for k in K_SWEEP {
+            let tau = levels.tau(k);
+            let mut row = vec![format!("{k:+.1}")];
+            for m in [MethodKind::Tkdc, MethodKind::Quad] {
+                let mut ev = w.evaluator_tau(m).expect("τKDV method");
+                let cell = time_tau_render(&mut *ev, &w.raster, tau, ctx.scale.cell_budget);
+                row.push(fmt_cell(cell, ctx.scale.cell_budget));
+            }
+            t.push_row(row);
+        }
+        let _ = t.save_tsv(&ctx.out_dir, &format!("fig27_tau_{}", ds.name()));
+        tables.push(t);
+    }
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_produces_four_panels() {
+        let tables = run(&FigureCtx::smoke());
+        assert_eq!(tables.len(), 4);
+    }
+}

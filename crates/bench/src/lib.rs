@@ -1,0 +1,32 @@
+//! Benchmark harness regenerating every measured table and figure of
+//! the QUAD paper's evaluation (§7).
+//!
+//! Entry points:
+//!
+//! * `cargo run -p kdv-bench --release --bin figures -- <ids|all>` —
+//!   regenerates the figures as TSV series (plus PPM images where the
+//!   paper shows color maps) under `target/figures/`,
+//! * `cargo bench -p kdv-bench` — criterion micro-benchmarks of the
+//!   individual components (bound evaluation, per-pixel refinement,
+//!   tree construction, sampling, PCA, progressive ordering).
+//!
+//! # Scaling
+//!
+//! The paper's full workloads (7 M points × 2560×1920 pixels, 2-hour
+//! timeouts) are deliberately laptop-hostile. The harness therefore
+//! runs each experiment at a configurable [`RunScale`]; the default
+//! (`n = 1%` of the paper's cardinality, resolution ÷ 8, 10 s
+//! per-cell budget) completes in minutes while preserving the paper's
+//! *relative* method ordering. `--scale paper` restores the published
+//! parameters. `EXPERIMENTS.md` records both scales' expectations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod plot;
+pub mod report;
+pub mod workload;
+
+pub use report::Table;
+pub use workload::{RunScale, Workload};

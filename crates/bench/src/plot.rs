@@ -1,0 +1,274 @@
+//! Minimal SVG line charts for figure tables.
+//!
+//! The paper's figures are log-scale time/error series; this module
+//! renders each harness [`Table`] as a standalone SVG (first column =
+//! x labels, remaining numeric columns = series) so results can be
+//! inspected without any plotting stack. Censored cells (`>7200`) and
+//! non-numeric columns are skipped.
+
+use crate::report::Table;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+const WIDTH: f64 = 640.0;
+const HEIGHT: f64 = 420.0;
+const MARGIN_L: f64 = 70.0;
+const MARGIN_R: f64 = 150.0;
+const MARGIN_T: f64 = 50.0;
+const MARGIN_B: f64 = 50.0;
+
+/// Brand-neutral categorical palette (distinct in both themes).
+const COLORS: [&str; 6] = [
+    "#4269d0", "#efb118", "#ff725c", "#6cc5b0", "#9c6bce", "#97bbf5",
+];
+
+/// A parsed numeric series.
+struct Series {
+    name: String,
+    /// `(x index, value)` — censored/missing cells are skipped.
+    points: Vec<(usize, f64)>,
+}
+
+/// Extracts the numeric series of a table (columns 2+).
+fn extract_series(table: &Table) -> (Vec<String>, Vec<Series>) {
+    let tsv = table.to_tsv();
+    let mut lines = tsv.lines();
+    let _title = lines.next();
+    let header: Vec<String> = lines
+        .next()
+        .map(|h| {
+            h.trim_start_matches("# ")
+                .split('\t')
+                .map(|s| s.to_string())
+                .collect()
+        })
+        .unwrap_or_default();
+    let rows: Vec<Vec<String>> = lines
+        .map(|l| l.split('\t').map(|s| s.to_string()).collect())
+        .collect();
+    if header.len() < 2 || rows.is_empty() {
+        return (Vec::new(), Vec::new());
+    }
+    let x_labels: Vec<String> = rows.iter().map(|r| r[0].clone()).collect();
+    let mut series = Vec::new();
+    for col in 1..header.len() {
+        let mut points = Vec::new();
+        for (i, row) in rows.iter().enumerate() {
+            if let Some(cell) = row.get(col) {
+                if let Ok(v) = cell.parse::<f64>() {
+                    if v.is_finite() {
+                        points.push((i, v));
+                    }
+                }
+            }
+        }
+        if !points.is_empty() {
+            series.push(Series {
+                name: header[col].clone(),
+                points,
+            });
+        }
+    }
+    (x_labels, series)
+}
+
+/// Renders the table as an SVG log-y line chart. Returns `None` when
+/// the table has no positive numeric series (nothing to plot on a log
+/// axis).
+pub fn to_svg(table: &Table) -> Option<String> {
+    let (x_labels, series) = extract_series(table);
+    if x_labels.len() < 2 || series.is_empty() {
+        return None;
+    }
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for s in &series {
+        for &(_, v) in &s.points {
+            if v > 0.0 {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+        }
+    }
+    if !lo.is_finite() || !hi.is_finite() {
+        return None;
+    }
+    let (log_lo, log_hi) = (lo.log10().floor(), hi.log10().ceil().max(lo.log10().floor() + 1.0));
+
+    let plot_w = WIDTH - MARGIN_L - MARGIN_R;
+    let plot_h = HEIGHT - MARGIN_T - MARGIN_B;
+    let x_of = |i: usize| MARGIN_L + plot_w * i as f64 / (x_labels.len() - 1) as f64;
+    let y_of = |v: f64| {
+        let t = (v.log10() - log_lo) / (log_hi - log_lo);
+        MARGIN_T + plot_h * (1.0 - t)
+    };
+
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" font-family="sans-serif" font-size="12">"#
+    );
+    let _ = writeln!(
+        svg,
+        r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"#
+    );
+    let title = xml_escape(table.title());
+    let _ = writeln!(
+        svg,
+        r#"<text x="{}" y="24" font-size="13" font-weight="bold">{title}</text>"#,
+        MARGIN_L
+    );
+
+    // Log-decade gridlines + y labels.
+    let mut decade = log_lo as i64;
+    while decade as f64 <= log_hi {
+        let y = y_of(10f64.powi(decade as i32));
+        let _ = writeln!(
+            svg,
+            r##"<line x1="{MARGIN_L}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="#ddd"/>"##,
+            MARGIN_L + plot_w
+        );
+        let _ = writeln!(
+            svg,
+            r##"<text x="{:.1}" y="{:.1}" text-anchor="end" fill="#555">1e{decade}</text>"##,
+            MARGIN_L - 8.0,
+            y + 4.0
+        );
+        decade += 1;
+    }
+    // X labels.
+    for (i, label) in x_labels.iter().enumerate() {
+        let x = x_of(i);
+        let _ = writeln!(
+            svg,
+            r##"<text x="{x:.1}" y="{:.1}" text-anchor="middle" fill="#555">{}</text>"##,
+            MARGIN_T + plot_h + 20.0,
+            xml_escape(label)
+        );
+    }
+    // Axes.
+    let _ = writeln!(
+        svg,
+        r##"<line x1="{MARGIN_L}" y1="{MARGIN_T}" x2="{MARGIN_L}" y2="{:.1}" stroke="#333"/>"##,
+        MARGIN_T + plot_h
+    );
+    let _ = writeln!(
+        svg,
+        r##"<line x1="{MARGIN_L}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="#333"/>"##,
+        MARGIN_T + plot_h,
+        MARGIN_L + plot_w,
+        MARGIN_T + plot_h
+    );
+
+    // Series polylines + legend.
+    for (si, s) in series.iter().enumerate() {
+        let color = COLORS[si % COLORS.len()];
+        let pts: Vec<String> = s
+            .points
+            .iter()
+            .filter(|(_, v)| *v > 0.0)
+            .map(|&(i, v)| format!("{:.1},{:.1}", x_of(i), y_of(v)))
+            .collect();
+        if pts.len() >= 2 {
+            let _ = writeln!(
+                svg,
+                r#"<polyline fill="none" stroke="{color}" stroke-width="2" points="{}"/>"#,
+                pts.join(" ")
+            );
+        }
+        for p in &pts {
+            let mut it = p.split(',');
+            let (x, y) = (it.next().unwrap_or("0"), it.next().unwrap_or("0"));
+            let _ = writeln!(svg, r#"<circle cx="{x}" cy="{y}" r="3" fill="{color}"/>"#);
+        }
+        let ly = MARGIN_T + 16.0 * si as f64;
+        let lx = MARGIN_L + plot_w + 14.0;
+        let _ = writeln!(
+            svg,
+            r#"<rect x="{lx:.1}" y="{:.1}" width="10" height="10" fill="{color}"/>"#,
+            ly - 9.0
+        );
+        let _ = writeln!(
+            svg,
+            r#"<text x="{:.1}" y="{ly:.1}">{}</text>"#,
+            lx + 16.0,
+            xml_escape(&s.name)
+        );
+    }
+    svg.push_str("</svg>\n");
+    Some(svg)
+}
+
+/// Writes the chart to `dir/<name>.svg` (no-op when unplottable).
+pub fn save_svg(table: &Table, dir: &Path, name: &str) -> io::Result<Option<PathBuf>> {
+    let Some(svg) = to_svg(table) else {
+        return Ok(None);
+    };
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.svg"));
+    fs::write(&path, svg)?;
+    Ok(Some(path))
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> Table {
+        let mut t = Table::new("Fig X — time", &["eps", "QUAD", "KARL"]);
+        t.push_row(vec!["0.01".into(), "0.5".into(), "5.0".into()]);
+        t.push_row(vec!["0.02".into(), "0.3".into(), "3.0".into()]);
+        t.push_row(vec!["0.05".into(), "0.1".into(), ">10".into()]);
+        t
+    }
+
+    #[test]
+    fn renders_polylines_and_legend() {
+        let svg = to_svg(&sample_table()).expect("plottable");
+        assert!(svg.starts_with("<svg"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains("QUAD") && svg.contains("KARL"));
+        // Censored cell skipped: KARL polyline has 2 points only.
+        assert!(svg.contains("Fig X"));
+    }
+
+    #[test]
+    fn censored_only_series_is_dropped() {
+        let mut t = Table::new("t", &["x", "dead"]);
+        t.push_row(vec!["1".into(), ">10".into()]);
+        t.push_row(vec!["2".into(), ">10".into()]);
+        assert!(to_svg(&t).is_none());
+    }
+
+    #[test]
+    fn single_row_is_unplottable() {
+        let mut t = Table::new("t", &["x", "y"]);
+        t.push_row(vec!["1".into(), "2.0".into()]);
+        assert!(to_svg(&t).is_none());
+    }
+
+    #[test]
+    fn escapes_xml_in_titles() {
+        let mut t = Table::new("a < b & c", &["x", "y"]);
+        t.push_row(vec!["1".into(), "2.0".into()]);
+        t.push_row(vec!["2".into(), "3.0".into()]);
+        let svg = to_svg(&t).expect("plottable");
+        assert!(svg.contains("a &lt; b &amp; c"));
+    }
+
+    #[test]
+    fn save_writes_file() {
+        let dir = std::env::temp_dir().join("kdv_plot_test");
+        let path = save_svg(&sample_table(), &dir, "figx")
+            .expect("io")
+            .expect("plottable");
+        assert!(path.exists());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,146 @@
+//! Tabular output: aligned stdout rendering plus TSV files that plot
+//! directly with gnuplot/matplotlib.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A simple column-aligned table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (stringified cells).
+    ///
+    /// # Panics
+    /// Panics if the arity differs from the header.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Renders aligned text for stdout.
+    pub fn to_text(&self) -> String {
+        // Column widths in characters, not bytes — headers like "ε" are
+        // multi-byte UTF-8 and `format!` pads by character count.
+        let chars = |s: &String| s.chars().count();
+        let mut widths: Vec<usize> = self.header.iter().map(chars).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(chars(c));
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders TSV (header line prefixed with `#`).
+    pub fn to_tsv(&self) -> String {
+        let mut out = format!("# {}\n# {}\n", self.title, self.header.join("\t"));
+        for row in &self.rows {
+            out.push_str(&row.join("\t"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the TSV rendering to `dir/<name>.tsv`.
+    pub fn save_tsv(&self, dir: &Path, name: &str) -> io::Result<PathBuf> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{name}.tsv"));
+        fs::write(&path, self.to_tsv())?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("Fig X", &["ε", "QUAD", "KARL"]);
+        t.push_row(vec!["0.01".into(), "1.5".into(), "12.0".into()]);
+        t.push_row(vec!["0.05".into(), "0.9".into(), "7.25".into()]);
+        t
+    }
+
+    #[test]
+    fn text_is_aligned() {
+        let text = sample().to_text();
+        assert!(text.contains("== Fig X =="));
+        let lines: Vec<&str> = text.lines().collect();
+        // Header and data lines have equal display width (chars, since
+        // the header contains multi-byte "ε").
+        assert_eq!(lines[1].chars().count(), lines[3].chars().count());
+    }
+
+    #[test]
+    fn tsv_has_commented_header() {
+        let tsv = sample().to_tsv();
+        let mut lines = tsv.lines();
+        assert!(lines.next().expect("title").starts_with("# Fig X"));
+        assert_eq!(lines.next().expect("header"), "# ε\tQUAD\tKARL");
+        assert_eq!(lines.next().expect("row"), "0.01\t1.5\t12.0");
+    }
+
+    #[test]
+    fn save_roundtrip() {
+        let dir = std::env::temp_dir().join("kdv_report_test");
+        let path = sample().save_tsv(&dir, "figx").expect("save");
+        let text = std::fs::read_to_string(&path).expect("read");
+        assert!(text.contains("0.05\t0.9\t7.25"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.push_row(vec!["1".into()]);
+    }
+}

@@ -1,0 +1,473 @@
+//! Subcommand implementations.
+
+use crate::args::Args;
+use kdv_core::bandwidth::{scott_gamma_for, Bandwidth};
+use kdv_core::bounds::BoundFamily;
+use kdv_core::engine::RefineEvaluator;
+use kdv_core::kernel::{Kernel, KernelType};
+use kdv_core::raster::RasterSpec;
+use kdv_core::threshold::estimate_levels;
+use kdv_data::{csv, Dataset};
+use kdv_geom::PointSet;
+use kdv_index::KdTree;
+use kdv_sampling::{sample_size_for, zorder_sample};
+use kdv_viz::colormap::{render_binary, ColorMap};
+use kdv_viz::render::{render_eps, render_eps_progressive, render_tau};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// Loaded, weight-normalized input plus derived parameters.
+struct Input {
+    points: PointSet,
+    kernel: Kernel,
+    bandwidth: Bandwidth,
+}
+
+fn kernel_type(name: &str) -> Result<KernelType, String> {
+    Ok(match name {
+        "gaussian" => KernelType::Gaussian,
+        "triangular" => KernelType::Triangular,
+        "cosine" => KernelType::Cosine,
+        "exponential" => KernelType::Exponential,
+        "epanechnikov" => KernelType::Epanechnikov,
+        "quartic" => KernelType::Quartic,
+        other => return Err(format!("unknown kernel {other:?}")),
+    })
+}
+
+fn load_input(args: &Args) -> Result<Input, String> {
+    let [path] = args.positional() else {
+        return Err("expected exactly one input CSV path".into());
+    };
+    let has_weights = args.has("weights");
+    let points = csv::load(Path::new(path), 2, has_weights).map_err(|e| e.to_string())?;
+    if points.is_empty() {
+        return Err("input contains no points".into());
+    }
+    let ty = kernel_type(args.get("kernel").unwrap_or("gaussian"))?;
+    let bandwidth = scott_gamma_for(&points, ty);
+    let gamma = args.get_parsed("gamma", bandwidth.gamma)?;
+    if !(gamma.is_finite() && gamma > 0.0) {
+        return Err("--gamma must be positive".into());
+    }
+    let mut points = points;
+    if !has_weights {
+        points.scale_weights(bandwidth.weight);
+    }
+    Ok(Input {
+        points,
+        kernel: Kernel::new(ty, gamma),
+        bandwidth,
+    })
+}
+
+fn raster_for(args: &Args, points: &PointSet) -> Result<RasterSpec, String> {
+    let width = args.get_parsed("width", 640u32)?;
+    let height = args.get_parsed("height", 480u32)?;
+    if width == 0 || height == 0 {
+        return Err("--width/--height must be positive".into());
+    }
+    Ok(RasterSpec::covering(points, width, height, 0.03))
+}
+
+fn out_path(args: &Args, default: &str) -> PathBuf {
+    PathBuf::from(args.get("out").unwrap_or(default))
+}
+
+/// Writes an image as PNG or PPM depending on the path extension.
+fn save_image(img: &kdv_viz::RgbImage, path: &Path) -> Result<(), String> {
+    let is_png = path
+        .extension()
+        .is_some_and(|e| e.eq_ignore_ascii_case("png"));
+    if is_png {
+        kdv_viz::png::save_png(img, path).map_err(|e| e.to_string())
+    } else {
+        img.save_ppm(path).map_err(|e| e.to_string())
+    }
+}
+
+/// `kdv render` — εKDV heat map.
+pub fn render(args: &Args) -> Result<(), String> {
+    if args.has("help") {
+        println!(
+            "kdv render <points.csv> [--out map.ppm] [--eps 0.01] [--width 640] [--height 480]\n\
+             \x20          [--kernel gaussian|triangular|cosine|exponential|epanechnikov|quartic]\n\
+             \x20          [--gamma G] [--weights] [--grayscale]"
+        );
+        return Ok(());
+    }
+    let input = load_input(args)?;
+    let eps: f64 = args.get_parsed("eps", 0.01)?;
+    if !(eps.is_finite() && eps > 0.0) {
+        return Err("--eps must be positive".into());
+    }
+    let raster = raster_for(args, &input.points)?;
+    let tree = KdTree::build_default(&input.points);
+    let mut ev = RefineEvaluator::new(&tree, input.kernel, BoundFamily::Quadratic);
+    let t0 = Instant::now();
+    let grid = render_eps(&mut ev, &raster, eps);
+    let elapsed = t0.elapsed();
+    let cm = if args.has("grayscale") {
+        ColorMap::grayscale()
+    } else {
+        ColorMap::heat()
+    };
+    let out = out_path(args, "map.ppm");
+    save_image(&cm.render(&grid, true), &out)?;
+    let (lo, hi) = grid.min_max().unwrap_or((0.0, 0.0));
+    println!(
+        "rendered {}x{} εKDV (ε = {eps}) over {} points in {elapsed:.2?}\n\
+         density ∈ [{lo:.3e}, {hi:.3e}] → {}",
+        raster.width(),
+        raster.height(),
+        input.points.len(),
+        out.display()
+    );
+    Ok(())
+}
+
+/// `kdv hotspot` — τKDV two-color map.
+pub fn hotspot(args: &Args) -> Result<(), String> {
+    if args.has("help") {
+        println!(
+            "kdv hotspot <points.csv> [--out hot.ppm] [--tau T | --tau-sigma K] [--tiled]\n\
+             \x20           [--width 640] [--height 480] [--kernel ...] [--gamma G] [--weights]"
+        );
+        return Ok(());
+    }
+    let input = load_input(args)?;
+    let raster = raster_for(args, &input.points)?;
+    let tree = KdTree::build_default(&input.points);
+    let tau = match args.get("tau") {
+        Some(v) => v
+            .parse::<f64>()
+            .map_err(|_| format!("--tau: cannot parse {v:?}"))?,
+        None => {
+            let k = args.get_parsed("tau-sigma", 0.1)?;
+            let levels = estimate_levels(&tree, input.kernel, &raster, 48, 36);
+            println!(
+                "pixel densities: µ = {:.4e}, σ = {:.4e} → τ = µ + {k}σ = {:.4e}",
+                levels.mu,
+                levels.sigma,
+                levels.tau(k)
+            );
+            levels.tau(k)
+        }
+    };
+    let t0 = Instant::now();
+    let mask = if args.has("tiled") {
+        let (mask, stats) = kdv_viz::tiles::render_tau_tiled(
+            &tree,
+            input.kernel,
+            BoundFamily::Quadratic,
+            &raster,
+            tau,
+        );
+        println!(
+            "tile pruning: {} tiles decided {} pixels wholesale, {} per-pixel",
+            stats.tiles_decided, stats.pixels_via_tiles, stats.pixels_via_engine
+        );
+        mask
+    } else {
+        let mut ev = RefineEvaluator::new(&tree, input.kernel, BoundFamily::Quadratic);
+        render_tau(&mut ev, &raster, tau)
+    };
+    let elapsed = t0.elapsed();
+    let out = out_path(args, "hotspot.ppm");
+    save_image(&render_binary(&mask), &out)?;
+    println!(
+        "τKDV in {elapsed:.2?}: {} of {} pixels hot → {}",
+        mask.count_hot(),
+        raster.num_pixels(),
+        out.display()
+    );
+    Ok(())
+}
+
+/// `kdv progressive` — §6 time-budgeted render.
+pub fn progressive(args: &Args) -> Result<(), String> {
+    if args.has("help") {
+        println!(
+            "kdv progressive <points.csv> [--out quick.ppm] [--budget-ms 500] [--eps 0.01]\n\
+             \x20               [--width 640] [--height 480] [--kernel ...] [--weights]"
+        );
+        return Ok(());
+    }
+    let input = load_input(args)?;
+    let eps: f64 = args.get_parsed("eps", 0.01)?;
+    let budget_ms = args.get_parsed("budget-ms", 500u64)?;
+    let raster = raster_for(args, &input.points)?;
+    let tree = KdTree::build_default(&input.points);
+    let mut ev = RefineEvaluator::new(&tree, input.kernel, BoundFamily::Quadratic);
+    let out = render_eps_progressive(
+        &mut ev,
+        &raster,
+        eps,
+        Some(Duration::from_millis(budget_ms)),
+    );
+    let path = out_path(args, "progressive.ppm");
+    save_image(&ColorMap::heat().render(&out.grid, true), &path)?;
+    println!(
+        "progressive render: {} of {} pixels in ≤ {budget_ms} ms ({}) → {}",
+        out.evaluated,
+        raster.num_pixels(),
+        if out.complete { "complete" } else { "partial, fully painted" },
+        path.display()
+    );
+    Ok(())
+}
+
+/// `kdv sample` — Z-order coreset.
+pub fn sample(args: &Args) -> Result<(), String> {
+    if args.has("help") {
+        println!(
+            "kdv sample <points.csv> [--out coreset.csv] [--eps 0.02] [--delta 0.2]\n\
+             \x20          [--size N] [--weights]"
+        );
+        return Ok(());
+    }
+    let [path] = args.positional() else {
+        return Err("expected exactly one input CSV path".into());
+    };
+    let has_weights = args.has("weights");
+    let points = csv::load(Path::new(path), 2, has_weights).map_err(|e| e.to_string())?;
+    if points.is_empty() {
+        return Err("input contains no points".into());
+    }
+    let size = match args.get("size") {
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| format!("--size: cannot parse {v:?}"))?,
+        None => {
+            let eps = args.get_parsed("eps", 0.02)?;
+            let delta = args.get_parsed("delta", 0.2)?;
+            sample_size_for(eps, delta)
+        }
+    };
+    let coreset = zorder_sample(&points, size, 0.5);
+    let out = out_path(args, "coreset.csv");
+    csv::save(&out, &coreset, true).map_err(|e| e.to_string())?;
+    println!(
+        "coreset: {} of {} points (weights rescaled) → {}",
+        coreset.len(),
+        points.len(),
+        out.display()
+    );
+    Ok(())
+}
+
+/// `kdv stats` — dataset summary and recommended parameters.
+pub fn stats(args: &Args) -> Result<(), String> {
+    if args.has("help") {
+        println!("kdv stats <points.csv> [--weights] [--kernel ...]");
+        return Ok(());
+    }
+    let input = load_input(args)?;
+    let ps = &input.points;
+    let mbr = kdv_geom::Mbr::of_set(ps).expect("non-empty");
+    let mean = ps.mean().expect("non-empty");
+    let std = ps.std_dev().expect("non-empty");
+    println!("points:        {}", ps.len());
+    println!("total weight:  {:.6}", ps.total_weight());
+    println!(
+        "x:             [{:.6}, {:.6}]  mean {:.6}  σ {:.6}",
+        mbr.lo()[0],
+        mbr.hi()[0],
+        mean[0],
+        std[0]
+    );
+    println!(
+        "y:             [{:.6}, {:.6}]  mean {:.6}  σ {:.6}",
+        mbr.lo()[1],
+        mbr.hi()[1],
+        mean[1],
+        std[1]
+    );
+    println!("Scott h:       {:.6}", input.bandwidth.h);
+    println!(
+        "recommended:   --kernel {} --gamma {:.6}",
+        input.kernel.ty.name(),
+        input.kernel.gamma
+    );
+    let tree = KdTree::build_default(ps);
+    println!(
+        "kd-tree:       {} nodes, {} leaves, depth {}",
+        tree.num_nodes(),
+        tree.num_leaves(),
+        tree.depth()
+    );
+    Ok(())
+}
+
+/// `kdv synth` — emulated benchmark dataset.
+pub fn synth(args: &Args) -> Result<(), String> {
+    if args.has("help") {
+        println!(
+            "kdv synth --dataset elnino|crime|home|hep [--n 100000] [--seed 42] [--out data.csv]"
+        );
+        return Ok(());
+    }
+    let name: String = args.require("dataset")?;
+    let ds = match name.as_str() {
+        "elnino" | "el_nino" => Dataset::ElNino,
+        "crime" => Dataset::Crime,
+        "home" => Dataset::Home,
+        "hep" => Dataset::Hep,
+        other => return Err(format!("unknown dataset {other:?}")),
+    };
+    let n = args.get_parsed("n", 100_000usize)?;
+    let seed = args.get_parsed("seed", 42u64)?;
+    if n == 0 {
+        return Err("--n must be positive".into());
+    }
+    let points = ds.generate(n, seed);
+    let out = out_path(args, "data.csv");
+    csv::save(&out, &points, false).map_err(|e| e.to_string())?;
+    println!("wrote {} {} points → {}", n, ds.name(), out.display());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(items: &[&str]) -> Args {
+        let raw: Vec<String> = items.iter().map(|s| s.to_string()).collect();
+        Args::parse(&raw).expect("parse")
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("kdv_cli_test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        dir.join(name)
+    }
+
+    #[test]
+    fn synth_then_render_roundtrip() {
+        let csv_path = tmp("synth.csv");
+        let map_path = tmp("synth.ppm");
+        synth(&args(&[
+            "--dataset",
+            "crime",
+            "--n",
+            "800",
+            "--out",
+            csv_path.to_str().expect("utf8"),
+        ]))
+        .expect("synth");
+        assert!(csv_path.exists());
+
+        render(&args(&[
+            csv_path.to_str().expect("utf8"),
+            "--out",
+            map_path.to_str().expect("utf8"),
+            "--width",
+            "32",
+            "--height",
+            "24",
+            "--eps",
+            "0.05",
+        ]))
+        .expect("render");
+        let bytes = std::fs::read(&map_path).expect("read ppm");
+        assert!(bytes.starts_with(b"P6\n32 24\n255\n"));
+
+        // PNG output selected by extension.
+        let png_path = tmp("synth.png");
+        render(&args(&[
+            csv_path.to_str().expect("utf8"),
+            "--out",
+            png_path.to_str().expect("utf8"),
+            "--width",
+            "16",
+            "--height",
+            "12",
+            "--eps",
+            "0.05",
+        ]))
+        .expect("render png");
+        let bytes = std::fs::read(&png_path).expect("read png");
+        assert!(bytes.starts_with(b"\x89PNG\r\n\x1a\n"));
+    }
+
+    #[test]
+    fn hotspot_and_progressive_and_sample_and_stats() {
+        let csv_path = tmp("all.csv");
+        synth(&args(&[
+            "--dataset",
+            "home",
+            "--n",
+            "600",
+            "--out",
+            csv_path.to_str().expect("utf8"),
+        ]))
+        .expect("synth");
+        let p = csv_path.to_str().expect("utf8");
+
+        let hot = tmp("hot.ppm");
+        hotspot(&args(&[
+            p,
+            "--out",
+            hot.to_str().expect("utf8"),
+            "--width",
+            "16",
+            "--height",
+            "12",
+            "--tau-sigma",
+            "0.1",
+        ]))
+        .expect("hotspot");
+        assert!(hot.exists());
+
+        let prog = tmp("prog.ppm");
+        progressive(&args(&[
+            p,
+            "--out",
+            prog.to_str().expect("utf8"),
+            "--width",
+            "16",
+            "--height",
+            "12",
+            "--budget-ms",
+            "50",
+        ]))
+        .expect("progressive");
+        assert!(prog.exists());
+
+        let core = tmp("core.csv");
+        sample(&args(&[
+            p,
+            "--out",
+            core.to_str().expect("utf8"),
+            "--size",
+            "100",
+        ]))
+        .expect("sample");
+        let coreset = csv::load(&core, 2, true).expect("load coreset");
+        assert_eq!(coreset.len(), 100);
+        assert!((coreset.total_weight() - 600.0).abs() < 1e-6);
+
+        stats(&args(&[p])).expect("stats");
+    }
+
+    #[test]
+    fn render_rejects_bad_eps_and_kernel() {
+        let csv_path = tmp("bad.csv");
+        std::fs::write(&csv_path, "0.0,0.0\n1.0,1.0\n").expect("write");
+        let p = csv_path.to_str().expect("utf8");
+        assert!(render(&args(&[p, "--eps", "-1"])).is_err());
+        assert!(render(&args(&[p, "--kernel", "nope"])).is_err());
+    }
+
+    #[test]
+    fn missing_input_is_reported() {
+        assert!(render(&args(&["/nonexistent/definitely.csv"])).is_err());
+        assert!(render(&args(&[])).is_err());
+    }
+
+    #[test]
+    fn synth_requires_dataset() {
+        assert!(synth(&args(&["--n", "10"])).is_err());
+        assert!(synth(&args(&["--dataset", "mars"])).is_err());
+    }
+}

@@ -1,0 +1,78 @@
+//! `kdv` — command-line kernel density visualization.
+//!
+//! ```text
+//! kdv synth --dataset crime --n 100000 --out crime.csv
+//! kdv stats crime.csv
+//! kdv render crime.csv --out map.ppm --eps 0.01 --width 640 --height 480
+//! kdv hotspot crime.csv --out hot.ppm --tau-sigma 0.1
+//! kdv progressive crime.csv --out quick.ppm --budget-ms 500
+//! kdv sample crime.csv --out coreset.csv --eps 0.02 --delta 0.2
+//! ```
+//!
+//! All subcommands read 2-D CSV points (`x,y` per line, optional third
+//! weight column with `--weights`); rendering uses QUAD's quadratic
+//! bounds with Scott's-rule parameters unless overridden.
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "kdv — QUAD-accelerated kernel density visualization
+
+usage: kdv <command> [args]
+
+commands:
+  render       εKDV heat map from CSV points (PPM out)
+  hotspot      τKDV two-color hotspot map (PPM out)
+  progressive  time-budgeted coarse-to-fine render (PPM out)
+  sample       Z-order (ε, δ) coreset extraction (CSV out)
+  stats        dataset statistics and recommended parameters
+  synth        generate an emulated benchmark dataset (CSV out)
+
+run `kdv <command> --help` for flags
+"
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = raw.first() else {
+        eprint!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let rest = &raw[1..];
+    let parsed = match args::Args::parse(rest) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "render" => commands::render(&parsed),
+        "hotspot" => commands::hotspot(&parsed),
+        "progressive" => commands::progressive(&parsed),
+        "sample" => commands::sample(&parsed),
+        "stats" => commands::stats(&parsed),
+        "synth" => commands::synth(&parsed),
+        "--help" | "-h" | "help" => {
+            print!("{}", usage());
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown command {other:?}\n\n{}", usage())),
+    };
+    match result {
+        Ok(()) => {
+            let unknown = parsed.unknown_flags();
+            if !unknown.is_empty() {
+                eprintln!("warning: unused flags: --{}", unknown.join(", --"));
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

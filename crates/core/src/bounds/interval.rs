@@ -1,0 +1,68 @@
+//! Interval (min/max-distance) bounds — the aKDE \[17\] / tKDC \[13\]
+//! family, and the fallback every tighter family intersects with.
+//!
+//! For a node `R` with total weight `W` and transformed distance
+//! interval `[x_min, x_max]`, any non-increasing profile `k` gives
+//!
+//! `W·k(x_max) ≤ F_R(q) ≤ W·k(x_min)`
+//!
+//! (paper Eqs. 5–6 for the triangular kernel; identical shape for all).
+
+use super::Interval;
+use crate::kernel::Kernel;
+
+/// Interval bounds for the Gaussian profile (`x = γ·dist²`).
+#[inline]
+pub fn gaussian(weight: f64, x_min: f64, x_max: f64) -> Interval {
+    Interval {
+        lb: weight * (-x_max).exp(),
+        ub: weight * (-x_min).exp(),
+    }
+}
+
+/// Interval bounds for any distance kernel (`x = γ·dist`), using the
+/// kernel's own profile.
+#[inline]
+pub fn distance(kernel: &Kernel, weight: f64, x_min: f64, x_max: f64) -> Interval {
+    Interval {
+        lb: weight * kernel.profile(x_max),
+        ub: weight * kernel.profile(x_min),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KernelType;
+
+    #[test]
+    fn gaussian_interval_brackets_point_mass() {
+        // A node that is a single unit-weight point at distance² = 1/γ·x.
+        let b = gaussian(1.0, 0.5, 2.0);
+        let f = (-1.0f64).exp(); // true value for x = 1 ∈ [0.5, 2]
+        assert!(b.lb <= f && f <= b.ub);
+    }
+
+    #[test]
+    fn triangular_interval_matches_eqs_5_and_6() {
+        let k = Kernel::new(KernelType::Triangular, 1.0);
+        let b = distance(&k, 3.0, 0.25, 0.75);
+        assert!((b.lb - 3.0 * 0.25).abs() < 1e-12); // W·max(1 − 0.75, 0)
+        assert!((b.ub - 3.0 * 0.75).abs() < 1e-12); // W·max(1 − 0.25, 0)
+    }
+
+    #[test]
+    fn zero_support_region_gives_zero_bounds() {
+        let k = Kernel::new(KernelType::Triangular, 1.0);
+        let b = distance(&k, 5.0, 2.0, 3.0);
+        assert_eq!(b.lb, 0.0);
+        assert_eq!(b.ub, 0.0);
+    }
+
+    #[test]
+    fn degenerate_interval_is_exact() {
+        let k = Kernel::new(KernelType::Exponential, 1.0);
+        let b = distance(&k, 2.0, 1.0, 1.0);
+        assert!((b.lb - b.ub).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,98 @@
+//! KARL's linear bounds for the Gaussian kernel (paper §3.3, ref \[7\]).
+//!
+//! With `xᵢ = γ·dist(q, pᵢ)²` and a linear scalar bound `L(x) = m·x + k`
+//! on `exp(−x)` over `[x_min, x_max]`, the aggregate
+//!
+//! `FL_P(q) = Σ wᵢ·L(xᵢ) = m·γ·Σ wᵢ dist(q, pᵢ)² + k·W`
+//!
+//! is computable in `O(d)` via the second-moment identity (Lemma 1).
+//! The upper bound uses the chord through the interval endpoints; the
+//! lower bound uses the tangent at the weighted mean argument
+//! `t* = γ·Σ wᵢ dist²/W` (Eq. 3), where it collapses to the Jensen
+//! bound `W·e^{−t*}`.
+
+use super::Interval;
+use crate::kernel::gaussian;
+
+/// Linear (KARL) bounds on `F_R(q)` for the Gaussian kernel.
+///
+/// * `w` — total node weight `W`,
+/// * `sx` — `Σ wᵢ xᵢ = γ·Σ wᵢ dist(q, pᵢ)²` (the caller computes it via
+///   the node moments),
+/// * `x_min`/`x_max` — γ-scaled squared-distance interval to the node
+///   MBR.
+///
+/// Degenerate intervals return an unbounded pair that the caller's
+/// [`Interval::refined_with`] against the interval bounds resolves.
+pub fn gaussian(w: f64, sx: f64, x_min: f64, x_max: f64) -> Interval {
+    // Clamp Σ wᵢ xᵢ into its mathematically valid range to shrug off
+    // floating-point cancellation in the moment identity.
+    let sx = sx.clamp(w * x_min, w * x_max);
+
+    let ub = match gaussian::linear_upper(x_min, x_max) {
+        Some(chord) => chord.m * sx + chord.k * w,
+        None => f64::INFINITY,
+    };
+
+    // Tangent at the mean argument: Σ wᵢ·(e^{−t}(1 + t − xᵢ)) = W·e^{−t}
+    // when t = (Σ wᵢ xᵢ)/W.
+    let t = sx / w;
+    let lb = w * (-t).exp();
+
+    Interval { lb, ub }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdv_geom::vecmath::dist2;
+    use kdv_geom::{Mbr, PointSet};
+    use kdv_index::NodeStats;
+    use proptest::prelude::*;
+
+    fn stats_of(ps: &PointSet) -> NodeStats {
+        let mut s = NodeStats::zero(ps.dim());
+        for p in ps.iter() {
+            s.accumulate(p.coords, p.weight);
+        }
+        s
+    }
+
+    fn exact_gaussian(ps: &PointSet, q: &[f64], gamma: f64) -> f64 {
+        ps.iter()
+            .map(|p| p.weight * (-gamma * dist2(q, p.coords)).exp())
+            .sum()
+    }
+
+    #[test]
+    fn jensen_lower_bound_single_point() {
+        // One point at distance² = 4, γ = 0.5 → F = e^{−2}; the tangent
+        // at the mean is exact for a single point.
+        let ps = PointSet::from_rows(2, &[2.0, 0.0]);
+        let s = stats_of(&ps);
+        let sx = 0.5 * s.sum_dist2(&[0.0, 0.0]);
+        let b = gaussian(s.weight, sx, 2.0, 2.0 + 1e-13);
+        assert!((b.lb - (-2.0f64).exp()).abs() < 1e-9);
+    }
+
+    proptest! {
+        /// KARL correctness: lb ≤ F ≤ ub for random nodes and queries.
+        #[test]
+        fn linear_bounds_bracket_exact(
+            flat in proptest::collection::vec(-10.0..10.0f64, 2..40),
+            q in proptest::collection::vec(-12.0..12.0f64, 2),
+            gamma in 0.01..2.0f64,
+        ) {
+            let n = flat.len() / 2 * 2;
+            let ps = PointSet::from_rows(2, &flat[..n]);
+            let s = stats_of(&ps);
+            let mbr = Mbr::of_set(&ps).unwrap();
+            let x_min = gamma * mbr.min_dist2(&q);
+            let x_max = gamma * mbr.max_dist2(&q);
+            let b = gaussian(s.weight, gamma * s.sum_dist2(&q), x_min, x_max);
+            let f = exact_gaussian(&ps, &q, gamma);
+            prop_assert!(b.lb <= f * (1.0 + 1e-9) + 1e-12, "lb {} > F {}", b.lb, f);
+            prop_assert!(f <= b.ub * (1.0 + 1e-9) + 1e-12, "F {} > ub {}", f, b.ub);
+        }
+    }
+}

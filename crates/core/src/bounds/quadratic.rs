@@ -1,0 +1,127 @@
+//! QUAD's quadratic bounds for the Gaussian kernel (paper §4).
+//!
+//! With `xᵢ = γ·dist(q, pᵢ)²` and a quadratic scalar bound
+//! `Q(x) = a·x² + b·x + c` on `exp(−x)` over `[x_min, x_max]`, the
+//! aggregate of Eq. 2
+//!
+//! `FQ_P(q) = a·γ²·Σ wᵢ dist⁴ + b·γ·Σ wᵢ dist² + c·W`
+//!
+//! is computable in `O(d²)` via the fourth-moment identity of Lemma 3.
+//! The upper bound is the endpoint-interpolating parabola with Theorem
+//! 1's optimal curvature `a*_u`; the lower bound is tangent at the mean
+//! argument `t*` (Eq. 3) and interpolates `(x_max, e^{−x_max})` (§4.3).
+
+use super::Interval;
+use crate::kernel::gaussian;
+
+/// Quadratic (QUAD) bounds on `F_R(q)` for the Gaussian kernel.
+///
+/// * `w` — total node weight `W`,
+/// * `sx` — `Σ wᵢ xᵢ = γ·Σ wᵢ dist²` (second-moment contraction),
+/// * `sx2` — `Σ wᵢ xᵢ² = γ²·Σ wᵢ dist⁴` (Lemma 3's fourth-moment
+///   contraction),
+/// * `x_min`/`x_max` — γ-scaled squared-distance interval to the node
+///   MBR.
+///
+/// Degenerate intervals yield infinite sides that the caller's
+/// [`Interval::refined_with`] against the interval bounds resolves.
+pub fn gaussian(w: f64, sx: f64, sx2: f64, x_min: f64, x_max: f64) -> Interval {
+    let sx = sx.clamp(w * x_min, w * x_max);
+    let sx2 = sx2.clamp(w * x_min * x_min, w * x_max * x_max);
+
+    let ub = match gaussian::quad_upper(x_min, x_max) {
+        Some(qu) => qu.a * sx2 + qu.b * sx + qu.c * w,
+        None => f64::INFINITY,
+    };
+
+    let t = (sx / w).clamp(x_min, x_max);
+    let lb = match gaussian::quad_lower(x_max, t) {
+        Some(ql) => ql.a * sx2 + ql.b * sx + ql.c * w,
+        None => f64::NEG_INFINITY,
+    };
+
+    Interval { lb, ub }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::linear;
+    use kdv_geom::vecmath::dist2;
+    use kdv_geom::{Mbr, PointSet};
+    use kdv_index::NodeStats;
+    use proptest::prelude::*;
+
+    fn stats_of(ps: &PointSet) -> NodeStats {
+        let mut s = NodeStats::zero(ps.dim());
+        for p in ps.iter() {
+            s.accumulate(p.coords, p.weight);
+        }
+        s
+    }
+
+    fn exact_gaussian(ps: &PointSet, q: &[f64], gamma: f64) -> f64 {
+        ps.iter()
+            .map(|p| p.weight * (-gamma * dist2(q, p.coords)).exp())
+            .sum()
+    }
+
+    /// Returns (w, sx, sx2, x_min, x_max, exact F).
+    fn setup(flat: &[f64], q: &[f64], gamma: f64) -> (f64, f64, f64, f64, f64, f64) {
+        let ps = PointSet::from_rows(2, flat);
+        let s = stats_of(&ps);
+        let mbr = Mbr::of_set(&ps).unwrap();
+        let x_min = gamma * mbr.min_dist2(q);
+        let x_max = gamma * mbr.max_dist2(q);
+        let f = exact_gaussian(&ps, q, gamma);
+        let sx = gamma * s.sum_dist2(q);
+        let sx2 = gamma * gamma * s.sum_dist4(q);
+        (s.weight, sx, sx2, x_min, x_max, f)
+    }
+
+    #[test]
+    fn fig18_style_case_brackets_exact() {
+        let flat = [1.0, 1.0, 2.0, 0.5, 1.5, 1.8, 0.2, 0.9];
+        let q = [0.0, 0.0];
+        let (w, sx, sx2, x_min, x_max, f) = setup(&flat, &q, 0.7);
+        let b = gaussian(w, sx, sx2, x_min, x_max);
+        assert!(b.lb <= f && f <= b.ub, "lb {} F {} ub {}", b.lb, f, b.ub);
+        assert!(b.gap() > 0.0);
+    }
+
+    proptest! {
+        /// §4 correctness: QUAD brackets the exact aggregate.
+        #[test]
+        fn quadratic_bounds_bracket_exact(
+            flat in proptest::collection::vec(-10.0..10.0f64, 2..40),
+            q in proptest::collection::vec(-12.0..12.0f64, 2),
+            gamma in 0.01..2.0f64,
+        ) {
+            let n = flat.len() / 2 * 2;
+            let (w, sx, sx2, x_min, x_max, f) = setup(&flat[..n], &q, gamma);
+            let b = gaussian(w, sx, sx2, x_min, x_max);
+            prop_assert!(b.lb <= f * (1.0 + 1e-9) + 1e-12, "lb {} > F {}", b.lb, f);
+            prop_assert!(f <= b.ub * (1.0 + 1e-9) + 1e-12, "F {} > ub {}", f, b.ub);
+        }
+
+        /// The paper's headline tightness claim (§4.2–4.3):
+        /// FL_lb ≤ FQ_lb ≤ F ≤ FQ_ub ≤ FL_ub.
+        #[test]
+        fn quadratic_tighter_than_linear(
+            flat in proptest::collection::vec(-10.0..10.0f64, 4..40),
+            q in proptest::collection::vec(-12.0..12.0f64, 2),
+            gamma in 0.01..2.0f64,
+        ) {
+            let n = flat.len() / 2 * 2;
+            let (w, sx, sx2, x_min, x_max, _f) = setup(&flat[..n], &q, gamma);
+            if x_max - x_min < 1e-9 {
+                return Ok(());
+            }
+            let bq = gaussian(w, sx, sx2, x_min, x_max);
+            let bl = linear::gaussian(w, sx, x_min, x_max);
+            let tol = 1e-9 * (1.0 + bl.ub.abs());
+            prop_assert!(bq.ub <= bl.ub + tol, "QUAD ub {} > KARL ub {}", bq.ub, bl.ub);
+            prop_assert!(bq.lb >= bl.lb - tol, "QUAD lb {} < KARL lb {}", bq.lb, bl.lb);
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! QUAD's restricted-quadratic bounds for distance kernels (paper §5.2,
+//! §9.6) and the polynomial-kernel extensions.
+//!
+//! With `xᵢ = γ·dist(q, pᵢ)` and a restricted quadratic
+//! `Q(x) = a·x² + c`, the aggregate of Eq. 7
+//!
+//! `FQ_P(q) = a·γ²·Σ wᵢ dist(q, pᵢ)² + c·W`
+//!
+//! needs only the `O(d)` second-moment contraction (Lemma 4). The
+//! Epanechnikov/quartic extensions work in `u = x²` space, where the
+//! fourth-moment contraction (`O(d²)`) plays the role of the second —
+//! and where a node fully inside the kernel support is evaluated
+//! **exactly** because the profile itself is polynomial in `u`.
+
+use super::Interval;
+use crate::kernel::{cosine, exponential, extra, triangular, Kernel, KernelType, RQuad};
+use kdv_index::NodeStats;
+
+/// Restricted-quadratic bounds on `F_R(q)` for all distance kernels.
+///
+/// `qt` is the query pre-translated into the node statistics' centered
+/// frame (`q − c`, see [`NodeStats::translate_query`]); `x_min`/`x_max`
+/// are the γ-scaled distance interval to the node MBR. Sides that no
+/// construction covers are ±∞; the caller resolves them against the
+/// interval bounds.
+pub fn bounds(kernel: &Kernel, stats: &NodeStats, qt: &[f64], x_min: f64, x_max: f64) -> Interval {
+    let w = stats.weight;
+    // s2 = Σ wᵢ xᵢ² = γ²·Σ wᵢ dist², clamped to its valid range.
+    let g2 = kernel.gamma * kernel.gamma;
+    let s2 = (g2 * stats.sum_dist2_pre(qt)).clamp(w * x_min * x_min, w * x_max * x_max);
+
+    match kernel.ty {
+        KernelType::Triangular => triangular_bounds(w, s2, x_min, x_max),
+        KernelType::Cosine => cosine_bounds(w, s2, x_min, x_max),
+        KernelType::Exponential => exponential_bounds(w, s2, x_min, x_max),
+        KernelType::Epanechnikov | KernelType::Quartic => {
+            // u-space: uᵢ = xᵢ², Σ wᵢ uᵢ = s2, Σ wᵢ uᵢ² = γ⁴·Σ wᵢ dist⁴.
+            let su1 = s2;
+            let u_min = x_min * x_min;
+            let u_max = x_max * x_max;
+            let su2 =
+                (g2 * g2 * stats.sum_dist4_pre(qt)).clamp(w * u_min * u_min, w * u_max * u_max);
+            if kernel.ty == KernelType::Epanechnikov {
+                epanechnikov_bounds(w, su1, su2, u_min, u_max)
+            } else {
+                quartic_bounds(w, su1, su2, u_min, u_max)
+            }
+        }
+        KernelType::Gaussian => {
+            unreachable!("Gaussian kernel is dispatched to bounds::quadratic")
+        }
+    }
+}
+
+#[inline]
+fn eval_agg(q: RQuad, w: f64, s2: f64) -> f64 {
+    q.a * s2 + q.c * w
+}
+
+fn triangular_bounds(w: f64, s2: f64, x_min: f64, x_max: f64) -> Interval {
+    let ub = match triangular::quad_upper(x_min, x_max) {
+        Some(qu) => eval_agg(qu, w, s2),
+        None => f64::INFINITY,
+    };
+    // Theorem 2's optimal curvature; closed form FQ = W − √(W·s2)
+    // (Lemma 6's derivation), clamped at 0 for the zero region (§5.2.2).
+    let lb = match triangular::optimal_lower_curvature(w, s2)
+        .and_then(triangular::quad_lower)
+    {
+        Some(ql) => eval_agg(ql, w, s2).max(0.0),
+        // s2 ≈ 0: every point sits on q, so F = W exactly.
+        None => w,
+    };
+    Interval { lb, ub }
+}
+
+fn cosine_bounds(w: f64, s2: f64, x_min: f64, x_max: f64) -> Interval {
+    let ub = match cosine::quad_upper(x_min, x_max) {
+        Some(qu) => eval_agg(qu, w, s2),
+        None => f64::INFINITY,
+    };
+    let lb = match cosine::quad_lower(x_max) {
+        Some(ql) => eval_agg(ql, w, s2).max(0.0),
+        None => f64::NEG_INFINITY,
+    };
+    Interval { lb, ub }
+}
+
+fn exponential_bounds(w: f64, s2: f64, x_min: f64, x_max: f64) -> Interval {
+    let ub = match exponential::quad_upper(x_min, x_max) {
+        Some(qu) => eval_agg(qu, w, s2),
+        None => f64::INFINITY,
+    };
+    // Tangent at the RMS argument t* (Eq. 18); valid for any t > 0.
+    let lb = match exponential::optimal_tangent(w, s2).and_then(exponential::quad_lower) {
+        Some(ql) => eval_agg(ql, w, s2).max(0.0),
+        None => w, // all points on q: F = W·e⁰ = W.
+    };
+    Interval { lb, ub }
+}
+
+fn epanechnikov_bounds(w: f64, su1: f64, su2: f64, u_min: f64, u_max: f64) -> Interval {
+    if u_max <= 1.0 {
+        // Node fully inside the support: F = Σ wᵢ (1 − uᵢ) exactly.
+        return Interval::exact((w - su1).max(0.0));
+    }
+    if u_min >= 1.0 {
+        return Interval::ZERO;
+    }
+    // Mixed case: triangular constructions in u-space on the u-moments.
+    let ub = match extra::epanechnikov_upper_u(u_min, u_max) {
+        Some(qu) => qu.a * su2 + qu.c * w,
+        None => f64::INFINITY,
+    };
+    let lb = match triangular::optimal_lower_curvature(w, su2)
+        .and_then(extra::epanechnikov_lower_u)
+    {
+        Some(ql) => (ql.a * su2 + ql.c * w).max(0.0),
+        None => w,
+    };
+    Interval { lb, ub }
+}
+
+fn quartic_bounds(w: f64, su1: f64, su2: f64, u_min: f64, u_max: f64) -> Interval {
+    if u_max <= 1.0 {
+        // F = Σ wᵢ (1 − uᵢ)² = W − 2·Σ wᵢ uᵢ + Σ wᵢ uᵢ² exactly.
+        return Interval::exact((w - 2.0 * su1 + su2).max(0.0));
+    }
+    if u_min >= 1.0 {
+        return Interval::ZERO;
+    }
+    // Mixed case. The profile g(u) = max(1 − u, 0)² is convex in u, so:
+    // upper = chord through the interval endpoints (linear in u),
+    // lower = tangent at the mean ū (aggregates to W·g(ū)).
+    let g = |u: f64| {
+        let t = (1.0 - u).max(0.0);
+        t * t
+    };
+    let span = u_max - u_min;
+    let ub = if span > 1e-12 {
+        let m = (g(u_max) - g(u_min)) / span;
+        let k = g(u_min) - m * u_min;
+        m * su1 + k * w
+    } else {
+        f64::INFINITY
+    };
+    let u_bar = (su1 / w).clamp(u_min, u_max);
+    let lb = if u_bar < 1.0 {
+        // tangent of g at ū: g(ū) + g'(ū)(u − ū); aggregate = W·g(ū).
+        w * g(u_bar)
+    } else {
+        0.0
+    };
+    Interval { lb, ub }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdv_geom::vecmath::dist2;
+    use kdv_geom::{Mbr, PointSet};
+    use proptest::prelude::*;
+
+    fn stats_of(ps: &PointSet) -> NodeStats {
+        let mut s = NodeStats::zero(ps.dim());
+        for p in ps.iter() {
+            s.accumulate(p.coords, p.weight);
+        }
+        s
+    }
+
+    fn exact(kernel: &Kernel, ps: &PointSet, q: &[f64]) -> f64 {
+        ps.iter()
+            .map(|p| p.weight * kernel.eval_dist2(dist2(q, p.coords)))
+            .sum()
+    }
+
+    fn check_brackets(kernel: &Kernel, flat: &[f64], q: &[f64]) -> Result<(), String> {
+        let ps = PointSet::from_rows(2, flat);
+        let s = stats_of(&ps);
+        let mbr = Mbr::of_set(&ps).unwrap();
+        let x_min = kernel.gamma * mbr.min_dist2(q).sqrt();
+        let x_max = kernel.gamma * mbr.max_dist2(q).sqrt();
+        // stats_of centers at the origin, so q̃ = q.
+        let b = bounds(kernel, &s, q, x_min, x_max);
+        let f = exact(kernel, &ps, q);
+        let tol = 1e-9 * (1.0 + f.abs());
+        if b.lb > f + tol {
+            return Err(format!("{:?}: lb {} > F {}", kernel.ty, b.lb, f));
+        }
+        if f > b.ub + tol {
+            return Err(format!("{:?}: F {} > ub {}", kernel.ty, f, b.ub));
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn lemma6_closed_form_for_triangular_lower() {
+        // FQ(q, Q_L) with a*_l equals W − √(W·s2).
+        let (w, s2) = (5.0, 2.0);
+        let b = triangular_bounds(w, s2, 0.1, 0.9);
+        let expect = w - (w * s2).sqrt();
+        assert!((b.lb - expect.max(0.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn triangular_all_points_on_query_is_exact_weight() {
+        let b = triangular_bounds(3.0, 0.0, 0.0, 0.0);
+        assert_eq!(b.lb, 3.0);
+    }
+
+    #[test]
+    fn epanechnikov_inside_support_is_exact() {
+        let k = Kernel::new(KernelType::Epanechnikov, 0.2);
+        let flat = [0.5, 0.5, 1.0, 0.0, 0.0, 1.0];
+        let ps = PointSet::from_rows(2, &flat);
+        let s = stats_of(&ps);
+        let mbr = Mbr::of_set(&ps).unwrap();
+        let q = [0.2, 0.2];
+        let x_min = k.gamma * mbr.min_dist2(&q).sqrt();
+        let x_max = k.gamma * mbr.max_dist2(&q).sqrt();
+        assert!(x_max <= 1.0, "test setup: node inside support");
+        let b = bounds(&k, &s, &q, x_min, x_max);
+        let f = exact(&k, &ps, &q);
+        assert!((b.lb - f).abs() < 1e-9 && (b.ub - f).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quartic_inside_support_is_exact() {
+        let k = Kernel::new(KernelType::Quartic, 0.2);
+        let flat = [0.5, 0.5, 1.0, 0.0];
+        let ps = PointSet::from_rows(2, &flat);
+        let s = stats_of(&ps);
+        let mbr = Mbr::of_set(&ps).unwrap();
+        let q = [0.0, 0.0];
+        let x_min = k.gamma * mbr.min_dist2(&q).sqrt();
+        let x_max = k.gamma * mbr.max_dist2(&q).sqrt();
+        let b = bounds(&k, &s, &q, x_min, x_max);
+        let f = exact(&k, &ps, &q);
+        assert!((b.lb - f).abs() < 1e-9 && (b.ub - f).abs() < 1e-9);
+    }
+
+    proptest! {
+        /// §5.2 / §9.6 correctness across every distance kernel.
+        #[test]
+        fn distance_bounds_bracket_exact(
+            flat in proptest::collection::vec(-5.0..5.0f64, 2..40),
+            q in proptest::collection::vec(-6.0..6.0f64, 2),
+            gamma in 0.05..1.5f64,
+            ty_idx in 0usize..5,
+        ) {
+            let ty = [
+                KernelType::Triangular,
+                KernelType::Cosine,
+                KernelType::Exponential,
+                KernelType::Epanechnikov,
+                KernelType::Quartic,
+            ][ty_idx];
+            let kernel = Kernel::new(ty, gamma);
+            let n = flat.len() / 2 * 2;
+            if let Err(msg) = check_brackets(&kernel, &flat[..n], &q) {
+                return Err(TestCaseError::fail(msg));
+            }
+        }
+
+        /// Lemma 5 + Lemma 6: QUAD's triangular bounds dominate the
+        /// aKDE interval bounds.
+        #[test]
+        fn triangular_tighter_than_interval(
+            flat in proptest::collection::vec(-5.0..5.0f64, 4..40),
+            q in proptest::collection::vec(-6.0..6.0f64, 2),
+            gamma in 0.05..1.5f64,
+        ) {
+            let kernel = Kernel::new(KernelType::Triangular, gamma);
+            let n = flat.len() / 2 * 2;
+            let ps = PointSet::from_rows(2, &flat[..n]);
+            let s = stats_of(&ps);
+            let mbr = Mbr::of_set(&ps).unwrap();
+            let x_min = gamma * mbr.min_dist2(&q).sqrt();
+            let x_max = gamma * mbr.max_dist2(&q).sqrt();
+            let quad = bounds(&kernel, &s, &q, x_min, x_max);
+            let base = crate::bounds::interval::distance(&kernel, s.weight, x_min, x_max);
+            let tol = 1e-9 * (1.0 + base.ub.abs());
+            prop_assert!(quad.lb >= base.lb - tol, "QUAD lb {} < interval lb {}", quad.lb, base.lb);
+            if quad.ub.is_finite() {
+                prop_assert!(quad.ub <= base.ub + tol, "QUAD ub {} > interval ub {}", quad.ub, base.ub);
+            }
+        }
+    }
+}

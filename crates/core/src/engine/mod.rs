@@ -1,0 +1,12 @@
+//! The best-first branch-and-bound refinement framework (paper §3.2).
+//!
+//! One [`RefineEvaluator`] answers εKDV and τKDV queries for single
+//! pixels by maintaining a max-priority queue of index nodes ordered by
+//! bound gap `UB_R(q) − LB_R(q)`, exactly as the paper's Table 3
+//! illustrates: pop the widest node, replace its bound contribution with
+//! its children's bounds (or its exact sum, for leaves), stop as soon as
+//! the incremental global bounds satisfy the query's termination test.
+
+mod refine;
+
+pub use refine::{RefineEvaluator, RefineStats};

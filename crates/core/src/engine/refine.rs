@@ -1,0 +1,490 @@
+//! Per-pixel best-first refinement.
+
+use crate::bounds::{node_bounds_pre, BoundFamily, Interval};
+use crate::kernel::Kernel;
+use kdv_geom::vecmath::dist2;
+use kdv_index::{KdTree, NodeId, NodeKind};
+use std::collections::BinaryHeap;
+
+/// Unit roundoff of f64 (used for the incremental-sum error tracking).
+const EPS_MACH: f64 = 2.220_446_049_250_313e-16;
+
+/// Resync the incremental sums from the heap once the tracked rounding
+/// error exceeds this fraction of the sums' magnitude.
+const RESYNC_REL: f64 = 1e-6;
+
+/// Per-query diagnostics (iteration counts feed Fig 18 and the
+/// `refine_pixel` bench).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RefineStats {
+    /// Nodes popped from the priority queue.
+    pub iterations: usize,
+    /// Leaves evaluated exactly.
+    pub exact_leaves: usize,
+}
+
+/// A heap entry: one frontier node with its cached bounds.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    gap: f64,
+    node: NodeId,
+    lb: f64,
+    ub: f64,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.gap == other.gap
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap on the bound gap (§3.2's priority).
+        self.gap.total_cmp(&other.gap)
+    }
+}
+
+/// Best-first branch-and-bound evaluator over one kd-tree.
+///
+/// The evaluator owns its priority queue and reuses the allocation
+/// across pixels — rendering a 1280×960 frame issues over a million
+/// queries, so per-query allocations would dominate.
+#[derive(Debug)]
+pub struct RefineEvaluator<'a> {
+    tree: &'a KdTree,
+    kernel: Kernel,
+    family: BoundFamily,
+    heap: BinaryHeap<Entry>,
+    stats: RefineStats,
+    /// Reusable buffer for the query translated into the tree's
+    /// centered statistics frame (all nodes share one center).
+    qt: Vec<f64>,
+}
+
+enum StopRule {
+    /// Terminate when `ub ≤ (1 + ε)·lb`.
+    Eps(f64),
+    /// Terminate when `lb ≥ τ` or `ub ≤ τ`.
+    Tau(f64),
+    /// Refine until every node is exact (ground-truth evaluation).
+    Exhaust,
+}
+
+impl<'a> RefineEvaluator<'a> {
+    /// Creates an evaluator using the given kernel and bound family.
+    pub fn new(tree: &'a KdTree, kernel: Kernel, family: BoundFamily) -> Self {
+        Self {
+            tree,
+            kernel,
+            family,
+            heap: BinaryHeap::new(),
+            stats: RefineStats::default(),
+            qt: vec![0.0; tree.points().dim()],
+        }
+    }
+
+    /// The bound family driving refinement.
+    pub fn family(&self) -> BoundFamily {
+        self.family
+    }
+
+    /// Diagnostics of the most recent query.
+    pub fn last_stats(&self) -> RefineStats {
+        self.stats
+    }
+
+    /// εKDV: returns an estimate `R(q)` with
+    /// `(1 − ε)·F_P(q) ≤ R(q) ≤ (1 + ε)·F_P(q)`.
+    ///
+    /// # Panics
+    /// Panics if `eps` is not positive and finite, or `q` has the wrong
+    /// dimensionality.
+    pub fn eval_eps(&mut self, q: &[f64], eps: f64) -> f64 {
+        assert!(eps.is_finite() && eps > 0.0, "ε must be positive");
+        let (lb, ub) = self.refine(q, StopRule::Eps(eps), |_, _| {});
+        // With ub ≤ (1 + ε)·lb the midpoint's relative error is ≤ ε/2,
+        // comfortably within the contract.
+        0.5 * (lb + ub)
+    }
+
+    /// εKDV returning the final bound bracket `(lb, ub)` with
+    /// `lb ≤ F_P(q) ≤ ub` and `ub ≤ (1 + ε)·lb`.
+    ///
+    /// Downstream consumers that *combine* densities — e.g. the
+    /// kernel-regression ratio of [`crate::regress`] — need the bracket
+    /// rather than a point estimate to keep their own guarantees.
+    ///
+    /// # Panics
+    /// Panics if `eps` is not positive and finite.
+    pub fn eval_eps_bounds(&mut self, q: &[f64], eps: f64) -> (f64, f64) {
+        assert!(eps.is_finite() && eps > 0.0, "ε must be positive");
+        self.refine(q, StopRule::Eps(eps), |_, _| {})
+    }
+
+    /// εKDV with a per-iteration bound trace appended to `trace`
+    /// (drives the paper's Fig 18 convergence study).
+    pub fn eval_eps_traced(&mut self, q: &[f64], eps: f64, trace: &mut Vec<(f64, f64)>) -> f64 {
+        assert!(eps.is_finite() && eps > 0.0, "ε must be positive");
+        let (lb, ub) = self.refine(q, StopRule::Eps(eps), |l, u| trace.push((l, u)));
+        0.5 * (lb + ub)
+    }
+
+    /// τKDV: returns `true` iff `F_P(q) ≥ τ`.
+    ///
+    /// # Panics
+    /// Panics if `tau` is not finite.
+    pub fn eval_tau(&mut self, q: &[f64], tau: f64) -> bool {
+        assert!(tau.is_finite(), "τ must be finite");
+        let (lb, ub) = self.refine(q, StopRule::Tau(tau), |_, _| {});
+        // Termination gives lb ≥ τ (above) or ub ≤ τ (below); when both
+        // hold (lb = ub = τ) the ≥ branch matches exact classification.
+        if lb >= tau {
+            true
+        } else {
+            debug_assert!(ub <= tau);
+            false
+        }
+    }
+
+    /// Exact `F_P(q)` by fully refining (used for ground truth in tests
+    /// and quality experiments; prefer [`crate::method::ExactScan`] for
+    /// the paper's EXACT baseline timing).
+    pub fn eval_exact(&mut self, q: &[f64]) -> f64 {
+        let (lb, _ub) = self.refine(q, StopRule::Exhaust, |_, _| {});
+        lb
+    }
+
+    /// Core loop of §3.2/Table 3. Returns final `(lb, ub)`.
+    fn refine(
+        &mut self,
+        q: &[f64],
+        rule: StopRule,
+        mut observe: impl FnMut(f64, f64),
+    ) -> (f64, f64) {
+        assert_eq!(
+            q.len(),
+            self.tree.points().dim(),
+            "query dimensionality mismatch"
+        );
+        self.heap.clear();
+        self.stats = RefineStats::default();
+        // Translate q once into the shared centered frame. The buffer is
+        // moved out for the duration of the loop (it must be borrowable
+        // alongside `&mut self.heap`) and restored on every exit path.
+        let mut qt = std::mem::take(&mut self.qt);
+        qt.resize(q.len(), 0.0);
+        self.tree
+            .node(self.tree.root())
+            .stats
+            .translate_query(q, &mut qt);
+        let result = self.refine_loop(q, &qt, rule, &mut observe);
+        self.qt = qt;
+        result
+    }
+
+    /// The §3.2 loop proper, with the translated query borrowed.
+    fn refine_loop(
+        &mut self,
+        q: &[f64],
+        qt: &[f64],
+        rule: StopRule,
+        observe: &mut impl FnMut(f64, f64),
+    ) -> (f64, f64) {
+        let root = self.tree.root();
+        let rb = self.bounds_of(root, q, qt);
+        self.push(root, rb);
+
+        // Global bounds are kept incrementally:
+        //   lb = exact_acc + Σ_{heap} lb_i,   ub = exact_acc + Σ_{heap} ub_i.
+        //
+        // Two sources of unsoundness are handled explicitly:
+        //
+        // * Splitting a node can momentarily *loosen* one side
+        //   (children's quadratic bounds need not dominate the parent's
+        //   sum), so the reported bounds are the monotone envelope —
+        //   every snapshot is a valid bracket of F, hence so are the
+        //   running max/min.
+        // * Incremental `+=`/`-=` updates leave absolute rounding
+        //   residue of the *largest* magnitudes that ever passed through
+        //   the sums. At low-density pixels the true remaining sum can
+        //   be many orders below that residue (the drift even turns
+        //   `ub_sum` negative). `err` conservatively tracks the total
+        //   absolute rounding error, the reported bounds are widened by
+        //   it, and the sums are recomputed from the heap whenever the
+        //   error stops being negligible.
+        let mut exact_acc = 0.0;
+        let mut lb_sum = rb.lb;
+        let mut ub_sum = rb.ub;
+        let mut err = 0.0f64;
+        let mut best_lb = f64::NEG_INFINITY;
+        let mut best_ub = f64::INFINITY;
+
+        loop {
+            if err > RESYNC_REL * (lb_sum.abs() + ub_sum.abs()) {
+                lb_sum = self.heap.iter().map(|e| e.lb).sum();
+                ub_sum = self.heap.iter().map(|e| e.ub).sum();
+                // Error of freshly summing k same-sign values.
+                err = EPS_MACH * self.heap.len() as f64 * (lb_sum.abs() + ub_sum.abs());
+            }
+            best_lb = best_lb.max(exact_acc + lb_sum - err);
+            best_ub = best_ub.min(exact_acc + ub_sum + err);
+            observe(best_lb, best_ub);
+            match rule {
+                StopRule::Eps(eps) => {
+                    if best_ub <= (1.0 + eps) * best_lb {
+                        return (best_lb, best_ub);
+                    }
+                }
+                StopRule::Tau(tau) => {
+                    // Strict `<` on the upper side: at `F = τ` exactly the
+                    // query must refine to exhaustion and answer "hot".
+                    if best_lb >= tau || best_ub < tau {
+                        return (best_lb, best_ub);
+                    }
+                }
+                StopRule::Exhaust => {}
+            }
+
+            let Some(entry) = self.heap.pop() else {
+                // Everything is exact: lb == ub == F(q).
+                return (exact_acc, exact_acc);
+            };
+            self.stats.iterations += 1;
+
+            match self.tree.node(entry.node).kind {
+                NodeKind::Leaf { .. } => {
+                    let exact = self.exact_leaf(entry.node, q);
+                    exact_acc += exact;
+                    lb_sum -= entry.lb;
+                    ub_sum -= entry.ub;
+                    err += EPS_MACH
+                        * (lb_sum.abs() + ub_sum.abs() + entry.lb.abs() + entry.ub.abs() + exact_acc);
+                    self.stats.exact_leaves += 1;
+                }
+                NodeKind::Internal { left, right } => {
+                    let bl = self.bounds_of(left, q, qt);
+                    let br = self.bounds_of(right, q, qt);
+                    lb_sum += bl.lb + br.lb - entry.lb;
+                    ub_sum += bl.ub + br.ub - entry.ub;
+                    err += EPS_MACH
+                        * (lb_sum.abs() + ub_sum.abs() + entry.lb.abs() + entry.ub.abs() + bl.ub + br.ub);
+                    self.push(left, bl);
+                    self.push(right, br);
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn bounds_of(&self, id: NodeId, q: &[f64], qt: &[f64]) -> Interval {
+        let node = self.tree.node(id);
+        node_bounds_pre(&self.kernel, self.family, &node.stats, &node.mbr, q, qt)
+    }
+
+    #[inline]
+    fn push(&mut self, node: NodeId, b: Interval) {
+        self.heap.push(Entry {
+            gap: b.gap(),
+            node,
+            lb: b.lb,
+            ub: b.ub,
+        });
+    }
+
+    /// Exact kernel aggregation over one leaf's contiguous points.
+    fn exact_leaf(&self, id: NodeId, q: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        for (p, w) in self.tree.leaf_points(id) {
+            acc += w * self.kernel.eval_dist2(dist2(q, p));
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::node_bounds;
+    use crate::kernel::KernelType;
+    use kdv_geom::PointSet;
+    use kdv_index::BuildConfig;
+    use rand::rngs::StdRng;
+    use rand::{Rng as _, SeedableRng as _};
+
+    fn random_points(n: usize, seed: u64) -> PointSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let flat: Vec<f64> = (0..n * 2).map(|_| rng.gen_range(-10.0..10.0)).collect();
+        PointSet::from_rows(2, &flat)
+    }
+
+    fn exact_scan(ps: &PointSet, kernel: &Kernel, q: &[f64]) -> f64 {
+        ps.iter()
+            .map(|p| p.weight * kernel.eval_dist2(dist2(q, p.coords)))
+            .sum()
+    }
+
+    #[test]
+    fn eps_query_meets_relative_error_contract() {
+        let ps = random_points(2000, 11);
+        let tree = KdTree::build(&ps, BuildConfig { leaf_capacity: 16, ..BuildConfig::default() });
+        let kernel = Kernel::gaussian(0.05);
+        for family in BoundFamily::ALL {
+            let mut ev = RefineEvaluator::new(&tree, kernel, family);
+            for (i, q) in [[0.0, 0.0], [5.0, -3.0], [20.0, 20.0]].iter().enumerate() {
+                let eps = 0.01;
+                let r = ev.eval_eps(q, eps);
+                let f = exact_scan(&ps, &kernel, q);
+                let rel = (r - f).abs() / f.max(1e-300);
+                assert!(
+                    rel <= eps + 1e-9,
+                    "{family:?} query {i}: rel err {rel} > ε"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tau_query_matches_exact_classification() {
+        let ps = random_points(1500, 12);
+        let tree = KdTree::build(&ps, BuildConfig { leaf_capacity: 16, ..BuildConfig::default() });
+        let kernel = Kernel::gaussian(0.05);
+        let f_mid = exact_scan(&ps, &kernel, &[0.0, 0.0]);
+        for family in BoundFamily::ALL {
+            let mut ev = RefineEvaluator::new(&tree, kernel, family);
+            for q in [[0.0, 0.0], [3.0, 3.0], [-8.0, 2.0], [30.0, 0.0]] {
+                let f = exact_scan(&ps, &kernel, &q);
+                // Thresholds keep a small relative margin from every F(q)
+                // — exactly at the boundary the classification depends on
+                // floating-point summation order, which no method can
+                // promise to reproduce bit-for-bit.
+                for tau in [f_mid * 0.5, f_mid * 1.00002, f_mid * 1.5] {
+                    if (f - tau).abs() <= 1e-9 * (1.0 + f.abs()) {
+                        continue;
+                    }
+                    assert_eq!(
+                        ev.eval_tau(&q, tau),
+                        f >= tau,
+                        "{family:?}: wrong side of τ = {tau} at {q:?} (F = {f})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eval_exact_agrees_with_scan() {
+        let ps = random_points(800, 13);
+        let tree = KdTree::build_default(&ps);
+        for ty in KernelType::ALL {
+            let kernel = Kernel::new(ty, 0.3);
+            let mut ev = RefineEvaluator::new(&tree, kernel, BoundFamily::Quadratic);
+            let q = [1.0, -2.0];
+            let f = exact_scan(&ps, &kernel, &q);
+            let r = ev.eval_exact(&q);
+            assert!(
+                (r - f).abs() <= 1e-7 * (1.0 + f.abs()),
+                "{ty:?}: exact refinement {r} ≠ scan {f}"
+            );
+        }
+    }
+
+    /// Table 3's running-steps semantics: the trace of global bounds is
+    /// monotone (lb never decreases, ub never increases) and converges
+    /// onto the exact value; the first iteration holds the root bounds.
+    #[test]
+    fn table3_running_steps() {
+        let ps = random_points(200, 14);
+        let tree = KdTree::build(&ps, BuildConfig { leaf_capacity: 4, ..BuildConfig::default() });
+        let kernel = Kernel::gaussian(0.02);
+        let q = [0.5, 0.5];
+        let f = exact_scan(&ps, &kernel, &q);
+
+        let mut ev = RefineEvaluator::new(&tree, kernel, BoundFamily::Quadratic);
+        let mut trace = Vec::new();
+        // ε tiny → refine almost to exactness, producing a long trace.
+        let r = ev.eval_eps_traced(&q, 1e-9, &mut trace);
+
+        assert!(trace.len() >= 2, "expected multiple refinement steps");
+        // Step 1 of Table 3: bounds of the root node alone.
+        let root = tree.node(tree.root());
+        let rb = node_bounds(&kernel, BoundFamily::Quadratic, &root.stats, &root.mbr, &q);
+        assert_eq!(trace[0], (rb.lb, rb.ub));
+
+        for win in trace.windows(2) {
+            let (lb0, ub0) = win[0];
+            let (lb1, ub1) = win[1];
+            assert!(lb1 >= lb0 - 1e-9 * (1.0 + lb0.abs()), "lb regressed");
+            assert!(ub1 <= ub0 + 1e-9 * (1.0 + ub0.abs()), "ub regressed");
+            assert!(lb1 <= f + 1e-6 * (1.0 + f) && f <= ub1 + 1e-6 * (1.0 + f));
+        }
+        assert!((r - f).abs() <= 1e-6 * (1.0 + f));
+    }
+
+    #[test]
+    fn quad_refines_in_fewer_iterations_than_interval() {
+        let ps = random_points(5000, 15);
+        let tree = KdTree::build(&ps, BuildConfig { leaf_capacity: 16, ..BuildConfig::default() });
+        let kernel = Kernel::gaussian(0.02);
+        let q = [0.0, 0.0];
+        let mut quad = RefineEvaluator::new(&tree, kernel, BoundFamily::Quadratic);
+        let mut interval = RefineEvaluator::new(&tree, kernel, BoundFamily::Interval);
+        quad.eval_eps(&q, 0.01);
+        interval.eval_eps(&q, 0.01);
+        assert!(
+            quad.last_stats().iterations <= interval.last_stats().iterations,
+            "QUAD {} should not need more iterations than interval {}",
+            quad.last_stats().iterations,
+            interval.last_stats().iterations
+        );
+    }
+
+    #[test]
+    fn eval_eps_bounds_bracket_is_tight_and_correct() {
+        let ps = random_points(1200, 18);
+        let tree = KdTree::build_default(&ps);
+        let kernel = Kernel::gaussian(0.05);
+        let mut ev = RefineEvaluator::new(&tree, kernel, BoundFamily::Quadratic);
+        let q = [1.0, 1.0];
+        let eps = 0.02;
+        let (lb, ub) = ev.eval_eps_bounds(&q, eps);
+        assert!(ub <= (1.0 + eps) * lb, "bracket not ε-tight: [{lb}, {ub}]");
+        let f = exact_scan(&ps, &kernel, &q);
+        assert!(lb <= f * (1.0 + 1e-9) && f <= ub * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn last_stats_reset_between_queries() {
+        let ps = random_points(600, 19);
+        let tree = KdTree::build_default(&ps);
+        let mut ev = RefineEvaluator::new(&tree, Kernel::gaussian(0.05), BoundFamily::Quadratic);
+        ev.eval_eps(&[0.0, 0.0], 1e-6); // deep refinement
+        let deep = ev.last_stats().iterations;
+        ev.eval_eps(&[0.0, 0.0], 0.5); // shallow refinement
+        let shallow = ev.last_stats().iterations;
+        assert!(shallow < deep, "stats must reflect only the last query");
+    }
+
+    #[test]
+    #[should_panic(expected = "ε must be positive")]
+    fn zero_eps_panics() {
+        let ps = random_points(10, 16);
+        let tree = KdTree::build_default(&ps);
+        let mut ev = RefineEvaluator::new(&tree, Kernel::gaussian(1.0), BoundFamily::Quadratic);
+        ev.eval_eps(&[0.0, 0.0], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn wrong_query_dim_panics() {
+        let ps = random_points(10, 17);
+        let tree = KdTree::build_default(&ps);
+        let mut ev = RefineEvaluator::new(&tree, Kernel::gaussian(1.0), BoundFamily::Quadratic);
+        ev.eval_eps(&[0.0, 0.0, 0.0], 0.01);
+    }
+}

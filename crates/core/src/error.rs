@@ -1,0 +1,79 @@
+//! Error types for recoverable failures.
+
+use crate::kernel::KernelType;
+use crate::method::MethodKind;
+use std::fmt;
+
+/// Errors surfaced by fallible APIs in this crate.
+///
+/// Programmer errors (dimension mismatches, invalid γ, empty datasets)
+/// panic instead, following the substrate crates' convention.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KdvError {
+    /// The chosen method cannot answer this query variant (paper
+    /// Table 6 — e.g. Scikit and Z-Order do not support τKDV).
+    UnsupportedQuery {
+        /// Method asked to run.
+        method: MethodKind,
+        /// `"εKDV"` or `"τKDV"`.
+        query: &'static str,
+    },
+    /// The chosen method cannot run with this kernel (paper §5.1 —
+    /// KARL's linear bounds require the Gaussian kernel's squared-
+    /// distance argument).
+    UnsupportedKernel {
+        /// Method asked to run.
+        method: MethodKind,
+        /// Kernel requested.
+        kernel: KernelType,
+    },
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Human-readable description of the violation.
+        message: String,
+    },
+}
+
+impl fmt::Display for KdvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KdvError::UnsupportedQuery { method, query } => {
+                write!(f, "method {method:?} does not support {query} queries")
+            }
+            KdvError::UnsupportedKernel { method, kernel } => {
+                write!(f, "method {method:?} does not support the {kernel:?} kernel")
+            }
+            KdvError::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter `{name}`: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KdvError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = KdvError::UnsupportedQuery {
+            method: MethodKind::Scikit,
+            query: "τKDV",
+        };
+        let s = e.to_string();
+        assert!(s.contains("Scikit") && s.contains("τKDV"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&KdvError::InvalidParameter {
+            name: "eps",
+            message: "must be positive".into(),
+        });
+    }
+}

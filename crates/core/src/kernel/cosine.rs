@@ -1,0 +1,135 @@
+//! Scalar bound constructions for the cosine profile
+//! `k(x) = cos(x)` for `x ≤ π/2`, else `0`, with `x = γ·dist(q, p)`
+//! (paper §5.2.3, §9.6.1–9.6.2).
+
+use super::RQuad;
+use crate::kernel::gaussian::DEGENERATE_SPAN;
+use std::f64::consts::FRAC_PI_2;
+
+/// The cosine profile, zero beyond `π/2`.
+#[inline]
+pub fn profile(x: f64) -> f64 {
+    if x <= FRAC_PI_2 {
+        x.cos()
+    } else {
+        0.0
+    }
+}
+
+/// QUAD's restricted-quadratic **upper** bound (§9.6.1, Lemma 9): the
+/// parabola `a_u x² + c_u` through `(x_min, cos x_min)` and
+/// `(x_max, cos x_max)`, correct on `[x_min, x_max] ⊆ [0, π/2]`.
+///
+/// Returns `None` when `x_max > π/2`: Lemma 9's proof needs the whole
+/// interval inside the cosine's support (beyond it the kernel is zero
+/// while the decreasing parabola goes negative, breaking per-point
+/// domination). Callers fall back to the interval bound, exactly as the
+/// existing methods the paper compares against must.
+pub fn quad_upper(x_min: f64, x_max: f64) -> Option<RQuad> {
+    if x_max > FRAC_PI_2 {
+        return None;
+    }
+    let denom = x_max * x_max - x_min * x_min;
+    if denom < DEGENERATE_SPAN {
+        return None;
+    }
+    let (f_min, f_max) = (x_min.cos(), x_max.cos());
+    Some(RQuad {
+        a: (f_max - f_min) / denom,
+        c: (x_max * x_max * f_min - x_min * x_min * f_max) / denom,
+    })
+}
+
+/// QUAD's restricted-quadratic **lower** bound (§9.6.2, Lemma 10): the
+/// parabola tangent to `cos(x)` at `m = min(x_max, π/2)` with matched
+/// slope:
+///
+/// `a_l = −sin(m)/(2m)`, `c_l = cos(m) + m·sin(m)/2` (Eqs. 12–13).
+///
+/// Clamping the tangent point to `π/2` keeps the bound valid when the
+/// interval extends past the support: the clamped parabola's root is
+/// exactly `π/2`, so it is non-positive wherever the kernel is zero.
+pub fn quad_lower(x_max: f64) -> Option<RQuad> {
+    let m = x_max.min(FRAC_PI_2);
+    if m < DEGENERATE_SPAN {
+        return None;
+    }
+    let (sin_m, cos_m) = m.sin_cos();
+    Some(RQuad {
+        a: -sin_m / (2.0 * m),
+        c: cos_m + m * sin_m / 2.0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn profile_support() {
+        assert_eq!(profile(0.0), 1.0);
+        assert!((profile(1.0) - 1.0f64.cos()).abs() < 1e-15);
+        assert_eq!(profile(2.0), 0.0);
+        assert!(profile(FRAC_PI_2) < 1e-15);
+    }
+
+    #[test]
+    fn quad_upper_interpolates_endpoints() {
+        let q = quad_upper(0.2, 1.2).unwrap();
+        assert!((q.eval(0.2) - 0.2f64.cos()).abs() < 1e-12);
+        assert!((q.eval(1.2) - 1.2f64.cos()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quad_upper_rejected_beyond_support() {
+        assert!(quad_upper(0.5, 2.0).is_none());
+        assert!(quad_upper(1.0, 1.0).is_none()); // degenerate
+    }
+
+    #[test]
+    fn quad_lower_tangency_at_clamped_point() {
+        let q = quad_lower(1.1).unwrap();
+        assert!((q.eval(1.1) - 1.1f64.cos()).abs() < 1e-12);
+        let deriv = 2.0 * q.a * 1.1;
+        assert!((deriv + 1.1f64.sin()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quad_lower_clamped_root_is_half_pi() {
+        // For x_max ≥ π/2 the parabola must vanish exactly at π/2.
+        let q = quad_lower(3.0).unwrap();
+        assert!(q.eval(FRAC_PI_2).abs() < 1e-12);
+        assert!(q.eval(2.0) < 0.0);
+    }
+
+    proptest! {
+        /// Lemma 9: Q_U ≥ cos on [x_min, x_max] and tighter than the
+        /// interval bound cos(x_min).
+        #[test]
+        fn quad_upper_correct_and_tighter(
+            x_min in 0.0..1.5f64,
+            frac in 1e-4..1.0f64,
+        ) {
+            let x_max = x_min + (FRAC_PI_2 - x_min) * frac;
+            if let Some(q) = quad_upper(x_min, x_max) {
+                for i in 0..=200 {
+                    let x = x_min + (x_max - x_min) * i as f64 / 200.0;
+                    let v = q.eval(x);
+                    prop_assert!(v >= profile(x) - 1e-9);
+                    prop_assert!(v <= x_min.cos() + 1e-9);
+                }
+            }
+        }
+
+        /// Lemma 10 (plus the clamping argument): Q_L ≤ profile for all
+        /// x ≥ 0, for every x_max.
+        #[test]
+        fn quad_lower_globally_valid(x_max in 1e-3..6.0f64, x in 0.0..8.0f64) {
+            if let Some(q) = quad_lower(x_max) {
+                prop_assert!(q.eval(x) <= profile(x) + 1e-9,
+                    "Q_L({x}) = {} above profile {}", q.eval(x), profile(x));
+            }
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Scalar bound constructions for the exponential profile
+//! `k(x) = exp(−x)` with `x = γ·dist(q, p)` (paper §5.2.3, §9.6.3–9.6.4).
+//!
+//! Note the distinction from [`crate::kernel::gaussian`]: the profile is
+//! the same function of `x`, but `x` here is the *distance*, not the
+//! squared distance, so the free-coefficient quadratic of §4 cannot be
+//! aggregated in `O(d)`; the restricted `a·x² + c` form of §5 can.
+
+use super::RQuad;
+use crate::kernel::gaussian::DEGENERATE_SPAN;
+
+/// The exponential profile `exp(−x)` for `x ≥ 0`.
+#[inline]
+pub fn profile(x: f64) -> f64 {
+    (-x).exp()
+}
+
+/// QUAD's restricted-quadratic **upper** bound (§9.6.3, Lemma 11): the
+/// parabola `a_u x² + c_u` through `(x_min, e^{−x_min})` and
+/// `(x_max, e^{−x_max})` (Eqs. 14–15).
+///
+/// Correct on `[x_min, x_max]`: `a_u ≤ 0` makes the parabola concave, so
+/// it dominates its own chord, which dominates the convex `exp(−x)`.
+pub fn quad_upper(x_min: f64, x_max: f64) -> Option<RQuad> {
+    let denom = x_max * x_max - x_min * x_min;
+    if denom < DEGENERATE_SPAN {
+        return None;
+    }
+    let (f_min, f_max) = (profile(x_min), profile(x_max));
+    Some(RQuad {
+        a: (f_max - f_min) / denom,
+        c: (x_max * x_max * f_min - x_min * x_min * f_max) / denom,
+    })
+}
+
+/// QUAD's restricted-quadratic **lower** bound (§9.6.4, Lemma 12): the
+/// parabola tangent to `exp(−x)` at `t`:
+///
+/// `a_l = −e^{−t}/(2t)`, `c_l = (t + 2)·e^{−t}/2` (Eqs. 16–17).
+///
+/// Valid for **all** `x ≥ 0` and any `t > 0`: the parabola lies below
+/// the tangent line of `exp(−x)` at `t` (concavity, equal slope and
+/// value at `t`), and the tangent line lies below `exp(−x)` (convexity).
+pub fn quad_lower(t: f64) -> Option<RQuad> {
+    if t < DEGENERATE_SPAN {
+        return None;
+    }
+    let et = profile(t);
+    Some(RQuad {
+        a: -et / (2.0 * t),
+        c: (t + 2.0) * et / 2.0,
+    })
+}
+
+/// The tangent point `t*` of Eq. 18 that maximizes the aggregate lower
+/// bound: the weighted root-mean-square of the arguments,
+///
+/// `t* = √( γ²·Σ wᵢ dist(q, pᵢ)² / W ) = √( Σ wᵢ xᵢ² / W )`.
+///
+/// Returns `None` when the second moment is numerically zero (all
+/// points on the query).
+pub fn optimal_tangent(w_total: f64, s2: f64) -> Option<f64> {
+    if s2 <= DEGENERATE_SPAN * w_total {
+        return None;
+    }
+    Some((s2 / w_total).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn quad_upper_interpolates_endpoints() {
+        let q = quad_upper(0.3, 2.1).unwrap();
+        assert!((q.eval(0.3) - profile(0.3)).abs() < 1e-12);
+        assert!((q.eval(2.1) - profile(2.1)).abs() < 1e-12);
+        assert!(q.a < 0.0, "Eq. 14 curvature must be negative");
+    }
+
+    #[test]
+    fn quad_lower_tangency() {
+        let t = 1.7;
+        let q = quad_lower(t).unwrap();
+        assert!((q.eval(t) - profile(t)).abs() < 1e-12);
+        let deriv = 2.0 * q.a * t;
+        assert!((deriv + profile(t)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn optimal_tangent_is_rms() {
+        // W = 2, s2 = 8 → t* = 2.
+        assert!((optimal_tangent(2.0, 8.0).unwrap() - 2.0).abs() < 1e-12);
+        assert!(optimal_tangent(2.0, 0.0).is_none());
+    }
+
+    #[test]
+    fn degenerate_inputs_are_none() {
+        assert!(quad_upper(1.0, 1.0).is_none());
+        assert!(quad_lower(0.0).is_none());
+    }
+
+    proptest! {
+        /// Lemma 11: Q_U ≥ exp(−x) on the interval, and tighter than the
+        /// interval bound e^{−x_min}.
+        #[test]
+        fn quad_upper_correct_and_tighter(
+            x_min in 0.0..5.0f64,
+            span in 1e-4..5.0f64,
+        ) {
+            let x_max = x_min + span;
+            if let Some(q) = quad_upper(x_min, x_max) {
+                for i in 0..=200 {
+                    let x = x_min + span * i as f64 / 200.0;
+                    prop_assert!(q.eval(x) >= profile(x) - 1e-9);
+                    prop_assert!(q.eval(x) <= profile(x_min) + 1e-9);
+                }
+            }
+        }
+
+        /// Lemma 12: Q_L ≤ exp(−x) for all x ≥ 0 and any tangent t > 0.
+        #[test]
+        fn quad_lower_globally_valid(t in 1e-3..8.0f64, x in 0.0..12.0f64) {
+            let q = quad_lower(t).unwrap();
+            prop_assert!(q.eval(x) <= profile(x) + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Extension kernels beyond the paper: Epanechnikov and quartic
+//! (biweight), both supported by Scikit-learn/QGIS-style tooling.
+//!
+//! These profiles are *polynomials in the squared argument*
+//! `u = x² = γ²·dist(q, p)²`, which QUAD's moment machinery evaluates
+//! directly: `Σ wᵢ uᵢ` is the `O(d)` second-moment contraction and
+//! `Σ wᵢ uᵢ²` the `O(d²)` fourth-moment contraction of Lemma 3. When an
+//! index node lies entirely inside the kernel support the aggregate is
+//! therefore **exact** (zero-width bounds); the truncation at the
+//! support edge is the only thing that needs bounding, and the
+//! triangular-kernel constructions of §5.2 apply verbatim in `u`-space.
+
+use super::RQuad;
+use crate::kernel::triangular;
+
+/// Epanechnikov profile `max(1 − x², 0)` (argument `x = γ·dist`).
+#[inline]
+pub fn epanechnikov_profile(x: f64) -> f64 {
+    (1.0 - x * x).max(0.0)
+}
+
+/// Quartic (biweight) profile `max(1 − x², 0)²`.
+#[inline]
+pub fn quartic_profile(x: f64) -> f64 {
+    let t = (1.0 - x * x).max(0.0);
+    t * t
+}
+
+/// Upper bound for Epanechnikov in `u = x²` space over `[u_min, u_max]`.
+///
+/// Since the profile is `max(1 − u, 0)`, this is exactly the triangular
+/// construction of §5.2.1 applied to `u`; the returned [`RQuad`] must be
+/// evaluated at `u` (i.e. aggregated with `Σ wᵢ uᵢ²`, the fourth
+/// moment) — or, when `u_max ≤ 1`, the *linear-in-u* exact form can be
+/// used instead. The bounds layer handles that dispatch.
+pub fn epanechnikov_upper_u(u_min: f64, u_max: f64) -> Option<RQuad> {
+    triangular::quad_upper(u_min, u_max)
+}
+
+/// Lower bound for Epanechnikov in `u`-space: the tangent-shift
+/// construction of §5.2.2 in `u`, with Theorem 2's optimal curvature
+/// computed from the fourth moment by the bounds layer.
+pub fn epanechnikov_lower_u(a: f64) -> Option<RQuad> {
+    triangular::quad_lower(a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn profiles_at_support_edges() {
+        assert_eq!(epanechnikov_profile(0.0), 1.0);
+        assert_eq!(epanechnikov_profile(1.0), 0.0);
+        assert_eq!(epanechnikov_profile(2.0), 0.0);
+        assert_eq!(quartic_profile(0.0), 1.0);
+        assert_eq!(quartic_profile(1.0), 0.0);
+        assert!((quartic_profile(0.5) - 0.5625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quartic_is_square_of_epanechnikov() {
+        for i in 0..50 {
+            let x = i as f64 * 0.05;
+            let e = epanechnikov_profile(x);
+            assert!((quartic_profile(x) - e * e).abs() < 1e-12);
+        }
+    }
+
+    proptest! {
+        /// The u-space upper bound dominates the profile expressed in u.
+        #[test]
+        fn epanechnikov_upper_u_correct(
+            u_min in 0.0..2.0f64,
+            span in 1e-4..2.0f64,
+        ) {
+            let u_max = u_min + span;
+            if let Some(q) = epanechnikov_upper_u(u_min, u_max) {
+                for i in 0..=100 {
+                    let u = u_min + span * i as f64 / 100.0;
+                    let x = u.sqrt();
+                    prop_assert!(q.eval(u) >= epanechnikov_profile(x) - 1e-9);
+                }
+            }
+        }
+
+        /// The u-space lower bound stays below the profile everywhere.
+        #[test]
+        fn epanechnikov_lower_u_correct(a in -50.0..-1e-3f64, u in 0.0..6.0f64) {
+            let q = epanechnikov_lower_u(a).unwrap();
+            prop_assert!(q.eval(u) <= epanechnikov_profile(u.sqrt()) + 1e-9);
+        }
+    }
+}

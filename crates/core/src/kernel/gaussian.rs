@@ -1,0 +1,279 @@
+//! Scalar bound constructions for the Gaussian profile `k(x) = exp(−x)`
+//! with `x = γ·dist(q, p)²`.
+//!
+//! This module contains the closed forms of the paper's §3.3 (KARL's
+//! chord/tangent linear bounds, Fig 4) and §4 (QUAD's quadratic bounds,
+//! Figs 5–8, Theorem 1). All functions operate on a bounding interval
+//! `[x_min, x_max]` of the transformed argument.
+//!
+//! Degenerate intervals (`x_max − x_min` or `x_max − t` below
+//! [`DEGENERATE_SPAN`]) make the chord/tangent constructions divide by
+//! ~0, so constructors return `None` there and callers fall back to the
+//! interval bounds — which are tight anyway when the interval has
+//! (almost) zero width.
+
+/// Width below which an interval is treated as a single point.
+pub const DEGENERATE_SPAN: f64 = 1e-12;
+
+/// Coefficients of a linear bound `L(x) = m·x + k`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearCoeffs {
+    /// Slope.
+    pub m: f64,
+    /// Intercept.
+    pub k: f64,
+}
+
+impl LinearCoeffs {
+    /// Evaluates the line at `x`.
+    #[inline]
+    pub fn eval(&self, x: f64) -> f64 {
+        self.m * x + self.k
+    }
+}
+
+/// Coefficients of a quadratic bound `Q(x) = a·x² + b·x + c`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuadCoeffs {
+    /// Curvature.
+    pub a: f64,
+    /// Linear coefficient.
+    pub b: f64,
+    /// Constant.
+    pub c: f64,
+}
+
+impl QuadCoeffs {
+    /// Evaluates the parabola at `x`.
+    #[inline]
+    pub fn eval(&self, x: f64) -> f64 {
+        (self.a * x + self.b) * x + self.c
+    }
+}
+
+/// The Gaussian profile `exp(−x)`, defined for `x ≥ 0`.
+#[inline]
+pub fn profile(x: f64) -> f64 {
+    (-x).exp()
+}
+
+/// KARL's linear **upper** bound: the chord of `exp(−x)` through
+/// `(x_min, e^{−x_min})` and `(x_max, e^{−x_max})` (Fig 4b). Correct by
+/// convexity of `exp(−x)`.
+pub fn linear_upper(x_min: f64, x_max: f64) -> Option<LinearCoeffs> {
+    let span = x_max - x_min;
+    if span < DEGENERATE_SPAN {
+        return None;
+    }
+    let m = (profile(x_max) - profile(x_min)) / span;
+    let k = profile(x_min) - m * x_min;
+    Some(LinearCoeffs { m, k })
+}
+
+/// KARL's linear **lower** bound: the tangent of `exp(−x)` at `t`
+/// (Fig 4a). Correct for any `t` by convexity; tightest over an
+/// aggregate when `t` is the weighted mean of the arguments (paper
+/// Eq. 3).
+pub fn linear_lower(t: f64) -> LinearCoeffs {
+    let et = profile(t);
+    LinearCoeffs {
+        m: -et,
+        k: et * (1.0 + t),
+    }
+}
+
+/// QUAD's optimal upper-bound curvature `a*_u` of Theorem 1.
+///
+/// Derived from the constraint that the parabola's slope at `x_max` must
+/// not exceed `−e^{−x_max}` (Lemma 8): with `Δ = x_max − x_min`,
+///
+/// `a*_u = (e^{−x_min} − (Δ + 1)·e^{−x_max}) / Δ²  > 0`.
+///
+/// (The camera-ready PDF prints the numerator with its two terms
+/// swapped, which would make `a*_u` negative and contradict the paper's
+/// own `a_u > 0` requirement and Fig 7; the form above is the one that
+/// satisfies Theorem 1's correctness proof, as the property tests in
+/// this module check exhaustively.)
+pub fn optimal_upper_curvature(x_min: f64, x_max: f64) -> f64 {
+    let span = x_max - x_min;
+    (profile(x_min) - (span + 1.0) * profile(x_max)) / (span * span)
+}
+
+/// QUAD's quadratic **upper** bound on `exp(−x)` over `[x_min, x_max]`
+/// (§4.2): the parabola through both interval endpoints with curvature
+/// `a_u`. With `a_u = a*_u` (the default obtained via
+/// [`optimal_upper_curvature`]) it is the tightest correct choice:
+///
+/// `exp(−x) ≤ Q_U(x) ≤ E_U(x)` for all `x ∈ [x_min, x_max]`.
+pub fn quad_upper(x_min: f64, x_max: f64) -> Option<QuadCoeffs> {
+    let span = x_max - x_min;
+    if span < DEGENERATE_SPAN {
+        return None;
+    }
+    let au = optimal_upper_curvature(x_min, x_max);
+    Some(quad_through_endpoints(x_min, x_max, au))
+}
+
+/// The parabola with curvature `a` passing through
+/// `(x_min, e^{−x_min})` and `(x_max, e^{−x_max})` — the `b_u`, `c_u`
+/// closed forms of §4.2. Exposed separately so the Fig 7 experiment
+/// ("too large `a_u` violates the bound") can sweep curvatures.
+pub fn quad_through_endpoints(x_min: f64, x_max: f64, a: f64) -> QuadCoeffs {
+    let span = x_max - x_min;
+    let b = (profile(x_max) - profile(x_min)) / span - a * (x_min + x_max);
+    let c = (profile(x_min) * x_max - profile(x_max) * x_min) / span + a * x_min * x_max;
+    QuadCoeffs { a, b, c }
+}
+
+/// QUAD's quadratic **lower** bound on `exp(−x)` over `[x_min, x_max]`
+/// (§4.3): tangent to `exp(−x)` at `t` and passing through
+/// `(x_max, e^{−x_max})`:
+///
+/// `E_L(x) ≤ Q_L(x) ≤ exp(−x)` for `x ∈ [x_min, x_max]`, `t ∈ [x_min, x_max]`.
+///
+/// Equivalently `Q_L(x) = e^{−t}(1 + t − x) + a_l (x − t)²` with
+/// `a_l = e^{−t}(e^{−s} + s − 1)/s²`, `s = x_max − t` — a non-negative
+/// correction added to KARL's tangent line, which is why it dominates
+/// the linear lower bound.
+pub fn quad_lower(x_max: f64, t: f64) -> Option<QuadCoeffs> {
+    let s = x_max - t;
+    if s < DEGENERATE_SPAN {
+        return None;
+    }
+    let et = profile(t);
+    let a = (profile(x_max) + (s - 1.0) * et) / (s * s);
+    let b = -et - 2.0 * t * a;
+    let c = (1.0 + t) * et + t * t * a;
+    Some(QuadCoeffs { a, b, c })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const GRID: usize = 257;
+
+    fn grid(x_min: f64, x_max: f64) -> impl Iterator<Item = f64> {
+        (0..GRID).map(move |i| x_min + (x_max - x_min) * i as f64 / (GRID - 1) as f64)
+    }
+
+    #[test]
+    fn linear_upper_interpolates_endpoints() {
+        let l = linear_upper(0.5, 2.0).unwrap();
+        assert!((l.eval(0.5) - profile(0.5)).abs() < 1e-12);
+        assert!((l.eval(2.0) - profile(2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_upper_degenerate_interval_is_none() {
+        assert!(linear_upper(1.0, 1.0).is_none());
+        assert!(linear_upper(1.0, 1.0 + 1e-14).is_none());
+    }
+
+    #[test]
+    fn linear_lower_touches_tangent_point() {
+        let t = 1.3;
+        let l = linear_lower(t);
+        assert!((l.eval(t) - profile(t)).abs() < 1e-12);
+        // slope equals derivative −e^{−t}
+        assert!((l.m + profile(t)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quad_upper_passes_through_endpoints() {
+        let q = quad_upper(0.2, 3.0).unwrap();
+        assert!((q.eval(0.2) - profile(0.2)).abs() < 1e-12);
+        assert!((q.eval(3.0) - profile(3.0)).abs() < 1e-12);
+        assert!(q.a > 0.0, "Theorem 1 requires positive curvature");
+    }
+
+    #[test]
+    fn quad_lower_tangency_and_endpoint() {
+        let (x_max, t) = (2.5, 0.9);
+        let q = quad_lower(x_max, t).unwrap();
+        assert!((q.eval(t) - profile(t)).abs() < 1e-12);
+        // derivative at t equals −e^{−t}
+        let deriv = 2.0 * q.a * t + q.b;
+        assert!((deriv + profile(t)).abs() < 1e-12);
+        assert!((q.eval(x_max) - profile(x_max)).abs() < 1e-12);
+    }
+
+    /// Fig 7's illustration: curvature beyond a*_u breaks the upper
+    /// bound, a*_u (and below) preserves it.
+    #[test]
+    fn upper_bound_violated_beyond_a_star() {
+        let (x_min, x_max) = (0.3, 3.2);
+        let a_star = optimal_upper_curvature(x_min, x_max);
+        let good = quad_through_endpoints(x_min, x_max, a_star);
+        let bad = quad_through_endpoints(x_min, x_max, a_star * 1.5);
+        let mut bad_violates = false;
+        for x in grid(x_min, x_max) {
+            assert!(good.eval(x) >= profile(x) - 1e-9, "a*_u violated at {x}");
+            if bad.eval(x) < profile(x) - 1e-9 {
+                bad_violates = true;
+            }
+        }
+        assert!(bad_violates, "1.5·a*_u should undercut exp(−x) somewhere");
+    }
+
+    proptest! {
+        /// Correctness + tightness ordering of §4.2:
+        /// exp(−x) ≤ Q_U(x) ≤ E_U(x) on [x_min, x_max].
+        #[test]
+        fn quad_upper_correct_and_tighter_than_chord(
+            x_min in 0.0..8.0f64,
+            span in 1e-6..8.0f64,
+        ) {
+            let x_max = x_min + span;
+            if let (Some(q), Some(l)) = (quad_upper(x_min, x_max), linear_upper(x_min, x_max)) {
+                for x in grid(x_min, x_max) {
+                    let f = profile(x);
+                    let qu = q.eval(x);
+                    let eu = l.eval(x);
+                    prop_assert!(qu >= f - 1e-9, "Q_U({x}) = {qu} < exp = {f}");
+                    prop_assert!(qu <= eu + 1e-9, "Q_U({x}) = {qu} > E_U = {eu}");
+                }
+            }
+        }
+
+        /// Correctness + tightness ordering of §4.3:
+        /// E_L(x) ≤ Q_L(x) ≤ exp(−x) on [x_min, x_max] for t in range.
+        #[test]
+        fn quad_lower_correct_and_tighter_than_tangent(
+            x_min in 0.0..8.0f64,
+            span in 1e-6..8.0f64,
+            t_frac in 0.0..1.0f64,
+        ) {
+            let x_max = x_min + span;
+            let t = x_min + t_frac * span;
+            if let Some(q) = quad_lower(x_max, t) {
+                let l = linear_lower(t);
+                for x in grid(x_min, x_max) {
+                    let f = profile(x);
+                    let ql = q.eval(x);
+                    let el = l.eval(x);
+                    prop_assert!(ql <= f + 1e-9, "Q_L({x}) = {ql} > exp = {f}");
+                    prop_assert!(ql >= el - 1e-9, "Q_L({x}) = {ql} < E_L = {el}");
+                }
+            }
+        }
+
+        /// The chord dominates exp on the interval (KARL's correctness).
+        #[test]
+        fn chord_is_upper_bound(x_min in 0.0..10.0f64, span in 1e-6..10.0f64) {
+            let x_max = x_min + span;
+            if let Some(l) = linear_upper(x_min, x_max) {
+                for x in grid(x_min, x_max) {
+                    prop_assert!(l.eval(x) >= profile(x) - 1e-9);
+                }
+            }
+        }
+
+        /// The tangent stays below exp everywhere (not just in range).
+        #[test]
+        fn tangent_is_global_lower_bound(t in 0.0..10.0f64, x in 0.0..20.0f64) {
+            prop_assert!(linear_lower(t).eval(x) <= profile(x) + 1e-12);
+        }
+    }
+}

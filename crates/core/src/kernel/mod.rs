@@ -1,0 +1,221 @@
+//! Kernel functions and their scalar bound constructions.
+//!
+//! A kernel profile is a non-increasing scalar function `k(x) ∈ [0, 1]`
+//! applied to a transformed distance `x`:
+//!
+//! * the **Gaussian** kernel uses `x = γ·dist(q, p)²` and
+//!   `k(x) = exp(−x)` (paper Eq. 1);
+//! * the **distance kernels** of Table 4 — triangular, cosine,
+//!   exponential (plus our Epanechnikov/quartic extensions) — use
+//!   `x = γ·dist(q, p)`.
+//!
+//! Each kernel submodule hosts the *scalar* mathematics of the paper:
+//! chord/tangent linear bounds (§3.3), quadratic bounds with the optimal
+//! curvature of Theorems 1 & 2, and the §9.6 constructions for cosine
+//! and exponential profiles. The [`crate::bounds`] module lifts these to
+//! node aggregates.
+
+pub mod cosine;
+pub mod exponential;
+pub mod extra;
+pub mod gaussian;
+pub mod triangular;
+
+/// Coefficients of a *restricted* quadratic bound `Q(x) = a·x² + c`
+/// (linear coefficient fixed to zero).
+///
+/// This is the form §5.2 uses for distance kernels: because
+/// `Σ wᵢ xᵢ² = γ²·Σ wᵢ dist(q, pᵢ)²` is computable in `O(d)` from node
+/// moments while `Σ wᵢ xᵢ` is not, dropping the linear term keeps the
+/// aggregate bound `O(d)`-evaluable (Lemma 4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RQuad {
+    /// Curvature (negative for all §5.2 constructions).
+    pub a: f64,
+    /// Constant term.
+    pub c: f64,
+}
+
+impl RQuad {
+    /// Evaluates the restricted parabola at `x`.
+    #[inline]
+    pub fn eval(&self, x: f64) -> f64 {
+        self.a * x * x + self.c
+    }
+}
+
+/// Which kernel function `K(q, p)` the density uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelType {
+    /// `exp(−γ·dist²)` — paper Eq. 1. Argument `x = γ·dist²`.
+    Gaussian,
+    /// `max(1 − γ·dist, 0)` — Table 4. Argument `x = γ·dist`.
+    Triangular,
+    /// `cos(γ·dist)` for `γ·dist ≤ π/2`, else 0 — Table 4.
+    Cosine,
+    /// `exp(−γ·dist)` — Table 4.
+    Exponential,
+    /// `max(1 − (γ·dist)², 0)` — Scikit-learn's Epanechnikov kernel
+    /// (extension beyond the paper; quadratic in `x = γ·dist`, so QUAD's
+    /// restricted quadratic form bounds it *exactly* inside its support).
+    Epanechnikov,
+    /// `max(1 − (γ·dist)², 0)²` — biweight/quartic kernel (extension).
+    Quartic,
+}
+
+impl KernelType {
+    /// Whether the kernel's natural argument is the squared distance
+    /// (`true` only for Gaussian).
+    #[inline]
+    pub fn uses_squared_distance(self) -> bool {
+        matches!(self, KernelType::Gaussian)
+    }
+
+    /// All kernel types, for exhaustive test sweeps.
+    pub const ALL: [KernelType; 6] = [
+        KernelType::Gaussian,
+        KernelType::Triangular,
+        KernelType::Cosine,
+        KernelType::Exponential,
+        KernelType::Epanechnikov,
+        KernelType::Quartic,
+    ];
+
+    /// The kernels the paper evaluates (Table 4 + Gaussian).
+    pub const PAPER: [KernelType; 4] = [
+        KernelType::Gaussian,
+        KernelType::Triangular,
+        KernelType::Cosine,
+        KernelType::Exponential,
+    ];
+
+    /// Human-readable name used by the figure harness.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelType::Gaussian => "gaussian",
+            KernelType::Triangular => "triangular",
+            KernelType::Cosine => "cosine",
+            KernelType::Exponential => "exponential",
+            KernelType::Epanechnikov => "epanechnikov",
+            KernelType::Quartic => "quartic",
+        }
+    }
+}
+
+/// A concrete kernel: type plus the scale parameter γ.
+///
+/// γ is produced by [`crate::bandwidth::scott_gamma`] in the paper's
+/// experiments; any positive value is accepted.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Kernel {
+    /// Kernel family.
+    pub ty: KernelType,
+    /// Scale parameter γ of Eq. 1 / Table 4.
+    pub gamma: f64,
+}
+
+impl Kernel {
+    /// Creates a kernel, validating γ.
+    ///
+    /// # Panics
+    /// Panics if γ is not a positive finite number.
+    pub fn new(ty: KernelType, gamma: f64) -> Self {
+        assert!(gamma.is_finite() && gamma > 0.0, "γ must be positive");
+        Self { ty, gamma }
+    }
+
+    /// Gaussian kernel with scale γ.
+    pub fn gaussian(gamma: f64) -> Self {
+        Self::new(KernelType::Gaussian, gamma)
+    }
+
+    /// Triangular kernel with scale γ.
+    pub fn triangular(gamma: f64) -> Self {
+        Self::new(KernelType::Triangular, gamma)
+    }
+
+    /// Cosine kernel with scale γ.
+    pub fn cosine(gamma: f64) -> Self {
+        Self::new(KernelType::Cosine, gamma)
+    }
+
+    /// Exponential kernel with scale γ.
+    pub fn exponential(gamma: f64) -> Self {
+        Self::new(KernelType::Exponential, gamma)
+    }
+
+    /// Evaluates `K(q, p)` given the *squared* Euclidean distance
+    /// between `q` and `p`.
+    #[inline]
+    pub fn eval_dist2(&self, d2: f64) -> f64 {
+        debug_assert!(d2 >= 0.0);
+        match self.ty {
+            KernelType::Gaussian => gaussian::profile(self.gamma * d2),
+            KernelType::Triangular => triangular::profile(self.gamma * d2.sqrt()),
+            KernelType::Cosine => cosine::profile(self.gamma * d2.sqrt()),
+            KernelType::Exponential => exponential::profile(self.gamma * d2.sqrt()),
+            KernelType::Epanechnikov => extra::epanechnikov_profile(self.gamma * d2.sqrt()),
+            KernelType::Quartic => extra::quartic_profile(self.gamma * d2.sqrt()),
+        }
+    }
+
+    /// Evaluates the scalar profile `k(x)` at a transformed argument
+    /// (`x = γ·d²` for Gaussian, `x = γ·d` otherwise).
+    #[inline]
+    pub fn profile(&self, x: f64) -> f64 {
+        match self.ty {
+            KernelType::Gaussian => gaussian::profile(x),
+            KernelType::Triangular => triangular::profile(x),
+            KernelType::Cosine => cosine::profile(x),
+            KernelType::Exponential => exponential::profile(x),
+            KernelType::Epanechnikov => extra::epanechnikov_profile(x),
+            KernelType::Quartic => extra::quartic_profile(x),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaussian_uses_squared_distance() {
+        assert!(KernelType::Gaussian.uses_squared_distance());
+        assert!(!KernelType::Triangular.uses_squared_distance());
+    }
+
+    #[test]
+    fn eval_dist2_matches_profiles() {
+        let d2 = 2.25; // d = 1.5
+        let g = Kernel::gaussian(0.5);
+        assert!((g.eval_dist2(d2) - (-0.5 * 2.25f64).exp()).abs() < 1e-15);
+        let t = Kernel::triangular(0.4);
+        assert!((t.eval_dist2(d2) - (1.0 - 0.4 * 1.5)).abs() < 1e-15);
+        let c = Kernel::cosine(0.4);
+        assert!((c.eval_dist2(d2) - (0.4f64 * 1.5).cos()).abs() < 1e-15);
+        let e = Kernel::exponential(0.4);
+        assert!((e.eval_dist2(d2) - (-0.4f64 * 1.5).exp()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn all_profiles_are_nonincreasing_and_unit_at_zero() {
+        for ty in KernelType::ALL {
+            let k = Kernel::new(ty, 1.0);
+            assert!((k.profile(0.0) - 1.0).abs() < 1e-15, "{ty:?} k(0) ≠ 1");
+            let mut prev = f64::INFINITY;
+            for i in 0..200 {
+                let x = i as f64 * 0.05;
+                let v = k.profile(x);
+                assert!(v >= 0.0, "{ty:?} negative at {x}");
+                assert!(v <= prev + 1e-12, "{ty:?} increasing at {x}");
+                prev = v;
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "γ must be positive")]
+    fn zero_gamma_panics() {
+        Kernel::gaussian(0.0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Scalar bound constructions for the triangular profile
+//! `k(x) = max(1 − x, 0)` with `x = γ·dist(q, p)` (paper §5.2).
+
+use super::RQuad;
+use crate::kernel::gaussian::DEGENERATE_SPAN;
+
+/// The triangular profile `max(1 − x, 0)`, defined for `x ≥ 0`.
+#[inline]
+pub fn profile(x: f64) -> f64 {
+    (1.0 - x).max(0.0)
+}
+
+/// QUAD's restricted-quadratic **upper** bound over `[x_min, x_max]`
+/// (§5.2.1): the parabola `a_u x² + c_u` through
+/// `(x_min, k(x_min))` and `(x_max, k(x_max))`.
+///
+/// Correct for the whole interval, including the mixed case
+/// `x_min < 1 < x_max`: the parabola is concave (`a_u ≤ 0`), hence
+/// dominates its own chord, and that chord dominates `max(1 − x, 0)`
+/// whenever it connects two points of the profile's graph this way.
+pub fn quad_upper(x_min: f64, x_max: f64) -> Option<RQuad> {
+    let denom = x_max * x_max - x_min * x_min;
+    if denom < DEGENERATE_SPAN {
+        return None;
+    }
+    let (f_min, f_max) = (profile(x_min), profile(x_max));
+    Some(RQuad {
+        a: (f_max - f_min) / denom,
+        c: (x_max * x_max * f_min - x_min * x_min * f_max) / denom,
+    })
+}
+
+/// QUAD's restricted-quadratic **lower** bound (§5.2.2): the parabola
+/// `a_l x² + c_l` with `a_l < 0` shifted until it is tangent to the line
+/// `1 − x` (single root of `a_l x² + x + c_l − 1 = 0`), i.e.
+/// `c_l = 1 + 1/(4 a_l)` (paper Eq. 8).
+///
+/// The tangency makes `Q_L(x) ≤ 1 − x` for **all** `x`, hence
+/// `Q_L(x) ≤ max(1 − x, 0)` everywhere — the bound stays correct even
+/// when some points fall in the kernel's zero region.
+pub fn quad_lower(a: f64) -> Option<RQuad> {
+    if !(a < 0.0) || !a.is_finite() {
+        return None;
+    }
+    Some(RQuad {
+        a,
+        c: 1.0 + 1.0 / (4.0 * a),
+    })
+}
+
+/// The tightest curvature `a*_l` of Theorem 2 for an aggregate with
+/// total weight `w_total` and second moment
+/// `s2 = γ²·Σ wᵢ dist(q, pᵢ)²  (= Σ wᵢ xᵢ²)`:
+///
+/// `a*_l = −√( W / (4·s2) )`  (paper Eq. 9).
+///
+/// Returns `None` when `s2` is (numerically) zero — every point sits on
+/// the query, the exact sum is `W` and interval bounds are already
+/// exact.
+pub fn optimal_lower_curvature(w_total: f64, s2: f64) -> Option<f64> {
+    if s2 <= DEGENERATE_SPAN * w_total {
+        return None;
+    }
+    Some(-(w_total / (4.0 * s2)).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn profile_shape() {
+        assert_eq!(profile(0.0), 1.0);
+        assert_eq!(profile(0.25), 0.75);
+        assert_eq!(profile(1.0), 0.0);
+        assert_eq!(profile(7.0), 0.0);
+    }
+
+    #[test]
+    fn quad_upper_interpolates_endpoints() {
+        let q = quad_upper(0.1, 0.8).unwrap();
+        assert!((q.eval(0.1) - 0.9).abs() < 1e-12);
+        assert!((q.eval(0.8) - 0.2).abs() < 1e-12);
+        assert!(q.a < 0.0);
+    }
+
+    #[test]
+    fn quad_upper_zero_region_is_zero() {
+        // Both endpoints beyond the support: profile is identically 0
+        // there and the parabola must collapse onto it.
+        let q = quad_upper(1.5, 2.5).unwrap();
+        assert!(q.eval(2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quad_lower_single_root() {
+        let q = quad_lower(-0.5).unwrap();
+        // a x² + x + c − 1 must have a double root.
+        let disc = 1.0 - 4.0 * q.a * (q.c - 1.0);
+        assert!(disc.abs() < 1e-12);
+    }
+
+    #[test]
+    fn quad_lower_rejects_nonnegative_curvature() {
+        assert!(quad_lower(0.0).is_none());
+        assert!(quad_lower(1.0).is_none());
+        assert!(quad_lower(f64::NAN).is_none());
+    }
+
+    #[test]
+    fn optimal_curvature_matches_eq9() {
+        // W = 4, s2 = 1 → a* = −√(4/4) = −1.
+        let a = optimal_lower_curvature(4.0, 1.0).unwrap();
+        assert!((a + 1.0).abs() < 1e-12);
+        assert!(optimal_lower_curvature(4.0, 0.0).is_none());
+    }
+
+    proptest! {
+        /// §5.2.1 correctness: Q_U dominates the profile on the interval
+        /// and undercuts the aKDE constant bound max(1 − x_min, 0).
+        #[test]
+        fn quad_upper_correct_and_tighter(
+            x_min in 0.0..2.0f64,
+            span in 1e-4..2.0f64,
+        ) {
+            let x_max = x_min + span;
+            if let Some(q) = quad_upper(x_min, x_max) {
+                let interval_ub = profile(x_min);
+                for i in 0..=200 {
+                    let x = x_min + span * i as f64 / 200.0;
+                    let v = q.eval(x);
+                    prop_assert!(v >= profile(x) - 1e-9, "Q_U({x}) = {v} below profile");
+                    prop_assert!(v <= interval_ub + 1e-9, "Q_U({x}) = {v} above interval bound");
+                }
+            }
+        }
+
+        /// §5.2.2 correctness: the tangent construction stays below
+        /// max(1 − x, 0) for every x ≥ 0 and every negative curvature.
+        #[test]
+        fn quad_lower_global_validity(a in -100.0..-1e-3f64, x in 0.0..10.0f64) {
+            let q = quad_lower(a).unwrap();
+            prop_assert!(q.eval(x) <= profile(x) + 1e-9);
+        }
+
+        /// Theorem 2 optimality: a*_l maximizes the aggregate lower
+        /// bound FQ(a) = a·s2 + (1 + 1/(4a))·W over negative curvatures.
+        #[test]
+        fn optimal_curvature_maximizes_aggregate(
+            w in 0.1..50.0f64,
+            s2 in 1e-4..50.0f64,
+            perturb in 0.2..5.0f64,
+        ) {
+            let a_star = optimal_lower_curvature(w, s2).expect("positive s2");
+            let fq = |a: f64| {
+                let q = quad_lower(a).expect("negative a");
+                q.a * s2 + q.c * w
+            };
+            let best = fq(a_star);
+            prop_assert!(best >= fq(a_star * perturb) - 1e-9 * (1.0 + best.abs()),
+                "a* = {a_star} beaten by {}", a_star * perturb);
+        }
+    }
+}

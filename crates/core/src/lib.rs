@@ -1,0 +1,63 @@
+//! The QUAD kernel-density-visualization engine.
+//!
+//! This crate implements the primary contribution of *QUAD:
+//! Quadratic-Bound-based Kernel Density Visualization* (SIGMOD 2020)
+//! together with every baseline the paper evaluates against:
+//!
+//! * [`kernel`] — the kernel functions of the paper's Eq. 1 and Table 4
+//!   (Gaussian, triangular, cosine, exponential; plus Epanechnikov and
+//!   quartic extensions), including the *scalar* chord / tangent /
+//!   quadratic bound constructions of §3.3, §4 and §5.
+//! * [`bounds`] — lifts those scalar bounds to *aggregate* lower/upper
+//!   bounds `LB_R(q) ≤ F_R(q) ≤ UB_R(q)` on kd-tree nodes, using the
+//!   moment statistics of [`kdv_index`]: the interval bounds of
+//!   aKDE/tKDC, the linear bounds of KARL, and the quadratic bounds of
+//!   QUAD.
+//! * [`engine`] — the best-first branch-and-bound refinement framework
+//!   (§3.2, Table 3) answering εKDV and τKDV per pixel.
+//! * [`method`] — the end-to-end methods of the paper's Table 6:
+//!   EXACT, Scikit, Z-Order, aKDE, tKDC, KARL and QUAD, behind one
+//!   [`method::PixelEvaluator`] interface.
+//! * [`bandwidth`] — Scott's-rule parameter selection (γ, w).
+//! * [`raster`] — pixel grids and the pixel→data-domain mapping.
+//! * [`threshold`] — µ/σ estimation used to pick τKDV thresholds
+//!   exactly as §7.2 does.
+//!
+//! # Quick start
+//!
+//! ```
+//! use kdv_core::bandwidth::scott_gamma;
+//! use kdv_core::bounds::BoundFamily;
+//! use kdv_core::engine::RefineEvaluator;
+//! use kdv_core::kernel::Kernel;
+//! use kdv_core::method::PixelEvaluator;
+//! use kdv_geom::PointSet;
+//! use kdv_index::KdTree;
+//!
+//! let pts = PointSet::from_rows(2, &[0.0, 0.0, 1.0, 1.0, 0.5, 0.2, 2.0, 2.0]);
+//! let kernel = Kernel::gaussian(scott_gamma(&pts).gamma);
+//! let tree = KdTree::build_default(&pts);
+//! let mut quad = RefineEvaluator::new(&tree, kernel, BoundFamily::Quadratic);
+//! let density = quad.eval_eps(&[0.4, 0.3], 0.01);
+//! assert!(density > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bandwidth;
+pub mod bounds;
+pub mod engine;
+pub mod error;
+pub mod kernel;
+pub mod method;
+pub mod raster;
+pub mod regress;
+pub mod threshold;
+
+pub use bounds::{BoundFamily, Interval};
+pub use engine::RefineEvaluator;
+pub use error::KdvError;
+pub use kernel::{Kernel, KernelType};
+pub use method::{MethodKind, PixelEvaluator};
+pub use raster::{DensityGrid, RasterSpec};

@@ -1,0 +1,76 @@
+//! The EXACT baseline: sequential scan (paper §7.1, Table 6).
+
+use crate::kernel::Kernel;
+use crate::method::PixelEvaluator;
+use kdv_geom::vecmath::dist2;
+use kdv_geom::PointSet;
+
+/// Sequential-scan evaluator: `O(n·d)` per pixel, no index, no pruning.
+///
+/// This is both the paper's EXACT method and the ground-truth oracle
+/// for quality experiments.
+#[derive(Debug, Clone)]
+pub struct ExactScan<'a> {
+    points: &'a PointSet,
+    kernel: Kernel,
+}
+
+impl<'a> ExactScan<'a> {
+    /// Creates a scan evaluator over `points`.
+    pub fn new(points: &'a PointSet, kernel: Kernel) -> Self {
+        Self { points, kernel }
+    }
+
+    /// The exact density `F_P(q)`.
+    pub fn density(&self, q: &[f64]) -> f64 {
+        debug_assert_eq!(q.len(), self.points.dim());
+        let mut acc = 0.0;
+        for i in 0..self.points.len() {
+            acc += self.points.weight(i) * self.kernel.eval_dist2(dist2(q, self.points.point(i)));
+        }
+        acc
+    }
+}
+
+impl PixelEvaluator for ExactScan<'_> {
+    /// EXACT ignores ε: the result is the true density.
+    fn eval_eps(&mut self, q: &[f64], _eps: f64) -> f64 {
+        self.density(q)
+    }
+
+    fn eval_tau(&mut self, q: &[f64], tau: f64) -> bool {
+        self.density(q) >= tau
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KernelType;
+
+    #[test]
+    fn density_matches_hand_computation() {
+        // Two unit-weight points at distance 0 and √2 from the query.
+        let ps = PointSet::from_rows(2, &[1.0, 1.0, 2.0, 2.0]);
+        let k = Kernel::gaussian(0.5);
+        let scan = ExactScan::new(&ps, k);
+        let expect = 1.0 + (-0.5 * 2.0f64).exp();
+        assert!((scan.density(&[1.0, 1.0]) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_points_scale_density() {
+        let ps = PointSet::from_rows_weighted(2, &[0.0, 0.0], &[2.5]);
+        let scan = ExactScan::new(&ps, Kernel::new(KernelType::Triangular, 1.0));
+        assert!((scan.density(&[0.0, 0.0]) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tau_classification_is_exact() {
+        let ps = PointSet::from_rows(2, &[0.0, 0.0]);
+        let mut scan = ExactScan::new(&ps, Kernel::gaussian(1.0));
+        let f = scan.density(&[1.0, 0.0]);
+        assert!(scan.eval_tau(&[1.0, 0.0], f)); // boundary counts as hot
+        assert!(!scan.eval_tau(&[1.0, 0.0], f + 1e-12));
+    }
+}

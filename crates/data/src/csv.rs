@@ -1,0 +1,186 @@
+//! Minimal CSV I/O for point sets.
+//!
+//! Format: one point per line, coordinates comma-separated, optional
+//! trailing weight column when written with `with_weights = true`.
+//! Lines starting with `#` are comments. No external CSV dependency —
+//! the format is trivial and the parser is fully tested.
+
+use kdv_geom::PointSet;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Errors from CSV parsing.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A line could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "I/O error: {e}"),
+            CsvError::Parse { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<io::Error> for CsvError {
+    fn from(e: io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Parses a point set from CSV text.
+///
+/// `dim` columns of coordinates; if `has_weights`, one more column of
+/// weights. Blank lines and `#` comments are skipped.
+pub fn parse(text: &str, dim: usize, has_weights: bool) -> Result<PointSet, CsvError> {
+    assert!(dim > 0, "dimensionality must be positive");
+    let mut out = PointSet::new(dim);
+    let expected = dim + usize::from(has_weights);
+    let mut coords = vec![0.0; dim];
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split(',');
+        let mut count = 0usize;
+        let mut weight = 1.0;
+        for (i, field) in fields.by_ref().enumerate() {
+            let v: f64 = field.trim().parse().map_err(|e| CsvError::Parse {
+                line: lineno + 1,
+                message: format!("bad number {:?}: {e}", field.trim()),
+            })?;
+            if i < dim {
+                coords[i] = v;
+            } else if has_weights && i == dim {
+                weight = v;
+            } else {
+                return Err(CsvError::Parse {
+                    line: lineno + 1,
+                    message: format!("expected {expected} fields, found more"),
+                });
+            }
+            count = i + 1;
+        }
+        if count != expected {
+            return Err(CsvError::Parse {
+                line: lineno + 1,
+                message: format!("expected {expected} fields, found {count}"),
+            });
+        }
+        if !(weight.is_finite() && weight >= 0.0) {
+            return Err(CsvError::Parse {
+                line: lineno + 1,
+                message: format!("invalid weight {weight}"),
+            });
+        }
+        out.push_weighted(&coords, weight);
+    }
+    Ok(out)
+}
+
+/// Serializes a point set to CSV text.
+pub fn to_string(ps: &PointSet, with_weights: bool) -> String {
+    let mut s = String::new();
+    for i in 0..ps.len() {
+        let p = ps.point(i);
+        for (j, c) in p.iter().enumerate() {
+            if j > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "{c}");
+        }
+        if with_weights {
+            let _ = write!(s, ",{}", ps.weight(i));
+        }
+        s.push('\n');
+    }
+    s
+}
+
+/// Loads a point set from a CSV file.
+pub fn load(path: &Path, dim: usize, has_weights: bool) -> Result<PointSet, CsvError> {
+    parse(&fs::read_to_string(path)?, dim, has_weights)
+}
+
+/// Saves a point set to a CSV file.
+pub fn save(path: &Path, ps: &PointSet, with_weights: bool) -> Result<(), CsvError> {
+    fs::write(path, to_string(ps, with_weights))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_without_weights() {
+        let ps = PointSet::from_rows(2, &[1.0, 2.5, -3.25, 0.0]);
+        let text = to_string(&ps, false);
+        let back = parse(&text, 2, false).expect("parse");
+        assert_eq!(back, ps);
+    }
+
+    #[test]
+    fn roundtrip_with_weights() {
+        let ps = PointSet::from_rows_weighted(3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[0.5, 2.0]);
+        let text = to_string(&ps, true);
+        let back = parse(&text, 3, true).expect("parse");
+        assert_eq!(back, ps);
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let text = "# header\n\n1.0,2.0\n  # another\n3.0,4.0\n";
+        let ps = parse(text, 2, false).expect("parse");
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps.point(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn wrong_field_count_is_reported_with_line() {
+        let err = parse("1.0,2.0\n3.0\n", 2, false).err().expect("error");
+        match err {
+            CsvError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_number_is_reported() {
+        let err = parse("1.0,abc\n", 2, false).err().expect("error");
+        assert!(err.to_string().contains("abc"));
+    }
+
+    #[test]
+    fn negative_weight_rejected() {
+        let err = parse("0.0,0.0,-1.0\n", 2, true).err().expect("error");
+        assert!(err.to_string().contains("invalid weight"));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("kdv_csv_test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("pts.csv");
+        let ps = PointSet::from_rows(2, &[9.0, 8.0, 7.0, 6.0]);
+        save(&path, &ps, false).expect("save");
+        let back = load(&path, 2, false).expect("load");
+        assert_eq!(back, ps);
+        let _ = std::fs::remove_file(&path);
+    }
+}

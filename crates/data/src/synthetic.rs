@@ -1,0 +1,219 @@
+//! Synthetic point-cloud building blocks.
+
+use kdv_geom::PointSet;
+use rand::distributions::Distribution as _;
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng as _};
+use rand_distr_normal::Normal;
+
+/// Minimal normal sampler (Box–Muller) so we stay within the approved
+/// dependency set (`rand` ships no Gaussian distribution by itself).
+mod rand_distr_normal {
+    use rand::Rng;
+
+    /// A normal distribution `N(mean, std²)`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Normal {
+        mean: f64,
+        std: f64,
+    }
+
+    impl Normal {
+        /// Creates the distribution.
+        ///
+        /// # Panics
+        /// Panics if `std` is negative or non-finite.
+        pub fn new(mean: f64, std: f64) -> Self {
+            assert!(std.is_finite() && std >= 0.0, "std must be ≥ 0");
+            Self { mean, std }
+        }
+    }
+
+    impl rand::distributions::Distribution<f64> for Normal {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+            // Box–Muller; one value per call keeps the code simple and
+            // deterministic under seeding.
+            let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+            self.mean + self.std * z
+        }
+    }
+}
+
+/// One component of a Gaussian mixture.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixtureComponent {
+    /// Component mean (dimensionality sets the output dimensionality).
+    pub mean: Vec<f64>,
+    /// Per-axis standard deviation.
+    pub std: Vec<f64>,
+    /// Relative sampling weight (need not be normalized).
+    pub weight: f64,
+}
+
+impl MixtureComponent {
+    /// Convenience constructor for an isotropic component.
+    pub fn isotropic(mean: Vec<f64>, std: f64, weight: f64) -> Self {
+        let d = mean.len();
+        Self {
+            mean,
+            std: vec![std; d],
+            weight,
+        }
+    }
+}
+
+/// Samples `n` points from a Gaussian mixture.
+///
+/// # Panics
+/// Panics if the component list is empty, components disagree in
+/// dimensionality, or all weights are zero.
+pub fn gaussian_mixture(n: usize, components: &[MixtureComponent], seed: u64) -> PointSet {
+    assert!(!components.is_empty(), "mixture needs components");
+    let d = components[0].mean.len();
+    for c in components {
+        assert_eq!(c.mean.len(), d, "component dimensionality mismatch");
+        assert_eq!(c.std.len(), d, "std dimensionality mismatch");
+        assert!(c.weight >= 0.0, "negative component weight");
+    }
+    let total: f64 = components.iter().map(|c| c.weight).sum();
+    assert!(total > 0.0, "all component weights are zero");
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = PointSet::with_capacity(d, n);
+    let mut coords = vec![0.0; d];
+    for _ in 0..n {
+        let mut pick = rng.gen_range(0.0..total);
+        let mut chosen = &components[0];
+        for c in components {
+            if pick < c.weight {
+                chosen = c;
+                break;
+            }
+            pick -= c.weight;
+        }
+        for j in 0..d {
+            coords[j] = Normal::new(chosen.mean[j], chosen.std[j]).sample(&mut rng);
+        }
+        out.push(&coords);
+    }
+    out
+}
+
+/// Samples `n` points uniformly from the box `[lo, hi]^d`.
+///
+/// # Panics
+/// Panics if `lo >= hi` or `dim == 0`.
+pub fn uniform(n: usize, dim: usize, lo: f64, hi: f64, seed: u64) -> PointSet {
+    assert!(lo < hi, "uniform range must be non-empty");
+    assert!(dim > 0, "dimensionality must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = PointSet::with_capacity(dim, n);
+    let mut coords = vec![0.0; dim];
+    for _ in 0..n {
+        for c in coords.iter_mut() {
+            *c = rng.gen_range(lo..hi);
+        }
+        out.push(&coords);
+    }
+    out
+}
+
+/// Samples `n` 2-D points on an annulus of radius `radius ± thickness`.
+///
+/// # Panics
+/// Panics on negative radius/thickness.
+pub fn ring(n: usize, center: [f64; 2], radius: f64, thickness: f64, seed: u64) -> PointSet {
+    assert!(radius >= 0.0 && thickness >= 0.0, "invalid ring geometry");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = PointSet::with_capacity(2, n);
+    for _ in 0..n {
+        let angle = rng.gen_range(0.0..std::f64::consts::TAU);
+        let r = radius + Normal::new(0.0, thickness).sample(&mut rng);
+        out.push(&[center[0] + r * angle.cos(), center[1] + r * angle.sin()]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixture_has_requested_shape() {
+        let comps = [
+            MixtureComponent::isotropic(vec![0.0, 0.0], 1.0, 1.0),
+            MixtureComponent::isotropic(vec![10.0, 10.0], 1.0, 1.0),
+        ];
+        let ps = gaussian_mixture(1000, &comps, 42);
+        assert_eq!(ps.len(), 1000);
+        assert_eq!(ps.dim(), 2);
+    }
+
+    #[test]
+    fn mixture_is_deterministic_under_seed() {
+        let comps = [MixtureComponent::isotropic(vec![0.0, 0.0], 1.0, 1.0)];
+        let a = gaussian_mixture(100, &comps, 7);
+        let b = gaussian_mixture(100, &comps, 7);
+        assert_eq!(a, b);
+        let c = gaussian_mixture(100, &comps, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn mixture_components_balance() {
+        let comps = [
+            MixtureComponent::isotropic(vec![-50.0], 1.0, 1.0),
+            MixtureComponent::isotropic(vec![50.0], 1.0, 3.0),
+        ];
+        let ps = gaussian_mixture(8000, &comps, 11);
+        let right = (0..ps.len()).filter(|&i| ps.point(i)[0] > 0.0).count();
+        let frac = right as f64 / ps.len() as f64;
+        assert!((frac - 0.75).abs() < 0.03, "weight 3:1 → 75% right, got {frac}");
+    }
+
+    #[test]
+    fn mixture_sample_moments_match() {
+        let comps = [MixtureComponent {
+            mean: vec![2.0, -1.0],
+            std: vec![0.5, 2.0],
+            weight: 1.0,
+        }];
+        let ps = gaussian_mixture(20000, &comps, 13);
+        let mean = ps.mean().expect("non-empty");
+        let std = ps.std_dev().expect("non-empty");
+        assert!((mean[0] - 2.0).abs() < 0.05);
+        assert!((mean[1] + 1.0).abs() < 0.1);
+        assert!((std[0] - 0.5).abs() < 0.05);
+        assert!((std[1] - 2.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn uniform_stays_in_box() {
+        let ps = uniform(500, 3, -2.0, 5.0, 3);
+        for i in 0..ps.len() {
+            for &c in ps.point(i) {
+                assert!((-2.0..5.0).contains(&c));
+            }
+        }
+    }
+
+    #[test]
+    fn ring_points_near_radius() {
+        let ps = ring(2000, [1.0, 2.0], 5.0, 0.1, 17);
+        let mut mean_r = 0.0;
+        for i in 0..ps.len() {
+            let p = ps.point(i);
+            mean_r += ((p[0] - 1.0).powi(2) + (p[1] - 2.0).powi(2)).sqrt();
+        }
+        mean_r /= ps.len() as f64;
+        assert!((mean_r - 5.0).abs() < 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs components")]
+    fn empty_mixture_panics() {
+        gaussian_mixture(10, &[], 0);
+    }
+}

@@ -1,0 +1,26 @@
+//! Geometric primitives for kernel density visualization.
+//!
+//! This crate is the lowest layer of the QUAD reproduction workspace. It
+//! provides:
+//!
+//! * [`PointSet`] — a flat, cache-friendly, dynamically-dimensioned
+//!   collection of weighted points (row-major `Vec<f64>` storage),
+//! * [`Mbr`] — axis-aligned minimum bounding rectangles with the
+//!   minimum/maximum distance computations that every bound function in
+//!   the paper's §3–§5 is built on,
+//! * [`vecmath`] — small dense-vector helpers (dot products, squared
+//!   norms, squared distances) shared by the index and bound layers.
+//!
+//! Everything here is deliberately dependency-free and allocation-averse:
+//! the per-pixel hot loops of the KDV engine call
+//! [`Mbr::min_dist2`]/[`Mbr::max_dist2`] millions of times.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod mbr;
+pub mod point;
+pub mod vecmath;
+
+pub use mbr::Mbr;
+pub use point::{PointRef, PointSet};

@@ -1,0 +1,380 @@
+//! Axis-aligned minimum bounding rectangles (MBRs).
+//!
+//! Every bound function in the paper (§3.3 interval bounds, §4 Gaussian
+//! quadratic bounds, §5 distance-kernel bounds) derives its bounding
+//! interval `[x_min, x_max]` from the minimum and maximum Euclidean
+//! distances between the query pixel `q` and the MBR of an index node's
+//! points. Those two distance computations are `O(d)` and sit on the
+//! hot path of the refinement engine.
+
+use crate::point::PointSet;
+
+/// An axis-aligned bounding rectangle in `d` dimensions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mbr {
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+}
+
+impl Mbr {
+    /// Creates an MBR from explicit corner vectors.
+    ///
+    /// # Panics
+    /// Panics if the corners disagree in length, are empty, or if any
+    /// `lo[i] > hi[i]`.
+    pub fn new(lo: Vec<f64>, hi: Vec<f64>) -> Self {
+        assert_eq!(lo.len(), hi.len(), "corner dimensionality mismatch");
+        assert!(!lo.is_empty(), "MBR must have positive dimensionality");
+        for i in 0..lo.len() {
+            assert!(lo[i] <= hi[i], "inverted MBR on axis {i}");
+        }
+        Self { lo, hi }
+    }
+
+    /// Computes the MBR of points `indices` within `ps`.
+    ///
+    /// Returns `None` if `indices` is empty.
+    pub fn of_points(ps: &PointSet, indices: &[usize]) -> Option<Self> {
+        let first = *indices.first()?;
+        let mut lo = ps.point(first).to_vec();
+        let mut hi = lo.clone();
+        for &i in &indices[1..] {
+            let p = ps.point(i);
+            for j in 0..p.len() {
+                if p[j] < lo[j] {
+                    lo[j] = p[j];
+                }
+                if p[j] > hi[j] {
+                    hi[j] = p[j];
+                }
+            }
+        }
+        Some(Self { lo, hi })
+    }
+
+    /// Computes the MBR of an entire point set. `None` if empty.
+    pub fn of_set(ps: &PointSet) -> Option<Self> {
+        if ps.is_empty() {
+            return None;
+        }
+        let mut lo = ps.point(0).to_vec();
+        let mut hi = lo.clone();
+        for i in 1..ps.len() {
+            let p = ps.point(i);
+            for j in 0..p.len() {
+                if p[j] < lo[j] {
+                    lo[j] = p[j];
+                }
+                if p[j] > hi[j] {
+                    hi[j] = p[j];
+                }
+            }
+        }
+        Some(Self { lo, hi })
+    }
+
+    /// Dimensionality of the rectangle.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Lower corner.
+    #[inline]
+    pub fn lo(&self) -> &[f64] {
+        &self.lo
+    }
+
+    /// Upper corner.
+    #[inline]
+    pub fn hi(&self) -> &[f64] {
+        &self.hi
+    }
+
+    /// Whether `q` lies inside (or on the boundary of) the rectangle.
+    pub fn contains(&self, q: &[f64]) -> bool {
+        debug_assert_eq!(q.len(), self.dim());
+        (0..self.dim()).all(|i| self.lo[i] <= q[i] && q[i] <= self.hi[i])
+    }
+
+    /// Squared minimum distance from `q` to any point of the rectangle
+    /// (zero when `q` is inside).
+    #[inline]
+    pub fn min_dist2(&self, q: &[f64]) -> f64 {
+        debug_assert_eq!(q.len(), self.dim());
+        let mut acc = 0.0;
+        for i in 0..q.len() {
+            let v = q[i];
+            let d = if v < self.lo[i] {
+                self.lo[i] - v
+            } else if v > self.hi[i] {
+                v - self.hi[i]
+            } else {
+                0.0
+            };
+            acc += d * d;
+        }
+        acc
+    }
+
+    /// Squared maximum distance from `q` to any point of the rectangle
+    /// (attained at the corner farthest from `q` on every axis).
+    #[inline]
+    pub fn max_dist2(&self, q: &[f64]) -> f64 {
+        debug_assert_eq!(q.len(), self.dim());
+        let mut acc = 0.0;
+        for i in 0..q.len() {
+            let v = q[i];
+            let a = (v - self.lo[i]).abs();
+            let b = (v - self.hi[i]).abs();
+            let d = if a > b { a } else { b };
+            acc += d * d;
+        }
+        acc
+    }
+
+    /// Minimum distance (not squared) from `q` to the rectangle.
+    #[inline]
+    pub fn min_dist(&self, q: &[f64]) -> f64 {
+        self.min_dist2(q).sqrt()
+    }
+
+    /// Maximum distance (not squared) from `q` to the rectangle.
+    #[inline]
+    pub fn max_dist(&self, q: &[f64]) -> f64 {
+        self.max_dist2(q).sqrt()
+    }
+
+    /// Length of the rectangle on axis `i`.
+    #[inline]
+    pub fn extent(&self, i: usize) -> f64 {
+        self.hi[i] - self.lo[i]
+    }
+
+    /// Index of the axis with the largest extent (the split axis for the
+    /// kd-tree builder).
+    pub fn widest_axis(&self) -> usize {
+        let mut best = 0;
+        let mut best_ext = self.extent(0);
+        for i in 1..self.dim() {
+            let e = self.extent(i);
+            if e > best_ext {
+                best_ext = e;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Squared minimum distance between any point of `self` and any
+    /// point of `other` (zero when the rectangles intersect).
+    ///
+    /// This powers tile-level KDV pruning: it lower-bounds
+    /// `dist(q, p)` for *every* query in one box and every point in the
+    /// other.
+    ///
+    /// # Panics
+    /// Debug-panics on dimensionality mismatch.
+    pub fn min_dist2_box(&self, other: &Mbr) -> f64 {
+        debug_assert_eq!(self.dim(), other.dim());
+        let mut acc = 0.0;
+        for i in 0..self.dim() {
+            let gap = if other.hi[i] < self.lo[i] {
+                self.lo[i] - other.hi[i]
+            } else if self.hi[i] < other.lo[i] {
+                other.lo[i] - self.hi[i]
+            } else {
+                0.0
+            };
+            acc += gap * gap;
+        }
+        acc
+    }
+
+    /// Squared maximum distance between any point of `self` and any
+    /// point of `other` (attained corner-to-corner).
+    ///
+    /// # Panics
+    /// Debug-panics on dimensionality mismatch.
+    pub fn max_dist2_box(&self, other: &Mbr) -> f64 {
+        debug_assert_eq!(self.dim(), other.dim());
+        let mut acc = 0.0;
+        for i in 0..self.dim() {
+            let a = (self.hi[i] - other.lo[i]).abs();
+            let b = (other.hi[i] - self.lo[i]).abs();
+            let d = if a > b { a } else { b };
+            acc += d * d;
+        }
+        acc
+    }
+
+    /// Smallest rectangle containing both `self` and `other`.
+    ///
+    /// # Panics
+    /// Panics on dimensionality mismatch.
+    pub fn union(&self, other: &Mbr) -> Mbr {
+        assert_eq!(self.dim(), other.dim(), "MBR dimensionality mismatch");
+        let lo = self
+            .lo
+            .iter()
+            .zip(&other.lo)
+            .map(|(&a, &b)| a.min(b))
+            .collect();
+        let hi = self
+            .hi
+            .iter()
+            .zip(&other.hi)
+            .map(|(&a, &b)| a.max(b))
+            .collect();
+        Mbr { lo, hi }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vecmath::dist2;
+    use proptest::prelude::*;
+
+    #[test]
+    fn of_points_covers_selection() {
+        let ps = PointSet::from_rows(2, &[0.0, 0.0, 2.0, 3.0, -1.0, 1.0]);
+        let mbr = Mbr::of_points(&ps, &[0, 2]).unwrap();
+        assert_eq!(mbr.lo(), &[-1.0, 0.0]);
+        assert_eq!(mbr.hi(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn of_points_empty_is_none() {
+        let ps = PointSet::from_rows(2, &[0.0, 0.0]);
+        assert!(Mbr::of_points(&ps, &[]).is_none());
+        assert!(Mbr::of_set(&PointSet::new(2)).is_none());
+    }
+
+    #[test]
+    fn inside_query_has_zero_min_dist() {
+        let mbr = Mbr::new(vec![0.0, 0.0], vec![2.0, 2.0]);
+        assert_eq!(mbr.min_dist2(&[1.0, 1.5]), 0.0);
+        assert!(mbr.contains(&[1.0, 1.5]));
+        assert!(!mbr.contains(&[3.0, 1.0]));
+    }
+
+    #[test]
+    fn min_dist_outside_matches_hand_computation() {
+        let mbr = Mbr::new(vec![0.0, 0.0], vec![1.0, 1.0]);
+        // query at (4, 5): nearest corner is (1,1) → distance² = 9 + 16.
+        assert_eq!(mbr.min_dist2(&[4.0, 5.0]), 25.0);
+        assert_eq!(mbr.min_dist(&[4.0, 5.0]), 5.0);
+    }
+
+    #[test]
+    fn max_dist_inside_reaches_far_corner() {
+        let mbr = Mbr::new(vec![0.0, 0.0], vec![4.0, 4.0]);
+        // from (1,1) the far corner is (4,4): distance² = 9 + 9.
+        assert_eq!(mbr.max_dist2(&[1.0, 1.0]), 18.0);
+    }
+
+    #[test]
+    fn widest_axis_picks_largest_extent() {
+        let mbr = Mbr::new(vec![0.0, 0.0, 0.0], vec![1.0, 5.0, 2.0]);
+        assert_eq!(mbr.widest_axis(), 1);
+    }
+
+    #[test]
+    fn union_covers_both() {
+        let a = Mbr::new(vec![0.0, 0.0], vec![1.0, 1.0]);
+        let b = Mbr::new(vec![-1.0, 0.5], vec![0.5, 3.0]);
+        let u = a.union(&b);
+        assert_eq!(u.lo(), &[-1.0, 0.0]);
+        assert_eq!(u.hi(), &[1.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted MBR")]
+    fn inverted_corners_panic() {
+        Mbr::new(vec![1.0], vec![0.0]);
+    }
+
+    #[test]
+    fn box_distances_hand_cases() {
+        let a = Mbr::new(vec![0.0, 0.0], vec![1.0, 1.0]);
+        let b = Mbr::new(vec![4.0, 1.0], vec![5.0, 2.0]);
+        // x-gap 3, y-gap 0.
+        assert_eq!(a.min_dist2_box(&b), 9.0);
+        // farthest corners: (0,0) ↔ (5,2): 25 + 4.
+        assert_eq!(a.max_dist2_box(&b), 29.0);
+        // Overlapping boxes have zero min distance.
+        let c = Mbr::new(vec![0.5, 0.5], vec![2.0, 2.0]);
+        assert_eq!(a.min_dist2_box(&c), 0.0);
+    }
+
+    fn arb_points(n: usize) -> impl Strategy<Value = Vec<f64>> {
+        proptest::collection::vec(-100.0..100.0f64, n * 2)
+    }
+
+    proptest! {
+        /// The defining property of the bounding interval used by every
+        /// bound function in the paper: for each indexed point p and any
+        /// query q, min_dist(q, MBR) ≤ dist(q, p) ≤ max_dist(q, MBR).
+        #[test]
+        fn min_max_dist_bracket_every_point(
+            flat in arb_points(12),
+            q in proptest::collection::vec(-150.0..150.0f64, 2),
+        ) {
+            let ps = PointSet::from_rows(2, &flat);
+            let mbr = Mbr::of_set(&ps).unwrap();
+            let dmin2 = mbr.min_dist2(&q);
+            let dmax2 = mbr.max_dist2(&q);
+            prop_assert!(dmin2 <= dmax2 + 1e-12);
+            for i in 0..ps.len() {
+                let d2 = dist2(&q, ps.point(i));
+                prop_assert!(dmin2 <= d2 + 1e-9, "min_dist2 {} > d2 {}", dmin2, d2);
+                prop_assert!(d2 <= dmax2 + 1e-9, "d2 {} > max_dist2 {}", d2, dmax2);
+            }
+        }
+
+        /// Box-to-box distances bracket every point-to-point distance —
+        /// the soundness property tile pruning relies on.
+        #[test]
+        fn box_distances_bracket_pointwise(
+            flat_a in arb_points(8),
+            flat_b in arb_points(8),
+        ) {
+            let pa = PointSet::from_rows(2, &flat_a);
+            let pb = PointSet::from_rows(2, &flat_b);
+            let a = Mbr::of_set(&pa).unwrap();
+            let b = Mbr::of_set(&pb).unwrap();
+            let dmin2 = a.min_dist2_box(&b);
+            let dmax2 = a.max_dist2_box(&b);
+            prop_assert_eq!(dmin2.total_cmp(&0.0) == std::cmp::Ordering::Less, false);
+            for i in 0..pa.len() {
+                for j in 0..pb.len() {
+                    let d2 = dist2(pa.point(i), pb.point(j));
+                    prop_assert!(dmin2 <= d2 + 1e-9);
+                    prop_assert!(d2 <= dmax2 + 1e-9);
+                }
+            }
+            // Symmetry.
+            prop_assert!((a.min_dist2_box(&b) - b.min_dist2_box(&a)).abs() < 1e-12);
+            prop_assert!((a.max_dist2_box(&b) - b.max_dist2_box(&a)).abs() < 1e-12);
+        }
+
+        /// max_dist2 is attained at one of the rectangle corners.
+        #[test]
+        fn max_dist_attained_at_corner(
+            lo0 in -50.0..0.0f64, hi0 in 0.0..50.0f64,
+            lo1 in -50.0..0.0f64, hi1 in 0.0..50.0f64,
+            q in proptest::collection::vec(-80.0..80.0f64, 2),
+        ) {
+            let mbr = Mbr::new(vec![lo0, lo1], vec![hi0, hi1]);
+            let corners = [
+                [lo0, lo1], [lo0, hi1], [hi0, lo1], [hi0, hi1],
+            ];
+            let best = corners
+                .iter()
+                .map(|c| dist2(&q, c))
+                .fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!((mbr.max_dist2(&q) - best).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,377 @@
+//! Weighted, dynamically-dimensioned point sets in flat storage.
+//!
+//! The QUAD paper evaluates KDV on 2-dimensional datasets but sweeps the
+//! dimensionality up to 10 in its KDE experiment (Fig 24), so dimension
+//! is a runtime value. Coordinates live in one row-major `Vec<f64>` —
+//! point `i` occupies `coords[i*dim .. (i+1)*dim]` — which keeps tree
+//! construction and leaf scans sequential in memory.
+//!
+//! Every point carries a weight `wᵢ`. The paper's Equation 1 uses one
+//! global `w`; per-point weights generalize this so that Z-order coreset
+//! samples (whose points are re-weighted, paper §2 footnote 5) run
+//! through exactly the same engine.
+
+use crate::vecmath;
+
+/// A borrowed view of a single weighted point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PointRef<'a> {
+    /// Coordinates of the point (`dim` values).
+    pub coords: &'a [f64],
+    /// Weight of the point in the kernel aggregation.
+    pub weight: f64,
+}
+
+/// A set of weighted points of uniform dimensionality.
+///
+/// # Examples
+/// ```
+/// use kdv_geom::PointSet;
+/// let ps = PointSet::from_rows(2, &[0.0, 0.0, 1.0, 1.0, 2.0, 0.5]);
+/// assert_eq!(ps.len(), 3);
+/// assert_eq!(ps.point(1), &[1.0, 1.0]);
+/// assert_eq!(ps.weight(1), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointSet {
+    dim: usize,
+    coords: Vec<f64>,
+    weights: Vec<f64>,
+}
+
+impl PointSet {
+    /// Creates an empty point set of dimensionality `dim`.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0`.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "point dimensionality must be positive");
+        Self {
+            dim,
+            coords: Vec::new(),
+            weights: Vec::new(),
+        }
+    }
+
+    /// Creates an empty point set with room for `n` points.
+    pub fn with_capacity(dim: usize, n: usize) -> Self {
+        assert!(dim > 0, "point dimensionality must be positive");
+        Self {
+            dim,
+            coords: Vec::with_capacity(n * dim),
+            weights: Vec::with_capacity(n),
+        }
+    }
+
+    /// Builds a unit-weight point set from row-major flat coordinates.
+    ///
+    /// # Panics
+    /// Panics if `flat.len()` is not a multiple of `dim` or `dim == 0`.
+    pub fn from_rows(dim: usize, flat: &[f64]) -> Self {
+        assert!(dim > 0, "point dimensionality must be positive");
+        assert!(
+            flat.len() % dim == 0,
+            "flat coordinate buffer length {} is not a multiple of dim {}",
+            flat.len(),
+            dim
+        );
+        let n = flat.len() / dim;
+        Self {
+            dim,
+            coords: flat.to_vec(),
+            weights: vec![1.0; n],
+        }
+    }
+
+    /// Builds a point set from flat coordinates and per-point weights.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch, `dim == 0`, or a non-finite/negative
+    /// weight.
+    pub fn from_rows_weighted(dim: usize, flat: &[f64], weights: &[f64]) -> Self {
+        assert!(dim > 0, "point dimensionality must be positive");
+        assert!(flat.len() % dim == 0, "flat buffer not a multiple of dim");
+        assert_eq!(flat.len() / dim, weights.len(), "weight count mismatch");
+        for &w in weights {
+            assert!(w.is_finite() && w >= 0.0, "weights must be finite and ≥ 0");
+        }
+        Self {
+            dim,
+            coords: flat.to_vec(),
+            weights: weights.to_vec(),
+        }
+    }
+
+    /// Appends one point with weight 1.
+    ///
+    /// # Panics
+    /// Panics if `coords.len() != self.dim()`.
+    pub fn push(&mut self, coords: &[f64]) {
+        self.push_weighted(coords, 1.0);
+    }
+
+    /// Appends one weighted point.
+    ///
+    /// # Panics
+    /// Panics if `coords.len() != self.dim()` or the weight is invalid.
+    pub fn push_weighted(&mut self, coords: &[f64], weight: f64) {
+        assert_eq!(coords.len(), self.dim, "coordinate dimensionality mismatch");
+        assert!(weight.is_finite() && weight >= 0.0, "invalid weight");
+        self.coords.extend_from_slice(coords);
+        self.weights.push(weight);
+    }
+
+    /// Dimensionality of every point in the set.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Whether the set contains no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Coordinates of point `i`.
+    #[inline]
+    pub fn point(&self, i: usize) -> &[f64] {
+        &self.coords[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Weight of point `i`.
+    #[inline]
+    pub fn weight(&self, i: usize) -> f64 {
+        self.weights[i]
+    }
+
+    /// Borrowed view of point `i`.
+    #[inline]
+    pub fn point_ref(&self, i: usize) -> PointRef<'_> {
+        PointRef {
+            coords: self.point(i),
+            weight: self.weights[i],
+        }
+    }
+
+    /// The raw row-major coordinate buffer.
+    #[inline]
+    pub fn coords(&self) -> &[f64] {
+        &self.coords
+    }
+
+    /// The per-point weight buffer.
+    #[inline]
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Sum of all point weights (`W = Σ wᵢ`, the paper's `w·|P|` for
+    /// uniform weights).
+    pub fn total_weight(&self) -> f64 {
+        self.weights.iter().sum()
+    }
+
+    /// Iterates over borrowed point views.
+    pub fn iter(&self) -> impl Iterator<Item = PointRef<'_>> + '_ {
+        (0..self.len()).map(move |i| self.point_ref(i))
+    }
+
+    /// Multiplies every weight by `s` (used to apply the kernel
+    /// normalization constant from bandwidth selection).
+    ///
+    /// # Panics
+    /// Panics if `s` is negative or non-finite.
+    pub fn scale_weights(&mut self, s: f64) {
+        assert!(s.is_finite() && s >= 0.0, "invalid weight scale");
+        for w in &mut self.weights {
+            *w *= s;
+        }
+    }
+
+    /// Returns a new point set containing the selected indices, in order.
+    ///
+    /// # Panics
+    /// Panics if any index is out of bounds.
+    pub fn select(&self, indices: &[usize]) -> PointSet {
+        let mut out = PointSet::with_capacity(self.dim, indices.len());
+        for &i in indices {
+            out.push_weighted(self.point(i), self.weight(i));
+        }
+        out
+    }
+
+    /// Returns a new point set keeping only the first `k` coordinates of
+    /// every point (used after PCA orders dimensions by variance).
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or `k > self.dim()`.
+    pub fn truncate_dims(&self, k: usize) -> PointSet {
+        assert!(k > 0 && k <= self.dim, "invalid target dimensionality");
+        let mut out = PointSet::with_capacity(k, self.len());
+        for i in 0..self.len() {
+            out.push_weighted(&self.point(i)[..k], self.weight(i));
+        }
+        out
+    }
+
+    /// Per-dimension mean of the points, ignoring weights (as used by
+    /// Scott's rule, which is defined on the raw sample).
+    ///
+    /// Returns `None` for an empty set.
+    pub fn mean(&self) -> Option<Vec<f64>> {
+        if self.is_empty() {
+            return None;
+        }
+        let mut mean = vec![0.0; self.dim];
+        for i in 0..self.len() {
+            vecmath::axpy(&mut mean, 1.0, self.point(i));
+        }
+        let inv = 1.0 / self.len() as f64;
+        for m in &mut mean {
+            *m *= inv;
+        }
+        Some(mean)
+    }
+
+    /// Per-dimension sample standard deviation (denominator `n − 1`;
+    /// `n = 1` yields zeros). Returns `None` for an empty set.
+    pub fn std_dev(&self) -> Option<Vec<f64>> {
+        let mean = self.mean()?;
+        let n = self.len();
+        let mut var = vec![0.0; self.dim];
+        for i in 0..n {
+            let p = self.point(i);
+            for (j, v) in var.iter_mut().enumerate() {
+                let d = p[j] - mean[j];
+                *v += d * d;
+            }
+        }
+        let denom = if n > 1 { (n - 1) as f64 } else { 1.0 };
+        for v in &mut var {
+            *v = (*v / denom).sqrt();
+        }
+        Some(var)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_set() -> PointSet {
+        PointSet::from_rows(2, &[0.0, 0.0, 1.0, 2.0, -1.0, 4.0])
+    }
+
+    #[test]
+    fn from_rows_basic_shape() {
+        let ps = sample_set();
+        assert_eq!(ps.dim(), 2);
+        assert_eq!(ps.len(), 3);
+        assert_eq!(ps.point(2), &[-1.0, 4.0]);
+        assert!(!ps.is_empty());
+    }
+
+    #[test]
+    fn unit_weights_by_default() {
+        let ps = sample_set();
+        assert!(ps.weights().iter().all(|&w| w == 1.0));
+        assert_eq!(ps.total_weight(), 3.0);
+    }
+
+    #[test]
+    fn push_weighted_roundtrip() {
+        let mut ps = PointSet::new(3);
+        ps.push_weighted(&[1.0, 2.0, 3.0], 0.5);
+        ps.push(&[4.0, 5.0, 6.0]);
+        assert_eq!(ps.weight(0), 0.5);
+        assert_eq!(ps.weight(1), 1.0);
+        assert_eq!(ps.point_ref(0).coords, &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn push_wrong_dim_panics() {
+        let mut ps = PointSet::new(2);
+        ps.push(&[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid weight")]
+    fn negative_weight_panics() {
+        let mut ps = PointSet::new(2);
+        ps.push_weighted(&[0.0, 0.0], -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of dim")]
+    fn ragged_flat_buffer_panics() {
+        PointSet::from_rows(2, &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn select_reorders() {
+        let ps = sample_set();
+        let sel = ps.select(&[2, 0]);
+        assert_eq!(sel.len(), 2);
+        assert_eq!(sel.point(0), &[-1.0, 4.0]);
+        assert_eq!(sel.point(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn truncate_dims_keeps_prefix() {
+        let ps = PointSet::from_rows(3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let t = ps.truncate_dims(2);
+        assert_eq!(t.dim(), 2);
+        assert_eq!(t.point(1), &[4.0, 5.0]);
+    }
+
+    #[test]
+    fn mean_and_std_small_case() {
+        let ps = PointSet::from_rows(1, &[1.0, 3.0]);
+        assert_eq!(ps.mean().unwrap(), vec![2.0]);
+        // sample std of {1, 3} is sqrt(2).
+        assert!((ps.std_dev().unwrap()[0] - 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_set_has_no_moments() {
+        let ps = PointSet::new(2);
+        assert!(ps.mean().is_none());
+        assert!(ps.std_dev().is_none());
+    }
+
+    #[test]
+    fn scale_weights_scales_total() {
+        let mut ps = sample_set();
+        ps.scale_weights(0.5);
+        assert!((ps.total_weight() - 1.5).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn iter_agrees_with_indexing(flat in proptest::collection::vec(-1e3..1e3f64, 0..60)) {
+            let n = flat.len() / 2 * 2;
+            let ps = PointSet::from_rows(2, &flat[..n]);
+            for (i, pr) in ps.iter().enumerate() {
+                prop_assert_eq!(pr.coords, ps.point(i));
+                prop_assert_eq!(pr.weight, ps.weight(i));
+            }
+        }
+
+        #[test]
+        fn total_weight_matches_sum(ws in proptest::collection::vec(0.0..10.0f64, 1..50)) {
+            let flat: Vec<f64> = ws.iter().flat_map(|&w| [w, -w]).collect();
+            let ps = PointSet::from_rows_weighted(2, &flat, &ws);
+            let sum: f64 = ws.iter().sum();
+            prop_assert!((ps.total_weight() - sum).abs() < 1e-9);
+        }
+    }
+}

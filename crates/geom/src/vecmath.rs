@@ -1,0 +1,141 @@
+//! Dense-vector helpers used by index statistics and bound evaluation.
+//!
+//! All functions operate on `&[f64]` slices of equal length. They are the
+//! innermost kernels of the whole system, so they are written as plain
+//! indexed loops that LLVM auto-vectorizes well for the small `d`
+//! (typically 2–10) used in KDV.
+
+/// Dot product `a · b`.
+///
+/// # Panics
+/// Panics in debug builds if the slices have different lengths.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0;
+    for i in 0..a.len() {
+        acc += a[i] * b[i];
+    }
+    acc
+}
+
+/// Squared Euclidean norm `‖a‖²`.
+#[inline]
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a)
+}
+
+/// Squared Euclidean distance `‖a − b‖²`.
+#[inline]
+pub fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0;
+    for i in 0..a.len() {
+        let d = a[i] - b[i];
+        acc += d * d;
+    }
+    acc
+}
+
+/// Euclidean distance `‖a − b‖`.
+#[inline]
+pub fn dist(a: &[f64], b: &[f64]) -> f64 {
+    dist2(a, b).sqrt()
+}
+
+/// `out += s * a`, the fused accumulate used when building node moments.
+#[inline]
+pub fn axpy(out: &mut [f64], s: f64, a: &[f64]) {
+    debug_assert_eq!(out.len(), a.len());
+    for i in 0..a.len() {
+        out[i] += s * a[i];
+    }
+}
+
+/// Quadratic form `qᵀ C q` for a symmetric matrix `C` stored row-major as
+/// a flat `d × d` slice.
+///
+/// This is the `O(d²)` step of Lemma 3 in the paper: evaluating the
+/// fourth-moment term `Σ (qᵀ pᵢ)² = qᵀ C q` with `C = Σ pᵢ pᵢᵀ`.
+#[inline]
+pub fn quadratic_form(c: &[f64], q: &[f64]) -> f64 {
+    let d = q.len();
+    debug_assert_eq!(c.len(), d * d);
+    let mut acc = 0.0;
+    for i in 0..d {
+        let row = &c[i * d..(i + 1) * d];
+        let mut rowdot = 0.0;
+        for j in 0..d {
+            rowdot += row[j] * q[j];
+        }
+        acc += q[i] * rowdot;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_matches_manual() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    fn dot_empty_is_zero() {
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn norm2_matches_dot() {
+        let v = [3.0, -4.0];
+        assert_eq!(norm2(&v), 25.0);
+    }
+
+    #[test]
+    fn dist2_symmetry() {
+        let a = [1.0, 2.0, -1.5];
+        let b = [0.5, -2.0, 3.0];
+        assert_eq!(dist2(&a, &b), dist2(&b, &a));
+    }
+
+    #[test]
+    fn dist_is_sqrt_of_dist2() {
+        let a = [0.0, 0.0];
+        let b = [3.0, 4.0];
+        assert_eq!(dist(&a, &b), 5.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut out = vec![1.0, 1.0];
+        axpy(&mut out, 2.0, &[3.0, -1.0]);
+        assert_eq!(out, vec![7.0, -1.0]);
+    }
+
+    #[test]
+    fn quadratic_form_identity_is_norm2() {
+        let q = [1.5, -2.0, 0.5];
+        let mut c = vec![0.0; 9];
+        for i in 0..3 {
+            c[i * 3 + i] = 1.0;
+        }
+        assert!((quadratic_form(&c, &q) - norm2(&q)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quadratic_form_outer_product() {
+        // C = p pᵀ  ⇒  qᵀCq = (q·p)².
+        let p = [2.0, -1.0];
+        let q = [0.5, 3.0];
+        let c = [
+            p[0] * p[0],
+            p[0] * p[1],
+            p[1] * p[0],
+            p[1] * p[1],
+        ];
+        let expected = dot(&q, &p) * dot(&q, &p);
+        assert!((quadratic_form(&c, &q) - expected).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,503 @@
+//! kd-tree construction.
+//!
+//! The builder recursively splits on the widest axis of the node's MBR at
+//! the median coordinate (the classic balanced kd-tree used by
+//! Scikit-learn's `KDTree`, which the paper names as the default index
+//! for εKDV — §3.2 footnote 6). Points are physically reordered so each
+//! leaf owns a contiguous slice, and node moments are computed bottom-up.
+
+use crate::node::{Node, NodeId, NodeKind};
+use crate::stats::NodeStats;
+use kdv_geom::{Mbr, PointSet};
+
+/// How an internal node picks its split plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SplitRule {
+    /// Median coordinate on the MBR's widest axis — the balanced
+    /// kd-tree of Scikit-learn's `KDTree` (paper §3.2 footnote 6).
+    #[default]
+    WidestAxisMedian,
+    /// Median coordinate on the axis of maximum sample *variance*
+    /// (adapts to skew the extent misses; slightly costlier to build).
+    MaxVarianceAxisMedian,
+    /// Spatial midpoint of the widest axis (BSP/quadtree-like; yields
+    /// cube-ish MBRs — tighter distance intervals — at the price of an
+    /// unbalanced tree). Falls back to the median when one side would
+    /// be empty.
+    WidestAxisMidpoint,
+}
+
+impl SplitRule {
+    /// All rules, for the split ablation bench.
+    pub const ALL: [SplitRule; 3] = [
+        SplitRule::WidestAxisMedian,
+        SplitRule::MaxVarianceAxisMedian,
+        SplitRule::WidestAxisMidpoint,
+    ];
+}
+
+/// Construction parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BuildConfig {
+    /// Maximum number of points per leaf. The paper does not publish the
+    /// authors' value; 32 balances bound-evaluation overhead against
+    /// leaf-scan cost (see the `kdtree_build` ablation bench).
+    pub leaf_capacity: usize,
+    /// Split-plane selection rule.
+    pub split: SplitRule,
+}
+
+impl Default for BuildConfig {
+    fn default() -> Self {
+        Self {
+            leaf_capacity: 32,
+            split: SplitRule::default(),
+        }
+    }
+}
+
+/// A balanced kd-tree over a (reordered) weighted point set, with the
+/// augmented moment statistics of the crate-level table on every node.
+#[derive(Debug, Clone)]
+pub struct KdTree {
+    points: PointSet,
+    nodes: Vec<Node>,
+    root: NodeId,
+    config: BuildConfig,
+}
+
+impl KdTree {
+    /// Builds the index over `points`.
+    ///
+    /// # Examples
+    /// ```
+    /// use kdv_geom::PointSet;
+    /// use kdv_index::{BuildConfig, KdTree};
+    ///
+    /// let ps = PointSet::from_rows(2, &[0.0, 0.0, 1.0, 1.0, 2.0, 0.5, 3.0, 3.0]);
+    /// let tree = KdTree::build(&ps, BuildConfig { leaf_capacity: 2, ..Default::default() });
+    /// assert_eq!(tree.node(tree.root()).point_count(), 4);
+    /// assert!(tree.num_leaves() >= 2);
+    /// ```
+    ///
+    /// # Panics
+    /// Panics if `points` is empty or `config.leaf_capacity == 0`.
+    pub fn build(points: &PointSet, config: BuildConfig) -> Self {
+        assert!(!points.is_empty(), "cannot index an empty point set");
+        assert!(config.leaf_capacity > 0, "leaf capacity must be positive");
+        let mut perm: Vec<u32> = (0..points.len() as u32).collect();
+        let mut nodes = Vec::new();
+        // All node moments share one frame centered at the dataset
+        // centroid — see `NodeStats` for why this is load-bearing for
+        // numerical accuracy on offset coordinates.
+        let center = points.mean().expect("non-empty");
+        let root = build_recursive(points, &center, &mut perm, 0, &mut nodes, 0, &config);
+        // Physically reorder points so leaf ranges are contiguous.
+        let indices: Vec<usize> = perm.iter().map(|&i| i as usize).collect();
+        let reordered = points.select(&indices);
+        Self {
+            points: reordered,
+            nodes,
+            root,
+            config,
+        }
+    }
+
+    /// Builds with the default configuration.
+    pub fn build_default(points: &PointSet) -> Self {
+        Self::build(points, BuildConfig::default())
+    }
+
+    /// The root node id.
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Immutable access to a node.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// The reordered point set the tree owns.
+    #[inline]
+    pub fn points(&self) -> &PointSet {
+        &self.points
+    }
+
+    /// Number of nodes in the arena.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of leaves.
+    pub fn num_leaves(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_leaf()).count()
+    }
+
+    /// Maximum node depth.
+    pub fn depth(&self) -> usize {
+        self.nodes.iter().map(|n| n.depth as usize).max().unwrap_or(0)
+    }
+
+    /// The configuration the tree was built with.
+    #[inline]
+    pub fn config(&self) -> BuildConfig {
+        self.config
+    }
+
+    /// Iterates `(coords, weight)` of the points under a leaf.
+    ///
+    /// # Panics
+    /// Panics if `id` is not a leaf.
+    pub fn leaf_points(&self, id: NodeId) -> impl Iterator<Item = (&[f64], f64)> + '_ {
+        let (start, end) = match self.node(id).kind {
+            NodeKind::Leaf { start, end } => (start as usize, end as usize),
+            NodeKind::Internal { .. } => panic!("leaf_points called on internal node"),
+        };
+        (start..end).map(move |i| (self.points.point(i), self.points.weight(i)))
+    }
+
+    /// Visits every node depth-first, passing ids to `f`.
+    pub fn for_each_node(&self, mut f: impl FnMut(NodeId, &Node)) {
+        for (i, n) in self.nodes.iter().enumerate() {
+            f(NodeId(i as u32), n);
+        }
+    }
+}
+
+fn build_recursive(
+    points: &PointSet,
+    center: &[f64],
+    perm: &mut [u32],
+    offset: usize,
+    nodes: &mut Vec<Node>,
+    depth: u16,
+    config: &BuildConfig,
+) -> NodeId {
+    let idx_usize: Vec<usize> = perm.iter().map(|&i| i as usize).collect();
+    let mbr = Mbr::of_points(points, &idx_usize).expect("non-empty node");
+
+    if perm.len() <= config.leaf_capacity || mbr_is_degenerate(&mbr) {
+        let mut stats = NodeStats::zero_at(center.to_vec());
+        for &i in perm.iter() {
+            stats.accumulate(points.point(i as usize), points.weight(i as usize));
+        }
+        let id = NodeId(nodes.len() as u32);
+        nodes.push(Node {
+            mbr,
+            stats,
+            kind: NodeKind::Leaf {
+                start: offset as u32,
+                end: (offset + perm.len()) as u32,
+            },
+            depth,
+            count: perm.len() as u32,
+        });
+        return id;
+    }
+
+    let axis = match config.split {
+        SplitRule::WidestAxisMedian | SplitRule::WidestAxisMidpoint => mbr.widest_axis(),
+        SplitRule::MaxVarianceAxisMedian => max_variance_axis(points, perm),
+    };
+    let by_axis = |a: &u32, b: &u32| {
+        let ca = points.point(*a as usize)[axis];
+        let cb = points.point(*b as usize)[axis];
+        ca.partial_cmp(&cb).expect("non-finite coordinate")
+    };
+    let mid = match config.split {
+        SplitRule::WidestAxisMedian | SplitRule::MaxVarianceAxisMedian => {
+            let mid = perm.len() / 2;
+            perm.select_nth_unstable_by(mid, by_axis);
+            mid
+        }
+        SplitRule::WidestAxisMidpoint => {
+            // Partition around the spatial midpoint of the split axis.
+            let cut = 0.5 * (mbr.lo()[axis] + mbr.hi()[axis]);
+            let mut lo = 0usize;
+            let mut hi = perm.len();
+            while lo < hi {
+                if points.point(perm[lo] as usize)[axis] < cut {
+                    lo += 1;
+                } else {
+                    hi -= 1;
+                    perm.swap(lo, hi);
+                }
+            }
+            if lo == 0 || lo == perm.len() {
+                // Degenerate midpoint (mass on one side): fall back to
+                // the median so splitting always makes progress.
+                let mid = perm.len() / 2;
+                perm.select_nth_unstable_by(mid, by_axis);
+                mid
+            } else {
+                lo
+            }
+        }
+    };
+
+    let (left_perm, right_perm) = perm.split_at_mut(mid);
+    // Reserve this node's slot before recursing so the root is slot 0.
+    let id = NodeId(nodes.len() as u32);
+    nodes.push(placeholder_node(points.dim()));
+
+    let left = build_recursive(points, center, left_perm, offset, nodes, depth + 1, config);
+    let right = build_recursive(points, center, right_perm, offset + mid, nodes, depth + 1, config);
+
+    let mut stats = nodes[left.index()].stats.clone();
+    stats.merge(&nodes[right.index()].stats);
+    let count = nodes[left.index()].count + nodes[right.index()].count;
+    nodes[id.index()] = Node {
+        mbr,
+        stats,
+        kind: NodeKind::Internal { left, right },
+        depth,
+        count,
+    };
+    id
+}
+
+/// The axis with the largest sample variance among `perm`'s points.
+fn max_variance_axis(points: &PointSet, perm: &[u32]) -> usize {
+    let d = points.dim();
+    let mut mean = vec![0.0; d];
+    for &i in perm {
+        let p = points.point(i as usize);
+        for j in 0..d {
+            mean[j] += p[j];
+        }
+    }
+    let inv = 1.0 / perm.len() as f64;
+    for m in &mut mean {
+        *m *= inv;
+    }
+    let mut var = vec![0.0; d];
+    for &i in perm {
+        let p = points.point(i as usize);
+        for j in 0..d {
+            let t = p[j] - mean[j];
+            var[j] += t * t;
+        }
+    }
+    let mut best = 0;
+    for j in 1..d {
+        if var[j] > var[best] {
+            best = j;
+        }
+    }
+    best
+}
+
+/// All points identical → splitting can never terminate; force a leaf.
+fn mbr_is_degenerate(mbr: &Mbr) -> bool {
+    (0..mbr.dim()).all(|i| mbr.extent(i) == 0.0)
+}
+
+fn placeholder_node(d: usize) -> Node {
+    Node {
+        mbr: Mbr::new(vec![0.0; d], vec![0.0; d]),
+        stats: NodeStats::zero(d),
+        kind: NodeKind::Leaf { start: 0, end: 0 },
+        depth: 0,
+        count: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdv_geom::vecmath::dist2;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng as _, SeedableRng as _};
+
+    fn random_points(n: usize, d: usize, seed: u64) -> PointSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let flat: Vec<f64> = (0..n * d).map(|_| rng.gen_range(-100.0..100.0)).collect();
+        PointSet::from_rows(d, &flat)
+    }
+
+    #[test]
+    fn root_is_slot_zero_and_covers_all_points() {
+        let ps = random_points(500, 2, 1);
+        let tree = KdTree::build_default(&ps);
+        assert_eq!(tree.root(), NodeId(0));
+        assert_eq!(tree.node(tree.root()).point_count(), 500);
+        assert!((tree.node(tree.root()).stats.weight - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn leaves_respect_capacity_and_partition_points() {
+        let ps = random_points(777, 2, 2);
+        let cfg = BuildConfig { leaf_capacity: 16, ..BuildConfig::default() };
+        let tree = KdTree::build(&ps, cfg);
+        let mut covered = vec![false; 777];
+        tree.for_each_node(|id, n| {
+            if let NodeKind::Leaf { start, end } = n.kind {
+                assert!((end - start) as usize <= 16, "oversized leaf");
+                for i in start..end {
+                    assert!(!covered[i as usize], "point owned by two leaves");
+                    covered[i as usize] = true;
+                }
+                // MBR must contain every owned point.
+                for (p, _) in tree.leaf_points(id) {
+                    assert!(n.mbr.contains(p));
+                }
+            }
+        });
+        assert!(covered.iter().all(|&c| c), "some point not owned by a leaf");
+    }
+
+    #[test]
+    fn internal_stats_equal_children_sum() {
+        let ps = random_points(300, 3, 3);
+        let tree = KdTree::build(&ps, BuildConfig { leaf_capacity: 8, ..BuildConfig::default() });
+        tree.for_each_node(|_, n| {
+            if let NodeKind::Internal { left, right } = n.kind {
+                let l = &tree.node(left).stats;
+                let r = &tree.node(right).stats;
+                assert!((n.stats.weight - (l.weight + r.weight)).abs() < 1e-9);
+                assert!((n.stats.sum_norm4 - (l.sum_norm4 + r.sum_norm4)).abs() < 1e-3);
+            }
+        });
+    }
+
+    #[test]
+    fn duplicate_points_build_finite_tree() {
+        // 1000 identical points would split forever without the
+        // degenerate-MBR guard.
+        let flat = vec![5.0; 2000];
+        let ps = PointSet::from_rows(2, &flat);
+        let tree = KdTree::build(&ps, BuildConfig { leaf_capacity: 4, ..BuildConfig::default() });
+        assert!(tree.num_nodes() >= 1);
+        assert_eq!(tree.node(tree.root()).point_count(), 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty point set")]
+    fn empty_set_panics() {
+        KdTree::build_default(&PointSet::new(2));
+    }
+
+    #[test]
+    fn reordered_points_are_a_permutation() {
+        let ps = random_points(200, 2, 4);
+        let tree = KdTree::build_default(&ps);
+        let mut orig: Vec<(i64, i64)> = (0..ps.len())
+            .map(|i| {
+                let p = ps.point(i);
+                (p[0].to_bits() as i64, p[1].to_bits() as i64)
+            })
+            .collect();
+        let mut re: Vec<(i64, i64)> = (0..tree.points().len())
+            .map(|i| {
+                let p = tree.points().point(i);
+                (p[0].to_bits() as i64, p[1].to_bits() as i64)
+            })
+            .collect();
+        orig.sort_unstable();
+        re.sort_unstable();
+        assert_eq!(orig, re);
+    }
+
+    #[test]
+    fn all_split_rules_partition_points_correctly() {
+        let ps = random_points(700, 2, 8);
+        for split in SplitRule::ALL {
+            let tree = KdTree::build(
+                &ps,
+                BuildConfig {
+                    leaf_capacity: 8,
+                    split,
+                },
+            );
+            assert_eq!(tree.node(tree.root()).point_count(), 700, "{split:?}");
+            // Every point owned by exactly one leaf, MBRs contain them.
+            let mut owned = 0usize;
+            tree.for_each_node(|id, n| {
+                if n.is_leaf() {
+                    for (p, _) in tree.leaf_points(id) {
+                        assert!(n.mbr.contains(p), "{split:?}: point escapes MBR");
+                        owned += 1;
+                    }
+                }
+            });
+            assert_eq!(owned, 700, "{split:?}");
+        }
+    }
+
+    #[test]
+    fn midpoint_split_terminates_on_skewed_data() {
+        // Exponentially skewed x: midpoint splits repeatedly cut empty
+        // space; the median fallback must still terminate the build.
+        let mut rng = StdRng::seed_from_u64(9);
+        let flat: Vec<f64> = (0..2000)
+            .flat_map(|_| {
+                let x: f64 = rng.gen_range(0.0f64..1.0).powi(8) * 1000.0;
+                [x, rng.gen_range(0.0..1.0)]
+            })
+            .collect();
+        let ps = PointSet::from_rows(2, &flat);
+        let tree = KdTree::build(
+            &ps,
+            BuildConfig {
+                leaf_capacity: 4,
+                split: SplitRule::WidestAxisMidpoint,
+            },
+        );
+        assert_eq!(tree.node(tree.root()).point_count(), 2000);
+    }
+
+    #[test]
+    fn max_variance_axis_prefers_spread_dimension() {
+        // x spans [0, 100], y spans [0, 1]: variance rule must split x.
+        let mut rng = StdRng::seed_from_u64(10);
+        let flat: Vec<f64> = (0..400)
+            .flat_map(|_| [rng.gen_range(0.0..100.0), rng.gen_range(0.0..1.0)])
+            .collect();
+        let ps = PointSet::from_rows(2, &flat);
+        let perm: Vec<u32> = (0..200).collect();
+        assert_eq!(max_variance_axis(&ps, &perm), 0);
+    }
+
+    #[test]
+    fn depth_is_logarithmic_for_balanced_input() {
+        let ps = random_points(4096, 2, 5);
+        let tree = KdTree::build(&ps, BuildConfig { leaf_capacity: 1, ..BuildConfig::default() });
+        // Perfectly balanced depth is 12; allow generous slack for median
+        // ties, but reject a degenerate linear tree.
+        assert!(tree.depth() <= 24, "tree depth {} too large", tree.depth());
+    }
+
+    proptest! {
+        /// Root stats must match brute-force sums over the original set,
+        /// and every node's MBR-derived distance interval must bracket
+        /// the true distances of its points.
+        #[test]
+        fn tree_invariants_hold(
+            flat in proptest::collection::vec(-40.0..40.0f64, 8..120),
+            q in proptest::collection::vec(-50.0..50.0f64, 2),
+        ) {
+            let n = flat.len() / 2 * 2;
+            let ps = PointSet::from_rows(2, &flat[..n]);
+            let tree = KdTree::build(&ps, BuildConfig { leaf_capacity: 4, ..BuildConfig::default() });
+            let root = tree.node(tree.root());
+            let brute: f64 = (0..ps.len()).map(|i| dist2(&q, ps.point(i))).sum();
+            prop_assert!((root.stats.sum_dist2(&q) - brute).abs() <= 1e-6 * (1.0 + brute));
+
+            tree.for_each_node(|id, node| {
+                if node.is_leaf() {
+                    let dmin2 = node.mbr.min_dist2(&q);
+                    let dmax2 = node.mbr.max_dist2(&q);
+                    for (p, _) in tree.leaf_points(id) {
+                        let d2 = dist2(&q, p);
+                        assert!(dmin2 <= d2 + 1e-9 && d2 <= dmax2 + 1e-9);
+                    }
+                }
+            });
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! kd-tree spatial index with augmented moment statistics.
+//!
+//! The QUAD paper's refinement framework (§3.2) runs on a hierarchical
+//! index whose nodes expose, besides a bounding rectangle, the
+//! precomputed aggregates needed to evaluate bound functions without
+//! touching individual points:
+//!
+//! | symbol | definition | needed by |
+//! |---|---|---|
+//! | `W`   | `Σ wᵢ`            | every bound |
+//! | `a_P` | `Σ wᵢ pᵢ`         | KARL linear (§3.3), QUAD (§4) |
+//! | `b_P` | `Σ wᵢ ‖pᵢ‖²`      | KARL linear, QUAD |
+//! | `v_P` | `Σ wᵢ ‖pᵢ‖² pᵢ`   | QUAD Gaussian (Lemma 3) |
+//! | `h_P` | `Σ wᵢ ‖pᵢ‖⁴`      | QUAD Gaussian (Lemma 3) |
+//! | `C`   | `Σ wᵢ pᵢ pᵢᵀ`     | QUAD Gaussian (Lemma 3) |
+//!
+//! These generalize the paper's uniform-weight aggregates to per-point
+//! weights so that re-weighted Z-order coresets reuse the same engine.
+//!
+//! The tree is stored as a flat arena (nodes indexed by
+//! [`NodeId`]) and the point set is reordered during construction so that
+//! every leaf owns a contiguous coordinate range — leaf scans during
+//! exact refinement are purely sequential memory traffic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod build;
+pub mod node;
+pub mod stats;
+
+pub use build::{BuildConfig, KdTree, SplitRule};
+pub use node::{Node, NodeId, NodeKind};
+pub use stats::NodeStats;

@@ -1,0 +1,105 @@
+//! Flat-arena tree nodes.
+
+use crate::stats::NodeStats;
+use kdv_geom::Mbr;
+
+/// Index of a node inside [`crate::KdTree`]'s arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The arena slot this id refers to.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Children of an internal node, or the point range of a leaf.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// Internal node with two children.
+    Internal {
+        /// Left child (points below the split plane).
+        left: NodeId,
+        /// Right child (points at or above the split plane).
+        right: NodeId,
+    },
+    /// Leaf owning the contiguous point range `[start, end)` of the
+    /// tree's reordered point set.
+    Leaf {
+        /// First owned point index.
+        start: u32,
+        /// One past the last owned point index.
+        end: u32,
+    },
+}
+
+/// One kd-tree node: bounding rectangle, aggregated moments, topology.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node {
+    /// Minimum bounding rectangle of all points under the node.
+    pub mbr: Mbr,
+    /// Weighted moment statistics of all points under the node.
+    pub stats: NodeStats,
+    /// Children or leaf point range.
+    pub kind: NodeKind,
+    /// Depth of the node (root = 0); used for diagnostics and benches.
+    pub depth: u16,
+    /// Number of points (count, not weight) under the node.
+    pub count: u32,
+}
+
+impl Node {
+    /// Whether this node is a leaf.
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        matches!(self.kind, NodeKind::Leaf { .. })
+    }
+
+    /// Number of points under the node (count, not weight).
+    #[inline]
+    pub fn point_count(&self) -> usize {
+        self.count as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf_node() -> Node {
+        Node {
+            mbr: Mbr::new(vec![0.0], vec![1.0]),
+            stats: NodeStats::zero(1),
+            kind: NodeKind::Leaf { start: 3, end: 7 },
+            depth: 2,
+            count: 4,
+        }
+    }
+
+    #[test]
+    fn leaf_accessors() {
+        let n = leaf_node();
+        assert!(n.is_leaf());
+        assert_eq!(n.point_count(), 4);
+        assert_eq!(n.depth, 2);
+    }
+
+    #[test]
+    fn internal_kind_is_not_leaf() {
+        let mut n = leaf_node();
+        n.kind = NodeKind::Internal {
+            left: NodeId(1),
+            right: NodeId(2),
+        };
+        assert!(!n.is_leaf());
+    }
+
+    #[test]
+    fn node_id_index_roundtrip() {
+        assert_eq!(NodeId(42).index(), 42);
+        assert_eq!(NodeId(0), NodeId(0));
+        assert_ne!(NodeId(0), NodeId(1));
+    }
+}

@@ -1,0 +1,398 @@
+//! Node moment statistics and their query-time contractions.
+
+use kdv_geom::vecmath::axpy;
+
+/// Precomputed weighted moments of the points under one index node.
+///
+/// See the crate-level table for the paper correspondence. All moments
+/// are additive, so internal nodes are the [`NodeStats::merge`] of their
+/// children — the whole tree's statistics cost one bottom-up pass.
+///
+/// # Centered storage
+///
+/// Moments are stored in a frame translated by `center` (the builder
+/// passes the dataset centroid): `a_P = Σ wᵢ (pᵢ − c)` etc. Distances
+/// are translation-invariant, so the contractions below translate the
+/// query by the same `c` and produce identical mathematical results —
+/// but the *numerics* change completely. In the raw frame, a dataset at
+/// geographic coordinates (say ‖p‖ ≈ 90) with kernel-scale distances
+/// ≈ 10⁻² makes the fourth-moment identity cancel ‖q‖⁴ ≈ 7·10⁷ down to
+/// ≈ 10⁻⁸ — losing *all* 16 digits. Centering bounds every term by the
+/// data spread, keeping the identities accurate to ~10⁻¹¹ relative.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeStats {
+    /// Translation applied to every point (`c`, usually the dataset
+    /// centroid; length `d`).
+    pub center: Vec<f64>,
+    /// `W = Σ wᵢ`.
+    pub weight: f64,
+    /// `a_P = Σ wᵢ (pᵢ − c)` (length `d`).
+    pub sum: Vec<f64>,
+    /// `b_P = Σ wᵢ ‖pᵢ − c‖²`.
+    pub sum_norm2: f64,
+    /// `v_P = Σ wᵢ ‖pᵢ − c‖² (pᵢ − c)` (length `d`).
+    pub sum_norm2_p: Vec<f64>,
+    /// `h_P = Σ wᵢ ‖pᵢ − c‖⁴`.
+    pub sum_norm4: f64,
+    /// `C = Σ wᵢ (pᵢ − c)(pᵢ − c)ᵀ`, row-major `d × d`.
+    pub moment2: Vec<f64>,
+}
+
+impl NodeStats {
+    /// An all-zero accumulator for dimensionality `d`, centered at the
+    /// origin (fine for data whose coordinates are already near 0; the
+    /// kd-tree builder always uses [`NodeStats::zero_at`]).
+    pub fn zero(d: usize) -> Self {
+        Self::zero_at(vec![0.0; d])
+    }
+
+    /// An all-zero accumulator centered at `center`.
+    pub fn zero_at(center: Vec<f64>) -> Self {
+        let d = center.len();
+        Self {
+            center,
+            weight: 0.0,
+            sum: vec![0.0; d],
+            sum_norm2: 0.0,
+            sum_norm2_p: vec![0.0; d],
+            sum_norm4: 0.0,
+            moment2: vec![0.0; d * d],
+        }
+    }
+
+    /// Dimensionality the statistics were built for.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.sum.len()
+    }
+
+    /// Folds one weighted point into the moments.
+    pub fn accumulate(&mut self, p: &[f64], w: f64) {
+        let d = self.dim();
+        debug_assert_eq!(p.len(), d);
+        let mut n2 = 0.0;
+        for j in 0..d {
+            let u = p[j] - self.center[j];
+            n2 += u * u;
+        }
+        self.weight += w;
+        self.sum_norm2 += w * n2;
+        self.sum_norm4 += w * n2 * n2;
+        for i in 0..d {
+            let ui = p[i] - self.center[i];
+            self.sum[i] += w * ui;
+            self.sum_norm2_p[i] += w * n2 * ui;
+            let wui = w * ui;
+            let row = &mut self.moment2[i * d..(i + 1) * d];
+            for (j, slot) in row.iter_mut().enumerate() {
+                *slot += wui * (p[j] - self.center[j]);
+            }
+        }
+    }
+
+    /// Adds another node's moments into this one (children → parent).
+    ///
+    /// # Panics
+    /// Panics on dimensionality or center mismatch — all nodes of one
+    /// tree share the same center, so no re-centering math is needed.
+    pub fn merge(&mut self, other: &NodeStats) {
+        assert_eq!(self.dim(), other.dim(), "stats dimensionality mismatch");
+        assert_eq!(self.center, other.center, "stats center mismatch");
+        self.weight += other.weight;
+        axpy(&mut self.sum, 1.0, &other.sum);
+        self.sum_norm2 += other.sum_norm2;
+        axpy(&mut self.sum_norm2_p, 1.0, &other.sum_norm2_p);
+        self.sum_norm4 += other.sum_norm4;
+        axpy(&mut self.moment2, 1.0, &other.moment2);
+    }
+
+    /// Translates `q` into this frame (`q̃ = q − c`), writing into `out`.
+    ///
+    /// Hot-path callers (the refinement engine issues millions of bound
+    /// evaluations per frame) translate once per query and feed the
+    /// result to [`NodeStats::sum_dist2_pre`]/[`NodeStats::sum_dist4_pre`]
+    /// for every node — all nodes of one tree share the center.
+    #[inline]
+    pub fn translate_query(&self, q: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(q.len(), self.dim());
+        debug_assert_eq!(out.len(), self.dim());
+        for j in 0..q.len() {
+            out[j] = q[j] - self.center[j];
+        }
+    }
+
+    /// Weighted sum of squared distances to `q`:
+    ///
+    /// `Σ wᵢ dist(q, pᵢ)² = W‖q̃‖² − 2 q̃·a_P + b_P`,  `q̃ = q − c`
+    ///
+    /// — the `O(d)` identity of the paper's §3.3 that makes KARL's
+    /// linear bounds (and QUAD's distance-kernel bounds) cheap.
+    #[inline]
+    pub fn sum_dist2(&self, q: &[f64]) -> f64 {
+        let d = self.dim();
+        debug_assert_eq!(q.len(), d);
+        let mut qn2 = 0.0;
+        let mut qa = 0.0;
+        for j in 0..d {
+            let t = q[j] - self.center[j];
+            qn2 += t * t;
+            qa += t * self.sum[j];
+        }
+        // Exact value is ≥ 0; floating-point cancellation can leave a
+        // tiny negative residue which would poison sqrt() callers.
+        (self.weight * qn2 - 2.0 * qa + self.sum_norm2).max(0.0)
+    }
+
+    /// [`NodeStats::sum_dist2`] on a pre-translated query `q̃ = q − c`.
+    #[inline]
+    pub fn sum_dist2_pre(&self, qt: &[f64]) -> f64 {
+        let d = self.dim();
+        debug_assert_eq!(qt.len(), d);
+        let mut qn2 = 0.0;
+        let mut qa = 0.0;
+        for j in 0..d {
+            qn2 += qt[j] * qt[j];
+            qa += qt[j] * self.sum[j];
+        }
+        (self.weight * qn2 - 2.0 * qa + self.sum_norm2).max(0.0)
+    }
+
+    /// Weighted sum of fourth powers of distances to `q`:
+    ///
+    /// `Σ wᵢ dist⁴ = W‖q̃‖⁴ − 4‖q̃‖² q̃·a_P − 4 q̃·v_P + 2‖q̃‖² b_P
+    ///               + h_P + 4 q̃ᵀ C q̃`,  `q̃ = q − c`
+    ///
+    /// — Lemma 3's `O(d²)` expansion powering QUAD's Gaussian bounds.
+    #[inline]
+    pub fn sum_dist4(&self, q: &[f64]) -> f64 {
+        let d = self.dim();
+        debug_assert_eq!(q.len(), d);
+        // Stack buffer for the translated query at KDV-scale dims; the
+        // heap fallback only triggers beyond d = 16.
+        let mut stack = [0.0f64; 16];
+        if d <= 16 {
+            self.translate_query(q, &mut stack[..d]);
+            self.sum_dist4_pre(&stack[..d])
+        } else {
+            let mut buf = vec![0.0; d];
+            self.translate_query(q, &mut buf);
+            self.sum_dist4_pre(&buf)
+        }
+    }
+
+    /// Both contractions in one pass over the moments:
+    /// `(Σ wᵢ dist², Σ wᵢ dist⁴)` for a pre-translated query.
+    ///
+    /// QUAD's Gaussian bounds need both; fusing saves the second walk
+    /// over `q̃` and `a_P` on the hot path.
+    #[inline]
+    pub fn sum_dist2_dist4_pre(&self, qt: &[f64]) -> (f64, f64) {
+        let d = self.dim();
+        debug_assert_eq!(qt.len(), d);
+        let mut qn2 = 0.0;
+        let mut qa = 0.0;
+        let mut qv = 0.0;
+        for j in 0..d {
+            qn2 += qt[j] * qt[j];
+            qa += qt[j] * self.sum[j];
+            qv += qt[j] * self.sum_norm2_p[j];
+        }
+        let s2 = (self.weight * qn2 - 2.0 * qa + self.sum_norm2).max(0.0);
+        let qcq = kdv_geom::vecmath::quadratic_form(&self.moment2, qt);
+        let s4 = (self.weight * qn2 * qn2 - 4.0 * qn2 * qa - 4.0 * qv
+            + 2.0 * qn2 * self.sum_norm2
+            + self.sum_norm4
+            + 4.0 * qcq)
+            .max(0.0);
+        (s2, s4)
+    }
+
+    /// [`NodeStats::sum_dist4`] on a pre-translated query `q̃ = q − c`.
+    #[inline]
+    pub fn sum_dist4_pre(&self, qt: &[f64]) -> f64 {
+        let d = self.dim();
+        debug_assert_eq!(qt.len(), d);
+        let mut qn2 = 0.0;
+        let mut qa = 0.0;
+        let mut qv = 0.0;
+        for j in 0..d {
+            qn2 += qt[j] * qt[j];
+            qa += qt[j] * self.sum[j];
+            qv += qt[j] * self.sum_norm2_p[j];
+        }
+        let qcq = kdv_geom::vecmath::quadratic_form(&self.moment2, qt);
+        let v = self.weight * qn2 * qn2 - 4.0 * qn2 * qa - 4.0 * qv
+            + 2.0 * qn2 * self.sum_norm2
+            + self.sum_norm4
+            + 4.0 * qcq;
+        v.max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdv_geom::vecmath::dist2;
+    use kdv_geom::PointSet;
+    use proptest::prelude::*;
+
+    fn stats_of(ps: &PointSet) -> NodeStats {
+        let mut s = NodeStats::zero(ps.dim());
+        for pr in ps.iter() {
+            s.accumulate(pr.coords, pr.weight);
+        }
+        s
+    }
+
+    fn stats_of_centered(ps: &PointSet) -> NodeStats {
+        let mut s = NodeStats::zero_at(ps.mean().expect("non-empty"));
+        for pr in ps.iter() {
+            s.accumulate(pr.coords, pr.weight);
+        }
+        s
+    }
+
+    fn brute_sum_dist2(ps: &PointSet, q: &[f64]) -> f64 {
+        ps.iter().map(|p| p.weight * dist2(q, p.coords)).sum()
+    }
+
+    fn brute_sum_dist4(ps: &PointSet, q: &[f64]) -> f64 {
+        ps.iter()
+            .map(|p| {
+                let d2 = dist2(q, p.coords);
+                p.weight * d2 * d2
+            })
+            .sum()
+    }
+
+    #[test]
+    fn accumulate_matches_hand_moments() {
+        let ps = PointSet::from_rows(2, &[1.0, 0.0, 0.0, 2.0]);
+        let s = stats_of(&ps);
+        assert_eq!(s.weight, 2.0);
+        assert_eq!(s.sum, vec![1.0, 2.0]);
+        assert_eq!(s.sum_norm2, 5.0); // 1 + 4
+        assert_eq!(s.sum_norm2_p, vec![1.0, 8.0]); // 1·(1,0) + 4·(0,2)
+        assert_eq!(s.sum_norm4, 17.0); // 1 + 16
+        // C = (1,0)(1,0)ᵀ + (0,2)(0,2)ᵀ = [[1,0],[0,4]]
+        assert_eq!(s.moment2, vec![1.0, 0.0, 0.0, 4.0]);
+    }
+
+    #[test]
+    fn merge_equals_joint_accumulation() {
+        let a = PointSet::from_rows(2, &[1.0, 2.0, -3.0, 0.5]);
+        let b = PointSet::from_rows(2, &[0.0, -1.0]);
+        let mut merged = stats_of(&a);
+        merged.merge(&stats_of(&b));
+        let mut joint = PointSet::new(2);
+        for pr in a.iter().chain(b.iter()) {
+            joint.push_weighted(pr.coords, pr.weight);
+        }
+        let expect = stats_of(&joint);
+        assert!((merged.weight - expect.weight).abs() < 1e-12);
+        assert!((merged.sum_norm4 - expect.sum_norm4).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "center mismatch")]
+    fn merge_rejects_different_centers() {
+        let mut a = NodeStats::zero_at(vec![0.0, 0.0]);
+        let b = NodeStats::zero_at(vec![1.0, 0.0]);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn sum_dist2_zero_for_identical_points() {
+        let ps = PointSet::from_rows(2, &[3.0, 4.0, 3.0, 4.0]);
+        let s = stats_of(&ps);
+        assert!(s.sum_dist2(&[3.0, 4.0]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn centered_stats_survive_large_coordinate_offsets() {
+        // The crime-dataset regime that breaks the raw identities:
+        // coordinates offset by ~(−84, 34), spreads ~10⁻².
+        let flat = [
+            -84.40, 33.750, -84.41, 33.752, -84.395, 33.748, -84.405, 33.751,
+        ];
+        let ps = PointSet::from_rows(2, &flat);
+        let q = [-84.402, 33.7505];
+        let s = stats_of_centered(&ps);
+        let e2 = brute_sum_dist2(&ps, &q);
+        let e4 = brute_sum_dist4(&ps, &q);
+        assert!(
+            (s.sum_dist2(&q) - e2).abs() <= 1e-9 * e2,
+            "dist²: {} vs {}",
+            s.sum_dist2(&q),
+            e2
+        );
+        assert!(
+            (s.sum_dist4(&q) - e4).abs() <= 1e-7 * e4,
+            "dist⁴: {} vs {}",
+            s.sum_dist4(&q),
+            e4
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn sum_dist2_matches_brute_force(
+            flat in proptest::collection::vec(-50.0..50.0f64, 2..40),
+            q in proptest::collection::vec(-60.0..60.0f64, 2),
+        ) {
+            let n = flat.len() / 2 * 2;
+            let ps = PointSet::from_rows(2, &flat[..n]);
+            let s = stats_of(&ps);
+            let expect = brute_sum_dist2(&ps, &q);
+            prop_assert!((s.sum_dist2(&q) - expect).abs() <= 1e-6 * (1.0 + expect.abs()));
+        }
+
+        #[test]
+        fn sum_dist4_matches_brute_force(
+            flat in proptest::collection::vec(-20.0..20.0f64, 2..40),
+            q in proptest::collection::vec(-25.0..25.0f64, 2),
+        ) {
+            let n = flat.len() / 2 * 2;
+            let ps = PointSet::from_rows(2, &flat[..n]);
+            let s = stats_of(&ps);
+            let expect = brute_sum_dist4(&ps, &q);
+            prop_assert!((s.sum_dist4(&q) - expect).abs() <= 1e-6 * (1.0 + expect.abs()));
+        }
+
+        #[test]
+        fn weighted_moments_match_brute_force_3d(
+            rows in proptest::collection::vec(
+                (proptest::collection::vec(-10.0..10.0f64, 3), 0.0..5.0f64), 1..25),
+            q in proptest::collection::vec(-12.0..12.0f64, 3),
+        ) {
+            let mut ps = PointSet::new(3);
+            for (p, w) in &rows {
+                ps.push_weighted(p, *w);
+            }
+            let s = stats_of(&ps);
+            let e2 = brute_sum_dist2(&ps, &q);
+            let e4 = brute_sum_dist4(&ps, &q);
+            prop_assert!((s.sum_dist2(&q) - e2).abs() <= 1e-6 * (1.0 + e2.abs()));
+            prop_assert!((s.sum_dist4(&q) - e4).abs() <= 1e-5 * (1.0 + e4.abs()));
+        }
+
+        /// Centered and origin-centered stats agree on well-conditioned
+        /// data, and centered stats stay accurate under huge offsets.
+        #[test]
+        fn centering_is_translation_invariant(
+            flat in proptest::collection::vec(-5.0..5.0f64, 4..30),
+            q in proptest::collection::vec(-6.0..6.0f64, 2),
+            offset in -1e4..1e4f64,
+        ) {
+            let n = flat.len() / 2 * 2;
+            let shifted: Vec<f64> = flat[..n].iter().map(|v| v + offset).collect();
+            let ps = PointSet::from_rows(2, &shifted);
+            let qs: Vec<f64> = q.iter().map(|v| v + offset).collect();
+            let s = stats_of_centered(&ps);
+            let e2 = brute_sum_dist2(&ps, &qs);
+            let e4 = brute_sum_dist4(&ps, &qs);
+            prop_assert!((s.sum_dist2(&qs) - e2).abs() <= 1e-7 * (1.0 + e2.abs()));
+            prop_assert!((s.sum_dist4(&qs) - e4).abs() <= 1e-6 * (1.0 + e4.abs()));
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Sample covariance matrices.
+
+use kdv_geom::PointSet;
+
+/// A symmetric `d × d` matrix in row-major flat storage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymMatrix {
+    dim: usize,
+    data: Vec<f64>,
+}
+
+impl SymMatrix {
+    /// Creates a zero matrix.
+    pub fn zeros(dim: usize) -> Self {
+        assert!(dim > 0, "matrix dimension must be positive");
+        Self {
+            dim,
+            data: vec![0.0; dim * dim],
+        }
+    }
+
+    /// Wraps row-major data.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != dim²` or the data is not symmetric to
+    /// within `1e-9`.
+    pub fn from_rows(dim: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), dim * dim, "shape mismatch");
+        for i in 0..dim {
+            for j in 0..i {
+                assert!(
+                    (data[i * dim + j] - data[j * dim + i]).abs() <= 1e-9,
+                    "matrix not symmetric at ({i}, {j})"
+                );
+            }
+        }
+        Self { dim, data }
+    }
+
+    /// Matrix dimension.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Element `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.dim + j]
+    }
+
+    /// Sets element `(i, j)` **and** its mirror `(j, i)`.
+    #[inline]
+    pub fn set_sym(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.dim + j] = v;
+        self.data[j * self.dim + i] = v;
+    }
+
+    /// Row-major backing slice.
+    #[inline]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Sum of absolute values of off-diagonal elements (the Jacobi
+    /// convergence measure).
+    pub fn off_diagonal_norm(&self) -> f64 {
+        let mut acc = 0.0;
+        for i in 0..self.dim {
+            for j in 0..self.dim {
+                if i != j {
+                    acc += self.get(i, j).abs();
+                }
+            }
+        }
+        acc
+    }
+}
+
+/// The mean-centered sample covariance matrix of a point set
+/// (denominator `n − 1`; weights are ignored — PCA here reduces raw
+/// coordinates, matching the paper's preprocessing).
+///
+/// # Panics
+/// Panics if the set has fewer than 2 points.
+pub fn covariance(points: &PointSet) -> SymMatrix {
+    assert!(points.len() >= 2, "covariance needs at least two points");
+    let d = points.dim();
+    let mean = points.mean().expect("non-empty");
+    let mut m = SymMatrix::zeros(d);
+    for idx in 0..points.len() {
+        let p = points.point(idx);
+        for i in 0..d {
+            let di = p[i] - mean[i];
+            for j in i..d {
+                let dj = p[j] - mean[j];
+                m.data[i * d + j] += di * dj;
+            }
+        }
+    }
+    let denom = (points.len() - 1) as f64;
+    for i in 0..d {
+        for j in i..d {
+            let v = m.data[i * d + j] / denom;
+            m.set_sym(i, j, v);
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covariance_of_axis_aligned_data() {
+        // x ∈ {0, 2}, y constant → var(x) = 2, var(y) = 0, cov = 0.
+        let ps = PointSet::from_rows(2, &[0.0, 5.0, 2.0, 5.0]);
+        let c = covariance(&ps);
+        assert!((c.get(0, 0) - 2.0).abs() < 1e-12);
+        assert_eq!(c.get(1, 1), 0.0);
+        assert_eq!(c.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn covariance_captures_correlation() {
+        // Perfectly correlated x = y.
+        let ps = PointSet::from_rows(2, &[0.0, 0.0, 1.0, 1.0, 2.0, 2.0]);
+        let c = covariance(&ps);
+        assert!((c.get(0, 1) - c.get(0, 0)).abs() < 1e-12);
+        assert!((c.get(0, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetry_is_enforced() {
+        let ps = PointSet::from_rows(3, &[1.0, 2.0, 3.0, -1.0, 0.5, 2.0, 4.0, 4.0, 4.0]);
+        let c = covariance(&ps);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(c.get(i, j), c.get(j, i));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not symmetric")]
+    fn asymmetric_input_rejected() {
+        SymMatrix::from_rows(2, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two points")]
+    fn single_point_panics() {
+        covariance(&PointSet::from_rows(2, &[0.0, 0.0]));
+    }
+}

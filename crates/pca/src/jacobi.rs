@@ -1,0 +1,192 @@
+//! Cyclic Jacobi eigensolver for symmetric matrices.
+//!
+//! Rotates away the largest off-diagonal elements until the matrix is
+//! (numerically) diagonal. For the small dimensions KDV uses (d ≤ 10)
+//! this converges in a handful of sweeps and is simpler and more robust
+//! than QR with shifts.
+
+use crate::covariance::SymMatrix;
+
+/// Maximum number of full sweeps before giving up (a 10×10 symmetric
+/// matrix typically converges in < 10).
+const MAX_SWEEPS: usize = 64;
+
+/// Convergence threshold on the off-diagonal norm, relative to the
+/// matrix scale.
+const TOL: f64 = 1e-12;
+
+/// An eigendecomposition `A = V·diag(λ)·Vᵀ`.
+#[derive(Debug, Clone)]
+pub struct EigenDecomposition {
+    /// Eigenvalues, sorted descending.
+    pub values: Vec<f64>,
+    /// Eigenvectors as rows (row `k` pairs with `values[k]`), row-major
+    /// `d × d`.
+    pub vectors: Vec<f64>,
+}
+
+impl EigenDecomposition {
+    /// The `k`-th eigenvector.
+    pub fn vector(&self, k: usize) -> &[f64] {
+        let d = self.values.len();
+        &self.vectors[k * d..(k + 1) * d]
+    }
+}
+
+/// Diagonalizes a symmetric matrix; eigenpairs are returned sorted by
+/// descending eigenvalue.
+pub fn eigen_symmetric(m: &SymMatrix) -> EigenDecomposition {
+    let d = m.dim();
+    let mut a: Vec<f64> = m.data().to_vec();
+    // v starts as identity; accumulates rotations (columns = eigenvectors).
+    let mut v = vec![0.0; d * d];
+    for i in 0..d {
+        v[i * d + i] = 1.0;
+    }
+
+    let scale: f64 = a.iter().map(|x| x.abs()).fold(0.0, f64::max).max(1e-300);
+    for _sweep in 0..MAX_SWEEPS {
+        let mut off = 0.0;
+        for p in 0..d {
+            for q in (p + 1)..d {
+                off += a[p * d + q].abs();
+            }
+        }
+        if off <= TOL * scale {
+            break;
+        }
+        for p in 0..d {
+            for q in (p + 1)..d {
+                let apq = a[p * d + q];
+                if apq.abs() <= TOL * scale * 1e-3 {
+                    continue;
+                }
+                let app = a[p * d + p];
+                let aqq = a[q * d + q];
+                // Classic Jacobi rotation angle.
+                let theta = 0.5 * (aqq - app) / apq;
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+
+                for k in 0..d {
+                    let akp = a[k * d + p];
+                    let akq = a[k * d + q];
+                    a[k * d + p] = c * akp - s * akq;
+                    a[k * d + q] = s * akp + c * akq;
+                }
+                for k in 0..d {
+                    let apk = a[p * d + k];
+                    let aqk = a[q * d + k];
+                    a[p * d + k] = c * apk - s * aqk;
+                    a[q * d + k] = s * apk + c * aqk;
+                }
+                for k in 0..d {
+                    let vkp = v[k * d + p];
+                    let vkq = v[k * d + q];
+                    v[k * d + p] = c * vkp - s * vkq;
+                    v[k * d + q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    // Extract (eigenvalue, eigenvector-column) pairs and sort descending.
+    let mut pairs: Vec<(f64, Vec<f64>)> = (0..d)
+        .map(|j| {
+            let val = a[j * d + j];
+            let vec: Vec<f64> = (0..d).map(|i| v[i * d + j]).collect();
+            (val, vec)
+        })
+        .collect();
+    pairs.sort_by(|x, y| y.0.total_cmp(&x.0));
+
+    let values = pairs.iter().map(|(val, _)| *val).collect();
+    let mut vectors = Vec::with_capacity(d * d);
+    for (_, vec) in &pairs {
+        vectors.extend_from_slice(vec);
+    }
+    EigenDecomposition { values, vectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sym(dim: usize, data: Vec<f64>) -> SymMatrix {
+        SymMatrix::from_rows(dim, data)
+    }
+
+    #[test]
+    fn diagonal_matrix_is_its_own_decomposition() {
+        let m = sym(3, vec![3.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0]);
+        let e = eigen_symmetric(&m);
+        assert_eq!(e.values.len(), 3);
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 2.0).abs() < 1e-10);
+        assert!((e.values[2] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn known_2x2_eigenpairs() {
+        // [[2, 1], [1, 2]] → λ = 3 (vec (1,1)/√2) and 1 (vec (1,−1)/√2).
+        let m = sym(2, vec![2.0, 1.0, 1.0, 2.0]);
+        let e = eigen_symmetric(&m);
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 1.0).abs() < 1e-10);
+        let v0 = e.vector(0);
+        assert!((v0[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-9);
+        assert!((v0[0] - v0[1]).abs() < 1e-9, "λ=3 eigenvector is (1,1)/√2");
+    }
+
+    fn reconstruct(e: &EigenDecomposition) -> Vec<f64> {
+        let d = e.values.len();
+        let mut m = vec![0.0; d * d];
+        for k in 0..d {
+            let vk = e.vector(k);
+            for i in 0..d {
+                for j in 0..d {
+                    m[i * d + j] += e.values[k] * vk[i] * vk[j];
+                }
+            }
+        }
+        m
+    }
+
+    proptest! {
+        /// A = V diag(λ) Vᵀ reconstructs, and V is orthonormal.
+        #[test]
+        fn decomposition_reconstructs(entries in proptest::collection::vec(-5.0..5.0f64, 10)) {
+            // Build a symmetric 4×4 from 10 free entries.
+            let d = 4;
+            let mut data = vec![0.0; d * d];
+            let mut it = entries.into_iter();
+            for i in 0..d {
+                for j in i..d {
+                    let v = it.next().expect("10 entries fill the upper triangle");
+                    data[i * d + j] = v;
+                    data[j * d + i] = v;
+                }
+            }
+            let m = sym(d, data.clone());
+            let e = eigen_symmetric(&m);
+            let r = reconstruct(&e);
+            for (a, b) in data.iter().zip(&r) {
+                prop_assert!((a - b).abs() < 1e-8, "reconstruction off: {a} vs {b}");
+            }
+            // Orthonormality of eigenvectors.
+            for i in 0..d {
+                for j in 0..d {
+                    let dot: f64 = e.vector(i).iter().zip(e.vector(j)).map(|(x, y)| x * y).sum();
+                    let expect = if i == j { 1.0 } else { 0.0 };
+                    prop_assert!((dot - expect).abs() < 1e-8);
+                }
+            }
+            // Sorted descending.
+            for w in e.values.windows(2) {
+                prop_assert!(w[0] >= w[1] - 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Principal component analysis for the QUAD paper's dimensionality
+//! sweep (Fig 24).
+//!
+//! The paper varies KDE dimensionality from 2 to 10 "via PCA
+//! dimensionality reduction" of higher-dimensional datasets (§7.7).
+//! This crate provides that substrate from scratch:
+//!
+//! * [`covariance`] — mean-centered sample covariance matrices,
+//! * [`jacobi`] — a cyclic Jacobi eigensolver for small symmetric
+//!   matrices (d ≤ a few dozen, far beyond KDV's needs),
+//! * [`project`] — the [`project::Pca`] transform fitting on a
+//!   [`kdv_geom::PointSet`] and projecting onto the top-variance
+//!   components.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod covariance;
+pub mod jacobi;
+pub mod project;
+
+pub use project::Pca;

@@ -1,0 +1,166 @@
+//! The PCA fit/transform used by the Fig 24 dimensionality sweep.
+
+use crate::covariance::covariance;
+use crate::jacobi::eigen_symmetric;
+use kdv_geom::PointSet;
+
+/// A fitted PCA transform.
+///
+/// # Examples
+/// ```
+/// use kdv_geom::PointSet;
+/// use kdv_pca::Pca;
+///
+/// // Points on the line y = x: one dominant component.
+/// let ps = PointSet::from_rows(2, &[0.0, 0.0, 1.0, 1.0, 2.0, 2.0, 3.0, 3.0]);
+/// let pca = Pca::fit(&ps);
+/// assert!(pca.explained_variance()[0] > 100.0 * pca.explained_variance()[1].abs());
+/// let reduced = pca.transform(&ps, 1);
+/// assert_eq!(reduced.dim(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pca {
+    mean: Vec<f64>,
+    /// Principal axes as rows, sorted by descending explained variance.
+    components: Vec<f64>,
+    /// Explained variance (eigenvalues), descending.
+    variances: Vec<f64>,
+    dim: usize,
+}
+
+impl Pca {
+    /// Fits PCA on a point set.
+    ///
+    /// # Panics
+    /// Panics if the set has fewer than two points.
+    pub fn fit(points: &PointSet) -> Self {
+        let cov = covariance(points);
+        let eig = eigen_symmetric(&cov);
+        Self {
+            mean: points.mean().expect("non-empty"),
+            components: eig.vectors,
+            variances: eig.values,
+            dim: points.dim(),
+        }
+    }
+
+    /// Input dimensionality.
+    #[inline]
+    pub fn input_dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Explained variance per component (descending).
+    pub fn explained_variance(&self) -> &[f64] {
+        &self.variances
+    }
+
+    /// Projects every point onto the top `k` principal components,
+    /// preserving weights.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`, `k > input_dim()`, or the set's
+    /// dimensionality differs from the fitted one.
+    pub fn transform(&self, points: &PointSet, k: usize) -> PointSet {
+        assert!(k > 0 && k <= self.dim, "invalid target dimensionality");
+        assert_eq!(points.dim(), self.dim, "dimensionality mismatch");
+        let mut out = PointSet::with_capacity(k, points.len());
+        let mut proj = vec![0.0; k];
+        for i in 0..points.len() {
+            let p = points.point(i);
+            for (c, slot) in proj.iter_mut().enumerate() {
+                let axis = &self.components[c * self.dim..(c + 1) * self.dim];
+                let mut acc = 0.0;
+                for j in 0..self.dim {
+                    acc += (p[j] - self.mean[j]) * axis[j];
+                }
+                *slot = acc;
+            }
+            out.push_weighted(&proj, points.weight(i));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdv_geom::vecmath::dist2;
+    use rand::rngs::StdRng;
+    use rand::{Rng as _, SeedableRng as _};
+
+    fn random_points(n: usize, d: usize, seed: u64) -> PointSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let flat: Vec<f64> = (0..n * d).map(|_| rng.gen_range(-3.0..3.0)).collect();
+        PointSet::from_rows(d, &flat)
+    }
+
+    #[test]
+    fn full_rank_projection_preserves_pairwise_distances() {
+        let ps = random_points(50, 4, 1);
+        let pca = Pca::fit(&ps);
+        let t = pca.transform(&ps, 4);
+        for i in 0..10 {
+            for j in 0..10 {
+                let d0 = dist2(ps.point(i), ps.point(j));
+                let d1 = dist2(t.point(i), t.point(j));
+                assert!(
+                    (d0 - d1).abs() < 1e-8 * (1.0 + d0),
+                    "orthogonal transform must preserve distances"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn first_component_captures_dominant_axis() {
+        // Points along y = 2x, tiny noise: PC1 ∝ (1, 2)/√5.
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut flat = Vec::new();
+        for _ in 0..500 {
+            let t: f64 = rng.gen_range(-5.0..5.0);
+            flat.push(t + rng.gen_range(-0.01..0.01));
+            flat.push(2.0 * t + rng.gen_range(-0.01..0.01));
+        }
+        let ps = PointSet::from_rows(2, &flat);
+        let pca = Pca::fit(&ps);
+        let v = &pca.components[0..2];
+        let ratio = (v[1] / v[0]).abs();
+        assert!((ratio - 2.0).abs() < 0.05, "PC1 slope {ratio} ≠ 2");
+        assert!(pca.explained_variance()[0] > 100.0 * pca.explained_variance()[1]);
+    }
+
+    #[test]
+    fn projected_variance_matches_eigenvalues() {
+        let ps = random_points(400, 3, 3);
+        let pca = Pca::fit(&ps);
+        let t = pca.transform(&ps, 2);
+        let var = t.std_dev().expect("non-empty");
+        for (c, &s) in var.iter().enumerate() {
+            let expect = pca.explained_variance()[c].sqrt();
+            assert!(
+                (s - expect).abs() < 1e-6 * (1.0 + expect),
+                "component {c} std {s} ≠ √λ {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn weights_survive_projection() {
+        let ps = PointSet::from_rows_weighted(
+            2,
+            &[0.0, 0.0, 1.0, 1.0, 2.0, 0.0],
+            &[1.0, 2.0, 3.0],
+        );
+        let pca = Pca::fit(&ps);
+        let t = pca.transform(&ps, 1);
+        assert_eq!(t.weights(), ps.weights());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid target dimensionality")]
+    fn oversized_k_panics() {
+        let ps = random_points(10, 2, 4);
+        Pca::fit(&ps).transform(&ps, 3);
+    }
+}

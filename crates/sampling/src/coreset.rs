@@ -1,0 +1,138 @@
+//! Strided Z-order coreset extraction and the (ε, δ) sample-size rule.
+
+use crate::morton::sort_indices_by_morton;
+use kdv_geom::PointSet;
+
+/// Sample size giving, per query, `|F̂(q) − F(q)| ≤ ε·W` with
+/// probability at least `1 − δ` under uniform sampling of unit-weight
+/// points (Hoeffding: kernel responses lie in `[0, 1]`):
+///
+/// `s = ⌈ ln(2/δ) / (2 ε²) ⌉`.
+///
+/// The Z-order stratification only reduces variance relative to this,
+/// so the bound remains valid as a budget.
+///
+/// # Panics
+/// Panics unless `0 < ε` and `0 < δ < 1`.
+pub fn sample_size_for(eps: f64, delta: f64) -> usize {
+    assert!(eps > 0.0 && eps.is_finite(), "ε must be positive");
+    assert!(delta > 0.0 && delta < 1.0, "δ must be in (0, 1)");
+    ((2.0 / delta).ln() / (2.0 * eps * eps)).ceil() as usize
+}
+
+/// Draws a Z-order stratified sample of (at most) `size` points and
+/// rescales weights by `n/s` so kernel aggregations over the sample
+/// estimate aggregations over the full set.
+///
+/// `phase` rotates the strided positions (pass a random value in
+/// `[0, 1)` for an unbiased estimator; the figure harness fixes it for
+/// reproducibility). If `size ≥ n` the original set is returned
+/// unchanged.
+///
+/// # Examples
+/// ```
+/// use kdv_geom::PointSet;
+/// use kdv_sampling::zorder_sample;
+///
+/// let flat: Vec<f64> = (0..200).map(|i| i as f64).collect();
+/// let ps = PointSet::from_rows(2, &flat);
+/// let coreset = zorder_sample(&ps, 10, 0.5);
+/// assert_eq!(coreset.len(), 10);
+/// // Reweighting preserves the total kernel mass.
+/// assert!((coreset.total_weight() - ps.total_weight()).abs() < 1e-9);
+/// ```
+///
+/// # Panics
+/// Panics if the set is empty or not 2-D, `size == 0`, or `phase` is
+/// outside `[0, 1)`.
+pub fn zorder_sample(ps: &PointSet, size: usize, phase: f64) -> PointSet {
+    assert!(!ps.is_empty(), "cannot sample an empty set");
+    assert!(size > 0, "sample size must be positive");
+    assert!((0.0..1.0).contains(&phase), "phase must be in [0, 1)");
+    let n = ps.len();
+    if size >= n {
+        return ps.clone();
+    }
+
+    let order = sort_indices_by_morton(ps);
+    let stride = n as f64 / size as f64;
+    let scale = n as f64 / size as f64;
+
+    let mut out = PointSet::with_capacity(ps.dim(), size);
+    for k in 0..size {
+        let pos = ((k as f64 + phase) * stride) as usize;
+        let idx = order[pos.min(n - 1)];
+        out.push_weighted(ps.point(idx), ps.weight(idx) * scale);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdv_geom::vecmath::dist2;
+    use rand::rngs::StdRng;
+    use rand::{Rng as _, SeedableRng as _};
+
+    #[test]
+    fn sample_size_formula() {
+        // ε = 0.1, δ = 0.2: ln(10)/0.02 ≈ 115.13 → 116.
+        assert_eq!(sample_size_for(0.1, 0.2), 116);
+        // Smaller ε → quadratically more samples.
+        assert!(sample_size_for(0.01, 0.2) > 90 * sample_size_for(0.1, 0.2));
+    }
+
+    #[test]
+    #[should_panic(expected = "δ must be in (0, 1)")]
+    fn bad_delta_panics() {
+        sample_size_for(0.1, 1.5);
+    }
+
+    #[test]
+    fn sample_preserves_total_weight() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let flat: Vec<f64> = (0..2000).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let ps = PointSet::from_rows(2, &flat);
+        let s = zorder_sample(&ps, 100, 0.0);
+        assert_eq!(s.len(), 100);
+        assert!(
+            (s.total_weight() - ps.total_weight()).abs() < 1e-6,
+            "reweighting must preserve ΣW: {} vs {}",
+            s.total_weight(),
+            ps.total_weight()
+        );
+    }
+
+    #[test]
+    fn oversized_request_returns_original() {
+        let ps = PointSet::from_rows(2, &[0.0, 0.0, 1.0, 1.0]);
+        let s = zorder_sample(&ps, 10, 0.5);
+        assert_eq!(s, ps);
+    }
+
+    #[test]
+    fn sampled_kde_estimates_full_kde() {
+        // Clustered data; the stratified estimator's error at a dense
+        // query point must be well within the Hoeffding budget.
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut flat = Vec::new();
+        for _ in 0..5000 {
+            // Two clusters.
+            let (cx, cy) = if rng.gen_bool(0.7) { (0.0, 0.0) } else { (5.0, 5.0) };
+            flat.push(cx + rng.gen_range(-1.0..1.0));
+            flat.push(cy + rng.gen_range(-1.0..1.0));
+        }
+        let ps = PointSet::from_rows(2, &flat);
+        let gamma = 0.5;
+        let kde = |set: &PointSet, q: &[f64]| -> f64 {
+            set.iter()
+                .map(|p| p.weight * (-gamma * dist2(q, p.coords)).exp())
+                .sum()
+        };
+        let eps = 0.05;
+        let s = zorder_sample(&ps, sample_size_for(eps, 0.1), 0.25);
+        let q = [0.0, 0.0];
+        let err = (kde(&s, &q) - kde(&ps, &q)).abs() / ps.total_weight();
+        assert!(err <= eps, "normalized error {err} exceeds ε = {eps}");
+    }
+}

@@ -1,0 +1,29 @@
+//! Z-order (Morton curve) coreset sampling for kernel density estimates.
+//!
+//! This crate reimplements the "Z-Order" baseline of the QUAD paper's
+//! experiments — the dataset-sampling method of Zheng et al.
+//! (SIGMOD 2013 / VDS 2017, paper refs [54, 55]):
+//!
+//! 1. sort the 2-D points along the Morton (Z-order) space-filling
+//!    curve ([`morton`]),
+//! 2. take a strided sample of size `s` ([`coreset`]) — the curve
+//!    ordering makes the strides spatially stratified, cutting variance
+//!    versus uniform sampling,
+//! 3. scale each sampled weight by `n/s` so the sample's kernel
+//!    aggregation estimates the full set's (the weight update of the
+//!    paper's §2, footnote 5),
+//! 4. answer εKDV by running EXACT on the (much smaller) sample.
+//!
+//! The guarantee is probabilistic — per query,
+//! `|F_sample(q) − F_P(q)| ≤ ε·W` with probability `1 − δ` for
+//! `s = Θ(ε⁻²·ln(1/δ))` — in contrast to the deterministic guarantees
+//! of the bound-based methods (paper §2, "second camp").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coreset;
+pub mod morton;
+
+pub use coreset::{sample_size_for, zorder_sample};
+pub use morton::{morton2, sort_indices_by_morton};

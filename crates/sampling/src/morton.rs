@@ -1,0 +1,143 @@
+//! Morton (Z-order) codes for 2-D points.
+//!
+//! Coordinates are scaled into a `2²¹ × 2²¹` integer grid over the
+//! dataset's bounding box, then bit-interleaved into one 42-bit code.
+//! Sorting by that code linearizes the plane along the Z-order curve,
+//! which preserves spatial locality well enough for stratified
+//! sampling.
+
+use kdv_geom::{Mbr, PointSet};
+
+/// Bits per axis in the Morton grid.
+pub const MORTON_BITS: u32 = 21;
+
+/// Interleaves the low 21 bits of `x` and `y` (x in the even positions).
+///
+/// Classic "split by 2" bit tricks; `O(1)`.
+#[inline]
+pub fn morton2(x: u32, y: u32) -> u64 {
+    part1by1(x as u64) | (part1by1(y as u64) << 1)
+}
+
+/// Spreads the low 21 bits of `v` so consecutive bits land two apart.
+#[inline]
+fn part1by1(v: u64) -> u64 {
+    let mut v = v & 0x1f_ffff; // keep 21 bits
+    v = (v | (v << 16)) & 0x0000_ffff_0000_ffff;
+    v = (v | (v << 8)) & 0x00ff_00ff_00ff_00ff;
+    v = (v | (v << 4)) & 0x0f0f_0f0f_0f0f_0f0f;
+    v = (v | (v << 2)) & 0x3333_3333_3333_3333;
+    v = (v | (v << 1)) & 0x5555_5555_5555_5555;
+    v
+}
+
+/// Maps a coordinate into the `[0, 2²¹)` grid over `[lo, hi]`.
+#[inline]
+fn to_grid(v: f64, lo: f64, hi: f64) -> u32 {
+    let span = hi - lo;
+    if span <= 0.0 {
+        return 0;
+    }
+    let max = ((1u32 << MORTON_BITS) - 1) as f64;
+    ((v - lo) / span * max).round().clamp(0.0, max) as u32
+}
+
+/// The Morton code of point `i` of a 2-D set, scaled to `bbox`.
+#[inline]
+pub fn morton_of(ps: &PointSet, i: usize, bbox: &Mbr) -> u64 {
+    let p = ps.point(i);
+    morton2(
+        to_grid(p[0], bbox.lo()[0], bbox.hi()[0]),
+        to_grid(p[1], bbox.lo()[1], bbox.hi()[1]),
+    )
+}
+
+/// Returns point indices sorted by Morton code (ties broken by index,
+/// keeping the sort deterministic).
+///
+/// # Panics
+/// Panics if the set is empty or not 2-dimensional.
+pub fn sort_indices_by_morton(ps: &PointSet) -> Vec<usize> {
+    assert_eq!(ps.dim(), 2, "Morton codes are 2-D");
+    let bbox = Mbr::of_set(ps).expect("non-empty set");
+    let mut keyed: Vec<(u64, usize)> = (0..ps.len())
+        .map(|i| (morton_of(ps, i, &bbox), i))
+        .collect();
+    keyed.sort_unstable();
+    keyed.into_iter().map(|(_, i)| i).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn morton2_small_cases() {
+        assert_eq!(morton2(0, 0), 0);
+        assert_eq!(morton2(1, 0), 0b01);
+        assert_eq!(morton2(0, 1), 0b10);
+        assert_eq!(morton2(1, 1), 0b11);
+        assert_eq!(morton2(2, 3), 0b1110);
+        assert_eq!(morton2(7, 7), 0b111111);
+    }
+
+    #[test]
+    fn morton2_is_monotone_per_axis() {
+        // Fixing one axis, the code grows with the other.
+        for y in [0u32, 5, 100] {
+            let mut prev = morton2(0, y);
+            for x in 1..64 {
+                let code = morton2(x, y);
+                assert!(code > prev || x == 0);
+                prev = code;
+            }
+        }
+    }
+
+    #[test]
+    fn quadrant_ordering_matches_z_curve() {
+        // The four quadrants of a 2×2 grid appear in Z order:
+        // (0,0) < (1,0) < (0,1) < (1,1) — for the high bit.
+        let top = 1u32 << 20;
+        let a = morton2(0, 0);
+        let b = morton2(top, 0);
+        let c = morton2(0, top);
+        let d = morton2(top, top);
+        assert!(a < b && b < c && c < d);
+    }
+
+    #[test]
+    fn sort_handles_degenerate_bbox() {
+        let ps = PointSet::from_rows(2, &[1.0, 1.0, 1.0, 1.0, 1.0, 1.0]);
+        let order = sort_indices_by_morton(&ps);
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    proptest! {
+        /// part1by1 round-trips: de-interleaving even bits recovers x.
+        #[test]
+        fn interleave_roundtrip(x in 0u32..(1 << 21), y in 0u32..(1 << 21)) {
+            let code = morton2(x, y);
+            let mut rx = 0u32;
+            let mut ry = 0u32;
+            for bit in 0..MORTON_BITS {
+                rx |= (((code >> (2 * bit)) & 1) as u32) << bit;
+                ry |= (((code >> (2 * bit + 1)) & 1) as u32) << bit;
+            }
+            prop_assert_eq!(rx, x);
+            prop_assert_eq!(ry, y);
+        }
+
+        /// Sorting yields a permutation of all indices.
+        #[test]
+        fn sort_is_permutation(flat in proptest::collection::vec(-100.0..100.0f64, 2..80)) {
+            let n = flat.len() / 2 * 2;
+            let ps = PointSet::from_rows(2, &flat[..n]);
+            let mut order = sort_indices_by_morton(&ps);
+            order.sort_unstable();
+            let expect: Vec<usize> = (0..ps.len()).collect();
+            prop_assert_eq!(order, expect);
+        }
+    }
+}

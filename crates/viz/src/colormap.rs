@@ -1,0 +1,197 @@
+//! Color ramps for density fields.
+//!
+//! The paper's color maps (Figs 1–2, 19, 21) use the classic
+//! blue→green→yellow→red "heat" ramp; τKDV maps use exactly two colors
+//! (§1, Fig 2c). Densities are normalized with a gamma-ish square-root
+//! stretch option because KDE fields are heavily skewed — without it
+//! all but the hottest pixels render near the bottom color.
+
+use kdv_core::raster::DensityGrid;
+
+use crate::image::RgbImage;
+
+/// An RGB color.
+pub type Rgb = [u8; 3];
+
+/// A piecewise-linear color ramp over `[0, 1]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColorMap {
+    /// Control points `(t, color)` with strictly increasing `t`,
+    /// starting at 0 and ending at 1.
+    stops: Vec<(f64, Rgb)>,
+}
+
+impl ColorMap {
+    /// Builds a ramp from control points.
+    ///
+    /// # Panics
+    /// Panics unless stops start at `t = 0`, end at `t = 1`, and are
+    /// strictly increasing.
+    pub fn new(stops: Vec<(f64, Rgb)>) -> Self {
+        assert!(stops.len() >= 2, "need at least two stops");
+        assert_eq!(stops[0].0, 0.0, "first stop must be at 0");
+        assert_eq!(stops[stops.len() - 1].0, 1.0, "last stop must be at 1");
+        for w in stops.windows(2) {
+            assert!(w[0].0 < w[1].0, "stops must strictly increase");
+        }
+        Self { stops }
+    }
+
+    /// The heat ramp used throughout the paper's figures.
+    pub fn heat() -> Self {
+        Self::new(vec![
+            (0.00, [13, 8, 135]),    // deep blue
+            (0.25, [30, 120, 180]),  // blue
+            (0.50, [60, 180, 90]),   // green
+            (0.75, [245, 200, 50]),  // yellow
+            (1.00, [215, 25, 28]),   // red
+        ])
+    }
+
+    /// A perceptually-flat grayscale ramp (useful for PGM diffing).
+    pub fn grayscale() -> Self {
+        Self::new(vec![(0.0, [0, 0, 0]), (1.0, [255, 255, 255])])
+    }
+
+    /// Samples the ramp at `t ∈ [0, 1]` (clamped).
+    pub fn sample(&self, t: f64) -> Rgb {
+        let t = if t.is_nan() { 0.0 } else { t.clamp(0.0, 1.0) };
+        let mut prev = self.stops[0];
+        for &stop in &self.stops[1..] {
+            if t <= stop.0 {
+                let span = stop.0 - prev.0;
+                let f = if span > 0.0 { (t - prev.0) / span } else { 0.0 };
+                return [
+                    lerp(prev.1[0], stop.1[0], f),
+                    lerp(prev.1[1], stop.1[1], f),
+                    lerp(prev.1[2], stop.1[2], f),
+                ];
+            }
+            prev = stop;
+        }
+        self.stops[self.stops.len() - 1].1
+    }
+
+    /// Renders a density grid to an RGB image, normalizing by the
+    /// grid's min/max and applying a square-root stretch when
+    /// `sqrt_stretch` (recommended for KDE fields).
+    pub fn render(&self, grid: &DensityGrid, sqrt_stretch: bool) -> RgbImage {
+        let (lo, hi) = grid.min_max().unwrap_or((0.0, 1.0));
+        let span = (hi - lo).max(1e-300);
+        let mut img = RgbImage::new(grid.width(), grid.height());
+        for row in 0..grid.height() {
+            for col in 0..grid.width() {
+                let mut t = (grid.get(col, row) - lo) / span;
+                if sqrt_stretch {
+                    t = t.sqrt();
+                }
+                img.set(col, row, self.sample(t));
+            }
+        }
+        img
+    }
+}
+
+#[inline]
+fn lerp(a: u8, b: u8, f: f64) -> u8 {
+    (a as f64 + (b as f64 - a as f64) * f).round().clamp(0.0, 255.0) as u8
+}
+
+/// Renders a τKDV binary mask with the paper's two-color convention
+/// (hot = red, cold = light blue, cf. Fig 2c).
+pub fn render_binary(mask: &crate::render::BinaryGrid) -> RgbImage {
+    let hot: Rgb = [215, 25, 28];
+    let cold: Rgb = [170, 200, 230];
+    let mut img = RgbImage::new(mask.width(), mask.height());
+    for row in 0..mask.height() {
+        for col in 0..mask.width() {
+            img.set(col, row, if mask.get(col, row) { hot } else { cold });
+        }
+    }
+    img
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints_match_stops() {
+        let cm = ColorMap::heat();
+        assert_eq!(cm.sample(0.0), [13, 8, 135]);
+        assert_eq!(cm.sample(1.0), [215, 25, 28]);
+    }
+
+    #[test]
+    fn out_of_range_clamps() {
+        let cm = ColorMap::grayscale();
+        assert_eq!(cm.sample(-5.0), [0, 0, 0]);
+        assert_eq!(cm.sample(9.0), [255, 255, 255]);
+        assert_eq!(cm.sample(f64::NAN), [0, 0, 0]);
+    }
+
+    #[test]
+    fn midpoint_interpolates() {
+        let cm = ColorMap::grayscale();
+        let mid = cm.sample(0.5);
+        assert!((mid[0] as i32 - 128).abs() <= 1);
+    }
+
+    #[test]
+    fn ramp_is_monotone_in_luminance_for_grayscale() {
+        let cm = ColorMap::grayscale();
+        let mut prev = -1i32;
+        for i in 0..=100 {
+            let v = cm.sample(i as f64 / 100.0)[0] as i32;
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn render_normalizes_by_min_max() {
+        let grid = DensityGrid::from_values(2, 1, vec![1.0, 3.0]);
+        let img = ColorMap::grayscale().render(&grid, false);
+        assert_eq!(img.get(0, 0), [0, 0, 0]);
+        assert_eq!(img.get(1, 0), [255, 255, 255]);
+    }
+
+    #[test]
+    #[should_panic(expected = "first stop")]
+    fn missing_zero_stop_panics() {
+        ColorMap::new(vec![(0.5, [0, 0, 0]), (1.0, [255, 255, 255])]);
+    }
+
+    #[test]
+    fn binary_render_uses_two_colors() {
+        let mut mask = crate::render::BinaryGrid::falses(2, 1);
+        mask.set(1, 0, true);
+        let img = render_binary(&mask);
+        assert_ne!(img.get(0, 0), img.get(1, 0));
+        assert_eq!(img.get(1, 0), [215, 25, 28], "hot pixel is red");
+    }
+
+    #[test]
+    fn sqrt_stretch_brightens_midrange() {
+        let grid = DensityGrid::from_values(3, 1, vec![0.0, 0.25, 1.0]);
+        let cm = ColorMap::grayscale();
+        let plain = cm.render(&grid, false);
+        let stretched = cm.render(&grid, true);
+        // Endpoints identical, midrange strictly brighter with sqrt.
+        assert_eq!(plain.get(0, 0), stretched.get(0, 0));
+        assert_eq!(plain.get(2, 0), stretched.get(2, 0));
+        assert!(stretched.get(1, 0)[0] > plain.get(1, 0)[0]);
+    }
+
+    #[test]
+    fn constant_grid_renders_uniformly() {
+        let grid = DensityGrid::from_values(2, 2, vec![5.0; 4]);
+        let img = ColorMap::heat().render(&grid, true);
+        let c = img.get(0, 0);
+        for row in 0..2 {
+            for col in 0..2 {
+                assert_eq!(img.get(col, row), c);
+            }
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Iso-density contour extraction (marching squares).
+//!
+//! Hotspot analysts often want the *outline* of the region
+//! `F_P(q) ≥ τ` overlaid on a base map, not a filled mask (the red
+//! boundary of the paper's Fig 1). This module extracts iso-contours
+//! from a rendered [`DensityGrid`] with the classic marching-squares
+//! algorithm: every grid cell whose corners straddle the level
+//! contributes one or two line segments, positioned by linear
+//! interpolation along the cell edges.
+//!
+//! Segments are returned in pixel coordinates (fractional, suitable for
+//! overlay on the corresponding image) and can be stamped into an
+//! [`crate::image::RgbImage`] with [`draw_contour`].
+
+use crate::image::RgbImage;
+use kdv_core::raster::DensityGrid;
+
+/// A contour line segment in fractional pixel coordinates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// Start point `(x, y)` in pixel space.
+    pub a: (f64, f64),
+    /// End point `(x, y)` in pixel space.
+    pub b: (f64, f64),
+}
+
+/// Linear interpolation parameter of `level` between two corner values.
+#[inline]
+fn interp(v0: f64, v1: f64, level: f64) -> f64 {
+    let span = v1 - v0;
+    if span.abs() < 1e-300 {
+        0.5
+    } else {
+        ((level - v0) / span).clamp(0.0, 1.0)
+    }
+}
+
+/// Extracts the iso-contour of `grid` at `level` as line segments.
+///
+/// # Examples
+/// ```
+/// use kdv_core::raster::DensityGrid;
+/// use kdv_viz::contour::extract_contour;
+///
+/// // A single hot pixel in a 3×3 grid yields a small closed loop.
+/// let mut g = DensityGrid::zeros(3, 3);
+/// g.set(1, 1, 1.0);
+/// let segs = extract_contour(&g, 0.5);
+/// assert!(!segs.is_empty());
+/// ```
+///
+/// # Panics
+/// Panics if `level` is not finite.
+pub fn extract_contour(grid: &DensityGrid, level: f64) -> Vec<Segment> {
+    assert!(level.is_finite(), "contour level must be finite");
+    let (w, h) = (grid.width(), grid.height());
+    let mut segments = Vec::new();
+    if w < 2 || h < 2 {
+        return segments;
+    }
+    for row in 0..h - 1 {
+        for col in 0..w - 1 {
+            // Corner values, clockwise from top-left.
+            let tl = grid.get(col, row);
+            let tr = grid.get(col + 1, row);
+            let br = grid.get(col + 1, row + 1);
+            let bl = grid.get(col, row + 1);
+            let code = (usize::from(tl >= level))
+                | (usize::from(tr >= level) << 1)
+                | (usize::from(br >= level) << 2)
+                | (usize::from(bl >= level) << 3);
+            if code == 0 || code == 15 {
+                continue;
+            }
+            let x = col as f64;
+            let y = row as f64;
+            // Edge crossing points (top, right, bottom, left).
+            let top = (x + interp(tl, tr, level), y);
+            let right = (x + 1.0, y + interp(tr, br, level));
+            let bottom = (x + interp(bl, br, level), y + 1.0);
+            let left = (x, y + interp(tl, bl, level));
+            let mut push = |a: (f64, f64), b: (f64, f64)| segments.push(Segment { a, b });
+            // The 16-case marching-squares table (ambiguous saddles 5 and
+            // 10 resolved by the cell-center average).
+            match code {
+                1 => push(left, top),
+                2 => push(top, right),
+                3 => push(left, right),
+                4 => push(right, bottom),
+                5 => {
+                    let center = (tl + tr + br + bl) / 4.0;
+                    if center >= level {
+                        push(left, bottom);
+                        push(top, right);
+                    } else {
+                        push(left, top);
+                        push(right, bottom);
+                    }
+                }
+                6 => push(top, bottom),
+                7 => push(left, bottom),
+                8 => push(bottom, left),
+                9 => push(top, bottom),
+                10 => {
+                    let center = (tl + tr + br + bl) / 4.0;
+                    if center >= level {
+                        push(left, top);
+                        push(right, bottom);
+                    } else {
+                        push(left, bottom);
+                        push(top, right);
+                    }
+                }
+                11 => push(right, bottom),
+                12 => push(right, left),
+                13 => push(top, right),
+                14 => push(left, top),
+                _ => unreachable!("codes 0 and 15 are skipped"),
+            }
+        }
+    }
+    segments
+}
+
+/// Stamps contour segments onto an image (simple DDA line rasterizer).
+pub fn draw_contour(img: &mut RgbImage, segments: &[Segment], color: [u8; 3]) {
+    for s in segments {
+        let dx = s.b.0 - s.a.0;
+        let dy = s.b.1 - s.a.1;
+        let steps = dx.abs().max(dy.abs()).ceil().max(1.0) as usize * 2;
+        for i in 0..=steps {
+            let t = i as f64 / steps as f64;
+            let x = s.a.0 + t * dx;
+            let y = s.a.1 + t * dy;
+            let (cx, cy) = (x.round() as i64, y.round() as i64);
+            if cx >= 0 && cy >= 0 && (cx as u32) < img.width() && (cy as u32) < img.height() {
+                img.set(cx as u32, cy as u32, color);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bump_grid(n: u32) -> DensityGrid {
+        // Radially symmetric bump centered on the grid.
+        let mut g = DensityGrid::zeros(n, n);
+        let c = (n - 1) as f64 / 2.0;
+        for row in 0..n {
+            for col in 0..n {
+                let d2 = (col as f64 - c).powi(2) + (row as f64 - c).powi(2);
+                g.set(col, row, (-d2 / (n as f64)).exp());
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn flat_grid_has_no_contour() {
+        let g = DensityGrid::from_values(4, 4, vec![1.0; 16]);
+        assert!(extract_contour(&g, 0.5).is_empty());
+        assert!(extract_contour(&g, 2.0).is_empty());
+    }
+
+    #[test]
+    fn tiny_grids_are_empty() {
+        let g = DensityGrid::zeros(1, 5);
+        assert!(extract_contour(&g, 0.5).is_empty());
+    }
+
+    #[test]
+    fn bump_contour_is_closed_and_circular() {
+        let g = bump_grid(33);
+        let level = 0.5;
+        let segs = extract_contour(&g, level);
+        assert!(!segs.is_empty());
+        // Segment endpoints all lie near the true iso-radius
+        // r = √(n·ln 2) of the bump.
+        let r_true = (33.0f64 * 2.0f64.ln()).sqrt();
+        let c = 16.0;
+        for s in &segs {
+            for (x, y) in [s.a, s.b] {
+                let r = ((x - c).powi(2) + (y - c).powi(2)).sqrt();
+                assert!(
+                    (r - r_true).abs() < 1.0,
+                    "endpoint ({x:.2}, {y:.2}) at radius {r:.2}, expected ≈{r_true:.2}"
+                );
+            }
+        }
+        // Closed curve: every endpoint appears an even number of times
+        // (each crossing is shared between neighboring cells).
+        let mut counts = std::collections::HashMap::new();
+        for s in &segs {
+            for p in [s.a, s.b] {
+                *counts
+                    .entry((p.0.to_bits(), p.1.to_bits()))
+                    .or_insert(0usize) += 1;
+            }
+        }
+        assert!(
+            counts.values().all(|&c| c % 2 == 0),
+            "open contour endpoints found"
+        );
+    }
+
+    #[test]
+    fn segments_scale_with_level_radius() {
+        // Lower level → larger iso-circle → more segments.
+        let g = bump_grid(33);
+        let hi = extract_contour(&g, 0.8).len();
+        let lo = extract_contour(&g, 0.3).len();
+        assert!(lo > hi, "lower level must give a longer contour: {lo} vs {hi}");
+    }
+
+    #[test]
+    fn draw_contour_marks_pixels_inside_bounds_only() {
+        let mut img = RgbImage::new(8, 8);
+        let segs = [
+            Segment { a: (1.0, 1.0), b: (6.0, 1.0) },
+            Segment { a: (-5.0, -5.0), b: (20.0, 20.0) }, // partially off-image
+        ];
+        draw_contour(&mut img, &segs, [255, 0, 0]);
+        assert_eq!(img.get(3, 1), [255, 0, 0]);
+        // Off-image parts silently clipped, no panic; on-diagonal pixel hit.
+        assert_eq!(img.get(4, 4), [255, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn non_finite_level_panics() {
+        extract_contour(&DensityGrid::zeros(3, 3), f64::NAN);
+    }
+}

@@ -1,0 +1,33 @@
+//! Color-map rendering and the progressive visualization framework.
+//!
+//! This crate turns the per-pixel query engine of [`kdv_core`] into the
+//! artifacts the QUAD paper actually shows:
+//!
+//! * [`render`] — full-raster εKDV density grids and τKDV binary masks,
+//!   in row-major or progressive order, with optional time budgets,
+//! * [`progressive`] — the coarse-to-fine quad-tree pixel ordering of
+//!   the paper's §6 / Fig 13, generalized to arbitrary resolutions,
+//! * [`colormap`] — the continuous color ramp of Figs 1–2 and the
+//!   two-color τKDV map; [`contour`] — marching-squares iso-density
+//!   outlines (the hotspot boundaries of Fig 1),
+//! * [`image`] — dependency-free binary PPM/PGM writers,
+//! * [`parallel`] — a multi-threaded row renderer (the paper's "future
+//!   work" §8; off in every paper reproduction, which is single-core).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod colormap;
+pub mod contour;
+pub mod image;
+pub mod parallel;
+pub mod png;
+pub mod progressive;
+pub mod render;
+pub mod tiles;
+
+pub use colormap::ColorMap;
+pub use image::RgbImage;
+pub use progressive::{progressive_order, ProgressiveStep};
+pub use render::{render_eps, render_eps_progressive, render_tau, BinaryGrid};
+pub use tiles::render_tau_tiled;

@@ -1,0 +1,114 @@
+//! Multi-threaded rendering — the paper's future-work extension (§8).
+//!
+//! The paper's headline results are deliberately single-machine,
+//! single-core ("without using GPU and parallel computation"), and every
+//! figure reproduction in this workspace honors that. This module adds
+//! the obvious next step for library users: pixel rows are embarrassingly
+//! parallel, so a handful of `std::thread`s with per-thread evaluators
+//! scales rendering near-linearly. No shared mutable state — each thread
+//! builds its own evaluator from the factory and writes disjoint rows.
+
+use kdv_core::method::PixelEvaluator;
+use kdv_core::raster::{DensityGrid, RasterSpec};
+
+/// Renders a full εKDV grid using `threads` worker threads.
+///
+/// `make_evaluator` is called once per thread to build an independent
+/// evaluator (evaluators are stateful and `!Sync` by design).
+///
+/// # Panics
+/// Panics if `threads == 0`.
+pub fn render_eps_parallel<'t, E, F>(
+    make_evaluator: F,
+    raster: &RasterSpec,
+    eps: f64,
+    threads: usize,
+) -> DensityGrid
+where
+    E: PixelEvaluator + 't,
+    F: Fn() -> E + Sync,
+{
+    assert!(threads > 0, "need at least one thread");
+    let width = raster.width();
+    let height = raster.height() as usize;
+    let mut values = vec![0.0f64; width as usize * height];
+
+    std::thread::scope(|scope| {
+        // Split the value buffer into disjoint row bands, one per chunk.
+        let rows_per_band = height.div_ceil(threads);
+        let mut rest: &mut [f64] = &mut values;
+        let mut band_start = 0usize;
+        let mut handles = Vec::new();
+        while band_start < height {
+            let rows = rows_per_band.min(height - band_start);
+            let (band, tail) = rest.split_at_mut(rows * width as usize);
+            rest = tail;
+            let first_row = band_start;
+            let make = &make_evaluator;
+            handles.push(scope.spawn(move || {
+                let mut ev = make();
+                for (r, row_vals) in band.chunks_mut(width as usize).enumerate() {
+                    let row = (first_row + r) as u32;
+                    for (col, slot) in row_vals.iter_mut().enumerate() {
+                        let q = raster.pixel_center(col as u32, row);
+                        *slot = ev.eval_eps(&q, eps);
+                    }
+                }
+            }));
+            band_start += rows;
+        }
+        for h in handles {
+            h.join().expect("render worker panicked");
+        }
+    });
+
+    DensityGrid::from_values(width, raster.height(), values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::render::render_eps;
+    use kdv_core::bandwidth::scott_gamma;
+    use kdv_core::bounds::BoundFamily;
+    use kdv_core::engine::RefineEvaluator;
+    use kdv_core::kernel::Kernel;
+    use kdv_data::Dataset;
+    use kdv_index::KdTree;
+
+    #[test]
+    fn parallel_render_matches_sequential() {
+        let ps = Dataset::Home.generate(3000, 5);
+        let kernel = Kernel::gaussian(scott_gamma(&ps).gamma);
+        let tree = KdTree::build_default(&ps);
+        let raster = kdv_core::raster::RasterSpec::covering(&ps, 20, 15, 0.05);
+
+        let mut seq_ev = RefineEvaluator::new(&tree, kernel, BoundFamily::Quadratic);
+        let seq = render_eps(&mut seq_ev, &raster, 0.01);
+        for threads in [1, 2, 4] {
+            let par = render_eps_parallel(
+                || RefineEvaluator::new(&tree, kernel, BoundFamily::Quadratic),
+                &raster,
+                0.01,
+                threads,
+            );
+            assert_eq!(par, seq, "thread count {threads} changed the output");
+        }
+    }
+
+    #[test]
+    fn more_threads_than_rows_is_fine() {
+        let ps = Dataset::Hep.generate(500, 6);
+        let kernel = Kernel::gaussian(scott_gamma(&ps).gamma);
+        let tree = KdTree::build_default(&ps);
+        let raster = kdv_core::raster::RasterSpec::covering(&ps, 8, 3, 0.05);
+        let grid = render_eps_parallel(
+            || RefineEvaluator::new(&tree, kernel, BoundFamily::Quadratic),
+            &raster,
+            0.05,
+            16,
+        );
+        assert_eq!(grid.width(), 8);
+        assert_eq!(grid.height(), 3);
+    }
+}

@@ -1,0 +1,199 @@
+//! Dependency-free PNG encoding (stored-deflate).
+//!
+//! PPM is simple but not universally viewable; PNG is. This encoder
+//! writes valid, if uncompressed, PNGs: zlib streams made of *stored*
+//! deflate blocks (RFC 1951 §3.2.4) need no compression machinery, only
+//! CRC-32 (chunks) and Adler-32 (zlib) checksums — both implemented and
+//! tested here. Output is ~`3·w·h` bytes, same as PPM.
+
+use crate::image::RgbImage;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// CRC-32 (IEEE 802.3, reflected) lookup table, built at first use.
+fn crc_table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (n, slot) in table.iter_mut().enumerate() {
+            let mut c = n as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xedb8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *slot = c;
+        }
+        table
+    })
+}
+
+/// CRC-32 of a byte stream (PNG chunk checksum).
+pub fn crc32(data: &[u8]) -> u32 {
+    let table = crc_table();
+    let mut c = 0xffff_ffffu32;
+    for &b in data {
+        c = table[((c ^ b as u32) & 0xff) as usize] ^ (c >> 8);
+    }
+    c ^ 0xffff_ffff
+}
+
+/// Adler-32 of a byte stream (zlib checksum).
+pub fn adler32(data: &[u8]) -> u32 {
+    const MOD: u32 = 65_521;
+    let mut a = 1u32;
+    let mut b = 0u32;
+    for chunk in data.chunks(5552) {
+        for &byte in chunk {
+            a += byte as u32;
+            b += a;
+        }
+        a %= MOD;
+        b %= MOD;
+    }
+    (b << 16) | a
+}
+
+fn push_chunk(out: &mut Vec<u8>, kind: &[u8; 4], payload: &[u8]) {
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(kind);
+    out.extend_from_slice(payload);
+    let mut crc_input = Vec::with_capacity(4 + payload.len());
+    crc_input.extend_from_slice(kind);
+    crc_input.extend_from_slice(payload);
+    out.extend_from_slice(&crc32(&crc_input).to_be_bytes());
+}
+
+/// Encodes the image as a PNG byte stream (8-bit RGB, no compression).
+pub fn encode(img: &RgbImage) -> Vec<u8> {
+    let (w, h) = (img.width(), img.height());
+    // Raw scanlines: one filter byte (0 = None) then RGB triples.
+    let stride = 1 + 3 * w as usize;
+    let mut raw = Vec::with_capacity(stride * h as usize);
+    for row in 0..h {
+        raw.push(0u8);
+        for col in 0..w {
+            raw.extend_from_slice(&img.get(col, row));
+        }
+    }
+
+    // zlib stream: header, stored-deflate blocks, Adler-32.
+    let mut z = Vec::with_capacity(raw.len() + raw.len() / 65_535 * 5 + 16);
+    z.push(0x78); // CMF: deflate, 32K window
+    z.push(0x01); // FLG: no dict, fastest (FCHECK makes it a multiple of 31)
+    let mut chunks = raw.chunks(65_535).peekable();
+    while let Some(block) = chunks.next() {
+        let last = chunks.peek().is_none();
+        z.push(u8::from(last)); // BFINAL + BTYPE=00 (stored)
+        let len = block.len() as u16;
+        z.extend_from_slice(&len.to_le_bytes());
+        z.extend_from_slice(&(!len).to_le_bytes());
+        z.extend_from_slice(block);
+    }
+    z.extend_from_slice(&adler32(&raw).to_be_bytes());
+
+    let mut ihdr = Vec::with_capacity(13);
+    ihdr.extend_from_slice(&w.to_be_bytes());
+    ihdr.extend_from_slice(&h.to_be_bytes());
+    ihdr.extend_from_slice(&[8, 2, 0, 0, 0]); // 8-bit, RGB, deflate, none, none
+
+    let mut out = Vec::with_capacity(z.len() + 128);
+    out.extend_from_slice(b"\x89PNG\r\n\x1a\n");
+    push_chunk(&mut out, b"IHDR", &ihdr);
+    push_chunk(&mut out, b"IDAT", &z);
+    push_chunk(&mut out, b"IEND", &[]);
+    out
+}
+
+/// Writes the image as a PNG file.
+pub fn save_png(img: &RgbImage, path: &Path) -> io::Result<()> {
+    fs::write(path, encode(img))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard test vector plus the famous IEND chunk CRC.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b"IEND"), 0xae42_6082);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn adler32_known_vectors() {
+        assert_eq!(adler32(b""), 1);
+        assert_eq!(adler32(b"Wikipedia"), 0x11e6_0398);
+    }
+
+    #[test]
+    fn png_structure_is_valid() {
+        let mut img = RgbImage::new(3, 2);
+        img.set(0, 0, [255, 0, 0]);
+        img.set(2, 1, [0, 0, 255]);
+        let png = encode(&img);
+        assert!(png.starts_with(b"\x89PNG\r\n\x1a\n"));
+        // IHDR directly after the signature, 13-byte payload.
+        assert_eq!(&png[8..16], &[0, 0, 0, 13, b'I', b'H', b'D', b'R']);
+        // Width 3, height 2, big-endian.
+        assert_eq!(&png[16..24], &[0, 0, 0, 3, 0, 0, 0, 2]);
+        // Ends with the canonical IEND chunk.
+        assert_eq!(
+            &png[png.len() - 12..],
+            &[0, 0, 0, 0, b'I', b'E', b'N', b'D', 0xae, 0x42, 0x60, 0x82]
+        );
+    }
+
+    #[test]
+    fn zlib_stream_decodes_as_stored_blocks() {
+        // Decode our own stored-deflate stream and compare with the raw
+        // scanlines — a self-contained round trip.
+        let mut img = RgbImage::new(2, 2);
+        img.set(1, 1, [9, 8, 7]);
+        let png = encode(&img);
+        // Locate the IDAT payload.
+        let idat_len = u32::from_be_bytes(png[33..37].try_into().expect("len")) as usize;
+        assert_eq!(&png[37..41], b"IDAT");
+        let z = &png[41..41 + idat_len];
+        assert_eq!(z[0], 0x78);
+        // Stored block: final flag, LE length, complement, then data.
+        assert_eq!(z[2], 1);
+        let len = u16::from_le_bytes([z[3], z[4]]) as usize;
+        let nlen = u16::from_le_bytes([z[5], z[6]]);
+        assert_eq!(nlen, !(len as u16));
+        let data = &z[7..7 + len];
+        // Expected raw: 2 rows × (filter byte + 2 RGB triples).
+        let expect = [
+            0u8, 0, 0, 0, 0, 0, 0, // row 0
+            0, 0, 0, 0, 9, 8, 7, // row 1
+        ];
+        assert_eq!(data, expect);
+        // Adler of the raw scanlines closes the stream.
+        let adler = u32::from_be_bytes(z[7 + len..11 + len].try_into().expect("adler"));
+        assert_eq!(adler, adler32(&expect));
+    }
+
+    #[test]
+    fn large_image_splits_into_multiple_blocks() {
+        // > 65535 raw bytes → at least two stored blocks.
+        let img = RgbImage::new(200, 120); // 200*3+1 = 601 B/row × 120 = 72120 B
+        let png = encode(&img);
+        let idat_len = u32::from_be_bytes(png[33..37].try_into().expect("len")) as usize;
+        let z = &png[41..41 + idat_len];
+        // First block must not be final.
+        assert_eq!(z[2], 0);
+    }
+
+    #[test]
+    fn save_roundtrip() {
+        let dir = std::env::temp_dir().join("kdv_png_test");
+        std::fs::create_dir_all(&dir).expect("tmp");
+        let path = dir.join("t.png");
+        save_png(&RgbImage::new(4, 4), &path).expect("save");
+        let bytes = std::fs::read(&path).expect("read");
+        assert!(bytes.starts_with(b"\x89PNG"));
+        let _ = std::fs::remove_file(&path);
+    }
+}

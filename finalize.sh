@@ -1,0 +1,9 @@
+#!/bin/bash
+# Final artifact pipeline: runs once `cargo bench` releases the lock.
+set -x
+until ! pgrep -x cargo >/dev/null 2>&1; do sleep 20; done
+cd /root/repo
+cargo test --workspace 2>&1 | tee /root/repo/test_output.txt | tail -5
+cargo build --release -p kdv-bench --bin figures 2>&1 | tail -1
+./target/release/figures --scale quick all > /root/repo/figures_quick.log 2>&1
+echo FINALIZE_DONE

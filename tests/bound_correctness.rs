@@ -1,0 +1,134 @@
+//! Cross-crate bound-correctness: for every kernel × bound family, the
+//! node bounds computed on *real kd-tree nodes* must bracket the exact
+//! per-node aggregation, and the paper's tightness ordering must hold.
+
+use kdv::prelude::*;
+use kdv::core::bounds::{node_bounds, BoundFamily};
+use kdv::geom::vecmath::dist2;
+use kdv::index::BuildConfig;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng as _};
+
+fn random_points(n: usize, seed: u64) -> PointSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let flat: Vec<f64> = (0..n * 2).map(|_| rng.gen_range(-10.0..10.0)).collect();
+    PointSet::from_rows(2, &flat)
+}
+
+fn exact_node(tree: &KdTree, id: kdv::index::NodeId, kernel: &Kernel, q: &[f64]) -> f64 {
+    match tree.node(id).kind {
+        kdv::index::NodeKind::Leaf { .. } => tree
+            .leaf_points(id)
+            .map(|(p, w)| w * kernel.eval_dist2(dist2(q, p)))
+            .sum(),
+        kdv::index::NodeKind::Internal { left, right } => {
+            exact_node(tree, left, kernel, q) + exact_node(tree, right, kernel, q)
+        }
+    }
+}
+
+#[test]
+fn every_node_bound_brackets_exact_for_all_kernels_and_families() {
+    let ps = random_points(600, 1);
+    let tree = KdTree::build(&ps, BuildConfig { leaf_capacity: 8, ..BuildConfig::default() });
+    let queries = [[0.0, 0.0], [4.0, -7.0], [15.0, 15.0], [-2.0, 0.5]];
+    for ty in KernelType::ALL {
+        let kernel = Kernel::new(ty, 0.25);
+        for family in BoundFamily::ALL {
+            for q in &queries {
+                tree.for_each_node(|id, node| {
+                    let b = node_bounds(&kernel, family, &node.stats, &node.mbr, q);
+                    let f = exact_node(&tree, id, &kernel, q);
+                    let tol = 1e-8 * (1.0 + f.abs());
+                    assert!(
+                        b.lb <= f + tol,
+                        "{ty:?}/{family:?}: node lb {} > exact {f}",
+                        b.lb
+                    );
+                    assert!(
+                        f <= b.ub + tol,
+                        "{ty:?}/{family:?}: exact {f} > node ub {}",
+                        b.ub
+                    );
+                });
+            }
+        }
+    }
+}
+
+#[test]
+fn gaussian_tightness_ordering_quad_karl_interval() {
+    let ps = random_points(600, 2);
+    let tree = KdTree::build(&ps, BuildConfig { leaf_capacity: 8, ..BuildConfig::default() });
+    let kernel = Kernel::gaussian(0.1);
+    for q in [[0.0, 0.0], [8.0, 8.0], [-5.0, 3.0]] {
+        tree.for_each_node(|_, node| {
+            let bi = node_bounds(&kernel, BoundFamily::Interval, &node.stats, &node.mbr, &q);
+            let bl = node_bounds(&kernel, BoundFamily::Linear, &node.stats, &node.mbr, &q);
+            let bq = node_bounds(&kernel, BoundFamily::Quadratic, &node.stats, &node.mbr, &q);
+            let tol = 1e-9 * (1.0 + bi.ub.abs());
+            assert!(bl.gap() <= bi.gap() + tol, "KARL looser than interval");
+            assert!(bq.gap() <= bl.gap() + tol, "QUAD looser than KARL");
+        });
+    }
+}
+
+#[test]
+fn distance_kernel_quad_tighter_than_interval() {
+    let ps = random_points(600, 3);
+    let tree = KdTree::build(&ps, BuildConfig { leaf_capacity: 8, ..BuildConfig::default() });
+    for ty in [
+        KernelType::Triangular,
+        KernelType::Cosine,
+        KernelType::Exponential,
+    ] {
+        let kernel = Kernel::new(ty, 0.15);
+        for q in [[0.0, 0.0], [6.0, -6.0]] {
+            tree.for_each_node(|_, node| {
+                let bi =
+                    node_bounds(&kernel, BoundFamily::Interval, &node.stats, &node.mbr, &q);
+                let bq =
+                    node_bounds(&kernel, BoundFamily::Quadratic, &node.stats, &node.mbr, &q);
+                let tol = 1e-9 * (1.0 + bi.ub.abs());
+                assert!(
+                    bq.gap() <= bi.gap() + tol,
+                    "{ty:?}: QUAD gap {} > interval gap {}",
+                    bq.gap(),
+                    bi.gap()
+                );
+            });
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Root-node bounds bracket the full KDE for arbitrary weighted
+    /// datasets, all kernels, quadratic family (the paper's method).
+    #[test]
+    fn root_bounds_bracket_weighted_kde(
+        rows in proptest::collection::vec(
+            (proptest::collection::vec(-8.0..8.0f64, 2), 0.01..3.0f64), 4..60),
+        q in proptest::collection::vec(-10.0..10.0f64, 2),
+        gamma in 0.02..1.0f64,
+        ty_idx in 0usize..6,
+    ) {
+        let mut ps = PointSet::new(2);
+        for (p, w) in &rows {
+            ps.push_weighted(p, *w);
+        }
+        let tree = KdTree::build(&ps, BuildConfig { leaf_capacity: 4, ..BuildConfig::default() });
+        let kernel = Kernel::new(KernelType::ALL[ty_idx], gamma);
+        let root = tree.node(tree.root());
+        let b = node_bounds(&kernel, BoundFamily::Quadratic, &root.stats, &root.mbr, &q);
+        let f: f64 = ps
+            .iter()
+            .map(|p| p.weight * kernel.eval_dist2(dist2(&q, p.coords)))
+            .sum();
+        let tol = 1e-8 * (1.0 + f.abs());
+        prop_assert!(b.lb <= f + tol, "lb {} > F {}", b.lb, f);
+        prop_assert!(f <= b.ub + tol, "F {} > ub {}", f, b.ub);
+    }
+}

@@ -1,0 +1,61 @@
+//! User-data pipeline: CSV in → render → image out, the path a
+//! downstream adopter actually takes.
+
+use kdv::data::csv;
+use kdv::data::Dataset;
+use kdv::prelude::*;
+use std::path::PathBuf;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("kdv_csv_pipeline");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    dir.join(name)
+}
+
+#[test]
+fn csv_roundtrip_preserves_render() {
+    let raw = Dataset::ElNino.generate(2000, 51);
+    let bw = scott_gamma(&raw);
+    let mut points = raw;
+    points.scale_weights(bw.weight);
+    let kernel = Kernel::gaussian(bw.gamma);
+
+    // Save with weights, load back, render both, compare exactly.
+    let path = tmp("elnino.csv");
+    csv::save(&path, &points, true).expect("save CSV");
+    let loaded = csv::load(&path, 2, true).expect("load CSV");
+    assert_eq!(loaded.len(), points.len());
+
+    let raster = RasterSpec::covering(&points, 16, 12, 0.02);
+    let tree_a = KdTree::build_default(&points);
+    let tree_b = KdTree::build_default(&loaded);
+    let mut ev_a = RefineEvaluator::new(&tree_a, kernel, BoundFamily::Quadratic);
+    let mut ev_b = RefineEvaluator::new(&tree_b, kernel, BoundFamily::Quadratic);
+    let grid_a = render_eps(&mut ev_a, &raster, 0.01);
+    let grid_b = render_eps(&mut ev_b, &raster, 0.01);
+    // CSV text serialization may round the last ulp of coordinates; the
+    // renders must agree far below the ε tolerance.
+    assert!(grid_a.mean_relative_error(&grid_b) < 1e-6);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn image_artifacts_are_written_and_valid() {
+    let raw = Dataset::Crime.generate(1500, 53);
+    let bw = scott_gamma(&raw);
+    let mut points = raw;
+    points.scale_weights(bw.weight);
+    let kernel = Kernel::gaussian(bw.gamma);
+    let tree = KdTree::build_default(&points);
+    let raster = RasterSpec::covering(&points, 24, 18, 0.02);
+    let mut ev = RefineEvaluator::new(&tree, kernel, BoundFamily::Quadratic);
+    let grid = render_eps(&mut ev, &raster, 0.02);
+
+    let img = ColorMap::heat().render(&grid, true);
+    let ppm_path = tmp("crime.ppm");
+    img.save_ppm(&ppm_path).expect("save PPM");
+    let bytes = std::fs::read(&ppm_path).expect("read back");
+    assert!(bytes.starts_with(b"P6\n24 18\n255\n"));
+    assert_eq!(bytes.len(), 13 + 24 * 18 * 3);
+    let _ = std::fs::remove_file(&ppm_path);
+}

@@ -1,0 +1,123 @@
+//! End-to-end εKDV/τKDV agreement: every method with a deterministic
+//! guarantee must produce full renders within tolerance of EXACT on
+//! every emulated dataset.
+
+use kdv::data::Dataset;
+use kdv::prelude::*;
+
+fn workload(ds: Dataset, n: usize, ty: KernelType) -> (PointSet, Kernel) {
+    let raw = ds.generate(n, 99);
+    let bw = scott_gamma_for(&raw, ty);
+    let mut points = raw;
+    points.scale_weights(bw.weight);
+    (points, Kernel::new(ty, bw.gamma))
+}
+
+#[test]
+fn eps_kdv_methods_meet_guarantee_on_all_datasets() {
+    let eps = 0.01;
+    for ds in Dataset::ALL {
+        let (points, kernel) = workload(ds, 3000, KernelType::Gaussian);
+        let tree = KdTree::build_default(&points);
+        let raster = RasterSpec::covering(&points, 20, 16, 0.02);
+
+        let mut exact = ExactScan::new(&points, kernel);
+        let truth = render_eps(&mut exact, &raster, eps);
+
+        for m in [MethodKind::Scikit, MethodKind::Akde, MethodKind::Karl, MethodKind::Quad] {
+            let mut ev = make_evaluator(m, &tree, kernel, "εKDV", &MethodParams::default())
+                .expect("εKDV method");
+            let grid = render_eps(&mut *ev, &raster, eps);
+            // Per-pixel deterministic guarantee, not just on average.
+            for row in 0..raster.height() {
+                for col in 0..raster.width() {
+                    let f = truth.get(col, row);
+                    let r = grid.get(col, row);
+                    assert!(
+                        (r - f).abs() <= eps * f + 1e-12,
+                        "{ds:?}/{m:?}: pixel ({col},{row}) {r} vs {f}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn tau_kdv_methods_agree_with_exact_on_all_datasets() {
+    for ds in Dataset::ALL {
+        let (points, kernel) = workload(ds, 3000, KernelType::Gaussian);
+        let tree = KdTree::build_default(&points);
+        let raster = RasterSpec::covering(&points, 20, 16, 0.02);
+        let levels = estimate_levels(&tree, kernel, &raster, 10, 8);
+        let tau = levels.tau(0.1);
+
+        let mut exact = ExactScan::new(&points, kernel);
+        let truth = render_tau(&mut exact, &raster, tau);
+        for m in [MethodKind::Tkdc, MethodKind::Karl, MethodKind::Quad] {
+            let mut ev = make_evaluator(m, &tree, kernel, "τKDV", &MethodParams::default())
+                .expect("τKDV method");
+            let mask = render_tau(&mut *ev, &raster, tau);
+            // Disagreement only possible on pixels where F(q) ≈ τ to
+            // rounding; a mid-sweep τ should have none on a small grid.
+            assert!(
+                mask.disagreement(&truth) <= 0.01,
+                "{ds:?}/{m:?}: τ mask disagrees beyond boundary noise"
+            );
+        }
+    }
+}
+
+#[test]
+fn distance_kernels_end_to_end_with_quad() {
+    let eps = 0.02;
+    for ty in [
+        KernelType::Triangular,
+        KernelType::Cosine,
+        KernelType::Exponential,
+        KernelType::Epanechnikov,
+        KernelType::Quartic,
+    ] {
+        let (points, kernel) = workload(Dataset::Crime, 2500, ty);
+        let tree = KdTree::build_default(&points);
+        let raster = RasterSpec::covering(&points, 16, 12, 0.02);
+        let mut exact = ExactScan::new(&points, kernel);
+        let truth = render_eps(&mut exact, &raster, eps);
+        let mut quad = RefineEvaluator::new(&tree, kernel, BoundFamily::Quadratic);
+        let grid = render_eps(&mut quad, &raster, eps);
+        for (r, f) in grid.values().iter().zip(truth.values()) {
+            assert!(
+                (r - f).abs() <= eps * f + 1e-12,
+                "{ty:?}: {r} vs {f} breaks the ε contract"
+            );
+        }
+    }
+}
+
+#[test]
+fn quad_prunes_vs_interval_on_clustered_data() {
+    // Sanity on the paper's performance *mechanism* (not wall-clock):
+    // QUAD must refine fewer nodes than interval bounds on a clustered
+    // dataset at tight ε.
+    let (points, kernel) = workload(Dataset::Crime, 20_000, KernelType::Gaussian);
+    let tree = KdTree::build_default(&points);
+    let raster = RasterSpec::covering(&points, 8, 6, 0.02);
+
+    let mut total_quad = 0usize;
+    let mut total_interval = 0usize;
+    let mut quad = RefineEvaluator::new(&tree, kernel, BoundFamily::Quadratic);
+    let mut interval = RefineEvaluator::new(&tree, kernel, BoundFamily::Interval);
+    for row in 0..raster.height() {
+        for col in 0..raster.width() {
+            let q = raster.pixel_center(col, row);
+            quad.eval_eps(&q, 0.01);
+            total_quad += quad.last_stats().iterations;
+            interval.eval_eps(&q, 0.01);
+            total_interval += interval.last_stats().iterations;
+        }
+    }
+    assert!(
+        (total_quad as f64) < 0.8 * total_interval as f64,
+        "QUAD iterations {total_quad} not clearly below interval {total_interval}"
+    );
+}

@@ -1,0 +1,83 @@
+//! The §7.7 pipeline end-to-end: high-dimensional emulation → PCA →
+//! KDE queries at every dimensionality, with the ε contract intact.
+
+use kdv::data::Dataset;
+use kdv::geom::vecmath::dist2;
+use kdv::pca::Pca;
+use kdv::prelude::*;
+
+#[test]
+fn eps_contract_holds_at_every_dimensionality() {
+    let full = Dataset::Home.generate_highdim(4000, 10, 31);
+    let pca = Pca::fit(&full);
+    for d in [2usize, 4, 6, 8, 10] {
+        let mut pts = pca.transform(&full, d);
+        pts.scale_weights(1.0 / pts.len() as f64);
+        let kernel = Kernel::gaussian(scott_gamma(&pts).gamma);
+        let tree = KdTree::build_default(&pts);
+        let mut quad = RefineEvaluator::new(&tree, kernel, BoundFamily::Quadratic);
+        let mut karl = RefineEvaluator::new(&tree, kernel, BoundFamily::Linear);
+
+        // Probe a few query points, including the data mean.
+        let mean = pts.mean().expect("non-empty");
+        let mut queries = vec![mean.clone()];
+        queries.push(pts.point(7).to_vec());
+        queries.push(mean.iter().map(|m| m + 1.0).collect());
+
+        for q in &queries {
+            let f: f64 = pts
+                .iter()
+                .map(|p| p.weight * kernel.eval_dist2(dist2(q, p.coords)))
+                .sum();
+            for (name, ev) in [("QUAD", &mut quad), ("KARL", &mut karl)] {
+                let r = ev.eval_eps(q, 0.01);
+                assert!(
+                    (r - f).abs() <= 0.01 * f + 1e-12,
+                    "{name} at d = {d}: {r} vs exact {f}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn pca_spectrum_decays_on_correlated_emulation() {
+    let full = Dataset::Hep.generate_highdim(8000, 10, 37);
+    let pca = Pca::fit(&full);
+    let var = pca.explained_variance();
+    // The extra axes are correlated responses: the top components must
+    // dominate the tail (a meaningful reduction target for Fig 24).
+    let head: f64 = var[..4].iter().sum();
+    let tail: f64 = var[4..].iter().sum();
+    assert!(
+        head > tail,
+        "expected a decaying spectrum, got head {head} vs tail {tail}"
+    );
+    // And the eigenvalues are sorted.
+    for w in var.windows(2) {
+        assert!(w[0] >= w[1] - 1e-12);
+    }
+}
+
+#[test]
+fn reduced_dimensions_preserve_cluster_separation() {
+    // The two hep classes stay separated after 10 → 2 reduction: KDE at
+    // a class center is much higher than far outside the data.
+    let full = Dataset::Hep.generate_highdim(6000, 10, 41);
+    let pca = Pca::fit(&full);
+    let mut pts = pca.transform(&full, 2);
+    pts.scale_weights(1.0 / pts.len() as f64);
+    let kernel = Kernel::gaussian(scott_gamma(&pts).gamma);
+    let tree = KdTree::build_default(&pts);
+    let mut ev = RefineEvaluator::new(&tree, kernel, BoundFamily::Quadratic);
+
+    let mean = pts.mean().expect("non-empty");
+    let f_center = ev.eval_eps(&mean, 0.01);
+    let bbox = kdv::geom::Mbr::of_set(&pts).expect("non-empty");
+    let far = [bbox.hi()[0] * 2.0, bbox.hi()[1] * 2.0];
+    let f_far = ev.eval_eps(&far, 0.5).max(1e-300);
+    assert!(
+        f_center > 10.0 * f_far,
+        "density contrast lost after PCA: center {f_center} vs far {f_far}"
+    );
+}

@@ -1,0 +1,111 @@
+//! Progressive-framework quality invariants across crates (paper §6,
+//! Figs 20–21).
+
+use kdv::data::Dataset;
+use kdv::prelude::*;
+use kdv::viz::progressive::progressive_order;
+use kdv::viz::render::ProgressiveCanvas;
+
+fn setup(n: usize) -> (PointSet, Kernel, RasterSpec) {
+    let raw = Dataset::Home.generate(n, 5);
+    let bw = scott_gamma(&raw);
+    let mut points = raw;
+    points.scale_weights(bw.weight);
+    let kernel = Kernel::gaussian(bw.gamma);
+    let raster = RasterSpec::covering(&points, 32, 24, 0.02);
+    (points, kernel, raster)
+}
+
+#[test]
+fn error_is_monotone_in_prefix_length_on_average() {
+    let (points, kernel, raster) = setup(4000);
+    let tree = KdTree::build_default(&points);
+    let mut exact = ExactScan::new(&points, kernel);
+    let truth = render_eps(&mut exact, &raster, 0.01);
+
+    let steps = progressive_order(raster.width(), raster.height());
+    let mut ev = RefineEvaluator::new(&tree, kernel, BoundFamily::Quadratic);
+    let mut canvas = ProgressiveCanvas::new(raster.width(), raster.height());
+    let mut errors = Vec::new();
+    let checkpoints = [1usize, 5, 21, 85, steps.len()];
+    let mut next_cp = 0;
+    for (i, step) in steps.iter().enumerate() {
+        let q = raster.pixel_center(step.col, step.row);
+        let v = ev.eval_eps(&q, 0.01);
+        canvas.apply(step, v);
+        if next_cp < checkpoints.len() && i + 1 == checkpoints[next_cp] {
+            errors.push(canvas.grid().mean_relative_error(&truth));
+            next_cp += 1;
+        }
+    }
+    // Quad-tree checkpoint errors fall overall (allow small local noise
+    // between adjacent levels, demand a big drop overall).
+    assert!(
+        errors.last().expect("non-empty") <= &0.01,
+        "full prefix must meet ε: {errors:?}"
+    );
+    assert!(
+        errors[0] > errors[errors.len() - 1],
+        "error must decrease from first to last checkpoint: {errors:?}"
+    );
+}
+
+#[test]
+fn every_prefix_paints_the_full_raster() {
+    let (points, kernel, raster) = setup(1500);
+    let tree = KdTree::build_default(&points);
+    let steps = progressive_order(raster.width(), raster.height());
+    let mut ev = RefineEvaluator::new(&tree, kernel, BoundFamily::Quadratic);
+    let mut canvas = ProgressiveCanvas::new(raster.width(), raster.height());
+    for (i, step) in steps.iter().enumerate() {
+        let q = raster.pixel_center(step.col, step.row);
+        canvas.apply(step, ev.eval_eps(&q, 0.05));
+        if i == 0 {
+            // After the very first step the whole grid holds that value.
+            let v0 = canvas.grid().get(step.col, step.row);
+            assert!(canvas.grid().values().iter().all(|&v| v == v0));
+        }
+    }
+    // Finished canvas has strictly positive densities for this data.
+    assert!(canvas.grid().values().iter().all(|&v| v >= 0.0));
+}
+
+#[test]
+fn coarse_prefix_already_locates_the_hotspot() {
+    // The §6 pitch: after a small prefix, the argmax of the painted
+    // grid should be near the argmax of the exact grid.
+    let (points, kernel, raster) = setup(6000);
+    let tree = KdTree::build_default(&points);
+    let mut exact = ExactScan::new(&points, kernel);
+    let truth = render_eps(&mut exact, &raster, 0.01);
+
+    let steps = progressive_order(raster.width(), raster.height());
+    let prefix = steps.len() / 16; // ~6% of pixels
+    let mut ev = RefineEvaluator::new(&tree, kernel, BoundFamily::Quadratic);
+    let mut canvas = ProgressiveCanvas::new(raster.width(), raster.height());
+    for step in &steps[..prefix] {
+        let q = raster.pixel_center(step.col, step.row);
+        canvas.apply(step, ev.eval_eps(&q, 0.01));
+    }
+
+    let argmax = |g: &DensityGrid| -> (u32, u32) {
+        let mut best = (0, 0);
+        let mut best_v = f64::NEG_INFINITY;
+        for row in 0..g.height() {
+            for col in 0..g.width() {
+                if g.get(col, row) > best_v {
+                    best_v = g.get(col, row);
+                    best = (col, row);
+                }
+            }
+        }
+        best
+    };
+    let (tc, tr) = argmax(&truth);
+    let (pc, pr) = argmax(canvas.grid());
+    let dist = ((tc as f64 - pc as f64).powi(2) + (tr as f64 - pr as f64).powi(2)).sqrt();
+    assert!(
+        dist <= 8.0,
+        "coarse hotspot ({pc},{pr}) too far from exact ({tc},{tr})"
+    );
+}

@@ -1,0 +1,94 @@
+//! The Z-Order baseline's probabilistic guarantee, measured: over many
+//! independent phases, the normalized KDE error of the coreset stays
+//! within the Hoeffding budget at well above the promised rate.
+
+use kdv::data::Dataset;
+use kdv::geom::vecmath::dist2;
+use kdv::prelude::*;
+use kdv::sampling::{sample_size_for, zorder_sample};
+
+fn kde(points: &PointSet, kernel: &Kernel, q: &[f64]) -> f64 {
+    points
+        .iter()
+        .map(|p| p.weight * kernel.eval_dist2(dist2(q, p.coords)))
+        .sum()
+}
+
+#[test]
+fn normalized_error_within_eps_at_promised_rate() {
+    let points = Dataset::Crime.generate(30_000, 17);
+    let kernel = Kernel::gaussian(scott_gamma(&points).gamma);
+    let w_total = points.total_weight();
+    let raster = RasterSpec::covering(&points, 8, 8, 0.02);
+
+    let (eps, delta) = (0.05, 0.2);
+    let size = sample_size_for(eps, delta);
+    let trials = 20;
+    let mut violations = 0usize;
+    let mut checks = 0usize;
+    for t in 0..trials {
+        let phase = t as f64 / trials as f64;
+        let sample = zorder_sample(&points, size, phase);
+        for row in 0..raster.height() {
+            for col in 0..raster.width() {
+                let q = raster.pixel_center(col, row);
+                let err = (kde(&sample, &kernel, &q) - kde(&points, &kernel, &q)).abs() / w_total;
+                checks += 1;
+                if err > eps {
+                    violations += 1;
+                }
+            }
+        }
+    }
+    let rate = violations as f64 / checks as f64;
+    assert!(
+        rate <= delta,
+        "violation rate {rate} exceeds δ = {delta} ({violations}/{checks})"
+    );
+}
+
+#[test]
+fn stratified_beats_worst_case_budget_comfortably() {
+    // Z-order stratification should leave lots of headroom versus the
+    // Hoeffding bound on clustered data: max error well below ε.
+    let points = Dataset::Crime.generate(20_000, 23);
+    let kernel = Kernel::gaussian(scott_gamma(&points).gamma);
+    let w_total = points.total_weight();
+    let (eps, delta) = (0.1, 0.2);
+    let sample = zorder_sample(&points, sample_size_for(eps, delta), 0.37);
+    let raster = RasterSpec::covering(&points, 6, 6, 0.02);
+    let mut max_err: f64 = 0.0;
+    for row in 0..raster.height() {
+        for col in 0..raster.width() {
+            let q = raster.pixel_center(col, row);
+            let err = (kde(&sample, &kernel, &q) - kde(&points, &kernel, &q)).abs() / w_total;
+            max_err = max_err.max(err);
+        }
+    }
+    assert!(
+        max_err < eps / 2.0,
+        "stratified max error {max_err} should sit well under ε = {eps}"
+    );
+}
+
+#[test]
+fn zorder_method_is_faster_than_exact_but_approximate() {
+    // The method trade-off the paper plots: same interface, smaller scan.
+    let points = Dataset::Hep.generate(50_000, 29);
+    let kernel = Kernel::gaussian(scott_gamma(&points).gamma);
+    let tree = KdTree::build_default(&points);
+    let params = MethodParams {
+        zorder_eps: 0.05,
+        ..MethodParams::default()
+    };
+    let mut z = make_evaluator(MethodKind::ZOrder, &tree, kernel, "εKDV", &params)
+        .expect("Z-order εKDV");
+    let mut exact = ExactScan::new(&points, kernel);
+    let q = [0.5, 0.5];
+    let f = exact.density(&q);
+    let r = z.eval_eps(&q, 0.05);
+    assert!(
+        (r - f).abs() / points.total_weight() <= 0.05,
+        "sampled estimate {r} too far from exact {f}"
+    );
+}
