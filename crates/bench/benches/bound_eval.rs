@@ -33,21 +33,17 @@ fn bench_gaussian_families(c: &mut Criterion) {
         let (stats, mbr, q) = node_of_dim(d);
         let kernel = Kernel::gaussian(0.5);
         for family in BoundFamily::ALL {
-            group.bench_with_input(
-                BenchmarkId::new(format!("{family:?}"), d),
-                &d,
-                |b, _| {
-                    b.iter(|| {
-                        black_box(node_bounds(
-                            &kernel,
-                            family,
-                            black_box(&stats),
-                            black_box(&mbr),
-                            black_box(&q),
-                        ))
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(format!("{family:?}"), d), &d, |b, _| {
+                b.iter(|| {
+                    black_box(node_bounds(
+                        &kernel,
+                        family,
+                        black_box(&stats),
+                        black_box(&mbr),
+                        black_box(&q),
+                    ))
+                })
+            });
         }
     }
     group.finish();

@@ -62,5 +62,10 @@ fn bench_fig22_cell(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fig14_cell, bench_fig15_cell, bench_fig22_cell);
+criterion_group!(
+    benches,
+    bench_fig14_cell,
+    bench_fig15_cell,
+    bench_fig22_cell
+);
 criterion_main!(benches);

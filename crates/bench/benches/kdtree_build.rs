@@ -22,7 +22,7 @@ fn bench_build(c: &mut Criterion) {
                     BuildConfig {
                         leaf_capacity: leaf,
                         ..BuildConfig::default()
-},
+                    },
                 ))
             })
         });
@@ -36,7 +36,13 @@ fn bench_query_vs_leaf_capacity(c: &mut Criterion) {
     let kernel = Kernel::gaussian(kdv_core::bandwidth::scott_gamma(&ps).gamma);
     let mut group = c.benchmark_group("quad_query_by_leaf_capacity");
     for leaf in [8usize, 32, 128, 256] {
-        let tree = KdTree::build(&ps, BuildConfig { leaf_capacity: leaf, ..BuildConfig::default() });
+        let tree = KdTree::build(
+            &ps,
+            BuildConfig {
+                leaf_capacity: leaf,
+                ..BuildConfig::default()
+            },
+        );
         let mut ev = RefineEvaluator::new(&tree, kernel, BoundFamily::Quadratic);
         let q = [
             (kdv_geom::Mbr::of_set(&ps).expect("non-empty").lo()[0]
@@ -58,7 +64,10 @@ fn bench_query_vs_split_rule(c: &mut Criterion) {
     let ps = Dataset::Crime.generate(50_000, 1);
     let kernel = Kernel::gaussian(kdv_core::bandwidth::scott_gamma(&ps).gamma);
     let mbr = kdv_geom::Mbr::of_set(&ps).expect("non-empty");
-    let q = [(mbr.lo()[0] + mbr.hi()[0]) / 2.0, (mbr.lo()[1] + mbr.hi()[1]) / 2.0];
+    let q = [
+        (mbr.lo()[0] + mbr.hi()[0]) / 2.0,
+        (mbr.lo()[1] + mbr.hi()[1]) / 2.0,
+    ];
     let mut group = c.benchmark_group("quad_query_by_split_rule");
     for split in SplitRule::ALL {
         let tree = KdTree::build(

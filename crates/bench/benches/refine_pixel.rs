@@ -56,5 +56,10 @@ fn bench_kernels_quad(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_eps_pixel, bench_tau_pixel, bench_kernels_quad);
+criterion_group!(
+    benches,
+    bench_eps_pixel,
+    bench_tau_pixel,
+    bench_kernels_quad
+);
 criterion_main!(benches);

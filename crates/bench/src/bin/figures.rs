@@ -13,6 +13,7 @@
 
 use kdv_bench::figures::{registry, FigureCtx};
 use kdv_bench::workload::RunScale;
+use kdv_telemetry::json::{self, Value};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
@@ -132,6 +133,8 @@ fn main() -> ExitCode {
         out_dir.display()
     );
 
+    let run_start = Instant::now();
+    let mut run_entries = Vec::new();
     for (id, desc, runner) in selected {
         println!("\n### {id}: {desc}");
         let start = Instant::now();
@@ -139,7 +142,7 @@ fn main() -> ExitCode {
         for (i, t) in tables.iter().enumerate() {
             println!("\n{}", t.to_text());
             let name = if tables.len() == 1 {
-                format!("{id}")
+                id.to_string()
             } else {
                 format!("{id}_panel{i}")
             };
@@ -148,6 +151,28 @@ fn main() -> ExitCode {
             }
         }
         println!("[{id} done in {:.1?}]", start.elapsed());
+        run_entries.push(Value::obj(vec![
+            ("id", Value::Str(id.to_string())),
+            ("tables", json::num_u(tables.len() as u64)),
+            ("wall_s", json::num_f(start.elapsed().as_secs_f64())),
+        ]));
+    }
+
+    // Machine-readable run manifest alongside the TSV/SVG artifacts
+    // (per-cell refinement counts land in the figures' own BENCH_*.json
+    // sidecars, e.g. BENCH_fig14_<dataset>.json).
+    let manifest = Value::obj(vec![
+        ("schema", Value::Str("kdv-bench-run/1".into())),
+        ("scale", Value::Str(scale_name.into())),
+        ("seed", json::num_u(seed)),
+        ("wall_s", json::num_f(run_start.elapsed().as_secs_f64())),
+        ("figures", Value::Arr(run_entries)),
+    ]);
+    let manifest_path = out_dir.join("BENCH_run.json");
+    let _ = std::fs::create_dir_all(&out_dir);
+    match std::fs::write(&manifest_path, manifest.render()) {
+        Ok(()) => println!("\n[run manifest: {}]", manifest_path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", manifest_path.display()),
     }
     ExitCode::SUCCESS
 }

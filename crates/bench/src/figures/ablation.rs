@@ -2,11 +2,12 @@
 //!
 //! Not a paper figure — this regenerates the *mechanism* behind Figs
 //! 14–18 (DESIGN.md §5): for each dataset and bound family, the total
-//! number of refinement iterations (priority-queue pops) and exact leaf
-//! evaluations across a full εKDV render. Tighter bounds → fewer pops →
-//! fewer leaf scans; wall-clock then follows, modulated by each
-//! family's per-node evaluation cost (see the `bound_eval` criterion
-//! bench for that half of the story).
+//! number of refinement iterations (priority-queue pops), exact leaf
+//! evaluations, node-bound evaluations, and point-kernel evaluations
+//! across a full εKDV render, plus their `total_work` sum. Tighter
+//! bounds → fewer pops → fewer leaf scans; wall-clock then follows,
+//! modulated by each family's per-node evaluation cost (see the
+//! `bound_eval` criterion bench for that half of the story).
 
 use crate::figures::FigureCtx;
 use crate::report::Table;
@@ -28,6 +29,9 @@ pub fn run(ctx: &FigureCtx) -> Vec<Table> {
             "iterations",
             "exact_leaves",
             "iters_vs_interval",
+            "node_bounds",
+            "point_evals",
+            "total_work",
         ],
     );
     for ds in Dataset::ALL {
@@ -37,12 +41,19 @@ pub fn run(ctx: &FigureCtx) -> Vec<Table> {
             let mut ev = RefineEvaluator::new(&w.tree, w.kernel, family);
             let mut iters = 0usize;
             let mut leaves = 0usize;
+            let mut bounds = 0usize;
+            let mut points = 0usize;
+            let mut work = 0usize;
             for row in 0..w.raster.height() {
                 for col in 0..w.raster.width() {
                     let q = w.raster.pixel_center(col, row);
                     std::hint::black_box(ev.eval_eps(&q, EPS));
-                    iters += ev.last_stats().iterations;
-                    leaves += ev.last_stats().exact_leaves;
+                    let s = ev.last_stats();
+                    iters += s.iterations;
+                    leaves += s.exact_leaves;
+                    bounds += s.node_bounds;
+                    points += s.point_evals;
+                    work += s.total_work();
                 }
             }
             if family == BoundFamily::Interval {
@@ -54,6 +65,9 @@ pub fn run(ctx: &FigureCtx) -> Vec<Table> {
                 format!("{iters}"),
                 format!("{leaves}"),
                 format!("{:.3}", iters as f64 / interval_iters.max(1) as f64),
+                format!("{bounds}"),
+                format!("{points}"),
+                format!("{work}"),
             ]);
         }
     }
@@ -79,6 +93,21 @@ mod tests {
                 iters[2] <= iters[0],
                 "QUAD iterations exceed interval: {iters:?}"
             );
+        }
+    }
+
+    #[test]
+    fn work_columns_are_consistent() {
+        let tables = run(&FigureCtx::smoke());
+        let tsv = tables[0].to_tsv();
+        for line in tsv.lines().skip(2) {
+            let cols: Vec<&str> = line.split('\t').collect();
+            let n = |i: usize| cols[i].parse::<usize>().expect("numeric column");
+            let (iters, bounds, points, work) = (n(2), n(5), n(6), n(7));
+            assert!(bounds > 0 && points > 0, "work columns must be counted");
+            // total_work = iterations + node_bounds + point_evals (+
+            // resyncs, which the table doesn't break out — hence ≥).
+            assert!(work >= iters + bounds + points, "inconsistent: {line}");
         }
     }
 }

@@ -44,7 +44,10 @@ pub fn run(ctx: &FigureCtx) -> Vec<Table> {
             }
             t.push_row(row);
         }
-        let _ = t.save_tsv(&ctx.out_dir, &format!("fig15_{}", ds.name().replace(' ', "_")));
+        let _ = t.save_tsv(
+            &ctx.out_dir,
+            &format!("fig15_{}", ds.name().replace(' ', "_")),
+        );
         tables.push(t);
     }
     tables

@@ -29,7 +29,10 @@ pub fn run(ctx: &FigureCtx) -> Vec<Table> {
         // Build once at the largest resolution; reuse raster windows.
         let w = Workload::build(ds, KernelType::Gaussian, &ctx.scale, (2560, 1920), ctx.seed);
         let mut t = Table::new(
-            format!("Fig 16 ({}) — εKDV time [s] vs resolution, ε = 0.01", ds.name()),
+            format!(
+                "Fig 16 ({}) — εKDV time [s] vs resolution, ε = 0.01",
+                ds.name()
+            ),
             &["resolution", "aKDE", "KARL", "QUAD", "Z-order"],
         );
         for (pw, ph) in PAPER_RESOLUTIONS {
@@ -43,7 +46,10 @@ pub fn run(ctx: &FigureCtx) -> Vec<Table> {
             }
             t.push_row(row);
         }
-        let _ = t.save_tsv(&ctx.out_dir, &format!("fig16_{}", ds.name().replace(' ', "_")));
+        let _ = t.save_tsv(
+            &ctx.out_dir,
+            &format!("fig16_{}", ds.name().replace(' ', "_")),
+        );
         tables.push(t);
     }
     tables

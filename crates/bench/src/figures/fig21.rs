@@ -20,7 +20,13 @@ const EPS: f64 = 0.01;
 
 /// Runs the figure: writes one PPM per budget plus an error table.
 pub fn run(ctx: &FigureCtx) -> Vec<Table> {
-    let w = Workload::build(Dataset::Home, KernelType::Gaussian, &ctx.scale, (1280, 960), ctx.seed);
+    let w = Workload::build(
+        Dataset::Home,
+        KernelType::Gaussian,
+        &ctx.scale,
+        (1280, 960),
+        ctx.seed,
+    );
     let cm = ColorMap::heat();
     let _ = std::fs::create_dir_all(&ctx.out_dir);
 
@@ -68,7 +74,10 @@ mod tests {
             .collect();
         assert_eq!(counts.len(), BUDGETS_S.len());
         for w in counts.windows(2) {
-            assert!(w[1] >= w[0], "pixel counts must be non-decreasing: {counts:?}");
+            assert!(
+                w[1] >= w[0],
+                "pixel counts must be non-decreasing: {counts:?}"
+            );
         }
     }
 }

@@ -80,9 +80,8 @@ pub fn run(ctx: &FigureCtx) -> Vec<Table> {
 
             let mut row = vec![format!("{d}")];
             for m in METHODS {
-                let mut ev =
-                    make_evaluator(m, &tree, kernel, "εKDV", &MethodParams::default())
-                        .expect("Gaussian εKDV method");
+                let mut ev = make_evaluator(m, &tree, kernel, "εKDV", &MethodParams::default())
+                    .expect("Gaussian εKDV method");
                 let start = Instant::now();
                 for q in &queries {
                     std::hint::black_box(ev.eval_eps(q, EPS));

@@ -22,7 +22,13 @@ pub const K_SWEEP: [f64; 5] = [-0.2, -0.1, 0.0, 0.1, 0.2];
 pub fn run(ctx: &FigureCtx) -> Vec<Table> {
     let mut tables = Vec::new();
     for ds in [Dataset::Crime, Dataset::Hep] {
-        let w = Workload::build(ds, KernelType::Exponential, &ctx.scale, (1280, 960), ctx.seed);
+        let w = Workload::build(
+            ds,
+            KernelType::Exponential,
+            &ctx.scale,
+            (1280, 960),
+            ctx.seed,
+        );
 
         let mut t = Table::new(
             format!("Fig 27 εKDV ({}, exponential) — time [s]", ds.name()),

@@ -58,7 +58,11 @@ pub type FigureFn = fn(&FigureCtx) -> Vec<Table>;
 /// The full registry: `(id, description, runner)`.
 pub fn registry() -> Vec<(&'static str, &'static str, FigureFn)> {
     vec![
-        ("fig2", "exact vs εKDV vs τKDV color maps (crime)", fig2::run),
+        (
+            "fig2",
+            "exact vs εKDV vs τKDV color maps (crime)",
+            fig2::run,
+        ),
         (
             "fig14",
             "εKDV response time vs ε, four datasets",
@@ -124,7 +128,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, FigureFn)> {
             "refinement effort per bound family (mechanism behind Figs 14-18)",
             ablation::run,
         ),
-        ("table3", "refinement running steps (toy example)", tables::run_table3),
+        (
+            "table3",
+            "refinement running steps (toy example)",
+            tables::run_table3,
+        ),
         ("table5", "dataset inventory", tables::run_table5),
         ("table6", "method capability matrix", tables::run_table6),
     ]

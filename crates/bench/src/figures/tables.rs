@@ -19,16 +19,19 @@ pub fn run_table3(ctx: &FigureCtx) -> Vec<Table> {
     // 18 points in four spatial clusters ≈ the paper's leaf structure.
     let flat: Vec<f64> = vec![
         // R1: 5 points near (0, 0)
-        0.0, 0.0, 0.2, 0.1, 0.1, 0.3, 0.3, 0.2, 0.15, 0.15,
-        // R2: 4 points near (2, 0)
-        2.0, 0.0, 2.1, 0.2, 2.2, 0.1, 2.05, 0.15,
-        // R3: 4 points near (0, 2)
-        0.0, 2.0, 0.2, 2.1, 0.1, 2.2, 0.15, 2.05,
-        // R4: 5 points near (2, 2)
+        0.0, 0.0, 0.2, 0.1, 0.1, 0.3, 0.3, 0.2, 0.15, 0.15, // R2: 4 points near (2, 0)
+        2.0, 0.0, 2.1, 0.2, 2.2, 0.1, 2.05, 0.15, // R3: 4 points near (0, 2)
+        0.0, 2.0, 0.2, 2.1, 0.1, 2.2, 0.15, 2.05, // R4: 5 points near (2, 2)
         2.0, 2.0, 2.1, 2.2, 2.2, 2.1, 2.05, 2.15, 2.15, 2.05,
     ];
     let ps = PointSet::from_rows(2, &flat);
-    let tree = KdTree::build(&ps, BuildConfig { leaf_capacity: 5, ..BuildConfig::default() });
+    let tree = KdTree::build(
+        &ps,
+        BuildConfig {
+            leaf_capacity: 5,
+            ..BuildConfig::default()
+        },
+    );
     let kernel = Kernel::gaussian(scott_gamma(&ps).gamma);
     let q = [0.5, 0.5];
 
@@ -80,7 +83,9 @@ pub fn run_table5(ctx: &FigureCtx) -> Vec<Table> {
 pub fn run_table6(ctx: &FigureCtx) -> Vec<Table> {
     let mut t = Table::new(
         "Table 6 — methods for the two variants of KDV",
-        &["variant", "EXACT", "Scikit", "Z-order", "aKDE", "tKDC", "KARL", "QUAD"],
+        &[
+            "variant", "EXACT", "Scikit", "Z-order", "aKDE", "tKDC", "KARL", "QUAD",
+        ],
     );
     let check = |b: bool| if b { "Y" } else { "x" }.to_string();
     t.push_row(

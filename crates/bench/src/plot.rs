@@ -53,7 +53,7 @@ fn extract_series(table: &Table) -> (Vec<String>, Vec<Series>) {
     }
     let x_labels: Vec<String> = rows.iter().map(|r| r[0].clone()).collect();
     let mut series = Vec::new();
-    for col in 1..header.len() {
+    for (col, name) in header.iter().enumerate().skip(1) {
         let mut points = Vec::new();
         for (i, row) in rows.iter().enumerate() {
             if let Some(cell) = row.get(col) {
@@ -66,7 +66,7 @@ fn extract_series(table: &Table) -> (Vec<String>, Vec<Series>) {
         }
         if !points.is_empty() {
             series.push(Series {
-                name: header[col].clone(),
+                name: name.clone(),
                 points,
             });
         }
@@ -95,7 +95,10 @@ pub fn to_svg(table: &Table) -> Option<String> {
     if !lo.is_finite() || !hi.is_finite() {
         return None;
     }
-    let (log_lo, log_hi) = (lo.log10().floor(), hi.log10().ceil().max(lo.log10().floor() + 1.0));
+    let (log_lo, log_hi) = (
+        lo.log10().floor(),
+        hi.log10().ceil().max(lo.log10().floor() + 1.0),
+    );
 
     let plot_w = WIDTH - MARGIN_L - MARGIN_R;
     let plot_h = HEIGHT - MARGIN_T - MARGIN_B;
@@ -213,7 +216,9 @@ pub fn save_svg(table: &Table, dir: &Path, name: &str) -> io::Result<Option<Path
 }
 
 fn xml_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]

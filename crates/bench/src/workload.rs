@@ -1,12 +1,15 @@
 //! Workload construction and timing shared by every figure runner.
 
 use kdv_core::bandwidth::scott_gamma_for;
+use kdv_core::bounds::BoundFamily;
+use kdv_core::engine::RefineEvaluator;
 use kdv_core::kernel::{Kernel, KernelType};
 use kdv_core::method::{make_evaluator, MethodKind, MethodParams, PixelEvaluator};
 use kdv_core::raster::RasterSpec;
 use kdv_data::Dataset;
 use kdv_geom::PointSet;
 use kdv_index::KdTree;
+use kdv_telemetry::RenderMetrics;
 use std::time::{Duration, Instant};
 
 /// How far below paper scale an experiment runs.
@@ -67,7 +70,10 @@ impl RunScale {
 
     /// Scaled resolution for a paper resolution.
     pub fn resolution(&self, paper_w: u32, paper_h: u32) -> (u32, u32) {
-        ((paper_w / self.res_div).max(8), (paper_h / self.res_div).max(6))
+        (
+            (paper_w / self.res_div).max(8),
+            (paper_h / self.res_div).max(6),
+        )
     }
 }
 
@@ -97,7 +103,13 @@ impl Workload {
         seed: u64,
     ) -> Self {
         let n = scale.dataset_size(ds);
-        Self::build_with_n(ds, kernel_ty, n, scale.resolution(paper_res.0, paper_res.1), seed)
+        Self::build_with_n(
+            ds,
+            kernel_ty,
+            n,
+            scale.resolution(paper_res.0, paper_res.1),
+            seed,
+        )
     }
 
     /// Builds a workload with an explicit point count and resolution.
@@ -137,6 +149,13 @@ impl Workload {
         make_evaluator(method, &self.tree, self.kernel, "εKDV", &params).ok()
     }
 
+    /// Constructs a concrete refinement evaluator over this workload's
+    /// tree — the form the metered/probed timing paths need (the boxed
+    /// [`PixelEvaluator`] erases the stats interface).
+    pub fn refine_evaluator(&self, family: BoundFamily) -> RefineEvaluator<'_> {
+        RefineEvaluator::new(&self.tree, self.kernel, family)
+    }
+
     /// Constructs the evaluator for a method (τKDV configuration).
     pub fn evaluator_tau(&self, method: MethodKind) -> Option<Box<dyn PixelEvaluator + '_>> {
         make_evaluator(
@@ -173,6 +192,35 @@ pub fn time_eps_render(
             return None;
         }
     }
+    Some(start.elapsed().as_secs_f64())
+}
+
+/// Times a full-raster εKDV render through the instrumented path:
+/// refinement events, per-pixel histograms, and (if configured) the
+/// cost map accumulate into `metrics`. Censoring matches
+/// [`time_eps_render`]; on a censored run `metrics` holds the partial
+/// render's counts and no wall time.
+pub fn time_eps_render_metered(
+    ev: &mut RefineEvaluator<'_>,
+    raster: &RasterSpec,
+    eps: f64,
+    budget: Duration,
+    metrics: &mut RenderMetrics,
+) -> CellTime {
+    let start = Instant::now();
+    for row in 0..raster.height() {
+        for col in 0..raster.width() {
+            let q = raster.pixel_center(col, row);
+            let t0 = Instant::now();
+            std::hint::black_box(ev.eval_eps_with(&q, eps, &mut metrics.events));
+            let latency = t0.elapsed().as_nanos() as u64;
+            metrics.record_pixel(col, row, &ev.last_stats(), latency);
+        }
+        if start.elapsed() > budget {
+            return None;
+        }
+    }
+    metrics.set_wall_ns(start.elapsed().as_nanos() as u64);
     Some(start.elapsed().as_secs_f64())
 }
 
@@ -241,6 +289,25 @@ mod tests {
         let t = time_eps_render(&mut ev, &w.raster, 0.01, Duration::from_nanos(1));
         assert!(t.is_none(), "1 ns budget must censor");
         assert_eq!(fmt_cell(t, Duration::from_secs(9)), ">9");
+    }
+
+    #[test]
+    fn metered_timing_accumulates_events() {
+        let w = Workload::build_with_n(Dataset::Crime, KernelType::Gaussian, 1000, (12, 9), 7);
+        let mut ev = w.refine_evaluator(BoundFamily::Quadratic);
+        let mut metrics = RenderMetrics::new();
+        let t = time_eps_render_metered(
+            &mut ev,
+            &w.raster,
+            0.05,
+            Duration::from_secs(30),
+            &mut metrics,
+        );
+        assert!(t.is_some(), "smoke workload should finish within budget");
+        assert_eq!(metrics.pixels, w.raster.num_pixels() as u64);
+        assert!(metrics.events.heap_pops > 0);
+        assert_eq!(metrics.iterations.sum(), metrics.events.heap_pops);
+        assert!(metrics.wall_ns > 0);
     }
 
     #[test]

@@ -12,7 +12,7 @@ pub struct Args {
 }
 
 /// Flags that take no value.
-const BOOLEAN_FLAGS: [&str; 4] = ["help", "weights", "grayscale", "tiled"];
+const BOOLEAN_FLAGS: [&str; 5] = ["help", "weights", "grayscale", "tiled", "verbose"];
 
 impl Args {
     /// Parses raw arguments (everything after the subcommand).

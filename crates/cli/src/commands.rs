@@ -11,7 +11,13 @@ use kdv_data::{csv, Dataset};
 use kdv_geom::PointSet;
 use kdv_index::KdTree;
 use kdv_sampling::{sample_size_for, zorder_sample};
+use kdv_telemetry::RenderMetrics;
 use kdv_viz::colormap::{render_binary, ColorMap};
+use kdv_viz::metered::{
+    render_eps_metered, render_eps_parallel_metered, render_eps_progressive_metered,
+    render_tau_metered,
+};
+use kdv_viz::parallel::render_eps_parallel;
 use kdv_viz::render::{render_eps, render_eps_progressive, render_tau};
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
@@ -86,13 +92,66 @@ fn save_image(img: &kdv_viz::RgbImage, path: &Path) -> Result<(), String> {
     }
 }
 
+/// Telemetry-related flags shared by the rendering subcommands.
+struct Telemetry {
+    metrics_path: Option<PathBuf>,
+    cost_map_path: Option<PathBuf>,
+    verbose: bool,
+}
+
+impl Telemetry {
+    fn from_args(args: &Args) -> Self {
+        Self {
+            metrics_path: args.get("metrics").map(PathBuf::from),
+            cost_map_path: args.get("cost-map").map(PathBuf::from),
+            verbose: args.has("verbose"),
+        }
+    }
+
+    /// Whether any flag asks for the instrumented render path.
+    fn wanted(&self) -> bool {
+        self.metrics_path.is_some() || self.cost_map_path.is_some() || self.verbose
+    }
+
+    /// Metrics sized for the raster, with a cost map iff one will be
+    /// written.
+    fn new_metrics(&self, raster: &RasterSpec) -> RenderMetrics {
+        if self.cost_map_path.is_some() {
+            RenderMetrics::with_cost_map(raster.width(), raster.height())
+        } else {
+            RenderMetrics::new()
+        }
+    }
+
+    /// Writes the JSON document / cost-map image / summary line.
+    fn emit(&self, metrics: &RenderMetrics, query: &str) -> Result<(), String> {
+        if let Some(path) = &self.metrics_path {
+            std::fs::write(path, metrics.to_json(query).render())
+                .map_err(|e| format!("writing {}: {e}", path.display()))?;
+            println!("metrics → {}", path.display());
+        }
+        if let Some(path) = &self.cost_map_path {
+            let map = metrics
+                .cost_map()
+                .expect("cost map was requested at construction");
+            save_image(&ColorMap::heat().render(map, true), path)?;
+            println!("cost map → {}", path.display());
+        }
+        if self.verbose {
+            println!("{}", metrics.summary());
+        }
+        Ok(())
+    }
+}
+
 /// `kdv render` — εKDV heat map.
 pub fn render(args: &Args) -> Result<(), String> {
     if args.has("help") {
         println!(
             "kdv render <points.csv> [--out map.ppm] [--eps 0.01] [--width 640] [--height 480]\n\
              \x20          [--kernel gaussian|triangular|cosine|exponential|epanechnikov|quartic]\n\
-             \x20          [--gamma G] [--weights] [--grayscale]"
+             \x20          [--gamma G] [--weights] [--grayscale] [--threads 1]\n\
+             \x20          [--metrics m.json] [--cost-map cost.ppm] [--verbose]"
         );
         return Ok(());
     }
@@ -101,11 +160,22 @@ pub fn render(args: &Args) -> Result<(), String> {
     if !(eps.is_finite() && eps > 0.0) {
         return Err("--eps must be positive".into());
     }
+    let threads = args.get_parsed("threads", 1usize)?;
+    if threads == 0 {
+        return Err("--threads must be positive".into());
+    }
+    let telemetry = Telemetry::from_args(args);
     let raster = raster_for(args, &input.points)?;
     let tree = KdTree::build_default(&input.points);
-    let mut ev = RefineEvaluator::new(&tree, input.kernel, BoundFamily::Quadratic);
+    let make_ev = || RefineEvaluator::new(&tree, input.kernel, BoundFamily::Quadratic);
     let t0 = Instant::now();
-    let grid = render_eps(&mut ev, &raster, eps);
+    let mut metrics = telemetry.new_metrics(&raster);
+    let grid = match (telemetry.wanted(), threads) {
+        (true, 1) => render_eps_metered(&mut make_ev(), &raster, eps, &mut metrics),
+        (true, _) => render_eps_parallel_metered(make_ev, &raster, eps, threads, &mut metrics),
+        (false, 1) => render_eps(&mut make_ev(), &raster, eps),
+        (false, _) => render_eps_parallel(make_ev, &raster, eps, threads),
+    };
     let elapsed = t0.elapsed();
     let cm = if args.has("grayscale") {
         ColorMap::grayscale()
@@ -123,6 +193,7 @@ pub fn render(args: &Args) -> Result<(), String> {
         input.points.len(),
         out.display()
     );
+    telemetry.emit(&metrics, "eps")?;
     Ok(())
 }
 
@@ -131,11 +202,20 @@ pub fn hotspot(args: &Args) -> Result<(), String> {
     if args.has("help") {
         println!(
             "kdv hotspot <points.csv> [--out hot.ppm] [--tau T | --tau-sigma K] [--tiled]\n\
-             \x20           [--width 640] [--height 480] [--kernel ...] [--gamma G] [--weights]"
+             \x20           [--width 640] [--height 480] [--kernel ...] [--gamma G] [--weights]\n\
+             \x20           [--metrics m.json] [--cost-map cost.ppm] [--verbose]"
         );
         return Ok(());
     }
     let input = load_input(args)?;
+    let telemetry = Telemetry::from_args(args);
+    if args.has("tiled") && telemetry.wanted() {
+        return Err(
+            "--tiled decides pixels wholesale outside the refinement engine; \
+             it cannot be combined with --metrics/--cost-map/--verbose"
+                .into(),
+        );
+    }
     let raster = raster_for(args, &input.points)?;
     let tree = KdTree::build_default(&input.points);
     let tau = match args.get("tau") {
@@ -170,7 +250,14 @@ pub fn hotspot(args: &Args) -> Result<(), String> {
         mask
     } else {
         let mut ev = RefineEvaluator::new(&tree, input.kernel, BoundFamily::Quadratic);
-        render_tau(&mut ev, &raster, tau)
+        if telemetry.wanted() {
+            let mut metrics = telemetry.new_metrics(&raster);
+            let mask = render_tau_metered(&mut ev, &raster, tau, &mut metrics);
+            telemetry.emit(&metrics, "tau")?;
+            mask
+        } else {
+            render_tau(&mut ev, &raster, tau)
+        }
     };
     let elapsed = t0.elapsed();
     let out = out_path(args, "hotspot.ppm");
@@ -189,29 +276,38 @@ pub fn progressive(args: &Args) -> Result<(), String> {
     if args.has("help") {
         println!(
             "kdv progressive <points.csv> [--out quick.ppm] [--budget-ms 500] [--eps 0.01]\n\
-             \x20               [--width 640] [--height 480] [--kernel ...] [--weights]"
+             \x20               [--width 640] [--height 480] [--kernel ...] [--weights]\n\
+             \x20               [--metrics m.json] [--cost-map cost.ppm] [--verbose]"
         );
         return Ok(());
     }
     let input = load_input(args)?;
     let eps: f64 = args.get_parsed("eps", 0.01)?;
     let budget_ms = args.get_parsed("budget-ms", 500u64)?;
+    let telemetry = Telemetry::from_args(args);
     let raster = raster_for(args, &input.points)?;
     let tree = KdTree::build_default(&input.points);
     let mut ev = RefineEvaluator::new(&tree, input.kernel, BoundFamily::Quadratic);
-    let out = render_eps_progressive(
-        &mut ev,
-        &raster,
-        eps,
-        Some(Duration::from_millis(budget_ms)),
-    );
+    let budget = Some(Duration::from_millis(budget_ms));
+    let out = if telemetry.wanted() {
+        let mut metrics = telemetry.new_metrics(&raster);
+        let out = render_eps_progressive_metered(&mut ev, &raster, eps, budget, &mut metrics);
+        telemetry.emit(&metrics, "progressive")?;
+        out
+    } else {
+        render_eps_progressive(&mut ev, &raster, eps, budget)
+    };
     let path = out_path(args, "progressive.ppm");
     save_image(&ColorMap::heat().render(&out.grid, true), &path)?;
     println!(
         "progressive render: {} of {} pixels in ≤ {budget_ms} ms ({}) → {}",
         out.evaluated,
         raster.num_pixels(),
-        if out.complete { "complete" } else { "partial, fully painted" },
+        if out.complete {
+            "complete"
+        } else {
+            "partial, fully painted"
+        },
         path.display()
     );
     Ok(())
@@ -451,12 +547,131 @@ mod tests {
     }
 
     #[test]
+    fn render_with_metrics_threads_and_cost_map() {
+        let csv_path = tmp("metrics.csv");
+        synth(&args(&[
+            "--dataset",
+            "crime",
+            "--n",
+            "700",
+            "--out",
+            csv_path.to_str().expect("utf8"),
+        ]))
+        .expect("synth");
+        let p = csv_path.to_str().expect("utf8");
+
+        let map = tmp("metrics_map.ppm");
+        let metrics_json = tmp("metrics.json");
+        let cost_map = tmp("metrics_cost.ppm");
+        render(&args(&[
+            p,
+            "--out",
+            map.to_str().expect("utf8"),
+            "--width",
+            "16",
+            "--height",
+            "12",
+            "--eps",
+            "0.05",
+            "--threads",
+            "2",
+            "--metrics",
+            metrics_json.to_str().expect("utf8"),
+            "--cost-map",
+            cost_map.to_str().expect("utf8"),
+            "--verbose",
+        ]))
+        .expect("metered render");
+
+        // The cost map is a PPM raster with the render's dimensions.
+        let cost_bytes = std::fs::read(&cost_map).expect("read cost map");
+        assert!(cost_bytes.starts_with(b"P6\n16 12\n255\n"));
+
+        // The metrics document parses and carries the headline counters.
+        let text = std::fs::read_to_string(&metrics_json).expect("read metrics");
+        let doc = kdv_telemetry::json::parse(&text).expect("metrics JSON parses");
+        use kdv_telemetry::json::Value;
+        assert_eq!(
+            doc.get("schema").and_then(Value::as_str),
+            Some("kdv-metrics/1")
+        );
+        assert_eq!(doc.get("query").and_then(Value::as_str), Some("eps"));
+        assert_eq!(doc.get("pixels").and_then(Value::as_f64), Some(16.0 * 12.0));
+        assert_eq!(doc.get("threads").and_then(Value::as_f64), Some(2.0));
+        let counters = doc.get("counters").expect("counters object");
+        for key in ["heap_pops", "node_bounds", "leaf_scans", "point_evals"] {
+            let v = counters.get(key).and_then(Value::as_f64).expect(key);
+            assert!(v > 0.0, "{key} should be positive");
+        }
+        assert!(
+            doc.get("iterations")
+                .and_then(|h| h.get("buckets"))
+                .and_then(Value::as_arr)
+                .is_some_and(|b| !b.is_empty()),
+            "iteration histogram should have mass"
+        );
+    }
+
+    #[test]
+    fn progressive_metrics_include_checkpoints() {
+        let csv_path = tmp("prog_metrics.csv");
+        synth(&args(&[
+            "--dataset",
+            "home",
+            "--n",
+            "500",
+            "--out",
+            csv_path.to_str().expect("utf8"),
+        ]))
+        .expect("synth");
+        let metrics_json = tmp("prog_metrics.json");
+        progressive(&args(&[
+            csv_path.to_str().expect("utf8"),
+            "--out",
+            tmp("prog_metrics.ppm").to_str().expect("utf8"),
+            "--width",
+            "16",
+            "--height",
+            "12",
+            "--budget-ms",
+            "10000",
+            "--metrics",
+            metrics_json.to_str().expect("utf8"),
+        ]))
+        .expect("progressive");
+        let text = std::fs::read_to_string(&metrics_json).expect("read metrics");
+        let doc = kdv_telemetry::json::parse(&text).expect("parse");
+        use kdv_telemetry::json::Value;
+        let cps = doc
+            .get("checkpoints")
+            .and_then(Value::as_arr)
+            .expect("checkpoints");
+        assert!(!cps.is_empty(), "progressive metrics record checkpoints");
+    }
+
+    #[test]
+    fn hotspot_rejects_tiled_with_metrics() {
+        let csv_path = tmp("tiled_metrics.csv");
+        std::fs::write(&csv_path, "0.0,0.0\n1.0,1.0\n0.5,0.5\n").expect("write");
+        let err = hotspot(&args(&[
+            csv_path.to_str().expect("utf8"),
+            "--tiled",
+            "--metrics",
+            tmp("nope.json").to_str().expect("utf8"),
+        ]))
+        .err()
+        .expect("tiled + metrics must be rejected");
+        assert!(err.contains("--tiled"), "unexpected error: {err}");
+    }
+
+    #[test]
     fn render_rejects_bad_eps_and_kernel() {
         let csv_path = tmp("bad.csv");
         std::fs::write(&csv_path, "0.0,0.0\n1.0,1.0\n").expect("write");
         let p = csv_path.to_str().expect("utf8");
         assert!(render(&args(&[p, "--eps", "-1"])).is_err());
         assert!(render(&args(&[p, "--kernel", "nope"])).is_err());
+        assert!(render(&args(&[p, "--threads", "0"])).is_err());
     }
 
     #[test]

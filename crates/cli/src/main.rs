@@ -4,6 +4,7 @@
 //! kdv synth --dataset crime --n 100000 --out crime.csv
 //! kdv stats crime.csv
 //! kdv render crime.csv --out map.ppm --eps 0.01 --width 640 --height 480
+//! kdv render crime.csv --threads 4 --metrics m.json --cost-map cost.ppm --verbose
 //! kdv hotspot crime.csv --out hot.ppm --tau-sigma 0.1
 //! kdv progressive crime.csv --out quick.ppm --budget-ms 500
 //! kdv sample crime.csv --out coreset.csv --eps 0.02 --delta 0.2

@@ -190,9 +190,9 @@ pub fn node_bounds_pre(
                 // §5.1: no O(d) linear bound exists for distance
                 // kernels, so KARL runs with interval bounds there.
                 BoundFamily::Interval | BoundFamily::Linear => base,
-                BoundFamily::Quadratic => base.refined_with(quadratic_dist::bounds(
-                    kernel, stats, qt, x_min, x_max,
-                )),
+                BoundFamily::Quadratic => {
+                    base.refined_with(quadratic_dist::bounds(kernel, stats, qt, x_min, x_max))
+                }
             }
         }
     }
@@ -240,7 +240,10 @@ mod tests {
 
     #[test]
     fn intersect_collapses_inversion() {
-        let a = Interval { lb: 5.0, ub: 5.0 + 1e-16 };
+        let a = Interval {
+            lb: 5.0,
+            ub: 5.0 + 1e-16,
+        };
         let b = Interval {
             lb: 5.0 + 2e-16,
             ub: 6.0,

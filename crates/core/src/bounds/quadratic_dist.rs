@@ -64,9 +64,7 @@ fn triangular_bounds(w: f64, s2: f64, x_min: f64, x_max: f64) -> Interval {
     };
     // Theorem 2's optimal curvature; closed form FQ = W − √(W·s2)
     // (Lemma 6's derivation), clamped at 0 for the zero region (§5.2.2).
-    let lb = match triangular::optimal_lower_curvature(w, s2)
-        .and_then(triangular::quad_lower)
-    {
+    let lb = match triangular::optimal_lower_curvature(w, s2).and_then(triangular::quad_lower) {
         Some(ql) => eval_agg(ql, w, s2).max(0.0),
         // s2 ≈ 0: every point sits on q, so F = W exactly.
         None => w,
@@ -112,8 +110,7 @@ fn epanechnikov_bounds(w: f64, su1: f64, su2: f64, u_min: f64, u_max: f64) -> In
         Some(qu) => qu.a * su2 + qu.c * w,
         None => f64::INFINITY,
     };
-    let lb = match triangular::optimal_lower_curvature(w, su2)
-        .and_then(extra::epanechnikov_lower_u)
+    let lb = match triangular::optimal_lower_curvature(w, su2).and_then(extra::epanechnikov_lower_u)
     {
         Some(ql) => (ql.a * su2 + ql.c * w).max(0.0),
         None => w,

@@ -7,6 +7,15 @@
 //! its children's bounds (or its exact sum, for leaves), stop as soon as
 //! the incremental global bounds satisfy the query's termination test.
 
+//!
+//! Instrumentation: the loop is generic over a [`Probe`] receiving one
+//! callback per refinement event (heap pop, node-bound evaluation,
+//! leaf scan, float resync). The default [`NoProbe`] monomorphizes to
+//! the bare loop, so observation is free unless requested — the
+//! `kdv-telemetry` crate builds render-wide metrics on top of this.
+
+mod probe;
 mod refine;
 
+pub use probe::{NoProbe, Probe};
 pub use refine::{RefineEvaluator, RefineStats};

@@ -1,0 +1,137 @@
+//! Zero-cost observation hooks for the refinement loop.
+//!
+//! The §3.2 loop is the workspace's hot path: a full 1280×960 render
+//! issues over a million queries, each popping hundreds of nodes. Any
+//! telemetry must therefore cost *nothing* when unused. [`Probe`] makes
+//! that a type-system guarantee: `refine_loop` is generic over the
+//! probe, every hook defaults to an empty body, and the [`NoProbe`]
+//! instantiation monomorphizes to exactly the un-instrumented loop —
+//! there is no branch, no function pointer, and nothing for the
+//! optimizer to keep alive.
+//!
+//! Aggregating observers (the `kdv-telemetry` crate's `EventCounters`
+//! and `RenderMetrics`) implement [`Probe`] and receive one callback
+//! per refinement event:
+//!
+//! * [`Probe::heap_pop`] — a frontier node left the priority queue,
+//! * [`Probe::node_bound`] — one node's lower/upper bounds were
+//!   evaluated ([`crate::bounds::node_bounds_pre`]),
+//! * [`Probe::leaf_scan`] — a leaf was refined to its exact sum,
+//!   with the number of point-kernel evaluations it cost,
+//! * [`Probe::resync`] — the incremental global sums were recomputed
+//!   from the heap because tracked rounding error grew too large.
+
+/// Observer of refinement-loop events (see the module docs).
+///
+/// All hooks default to no-ops so implementors only override what they
+/// record. The loop is monomorphized per probe type; [`NoProbe`]
+/// compiles to the bare loop.
+pub trait Probe {
+    /// A node was popped from the refinement priority queue.
+    #[inline]
+    fn heap_pop(&mut self) {}
+
+    /// Lower/upper bounds were evaluated for one index node.
+    #[inline]
+    fn node_bound(&mut self) {}
+
+    /// A leaf was evaluated exactly, costing `points` kernel
+    /// evaluations.
+    #[inline]
+    fn leaf_scan(&mut self, points: usize) {
+        let _ = points;
+    }
+
+    /// The incremental bound sums were recomputed from the heap (float
+    /// rounding-error resync).
+    #[inline]
+    fn resync(&mut self) {}
+}
+
+/// The default probe: every hook is a no-op and the instrumented loop
+/// compiles to the un-instrumented one.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoProbe;
+
+impl Probe for NoProbe {}
+
+/// Forwarding impl so callers can pass `&mut probe` without giving up
+/// ownership (e.g. one accumulator across a million pixel queries).
+impl<P: Probe + ?Sized> Probe for &mut P {
+    #[inline]
+    fn heap_pop(&mut self) {
+        (**self).heap_pop();
+    }
+
+    #[inline]
+    fn node_bound(&mut self) {
+        (**self).node_bound();
+    }
+
+    #[inline]
+    fn leaf_scan(&mut self, points: usize) {
+        (**self).leaf_scan(points);
+    }
+
+    #[inline]
+    fn resync(&mut self) {
+        (**self).resync();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Recorder {
+        pops: usize,
+        bounds: usize,
+        points: usize,
+        resyncs: usize,
+    }
+
+    impl Probe for Recorder {
+        fn heap_pop(&mut self) {
+            self.pops += 1;
+        }
+        fn node_bound(&mut self) {
+            self.bounds += 1;
+        }
+        fn leaf_scan(&mut self, points: usize) {
+            self.points += points;
+        }
+        fn resync(&mut self) {
+            self.resyncs += 1;
+        }
+    }
+
+    #[test]
+    fn forwarding_impl_reaches_the_underlying_probe() {
+        let mut r = Recorder::default();
+        {
+            let mut fwd: &mut Recorder = &mut r;
+            fwd.heap_pop();
+            fwd.node_bound();
+            fwd.leaf_scan(7);
+            fwd.resync();
+        }
+        assert_eq!(
+            (r.pops, r.bounds, r.points, r.resyncs),
+            (1, 1, 7, 1),
+            "forwarded events must land in the wrapped probe"
+        );
+    }
+
+    #[test]
+    fn no_probe_is_inert() {
+        // Compile-time shape check more than behavior: NoProbe accepts
+        // every hook and carries no state.
+        let mut p = NoProbe;
+        p.heap_pop();
+        p.node_bound();
+        p.leaf_scan(123);
+        p.resync();
+        assert_eq!(p, NoProbe);
+    }
+}

@@ -1,5 +1,6 @@
 //! Per-pixel best-first refinement.
 
+use super::probe::{NoProbe, Probe};
 use crate::bounds::{node_bounds_pre, BoundFamily, Interval};
 use crate::kernel::Kernel;
 use kdv_geom::vecmath::dist2;
@@ -13,14 +14,31 @@ const EPS_MACH: f64 = 2.220_446_049_250_313e-16;
 /// error exceeds this fraction of the sums' magnitude.
 const RESYNC_REL: f64 = 1e-6;
 
-/// Per-query diagnostics (iteration counts feed Fig 18 and the
-/// `refine_pixel` bench).
+/// Per-query diagnostics (iteration counts feed Fig 18, the
+/// `refine_pixel` bench, and the telemetry cost maps).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RefineStats {
     /// Nodes popped from the priority queue.
     pub iterations: usize,
     /// Leaves evaluated exactly.
     pub exact_leaves: usize,
+    /// Node lower/upper bound evaluations (root + two per split).
+    pub node_bounds: usize,
+    /// Point-kernel evaluations performed by exact leaf scans.
+    pub point_evals: usize,
+    /// Incremental-sum resync passes forced by float rounding error.
+    pub resyncs: usize,
+}
+
+impl RefineStats {
+    /// Scalar cost proxy for one query: every counted operation — heap
+    /// pop, node-bound evaluation, point-kernel evaluation, resync
+    /// pass — weighs one unit. This is what the telemetry cost maps
+    /// rasterize ("where did the render's work go").
+    #[inline]
+    pub fn total_work(&self) -> usize {
+        self.iterations + self.node_bounds + self.point_evals + self.resyncs
+    }
 }
 
 /// A heap entry: one frontier node with its cached bounds.
@@ -106,8 +124,19 @@ impl<'a> RefineEvaluator<'a> {
     /// Panics if `eps` is not positive and finite, or `q` has the wrong
     /// dimensionality.
     pub fn eval_eps(&mut self, q: &[f64], eps: f64) -> f64 {
+        self.eval_eps_with(q, eps, &mut NoProbe)
+    }
+
+    /// εKDV with an instrumentation [`Probe`] receiving one callback
+    /// per refinement event. `NoProbe` makes this identical (down to
+    /// the generated code) to [`RefineEvaluator::eval_eps`].
+    ///
+    /// # Panics
+    /// Panics if `eps` is not positive and finite, or `q` has the wrong
+    /// dimensionality.
+    pub fn eval_eps_with<P: Probe>(&mut self, q: &[f64], eps: f64, probe: &mut P) -> f64 {
         assert!(eps.is_finite() && eps > 0.0, "ε must be positive");
-        let (lb, ub) = self.refine(q, StopRule::Eps(eps), |_, _| {});
+        let (lb, ub) = self.refine(q, StopRule::Eps(eps), probe, |_, _| {});
         // With ub ≤ (1 + ε)·lb the midpoint's relative error is ≤ ε/2,
         // comfortably within the contract.
         0.5 * (lb + ub)
@@ -124,14 +153,16 @@ impl<'a> RefineEvaluator<'a> {
     /// Panics if `eps` is not positive and finite.
     pub fn eval_eps_bounds(&mut self, q: &[f64], eps: f64) -> (f64, f64) {
         assert!(eps.is_finite() && eps > 0.0, "ε must be positive");
-        self.refine(q, StopRule::Eps(eps), |_, _| {})
+        self.refine(q, StopRule::Eps(eps), &mut NoProbe, |_, _| {})
     }
 
     /// εKDV with a per-iteration bound trace appended to `trace`
     /// (drives the paper's Fig 18 convergence study).
     pub fn eval_eps_traced(&mut self, q: &[f64], eps: f64, trace: &mut Vec<(f64, f64)>) -> f64 {
         assert!(eps.is_finite() && eps > 0.0, "ε must be positive");
-        let (lb, ub) = self.refine(q, StopRule::Eps(eps), |l, u| trace.push((l, u)));
+        let (lb, ub) = self.refine(q, StopRule::Eps(eps), &mut NoProbe, |l, u| {
+            trace.push((l, u))
+        });
         0.5 * (lb + ub)
     }
 
@@ -140,8 +171,17 @@ impl<'a> RefineEvaluator<'a> {
     /// # Panics
     /// Panics if `tau` is not finite.
     pub fn eval_tau(&mut self, q: &[f64], tau: f64) -> bool {
+        self.eval_tau_with(q, tau, &mut NoProbe)
+    }
+
+    /// τKDV with an instrumentation [`Probe`] (see
+    /// [`RefineEvaluator::eval_eps_with`]).
+    ///
+    /// # Panics
+    /// Panics if `tau` is not finite.
+    pub fn eval_tau_with<P: Probe>(&mut self, q: &[f64], tau: f64, probe: &mut P) -> bool {
         assert!(tau.is_finite(), "τ must be finite");
-        let (lb, ub) = self.refine(q, StopRule::Tau(tau), |_, _| {});
+        let (lb, ub) = self.refine(q, StopRule::Tau(tau), probe, |_, _| {});
         // Termination gives lb ≥ τ (above) or ub ≤ τ (below); when both
         // hold (lb = ub = τ) the ≥ branch matches exact classification.
         if lb >= tau {
@@ -156,15 +196,16 @@ impl<'a> RefineEvaluator<'a> {
     /// and quality experiments; prefer [`crate::method::ExactScan`] for
     /// the paper's EXACT baseline timing).
     pub fn eval_exact(&mut self, q: &[f64]) -> f64 {
-        let (lb, _ub) = self.refine(q, StopRule::Exhaust, |_, _| {});
+        let (lb, _ub) = self.refine(q, StopRule::Exhaust, &mut NoProbe, |_, _| {});
         lb
     }
 
     /// Core loop of §3.2/Table 3. Returns final `(lb, ub)`.
-    fn refine(
+    fn refine<P: Probe>(
         &mut self,
         q: &[f64],
         rule: StopRule,
+        probe: &mut P,
         mut observe: impl FnMut(f64, f64),
     ) -> (f64, f64) {
         assert_eq!(
@@ -183,21 +224,24 @@ impl<'a> RefineEvaluator<'a> {
             .node(self.tree.root())
             .stats
             .translate_query(q, &mut qt);
-        let result = self.refine_loop(q, &qt, rule, &mut observe);
+        let result = self.refine_loop(q, &qt, rule, probe, &mut observe);
         self.qt = qt;
         result
     }
 
     /// The §3.2 loop proper, with the translated query borrowed.
-    fn refine_loop(
+    fn refine_loop<P: Probe>(
         &mut self,
         q: &[f64],
         qt: &[f64],
         rule: StopRule,
+        probe: &mut P,
         observe: &mut impl FnMut(f64, f64),
     ) -> (f64, f64) {
         let root = self.tree.root();
         let rb = self.bounds_of(root, q, qt);
+        self.stats.node_bounds += 1;
+        probe.node_bound();
         self.push(root, rb);
 
         // Global bounds are kept incrementally:
@@ -231,6 +275,8 @@ impl<'a> RefineEvaluator<'a> {
                 ub_sum = self.heap.iter().map(|e| e.ub).sum();
                 // Error of freshly summing k same-sign values.
                 err = EPS_MACH * self.heap.len() as f64 * (lb_sum.abs() + ub_sum.abs());
+                self.stats.resyncs += 1;
+                probe.resync();
             }
             best_lb = best_lb.max(exact_acc + lb_sum - err);
             best_ub = best_ub.min(exact_acc + ub_sum + err);
@@ -256,24 +302,39 @@ impl<'a> RefineEvaluator<'a> {
                 return (exact_acc, exact_acc);
             };
             self.stats.iterations += 1;
+            probe.heap_pop();
 
             match self.tree.node(entry.node).kind {
                 NodeKind::Leaf { .. } => {
-                    let exact = self.exact_leaf(entry.node, q);
+                    let (exact, points) = self.exact_leaf(entry.node, q);
                     exact_acc += exact;
                     lb_sum -= entry.lb;
                     ub_sum -= entry.ub;
                     err += EPS_MACH
-                        * (lb_sum.abs() + ub_sum.abs() + entry.lb.abs() + entry.ub.abs() + exact_acc);
+                        * (lb_sum.abs()
+                            + ub_sum.abs()
+                            + entry.lb.abs()
+                            + entry.ub.abs()
+                            + exact_acc);
                     self.stats.exact_leaves += 1;
+                    self.stats.point_evals += points;
+                    probe.leaf_scan(points);
                 }
                 NodeKind::Internal { left, right } => {
                     let bl = self.bounds_of(left, q, qt);
                     let br = self.bounds_of(right, q, qt);
+                    self.stats.node_bounds += 2;
+                    probe.node_bound();
+                    probe.node_bound();
                     lb_sum += bl.lb + br.lb - entry.lb;
                     ub_sum += bl.ub + br.ub - entry.ub;
                     err += EPS_MACH
-                        * (lb_sum.abs() + ub_sum.abs() + entry.lb.abs() + entry.ub.abs() + bl.ub + br.ub);
+                        * (lb_sum.abs()
+                            + ub_sum.abs()
+                            + entry.lb.abs()
+                            + entry.ub.abs()
+                            + bl.ub
+                            + br.ub);
                     self.push(left, bl);
                     self.push(right, br);
                 }
@@ -297,13 +358,16 @@ impl<'a> RefineEvaluator<'a> {
         });
     }
 
-    /// Exact kernel aggregation over one leaf's contiguous points.
-    fn exact_leaf(&self, id: NodeId, q: &[f64]) -> f64 {
+    /// Exact kernel aggregation over one leaf's contiguous points;
+    /// returns the sum and the number of point-kernel evaluations.
+    fn exact_leaf(&self, id: NodeId, q: &[f64]) -> (f64, usize) {
         let mut acc = 0.0;
+        let mut points = 0usize;
         for (p, w) in self.tree.leaf_points(id) {
             acc += w * self.kernel.eval_dist2(dist2(q, p));
+            points += 1;
         }
-        acc
+        (acc, points)
     }
 }
 
@@ -332,7 +396,13 @@ mod tests {
     #[test]
     fn eps_query_meets_relative_error_contract() {
         let ps = random_points(2000, 11);
-        let tree = KdTree::build(&ps, BuildConfig { leaf_capacity: 16, ..BuildConfig::default() });
+        let tree = KdTree::build(
+            &ps,
+            BuildConfig {
+                leaf_capacity: 16,
+                ..BuildConfig::default()
+            },
+        );
         let kernel = Kernel::gaussian(0.05);
         for family in BoundFamily::ALL {
             let mut ev = RefineEvaluator::new(&tree, kernel, family);
@@ -341,10 +411,7 @@ mod tests {
                 let r = ev.eval_eps(q, eps);
                 let f = exact_scan(&ps, &kernel, q);
                 let rel = (r - f).abs() / f.max(1e-300);
-                assert!(
-                    rel <= eps + 1e-9,
-                    "{family:?} query {i}: rel err {rel} > ε"
-                );
+                assert!(rel <= eps + 1e-9, "{family:?} query {i}: rel err {rel} > ε");
             }
         }
     }
@@ -352,7 +419,13 @@ mod tests {
     #[test]
     fn tau_query_matches_exact_classification() {
         let ps = random_points(1500, 12);
-        let tree = KdTree::build(&ps, BuildConfig { leaf_capacity: 16, ..BuildConfig::default() });
+        let tree = KdTree::build(
+            &ps,
+            BuildConfig {
+                leaf_capacity: 16,
+                ..BuildConfig::default()
+            },
+        );
         let kernel = Kernel::gaussian(0.05);
         let f_mid = exact_scan(&ps, &kernel, &[0.0, 0.0]);
         for family in BoundFamily::ALL {
@@ -400,7 +473,13 @@ mod tests {
     #[test]
     fn table3_running_steps() {
         let ps = random_points(200, 14);
-        let tree = KdTree::build(&ps, BuildConfig { leaf_capacity: 4, ..BuildConfig::default() });
+        let tree = KdTree::build(
+            &ps,
+            BuildConfig {
+                leaf_capacity: 4,
+                ..BuildConfig::default()
+            },
+        );
         let kernel = Kernel::gaussian(0.02);
         let q = [0.5, 0.5];
         let f = exact_scan(&ps, &kernel, &q);
@@ -429,7 +508,13 @@ mod tests {
     #[test]
     fn quad_refines_in_fewer_iterations_than_interval() {
         let ps = random_points(5000, 15);
-        let tree = KdTree::build(&ps, BuildConfig { leaf_capacity: 16, ..BuildConfig::default() });
+        let tree = KdTree::build(
+            &ps,
+            BuildConfig {
+                leaf_capacity: 16,
+                ..BuildConfig::default()
+            },
+        );
         let kernel = Kernel::gaussian(0.02);
         let q = [0.0, 0.0];
         let mut quad = RefineEvaluator::new(&tree, kernel, BoundFamily::Quadratic);
@@ -468,6 +553,112 @@ mod tests {
         ev.eval_eps(&[0.0, 0.0], 0.5); // shallow refinement
         let shallow = ev.last_stats().iterations;
         assert!(shallow < deep, "stats must reflect only the last query");
+    }
+
+    /// A probe that mirrors every event into its own counters.
+    #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+    struct CountingProbe {
+        pops: usize,
+        bounds: usize,
+        leaves: usize,
+        points: usize,
+        resyncs: usize,
+    }
+
+    impl super::Probe for CountingProbe {
+        fn heap_pop(&mut self) {
+            self.pops += 1;
+        }
+        fn node_bound(&mut self) {
+            self.bounds += 1;
+        }
+        fn leaf_scan(&mut self, points: usize) {
+            self.leaves += 1;
+            self.points += points;
+        }
+        fn resync(&mut self) {
+            self.resyncs += 1;
+        }
+    }
+
+    #[test]
+    fn probe_events_match_refine_stats() {
+        let ps = random_points(3000, 21);
+        let tree = KdTree::build(
+            &ps,
+            BuildConfig {
+                leaf_capacity: 8,
+                ..BuildConfig::default()
+            },
+        );
+        let kernel = Kernel::gaussian(0.03);
+        for family in BoundFamily::ALL {
+            let mut ev = RefineEvaluator::new(&tree, kernel, family);
+            let mut probe = CountingProbe::default();
+            ev.eval_eps_with(&[0.3, -0.7], 1e-4, &mut probe);
+            let stats = ev.last_stats();
+            assert_eq!(probe.pops, stats.iterations, "{family:?} pops");
+            assert_eq!(probe.bounds, stats.node_bounds, "{family:?} bounds");
+            assert_eq!(probe.leaves, stats.exact_leaves, "{family:?} leaves");
+            assert_eq!(probe.points, stats.point_evals, "{family:?} points");
+            assert_eq!(probe.resyncs, stats.resyncs, "{family:?} resyncs");
+        }
+    }
+
+    #[test]
+    fn probed_query_is_bit_identical_to_unprobed() {
+        let ps = random_points(2500, 22);
+        let tree = KdTree::build_default(&ps);
+        let kernel = Kernel::gaussian(0.05);
+        let mut plain = RefineEvaluator::new(&tree, kernel, BoundFamily::Quadratic);
+        let mut probed = RefineEvaluator::new(&tree, kernel, BoundFamily::Quadratic);
+        let mut probe = CountingProbe::default();
+        for q in [[0.0, 0.0], [4.0, -6.0], [12.0, 12.0]] {
+            let a = plain.eval_eps(&q, 0.01);
+            let b = probed.eval_eps_with(&q, 0.01, &mut probe);
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "probe changed the result at {q:?}"
+            );
+            assert_eq!(plain.last_stats(), probed.last_stats());
+            assert_eq!(
+                plain.eval_tau(&q, a),
+                probed.eval_tau_with(&q, a, &mut probe),
+                "probe changed τ classification at {q:?}"
+            );
+        }
+        assert!(probe.pops > 0, "deep queries must pop nodes");
+    }
+
+    #[test]
+    fn stats_count_bound_evaluations_and_work() {
+        let ps = random_points(1000, 23);
+        let tree = KdTree::build(
+            &ps,
+            BuildConfig {
+                leaf_capacity: 8,
+                ..BuildConfig::default()
+            },
+        );
+        let mut ev = RefineEvaluator::new(&tree, Kernel::gaussian(0.05), BoundFamily::Quadratic);
+        ev.eval_eps(&[0.0, 0.0], 1e-6);
+        let s = ev.last_stats();
+        // Every pop of an internal node evaluates two child bounds, plus
+        // one evaluation for the root before the loop.
+        assert_eq!(
+            s.node_bounds,
+            1 + 2 * (s.iterations - s.exact_leaves),
+            "node-bound count must be 1 + 2·internal pops: {s:?}"
+        );
+        assert!(s.point_evals > 0, "deep refinement scans leaf points");
+        assert_eq!(
+            s.total_work(),
+            s.iterations + s.node_bounds + s.point_evals + s.resyncs
+        );
+        // A shallow query must reset *all* counters, not just pops.
+        ev.eval_eps(&[100.0, 100.0], 0.9);
+        assert!(ev.last_stats().total_work() < s.total_work());
     }
 
     #[test]

@@ -43,7 +43,10 @@ impl fmt::Display for KdvError {
                 write!(f, "method {method:?} does not support {query} queries")
             }
             KdvError::UnsupportedKernel { method, kernel } => {
-                write!(f, "method {method:?} does not support the {kernel:?} kernel")
+                write!(
+                    f,
+                    "method {method:?} does not support the {kernel:?} kernel"
+                )
             }
             KdvError::InvalidParameter { name, message } => {
                 write!(f, "invalid parameter `{name}`: {message}")

@@ -39,7 +39,8 @@ pub fn quad_upper(x_min: f64, x_max: f64) -> Option<RQuad> {
 /// `Q_L(x) ≤ max(1 − x, 0)` everywhere — the bound stays correct even
 /// when some points fall in the kernel's zero region.
 pub fn quad_lower(a: f64) -> Option<RQuad> {
-    if !(a < 0.0) || !a.is_finite() {
+    // NaN must land in the reject branch, exactly like `!(a < 0.0)`.
+    if a >= 0.0 || !a.is_finite() {
         return None;
     }
     Some(RQuad {

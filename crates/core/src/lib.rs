@@ -56,7 +56,7 @@ pub mod regress;
 pub mod threshold;
 
 pub use bounds::{BoundFamily, Interval};
-pub use engine::RefineEvaluator;
+pub use engine::{NoProbe, Probe, RefineEvaluator, RefineStats};
 pub use error::KdvError;
 pub use kernel::{Kernel, KernelType};
 pub use method::{MethodKind, PixelEvaluator};

@@ -33,7 +33,13 @@ impl<'a> ScikitDfs<'a> {
 
     fn visit(&self, id: NodeId, q: &[f64], eps: f64) -> f64 {
         let node = self.tree.node(id);
-        let b = node_bounds(&self.kernel, BoundFamily::Interval, &node.stats, &node.mbr, q);
+        let b = node_bounds(
+            &self.kernel,
+            BoundFamily::Interval,
+            &node.stats,
+            &node.mbr,
+            q,
+        );
         if b.ub <= (1.0 + eps) * b.lb {
             return 0.5 * (b.lb + b.ub);
         }
@@ -79,7 +85,13 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(21);
         let flat: Vec<f64> = (0..4000).map(|_| rng.gen_range(-5.0..5.0)).collect();
         let ps = PointSet::from_rows(2, &flat);
-        let tree = KdTree::build(&ps, BuildConfig { leaf_capacity: 8, ..BuildConfig::default() });
+        let tree = KdTree::build(
+            &ps,
+            BuildConfig {
+                leaf_capacity: 8,
+                ..BuildConfig::default()
+            },
+        );
         let kernel = Kernel::gaussian(0.2);
         let mut dfs = ScikitDfs::new(&tree, kernel);
         let mut exact = ExactScan::new(&ps, kernel);
@@ -112,7 +124,13 @@ mod tests {
     #[test]
     fn single_leaf_tree_is_exact() {
         let ps = PointSet::from_rows(2, &[0.0, 0.0, 1.0, 1.0]);
-        let tree = KdTree::build(&ps, BuildConfig { leaf_capacity: 8, ..BuildConfig::default() });
+        let tree = KdTree::build(
+            &ps,
+            BuildConfig {
+                leaf_capacity: 8,
+                ..BuildConfig::default()
+            },
+        );
         let kernel = Kernel::gaussian(1.0);
         let mut dfs = ScikitDfs::new(&tree, kernel);
         let mut exact = ExactScan::new(&ps, kernel);

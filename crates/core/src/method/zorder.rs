@@ -74,7 +74,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut flat = Vec::with_capacity(2 * n);
         for _ in 0..n {
-            let (cx, cy) = if rng.gen_bool(0.6) { (0.0, 0.0) } else { (6.0, 6.0) };
+            let (cx, cy) = if rng.gen_bool(0.6) {
+                (0.0, 0.0)
+            } else {
+                (6.0, 6.0)
+            };
             flat.push(cx + rng.gen_range(-1.5..1.5));
             flat.push(cy + rng.gen_range(-1.5..1.5));
         }

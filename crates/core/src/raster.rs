@@ -9,8 +9,7 @@
 use kdv_geom::{Mbr, PointSet};
 
 /// Standard resolutions used throughout the paper's experiments (§7.2).
-pub const PAPER_RESOLUTIONS: [(u32, u32); 4] =
-    [(320, 240), (640, 480), (1280, 960), (2560, 1920)];
+pub const PAPER_RESOLUTIONS: [(u32, u32); 4] = [(320, 240), (640, 480), (1280, 960), (2560, 1920)];
 
 /// A raster: screen resolution plus the 2-D data window it displays.
 #[derive(Debug, Clone, PartialEq)]

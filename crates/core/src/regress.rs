@@ -81,7 +81,13 @@ impl KernelRegression {
     /// Panics if `ys.len() != xs.len()`, `xs` is empty, or any response
     /// is non-finite.
     pub fn fit(xs: &PointSet, ys: &[f64], kernel: Kernel) -> Self {
-        Self::fit_with(xs, ys, kernel, BoundFamily::Quadratic, BuildConfig::default())
+        Self::fit_with(
+            xs,
+            ys,
+            kernel,
+            BoundFamily::Quadratic,
+            BuildConfig::default(),
+        )
     }
 
     /// [`KernelRegression::fit`] with an explicit bound family and tree
@@ -95,10 +101,7 @@ impl KernelRegression {
     ) -> Self {
         assert_eq!(xs.len(), ys.len(), "one response per point");
         assert!(!xs.is_empty(), "cannot fit on an empty dataset");
-        assert!(
-            ys.iter().all(|y| y.is_finite()),
-            "responses must be finite"
-        );
+        assert!(ys.iter().all(|y| y.is_finite()), "responses must be finite");
 
         let mut pos = PointSet::new(xs.dim());
         let mut neg = PointSet::new(xs.dim());
@@ -178,8 +181,16 @@ impl Predictor<'_> {
             let num_hi = ph - nl;
             if dl > DENSITY_FLOOR {
                 // Interval division with positive denominator [dl, dh].
-                let lo = if num_lo >= 0.0 { num_lo / dh } else { num_lo / dl };
-                let hi = if num_hi >= 0.0 { num_hi / dl } else { num_hi / dh };
+                let lo = if num_lo >= 0.0 {
+                    num_lo / dh
+                } else {
+                    num_lo / dl
+                };
+                let hi = if num_hi >= 0.0 {
+                    num_hi / dl
+                } else {
+                    num_hi / dh
+                };
                 let scale = lo.abs().max(hi.abs()).max(f64::MIN_POSITIVE);
                 if hi - lo <= eps * scale {
                     return Some(Prediction {
@@ -193,7 +204,11 @@ impl Predictor<'_> {
             if inner < 1e-14 {
                 // Bounds cannot tighten further (we are at exact
                 // evaluation); return the best interval we have.
-                let lo = if num_lo >= 0.0 { num_lo / dh } else { num_lo / dl.max(DENSITY_FLOOR) };
+                let lo = if num_lo >= 0.0 {
+                    num_lo / dh
+                } else {
+                    num_lo / dl.max(DENSITY_FLOOR)
+                };
                 let hi = if num_hi >= 0.0 {
                     num_hi / dl.max(DENSITY_FLOOR)
                 } else {
@@ -304,8 +319,7 @@ mod tests {
     fn compact_kernel_far_query_is_none() {
         let mut xs = PointSet::new(2);
         xs.push(&[0.0, 0.0]);
-        let model =
-            KernelRegression::fit(&xs, &[1.0], Kernel::new(KernelType::Triangular, 1.0));
+        let model = KernelRegression::fit(&xs, &[1.0], Kernel::new(KernelType::Triangular, 1.0));
         let mut p = model.predictor();
         assert!(p.predict(&[100.0, 100.0], 0.01).is_none());
     }

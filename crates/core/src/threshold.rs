@@ -84,7 +84,10 @@ mod tests {
 
     #[test]
     fn sweep_is_symmetric_around_mu() {
-        let levels = TauLevels { mu: 10.0, sigma: 2.0 };
+        let levels = TauLevels {
+            mu: 10.0,
+            sigma: 2.0,
+        };
         let sweep = levels.paper_sweep();
         assert_eq!(sweep[3], 10.0);
         assert!((sweep[0] - 9.4).abs() < 1e-12);

@@ -93,8 +93,8 @@ pub fn gaussian_mixture(n: usize, components: &[MixtureComponent], seed: u64) ->
             }
             pick -= c.weight;
         }
-        for j in 0..d {
-            coords[j] = Normal::new(chosen.mean[j], chosen.std[j]).sample(&mut rng);
+        for (j, c) in coords.iter_mut().enumerate() {
+            *c = Normal::new(chosen.mean[j], chosen.std[j]).sample(&mut rng);
         }
         out.push(&coords);
     }
@@ -170,7 +170,10 @@ mod tests {
         let ps = gaussian_mixture(8000, &comps, 11);
         let right = (0..ps.len()).filter(|&i| ps.point(i)[0] > 0.0).count();
         let frac = right as f64 / ps.len() as f64;
-        assert!((frac - 0.75).abs() < 0.03, "weight 3:1 → 75% right, got {frac}");
+        assert!(
+            (frac - 0.75).abs() < 0.03,
+            "weight 3:1 → 75% right, got {frac}"
+        );
     }
 
     #[test]

@@ -103,8 +103,7 @@ impl Mbr {
     pub fn min_dist2(&self, q: &[f64]) -> f64 {
         debug_assert_eq!(q.len(), self.dim());
         let mut acc = 0.0;
-        for i in 0..q.len() {
-            let v = q[i];
+        for (i, &v) in q.iter().enumerate() {
             let d = if v < self.lo[i] {
                 self.lo[i] - v
             } else if v > self.hi[i] {
@@ -123,8 +122,7 @@ impl Mbr {
     pub fn max_dist2(&self, q: &[f64]) -> f64 {
         debug_assert_eq!(q.len(), self.dim());
         let mut acc = 0.0;
-        for i in 0..q.len() {
-            let v = q[i];
+        for (i, &v) in q.iter().enumerate() {
             let a = (v - self.lo[i]).abs();
             let b = (v - self.hi[i]).abs();
             let d = if a > b { a } else { b };

@@ -70,7 +70,7 @@ impl PointSet {
     pub fn from_rows(dim: usize, flat: &[f64]) -> Self {
         assert!(dim > 0, "point dimensionality must be positive");
         assert!(
-            flat.len() % dim == 0,
+            flat.len().is_multiple_of(dim),
             "flat coordinate buffer length {} is not a multiple of dim {}",
             flat.len(),
             dim
@@ -90,7 +90,10 @@ impl PointSet {
     /// weight.
     pub fn from_rows_weighted(dim: usize, flat: &[f64], weights: &[f64]) -> Self {
         assert!(dim > 0, "point dimensionality must be positive");
-        assert!(flat.len() % dim == 0, "flat buffer not a multiple of dim");
+        assert!(
+            flat.len().is_multiple_of(dim),
+            "flat buffer not a multiple of dim"
+        );
         assert_eq!(flat.len() / dim, weights.len(), "weight count mismatch");
         for &w in weights {
             assert!(w.is_finite() && w >= 0.0, "weights must be finite and ≥ 0");

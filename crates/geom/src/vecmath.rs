@@ -129,12 +129,7 @@ mod tests {
         // C = p pᵀ  ⇒  qᵀCq = (q·p)².
         let p = [2.0, -1.0];
         let q = [0.5, 3.0];
-        let c = [
-            p[0] * p[0],
-            p[0] * p[1],
-            p[1] * p[0],
-            p[1] * p[1],
-        ];
+        let c = [p[0] * p[0], p[0] * p[1], p[1] * p[0], p[1] * p[1]];
         let expected = dot(&q, &p) * dot(&q, &p);
         assert!((quadratic_form(&c, &q) - expected).abs() < 1e-12);
     }

@@ -139,7 +139,11 @@ impl KdTree {
 
     /// Maximum node depth.
     pub fn depth(&self) -> usize {
-        self.nodes.iter().map(|n| n.depth as usize).max().unwrap_or(0)
+        self.nodes
+            .iter()
+            .map(|n| n.depth as usize)
+            .max()
+            .unwrap_or(0)
     }
 
     /// The configuration the tree was built with.
@@ -245,7 +249,15 @@ fn build_recursive(
     nodes.push(placeholder_node(points.dim()));
 
     let left = build_recursive(points, center, left_perm, offset, nodes, depth + 1, config);
-    let right = build_recursive(points, center, right_perm, offset + mid, nodes, depth + 1, config);
+    let right = build_recursive(
+        points,
+        center,
+        right_perm,
+        offset + mid,
+        nodes,
+        depth + 1,
+        config,
+    );
 
     let mut stats = nodes[left.index()].stats.clone();
     stats.merge(&nodes[right.index()].stats);
@@ -332,7 +344,10 @@ mod tests {
     #[test]
     fn leaves_respect_capacity_and_partition_points() {
         let ps = random_points(777, 2, 2);
-        let cfg = BuildConfig { leaf_capacity: 16, ..BuildConfig::default() };
+        let cfg = BuildConfig {
+            leaf_capacity: 16,
+            ..BuildConfig::default()
+        };
         let tree = KdTree::build(&ps, cfg);
         let mut covered = vec![false; 777];
         tree.for_each_node(|id, n| {
@@ -354,7 +369,13 @@ mod tests {
     #[test]
     fn internal_stats_equal_children_sum() {
         let ps = random_points(300, 3, 3);
-        let tree = KdTree::build(&ps, BuildConfig { leaf_capacity: 8, ..BuildConfig::default() });
+        let tree = KdTree::build(
+            &ps,
+            BuildConfig {
+                leaf_capacity: 8,
+                ..BuildConfig::default()
+            },
+        );
         tree.for_each_node(|_, n| {
             if let NodeKind::Internal { left, right } = n.kind {
                 let l = &tree.node(left).stats;
@@ -371,7 +392,13 @@ mod tests {
         // degenerate-MBR guard.
         let flat = vec![5.0; 2000];
         let ps = PointSet::from_rows(2, &flat);
-        let tree = KdTree::build(&ps, BuildConfig { leaf_capacity: 4, ..BuildConfig::default() });
+        let tree = KdTree::build(
+            &ps,
+            BuildConfig {
+                leaf_capacity: 4,
+                ..BuildConfig::default()
+            },
+        );
         assert!(tree.num_nodes() >= 1);
         assert_eq!(tree.node(tree.root()).point_count(), 1000);
     }
@@ -466,7 +493,13 @@ mod tests {
     #[test]
     fn depth_is_logarithmic_for_balanced_input() {
         let ps = random_points(4096, 2, 5);
-        let tree = KdTree::build(&ps, BuildConfig { leaf_capacity: 1, ..BuildConfig::default() });
+        let tree = KdTree::build(
+            &ps,
+            BuildConfig {
+                leaf_capacity: 1,
+                ..BuildConfig::default()
+            },
+        );
         // Perfectly balanced depth is 12; allow generous slack for median
         // ties, but reject a degenerate linear tree.
         assert!(tree.depth() <= 24, "tree depth {} too large", tree.depth());

@@ -71,8 +71,8 @@ impl NodeStats {
         let d = self.dim();
         debug_assert_eq!(p.len(), d);
         let mut n2 = 0.0;
-        for j in 0..d {
-            let u = p[j] - self.center[j];
+        for (j, &pj) in p.iter().enumerate() {
+            let u = pj - self.center[j];
             n2 += u * u;
         }
         self.weight += w;
@@ -133,8 +133,8 @@ impl NodeStats {
         debug_assert_eq!(q.len(), d);
         let mut qn2 = 0.0;
         let mut qa = 0.0;
-        for j in 0..d {
-            let t = q[j] - self.center[j];
+        for (j, &qj) in q.iter().enumerate() {
+            let t = qj - self.center[j];
             qn2 += t * t;
             qa += t * self.sum[j];
         }
@@ -150,9 +150,9 @@ impl NodeStats {
         debug_assert_eq!(qt.len(), d);
         let mut qn2 = 0.0;
         let mut qa = 0.0;
-        for j in 0..d {
-            qn2 += qt[j] * qt[j];
-            qa += qt[j] * self.sum[j];
+        for (j, &t) in qt.iter().enumerate() {
+            qn2 += t * t;
+            qa += t * self.sum[j];
         }
         (self.weight * qn2 - 2.0 * qa + self.sum_norm2).max(0.0)
     }
@@ -192,10 +192,10 @@ impl NodeStats {
         let mut qn2 = 0.0;
         let mut qa = 0.0;
         let mut qv = 0.0;
-        for j in 0..d {
-            qn2 += qt[j] * qt[j];
-            qa += qt[j] * self.sum[j];
-            qv += qt[j] * self.sum_norm2_p[j];
+        for (j, &t) in qt.iter().enumerate() {
+            qn2 += t * t;
+            qa += t * self.sum[j];
+            qv += t * self.sum_norm2_p[j];
         }
         let s2 = (self.weight * qn2 - 2.0 * qa + self.sum_norm2).max(0.0);
         let qcq = kdv_geom::vecmath::quadratic_form(&self.moment2, qt);
@@ -215,10 +215,10 @@ impl NodeStats {
         let mut qn2 = 0.0;
         let mut qa = 0.0;
         let mut qv = 0.0;
-        for j in 0..d {
-            qn2 += qt[j] * qt[j];
-            qa += qt[j] * self.sum[j];
-            qv += qt[j] * self.sum_norm2_p[j];
+        for (j, &t) in qt.iter().enumerate() {
+            qn2 += t * t;
+            qa += t * self.sum[j];
+            qv += t * self.sum_norm2_p[j];
         }
         let qcq = kdv_geom::vecmath::quadratic_form(&self.moment2, qt);
         let v = self.weight * qn2 * qn2 - 4.0 * qn2 * qa - 4.0 * qv
@@ -274,7 +274,7 @@ mod tests {
         assert_eq!(s.sum_norm2, 5.0); // 1 + 4
         assert_eq!(s.sum_norm2_p, vec![1.0, 8.0]); // 1·(1,0) + 4·(0,2)
         assert_eq!(s.sum_norm4, 17.0); // 1 + 16
-        // C = (1,0)(1,0)ᵀ + (0,2)(0,2)ᵀ = [[1,0],[0,4]]
+                                       // C = (1,0)(1,0)ᵀ + (0,2)(0,2)ᵀ = [[1,0],[0,4]]
         assert_eq!(s.moment2, vec![1.0, 0.0, 0.0, 4.0]);
     }
 

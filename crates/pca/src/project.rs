@@ -147,11 +147,7 @@ mod tests {
 
     #[test]
     fn weights_survive_projection() {
-        let ps = PointSet::from_rows_weighted(
-            2,
-            &[0.0, 0.0, 1.0, 1.0, 2.0, 0.0],
-            &[1.0, 2.0, 3.0],
-        );
+        let ps = PointSet::from_rows_weighted(2, &[0.0, 0.0, 1.0, 1.0, 2.0, 0.0], &[1.0, 2.0, 3.0]);
         let pca = Pca::fit(&ps);
         let t = pca.transform(&ps, 1);
         assert_eq!(t.weights(), ps.weights());

@@ -118,7 +118,11 @@ mod tests {
         let mut flat = Vec::new();
         for _ in 0..5000 {
             // Two clusters.
-            let (cx, cy) = if rng.gen_bool(0.7) { (0.0, 0.0) } else { (5.0, 5.0) };
+            let (cx, cy) = if rng.gen_bool(0.7) {
+                (0.0, 0.0)
+            } else {
+                (5.0, 5.0)
+            };
             flat.push(cx + rng.gen_range(-1.0..1.0));
             flat.push(cy + rng.gen_range(-1.0..1.0));
         }

@@ -1,0 +1,189 @@
+//! Power-of-two-bucketed histograms.
+//!
+//! Per-pixel refinement effort spans four orders of magnitude on real
+//! renders (empty sky vs. hotspot core), so linear buckets either
+//! saturate or waste space. Log buckets give a stable, resolution-free
+//! shape: bucket `b ≥ 1` covers values in `[2^(b−1), 2^b − 1]`, bucket
+//! 0 counts exact zeros.
+
+/// Fixed-shape log₂ histogram over `u64` values.
+///
+/// 65 buckets cover the whole `u64` range; `sum`/`max` ride along so
+/// means and extremes survive aggregation without a second pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Bucket index of a value: 0 for 0, else `⌊log₂ v⌋ + 1`.
+    #[inline]
+    fn bucket_of(v: u64) -> usize {
+        (u64::BITS - v.leading_zeros()) as usize
+    }
+
+    /// Inclusive upper edge of bucket `b` (`0`, `1`, `3`, `7`, …).
+    #[inline]
+    pub fn bucket_le(b: usize) -> u64 {
+        if b >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << b) - 1
+        }
+    }
+
+    /// Records one value.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Non-empty buckets as `(inclusive_upper_edge, count)`, in
+    /// ascending edge order.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(b, &c)| (Self::bucket_le(b), c))
+    }
+
+    /// Smallest value `v` such that at least `q` (in `[0, 1]`) of the
+    /// recorded mass lies in buckets with edge ≤ `v` — a bucket-upper-
+    /// edge quantile, biased at most one bucket high (0 when empty).
+    pub fn quantile_le(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (b, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::bucket_le(b).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Adds another histogram's mass (per-thread merge).
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2_ranges() {
+        assert_eq!(LogHistogram::bucket_of(0), 0);
+        assert_eq!(LogHistogram::bucket_of(1), 1);
+        assert_eq!(LogHistogram::bucket_of(2), 2);
+        assert_eq!(LogHistogram::bucket_of(3), 2);
+        assert_eq!(LogHistogram::bucket_of(4), 3);
+        assert_eq!(LogHistogram::bucket_of(1023), 10);
+        assert_eq!(LogHistogram::bucket_of(1024), 11);
+        assert_eq!(LogHistogram::bucket_le(0), 0);
+        assert_eq!(LogHistogram::bucket_le(3), 7);
+        assert_eq!(LogHistogram::bucket_le(64), u64::MAX);
+    }
+
+    #[test]
+    fn record_tracks_count_sum_max() {
+        let mut h = LogHistogram::new();
+        for v in [0, 1, 5, 5, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 111);
+        assert_eq!(h.max(), 100);
+        assert!((h.mean() - 22.2).abs() < 1e-12);
+        let buckets: Vec<_> = h.nonzero_buckets().collect();
+        // 0 → edge 0; 1 → edge 1; 5,5 → edge 7; 100 → edge 127.
+        assert_eq!(buckets, vec![(0, 1), (1, 1), (7, 2), (127, 1)]);
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_in_one() {
+        let values_a = [3u64, 9, 0, 77];
+        let values_b = [1u64, 1, 500_000];
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut all = LogHistogram::new();
+        for v in values_a {
+            a.record(v);
+            all.record(v);
+        }
+        for v in values_b {
+            b.record(v);
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    fn quantile_edges_bracket_the_distribution() {
+        let mut h = LogHistogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile_le(1.0), 100); // capped at the true max
+        assert!(h.quantile_le(0.5) >= 50);
+        assert!(h.quantile_le(0.0) <= h.quantile_le(1.0));
+        assert_eq!(LogHistogram::new().quantile_le(0.5), 0);
+    }
+}

@@ -1,0 +1,439 @@
+//! Minimal JSON document model: writer *and* parser, no dependencies.
+//!
+//! The metrics export has to be a stable machine-readable artifact
+//! (CI trend lines, notebook ingestion) without pulling serde into a
+//! workspace that is deliberately dependency-free. This module carries
+//! the small subset of JSON the telemetry documents need — objects,
+//! arrays, strings, finite numbers, booleans, null — with a writer
+//! that emits deterministic output and a parser used by tests (and any
+//! downstream tool) to round-trip it.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A finite number (non-finite inputs serialize as `null`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object field lookup (`None` for non-objects or missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric view.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array view.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Builds an object from key/value pairs.
+    pub fn obj(fields: Vec<(&str, Value)>) -> Value {
+        Value::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Serializes with two-space indentation and a trailing newline.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Num(n) => write_num(out, *n),
+            Value::Str(s) => write_str(out, s),
+            Value::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                newline(out, indent);
+                out.push(']');
+            }
+            Value::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline(out, indent + 1);
+                    write_str(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                }
+                newline(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Convenience: an integer number value.
+pub fn num_u(v: u64) -> Value {
+    Value::Num(v as f64)
+}
+
+/// Convenience: a float number value.
+pub fn num_f(v: f64) -> Value {
+    Value::Num(v)
+}
+
+fn newline(out: &mut String, indent: usize) {
+    out.push('\n');
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_num(out: &mut String, n: f64) {
+    if !n.is_finite() {
+        // JSON has no Inf/NaN; null is the conventional stand-in.
+        out.push_str("null");
+    } else if n == n.trunc() && n.abs() < 9.0e15 {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        let _ = write!(out, "{n}");
+    }
+}
+
+fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses a JSON document (the subset this module writes, plus
+/// `\uXXXX` escapes for basic-plane code points).
+///
+/// # Errors
+/// Returns a message with a byte offset on malformed input or trailing
+/// garbage.
+pub fn parse(text: &str) -> Result<Value, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => Err(format!("unexpected input at byte {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            let start = self.pos;
+            // Advance over the longest plain run, then re-validate it
+            // as UTF-8 in one shot.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            s.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| format!("invalid UTF-8 near byte {start}"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'b') => s.push('\u{8}'),
+                        Some(b'f') => s.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| format!("bad \\u escape at byte {}", self.pos))?;
+                            let cp = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape at byte {}", self.pos))?;
+                            s.push(char::from_u32(cp).ok_or_else(|| {
+                                format!("surrogate \\u escape at byte {}", self.pos)
+                            })?);
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                _ => return Err(format!("unterminated string at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_digit() || b == b'.' || b == b'e' || b == b'E' || b == b'+' || b == b'-' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number run");
+        text.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| format!("bad number {text:?} at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let doc = Value::obj(vec![
+            ("schema", Value::Str("kdv-metrics/1".into())),
+            ("pixels", num_u(19200)),
+            ("wall_ms", num_f(12.75)),
+            ("complete", Value::Bool(true)),
+            ("nothing", Value::Null),
+            (
+                "histogram",
+                Value::Arr(vec![
+                    Value::obj(vec![("le", num_u(1)), ("count", num_u(4))]),
+                    Value::obj(vec![("le", num_u(3)), ("count", num_u(9))]),
+                ]),
+            ),
+            ("label", Value::Str("τ = µ + 0.1σ \"quoted\"\n".into())),
+        ]);
+        let text = doc.render();
+        let back = parse(&text).expect("round-trip parse");
+        assert_eq!(back, doc);
+        // Integers render without a fractional part.
+        assert!(text.contains("\"pixels\": 19200,"), "got:\n{text}");
+        assert!(text.contains("\"wall_ms\": 12.75,"));
+    }
+
+    #[test]
+    fn lookup_helpers() {
+        let v = parse(r#"{"a": {"b": [1, 2.5, "x"]}, "t": true}"#).expect("parse");
+        let arr = v
+            .get("a")
+            .and_then(|a| a.get("b"))
+            .and_then(Value::as_arr)
+            .expect("path");
+        assert_eq!(arr[0].as_f64(), Some(1.0));
+        assert_eq!(arr[1].as_f64(), Some(2.5));
+        assert_eq!(arr[2].as_str(), Some("x"));
+        assert_eq!(v.get("t"), Some(&Value::Bool(true)));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\" 1}",
+            "tru",
+            "\"unterminated",
+            "{} garbage",
+            "1.2.3",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn escapes_roundtrip() {
+        let original = Value::Str("line1\nline2\t\"q\"\\ \u{1} µ".into());
+        let back = parse(&original.render()).expect("parse");
+        assert_eq!(back, original);
+    }
+
+    #[test]
+    fn nonfinite_numbers_become_null() {
+        assert_eq!(Value::Num(f64::NAN).render().trim(), "null");
+        assert_eq!(Value::Num(f64::INFINITY).render().trim(), "null");
+    }
+}

@@ -1,0 +1,37 @@
+//! Render-wide observability for the QUAD engine.
+//!
+//! The paper's entire evaluation (§7, Figs 14–24) argues about *where
+//! the work goes* — heap pops, bound evaluations, exact leaf scans per
+//! pixel. This crate turns the per-query [`kdv_core::engine::Probe`]
+//! hooks and [`kdv_core::engine::RefineStats`] diagnostics into
+//! render-scale artifacts:
+//!
+//! * [`EventCounters`] — a [`kdv_core::engine::Probe`] implementation
+//!   accumulating raw event counts across any number of queries,
+//! * [`LogHistogram`] — power-of-two-bucketed distributions of
+//!   per-pixel iteration counts and latencies,
+//! * [`RenderMetrics`] — the full per-render aggregate: counters,
+//!   histograms, wall time, time-to-quality checkpoints, and an
+//!   optional per-pixel **cost map** ([`kdv_core::raster::DensityGrid`]
+//!   of refinement work — a renderable "where is the time going"
+//!   raster alongside the density raster),
+//! * [`json`] — a dependency-free JSON writer/parser pair so metrics
+//!   export as a stable machine-readable document
+//!   (`kdv render --metrics out.json`) and tests can round-trip it.
+//!
+//! Everything here is pay-as-you-go: the engine's refinement loop is
+//! monomorphized over the probe, so un-instrumented renders (the
+//! default `NoProbe`) compile to exactly the code they had before this
+//! crate existed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod counters;
+pub mod hist;
+pub mod json;
+pub mod metrics;
+
+pub use counters::EventCounters;
+pub use hist::LogHistogram;
+pub use metrics::{Checkpoint, RenderMetrics};

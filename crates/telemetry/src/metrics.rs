@@ -1,0 +1,374 @@
+//! Per-render metric aggregation.
+
+use kdv_core::engine::RefineStats;
+use kdv_core::raster::DensityGrid;
+
+use crate::counters::EventCounters;
+use crate::hist::LogHistogram;
+use crate::json::{self, Value};
+
+/// A time-to-quality checkpoint: how many pixels had final values after
+/// how much elapsed time (progressive renders, paper §6 / Fig 20).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Pixels fully evaluated at this point.
+    pub pixels: u64,
+    /// Wall time elapsed since the render started, in nanoseconds.
+    pub elapsed_ns: u64,
+}
+
+/// Everything one render (or one thread's share of a render) observed.
+///
+/// A renderer drives this in three steps: hand `&mut metrics.events`
+/// to the evaluator as its [`kdv_core::engine::Probe`], call
+/// [`record_pixel`](RenderMetrics::record_pixel) after each pixel, and
+/// [`set_wall_ns`](RenderMetrics::set_wall_ns) once at the end.
+/// Parallel renders build one sibling per thread and
+/// [`merge`](RenderMetrics::merge) them in deterministic band order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RenderMetrics {
+    /// Raw refinement-event totals (also the render's probe).
+    pub events: EventCounters,
+    /// Pixels recorded.
+    pub pixels: u64,
+    /// Distribution of refinement iterations (heap pops) per pixel.
+    pub iterations: LogHistogram,
+    /// Distribution of per-pixel latency in nanoseconds. Wall-clock
+    /// noise makes this the one non-deterministic field; comparisons
+    /// and merge tests should use the event counters instead.
+    pub latency_ns: LogHistogram,
+    /// Total render wall time in nanoseconds.
+    pub wall_ns: u64,
+    /// Worker threads that contributed (1 for sequential renders).
+    pub threads: u32,
+    /// Time-to-quality checkpoints, in the order they were recorded.
+    pub checkpoints: Vec<Checkpoint>,
+    cost_map: Option<DensityGrid>,
+}
+
+impl Default for RenderMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RenderMetrics {
+    /// Metrics without a cost map.
+    pub fn new() -> Self {
+        Self {
+            events: EventCounters::default(),
+            pixels: 0,
+            iterations: LogHistogram::new(),
+            latency_ns: LogHistogram::new(),
+            wall_ns: 0,
+            threads: 1,
+            checkpoints: Vec::new(),
+            cost_map: None,
+        }
+    }
+
+    /// Metrics that additionally accumulate a `width × height` per-pixel
+    /// cost map (each pixel's [`RefineStats::total_work`]).
+    pub fn with_cost_map(width: u32, height: u32) -> Self {
+        let mut m = Self::new();
+        m.cost_map = Some(DensityGrid::zeros(width, height));
+        m
+    }
+
+    /// An empty metrics object with the same cost-map configuration —
+    /// what each worker thread of a parallel render starts from.
+    pub fn sibling(&self) -> Self {
+        let mut m = Self::new();
+        if let Some(map) = &self.cost_map {
+            m.cost_map = Some(DensityGrid::zeros(map.width(), map.height()));
+        }
+        m
+    }
+
+    /// Records one finished pixel: its iteration count into the
+    /// histogram, its latency, and (when a cost map is attached) its
+    /// total refinement work at `(col, row)`.
+    ///
+    /// Event counters are *not* touched here — they accumulate live via
+    /// the probe during evaluation, so nothing is double-counted.
+    pub fn record_pixel(&mut self, col: u32, row: u32, stats: &RefineStats, latency_ns: u64) {
+        self.pixels += 1;
+        self.iterations.record(stats.iterations as u64);
+        self.latency_ns.record(latency_ns);
+        if let Some(map) = &mut self.cost_map {
+            map.set(col, row, stats.total_work() as f64);
+        }
+    }
+
+    /// Appends a time-to-quality checkpoint.
+    pub fn checkpoint(&mut self, pixels: u64, elapsed_ns: u64) {
+        self.checkpoints.push(Checkpoint { pixels, elapsed_ns });
+    }
+
+    /// Sets the total render wall time.
+    pub fn set_wall_ns(&mut self, wall_ns: u64) {
+        self.wall_ns = wall_ns;
+    }
+
+    /// The per-pixel cost map, if one was requested.
+    pub fn cost_map(&self) -> Option<&DensityGrid> {
+        self.cost_map.as_ref()
+    }
+
+    /// Mean refinement iterations per recorded pixel.
+    pub fn mean_iterations(&self) -> f64 {
+        self.iterations.mean()
+    }
+
+    /// Folds another thread's metrics into this one.
+    ///
+    /// Counters, pixel counts, and histograms add; cost maps add
+    /// pixel-wise (bands are disjoint, so this is a union); checkpoints
+    /// concatenate; `wall_ns` takes the max (threads ran concurrently);
+    /// `threads` adds.
+    ///
+    /// # Panics
+    /// Panics if exactly one side has a cost map, or the maps disagree
+    /// on shape — siblings never do.
+    pub fn merge(&mut self, other: &RenderMetrics) {
+        self.events.merge(&other.events);
+        self.pixels += other.pixels;
+        self.iterations.merge(&other.iterations);
+        self.latency_ns.merge(&other.latency_ns);
+        self.wall_ns = self.wall_ns.max(other.wall_ns);
+        self.threads += other.threads;
+        self.checkpoints.extend_from_slice(&other.checkpoints);
+        match (&mut self.cost_map, &other.cost_map) {
+            (None, None) => {}
+            (Some(mine), Some(theirs)) => {
+                assert_eq!(mine.width(), theirs.width(), "cost-map shape mismatch");
+                assert_eq!(mine.height(), theirs.height(), "cost-map shape mismatch");
+                for row in 0..mine.height() {
+                    for col in 0..mine.width() {
+                        let v = mine.get(col, row) + theirs.get(col, row);
+                        mine.set(col, row, v);
+                    }
+                }
+            }
+            _ => panic!("cannot merge metrics with and without a cost map"),
+        }
+    }
+
+    /// One-line human summary for `--verbose` output.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} px in {:.1} ms ({} thread{}): {} heap pops, {} node bounds, \
+             {} leaf scans, {} point evals, {} resyncs; iters/px mean {:.1} p99 ≤ {} max {}",
+            self.pixels,
+            self.wall_ns as f64 / 1e6,
+            self.threads,
+            if self.threads == 1 { "" } else { "s" },
+            self.events.heap_pops,
+            self.events.node_bounds,
+            self.events.leaf_scans,
+            self.events.point_evals,
+            self.events.resyncs,
+            self.mean_iterations(),
+            self.iterations.quantile_le(0.99),
+            self.iterations.max(),
+        )
+    }
+
+    /// The full metrics document (`kdv-metrics/1` schema). `query`
+    /// names what was rendered, e.g. `"eps"`, `"tau"`, `"progressive"`.
+    ///
+    /// The cost map appears as a summary (shape + work totals), not the
+    /// raw raster — that exports separately as an image.
+    pub fn to_json(&self, query: &str) -> Value {
+        let hist_json = |h: &LogHistogram| {
+            Value::obj(vec![
+                ("count", json::num_u(h.count())),
+                ("sum", json::num_u(h.sum())),
+                ("max", json::num_u(h.max())),
+                ("mean", json::num_f(h.mean())),
+                ("p50_le", json::num_u(h.quantile_le(0.5))),
+                ("p99_le", json::num_u(h.quantile_le(0.99))),
+                (
+                    "buckets",
+                    Value::Arr(
+                        h.nonzero_buckets()
+                            .map(|(le, count)| {
+                                Value::obj(vec![
+                                    ("le", json::num_u(le)),
+                                    ("count", json::num_u(count)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ])
+        };
+        let cost_map = match &self.cost_map {
+            None => Value::Null,
+            Some(map) => {
+                let total: f64 = map.values().iter().sum();
+                let max = map.min_max().map_or(0.0, |(_, hi)| hi);
+                Value::obj(vec![
+                    ("width", json::num_u(map.width() as u64)),
+                    ("height", json::num_u(map.height() as u64)),
+                    ("total_work", json::num_f(total)),
+                    ("max_work", json::num_f(max)),
+                ])
+            }
+        };
+        Value::obj(vec![
+            ("schema", Value::Str("kdv-metrics/1".into())),
+            ("query", Value::Str(query.into())),
+            ("pixels", json::num_u(self.pixels)),
+            ("wall_ms", json::num_f(self.wall_ns as f64 / 1e6)),
+            ("threads", json::num_u(self.threads as u64)),
+            (
+                "counters",
+                Value::obj(vec![
+                    ("heap_pops", json::num_u(self.events.heap_pops)),
+                    ("node_bounds", json::num_u(self.events.node_bounds)),
+                    ("leaf_scans", json::num_u(self.events.leaf_scans)),
+                    ("point_evals", json::num_u(self.events.point_evals)),
+                    ("resyncs", json::num_u(self.events.resyncs)),
+                    ("total_work", json::num_u(self.events.total_work())),
+                ]),
+            ),
+            ("iterations", hist_json(&self.iterations)),
+            ("latency_ns", hist_json(&self.latency_ns)),
+            (
+                "checkpoints",
+                Value::Arr(
+                    self.checkpoints
+                        .iter()
+                        .map(|c| {
+                            Value::obj(vec![
+                                ("pixels", json::num_u(c.pixels)),
+                                ("elapsed_ms", json::num_f(c.elapsed_ns as f64 / 1e6)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("cost_map", cost_map),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(iterations: usize, point_evals: usize) -> RefineStats {
+        RefineStats {
+            iterations,
+            exact_leaves: 1,
+            node_bounds: 2 * iterations,
+            point_evals,
+            resyncs: 0,
+        }
+    }
+
+    #[test]
+    fn record_pixel_fills_histograms_and_cost_map() {
+        let mut m = RenderMetrics::with_cost_map(2, 2);
+        m.record_pixel(0, 0, &stats(4, 10), 1_000);
+        m.record_pixel(1, 1, &stats(8, 30), 2_000);
+        assert_eq!(m.pixels, 2);
+        assert_eq!(m.iterations.count(), 2);
+        assert_eq!(m.iterations.sum(), 12);
+        assert_eq!(m.latency_ns.sum(), 3_000);
+        let map = m.cost_map().expect("cost map");
+        assert_eq!(map.get(0, 0), stats(4, 10).total_work() as f64);
+        assert_eq!(map.get(1, 1), stats(8, 30).total_work() as f64);
+        assert_eq!(map.get(1, 0), 0.0);
+        // Events stay untouched — they accumulate via the probe.
+        assert_eq!(m.events, EventCounters::default());
+    }
+
+    #[test]
+    fn merge_combines_disjoint_bands() {
+        let base = RenderMetrics::with_cost_map(2, 2);
+        let mut a = base.sibling();
+        let mut b = base.sibling();
+        a.record_pixel(0, 0, &stats(4, 10), 500);
+        a.events.heap_pops = 4;
+        a.wall_ns = 10;
+        b.record_pixel(1, 1, &stats(6, 20), 700);
+        b.events.heap_pops = 6;
+        b.wall_ns = 25;
+        b.checkpoint(1, 20);
+
+        let mut merged = base;
+        merged.merge(&a);
+        merged.merge(&b);
+        assert_eq!(merged.pixels, 2);
+        assert_eq!(merged.events.heap_pops, 10);
+        assert_eq!(merged.wall_ns, 25);
+        assert_eq!(merged.threads, 3); // base + two siblings
+        assert_eq!(
+            merged.checkpoints,
+            vec![Checkpoint {
+                pixels: 1,
+                elapsed_ns: 20
+            }]
+        );
+        let map = merged.cost_map().expect("cost map");
+        assert_eq!(map.get(0, 0), stats(4, 10).total_work() as f64);
+        assert_eq!(map.get(1, 1), stats(6, 20).total_work() as f64);
+    }
+
+    #[test]
+    #[should_panic(expected = "cost map")]
+    fn merge_rejects_mismatched_cost_map_presence() {
+        let mut a = RenderMetrics::with_cost_map(2, 2);
+        let b = RenderMetrics::new();
+        a.merge(&b);
+    }
+
+    #[test]
+    fn json_document_roundtrips_and_has_counters() {
+        let mut m = RenderMetrics::with_cost_map(2, 1);
+        m.record_pixel(0, 0, &stats(3, 12), 1_500);
+        m.record_pixel(1, 0, &stats(5, 40), 2_500);
+        m.events.add_stats(&stats(3, 12));
+        m.events.add_stats(&stats(5, 40));
+        m.set_wall_ns(4_000_000);
+        m.checkpoint(2, 4_000_000);
+
+        let doc = m.to_json("eps");
+        let text = doc.render();
+        let back = crate::json::parse(&text).expect("metrics JSON parses");
+        assert_eq!(back, doc);
+        assert_eq!(
+            back.get("schema").and_then(Value::as_str),
+            Some("kdv-metrics/1")
+        );
+        assert_eq!(back.get("pixels").and_then(Value::as_f64), Some(2.0));
+        let counters = back.get("counters").expect("counters");
+        assert_eq!(counters.get("heap_pops").and_then(Value::as_f64), Some(8.0));
+        assert_eq!(
+            counters.get("point_evals").and_then(Value::as_f64),
+            Some(52.0)
+        );
+        let cost = back.get("cost_map").expect("cost map summary");
+        assert_eq!(cost.get("width").and_then(Value::as_f64), Some(2.0));
+        let cps = back
+            .get("checkpoints")
+            .and_then(Value::as_arr)
+            .expect("checkpoints");
+        assert_eq!(cps.len(), 1);
+        assert_eq!(cps[0].get("elapsed_ms").and_then(Value::as_f64), Some(4.0));
+    }
+
+    #[test]
+    fn summary_mentions_key_numbers() {
+        let mut m = RenderMetrics::new();
+        m.record_pixel(0, 0, &stats(7, 9), 100);
+        m.events.heap_pops = 7;
+        m.set_wall_ns(2_500_000);
+        let s = m.summary();
+        assert!(s.contains("1 px"), "{s}");
+        assert!(s.contains("2.5 ms"), "{s}");
+        assert!(s.contains("7 heap pops"), "{s}");
+    }
+}

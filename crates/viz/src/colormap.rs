@@ -40,11 +40,11 @@ impl ColorMap {
     /// The heat ramp used throughout the paper's figures.
     pub fn heat() -> Self {
         Self::new(vec![
-            (0.00, [13, 8, 135]),    // deep blue
-            (0.25, [30, 120, 180]),  // blue
-            (0.50, [60, 180, 90]),   // green
-            (0.75, [245, 200, 50]),  // yellow
-            (1.00, [215, 25, 28]),   // red
+            (0.00, [13, 8, 135]),   // deep blue
+            (0.25, [30, 120, 180]), // blue
+            (0.50, [60, 180, 90]),  // green
+            (0.75, [245, 200, 50]), // yellow
+            (1.00, [215, 25, 28]),  // red
         ])
     }
 
@@ -94,7 +94,9 @@ impl ColorMap {
 
 #[inline]
 fn lerp(a: u8, b: u8, f: f64) -> u8 {
-    (a as f64 + (b as f64 - a as f64) * f).round().clamp(0.0, 255.0) as u8
+    (a as f64 + (b as f64 - a as f64) * f)
+        .round()
+        .clamp(0.0, 255.0) as u8
 }
 
 /// Renders a τKDV binary mask with the paper's two-color convention

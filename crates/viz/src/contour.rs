@@ -211,15 +211,24 @@ mod tests {
         let g = bump_grid(33);
         let hi = extract_contour(&g, 0.8).len();
         let lo = extract_contour(&g, 0.3).len();
-        assert!(lo > hi, "lower level must give a longer contour: {lo} vs {hi}");
+        assert!(
+            lo > hi,
+            "lower level must give a longer contour: {lo} vs {hi}"
+        );
     }
 
     #[test]
     fn draw_contour_marks_pixels_inside_bounds_only() {
         let mut img = RgbImage::new(8, 8);
         let segs = [
-            Segment { a: (1.0, 1.0), b: (6.0, 1.0) },
-            Segment { a: (-5.0, -5.0), b: (20.0, 20.0) }, // partially off-image
+            Segment {
+                a: (1.0, 1.0),
+                b: (6.0, 1.0),
+            },
+            Segment {
+                a: (-5.0, -5.0),
+                b: (20.0, 20.0),
+            }, // partially off-image
         ];
         draw_contour(&mut img, &segs, [255, 0, 0]);
         assert_eq!(img.get(3, 1), [255, 0, 0]);

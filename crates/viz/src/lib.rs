@@ -12,7 +12,10 @@
 //!   outlines (the hotspot boundaries of Fig 1),
 //! * [`image`] — dependency-free binary PPM/PGM writers,
 //! * [`parallel`] — a multi-threaded row renderer (the paper's "future
-//!   work" §8; off in every paper reproduction, which is single-core).
+//!   work" §8; off in every paper reproduction, which is single-core),
+//! * [`metered`] — the same renderers instrumented with
+//!   [`kdv_telemetry`]: event counters, per-pixel histograms, cost
+//!   maps, and time-to-quality checkpoints.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -20,6 +23,7 @@
 pub mod colormap;
 pub mod contour;
 pub mod image;
+pub mod metered;
 pub mod parallel;
 pub mod png;
 pub mod progressive;
@@ -28,6 +32,10 @@ pub mod tiles;
 
 pub use colormap::ColorMap;
 pub use image::RgbImage;
+pub use metered::{
+    render_eps_metered, render_eps_parallel_metered, render_eps_progressive_metered,
+    render_tau_metered,
+};
 pub use progressive::{progressive_order, ProgressiveStep};
 pub use render::{render_eps, render_eps_progressive, render_tau, BinaryGrid};
 pub use tiles::render_tau_tiled;

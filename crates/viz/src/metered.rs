@@ -1,0 +1,334 @@
+//! Metered rendering: the renderers of [`crate::render`] and
+//! [`crate::parallel`], instrumented with [`kdv_telemetry`].
+//!
+//! These take a concrete [`RefineEvaluator`] rather than a
+//! `dyn PixelEvaluator` because metering is a refinement-engine notion:
+//! the evaluator's probe hooks and [`RefineStats`] feed the metrics.
+//! The un-metered renderers stay exactly as they were — the engine loop
+//! is monomorphized over the probe, so they compile to the same code as
+//! before this module existed.
+//!
+//! Event counters accumulate *live* through the probe
+//! (`&mut metrics.events`) during evaluation; per-pixel histograms and
+//! the cost map are fed from [`RefineStats`] after each pixel. Nothing
+//! is counted twice.
+
+use crate::progressive::progressive_order;
+use crate::render::{BinaryGrid, ProgressiveCanvas, ProgressiveRender};
+use kdv_core::engine::RefineEvaluator;
+use kdv_core::raster::{DensityGrid, RasterSpec};
+use kdv_telemetry::RenderMetrics;
+use std::time::{Duration, Instant};
+
+/// Renders a full εKDV density grid, accumulating metrics.
+///
+/// Bit-identical to [`crate::render::render_eps`] on the same
+/// evaluator: the probe only observes.
+pub fn render_eps_metered(
+    ev: &mut RefineEvaluator<'_>,
+    raster: &RasterSpec,
+    eps: f64,
+    metrics: &mut RenderMetrics,
+) -> DensityGrid {
+    let start = Instant::now();
+    let mut grid = DensityGrid::zeros(raster.width(), raster.height());
+    for row in 0..raster.height() {
+        for col in 0..raster.width() {
+            let q = raster.pixel_center(col, row);
+            let t0 = Instant::now();
+            let v = ev.eval_eps_with(&q, eps, &mut metrics.events);
+            let latency = t0.elapsed().as_nanos() as u64;
+            grid.set(col, row, v);
+            metrics.record_pixel(col, row, &ev.last_stats(), latency);
+        }
+    }
+    metrics.set_wall_ns(start.elapsed().as_nanos() as u64);
+    grid
+}
+
+/// Renders a full τKDV binary mask, accumulating metrics.
+pub fn render_tau_metered(
+    ev: &mut RefineEvaluator<'_>,
+    raster: &RasterSpec,
+    tau: f64,
+    metrics: &mut RenderMetrics,
+) -> BinaryGrid {
+    let start = Instant::now();
+    let mut grid = BinaryGrid::falses(raster.width(), raster.height());
+    for row in 0..raster.height() {
+        for col in 0..raster.width() {
+            let q = raster.pixel_center(col, row);
+            let t0 = Instant::now();
+            let v = ev.eval_tau_with(&q, tau, &mut metrics.events);
+            let latency = t0.elapsed().as_nanos() as u64;
+            grid.set(col, row, v);
+            metrics.record_pixel(col, row, &ev.last_stats(), latency);
+        }
+    }
+    metrics.set_wall_ns(start.elapsed().as_nanos() as u64);
+    grid
+}
+
+/// Renders εKDV on `threads` worker threads, accumulating metrics.
+///
+/// Each thread gets an evaluator from `make_evaluator` and a sibling of
+/// `metrics`; siblings merge back in band order after all threads join,
+/// so every field except the latency histograms and wall time is
+/// deterministic and equal to a sequential metered render.
+///
+/// # Panics
+/// Panics if `threads == 0`.
+pub fn render_eps_parallel_metered<'t, F>(
+    make_evaluator: F,
+    raster: &RasterSpec,
+    eps: f64,
+    threads: usize,
+    metrics: &mut RenderMetrics,
+) -> DensityGrid
+where
+    F: Fn() -> RefineEvaluator<'t> + Sync,
+{
+    assert!(threads > 0, "need at least one thread");
+    let start = Instant::now();
+    let width = raster.width();
+    let height = raster.height() as usize;
+    let mut values = vec![0.0f64; width as usize * height];
+
+    let band_metrics = std::thread::scope(|scope| {
+        let rows_per_band = height.div_ceil(threads);
+        let mut rest: &mut [f64] = &mut values;
+        let mut band_start = 0usize;
+        let mut handles = Vec::new();
+        while band_start < height {
+            let rows = rows_per_band.min(height - band_start);
+            let (band, tail) = rest.split_at_mut(rows * width as usize);
+            rest = tail;
+            let first_row = band_start;
+            let make = &make_evaluator;
+            let mut local = metrics.sibling();
+            handles.push(scope.spawn(move || {
+                let band_t0 = Instant::now();
+                let mut ev = make();
+                for (r, row_vals) in band.chunks_mut(width as usize).enumerate() {
+                    let row = (first_row + r) as u32;
+                    for (col, slot) in row_vals.iter_mut().enumerate() {
+                        let q = raster.pixel_center(col as u32, row);
+                        let t0 = Instant::now();
+                        *slot = ev.eval_eps_with(&q, eps, &mut local.events);
+                        let latency = t0.elapsed().as_nanos() as u64;
+                        local.record_pixel(col as u32, row, &ev.last_stats(), latency);
+                    }
+                }
+                local.set_wall_ns(band_t0.elapsed().as_nanos() as u64);
+                local
+            }));
+            band_start += rows;
+        }
+        // Joining in spawn order keeps the merge deterministic.
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("render worker panicked"))
+            .collect::<Vec<_>>()
+    });
+
+    for band in &band_metrics {
+        metrics.merge(band);
+    }
+    metrics.threads = band_metrics.len() as u32;
+    metrics.set_wall_ns(start.elapsed().as_nanos() as u64);
+    DensityGrid::from_values(width, raster.height(), values)
+}
+
+/// Renders εKDV in the §6 progressive order with metrics and
+/// time-to-quality checkpoints.
+///
+/// A checkpoint is recorded whenever the evaluated-pixel count reaches
+/// a power of two, plus one final checkpoint — so the metrics document
+/// traces quality-over-time (Fig 20/21) with logarithmically many
+/// entries.
+pub fn render_eps_progressive_metered(
+    ev: &mut RefineEvaluator<'_>,
+    raster: &RasterSpec,
+    eps: f64,
+    budget: Option<Duration>,
+    metrics: &mut RenderMetrics,
+) -> ProgressiveRender {
+    let steps = progressive_order(raster.width(), raster.height());
+    let mut canvas = ProgressiveCanvas::new(raster.width(), raster.height());
+    let start = Instant::now();
+    let mut evaluated = 0usize;
+    for step in &steps {
+        if let Some(b) = budget {
+            if evaluated > 0 && start.elapsed() >= b {
+                break;
+            }
+        }
+        let q = raster.pixel_center(step.col, step.row);
+        let t0 = Instant::now();
+        let v = ev.eval_eps_with(&q, eps, &mut metrics.events);
+        let latency = t0.elapsed().as_nanos() as u64;
+        metrics.record_pixel(step.col, step.row, &ev.last_stats(), latency);
+        evaluated += 1;
+        canvas.apply(step, v);
+        if evaluated.is_power_of_two() {
+            metrics.checkpoint(evaluated as u64, start.elapsed().as_nanos() as u64);
+        }
+    }
+    let wall = start.elapsed().as_nanos() as u64;
+    if !evaluated.is_power_of_two() || evaluated == 0 {
+        metrics.checkpoint(evaluated as u64, wall);
+    }
+    metrics.set_wall_ns(wall);
+    ProgressiveRender {
+        grid: canvas.into_grid(),
+        complete: evaluated == steps.len(),
+        evaluated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parallel::render_eps_parallel;
+    use crate::render::{render_eps, render_eps_progressive, render_tau};
+    use kdv_core::bandwidth::scott_gamma;
+    use kdv_core::bounds::BoundFamily;
+    use kdv_data::Dataset;
+    use kdv_index::KdTree;
+
+    fn setup() -> (kdv_geom::PointSet, kdv_core::kernel::Kernel, RasterSpec) {
+        let ps = Dataset::Crime.generate(3000, 42);
+        let kernel = kdv_core::kernel::Kernel::gaussian(scott_gamma(&ps).gamma);
+        let raster = RasterSpec::covering(&ps, 20, 16, 0.05);
+        (ps, kernel, raster)
+    }
+
+    #[test]
+    fn metered_eps_render_is_bit_identical_to_plain() {
+        let (ps, kernel, raster) = setup();
+        let tree = KdTree::build_default(&ps);
+        let mut plain = RefineEvaluator::new(&tree, kernel, BoundFamily::Quadratic);
+        let mut metered = RefineEvaluator::new(&tree, kernel, BoundFamily::Quadratic);
+        let mut metrics = RenderMetrics::with_cost_map(raster.width(), raster.height());
+        let a = render_eps(&mut plain, &raster, 0.01);
+        let b = render_eps_metered(&mut metered, &raster, 0.01, &mut metrics);
+        assert_eq!(a, b, "metering changed the rendered grid");
+        assert_eq!(metrics.pixels, raster.num_pixels() as u64);
+        assert!(metrics.events.heap_pops > 0);
+        assert!(metrics.events.point_evals > 0);
+        assert_eq!(metrics.iterations.count(), metrics.pixels);
+    }
+
+    #[test]
+    fn metered_tau_render_is_identical_to_plain() {
+        let (ps, kernel, raster) = setup();
+        let tree = KdTree::build_default(&ps);
+        let mut plain = RefineEvaluator::new(&tree, kernel, BoundFamily::Quadratic);
+        let mut metered = RefineEvaluator::new(&tree, kernel, BoundFamily::Quadratic);
+        // Pick a mid-range τ from a quick ε render.
+        let grid = render_eps(
+            &mut RefineEvaluator::new(&tree, kernel, BoundFamily::Quadratic),
+            &raster,
+            0.05,
+        );
+        let (lo, hi) = grid.min_max().expect("non-empty");
+        let tau = lo + 0.4 * (hi - lo);
+        let mut metrics = RenderMetrics::new();
+        let a = render_tau(&mut plain, &raster, tau);
+        let b = render_tau_metered(&mut metered, &raster, tau, &mut metrics);
+        assert_eq!(a, b);
+        assert_eq!(metrics.pixels, raster.num_pixels() as u64);
+    }
+
+    #[test]
+    fn parallel_metrics_merge_equals_sequential() {
+        let (ps, kernel, raster) = setup();
+        let tree = KdTree::build_default(&ps);
+        let mut seq_metrics = RenderMetrics::with_cost_map(raster.width(), raster.height());
+        let mut seq_ev = RefineEvaluator::new(&tree, kernel, BoundFamily::Quadratic);
+        let seq_grid = render_eps_metered(&mut seq_ev, &raster, 0.01, &mut seq_metrics);
+
+        for threads in [1usize, 2, 4] {
+            let mut par_metrics = RenderMetrics::with_cost_map(raster.width(), raster.height());
+            let par_grid = render_eps_parallel_metered(
+                || RefineEvaluator::new(&tree, kernel, BoundFamily::Quadratic),
+                &raster,
+                0.01,
+                threads,
+                &mut par_metrics,
+            );
+            assert_eq!(par_grid, seq_grid, "{threads} threads changed the grid");
+            // Deterministic fields must match the sequential render
+            // exactly; latency histograms and wall time are wall-clock
+            // noise and excluded by design.
+            assert_eq!(par_metrics.events, seq_metrics.events);
+            assert_eq!(par_metrics.pixels, seq_metrics.pixels);
+            assert_eq!(par_metrics.iterations, seq_metrics.iterations);
+            assert_eq!(par_metrics.cost_map(), seq_metrics.cost_map());
+        }
+    }
+
+    #[test]
+    fn parallel_metered_matches_unmetered_parallel() {
+        let (ps, kernel, raster) = setup();
+        let tree = KdTree::build_default(&ps);
+        let plain = render_eps_parallel(
+            || RefineEvaluator::new(&tree, kernel, BoundFamily::Quadratic),
+            &raster,
+            0.01,
+            3,
+        );
+        let mut metrics = RenderMetrics::new();
+        let metered = render_eps_parallel_metered(
+            || RefineEvaluator::new(&tree, kernel, BoundFamily::Quadratic),
+            &raster,
+            0.01,
+            3,
+            &mut metrics,
+        );
+        assert_eq!(plain, metered);
+        assert_eq!(metrics.threads, 3);
+    }
+
+    #[test]
+    fn cost_map_dims_match_raster_and_covers_pixels() {
+        let (ps, kernel, raster) = setup();
+        let tree = KdTree::build_default(&ps);
+        let mut metrics = RenderMetrics::with_cost_map(raster.width(), raster.height());
+        let mut ev = RefineEvaluator::new(&tree, kernel, BoundFamily::Quadratic);
+        render_eps_metered(&mut ev, &raster, 0.01, &mut metrics);
+        let map = metrics.cost_map().expect("cost map requested");
+        assert_eq!(map.width(), raster.width());
+        assert_eq!(map.height(), raster.height());
+        // Every pixel did at least the root bound evaluation.
+        let (lo, _) = map.min_max().expect("non-empty");
+        assert!(lo >= 1.0, "cost map has an un-accounted pixel: min {lo}");
+    }
+
+    #[test]
+    fn progressive_metered_matches_plain_and_checkpoints_are_monotone() {
+        let (ps, kernel, raster) = setup();
+        let tree = KdTree::build_default(&ps);
+        let mut a = RefineEvaluator::new(&tree, kernel, BoundFamily::Quadratic);
+        let mut b = RefineEvaluator::new(&tree, kernel, BoundFamily::Quadratic);
+        let plain = render_eps_progressive(&mut a, &raster, 0.01, None);
+        let mut metrics = RenderMetrics::new();
+        let metered = render_eps_progressive_metered(&mut b, &raster, 0.01, None, &mut metrics);
+        assert_eq!(plain, metered);
+        assert!(metered.complete);
+
+        let cps = &metrics.checkpoints;
+        assert!(!cps.is_empty());
+        assert_eq!(
+            cps.last().expect("final checkpoint").pixels,
+            raster.num_pixels() as u64
+        );
+        for w in cps.windows(2) {
+            assert!(w[1].pixels > w[0].pixels, "pixel counts must increase");
+            assert!(w[1].elapsed_ns >= w[0].elapsed_ns, "time must not go back");
+        }
+        // Power-of-two cadence: log₂(pixels) + final ≥ entries ≥ 2.
+        assert!(cps.len() >= 2);
+        assert!(cps.len() as u32 <= 64);
+    }
+}

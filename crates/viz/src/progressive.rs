@@ -104,8 +104,7 @@ mod tests {
         // first five steps are the center plus the 4 quadrant centers.
         let steps = progressive_order(16, 16);
         assert_eq!(steps.len(), 256);
-        let quadrant_reps: Vec<(u32, u32)> =
-            steps[1..5].iter().map(|s| (s.col, s.row)).collect();
+        let quadrant_reps: Vec<(u32, u32)> = steps[1..5].iter().map(|s| (s.col, s.row)).collect();
         assert!(quadrant_reps.contains(&(4, 4)));
         assert!(quadrant_reps.contains(&(12, 4)));
         assert!(quadrant_reps.contains(&(4, 12)));

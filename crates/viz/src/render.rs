@@ -259,8 +259,7 @@ mod tests {
         let (ps, kernel, raster) = setup();
         let tree = KdTree::build_default(&ps);
         let mut ev = RefineEvaluator::new(&tree, kernel, BoundFamily::Quadratic);
-        let prog =
-            render_eps_progressive(&mut ev, &raster, 0.01, Some(Duration::from_micros(200)));
+        let prog = render_eps_progressive(&mut ev, &raster, 0.01, Some(Duration::from_micros(200)));
         assert!(prog.evaluated >= 1);
         // Even a tiny budget yields a fully-painted (coarse) grid whose
         // error against exact is finite and reasonable.

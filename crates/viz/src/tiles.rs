@@ -271,8 +271,7 @@ mod tests {
         let tree = KdTree::build_default(&points);
         for (w, h) in [(1u32, 1u32), (1, 7), (9, 1), (5, 3)] {
             let raster = RasterSpec::covering(&points, w, h, 0.02);
-            let (tiled, _) =
-                render_tau_tiled(&tree, kernel, BoundFamily::Quadratic, &raster, 1e-3);
+            let (tiled, _) = render_tau_tiled(&tree, kernel, BoundFamily::Quadratic, &raster, 1e-3);
             let mut ev = RefineEvaluator::new(&tree, kernel, BoundFamily::Quadratic);
             let reference = render_tau(&mut ev, &raster, 1e-3);
             assert_eq!(tiled, reference, "{w}x{h}");
@@ -294,8 +293,7 @@ mod tests {
         assert_eq!(stats.tiles_decided, 1);
         assert_eq!(stats.pixels_via_engine, 0);
         // τ ≤ 0: F ≥ 0 ≥ τ always holds — everything hot at the root.
-        let (mask, stats) =
-            render_tau_tiled(&tree, kernel, BoundFamily::Quadratic, &raster, -1.0);
+        let (mask, stats) = render_tau_tiled(&tree, kernel, BoundFamily::Quadratic, &raster, -1.0);
         assert_eq!(mask.count_hot(), raster.num_pixels());
         assert_eq!(stats.tiles_decided, 1);
     }

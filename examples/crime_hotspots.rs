@@ -30,8 +30,15 @@ fn main() {
         levels.mu, levels.sigma
     );
 
-    println!("\nτ sweep (full {}x{} τKDV render):", raster.width(), raster.height());
-    println!("{:>6} {:>12} {:>12} {:>12} {:>10}", "k", "tKDC [s]", "KARL [s]", "QUAD [s]", "hot %");
+    println!(
+        "\nτ sweep (full {}x{} τKDV render):",
+        raster.width(),
+        raster.height()
+    );
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>10}",
+        "k", "tKDC [s]", "KARL [s]", "QUAD [s]", "hot %"
+    );
     for k in [-0.2, -0.1, 0.0, 0.1, 0.2] {
         let tau = levels.tau(k);
         let mut cells = Vec::new();

@@ -51,9 +51,7 @@ fn main() {
         // Both carry the deterministic ε guarantee, so they agree.
         let diff = grid_q.mean_relative_error(&grid_a);
         let note = match ty {
-            KernelType::Epanechnikov | KernelType::Quartic => {
-                "extension: exact inside support"
-            }
+            KernelType::Epanechnikov | KernelType::Quartic => "extension: exact inside support",
             _ => "paper §5 kernel",
         };
         println!(

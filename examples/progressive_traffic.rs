@@ -27,7 +27,11 @@ fn main() {
     let mut quad = RefineEvaluator::new(&tree, kernel, BoundFamily::Quadratic);
     let truth = render_eps(&mut quad, &raster, 0.01);
 
-    println!("progressive refinement ({}x{} raster):", raster.width(), raster.height());
+    println!(
+        "progressive refinement ({}x{} raster):",
+        raster.width(),
+        raster.height()
+    );
     println!(
         "{:>8} {:>10} {:>10} {:>14}",
         "t [s]", "pixels", "coverage", "avg rel error"

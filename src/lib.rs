@@ -16,6 +16,8 @@
 //! * [`sampling`] — Morton-curve coreset sampling,
 //! * [`pca`] — PCA for dimensionality sweeps,
 //! * [`data`] — synthetic dataset generators and CSV I/O,
+//! * [`telemetry`] — render metrics: refinement-event counters,
+//!   per-pixel histograms, cost maps, JSON export,
 //! * [`viz`] — color maps, image output, progressive rendering.
 //!
 //! ## Quick start
@@ -48,6 +50,7 @@ pub use kdv_geom as geom;
 pub use kdv_index as index;
 pub use kdv_pca as pca;
 pub use kdv_sampling as sampling;
+pub use kdv_telemetry as telemetry;
 pub use kdv_viz as viz;
 
 /// One-stop imports for typical use.
@@ -57,15 +60,14 @@ pub mod prelude {
     pub use kdv_core::engine::RefineEvaluator;
     pub use kdv_core::kernel::{Kernel, KernelType};
     pub use kdv_core::method::{
-        make_evaluator, ExactScan, MethodKind, MethodParams, PixelEvaluator, ScikitDfs,
-        ZOrderScan,
+        make_evaluator, ExactScan, MethodKind, MethodParams, PixelEvaluator, ScikitDfs, ZOrderScan,
     };
     pub use kdv_core::raster::{DensityGrid, RasterSpec};
     pub use kdv_core::threshold::{estimate_levels, TauLevels};
     pub use kdv_geom::{Mbr, PointSet};
     pub use kdv_index::{BuildConfig, KdTree};
+    pub use kdv_telemetry::{EventCounters, LogHistogram, RenderMetrics};
     pub use kdv_viz::colormap::ColorMap;
-    pub use kdv_viz::render::{
-        render_eps, render_eps_progressive, render_tau, BinaryGrid,
-    };
+    pub use kdv_viz::metered::{render_eps_metered, render_eps_parallel_metered};
+    pub use kdv_viz::render::{render_eps, render_eps_progressive, render_tau, BinaryGrid};
 }

@@ -2,10 +2,10 @@
 //! node bounds computed on *real kd-tree nodes* must bracket the exact
 //! per-node aggregation, and the paper's tightness ordering must hold.
 
-use kdv::prelude::*;
 use kdv::core::bounds::{node_bounds, BoundFamily};
 use kdv::geom::vecmath::dist2;
 use kdv::index::BuildConfig;
+use kdv::prelude::*;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng as _, SeedableRng as _};
@@ -31,7 +31,13 @@ fn exact_node(tree: &KdTree, id: kdv::index::NodeId, kernel: &Kernel, q: &[f64])
 #[test]
 fn every_node_bound_brackets_exact_for_all_kernels_and_families() {
     let ps = random_points(600, 1);
-    let tree = KdTree::build(&ps, BuildConfig { leaf_capacity: 8, ..BuildConfig::default() });
+    let tree = KdTree::build(
+        &ps,
+        BuildConfig {
+            leaf_capacity: 8,
+            ..BuildConfig::default()
+        },
+    );
     let queries = [[0.0, 0.0], [4.0, -7.0], [15.0, 15.0], [-2.0, 0.5]];
     for ty in KernelType::ALL {
         let kernel = Kernel::new(ty, 0.25);
@@ -60,7 +66,13 @@ fn every_node_bound_brackets_exact_for_all_kernels_and_families() {
 #[test]
 fn gaussian_tightness_ordering_quad_karl_interval() {
     let ps = random_points(600, 2);
-    let tree = KdTree::build(&ps, BuildConfig { leaf_capacity: 8, ..BuildConfig::default() });
+    let tree = KdTree::build(
+        &ps,
+        BuildConfig {
+            leaf_capacity: 8,
+            ..BuildConfig::default()
+        },
+    );
     let kernel = Kernel::gaussian(0.1);
     for q in [[0.0, 0.0], [8.0, 8.0], [-5.0, 3.0]] {
         tree.for_each_node(|_, node| {
@@ -77,7 +89,13 @@ fn gaussian_tightness_ordering_quad_karl_interval() {
 #[test]
 fn distance_kernel_quad_tighter_than_interval() {
     let ps = random_points(600, 3);
-    let tree = KdTree::build(&ps, BuildConfig { leaf_capacity: 8, ..BuildConfig::default() });
+    let tree = KdTree::build(
+        &ps,
+        BuildConfig {
+            leaf_capacity: 8,
+            ..BuildConfig::default()
+        },
+    );
     for ty in [
         KernelType::Triangular,
         KernelType::Cosine,
@@ -86,10 +104,8 @@ fn distance_kernel_quad_tighter_than_interval() {
         let kernel = Kernel::new(ty, 0.15);
         for q in [[0.0, 0.0], [6.0, -6.0]] {
             tree.for_each_node(|_, node| {
-                let bi =
-                    node_bounds(&kernel, BoundFamily::Interval, &node.stats, &node.mbr, &q);
-                let bq =
-                    node_bounds(&kernel, BoundFamily::Quadratic, &node.stats, &node.mbr, &q);
+                let bi = node_bounds(&kernel, BoundFamily::Interval, &node.stats, &node.mbr, &q);
+                let bq = node_bounds(&kernel, BoundFamily::Quadratic, &node.stats, &node.mbr, &q);
                 let tol = 1e-9 * (1.0 + bi.ub.abs());
                 assert!(
                     bq.gap() <= bi.gap() + tol,

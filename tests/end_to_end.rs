@@ -24,7 +24,12 @@ fn eps_kdv_methods_meet_guarantee_on_all_datasets() {
         let mut exact = ExactScan::new(&points, kernel);
         let truth = render_eps(&mut exact, &raster, eps);
 
-        for m in [MethodKind::Scikit, MethodKind::Akde, MethodKind::Karl, MethodKind::Quad] {
+        for m in [
+            MethodKind::Scikit,
+            MethodKind::Akde,
+            MethodKind::Karl,
+            MethodKind::Quad,
+        ] {
             let mut ev = make_evaluator(m, &tree, kernel, "εKDV", &MethodParams::default())
                 .expect("εKDV method");
             let grid = render_eps(&mut *ev, &raster, eps);

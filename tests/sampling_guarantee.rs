@@ -81,8 +81,8 @@ fn zorder_method_is_faster_than_exact_but_approximate() {
         zorder_eps: 0.05,
         ..MethodParams::default()
     };
-    let mut z = make_evaluator(MethodKind::ZOrder, &tree, kernel, "εKDV", &params)
-        .expect("Z-order εKDV");
+    let mut z =
+        make_evaluator(MethodKind::ZOrder, &tree, kernel, "εKDV", &params).expect("Z-order εKDV");
     let mut exact = ExactScan::new(&points, kernel);
     let q = [0.5, 0.5];
     let f = exact.density(&q);
