@@ -1,21 +1,22 @@
 //! Subcommand implementations.
 
 use crate::args::Args;
-use kdv_core::bandwidth::{scott_gamma_for, Bandwidth};
+use kdv_core::bandwidth::{try_scott_gamma_for, Bandwidth};
 use kdv_core::bounds::BoundFamily;
-use kdv_core::engine::RefineEvaluator;
+use kdv_core::engine::{RefineEvaluator, RenderBudget};
 use kdv_core::kernel::{Kernel, KernelType};
+use kdv_core::query::{validate_eps, validate_gamma, validate_raster_dims, validate_tau, validate_threads};
 use kdv_core::raster::RasterSpec;
 use kdv_core::threshold::estimate_levels;
-use kdv_data::{csv, Dataset};
+use kdv_data::{csv, sanitize, Dataset};
 use kdv_geom::PointSet;
 use kdv_index::KdTree;
 use kdv_sampling::{sample_size_for, zorder_sample};
 use kdv_telemetry::RenderMetrics;
 use kdv_viz::colormap::{render_binary, ColorMap};
 use kdv_viz::metered::{
-    render_eps_metered, render_eps_parallel_metered, render_eps_progressive_metered,
-    render_tau_metered,
+    render_eps_budgeted_metered, render_eps_metered, render_eps_parallel_budgeted_metered,
+    render_eps_parallel_metered, render_eps_progressive_metered, render_tau_metered,
 };
 use kdv_viz::parallel::render_eps_parallel;
 use kdv_viz::render::{render_eps, render_eps_progressive, render_tau};
@@ -26,7 +27,9 @@ use std::time::{Duration, Instant};
 struct Input {
     points: PointSet,
     kernel: Kernel,
-    bandwidth: Bandwidth,
+    /// `None` when Scott's rule degenerates (zero spread on every
+    /// axis); `--gamma` then becomes mandatory.
+    bandwidth: Option<Bandwidth>,
 }
 
 fn kernel_type(name: &str) -> Result<KernelType, String> {
@@ -50,15 +53,33 @@ fn load_input(args: &Args) -> Result<Input, String> {
     if points.is_empty() {
         return Err("input contains no points".into());
     }
+    // The CSV parser already rejects non-finite fields; this re-check
+    // guards every other path into `Input` (and future loaders).
+    sanitize::validate(&points).map_err(|e| e.to_string())?;
     let ty = kernel_type(args.get("kernel").unwrap_or("gaussian"))?;
-    let bandwidth = scott_gamma_for(&points, ty);
-    let gamma = args.get_parsed("gamma", bandwidth.gamma)?;
-    if !(gamma.is_finite() && gamma > 0.0) {
-        return Err("--gamma must be positive".into());
-    }
+    let bandwidth = try_scott_gamma_for(&points, ty).ok();
+    let gamma = match &bandwidth {
+        Some(bw) => args.get_parsed("gamma", bw.gamma)?,
+        // Scott degenerated (all points identical): the user must pick
+        // the kernel scale, but everything downstream still works.
+        None => match args.get("gamma") {
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("flag --gamma: cannot parse {v:?}"))?,
+            None => {
+                return Err(
+                    "dataset has zero spread on every axis, so Scott's rule cannot pick \
+                     a bandwidth; pass --gamma to set the kernel scale explicitly"
+                        .into(),
+                )
+            }
+        },
+    };
+    validate_gamma(gamma).map_err(|e| e.to_string())?;
     let mut points = points;
     if !has_weights {
-        points.scale_weights(bandwidth.weight);
+        let n = points.len() as f64;
+        points.scale_weights(1.0 / n);
     }
     Ok(Input {
         points,
@@ -70,10 +91,44 @@ fn load_input(args: &Args) -> Result<Input, String> {
 fn raster_for(args: &Args, points: &PointSet) -> Result<RasterSpec, String> {
     let width = args.get_parsed("width", 640u32)?;
     let height = args.get_parsed("height", 480u32)?;
-    if width == 0 || height == 0 {
-        return Err("--width/--height must be positive".into());
+    validate_raster_dims(width, height).map_err(|e| e.to_string())?;
+    RasterSpec::try_covering(points, width, height, 0.03).map_err(|e| e.to_string())
+}
+
+/// Render-budget flags shared by the εKDV render path. `None` when no
+/// budget flag was given (the unbudgeted renderers run).
+fn budget_from_args(args: &Args) -> Result<Option<RenderBudget>, String> {
+    let max_work: Option<u64> = match args.get("max-work") {
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| format!("flag --max-work: cannot parse {v:?}"))?,
+        ),
+        None => None,
+    };
+    let deadline_ms: Option<u64> = match args.get("deadline-ms") {
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| format!("flag --deadline-ms: cannot parse {v:?}"))?,
+        ),
+        None => None,
+    };
+    if max_work == Some(0) {
+        return Err("--max-work must be positive".into());
     }
-    Ok(RasterSpec::covering(points, width, height, 0.03))
+    if deadline_ms == Some(0) {
+        return Err("--deadline-ms must be positive".into());
+    }
+    if max_work.is_none() && deadline_ms.is_none() {
+        return Ok(None);
+    }
+    let mut budget = RenderBudget::unlimited();
+    if let Some(units) = max_work {
+        budget = budget.with_max_work(units);
+    }
+    if let Some(ms) = deadline_ms {
+        budget = budget.with_deadline(Duration::from_millis(ms));
+    }
+    Ok(Some(budget))
 }
 
 fn out_path(args: &Args, default: &str) -> PathBuf {
@@ -151,30 +206,73 @@ pub fn render(args: &Args) -> Result<(), String> {
             "kdv render <points.csv> [--out map.ppm] [--eps 0.01] [--width 640] [--height 480]\n\
              \x20          [--kernel gaussian|triangular|cosine|exponential|epanechnikov|quartic]\n\
              \x20          [--gamma G] [--weights] [--grayscale] [--threads 1]\n\
+             \x20          [--max-work UNITS] [--deadline-ms MS] [--error-map err.ppm]\n\
              \x20          [--metrics m.json] [--cost-map cost.ppm] [--verbose]"
         );
         return Ok(());
     }
     let input = load_input(args)?;
     let eps: f64 = args.get_parsed("eps", 0.01)?;
-    if !(eps.is_finite() && eps > 0.0) {
-        return Err("--eps must be positive".into());
-    }
+    validate_eps(eps).map_err(|e| e.to_string())?;
     let threads = args.get_parsed("threads", 1usize)?;
-    if threads == 0 {
-        return Err("--threads must be positive".into());
-    }
+    validate_threads(threads).map_err(|e| e.to_string())?;
+    let error_map_path = args.get("error-map").map(PathBuf::from);
     let telemetry = Telemetry::from_args(args);
     let raster = raster_for(args, &input.points)?;
-    let tree = KdTree::build_default(&input.points);
+    let tree = KdTree::try_build_default(&input.points).map_err(|e| e.to_string())?;
     let make_ev = || RefineEvaluator::new(&tree, input.kernel, BoundFamily::Quadratic);
     let t0 = Instant::now();
     let mut metrics = telemetry.new_metrics(&raster);
-    let grid = match (telemetry.wanted(), threads) {
-        (true, 1) => render_eps_metered(&mut make_ev(), &raster, eps, &mut metrics),
-        (true, _) => render_eps_parallel_metered(make_ev, &raster, eps, threads, &mut metrics),
-        (false, 1) => render_eps(&mut make_ev(), &raster, eps),
-        (false, _) => render_eps_parallel(make_ev, &raster, eps, threads),
+    // A deadline starts ticking here, after parsing and indexing: the
+    // budget governs rendering work, not input preparation.
+    let budget = budget_from_args(args)?;
+    let grid = match budget {
+        Some(mut budget) => {
+            let out = if threads == 1 {
+                render_eps_budgeted_metered(&mut make_ev(), &raster, eps, &mut budget, &mut metrics)
+            } else {
+                render_eps_parallel_budgeted_metered(
+                    make_ev,
+                    &raster,
+                    eps,
+                    threads,
+                    &mut budget,
+                    &mut metrics,
+                )
+            }
+            .map_err(|e| e.to_string())?;
+            if out.degraded_pixels > 0 {
+                println!(
+                    "budget exhausted after {} work units: {} of {} pixels are \
+                     best-effort midpoints (see --error-map for certified bounds)",
+                    budget.work_done(),
+                    out.degraded_pixels,
+                    raster.num_pixels()
+                );
+            }
+            if let Some(path) = &error_map_path {
+                save_image(&ColorMap::heat().render(&out.error_map, true), path)?;
+                println!("error map → {}", path.display());
+            }
+            out.grid
+        }
+        None => {
+            if error_map_path.is_some() {
+                return Err(
+                    "--error-map needs a budget (--max-work or --deadline-ms); \
+                     an unbudgeted render's certified error is ε everywhere"
+                        .into(),
+                );
+            }
+            match (telemetry.wanted(), threads) {
+                (true, 1) => render_eps_metered(&mut make_ev(), &raster, eps, &mut metrics),
+                (true, _) => {
+                    render_eps_parallel_metered(make_ev, &raster, eps, threads, &mut metrics)
+                }
+                (false, 1) => render_eps(&mut make_ev(), &raster, eps),
+                (false, _) => render_eps_parallel(make_ev, &raster, eps, threads),
+            }
+        }
     };
     let elapsed = t0.elapsed();
     let cm = if args.has("grayscale") {
@@ -217,11 +315,14 @@ pub fn hotspot(args: &Args) -> Result<(), String> {
         );
     }
     let raster = raster_for(args, &input.points)?;
-    let tree = KdTree::build_default(&input.points);
+    let tree = KdTree::try_build_default(&input.points).map_err(|e| e.to_string())?;
     let tau = match args.get("tau") {
-        Some(v) => v
-            .parse::<f64>()
-            .map_err(|_| format!("--tau: cannot parse {v:?}"))?,
+        Some(v) => {
+            let tau = v
+                .parse::<f64>()
+                .map_err(|_| format!("--tau: cannot parse {v:?}"))?;
+            validate_tau(tau).map_err(|e| e.to_string())?
+        }
         None => {
             let k = args.get_parsed("tau-sigma", 0.1)?;
             let levels = estimate_levels(&tree, input.kernel, &raster, 48, 36);
@@ -283,10 +384,11 @@ pub fn progressive(args: &Args) -> Result<(), String> {
     }
     let input = load_input(args)?;
     let eps: f64 = args.get_parsed("eps", 0.01)?;
+    validate_eps(eps).map_err(|e| e.to_string())?;
     let budget_ms = args.get_parsed("budget-ms", 500u64)?;
     let telemetry = Telemetry::from_args(args);
     let raster = raster_for(args, &input.points)?;
-    let tree = KdTree::build_default(&input.points);
+    let tree = KdTree::try_build_default(&input.points).map_err(|e| e.to_string())?;
     let mut ev = RefineEvaluator::new(&tree, input.kernel, BoundFamily::Quadratic);
     let budget = Some(Duration::from_millis(budget_ms));
     let out = if telemetry.wanted() {
@@ -379,12 +481,17 @@ pub fn stats(args: &Args) -> Result<(), String> {
         mean[1],
         std[1]
     );
-    println!("Scott h:       {:.6}", input.bandwidth.h);
-    println!(
-        "recommended:   --kernel {} --gamma {:.6}",
-        input.kernel.ty.name(),
-        input.kernel.gamma
-    );
+    match input.bandwidth {
+        Some(bw) => {
+            println!("Scott h:       {:.6}", bw.h);
+            println!(
+                "recommended:   --kernel {} --gamma {:.6}",
+                input.kernel.ty.name(),
+                input.kernel.gamma
+            );
+        }
+        None => println!("Scott h:       undefined (zero spread on every axis)"),
+    }
     let tree = KdTree::build_default(ps);
     println!(
         "kd-tree:       {} nodes, {} leaves, depth {}",
@@ -670,8 +777,135 @@ mod tests {
         std::fs::write(&csv_path, "0.0,0.0\n1.0,1.0\n").expect("write");
         let p = csv_path.to_str().expect("utf8");
         assert!(render(&args(&[p, "--eps", "-1"])).is_err());
+        assert!(render(&args(&[p, "--eps", "0"])).is_err());
+        assert!(render(&args(&[p, "--eps", "inf"])).is_err());
         assert!(render(&args(&[p, "--kernel", "nope"])).is_err());
         assert!(render(&args(&[p, "--threads", "0"])).is_err());
+        assert!(render(&args(&[p, "--gamma", "-2"])).is_err());
+        assert!(render(&args(&[p, "--width", "0"])).is_err());
+        assert!(render(&args(&[p, "--height", "0"])).is_err());
+        assert!(render(&args(&[p, "--max-work", "0"])).is_err());
+        assert!(render(&args(&[p, "--deadline-ms", "0"])).is_err());
+    }
+
+    #[test]
+    fn malformed_inputs_error_without_panicking() {
+        // Corrupt CSV: non-numeric field.
+        let garbled = tmp("garbled.csv");
+        std::fs::write(&garbled, "0.0,0.0\n1.0,banana\n").expect("write");
+        let err = render(&args(&[garbled.to_str().expect("utf8")]))
+            .err()
+            .expect("corrupt CSV rejected");
+        assert!(err.contains("line 2"), "error names the line: {err}");
+
+        // NaN coordinates.
+        let nans = tmp("nans.csv");
+        std::fs::write(&nans, "0.0,0.0\nNaN,1.0\n").expect("write");
+        let err = render(&args(&[nans.to_str().expect("utf8")]))
+            .err()
+            .expect("NaN coordinate rejected");
+        assert!(err.contains("non-finite"), "unexpected error: {err}");
+
+        // Empty input.
+        let empty = tmp("empty.csv");
+        std::fs::write(&empty, "").expect("write");
+        assert!(render(&args(&[empty.to_str().expect("utf8")])).is_err());
+
+        // Negative τ.
+        let ok = tmp("tau.csv");
+        std::fs::write(&ok, "0.0,0.0\n1.0,1.0\n0.5,0.5\n").expect("write");
+        let p = ok.to_str().expect("utf8");
+        assert!(hotspot(&args(&[p, "--tau", "-0.5"])).is_err());
+        assert!(hotspot(&args(&[p, "--tau", "nan"])).is_err());
+    }
+
+    #[test]
+    fn zero_spread_dataset_needs_explicit_gamma() {
+        // All points identical: Scott's rule has no bandwidth to offer.
+        let dup = tmp("dup.csv");
+        std::fs::write(&dup, "1.0,2.0\n1.0,2.0\n1.0,2.0\n1.0,2.0\n").expect("write");
+        let p = dup.to_str().expect("utf8");
+        let err = render(&args(&[p])).err().expect("Scott must degenerate");
+        assert!(err.contains("--gamma"), "error suggests the fix: {err}");
+        // With an explicit scale the pipeline runs end to end.
+        let out = tmp("dup.ppm");
+        render(&args(&[
+            p,
+            "--gamma",
+            "1.0",
+            "--out",
+            out.to_str().expect("utf8"),
+            "--width",
+            "6",
+            "--height",
+            "5",
+        ]))
+        .expect("explicit gamma renders duplicates");
+        assert!(out.exists());
+    }
+
+    #[test]
+    fn budgeted_render_degrades_and_writes_error_map() {
+        let csv_path = tmp("budget.csv");
+        synth(&args(&[
+            "--dataset",
+            "crime",
+            "--n",
+            "900",
+            "--out",
+            csv_path.to_str().expect("utf8"),
+        ]))
+        .expect("synth");
+        let p = csv_path.to_str().expect("utf8");
+
+        let map = tmp("budget_map.ppm");
+        let err_map = tmp("budget_err.ppm");
+        // 16×12 pixels with only ~2 work units each and a harsh ε: the
+        // cap is certain to run out, yet the render must succeed.
+        render(&args(&[
+            p,
+            "--out",
+            map.to_str().expect("utf8"),
+            "--width",
+            "16",
+            "--height",
+            "12",
+            "--eps",
+            "0.000001",
+            "--max-work",
+            "400",
+            "--error-map",
+            err_map.to_str().expect("utf8"),
+        ]))
+        .expect("budgeted render succeeds");
+        let bytes = std::fs::read(&err_map).expect("read error map");
+        assert!(bytes.starts_with(b"P6\n16 12\n255\n"));
+
+        // Budgeted + threads exercises the parallel budgeted path.
+        render(&args(&[
+            p,
+            "--out",
+            map.to_str().expect("utf8"),
+            "--width",
+            "16",
+            "--height",
+            "12",
+            "--eps",
+            "0.05",
+            "--threads",
+            "2",
+            "--max-work",
+            "1000000000",
+        ]))
+        .expect("parallel budgeted render succeeds");
+
+        // --error-map without a budget is a usage error.
+        assert!(render(&args(&[
+            p,
+            "--error-map",
+            err_map.to_str().expect("utf8")
+        ]))
+        .is_err());
     }
 
     #[test]

@@ -36,18 +36,43 @@ run `kdv <command> --help` for flags
 "
 }
 
+/// Exit code for usage and input-validation errors (the conventional
+/// "incorrect usage" code; 1 is reserved for internal failures).
+const EXIT_USAGE: u8 = 2;
+
 fn main() -> ExitCode {
+    // Every malformed input is supposed to surface as a structured
+    // `Err` long before anything can panic; this guard is the last
+    // line of defense so that even a bug reports one line instead of
+    // a backtrace. The hook stays silent — the catch site prints.
+    std::panic::set_hook(Box::new(|_| {}));
+    let outcome = std::panic::catch_unwind(run);
+    match outcome {
+        Ok(code) => code,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("unknown panic");
+            eprintln!("internal error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = raw.first() else {
         eprint!("{}", usage());
-        return ExitCode::FAILURE;
+        return ExitCode::from(EXIT_USAGE);
     };
     let rest = &raw[1..];
     let parsed = match args::Args::parse(rest) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_USAGE);
         }
     };
     let result = match command.as_str() {
@@ -73,7 +98,7 @@ fn main() -> ExitCode {
         }
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(EXIT_USAGE)
         }
     }
 }

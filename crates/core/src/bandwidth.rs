@@ -23,6 +23,7 @@
 
 use crate::kernel::KernelType;
 use kdv_geom::PointSet;
+use std::fmt;
 
 /// Output of Scott's rule.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -35,25 +36,66 @@ pub struct Bandwidth {
     pub weight: f64,
 }
 
+/// Why Scott's rule cannot produce a bandwidth for a point set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BandwidthError {
+    /// The point set is empty.
+    EmptySet,
+    /// Every axis has zero spread (e.g. all points identical), so the
+    /// data-driven bandwidth degenerates to 0; callers must supply a
+    /// kernel scale explicitly.
+    ZeroSpread,
+}
+
+impl fmt::Display for BandwidthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BandwidthError::EmptySet => write!(f, "Scott's rule needs data"),
+            BandwidthError::ZeroSpread => {
+                write!(f, "Scott's rule needs positive spread on some axis")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BandwidthError {}
+
 /// Scott's rule for an isotropic Gaussian kernel.
 ///
 /// # Panics
-/// Panics if `points` is empty or has zero spread on every axis.
+/// Panics if `points` is empty or has zero spread on every axis; use
+/// [`try_scott_gamma`] to handle such data as a value.
 pub fn scott_gamma(points: &PointSet) -> Bandwidth {
-    let h = scott_h(points);
-    Bandwidth {
+    try_scott_gamma(points).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`scott_gamma`]: reports empty or zero-spread data instead
+/// of panicking.
+pub fn try_scott_gamma(points: &PointSet) -> Result<Bandwidth, BandwidthError> {
+    let h = try_scott_h(points)?;
+    Ok(Bandwidth {
         h,
         gamma: 1.0 / (2.0 * h * h),
         weight: 1.0 / points.len() as f64,
-    }
+    })
 }
 
 /// Scott's rule specialized per kernel family.
 ///
 /// # Panics
-/// Panics if `points` is empty or has zero spread on every axis.
+/// Panics if `points` is empty or has zero spread on every axis; use
+/// [`try_scott_gamma_for`] to handle such data as a value.
 pub fn scott_gamma_for(points: &PointSet, kernel: KernelType) -> Bandwidth {
-    let h = scott_h(points);
+    try_scott_gamma_for(points, kernel).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`scott_gamma_for`]: reports empty or zero-spread data
+/// instead of panicking.
+pub fn try_scott_gamma_for(
+    points: &PointSet,
+    kernel: KernelType,
+) -> Result<Bandwidth, BandwidthError> {
+    let h = try_scott_h(points)?;
     let gamma = match kernel {
         KernelType::Gaussian => 1.0 / (2.0 * h * h),
         KernelType::Triangular => 1.0 / (6.0f64.sqrt() * h),
@@ -64,17 +106,19 @@ pub fn scott_gamma_for(points: &PointSet, kernel: KernelType) -> Bandwidth {
         KernelType::Epanechnikov => 1.0 / (5.0f64.sqrt() * h),
         KernelType::Quartic => 1.0 / (7.0f64.sqrt() * h),
     };
-    Bandwidth {
+    Ok(Bandwidth {
         h,
         gamma,
         weight: 1.0 / points.len() as f64,
-    }
+    })
 }
 
 /// The isotropic Scott bandwidth: geometric mean of
 /// `σⱼ · n^{−1/(d+4)}` over axes with positive spread.
-fn scott_h(points: &PointSet) -> f64 {
-    assert!(!points.is_empty(), "Scott's rule needs data");
+fn try_scott_h(points: &PointSet) -> Result<f64, BandwidthError> {
+    if points.is_empty() {
+        return Err(BandwidthError::EmptySet);
+    }
     let n = points.len() as f64;
     let d = points.dim() as f64;
     let stds = points.std_dev().expect("non-empty set");
@@ -87,8 +131,10 @@ fn scott_h(points: &PointSet) -> f64 {
             count += 1;
         }
     }
-    assert!(count > 0, "Scott's rule needs positive spread on some axis");
-    (log_sum / count as f64).exp()
+    if count == 0 {
+        return Err(BandwidthError::ZeroSpread);
+    }
+    Ok((log_sum / count as f64).exp())
 }
 
 #[cfg(test)]
@@ -176,5 +222,27 @@ mod tests {
     #[should_panic(expected = "needs data")]
     fn empty_set_panics() {
         scott_gamma(&PointSet::new(2));
+    }
+
+    #[test]
+    fn degenerate_sets_are_reported_not_panicked() {
+        assert_eq!(
+            try_scott_gamma(&PointSet::new(2)).unwrap_err(),
+            BandwidthError::EmptySet
+        );
+        // All points identical: zero spread on every axis.
+        let dup = PointSet::from_rows(2, &[1.0, 2.0, 1.0, 2.0, 1.0, 2.0]);
+        assert_eq!(
+            try_scott_gamma(&dup).unwrap_err(),
+            BandwidthError::ZeroSpread
+        );
+        assert_eq!(
+            try_scott_gamma_for(&dup, KernelType::Quartic).unwrap_err(),
+            BandwidthError::ZeroSpread
+        );
+        assert_eq!(
+            BandwidthError::ZeroSpread.to_string(),
+            "Scott's rule needs positive spread on some axis"
+        );
     }
 }

@@ -14,8 +14,17 @@
 //! the bare loop, so observation is free unless requested — the
 //! `kdv-telemetry` crate builds render-wide metrics on top of this.
 
+//!
+//! Robustness: every public query has a fallible `try_*` twin that
+//! rejects bad input with [`crate::error::KdvError`], and a
+//! `*_budgeted` twin that degrades gracefully under a [`RenderBudget`]
+//! (work/deadline cap) instead of refining forever — see the [`budget`]
+//! module.
+
+pub mod budget;
 mod probe;
 mod refine;
 
+pub use budget::{BudgetedEval, BudgetedTau, RenderBudget};
 pub use probe::{NoProbe, Probe};
 pub use refine::{RefineEvaluator, RefineStats};

@@ -46,6 +46,21 @@ pub trait Probe {
     /// rounding-error resync).
     #[inline]
     fn resync(&mut self) {}
+
+    /// Consulted once per refinement iteration: return `true` to force
+    /// an immediate resync pass even though the tracked rounding error
+    /// is still negligible.
+    ///
+    /// A resync is semantically idempotent — it recomputes the exact
+    /// same sums from the heap — so forcing one must never change a
+    /// query's result. That makes this the cheapest fault-injection
+    /// point in the engine: `kdv-telemetry`'s `FaultProbe` uses it to
+    /// prove the claim under chaos testing. [`NoProbe`] returns `false`
+    /// and the branch folds away.
+    #[inline]
+    fn force_resync(&mut self) -> bool {
+        false
+    }
 }
 
 /// The default probe: every hook is a no-op and the instrumented loop
@@ -76,6 +91,11 @@ impl<P: Probe + ?Sized> Probe for &mut P {
     #[inline]
     fn resync(&mut self) {
         (**self).resync();
+    }
+
+    #[inline]
+    fn force_resync(&mut self) -> bool {
+        (**self).force_resync()
     }
 }
 
@@ -115,6 +135,7 @@ mod tests {
             fwd.node_bound();
             fwd.leaf_scan(7);
             fwd.resync();
+            assert!(!fwd.force_resync(), "default hook never forces");
         }
         assert_eq!(
             (r.pops, r.bounds, r.points, r.resyncs),

@@ -1,8 +1,11 @@
 //! Per-pixel best-first refinement.
 
+use super::budget::{BudgetedEval, BudgetedTau, RenderBudget};
 use super::probe::{NoProbe, Probe};
 use crate::bounds::{node_bounds_pre, BoundFamily, Interval};
+use crate::error::KdvError;
 use crate::kernel::Kernel;
+use crate::query::{validate_eps, validate_query_point, validate_tau};
 use kdv_geom::vecmath::dist2;
 use kdv_index::{KdTree, NodeId, NodeKind};
 use std::collections::BinaryHeap;
@@ -136,10 +139,97 @@ impl<'a> RefineEvaluator<'a> {
     /// dimensionality.
     pub fn eval_eps_with<P: Probe>(&mut self, q: &[f64], eps: f64, probe: &mut P) -> f64 {
         assert!(eps.is_finite() && eps > 0.0, "ε must be positive");
-        let (lb, ub) = self.refine(q, StopRule::Eps(eps), probe, |_, _| {});
+        let (lb, ub, _) = self.refine(q, StopRule::Eps(eps), None, probe, |_, _| {});
         // With ub ≤ (1 + ε)·lb the midpoint's relative error is ≤ ε/2,
         // comfortably within the contract.
         0.5 * (lb + ub)
+    }
+
+    /// Fallible εKDV: rejects a non-positive/non-finite ε, a wrong-
+    /// dimension query, and non-finite query coordinates with a
+    /// structured [`KdvError`] instead of panicking.
+    pub fn try_eval_eps(&mut self, q: &[f64], eps: f64) -> Result<f64, KdvError> {
+        let eps = validate_eps(eps)?;
+        validate_query_point(q, self.tree.points().dim())?;
+        let (lb, ub, _) = self.refine(q, StopRule::Eps(eps), None, &mut NoProbe, |_, _| {});
+        Ok(0.5 * (lb + ub))
+    }
+
+    /// Fallible εKDV returning the bound bracket (see
+    /// [`RefineEvaluator::eval_eps_bounds`]).
+    pub fn try_eval_eps_bounds(&mut self, q: &[f64], eps: f64) -> Result<(f64, f64), KdvError> {
+        let eps = validate_eps(eps)?;
+        validate_query_point(q, self.tree.points().dim())?;
+        let (lb, ub, _) = self.refine(q, StopRule::Eps(eps), None, &mut NoProbe, |_, _| {});
+        Ok((lb, ub))
+    }
+
+    /// Budget-aware εKDV: refines until the ε contract holds *or*
+    /// `budget` runs out, whichever comes first. The returned
+    /// [`BudgetedEval`] always brackets the true density; when
+    /// `exhausted` is set, `estimate()` is the best-effort midpoint and
+    /// `half_gap()` certifies its absolute error.
+    ///
+    /// Work spent (in [`RefineStats::total_work`] units) accumulates
+    /// into `budget` across calls, so one budget caps a whole render.
+    pub fn eval_eps_budgeted(
+        &mut self,
+        q: &[f64],
+        eps: f64,
+        budget: &mut RenderBudget,
+    ) -> Result<BudgetedEval, KdvError> {
+        self.eval_eps_budgeted_with(q, eps, budget, &mut NoProbe)
+    }
+
+    /// [`RefineEvaluator::eval_eps_budgeted`] with an instrumentation
+    /// [`Probe`].
+    pub fn eval_eps_budgeted_with<P: Probe>(
+        &mut self,
+        q: &[f64],
+        eps: f64,
+        budget: &mut RenderBudget,
+        probe: &mut P,
+    ) -> Result<BudgetedEval, KdvError> {
+        let eps = validate_eps(eps)?;
+        validate_query_point(q, self.tree.points().dim())?;
+        let (lb, ub, exhausted) =
+            self.refine(q, StopRule::Eps(eps), Some(budget), probe, |_, _| {});
+        Ok(BudgetedEval { lb, ub, exhausted })
+    }
+
+    /// Budget-aware τKDV. When the budget runs out before the bracket
+    /// clears τ, `decided` is `false` and `hot` is the best-effort
+    /// midpoint classification.
+    pub fn eval_tau_budgeted(
+        &mut self,
+        q: &[f64],
+        tau: f64,
+        budget: &mut RenderBudget,
+    ) -> Result<BudgetedTau, KdvError> {
+        self.eval_tau_budgeted_with(q, tau, budget, &mut NoProbe)
+    }
+
+    /// [`RefineEvaluator::eval_tau_budgeted`] with an instrumentation
+    /// [`Probe`].
+    pub fn eval_tau_budgeted_with<P: Probe>(
+        &mut self,
+        q: &[f64],
+        tau: f64,
+        budget: &mut RenderBudget,
+        probe: &mut P,
+    ) -> Result<BudgetedTau, KdvError> {
+        let tau = validate_tau(tau)?;
+        validate_query_point(q, self.tree.points().dim())?;
+        let (lb, ub, exhausted) =
+            self.refine(q, StopRule::Tau(tau), Some(budget), probe, |_, _| {});
+        Ok(BudgetedTau {
+            hot: if exhausted {
+                0.5 * (lb + ub) >= tau
+            } else {
+                lb >= tau
+            },
+            decided: !exhausted,
+        })
     }
 
     /// εKDV returning the final bound bracket `(lb, ub)` with
@@ -153,14 +243,15 @@ impl<'a> RefineEvaluator<'a> {
     /// Panics if `eps` is not positive and finite.
     pub fn eval_eps_bounds(&mut self, q: &[f64], eps: f64) -> (f64, f64) {
         assert!(eps.is_finite() && eps > 0.0, "ε must be positive");
-        self.refine(q, StopRule::Eps(eps), &mut NoProbe, |_, _| {})
+        let (lb, ub, _) = self.refine(q, StopRule::Eps(eps), None, &mut NoProbe, |_, _| {});
+        (lb, ub)
     }
 
     /// εKDV with a per-iteration bound trace appended to `trace`
     /// (drives the paper's Fig 18 convergence study).
     pub fn eval_eps_traced(&mut self, q: &[f64], eps: f64, trace: &mut Vec<(f64, f64)>) -> f64 {
         assert!(eps.is_finite() && eps > 0.0, "ε must be positive");
-        let (lb, ub) = self.refine(q, StopRule::Eps(eps), &mut NoProbe, |l, u| {
+        let (lb, ub, _) = self.refine(q, StopRule::Eps(eps), None, &mut NoProbe, |l, u| {
             trace.push((l, u))
         });
         0.5 * (lb + ub)
@@ -181,7 +272,7 @@ impl<'a> RefineEvaluator<'a> {
     /// Panics if `tau` is not finite.
     pub fn eval_tau_with<P: Probe>(&mut self, q: &[f64], tau: f64, probe: &mut P) -> bool {
         assert!(tau.is_finite(), "τ must be finite");
-        let (lb, ub) = self.refine(q, StopRule::Tau(tau), probe, |_, _| {});
+        let (lb, ub, _) = self.refine(q, StopRule::Tau(tau), None, probe, |_, _| {});
         // Termination gives lb ≥ τ (above) or ub ≤ τ (below); when both
         // hold (lb = ub = τ) the ≥ branch matches exact classification.
         if lb >= tau {
@@ -192,22 +283,34 @@ impl<'a> RefineEvaluator<'a> {
         }
     }
 
+    /// Fallible τKDV: rejects a non-finite or negative τ, a wrong-
+    /// dimension query, and non-finite query coordinates with a
+    /// structured [`KdvError`] instead of panicking.
+    pub fn try_eval_tau(&mut self, q: &[f64], tau: f64) -> Result<bool, KdvError> {
+        let tau = validate_tau(tau)?;
+        validate_query_point(q, self.tree.points().dim())?;
+        let (lb, _ub, _) = self.refine(q, StopRule::Tau(tau), None, &mut NoProbe, |_, _| {});
+        Ok(lb >= tau)
+    }
+
     /// Exact `F_P(q)` by fully refining (used for ground truth in tests
     /// and quality experiments; prefer [`crate::method::ExactScan`] for
     /// the paper's EXACT baseline timing).
     pub fn eval_exact(&mut self, q: &[f64]) -> f64 {
-        let (lb, _ub) = self.refine(q, StopRule::Exhaust, &mut NoProbe, |_, _| {});
+        let (lb, _ub, _) = self.refine(q, StopRule::Exhaust, None, &mut NoProbe, |_, _| {});
         lb
     }
 
-    /// Core loop of §3.2/Table 3. Returns final `(lb, ub)`.
+    /// Core loop of §3.2/Table 3. Returns final `(lb, ub, exhausted)`;
+    /// `exhausted` is only ever `true` when a budget was supplied.
     fn refine<P: Probe>(
         &mut self,
         q: &[f64],
         rule: StopRule,
+        budget: Option<&mut RenderBudget>,
         probe: &mut P,
         mut observe: impl FnMut(f64, f64),
-    ) -> (f64, f64) {
+    ) -> (f64, f64, bool) {
         assert_eq!(
             q.len(),
             self.tree.points().dim(),
@@ -224,7 +327,7 @@ impl<'a> RefineEvaluator<'a> {
             .node(self.tree.root())
             .stats
             .translate_query(q, &mut qt);
-        let result = self.refine_loop(q, &qt, rule, probe, &mut observe);
+        let result = self.refine_loop(q, &qt, rule, budget, probe, &mut observe);
         self.qt = qt;
         result
     }
@@ -235,13 +338,17 @@ impl<'a> RefineEvaluator<'a> {
         q: &[f64],
         qt: &[f64],
         rule: StopRule,
+        mut budget: Option<&mut RenderBudget>,
         probe: &mut P,
         observe: &mut impl FnMut(f64, f64),
-    ) -> (f64, f64) {
+    ) -> (f64, f64, bool) {
         let root = self.tree.root();
         let rb = self.bounds_of(root, q, qt);
         self.stats.node_bounds += 1;
         probe.node_bound();
+        if let Some(b) = budget.as_deref_mut() {
+            b.charge(1);
+        }
         self.push(root, rb);
 
         // Global bounds are kept incrementally:
@@ -270,13 +377,20 @@ impl<'a> RefineEvaluator<'a> {
         let mut best_ub = f64::INFINITY;
 
         loop {
-            if err > RESYNC_REL * (lb_sum.abs() + ub_sum.abs()) {
+            // A probe may force an (idempotent) resync — the chaos
+            // suite's cheapest fault-injection point. `NoProbe` returns
+            // a constant `false` and the whole branch folds away.
+            let forced = probe.force_resync();
+            if forced || err > RESYNC_REL * (lb_sum.abs() + ub_sum.abs()) {
                 lb_sum = self.heap.iter().map(|e| e.lb).sum();
                 ub_sum = self.heap.iter().map(|e| e.ub).sum();
                 // Error of freshly summing k same-sign values.
                 err = EPS_MACH * self.heap.len() as f64 * (lb_sum.abs() + ub_sum.abs());
                 self.stats.resyncs += 1;
                 probe.resync();
+                if let Some(b) = budget.as_deref_mut() {
+                    b.charge(1);
+                }
             }
             best_lb = best_lb.max(exact_acc + lb_sum - err);
             best_ub = best_ub.min(exact_acc + ub_sum + err);
@@ -284,25 +398,32 @@ impl<'a> RefineEvaluator<'a> {
             match rule {
                 StopRule::Eps(eps) => {
                     if best_ub <= (1.0 + eps) * best_lb {
-                        return (best_lb, best_ub);
+                        return (best_lb, best_ub, false);
                     }
                 }
                 StopRule::Tau(tau) => {
                     // Strict `<` on the upper side: at `F = τ` exactly the
                     // query must refine to exhaustion and answer "hot".
                     if best_lb >= tau || best_ub < tau {
-                        return (best_lb, best_ub);
+                        return (best_lb, best_ub, false);
                     }
                 }
                 StopRule::Exhaust => {}
             }
+            // Budget exhaustion is checked *after* the envelope update,
+            // so the returned bracket always reflects at least the root
+            // bounds and every snapshot is a valid bracket of F.
+            if budget.as_deref().is_some_and(RenderBudget::is_exhausted) {
+                return (best_lb, best_ub, true);
+            }
 
             let Some(entry) = self.heap.pop() else {
                 // Everything is exact: lb == ub == F(q).
-                return (exact_acc, exact_acc);
+                return (exact_acc, exact_acc, false);
             };
             self.stats.iterations += 1;
             probe.heap_pop();
+            let mut units = 1u64;
 
             match self.tree.node(entry.node).kind {
                 NodeKind::Leaf { .. } => {
@@ -319,6 +440,7 @@ impl<'a> RefineEvaluator<'a> {
                     self.stats.exact_leaves += 1;
                     self.stats.point_evals += points;
                     probe.leaf_scan(points);
+                    units += points as u64;
                 }
                 NodeKind::Internal { left, right } => {
                     let bl = self.bounds_of(left, q, qt);
@@ -337,7 +459,11 @@ impl<'a> RefineEvaluator<'a> {
                             + br.ub);
                     self.push(left, bl);
                     self.push(right, br);
+                    units += 2;
                 }
+            }
+            if let Some(b) = budget.as_deref_mut() {
+                b.charge(units);
             }
         }
     }
@@ -659,6 +785,152 @@ mod tests {
         // A shallow query must reset *all* counters, not just pops.
         ev.eval_eps(&[100.0, 100.0], 0.9);
         assert!(ev.last_stats().total_work() < s.total_work());
+    }
+
+    #[test]
+    fn try_eval_rejects_bad_input_without_panicking() {
+        let ps = random_points(50, 31);
+        let tree = KdTree::build_default(&ps);
+        let mut ev = RefineEvaluator::new(&tree, Kernel::gaussian(1.0), BoundFamily::Quadratic);
+        assert!(matches!(
+            ev.try_eval_eps(&[0.0, 0.0], 0.0),
+            Err(KdvError::InvalidParameter { name: "eps", .. })
+        ));
+        assert!(matches!(
+            ev.try_eval_eps(&[0.0, 0.0], f64::NAN),
+            Err(KdvError::InvalidParameter { name: "eps", .. })
+        ));
+        assert!(matches!(
+            ev.try_eval_eps(&[0.0], 0.01),
+            Err(KdvError::DimensionMismatch {
+                got: 1,
+                expected: 2
+            })
+        ));
+        assert!(matches!(
+            ev.try_eval_eps(&[f64::NAN, 0.0], 0.01),
+            Err(KdvError::NonFiniteData { .. })
+        ));
+        assert!(matches!(
+            ev.try_eval_tau(&[0.0, 0.0], -1.0),
+            Err(KdvError::InvalidParameter { name: "tau", .. })
+        ));
+        assert!(matches!(
+            ev.try_eval_tau(&[0.0, 0.0], f64::INFINITY),
+            Err(KdvError::InvalidParameter { name: "tau", .. })
+        ));
+        // Valid input still works and matches the panicking twins.
+        let q = [0.3, 0.3];
+        assert_eq!(ev.try_eval_eps(&q, 0.01).unwrap(), ev.eval_eps(&q, 0.01));
+        assert_eq!(ev.try_eval_tau(&q, 0.5).unwrap(), ev.eval_tau(&q, 0.5));
+        assert_eq!(
+            ev.try_eval_eps_bounds(&q, 0.01).unwrap(),
+            ev.eval_eps_bounds(&q, 0.01)
+        );
+    }
+
+    #[test]
+    fn unlimited_budget_matches_unbudgeted_eval() {
+        let ps = random_points(1500, 32);
+        let tree = KdTree::build_default(&ps);
+        let kernel = Kernel::gaussian(0.05);
+        let mut ev = RefineEvaluator::new(&tree, kernel, BoundFamily::Quadratic);
+        let mut budget = RenderBudget::unlimited();
+        for q in [[0.0, 0.0], [5.0, -3.0]] {
+            let e = ev.eval_eps_budgeted(&q, 0.01, &mut budget).unwrap();
+            assert!(!e.exhausted);
+            assert_eq!(e.estimate().to_bits(), ev.eval_eps(&q, 0.01).to_bits());
+            assert!(budget.work_done() > 0, "work must be accounted");
+        }
+    }
+
+    #[test]
+    fn exhausted_budget_still_brackets_truth() {
+        let ps = random_points(3000, 33);
+        let tree = KdTree::build(
+            &ps,
+            BuildConfig {
+                leaf_capacity: 8,
+                ..BuildConfig::default()
+            },
+        );
+        let kernel = Kernel::gaussian(0.02);
+        let q = [0.0, 0.0];
+        let f = exact_scan(&ps, &kernel, &q);
+        for cap in [1, 10, 100, 1000] {
+            let mut ev = RefineEvaluator::new(&tree, kernel, BoundFamily::Quadratic);
+            let mut budget = RenderBudget::unlimited().with_max_work(cap);
+            let e = ev.eval_eps_budgeted(&q, 1e-9, &mut budget).unwrap();
+            assert!(e.exhausted, "cap {cap} far below the work a 1e-9 ε needs");
+            assert!(
+                e.lb <= f * (1.0 + 1e-9) && f <= e.ub * (1.0 + 1e-9),
+                "cap {cap}: bracket [{}, {}] must contain F = {f}",
+                e.lb,
+                e.ub
+            );
+            assert!(
+                (e.estimate() - f).abs() <= e.half_gap() + 1e-12 * (1.0 + f.abs()),
+                "cap {cap}: half-gap must certify the estimate's error"
+            );
+            // The loop may overshoot by at most one iteration's units
+            // (bounded by leaf capacity), never run away.
+            assert!(budget.work_done() <= cap + 16, "cap {cap} overshot");
+        }
+    }
+
+    #[test]
+    fn budgeted_tau_degrades_to_midpoint_guess() {
+        let ps = random_points(3000, 34);
+        let tree = KdTree::build(
+            &ps,
+            BuildConfig {
+                leaf_capacity: 8,
+                ..BuildConfig::default()
+            },
+        );
+        let kernel = Kernel::gaussian(0.02);
+        let q = [0.0, 0.0];
+        let f = exact_scan(&ps, &kernel, &q);
+        // τ right at F forces deep refinement; a tiny budget cannot decide.
+        let mut ev = RefineEvaluator::new(&tree, kernel, BoundFamily::Quadratic);
+        let mut tiny = RenderBudget::unlimited().with_max_work(3);
+        let t = ev.eval_tau_budgeted(&q, f, &mut tiny).unwrap();
+        assert!(!t.decided, "3 work units cannot decide τ = F exactly");
+        // An unlimited budget decides, and agrees with the exact answer.
+        let mut unlimited = RenderBudget::unlimited();
+        let t2 = ev.eval_tau_budgeted(&q, f * 0.5, &mut unlimited).unwrap();
+        assert!(t2.decided && t2.hot);
+    }
+
+    /// A probe whose only job is to force a resync every iteration —
+    /// resyncs are idempotent, so results must be bit-identical.
+    #[derive(Default)]
+    struct ResyncStorm {
+        forced: usize,
+    }
+
+    impl super::Probe for ResyncStorm {
+        fn force_resync(&mut self) -> bool {
+            self.forced += 1;
+            true
+        }
+    }
+
+    #[test]
+    fn forced_resyncs_never_change_results() {
+        let ps = random_points(2000, 35);
+        let tree = KdTree::build_default(&ps);
+        let kernel = Kernel::gaussian(0.05);
+        let mut plain = RefineEvaluator::new(&tree, kernel, BoundFamily::Quadratic);
+        let mut stormy = RefineEvaluator::new(&tree, kernel, BoundFamily::Quadratic);
+        let mut probe = ResyncStorm::default();
+        for q in [[0.0, 0.0], [4.0, -6.0], [12.0, 12.0]] {
+            let a = plain.eval_eps(&q, 0.01);
+            let b = stormy.eval_eps_with(&q, 0.01, &mut probe);
+            assert_eq!(a.to_bits(), b.to_bits(), "forced resync changed {q:?}");
+        }
+        assert!(probe.forced > 0);
+        assert!(stormy.last_stats().resyncs > plain.last_stats().resyncs);
     }
 
     #[test]

@@ -6,8 +6,11 @@ use std::fmt;
 
 /// Errors surfaced by fallible APIs in this crate.
 ///
-/// Programmer errors (dimension mismatches, invalid γ, empty datasets)
-/// panic instead, following the substrate crates' convention.
+/// Every condition a caller can trigger with external input — bad
+/// parameters, malformed datasets, degenerate rasters — maps to a
+/// variant here, so the whole query pipeline can refuse gracefully
+/// instead of panicking. The remaining panics are internal invariant
+/// violations only (see `DESIGN.md`, "Error-handling contract").
 #[derive(Debug, Clone, PartialEq)]
 pub enum KdvError {
     /// The chosen method cannot answer this query variant (paper
@@ -34,6 +37,35 @@ pub enum KdvError {
         /// Human-readable description of the violation.
         message: String,
     },
+    /// The dataset contains no points, so no density is defined.
+    EmptyDataset,
+    /// A coordinate or weight was NaN or ±Inf.
+    NonFiniteData {
+        /// What was non-finite: `"coordinate"`, `"weight"`, or
+        /// `"query coordinate"`.
+        what: &'static str,
+        /// Index of the offending point (or query axis).
+        index: usize,
+    },
+    /// A query's dimensionality does not match the indexed data.
+    DimensionMismatch {
+        /// Dimensionality the caller supplied.
+        got: usize,
+        /// Dimensionality of the indexed points.
+        expected: usize,
+    },
+    /// The requested raster cannot display anything (zero pixels or an
+    /// empty/inverted data window).
+    DegenerateRaster {
+        /// Human-readable description of the violation.
+        message: String,
+    },
+    /// A render worker thread panicked and the sequential retry of its
+    /// band panicked again, so no correct output exists for that band.
+    WorkerPanicked {
+        /// Index of the row band whose retry failed.
+        band: usize,
+    },
 }
 
 impl fmt::Display for KdvError {
@@ -51,6 +83,29 @@ impl fmt::Display for KdvError {
             KdvError::InvalidParameter { name, message } => {
                 write!(f, "invalid parameter `{name}`: {message}")
             }
+            KdvError::EmptyDataset => write!(f, "dataset contains no points"),
+            KdvError::NonFiniteData { what, index } => {
+                write!(f, "non-finite {what} at index {index}")
+            }
+            KdvError::DimensionMismatch { got, expected } => {
+                write!(f, "dimension mismatch: query has {got}, data has {expected}")
+            }
+            KdvError::DegenerateRaster { message } => {
+                write!(f, "degenerate raster: {message}")
+            }
+            KdvError::WorkerPanicked { band } => {
+                write!(f, "render worker for band {band} panicked twice")
+            }
+        }
+    }
+}
+
+impl KdvError {
+    /// Shorthand for an [`KdvError::InvalidParameter`].
+    pub fn invalid(name: &'static str, message: impl Into<String>) -> Self {
+        KdvError::InvalidParameter {
+            name,
+            message: message.into(),
         }
     }
 }
@@ -69,6 +124,25 @@ mod tests {
         };
         let s = e.to_string();
         assert!(s.contains("Scikit") && s.contains("τKDV"));
+    }
+
+    #[test]
+    fn hardening_variants_display_their_context() {
+        assert!(KdvError::EmptyDataset.to_string().contains("no points"));
+        let s = KdvError::NonFiniteData {
+            what: "coordinate",
+            index: 7,
+        }
+        .to_string();
+        assert!(s.contains("coordinate") && s.contains('7'), "{s}");
+        let s = KdvError::DimensionMismatch {
+            got: 3,
+            expected: 2,
+        }
+        .to_string();
+        assert!(s.contains('3') && s.contains('2'), "{s}");
+        let s = KdvError::WorkerPanicked { band: 4 }.to_string();
+        assert!(s.contains("band 4"), "{s}");
     }
 
     #[test]

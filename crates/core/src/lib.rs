@@ -51,13 +51,15 @@ pub mod engine;
 pub mod error;
 pub mod kernel;
 pub mod method;
+pub mod query;
 pub mod raster;
 pub mod regress;
 pub mod threshold;
 
 pub use bounds::{BoundFamily, Interval};
-pub use engine::{NoProbe, Probe, RefineEvaluator, RefineStats};
+pub use engine::{BudgetedEval, BudgetedTau, NoProbe, Probe, RefineEvaluator, RefineStats, RenderBudget};
 pub use error::KdvError;
 pub use kernel::{Kernel, KernelType};
 pub use method::{MethodKind, PixelEvaluator};
+pub use query::{QueryKind, QueryParams};
 pub use raster::{DensityGrid, RasterSpec};

@@ -1,0 +1,218 @@
+//! Validated query parameters — the input-hardening gate of the
+//! pipeline.
+//!
+//! Every scalar a caller can feed into a render (ε, τ, γ, raster
+//! resolution, thread count) has a domain; violating it used to trip an
+//! `assert!` deep inside the engine. [`QueryParams::validate`] and the
+//! per-field validators here move that check to the boundary, returning
+//! structured [`KdvError`]s so services and the CLI can refuse bad
+//! requests without aborting a render process.
+
+use crate::error::KdvError;
+
+/// Which query variant a [`QueryParams`] describes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QueryKind {
+    /// εKDV with the given relative-error bound ε.
+    Eps(f64),
+    /// τKDV with the given density threshold τ.
+    Tau(f64),
+}
+
+/// One render request's externally-supplied parameters.
+///
+/// Construct with [`QueryParams::eps`] or [`QueryParams::tau`], adjust
+/// fields, then call [`QueryParams::validate`] once at the boundary;
+/// everything downstream may assume the domains hold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryParams {
+    /// The query variant and its ε or τ.
+    pub kind: QueryKind,
+    /// Kernel bandwidth parameter γ (must be positive and finite).
+    pub gamma: f64,
+    /// Raster width in pixels (must be positive).
+    pub width: u32,
+    /// Raster height in pixels (must be positive).
+    pub height: u32,
+    /// Worker threads (must be positive).
+    pub threads: usize,
+}
+
+impl QueryParams {
+    /// An εKDV request with defaults (γ = 1, 640×480, 1 thread).
+    pub fn eps(eps: f64) -> Self {
+        Self {
+            kind: QueryKind::Eps(eps),
+            gamma: 1.0,
+            width: 640,
+            height: 480,
+            threads: 1,
+        }
+    }
+
+    /// A τKDV request with defaults (γ = 1, 640×480, 1 thread).
+    pub fn tau(tau: f64) -> Self {
+        Self {
+            kind: QueryKind::Tau(tau),
+            ..Self::eps(0.0)
+        }
+    }
+
+    /// Checks every field's domain, returning the first violation.
+    pub fn validate(&self) -> Result<(), KdvError> {
+        match self.kind {
+            QueryKind::Eps(eps) => validate_eps(eps)?,
+            QueryKind::Tau(tau) => validate_tau(tau)?,
+        };
+        validate_gamma(self.gamma)?;
+        validate_raster_dims(self.width, self.height)?;
+        validate_threads(self.threads)?;
+        Ok(())
+    }
+}
+
+/// ε must be finite and strictly positive.
+pub fn validate_eps(eps: f64) -> Result<f64, KdvError> {
+    if eps.is_finite() && eps > 0.0 {
+        Ok(eps)
+    } else {
+        Err(KdvError::invalid(
+            "eps",
+            format!("must be positive and finite, got {eps}"),
+        ))
+    }
+}
+
+/// τ must be finite and non-negative (a negative density threshold
+/// classifies every pixel hot, which is never intended).
+pub fn validate_tau(tau: f64) -> Result<f64, KdvError> {
+    if tau.is_finite() && tau >= 0.0 {
+        Ok(tau)
+    } else {
+        Err(KdvError::invalid(
+            "tau",
+            format!("must be non-negative and finite, got {tau}"),
+        ))
+    }
+}
+
+/// γ (bandwidth parameter) must be finite and strictly positive.
+pub fn validate_gamma(gamma: f64) -> Result<f64, KdvError> {
+    if gamma.is_finite() && gamma > 0.0 {
+        Ok(gamma)
+    } else {
+        Err(KdvError::invalid(
+            "gamma",
+            format!("must be positive and finite, got {gamma}"),
+        ))
+    }
+}
+
+/// Raster dimensions must both be positive.
+pub fn validate_raster_dims(width: u32, height: u32) -> Result<(u32, u32), KdvError> {
+    if width > 0 && height > 0 {
+        Ok((width, height))
+    } else {
+        Err(KdvError::DegenerateRaster {
+            message: format!("resolution {width}x{height} has no pixels"),
+        })
+    }
+}
+
+/// Thread count must be positive.
+pub fn validate_threads(threads: usize) -> Result<usize, KdvError> {
+    if threads > 0 {
+        Ok(threads)
+    } else {
+        Err(KdvError::invalid("threads", "must be at least 1"))
+    }
+}
+
+/// A query point must have the data's dimensionality and finite
+/// coordinates.
+pub fn validate_query_point(q: &[f64], expected_dim: usize) -> Result<(), KdvError> {
+    if q.len() != expected_dim {
+        return Err(KdvError::DimensionMismatch {
+            got: q.len(),
+            expected: expected_dim,
+        });
+    }
+    for (i, &c) in q.iter().enumerate() {
+        if !c.is_finite() {
+            return Err(KdvError::NonFiniteData {
+                what: "query coordinate",
+                index: i,
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_params_pass() {
+        let p = QueryParams {
+            gamma: 0.5,
+            ..QueryParams::eps(0.01)
+        };
+        assert_eq!(p.validate(), Ok(()));
+        assert_eq!(QueryParams::tau(3.0).validate(), Ok(()));
+    }
+
+    #[test]
+    fn each_bad_field_is_rejected() {
+        for eps in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(validate_eps(eps).is_err(), "ε = {eps} must be rejected");
+        }
+        for tau in [-1.0, f64::NAN, f64::NEG_INFINITY] {
+            assert!(validate_tau(tau).is_err(), "τ = {tau} must be rejected");
+        }
+        assert!(validate_tau(0.0).is_ok(), "τ = 0 is a valid edge");
+        for gamma in [0.0, -0.5, f64::NAN, f64::INFINITY] {
+            assert!(validate_gamma(gamma).is_err(), "γ = {gamma}");
+        }
+        assert!(validate_raster_dims(0, 480).is_err());
+        assert!(validate_raster_dims(640, 0).is_err());
+        assert!(validate_raster_dims(0, 0).is_err());
+        assert!(validate_threads(0).is_err());
+    }
+
+    #[test]
+    fn validate_reports_first_violation_with_structure() {
+        let p = QueryParams {
+            gamma: f64::NAN,
+            ..QueryParams::eps(0.01)
+        };
+        match p.validate() {
+            Err(KdvError::InvalidParameter { name, .. }) => assert_eq!(name, "gamma"),
+            other => panic!("expected InvalidParameter, got {other:?}"),
+        }
+        let p = QueryParams {
+            width: 0,
+            ..QueryParams::eps(0.01)
+        };
+        assert!(matches!(
+            p.validate(),
+            Err(KdvError::DegenerateRaster { .. })
+        ));
+    }
+
+    #[test]
+    fn query_point_checks_dim_and_finiteness() {
+        assert!(validate_query_point(&[0.0, 1.0], 2).is_ok());
+        assert!(matches!(
+            validate_query_point(&[0.0], 2),
+            Err(KdvError::DimensionMismatch {
+                got: 1,
+                expected: 2
+            })
+        ));
+        assert!(matches!(
+            validate_query_point(&[0.0, f64::NAN], 2),
+            Err(KdvError::NonFiniteData { index: 1, .. })
+        ));
+    }
+}

@@ -6,6 +6,7 @@
 //! visualized; [`DensityGrid`] stores one `f64` per pixel in row-major
 //! order.
 
+use crate::error::KdvError;
 use kdv_geom::{Mbr, PointSet};
 
 /// Standard resolutions used throughout the paper's experiments (§7.2).
@@ -33,14 +34,85 @@ impl RasterSpec {
             x_range.0 < x_range.1 && y_range.0 < y_range.1,
             "data window must have positive area"
         );
-        Self {
+        Self::try_new(width, height, x_range, y_range).expect("checked above")
+    }
+
+    /// Fallible [`RasterSpec::new`]: rejects zero resolution, an
+    /// empty/inverted window, and non-finite window edges with a
+    /// [`KdvError::DegenerateRaster`] instead of panicking.
+    pub fn try_new(
+        width: u32,
+        height: u32,
+        x_range: (f64, f64),
+        y_range: (f64, f64),
+    ) -> Result<Self, KdvError> {
+        if width == 0 || height == 0 {
+            return Err(KdvError::DegenerateRaster {
+                message: format!("resolution {width}x{height} has no pixels"),
+            });
+        }
+        let finite = [x_range.0, x_range.1, y_range.0, y_range.1]
+            .iter()
+            .all(|v| v.is_finite());
+        if !finite {
+            return Err(KdvError::DegenerateRaster {
+                message: "data window has a non-finite edge".into(),
+            });
+        }
+        if !(x_range.0 < x_range.1 && y_range.0 < y_range.1) {
+            return Err(KdvError::DegenerateRaster {
+                message: format!(
+                    "data window [{}, {}]x[{}, {}] has no area",
+                    x_range.0, x_range.1, y_range.0, y_range.1
+                ),
+            });
+        }
+        Ok(Self {
             width,
             height,
             x_min: x_range.0,
             x_max: x_range.1,
             y_min: y_range.0,
             y_max: y_range.1,
+        })
+    }
+
+    /// Fallible [`RasterSpec::covering`]: rejects an empty or
+    /// non-2-D dataset and degenerate resolutions with a structured
+    /// [`KdvError`] instead of panicking. A dataset collapsed to a
+    /// single location still yields a valid unit-window raster.
+    pub fn try_covering(
+        points: &PointSet,
+        width: u32,
+        height: u32,
+        margin_frac: f64,
+    ) -> Result<Self, KdvError> {
+        if points.dim() != 2 {
+            return Err(KdvError::DimensionMismatch {
+                got: points.dim(),
+                expected: 2,
+            });
         }
+        let Some(mbr) = Mbr::of_set(points) else {
+            return Err(KdvError::EmptyDataset);
+        };
+        if !margin_frac.is_finite() || margin_frac < 0.0 {
+            return Err(KdvError::invalid(
+                "margin_frac",
+                format!("must be non-negative and finite, got {margin_frac}"),
+            ));
+        }
+        let (x0, x1) = (mbr.lo()[0], mbr.hi()[0]);
+        let (y0, y1) = (mbr.lo()[1], mbr.hi()[1]);
+        // Degenerate extents get a unit window so the raster stays valid.
+        let dx = (x1 - x0).max(1e-9);
+        let dy = (y1 - y0).max(1e-9);
+        Self::try_new(
+            width,
+            height,
+            (x0 - margin_frac * dx, x1 + margin_frac * dx),
+            (y0 - margin_frac * dy, y1 + margin_frac * dy),
+        )
     }
 
     /// Creates a raster covering a 2-D dataset's bounding box expanded
@@ -269,5 +341,43 @@ mod tests {
     #[should_panic(expected = "positive area")]
     fn inverted_window_panics() {
         RasterSpec::new(2, 2, (1.0, 0.0), (0.0, 1.0));
+    }
+
+    #[test]
+    fn try_new_rejects_degenerate_rasters() {
+        assert!(matches!(
+            RasterSpec::try_new(0, 2, (0.0, 1.0), (0.0, 1.0)),
+            Err(KdvError::DegenerateRaster { .. })
+        ));
+        assert!(matches!(
+            RasterSpec::try_new(2, 2, (1.0, 0.0), (0.0, 1.0)),
+            Err(KdvError::DegenerateRaster { .. })
+        ));
+        assert!(matches!(
+            RasterSpec::try_new(2, 2, (0.0, f64::NAN), (0.0, 1.0)),
+            Err(KdvError::DegenerateRaster { .. })
+        ));
+        assert!(RasterSpec::try_new(2, 2, (0.0, 1.0), (0.0, 1.0)).is_ok());
+    }
+
+    #[test]
+    fn try_covering_rejects_empty_and_wrong_dim() {
+        let empty = PointSet::from_rows(2, &[]);
+        assert!(matches!(
+            RasterSpec::try_covering(&empty, 4, 4, 0.1),
+            Err(KdvError::EmptyDataset)
+        ));
+        let one_d = PointSet::from_rows(1, &[0.0, 1.0]);
+        assert!(matches!(
+            RasterSpec::try_covering(&one_d, 4, 4, 0.1),
+            Err(KdvError::DimensionMismatch {
+                got: 1,
+                expected: 2
+            })
+        ));
+        let single = PointSet::from_rows(2, &[3.0, 3.0]);
+        let r = RasterSpec::try_covering(&single, 4, 4, 0.1).expect("single point is fine");
+        let ((x0, x1), _) = r.window();
+        assert!(x1 > x0, "degenerate extent widened to a valid window");
     }
 }

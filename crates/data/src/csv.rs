@@ -65,6 +65,16 @@ pub fn parse(text: &str, dim: usize, has_weights: bool) -> Result<PointSet, CsvE
                 message: format!("bad number {:?}: {e}", field.trim()),
             })?;
             if i < dim {
+                // Rust's float parser accepts "inf"/"NaN" spellings;
+                // those are data corruption for KDV (distances and
+                // kernel sums become undefined), so reject them here
+                // with the line number instead of deep in the engine.
+                if !v.is_finite() {
+                    return Err(CsvError::Parse {
+                        line: lineno + 1,
+                        message: format!("non-finite coordinate {:?}", field.trim()),
+                    });
+                }
                 coords[i] = v;
             } else if has_weights && i == dim {
                 weight = v;
@@ -170,6 +180,46 @@ mod tests {
     fn negative_weight_rejected() {
         let err = parse("0.0,0.0,-1.0\n", 2, true).err().expect("error");
         assert!(err.to_string().contains("invalid weight"));
+    }
+
+    #[test]
+    fn non_finite_coordinates_rejected_with_line_number() {
+        for bad in ["inf", "-inf", "NaN", "nan", "infinity"] {
+            let text = format!("1.0,2.0\n{bad},4.0\n");
+            let err = parse(&text, 2, false).err().expect(bad);
+            match &err {
+                CsvError::Parse { line, message } => {
+                    assert_eq!(*line, 2, "{bad}: wrong line");
+                    assert!(
+                        message.contains("non-finite coordinate"),
+                        "{bad}: message {message:?}"
+                    );
+                }
+                other => panic!("{bad}: unexpected error {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn non_finite_weight_rejected() {
+        let err = parse("0.0,0.0,inf\n", 2, true).err().expect("error");
+        assert!(err.to_string().contains("invalid weight"));
+        let err = parse("0.0,0.0,NaN\n", 2, true).err().expect("error");
+        assert!(err.to_string().contains("invalid weight"));
+    }
+
+    /// A set that serializes cleanly must re-parse; one with injected
+    /// non-finite values must be rejected on the way back in.
+    #[test]
+    fn rejection_roundtrip() {
+        let ps = PointSet::from_rows(2, &[1.0, 2.0, 3.0, 4.0]);
+        let clean = to_string(&ps, false);
+        assert!(parse(&clean, 2, false).is_ok());
+        // `to_string` prints 3.0 as "3"; poisoning it yields a line
+        // "NaN,4" that parses as f64 NaN and must hit the finiteness
+        // check, not merely a number-format error.
+        let poisoned = clean.replace('3', "NaN");
+        assert!(parse(&poisoned, 2, false).is_err());
     }
 
     #[test]

@@ -9,13 +9,16 @@
 //! spatial character — documented substitution #1 in `DESIGN.md`. The
 //! building blocks (Gaussian mixtures, uniform noise, rings) live in
 //! [`synthetic`], and [`csv`] reads/writes simple coordinate files so
-//! users can run the library on their own data.
+//! users can run the library on their own data. [`sanitize`] rejects or
+//! filters non-finite coordinates and invalid weights at the ingestion
+//! boundary before they can corrupt index statistics downstream.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod csv;
 pub mod emulate;
+pub mod sanitize;
 pub mod synthetic;
 
 pub use emulate::Dataset;

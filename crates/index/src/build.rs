@@ -6,6 +6,7 @@
 //! for εKDV — §3.2 footnote 6). Points are physically reordered so each
 //! leaf owns a contiguous slice, and node moments are computed bottom-up.
 
+use crate::error::BuildError;
 use crate::node::{Node, NodeId, NodeKind};
 use crate::stats::NodeStats;
 use kdv_geom::{Mbr, PointSet};
@@ -81,10 +82,33 @@ impl KdTree {
     /// ```
     ///
     /// # Panics
-    /// Panics if `points` is empty or `config.leaf_capacity == 0`.
+    /// Panics if `points` is empty, `config.leaf_capacity == 0`, or the
+    /// set contains non-finite coordinates or weights — see
+    /// [`KdTree::try_build`] for the fallible variant.
     pub fn build(points: &PointSet, config: BuildConfig) -> Self {
-        assert!(!points.is_empty(), "cannot index an empty point set");
-        assert!(config.leaf_capacity > 0, "leaf capacity must be positive");
+        Self::try_build(points, config).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`KdTree::build`]: rejects an empty point set, a zero
+    /// leaf capacity, and non-finite coordinates/weights with a
+    /// structured [`BuildError`] instead of panicking. Degenerate *but
+    /// finite* geometry — all points identical, collinear points,
+    /// zero-extent MBRs — builds a valid (possibly single-leaf) tree.
+    pub fn try_build(points: &PointSet, config: BuildConfig) -> Result<Self, BuildError> {
+        if points.is_empty() {
+            return Err(BuildError::EmptyPointSet);
+        }
+        if config.leaf_capacity == 0 {
+            return Err(BuildError::ZeroLeafCapacity);
+        }
+        for i in 0..points.len() {
+            if let Some(axis) = points.point(i).iter().position(|c| !c.is_finite()) {
+                return Err(BuildError::NonFiniteCoordinate { point: i, axis });
+            }
+            if !points.weight(i).is_finite() {
+                return Err(BuildError::NonFiniteWeight { point: i });
+            }
+        }
         let mut perm: Vec<u32> = (0..points.len() as u32).collect();
         let mut nodes = Vec::new();
         // All node moments share one frame centered at the dataset
@@ -95,17 +119,22 @@ impl KdTree {
         // Physically reorder points so leaf ranges are contiguous.
         let indices: Vec<usize> = perm.iter().map(|&i| i as usize).collect();
         let reordered = points.select(&indices);
-        Self {
+        Ok(Self {
             points: reordered,
             nodes,
             root,
             config,
-        }
+        })
     }
 
     /// Builds with the default configuration.
     pub fn build_default(points: &PointSet) -> Self {
         Self::build(points, BuildConfig::default())
+    }
+
+    /// Fallible [`KdTree::build_default`].
+    pub fn try_build_default(points: &PointSet) -> Result<Self, BuildError> {
+        Self::try_build(points, BuildConfig::default())
     }
 
     /// The root node id.
@@ -407,6 +436,73 @@ mod tests {
     #[should_panic(expected = "empty point set")]
     fn empty_set_panics() {
         KdTree::build_default(&PointSet::new(2));
+    }
+
+    #[test]
+    fn try_build_rejects_bad_input_without_panicking() {
+        assert_eq!(
+            KdTree::try_build_default(&PointSet::new(2)).err(),
+            Some(BuildError::EmptyPointSet)
+        );
+        let ps = random_points(10, 2, 40);
+        assert_eq!(
+            KdTree::try_build(
+                &ps,
+                BuildConfig {
+                    leaf_capacity: 0,
+                    ..BuildConfig::default()
+                }
+            )
+            .err(),
+            Some(BuildError::ZeroLeafCapacity)
+        );
+        let nan = PointSet::from_rows(2, &[0.0, 0.0, 1.0, f64::NAN]);
+        assert_eq!(
+            KdTree::try_build_default(&nan).err(),
+            Some(BuildError::NonFiniteCoordinate { point: 1, axis: 1 })
+        );
+        let inf = PointSet::from_rows(2, &[0.0, 0.0, f64::INFINITY, 1.0]);
+        assert_eq!(
+            KdTree::try_build_default(&inf).err(),
+            Some(BuildError::NonFiniteCoordinate { point: 1, axis: 0 })
+        );
+        let bad_w = PointSet::from_rows_weighted(2, &[0.0, 0.0, 1.0, 1.0], &[1.0, f64::NAN]);
+        assert_eq!(
+            KdTree::try_build_default(&bad_w).err(),
+            Some(BuildError::NonFiniteWeight { point: 1 })
+        );
+    }
+
+    #[test]
+    fn try_build_tolerates_degenerate_but_finite_geometry() {
+        // All-duplicate, single-point, and collinear sets are valid.
+        let dup = PointSet::from_rows(2, &vec![7.0; 64]);
+        let tree = KdTree::try_build(
+            &dup,
+            BuildConfig {
+                leaf_capacity: 2,
+                ..BuildConfig::default()
+            },
+        )
+        .expect("duplicates are finite");
+        assert_eq!(tree.node(tree.root()).point_count(), 32);
+
+        let single = PointSet::from_rows(2, &[1.0, 2.0]);
+        assert!(KdTree::try_build_default(&single).is_ok());
+
+        let collinear: Vec<f64> = (0..100).flat_map(|i| [i as f64, 0.0]).collect();
+        let ps = PointSet::from_rows(2, &collinear);
+        for split in SplitRule::ALL {
+            let tree = KdTree::try_build(
+                &ps,
+                BuildConfig {
+                    leaf_capacity: 4,
+                    split,
+                },
+            )
+            .unwrap_or_else(|e| panic!("{split:?}: {e}"));
+            assert_eq!(tree.node(tree.root()).point_count(), 50, "{split:?}");
+        }
     }
 
     #[test]

@@ -1,0 +1,71 @@
+//! Structured construction errors.
+//!
+//! The index crate sits below `kdv-core` in the dependency graph, so it
+//! cannot reuse `kdv_core::KdvError`; instead [`BuildError`] carries
+//! the same level of context and `kdv-core`/`kdv-cli` convert it at
+//! their boundary. Every variant names exactly what was wrong and — for
+//! data defects — *which* point, so a caller can report actionable
+//! messages for multi-gigabyte datasets.
+
+use std::fmt;
+
+/// Why a kd-tree could not be built.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// The input point set contains no points.
+    EmptyPointSet,
+    /// `BuildConfig::leaf_capacity` was zero.
+    ZeroLeafCapacity,
+    /// A coordinate was NaN or infinite. Sorting comparators and MBR
+    /// extents are undefined on non-finite values, so these are
+    /// rejected up front rather than corrupting the tree.
+    NonFiniteCoordinate {
+        /// Row index of the offending point (pre-reorder).
+        point: usize,
+        /// Axis of the offending coordinate.
+        axis: usize,
+    },
+    /// A point weight was NaN or infinite.
+    NonFiniteWeight {
+        /// Row index of the offending point (pre-reorder).
+        point: usize,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::EmptyPointSet => write!(f, "cannot index an empty point set"),
+            BuildError::ZeroLeafCapacity => write!(f, "leaf capacity must be positive"),
+            BuildError::NonFiniteCoordinate { point, axis } => {
+                write!(f, "non-finite coordinate at point {point}, axis {axis}")
+            }
+            BuildError::NonFiniteWeight { point } => {
+                write!(f, "non-finite weight at point {point}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_defect() {
+        assert_eq!(
+            BuildError::EmptyPointSet.to_string(),
+            "cannot index an empty point set"
+        );
+        assert_eq!(
+            BuildError::NonFiniteCoordinate { point: 7, axis: 1 }.to_string(),
+            "non-finite coordinate at point 7, axis 1"
+        );
+        assert_eq!(
+            BuildError::NonFiniteWeight { point: 3 }.to_string(),
+            "non-finite weight at point 3"
+        );
+    }
+}

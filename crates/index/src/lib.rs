@@ -26,9 +26,11 @@
 #![warn(missing_docs)]
 
 pub mod build;
+pub mod error;
 pub mod node;
 pub mod stats;
 
 pub use build::{BuildConfig, KdTree, SplitRule};
+pub use error::BuildError;
 pub use node::{Node, NodeId, NodeKind};
 pub use stats::NodeStats;

@@ -17,7 +17,10 @@
 //!   raster alongside the density raster),
 //! * [`json`] — a dependency-free JSON writer/parser pair so metrics
 //!   export as a stable machine-readable document
-//!   (`kdv render --metrics out.json`) and tests can round-trip it.
+//!   (`kdv render --metrics out.json`) and tests can round-trip it,
+//! * [`fault`] — a deterministic fault-injecting probe (forced
+//!   resyncs, slow nodes, poisoned bound evaluations) driving the
+//!   workspace's chaos-test suite.
 //!
 //! Everything here is pay-as-you-go: the engine's refinement loop is
 //! monomorphized over the probe, so un-instrumented renders (the
@@ -28,10 +31,12 @@
 #![warn(missing_docs)]
 
 pub mod counters;
+pub mod fault;
 pub mod hist;
 pub mod json;
 pub mod metrics;
 
 pub use counters::EventCounters;
+pub use fault::{FaultPlan, FaultProbe};
 pub use hist::LogHistogram;
-pub use metrics::{Checkpoint, RenderMetrics};
+pub use metrics::{Checkpoint, RenderMetrics, RenderStatus};

@@ -17,6 +17,28 @@ pub struct Checkpoint {
     pub elapsed_ns: u64,
 }
 
+/// Whether a render delivered its full quality contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RenderStatus {
+    /// Every pixel met the query's own stop rule (ε or τ).
+    #[default]
+    Complete,
+    /// A budget ran out (or a worker had to be retried) before every
+    /// pixel converged; degraded pixels hold best-effort midpoints with
+    /// certified error bounds.
+    Degraded,
+}
+
+impl RenderStatus {
+    /// Stable lowercase name (used in JSON and CLI output).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RenderStatus::Complete => "complete",
+            RenderStatus::Degraded => "degraded",
+        }
+    }
+}
+
 /// Everything one render (or one thread's share of a render) observed.
 ///
 /// A renderer drives this in three steps: hand `&mut metrics.events`
@@ -43,6 +65,13 @@ pub struct RenderMetrics {
     pub threads: u32,
     /// Time-to-quality checkpoints, in the order they were recorded.
     pub checkpoints: Vec<Checkpoint>,
+    /// Whether every pixel met its quality contract.
+    pub status: RenderStatus,
+    /// Pixels cut short by a budget (best-effort midpoints).
+    pub degraded_pixels: u64,
+    /// Parallel bands whose worker panicked and were retried
+    /// sequentially.
+    pub band_retries: u32,
     cost_map: Option<DensityGrid>,
 }
 
@@ -63,8 +92,26 @@ impl RenderMetrics {
             wall_ns: 0,
             threads: 1,
             checkpoints: Vec::new(),
+            status: RenderStatus::Complete,
+            degraded_pixels: 0,
+            band_retries: 0,
             cost_map: None,
         }
+    }
+
+    /// Marks one pixel as budget-degraded: counted, and the render's
+    /// status drops to [`RenderStatus::Degraded`].
+    pub fn mark_degraded_pixel(&mut self) {
+        self.degraded_pixels += 1;
+        self.status = RenderStatus::Degraded;
+    }
+
+    /// Records one parallel band retried sequentially after its worker
+    /// panicked. The retry recomputes the band, so the result stays
+    /// correct; the event is surfaced because a panicking worker is
+    /// always worth investigating.
+    pub fn record_band_retry(&mut self) {
+        self.band_retries += 1;
     }
 
     /// Metrics that additionally accumulate a `width × height` per-pixel
@@ -138,6 +185,11 @@ impl RenderMetrics {
         self.wall_ns = self.wall_ns.max(other.wall_ns);
         self.threads += other.threads;
         self.checkpoints.extend_from_slice(&other.checkpoints);
+        if other.status == RenderStatus::Degraded {
+            self.status = RenderStatus::Degraded;
+        }
+        self.degraded_pixels += other.degraded_pixels;
+        self.band_retries += other.band_retries;
         match (&mut self.cost_map, &other.cost_map) {
             (None, None) => {}
             (Some(mine), Some(theirs)) => {
@@ -156,9 +208,16 @@ impl RenderMetrics {
 
     /// One-line human summary for `--verbose` output.
     pub fn summary(&self) -> String {
+        let degraded = match self.status {
+            RenderStatus::Complete => String::new(),
+            RenderStatus::Degraded => format!(
+                "; DEGRADED ({} px best-effort, {} band retries)",
+                self.degraded_pixels, self.band_retries
+            ),
+        };
         format!(
             "{} px in {:.1} ms ({} thread{}): {} heap pops, {} node bounds, \
-             {} leaf scans, {} point evals, {} resyncs; iters/px mean {:.1} p99 ≤ {} max {}",
+             {} leaf scans, {} point evals, {} resyncs; iters/px mean {:.1} p99 ≤ {} max {}{degraded}",
             self.pixels,
             self.wall_ns as f64 / 1e6,
             self.threads,
@@ -222,6 +281,9 @@ impl RenderMetrics {
             ("pixels", json::num_u(self.pixels)),
             ("wall_ms", json::num_f(self.wall_ns as f64 / 1e6)),
             ("threads", json::num_u(self.threads as u64)),
+            ("status", Value::Str(self.status.as_str().into())),
+            ("degraded_pixels", json::num_u(self.degraded_pixels)),
+            ("band_retries", json::num_u(self.band_retries as u64)),
             (
                 "counters",
                 Value::obj(vec![
@@ -358,6 +420,34 @@ mod tests {
             .expect("checkpoints");
         assert_eq!(cps.len(), 1);
         assert_eq!(cps[0].get("elapsed_ms").and_then(Value::as_f64), Some(4.0));
+    }
+
+    #[test]
+    fn degraded_status_propagates_through_merge_and_json() {
+        let mut a = RenderMetrics::new();
+        let mut b = RenderMetrics::new();
+        assert_eq!(a.status, RenderStatus::Complete);
+        b.mark_degraded_pixel();
+        b.mark_degraded_pixel();
+        b.record_band_retry();
+        a.merge(&b);
+        assert_eq!(a.status, RenderStatus::Degraded);
+        assert_eq!(a.degraded_pixels, 2);
+        assert_eq!(a.band_retries, 1);
+
+        let doc = a.to_json("eps");
+        assert_eq!(doc.get("status").and_then(Value::as_str), Some("degraded"));
+        assert_eq!(
+            doc.get("degraded_pixels").and_then(Value::as_f64),
+            Some(2.0)
+        );
+        assert_eq!(doc.get("band_retries").and_then(Value::as_f64), Some(1.0));
+        assert!(a.summary().contains("DEGRADED"), "{}", a.summary());
+
+        let clean = RenderMetrics::new();
+        let doc = clean.to_json("eps");
+        assert_eq!(doc.get("status").and_then(Value::as_str), Some("complete"));
+        assert!(!clean.summary().contains("DEGRADED"));
     }
 
     #[test]

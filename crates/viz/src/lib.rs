@@ -4,7 +4,10 @@
 //! artifacts the QUAD paper actually shows:
 //!
 //! * [`render`] — full-raster εKDV density grids and τKDV binary masks,
-//!   in row-major or progressive order, with optional time budgets,
+//!   in row-major or progressive order; `*_budgeted` variants thread a
+//!   [`kdv_core::engine::RenderBudget`] through and degrade gracefully
+//!   (best-effort midpoints plus a per-pixel achieved-error map)
+//!   instead of overrunning a deadline or work cap,
 //! * [`progressive`] — the coarse-to-fine quad-tree pixel ordering of
 //!   the paper's §6 / Fig 13, generalized to arbitrary resolutions,
 //! * [`colormap`] — the continuous color ramp of Figs 1–2 and the
@@ -12,7 +15,9 @@
 //!   outlines (the hotspot boundaries of Fig 1),
 //! * [`image`] — dependency-free binary PPM/PGM writers,
 //! * [`parallel`] — a multi-threaded row renderer (the paper's "future
-//!   work" §8; off in every paper reproduction, which is single-core),
+//!   work" §8; off in every paper reproduction, which is single-core)
+//!   with per-band panic isolation: a crashed worker's band is retried
+//!   sequentially and reported, never aborting the whole render,
 //! * [`metered`] — the same renderers instrumented with
 //!   [`kdv_telemetry`]: event counters, per-pixel histograms, cost
 //!   maps, and time-to-quality checkpoints.
@@ -33,9 +38,13 @@ pub mod tiles;
 pub use colormap::ColorMap;
 pub use image::RgbImage;
 pub use metered::{
-    render_eps_metered, render_eps_parallel_metered, render_eps_progressive_metered,
-    render_tau_metered,
+    render_eps_budgeted_metered, render_eps_metered, render_eps_parallel_budgeted_metered,
+    render_eps_parallel_metered, render_eps_progressive_metered, render_tau_metered,
 };
+pub use parallel::{try_render_eps_parallel, ParallelOutcome};
 pub use progressive::{progressive_order, ProgressiveStep};
-pub use render::{render_eps, render_eps_progressive, render_tau, BinaryGrid};
+pub use render::{
+    render_eps, render_eps_budgeted, render_eps_progressive, render_eps_progressive_budgeted,
+    render_tau, render_tau_budgeted, BinaryGrid, BudgetedRender, BudgetedTauRender,
+};
 pub use tiles::render_tau_tiled;

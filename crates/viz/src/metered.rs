@@ -14,10 +14,13 @@
 //! is counted twice.
 
 use crate::progressive::progressive_order;
-use crate::render::{BinaryGrid, ProgressiveCanvas, ProgressiveRender};
-use kdv_core::engine::RefineEvaluator;
+use crate::render::{BinaryGrid, BudgetedRender, ProgressiveCanvas, ProgressiveRender};
+use kdv_core::engine::{RefineEvaluator, RenderBudget};
+use kdv_core::error::KdvError;
+use kdv_core::query::validate_eps;
 use kdv_core::raster::{DensityGrid, RasterSpec};
 use kdv_telemetry::RenderMetrics;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
 /// Renders a full εKDV density grid, accumulating metrics.
@@ -137,6 +140,194 @@ where
     metrics.threads = band_metrics.len() as u32;
     metrics.set_wall_ns(start.elapsed().as_nanos() as u64);
     DensityGrid::from_values(width, raster.height(), values)
+}
+
+/// Renders εKDV under a [`RenderBudget`] with metrics: degraded pixels
+/// are counted ([`RenderMetrics::mark_degraded_pixel`]), dropping the
+/// metrics' status to `Degraded`, and the returned
+/// [`BudgetedRender`] carries the per-pixel achieved-error map.
+pub fn render_eps_budgeted_metered(
+    ev: &mut RefineEvaluator<'_>,
+    raster: &RasterSpec,
+    eps: f64,
+    budget: &mut RenderBudget,
+    metrics: &mut RenderMetrics,
+) -> Result<BudgetedRender, KdvError> {
+    let start = Instant::now();
+    let mut grid = DensityGrid::zeros(raster.width(), raster.height());
+    let mut error_map = DensityGrid::zeros(raster.width(), raster.height());
+    let mut degraded_pixels = 0u64;
+    for row in 0..raster.height() {
+        for col in 0..raster.width() {
+            let q = raster.pixel_center(col, row);
+            let t0 = Instant::now();
+            let e = ev.eval_eps_budgeted_with(&q, eps, budget, &mut metrics.events)?;
+            let latency = t0.elapsed().as_nanos() as u64;
+            grid.set(col, row, e.estimate());
+            error_map.set(col, row, e.half_gap());
+            metrics.record_pixel(col, row, &ev.last_stats(), latency);
+            if e.exhausted {
+                degraded_pixels += 1;
+                metrics.mark_degraded_pixel();
+            }
+        }
+    }
+    metrics.set_wall_ns(start.elapsed().as_nanos() as u64);
+    Ok(BudgetedRender {
+        grid,
+        error_map,
+        degraded_pixels,
+    })
+}
+
+/// Renders εKDV on `threads` workers under one render-wide
+/// [`RenderBudget`], with metrics and full fault containment.
+///
+/// Each band receives a proportional [`RenderBudget::split`] of the
+/// remaining work cap (the deadline is shared); spent child budgets are
+/// absorbed back so `budget` accounts the whole render. A panicking
+/// worker's band is retried sequentially with a fresh evaluator and a
+/// fresh budget share, recorded via
+/// [`RenderMetrics::record_band_retry`]; a band failing twice yields
+/// [`KdvError::WorkerPanicked`].
+pub fn render_eps_parallel_budgeted_metered<'t, F>(
+    make_evaluator: F,
+    raster: &RasterSpec,
+    eps: f64,
+    threads: usize,
+    budget: &mut RenderBudget,
+    metrics: &mut RenderMetrics,
+) -> Result<BudgetedRender, KdvError>
+where
+    F: Fn() -> RefineEvaluator<'t> + Sync,
+{
+    if threads == 0 {
+        return Err(KdvError::invalid("threads", "need at least one thread"));
+    }
+    validate_eps(eps)?;
+    let start = Instant::now();
+    let width = raster.width() as usize;
+    let height = raster.height() as usize;
+    let mut values = vec![0.0f64; width * height];
+    let mut errors = vec![0.0f64; width * height];
+
+    let rows_per_band = height.div_ceil(threads);
+    struct BandSpec {
+        first_row: usize,
+        rows: usize,
+    }
+    let mut layout = Vec::new();
+    {
+        let mut first_row = 0usize;
+        while first_row < height {
+            let rows = rows_per_band.min(height - first_row);
+            layout.push(BandSpec { first_row, rows });
+            first_row += rows;
+        }
+    }
+    // All splits are taken before any child spends, so each band owns
+    // its share of the *initial* remaining cap.
+    let shares: Vec<RenderBudget> = layout
+        .iter()
+        .map(|b| budget.split(b.rows as f64 / height as f64))
+        .collect();
+
+    // One band's work: fill value/error slices, return its metrics,
+    // spent budget, and degraded count. Shared by workers and retries.
+    let run_band = |band: &BandSpec,
+                    vals: &mut [f64],
+                    errs: &mut [f64],
+                    mut child: RenderBudget,
+                    mut local: RenderMetrics|
+     -> Result<(RenderMetrics, RenderBudget, u64), KdvError> {
+        let band_t0 = Instant::now();
+        let mut ev = make_evaluator();
+        let mut degraded = 0u64;
+        for (r, (row_vals, row_errs)) in vals
+            .chunks_mut(width)
+            .zip(errs.chunks_mut(width))
+            .enumerate()
+        {
+            let row = (band.first_row + r) as u32;
+            for col in 0..width {
+                let q = raster.pixel_center(col as u32, row);
+                let t0 = Instant::now();
+                let e = ev.eval_eps_budgeted_with(&q, eps, &mut child, &mut local.events)?;
+                let latency = t0.elapsed().as_nanos() as u64;
+                row_vals[col] = e.estimate();
+                row_errs[col] = e.half_gap();
+                local.record_pixel(col as u32, row, &ev.last_stats(), latency);
+                if e.exhausted {
+                    degraded += 1;
+                    local.mark_degraded_pixel();
+                }
+            }
+        }
+        local.set_wall_ns(band_t0.elapsed().as_nanos() as u64);
+        Ok((local, child, degraded))
+    };
+
+    // Phase 1: parallel. Per band: Ok(worker result) or Err(panicked).
+    enum BandOutcome {
+        Done(Result<(RenderMetrics, RenderBudget, u64), KdvError>),
+        Panicked,
+    }
+    let outcomes: Vec<BandOutcome> = std::thread::scope(|scope| {
+        let mut rest_v: &mut [f64] = &mut values;
+        let mut rest_e: &mut [f64] = &mut errors;
+        let mut handles = Vec::new();
+        for (band, share) in layout.iter().zip(&shares) {
+            let (vals, tail_v) = rest_v.split_at_mut(band.rows * width);
+            let (errs, tail_e) = rest_e.split_at_mut(band.rows * width);
+            rest_v = tail_v;
+            rest_e = tail_e;
+            let local = metrics.sibling();
+            let child = share.clone();
+            let run = &run_band;
+            handles.push(scope.spawn(move || run(band, vals, errs, child, local)));
+        }
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(res) => BandOutcome::Done(res),
+                Err(_) => BandOutcome::Panicked,
+            })
+            .collect()
+    });
+
+    // Phase 2: merge results in band order; retry panicked bands
+    // sequentially with fresh evaluators and budget shares.
+    let mut degraded_pixels = 0u64;
+    let mut worker_count = 0u32;
+    for (i, outcome) in outcomes.into_iter().enumerate() {
+        let band = &layout[i];
+        let result = match outcome {
+            BandOutcome::Done(res) => res,
+            BandOutcome::Panicked => {
+                metrics.record_band_retry();
+                let start_idx = band.first_row * width;
+                let end = start_idx + band.rows * width;
+                let vals = &mut values[start_idx..end];
+                let errs = &mut errors[start_idx..end];
+                let child = budget.split(band.rows as f64 / height as f64);
+                let local = metrics.sibling();
+                catch_unwind(AssertUnwindSafe(|| run_band(band, vals, errs, child, local)))
+                    .map_err(|_| KdvError::WorkerPanicked { band: i })?
+            }
+        };
+        let (local, child, degraded) = result?;
+        metrics.merge(&local);
+        budget.absorb(&child);
+        degraded_pixels += degraded;
+        worker_count += 1;
+    }
+    metrics.threads = worker_count;
+    metrics.set_wall_ns(start.elapsed().as_nanos() as u64);
+    Ok(BudgetedRender {
+        grid: DensityGrid::from_values(raster.width(), raster.height(), values),
+        error_map: DensityGrid::from_values(raster.width(), raster.height(), errors),
+        degraded_pixels,
+    })
 }
 
 /// Renders εKDV in the §6 progressive order with metrics and
@@ -303,6 +494,94 @@ mod tests {
         // Every pixel did at least the root bound evaluation.
         let (lo, _) = map.min_max().expect("non-empty");
         assert!(lo >= 1.0, "cost map has an un-accounted pixel: min {lo}");
+    }
+
+    #[test]
+    fn budgeted_metered_marks_degraded_status() {
+        let (ps, kernel, raster) = setup();
+        let tree = KdTree::build_default(&ps);
+        let mut ev = RefineEvaluator::new(&tree, kernel, BoundFamily::Quadratic);
+        let mut metrics = RenderMetrics::new();
+        let cap = 3 * raster.num_pixels() as u64;
+        let mut budget = kdv_core::engine::RenderBudget::unlimited().with_max_work(cap);
+        let out = render_eps_budgeted_metered(&mut ev, &raster, 1e-7, &mut budget, &mut metrics)
+            .expect("valid input");
+        assert!(out.degraded_pixels > 0);
+        assert_eq!(metrics.status, kdv_telemetry::RenderStatus::Degraded);
+        assert_eq!(metrics.degraded_pixels, out.degraded_pixels);
+        assert_eq!(metrics.pixels, raster.num_pixels() as u64);
+
+        // Unlimited budget: complete status, grid matches the plain
+        // budgeted renderer.
+        let mut ev2 = RefineEvaluator::new(&tree, kernel, BoundFamily::Quadratic);
+        let mut m2 = RenderMetrics::new();
+        let mut unlimited = kdv_core::engine::RenderBudget::unlimited();
+        let full = render_eps_budgeted_metered(&mut ev2, &raster, 0.01, &mut unlimited, &mut m2)
+            .expect("valid input");
+        assert_eq!(full.degraded_pixels, 0);
+        assert_eq!(m2.status, kdv_telemetry::RenderStatus::Complete);
+        let plain = render_eps(
+            &mut RefineEvaluator::new(&tree, kernel, BoundFamily::Quadratic),
+            &raster,
+            0.01,
+        );
+        // Budgeted path reports midpoints of the same brackets the plain
+        // path averages, so the grids agree bit-for-bit.
+        assert_eq!(full.grid, plain);
+    }
+
+    #[test]
+    fn parallel_budgeted_metered_accounts_work_and_matches_sequential() {
+        let (ps, kernel, raster) = setup();
+        let tree = KdTree::build_default(&ps);
+
+        let mut unlimited = kdv_core::engine::RenderBudget::unlimited();
+        let mut metrics = RenderMetrics::with_cost_map(raster.width(), raster.height());
+        let par = render_eps_parallel_budgeted_metered(
+            || RefineEvaluator::new(&tree, kernel, BoundFamily::Quadratic),
+            &raster,
+            0.01,
+            3,
+            &mut unlimited,
+            &mut metrics,
+        )
+        .expect("valid input");
+        assert_eq!(par.degraded_pixels, 0);
+        assert!(unlimited.work_done() > 0, "children absorbed into parent");
+
+        let mut seq_ev = RefineEvaluator::new(&tree, kernel, BoundFamily::Quadratic);
+        let mut seq_budget = kdv_core::engine::RenderBudget::unlimited();
+        let mut seq_metrics = RenderMetrics::with_cost_map(raster.width(), raster.height());
+        let seq = render_eps_budgeted_metered(
+            &mut seq_ev,
+            &raster,
+            0.01,
+            &mut seq_budget,
+            &mut seq_metrics,
+        )
+        .expect("valid input");
+        assert_eq!(par.grid, seq.grid, "threading must not change output");
+        assert_eq!(par.error_map, seq.error_map);
+        assert_eq!(metrics.events, seq_metrics.events);
+        assert_eq!(metrics.cost_map(), seq_metrics.cost_map());
+        assert_eq!(unlimited.work_done(), seq_budget.work_done());
+
+        // A capped parallel render degrades but terminates, and the
+        // budget never runs away past cap + per-band overshoot.
+        let cap = 2 * raster.num_pixels() as u64;
+        let mut capped = kdv_core::engine::RenderBudget::unlimited().with_max_work(cap);
+        let mut m3 = RenderMetrics::new();
+        let deg = render_eps_parallel_budgeted_metered(
+            || RefineEvaluator::new(&tree, kernel, BoundFamily::Quadratic),
+            &raster,
+            1e-7,
+            3,
+            &mut capped,
+            &mut m3,
+        )
+        .expect("valid input");
+        assert!(deg.degraded_pixels > 0);
+        assert_eq!(m3.status, kdv_telemetry::RenderStatus::Degraded);
     }
 
     #[test]

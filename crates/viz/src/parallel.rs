@@ -7,17 +7,77 @@
 //! parallel, so a handful of `std::thread`s with per-thread evaluators
 //! scales rendering near-linearly. No shared mutable state — each thread
 //! builds its own evaluator from the factory and writes disjoint rows.
+//!
+//! Fault containment: a panic in one worker must not abort the whole
+//! render (in a service, that turns one poisoned pixel into a lost
+//! frame). Each band's panic is caught at `join`, the band is retried
+//! *sequentially* on the caller's thread, and only a second failure —
+//! the fault is deterministic, not thread-related — propagates. The
+//! chaos suite drives this path with `kdv_telemetry`'s fault probe.
 
+use kdv_core::error::KdvError;
 use kdv_core::method::PixelEvaluator;
 use kdv_core::raster::{DensityGrid, RasterSpec};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// A parallel render's result plus its fault-containment diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParallelOutcome {
+    /// The rendered grid.
+    pub grid: DensityGrid,
+    /// Bands whose worker panicked and were recomputed sequentially.
+    pub band_retries: u32,
+}
+
+/// One band's extent: rows `[first_row, first_row + rows)`.
+#[derive(Debug, Clone, Copy)]
+struct Band {
+    first_row: usize,
+    rows: usize,
+}
+
+/// Splits `height` rows into at most `threads` contiguous bands.
+fn bands(height: usize, threads: usize) -> Vec<Band> {
+    let rows_per_band = height.div_ceil(threads);
+    let mut out = Vec::new();
+    let mut first_row = 0usize;
+    while first_row < height {
+        let rows = rows_per_band.min(height - first_row);
+        out.push(Band { first_row, rows });
+        first_row += rows;
+    }
+    out
+}
+
+/// Fills one band's value slice (shared by workers and retries).
+fn fill_band<E: PixelEvaluator>(
+    ev: &mut E,
+    band: Band,
+    slice: &mut [f64],
+    raster: &RasterSpec,
+    eps: f64,
+) {
+    let width = raster.width() as usize;
+    for (r, row_vals) in slice.chunks_mut(width).enumerate() {
+        let row = (band.first_row + r) as u32;
+        for (col, slot) in row_vals.iter_mut().enumerate() {
+            let q = raster.pixel_center(col as u32, row);
+            *slot = ev.eval_eps(&q, eps);
+        }
+    }
+}
 
 /// Renders a full εKDV grid using `threads` worker threads.
 ///
 /// `make_evaluator` is called once per thread to build an independent
 /// evaluator (evaluators are stateful and `!Sync` by design).
 ///
+/// A panicking worker is contained: its band is retried sequentially,
+/// and the render succeeds if the retry does (see the module docs).
+///
 /// # Panics
-/// Panics if `threads == 0`.
+/// Panics if `threads == 0`, or if a band fails *twice* — the original
+/// panic payload is re-raised so deterministic bugs stay loud.
 pub fn render_eps_parallel<'t, E, F>(
     make_evaluator: F,
     raster: &RasterSpec,
@@ -29,40 +89,84 @@ where
     F: Fn() -> E + Sync,
 {
     assert!(threads > 0, "need at least one thread");
-    let width = raster.width();
-    let height = raster.height() as usize;
-    let mut values = vec![0.0f64; width as usize * height];
+    match try_render_eps_parallel(make_evaluator, raster, eps, threads) {
+        Ok(outcome) => outcome.grid,
+        Err((_, Some(payload))) => resume_unwind(payload),
+        Err((e, None)) => panic!("{e}"),
+    }
+}
 
-    std::thread::scope(|scope| {
-        // Split the value buffer into disjoint row bands, one per chunk.
-        let rows_per_band = height.div_ceil(threads);
+/// [`render_eps_parallel`] with full fault containment: worker panics
+/// are retried sequentially and *reported* ([`ParallelOutcome`]); a
+/// band failing twice yields `KdvError::WorkerPanicked` (with the
+/// retry's panic payload so callers may re-raise) instead of aborting.
+///
+/// Returns `Err` with [`KdvError::InvalidParameter`] when
+/// `threads == 0`.
+#[allow(clippy::type_complexity)]
+pub fn try_render_eps_parallel<'t, E, F>(
+    make_evaluator: F,
+    raster: &RasterSpec,
+    eps: f64,
+    threads: usize,
+) -> Result<ParallelOutcome, (KdvError, Option<Box<dyn std::any::Any + Send>>)>
+where
+    E: PixelEvaluator + 't,
+    F: Fn() -> E + Sync,
+{
+    if threads == 0 {
+        return Err((
+            KdvError::invalid("threads", "need at least one thread"),
+            None,
+        ));
+    }
+    let width = raster.width() as usize;
+    let height = raster.height() as usize;
+    let mut values = vec![0.0f64; width * height];
+    let layout = bands(height, threads);
+
+    // Phase 1: parallel, one band per worker; collect panics per band.
+    let failed: Vec<usize> = std::thread::scope(|scope| {
         let mut rest: &mut [f64] = &mut values;
-        let mut band_start = 0usize;
         let mut handles = Vec::new();
-        while band_start < height {
-            let rows = rows_per_band.min(height - band_start);
-            let (band, tail) = rest.split_at_mut(rows * width as usize);
+        for band in &layout {
+            let (slice, tail) = rest.split_at_mut(band.rows * width);
             rest = tail;
-            let first_row = band_start;
             let make = &make_evaluator;
             handles.push(scope.spawn(move || {
                 let mut ev = make();
-                for (r, row_vals) in band.chunks_mut(width as usize).enumerate() {
-                    let row = (first_row + r) as u32;
-                    for (col, slot) in row_vals.iter_mut().enumerate() {
-                        let q = raster.pixel_center(col as u32, row);
-                        *slot = ev.eval_eps(&q, eps);
-                    }
-                }
+                fill_band(&mut ev, *band, slice, raster, eps);
             }));
-            band_start += rows;
         }
-        for h in handles {
-            h.join().expect("render worker panicked");
-        }
+        handles
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, h)| h.join().is_err().then_some(i))
+            .collect()
     });
 
-    DensityGrid::from_values(width, raster.height(), values)
+    // Phase 2: sequential retry of failed bands on this thread. The
+    // retry uses a fresh evaluator — a panic can leave the worker's one
+    // in an arbitrary internal state.
+    let mut band_retries = 0u32;
+    for &i in &failed {
+        let band = layout[i];
+        let start = band.first_row * width;
+        let slice = &mut values[start..start + band.rows * width];
+        band_retries += 1;
+        let retry = catch_unwind(AssertUnwindSafe(|| {
+            let mut ev = make_evaluator();
+            fill_band(&mut ev, band, slice, raster, eps);
+        }));
+        if let Err(payload) = retry {
+            return Err((KdvError::WorkerPanicked { band: i }, Some(payload)));
+        }
+    }
+
+    Ok(ParallelOutcome {
+        grid: DensityGrid::from_values(raster.width(), raster.height(), values),
+        band_retries,
+    })
 }
 
 #[cfg(test)]
@@ -94,6 +198,91 @@ mod tests {
             );
             assert_eq!(par, seq, "thread count {threads} changed the output");
         }
+    }
+
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// Wraps a real evaluator; instance 0 panics on its first pixel,
+    /// later instances (the sequential retries) work.
+    struct FlakyOnce<'a> {
+        inner: RefineEvaluator<'a>,
+        poisoned: bool,
+    }
+
+    impl PixelEvaluator for FlakyOnce<'_> {
+        fn eval_eps(&mut self, q: &[f64], eps: f64) -> f64 {
+            assert!(!self.poisoned, "injected fault: poisoned worker");
+            self.inner.eval_eps(q, eps)
+        }
+        fn eval_tau(&mut self, q: &[f64], tau: f64) -> bool {
+            self.inner.eval_tau(q, tau)
+        }
+    }
+
+    #[test]
+    fn worker_panic_is_contained_and_band_retried() {
+        let ps = Dataset::Crime.generate(2000, 8);
+        let kernel = Kernel::gaussian(scott_gamma(&ps).gamma);
+        let tree = KdTree::build_default(&ps);
+        let raster = kdv_core::raster::RasterSpec::covering(&ps, 16, 12, 0.05);
+        let mut seq_ev = RefineEvaluator::new(&tree, kernel, BoundFamily::Quadratic);
+        let seq = render_eps(&mut seq_ev, &raster, 0.01);
+
+        let instances = AtomicUsize::new(0);
+        let outcome = try_render_eps_parallel(
+            || FlakyOnce {
+                inner: RefineEvaluator::new(&tree, kernel, BoundFamily::Quadratic),
+                poisoned: instances.fetch_add(1, Ordering::SeqCst) == 0,
+            },
+            &raster,
+            0.01,
+            3,
+        )
+        .expect("retry must recover the band");
+        assert_eq!(outcome.band_retries, 1, "exactly one band was poisoned");
+        assert_eq!(outcome.grid, seq, "retried band must be correct");
+    }
+
+    #[test]
+    fn deterministic_panic_is_reported_not_swallowed() {
+        let ps = Dataset::Crime.generate(500, 9);
+        let kernel = Kernel::gaussian(scott_gamma(&ps).gamma);
+        let tree = KdTree::build_default(&ps);
+        let raster = kdv_core::raster::RasterSpec::covering(&ps, 8, 6, 0.05);
+        // Every instance is poisoned → the retry fails too.
+        let err = try_render_eps_parallel(
+            || FlakyOnce {
+                inner: RefineEvaluator::new(&tree, kernel, BoundFamily::Quadratic),
+                poisoned: true,
+            },
+            &raster,
+            0.01,
+            2,
+        )
+        .err()
+        .expect("double failure must be an error");
+        assert!(matches!(err.0, kdv_core::KdvError::WorkerPanicked { .. }));
+        assert!(err.1.is_some(), "panic payload preserved for re-raise");
+    }
+
+    #[test]
+    fn zero_threads_is_an_error_not_a_panic() {
+        let ps = Dataset::Crime.generate(100, 10);
+        let kernel = Kernel::gaussian(scott_gamma(&ps).gamma);
+        let tree = KdTree::build_default(&ps);
+        let raster = kdv_core::raster::RasterSpec::covering(&ps, 4, 4, 0.05);
+        let err = try_render_eps_parallel(
+            || RefineEvaluator::new(&tree, kernel, BoundFamily::Quadratic),
+            &raster,
+            0.01,
+            0,
+        )
+        .err()
+        .expect("zero threads rejected");
+        assert!(matches!(
+            err.0,
+            kdv_core::KdvError::InvalidParameter { name: "threads", .. }
+        ));
     }
 
     #[test]
