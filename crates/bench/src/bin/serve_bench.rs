@@ -1,0 +1,120 @@
+//! Serving-latency baseline: cold vs. cached tile fetches.
+//!
+//! Starts an in-process [`TileServer`] on an emulated crime dataset,
+//! fetches every εKDV tile at z ∈ {0, 2, 4} twice over real sockets —
+//! the first pass renders (cold), the second is served from the LRU
+//! cache — and writes per-level latency histograms (p50/p99/mean) to
+//! `BENCH_serve.json`. Later PRs diff this sidecar to catch serving
+//! regressions.
+//!
+//! ```text
+//! cargo run --release -p kdv-bench --bin serve_bench [-- out.json]
+//! ```
+
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Instant;
+
+use kdv_core::bandwidth::scott_gamma;
+use kdv_core::kernel::Kernel;
+use kdv_data::Dataset;
+use kdv_server::{ServerConfig, TileServer};
+use kdv_telemetry::json::{self, Value};
+use kdv_telemetry::LogHistogram;
+
+const POINTS: usize = 20_000;
+const SEED: u64 = 11;
+const TILE_SIZE: u32 = 128;
+const LEVELS: [u8; 3] = [0, 2, 4];
+
+fn fetch(addr: SocketAddr, path: &str) -> (u16, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nHost: bench\r\n\r\n").as_bytes())
+        .expect("request");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("response");
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("response head");
+    let head = std::str::from_utf8(&raw[..head_end]).expect("UTF-8 head");
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    (status, raw[head_end + 4..].to_vec())
+}
+
+fn hist_json(h: &LogHistogram) -> Value {
+    Value::obj(vec![
+        ("count", json::num_u(h.count())),
+        ("mean_us", json::num_f(h.mean() / 1e3)),
+        ("p50_le_us", json::num_f(h.quantile_le(0.5) as f64 / 1e3)),
+        ("p99_le_us", json::num_f(h.quantile_le(0.99) as f64 / 1e3)),
+        ("max_us", json::num_f(h.max() as f64 / 1e3)),
+    ])
+}
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let mut points = Dataset::Crime.generate(POINTS, SEED);
+    points.scale_weights(1.0 / points.len() as f64);
+    let kernel = Kernel::gaussian(scott_gamma(&points).gamma);
+    let config = ServerConfig {
+        tile_size: TILE_SIZE,
+        max_z: *LEVELS.iter().max().expect("levels"),
+        eps: 0.1,
+        workers: 4,
+        ..ServerConfig::default()
+    };
+    let server = TileServer::start(config, &points, kernel).expect("server start");
+    let addr = server.local_addr();
+
+    let mut levels = Vec::new();
+    for z in LEVELS {
+        let mut cold = LogHistogram::new();
+        let mut cached = LogHistogram::new();
+        for (pass, hist) in [(0, &mut cold), (1, &mut cached)] {
+            for x in 0..1u32 << z {
+                for y in 0..1u32 << z {
+                    let path = format!("/tiles/eps/{z}/{x}/{y}.png");
+                    let start = Instant::now();
+                    let (status, body) = fetch(addr, &path);
+                    let ns = start.elapsed().as_nanos() as u64;
+                    assert_eq!(status, 200, "{path} (pass {pass})");
+                    assert!(body.starts_with(b"\x89PNG"), "{path}: not a PNG");
+                    hist.record(ns);
+                }
+            }
+        }
+        println!(
+            "z={z}: cold p50 {:.1} ms, cached p50 {:.3} ms ({} tiles)",
+            cold.quantile_le(0.5) as f64 / 1e6,
+            cached.quantile_le(0.5) as f64 / 1e6,
+            cold.count(),
+        );
+        levels.push(Value::obj(vec![
+            ("z", json::num_u(z as u64)),
+            ("tiles", json::num_u(cold.count())),
+            ("cold", hist_json(&cold)),
+            ("cached", hist_json(&cached)),
+        ]));
+    }
+    server.stop();
+
+    let doc = Value::obj(vec![
+        ("schema", Value::Str("kdv-bench-serve/1".to_string())),
+        ("dataset", Value::Str("crime".to_string())),
+        ("points", json::num_u(POINTS as u64)),
+        ("tile_size", json::num_u(TILE_SIZE as u64)),
+        ("kind", Value::Str("eps".to_string())),
+        ("levels", Value::Arr(levels)),
+    ]);
+    std::fs::write(&out, doc.render()).expect("write sidecar");
+    println!("wrote {out}");
+}

@@ -12,7 +12,15 @@ pub struct Args {
 }
 
 /// Flags that take no value.
-const BOOLEAN_FLAGS: [&str; 5] = ["help", "weights", "grayscale", "tiled", "verbose"];
+const BOOLEAN_FLAGS: [&str; 7] = [
+    "help",
+    "weights",
+    "grayscale",
+    "tiled",
+    "verbose",
+    "allow-shutdown",
+    "debug-sleep",
+];
 
 impl Args {
     /// Parses raw arguments (everything after the subcommand).

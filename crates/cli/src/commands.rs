@@ -3,15 +3,18 @@
 use crate::args::Args;
 use kdv_core::bandwidth::{try_scott_gamma_for, Bandwidth};
 use kdv_core::bounds::BoundFamily;
-use kdv_core::engine::{RefineEvaluator, RenderBudget};
+use kdv_core::engine::{BudgetPolicy, RefineEvaluator, RenderBudget};
 use kdv_core::kernel::{Kernel, KernelType};
-use kdv_core::query::{validate_eps, validate_gamma, validate_raster_dims, validate_tau, validate_threads};
+use kdv_core::query::{
+    validate_eps, validate_gamma, validate_raster_dims, validate_tau, validate_threads,
+};
 use kdv_core::raster::RasterSpec;
 use kdv_core::threshold::estimate_levels;
 use kdv_data::{csv, sanitize, Dataset};
 use kdv_geom::PointSet;
 use kdv_index::KdTree;
 use kdv_sampling::{sample_size_for, zorder_sample};
+use kdv_server::{ServerConfig, TileServer};
 use kdv_telemetry::RenderMetrics;
 use kdv_viz::colormap::{render_binary, ColorMap};
 use kdv_viz::metered::{
@@ -258,11 +261,9 @@ pub fn render(args: &Args) -> Result<(), String> {
         }
         None => {
             if error_map_path.is_some() {
-                return Err(
-                    "--error-map needs a budget (--max-work or --deadline-ms); \
+                return Err("--error-map needs a budget (--max-work or --deadline-ms); \
                      an unbudgeted render's certified error is ε everywhere"
-                        .into(),
-                );
+                    .into());
             }
             match (telemetry.wanted(), threads) {
                 (true, 1) => render_eps_metered(&mut make_ev(), &raster, eps, &mut metrics),
@@ -412,6 +413,106 @@ pub fn progressive(args: &Args) -> Result<(), String> {
         },
         path.display()
     );
+    Ok(())
+}
+
+/// `kdv serve` — HTTP tile server over the dataset.
+pub fn serve(args: &Args) -> Result<(), String> {
+    if args.has("help") {
+        println!(
+            "kdv serve <points.csv> [--addr 127.0.0.1:8080] [--tile-size 256] [--max-z 5]\n\
+             \x20         [--eps 0.05] [--tau T | --tau-sigma K] [--kernel ...] [--gamma G]\n\
+             \x20         [--weights] [--workers 4] [--queue 64] [--cache-mb 64]\n\
+             \x20         [--cache-shards 8] [--tile-max-work UNITS] [--tile-deadline-ms MS]\n\
+             \x20         [--allow-shutdown] [--debug-sleep]\n\
+             \n\
+             Serves GET /tiles/{{eps|tau}}/{{z}}/{{x}}/{{y}}.png, /metrics, /healthz.\n\
+             Budget-degraded tiles answer 200 with an X-Kdv-Degraded header; a full\n\
+             accept queue answers 429 with Retry-After."
+        );
+        return Ok(());
+    }
+    let input = load_input(args)?;
+    let eps: f64 = args.get_parsed("eps", 0.05)?;
+    validate_eps(eps).map_err(|e| e.to_string())?;
+    let tile_size = args.get_parsed("tile-size", 256u32)?;
+    let max_z = args.get_parsed("max-z", 5u8)?;
+    let workers = args.get_parsed("workers", 4usize)?;
+    let queue = args.get_parsed("queue", 64usize)?;
+    let cache_mb = args.get_parsed("cache-mb", 64usize)?;
+    let cache_shards = args.get_parsed("cache-shards", 8usize)?;
+    let addr = args.get("addr").unwrap_or("127.0.0.1:8080").to_string();
+
+    let tau = match args.get("tau") {
+        Some(v) => {
+            let tau = v
+                .parse::<f64>()
+                .map_err(|_| format!("--tau: cannot parse {v:?}"))?;
+            validate_tau(tau).map_err(|e| e.to_string())?
+        }
+        None => {
+            let k = args.get_parsed("tau-sigma", 0.1)?;
+            let tree = KdTree::try_build_default(&input.points).map_err(|e| e.to_string())?;
+            let raster = RasterSpec::try_covering(&input.points, tile_size, tile_size, 0.05)
+                .map_err(|e| e.to_string())?;
+            let levels = estimate_levels(&tree, input.kernel, &raster, 48, 36);
+            println!(
+                "pixel densities: µ = {:.4e}, σ = {:.4e} → τ = µ + {k}σ = {:.4e}",
+                levels.mu,
+                levels.sigma,
+                levels.tau(k)
+            );
+            levels.tau(k)
+        }
+    };
+
+    let mut policy = BudgetPolicy::unlimited();
+    if let Some(v) = args.get("tile-max-work") {
+        let units: u64 = v
+            .parse()
+            .map_err(|_| format!("flag --tile-max-work: cannot parse {v:?}"))?;
+        if units == 0 {
+            return Err("--tile-max-work must be positive".into());
+        }
+        policy = policy.with_max_work(units);
+    }
+    if let Some(v) = args.get("tile-deadline-ms") {
+        let ms: u64 = v
+            .parse()
+            .map_err(|_| format!("flag --tile-deadline-ms: cannot parse {v:?}"))?;
+        if ms == 0 {
+            return Err("--tile-deadline-ms must be positive".into());
+        }
+        policy = policy.with_deadline(Duration::from_millis(ms));
+    }
+
+    let config = ServerConfig {
+        addr,
+        tile_size,
+        max_z,
+        eps,
+        tau,
+        workers,
+        queue,
+        cache_bytes: cache_mb << 20,
+        cache_shards,
+        policy,
+        margin_frac: 0.05,
+        allow_shutdown: args.has("allow-shutdown"),
+        debug_sleep: args.has("debug-sleep"),
+    };
+    let server =
+        TileServer::start(config, &input.points, input.kernel).map_err(|e| e.to_string())?;
+    let bound = server.local_addr();
+    println!(
+        "serving {} points: ε = {eps}, τ = {tau:.4e}, {tile_size}px tiles to z ≤ {max_z}, \
+         {workers} workers, queue {queue}, cache {cache_mb} MiB",
+        input.points.len()
+    );
+    println!("  tiles:   http://{bound}/tiles/eps/0/0/0.png   (kinds: eps, tau)");
+    println!("  metrics: http://{bound}/metrics");
+    server.join();
+    println!("server stopped");
     Ok(())
 }
 
@@ -900,18 +1001,35 @@ mod tests {
         .expect("parallel budgeted render succeeds");
 
         // --error-map without a budget is a usage error.
-        assert!(render(&args(&[
-            p,
-            "--error-map",
-            err_map.to_str().expect("utf8")
-        ]))
-        .is_err());
+        assert!(render(&args(&[p, "--error-map", err_map.to_str().expect("utf8")])).is_err());
     }
 
     #[test]
     fn missing_input_is_reported() {
         assert!(render(&args(&["/nonexistent/definitely.csv"])).is_err());
         assert!(render(&args(&[])).is_err());
+    }
+
+    #[test]
+    fn serve_rejects_bad_configuration_before_binding() {
+        let csv_path = tmp("serve_bad.csv");
+        std::fs::write(&csv_path, "0.0,0.0\n1.0,1.0\n0.5,0.5\n").expect("write");
+        let p = csv_path.to_str().expect("utf8");
+        assert!(serve(&args(&[p, "--workers", "0", "--tau", "0.5"])).is_err());
+        assert!(serve(&args(&[p, "--queue", "0", "--tau", "0.5"])).is_err());
+        assert!(serve(&args(&[p, "--tile-size", "4", "--tau", "0.5"])).is_err());
+        assert!(serve(&args(&[p, "--tau", "-1"])).is_err());
+        assert!(serve(&args(&[p, "--tau", "0.5", "--tile-max-work", "0"])).is_err());
+        assert!(serve(&args(&[p, "--tau", "0.5", "--tile-deadline-ms", "0"])).is_err());
+        assert!(serve(&args(&[p, "--tau", "0.5", "--eps", "-1"])).is_err());
+        assert!(serve(&args(&[
+            p,
+            "--tau",
+            "0.5",
+            "--addr",
+            "definitely-not-an-addr"
+        ]))
+        .is_err());
     }
 
     #[test]

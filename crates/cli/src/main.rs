@@ -8,6 +8,7 @@
 //! kdv hotspot crime.csv --out hot.ppm --tau-sigma 0.1
 //! kdv progressive crime.csv --out quick.ppm --budget-ms 500
 //! kdv sample crime.csv --out coreset.csv --eps 0.02 --delta 0.2
+//! kdv serve crime.csv --addr 127.0.0.1:8080 --tile-size 256 --max-z 5
 //! ```
 //!
 //! All subcommands read 2-D CSV points (`x,y` per line, optional third
@@ -29,6 +30,7 @@ commands:
   hotspot      τKDV two-color hotspot map (PPM out)
   progressive  time-budgeted coarse-to-fine render (PPM out)
   sample       Z-order (ε, δ) coreset extraction (CSV out)
+  serve        HTTP tile server: cached z/x/y pyramid + /metrics
   stats        dataset statistics and recommended parameters
   synth        generate an emulated benchmark dataset (CSV out)
 
@@ -80,6 +82,7 @@ fn run() -> ExitCode {
         "hotspot" => commands::hotspot(&parsed),
         "progressive" => commands::progressive(&parsed),
         "sample" => commands::sample(&parsed),
+        "serve" => commands::serve(&parsed),
         "stats" => commands::stats(&parsed),
         "synth" => commands::synth(&parsed),
         "--help" | "-h" | "help" => {

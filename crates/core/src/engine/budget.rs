@@ -142,6 +142,60 @@ impl Default for RenderBudget {
     }
 }
 
+/// A reusable budget *recipe* for long-running services.
+///
+/// A [`RenderBudget`] is single-use: its deadline is an absolute
+/// instant fixed at construction, so a server cannot build one budget
+/// at startup and hand it to every request — the deadline would have
+/// lapsed long ago. A `BudgetPolicy` stores the *relative* limits
+/// (work cap, time allowance) and [`issue`](BudgetPolicy::issue)s a
+/// fresh `RenderBudget` per request whose clock starts at issue time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BudgetPolicy {
+    max_work: Option<u64>,
+    deadline: Option<Duration>,
+}
+
+impl BudgetPolicy {
+    /// A policy issuing unlimited budgets.
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Caps each issued budget at `units` of refinement work.
+    pub fn with_max_work(self, units: u64) -> Self {
+        Self {
+            max_work: Some(units),
+            ..self
+        }
+    }
+
+    /// Gives each issued budget `limit` of wall time from its issue.
+    pub fn with_deadline(self, limit: Duration) -> Self {
+        Self {
+            deadline: Some(limit),
+            ..self
+        }
+    }
+
+    /// Whether issued budgets can ever trip.
+    pub fn is_limited(&self) -> bool {
+        self.max_work.is_some() || self.deadline.is_some()
+    }
+
+    /// Issues a fresh budget; a deadline starts counting now.
+    pub fn issue(&self) -> RenderBudget {
+        let mut b = RenderBudget::unlimited();
+        if let Some(units) = self.max_work {
+            b = b.with_max_work(units);
+        }
+        if let Some(limit) = self.deadline {
+            b = b.with_deadline(limit);
+        }
+        b
+    }
+}
+
 /// Outcome of one budgeted per-pixel evaluation: the final bound
 /// bracket plus whether refinement was cut short.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -233,6 +287,31 @@ mod tests {
         parent.absorb(&child);
         assert_eq!(parent.work_done(), 600);
         assert!(parent.is_exhausted(), "child exhaustion propagates");
+    }
+
+    #[test]
+    fn policy_issues_independent_fresh_budgets() {
+        let policy = BudgetPolicy::unlimited().with_max_work(10);
+        assert!(policy.is_limited());
+        let mut a = policy.issue();
+        let mut b = policy.issue();
+        assert!(!a.charge(10));
+        assert!(a.is_exhausted());
+        // Exhausting one issued budget must not age the policy or any
+        // sibling budget.
+        assert!(b.charge(5), "each request gets the full allowance");
+        assert!(!b.is_exhausted());
+
+        assert!(!BudgetPolicy::unlimited().is_limited());
+        assert!(!BudgetPolicy::default().issue().is_limited());
+
+        // A deadline policy starts each budget's clock at issue time:
+        // a generous allowance issued "long after startup" still has
+        // headroom.
+        let timed = BudgetPolicy::unlimited().with_deadline(Duration::from_secs(3600));
+        let mut c = timed.issue();
+        assert!(c.charge(10_000));
+        assert!(!c.is_exhausted());
     }
 
     #[test]

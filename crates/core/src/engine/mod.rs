@@ -25,6 +25,6 @@ pub mod budget;
 mod probe;
 mod refine;
 
-pub use budget::{BudgetedEval, BudgetedTau, RenderBudget};
+pub use budget::{BudgetPolicy, BudgetedEval, BudgetedTau, RenderBudget};
 pub use probe::{NoProbe, Probe};
 pub use refine::{RefineEvaluator, RefineStats};

@@ -174,6 +174,41 @@ impl RasterSpec {
         ((self.x_min, self.x_max), (self.y_min, self.y_max))
     }
 
+    /// The raster covering the pixel rectangle
+    /// `[col0, col0 + w) × [row0, row0 + h)` of this raster: the data
+    /// window shrinks to the rectangle's pixel *edges* while the pixel
+    /// size stays identical, so `sub.pixel_center(c, r)` coincides with
+    /// `self.pixel_center(col0 + c, row0 + r)` (up to float rounding).
+    ///
+    /// This is the one pixel→data-space mapping shared by tile
+    /// extraction (`kdv-server` slippy tiles over a virtual full-zoom
+    /// raster) and hierarchical quadrant splitting (`kdv-viz`'s tiled
+    /// τKDV renderer).
+    pub fn sub_window(&self, col0: u32, row0: u32, w: u32, h: u32) -> Result<Self, KdvError> {
+        if w == 0 || h == 0 {
+            return Err(KdvError::DegenerateRaster {
+                message: format!("sub-window {w}x{h} has no pixels"),
+            });
+        }
+        let in_range = col0.checked_add(w).is_some_and(|c| c <= self.width)
+            && row0.checked_add(h).is_some_and(|r| r <= self.height);
+        if !in_range {
+            return Err(KdvError::DegenerateRaster {
+                message: format!(
+                    "sub-window at ({col0}, {row0}) size {w}x{h} exceeds the \
+                     {}x{} raster",
+                    self.width, self.height
+                ),
+            });
+        }
+        let x_span = self.x_max - self.x_min;
+        let y_span = self.y_max - self.y_min;
+        let fx = |col: u32| self.x_min + (col as f64 / self.width as f64) * x_span;
+        // Row 0 is the top of the screen (maximum y).
+        let fy = |row: u32| self.y_max - (row as f64 / self.height as f64) * y_span;
+        Self::try_new(w, h, (fx(col0), fx(col0 + w)), (fy(row0 + h), fy(row0)))
+    }
+
     /// A raster with the same data window at a different resolution.
     pub fn with_resolution(&self, width: u32, height: u32) -> Self {
         Self::new(
@@ -318,6 +353,50 @@ mod tests {
         let r2 = r.with_resolution(20, 5);
         assert_eq!(r2.window(), r.window());
         assert_eq!((r2.width(), r2.height()), (20, 5));
+    }
+
+    #[test]
+    fn sub_window_preserves_pixel_centers() {
+        let r = RasterSpec::new(8, 6, (-3.0, 5.0), (10.0, 40.0));
+        for (col0, row0, w, h) in [(0u32, 0u32, 8u32, 6u32), (2, 1, 4, 3), (7, 5, 1, 1)] {
+            let sub = r.sub_window(col0, row0, w, h).expect("valid rect");
+            assert_eq!((sub.width(), sub.height()), (w, h));
+            for c in 0..w {
+                for row in 0..h {
+                    let a = sub.pixel_center(c, row);
+                    let b = r.pixel_center(col0 + c, row0 + row);
+                    assert!(
+                        (a[0] - b[0]).abs() < 1e-12 && (a[1] - b[1]).abs() < 1e-12,
+                        "({col0},{row0},{w},{h}) pixel ({c},{row}): {a:?} vs {b:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sub_window_quadrants_tile_the_parent_window() {
+        let r = RasterSpec::new(4, 4, (0.0, 1.0), (0.0, 1.0));
+        let tl = r.sub_window(0, 0, 2, 2).expect("tl");
+        let br = r.sub_window(2, 2, 2, 2).expect("br");
+        // Top-left quadrant: upper half of y, lower half of x.
+        assert_eq!(tl.window(), ((0.0, 0.5), (0.5, 1.0)));
+        assert_eq!(br.window(), ((0.5, 1.0), (0.0, 0.5)));
+        // Full-raster sub-window is the identity.
+        assert_eq!(r.sub_window(0, 0, 4, 4).expect("full"), r);
+    }
+
+    #[test]
+    fn sub_window_rejects_bad_rects() {
+        let r = RasterSpec::new(4, 4, (0.0, 1.0), (0.0, 1.0));
+        assert!(r.sub_window(0, 0, 0, 2).is_err(), "zero width");
+        assert!(r.sub_window(0, 0, 2, 0).is_err(), "zero height");
+        assert!(r.sub_window(3, 0, 2, 2).is_err(), "overhangs right edge");
+        assert!(r.sub_window(0, 4, 1, 1).is_err(), "starts past the bottom");
+        assert!(
+            r.sub_window(u32::MAX, 0, 2, 2).is_err(),
+            "col0 + w overflow must not wrap"
+        );
     }
 
     #[test]

@@ -1,0 +1,342 @@
+//! The sharded, byte-capacity LRU tile cache.
+//!
+//! Tiles are immutable once rendered — a cache key pins every input
+//! that affects the bytes (address, query parameter, kernel bandwidth)
+//! — so the cache never invalidates, only evicts for space. Capacity
+//! is counted in *payload bytes*, not entries: one z0 PNG of a dense
+//! map can outweigh a hundred empty ocean tiles, and an entry-count
+//! cap would let memory use drift by two orders of magnitude.
+//!
+//! Concurrency: the key hashes (FNV-1a, fixed seed — deterministic
+//! across runs and platforms) to one of N shards, each a small
+//! mutex-guarded LRU. Worker threads rendering different tiles
+//! contend only when their tiles share a shard; the monotone hit/miss
+//! counters live outside the locks entirely
+//! ([`kdv_telemetry::CacheCounters`]).
+//!
+//! Eviction within a shard is exact LRU via access stamps; the victim
+//! scan is linear in the shard's entry count, which stays small (tiles
+//! are tens of kilobytes, shards a few megabytes) — simplicity over a
+//! doubly-linked intrusive list the borrow checker fights.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use kdv_telemetry::{CacheCounters, CacheSnapshot};
+
+use crate::tile::TileAddr;
+
+/// Everything that determines a rendered tile's bytes.
+///
+/// The float parameters enter as IEEE-754 bit patterns: bitwise
+/// equality is exactly "same render", and `NaN`/`-0.0` oddities cannot
+/// poison `Eq`/`Hash`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TileKey {
+    /// The pyramid address (kind, z, x, y).
+    pub addr: TileAddr,
+    /// `ε.to_bits()` for εKDV tiles, `τ.to_bits()` for τKDV tiles.
+    pub param_bits: u64,
+    /// Kernel bandwidth `γ.to_bits()`.
+    pub gamma_bits: u64,
+}
+
+struct Entry {
+    data: Arc<Vec<u8>>,
+    /// Shard-clock reading of the last access (higher = more recent).
+    stamp: u64,
+}
+
+struct Shard {
+    map: HashMap<TileKey, Entry>,
+    /// Payload bytes currently held.
+    bytes: usize,
+    /// Monotone access clock feeding the LRU stamps.
+    clock: u64,
+}
+
+/// A sharded LRU cache of encoded tiles with a byte-capacity bound.
+pub struct TileCache {
+    shards: Vec<Mutex<Shard>>,
+    shard_capacity: usize,
+    counters: CacheCounters,
+}
+
+impl TileCache {
+    /// A cache holding at most `capacity_bytes` of payload across
+    /// `shards` independent shards (each gets an equal slice of the
+    /// capacity). `shards` is clamped to at least 1.
+    pub fn new(capacity_bytes: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        Self {
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        map: HashMap::new(),
+                        bytes: 0,
+                        clock: 0,
+                    })
+                })
+                .collect(),
+            shard_capacity: capacity_bytes / shards,
+            counters: CacheCounters::default(),
+        }
+    }
+
+    /// Which shard `key` lives in. Deterministic across cache
+    /// instances, runs, and platforms (fixed-seed FNV-1a) — so a test
+    /// or an operator can reason about shard placement offline.
+    pub fn shard_index(&self, key: &TileKey) -> usize {
+        // FNV-1a over the key's canonical little-endian bytes.
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        eat(&[key.addr.kind as u8, key.addr.z]);
+        eat(&key.addr.x.to_le_bytes());
+        eat(&key.addr.y.to_le_bytes());
+        eat(&key.param_bits.to_le_bytes());
+        eat(&key.gamma_bits.to_le_bytes());
+        (h % self.shards.len() as u64) as usize
+    }
+
+    /// Looks up a tile, refreshing its recency on a hit.
+    pub fn get(&self, key: &TileKey) -> Option<Arc<Vec<u8>>> {
+        let mut shard = self.shards[self.shard_index(key)]
+            .lock()
+            .expect("cache shard poisoned");
+        shard.clock += 1;
+        let stamp = shard.clock;
+        match shard.map.get_mut(key) {
+            Some(entry) => {
+                entry.stamp = stamp;
+                let data = Arc::clone(&entry.data);
+                drop(shard);
+                self.counters.hit();
+                Some(data)
+            }
+            None => {
+                drop(shard);
+                self.counters.miss();
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) a tile, evicting least-recently-used
+    /// entries from its shard until the shard fits its capacity slice.
+    /// Returns `false` when the payload alone exceeds a whole shard's
+    /// capacity — such a tile is served but never cached, rather than
+    /// flushing everything else to make room for one entry.
+    pub fn insert(&self, key: TileKey, data: Arc<Vec<u8>>) -> bool {
+        if data.len() > self.shard_capacity {
+            return false;
+        }
+        let mut shard = self.shards[self.shard_index(&key)]
+            .lock()
+            .expect("cache shard poisoned");
+        shard.clock += 1;
+        let stamp = shard.clock;
+        let added = data.len();
+        if let Some(old) = shard.map.insert(key, Entry { data, stamp }) {
+            shard.bytes -= old.data.len();
+        }
+        shard.bytes += added;
+        let mut evicted = Vec::new();
+        while shard.bytes > self.shard_capacity {
+            let victim = shard
+                .map
+                .iter()
+                .filter(|(k, _)| **k != key)
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| *k)
+                .expect("shard over capacity implies an evictable entry");
+            let entry = shard.map.remove(&victim).expect("victim exists");
+            shard.bytes -= entry.data.len();
+            evicted.push(entry.data.len() as u64);
+        }
+        drop(shard);
+        self.counters.insert();
+        for bytes in evicted {
+            self.counters.evict(bytes);
+        }
+        true
+    }
+
+    /// Total payload bytes currently held, across shards.
+    pub fn bytes_used(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").bytes)
+            .sum()
+    }
+
+    /// Number of cached tiles, across shards.
+    pub fn entries(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").map.len())
+            .sum()
+    }
+
+    /// One reading of the monotone hit/miss/eviction counters.
+    pub fn snapshot(&self) -> CacheSnapshot {
+        self.counters.snapshot()
+    }
+
+    /// Recomputes every shard's byte occupancy from its entries and
+    /// asserts it matches the running total and fits the capacity.
+    /// Cheap enough to call from tests after concurrent hammering.
+    pub fn assert_consistent(&self) {
+        for (i, s) in self.shards.iter().enumerate() {
+            let shard = s.lock().expect("cache shard poisoned");
+            let actual: usize = shard.map.values().map(|e| e.data.len()).sum();
+            assert_eq!(shard.bytes, actual, "shard {i} byte accounting drifted");
+            assert!(
+                shard.bytes <= self.shard_capacity,
+                "shard {i} over capacity: {} > {}",
+                shard.bytes,
+                self.shard_capacity
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tile::TileKind;
+
+    fn key(z: u8, x: u32, y: u32) -> TileKey {
+        TileKey {
+            addr: TileAddr {
+                kind: TileKind::Eps,
+                z,
+                x,
+                y,
+            },
+            param_bits: 0.05f64.to_bits(),
+            gamma_bits: 1.5f64.to_bits(),
+        }
+    }
+
+    fn payload(n: usize, fill: u8) -> Arc<Vec<u8>> {
+        Arc::new(vec![fill; n])
+    }
+
+    #[test]
+    fn hits_after_insert_and_misses_before() {
+        let cache = TileCache::new(1 << 20, 4);
+        assert!(cache.get(&key(0, 0, 0)).is_none());
+        assert!(cache.insert(key(0, 0, 0), payload(100, 1)));
+        assert_eq!(cache.get(&key(0, 0, 0)).expect("hit").len(), 100);
+        // Same address, different ε: a different tile.
+        let mut other = key(0, 0, 0);
+        other.param_bits = 0.01f64.to_bits();
+        assert!(cache.get(&other).is_none());
+        let s = cache.snapshot();
+        assert_eq!((s.hits, s.misses, s.insertions), (1, 2, 1));
+    }
+
+    #[test]
+    fn evicts_least_recently_used_first() {
+        // One shard, room for exactly two 100-byte tiles.
+        let cache = TileCache::new(200, 1);
+        cache.insert(key(1, 0, 0), payload(100, 1));
+        cache.insert(key(1, 0, 1), payload(100, 2));
+        // Touch the older entry so the *other* one becomes LRU.
+        assert!(cache.get(&key(1, 0, 0)).is_some());
+        cache.insert(key(1, 1, 0), payload(100, 3));
+        assert!(cache.get(&key(1, 0, 0)).is_some(), "recently used survives");
+        assert!(cache.get(&key(1, 0, 1)).is_none(), "LRU entry evicted");
+        assert!(cache.get(&key(1, 1, 0)).is_some());
+        let s = cache.snapshot();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.evicted_bytes, 100);
+        cache.assert_consistent();
+    }
+
+    #[test]
+    fn byte_accounting_tracks_inserts_replacements_and_evictions() {
+        let cache = TileCache::new(1000, 1);
+        cache.insert(key(2, 0, 0), payload(300, 1));
+        cache.insert(key(2, 1, 0), payload(300, 2));
+        assert_eq!(cache.bytes_used(), 600);
+        // Replacing a key swaps its bytes, not adds them.
+        cache.insert(key(2, 0, 0), payload(500, 3));
+        assert_eq!(cache.bytes_used(), 800);
+        assert_eq!(cache.entries(), 2);
+        // Overflow evicts until it fits again.
+        cache.insert(key(2, 0, 1), payload(400, 4));
+        assert!(cache.bytes_used() <= 1000);
+        cache.assert_consistent();
+        // A payload larger than a whole shard is refused, not churned.
+        assert!(!cache.insert(key(2, 1, 1), payload(2000, 5)));
+        assert!(cache.get(&key(2, 1, 1)).is_none());
+        cache.assert_consistent();
+    }
+
+    #[test]
+    fn shard_placement_is_deterministic() {
+        let a = TileCache::new(1 << 20, 8);
+        let b = TileCache::new(1 << 30, 8);
+        let mut seen = std::collections::HashSet::new();
+        for z in 0..4u8 {
+            for x in 0..8u32 {
+                for y in 0..8u32 {
+                    let k = key(z, x, y);
+                    let idx = a.shard_index(&k);
+                    assert_eq!(
+                        idx,
+                        b.shard_index(&k),
+                        "placement differs between instances"
+                    );
+                    assert!(idx < 8);
+                    seen.insert(idx);
+                }
+            }
+        }
+        assert!(seen.len() > 4, "FNV should spread tiles across shards");
+    }
+
+    #[test]
+    fn concurrent_hammering_loses_no_updates() {
+        let cache = Arc::new(TileCache::new(64 * 100, 4));
+        let threads = 8;
+        let per_thread = 2000u32;
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let cache = Arc::clone(&cache);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..per_thread {
+                    // 32 distinct keys, far more traffic than capacity:
+                    // constant eviction pressure plus real hits.
+                    let k = key(5, (i + t) % 8, i % 4);
+                    if cache.get(&k).is_none() {
+                        cache.insert(k, payload(100, t as u8));
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("hammer thread panicked");
+        }
+        cache.assert_consistent();
+        let s = cache.snapshot();
+        assert_eq!(
+            s.hits + s.misses,
+            (threads as u64) * (per_thread as u64),
+            "every lookup is counted exactly once"
+        );
+        assert_eq!(
+            s.misses, s.insertions,
+            "each miss triggered exactly one insert (all payloads fit)"
+        );
+        assert!(s.hits > 0, "the keyspace is small enough to produce hits");
+    }
+}

@@ -1,0 +1,208 @@
+//! A deliberately minimal HTTP/1.1 layer over `std::net`.
+//!
+//! The tile server speaks exactly the subset of HTTP a tile client
+//! needs: parse one `GET` request line, ignore the headers, write one
+//! `Connection: close` response. No keep-alive, no chunking, no TLS —
+//! and no dependencies. Requests are read with a hard byte cap and a
+//! socket read timeout so a slow-loris client costs one worker at most
+//! a few seconds, never a hang.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// Longest request head (request line + headers) accepted. Tile
+/// requests are tiny; anything bigger is garbage or abuse.
+const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// One parsed request line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The HTTP method, verbatim (`GET`, `HEAD`, …).
+    pub method: String,
+    /// The path component, query string stripped.
+    pub path: String,
+}
+
+/// Reads and parses one request head from `stream`.
+///
+/// The outer `Err` is a transport failure (reset, timeout); the inner
+/// `Err` is a malformed request the caller should answer with `400`.
+pub fn read_request(stream: &mut TcpStream) -> io::Result<Result<Request, String>> {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Ok(Err("connection closed before a full request head".into()));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") {
+            break;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Ok(Err(format!("request head exceeds {MAX_HEAD_BYTES} bytes")));
+        }
+    }
+    let head = match std::str::from_utf8(&buf) {
+        Ok(s) => s,
+        Err(_) => return Ok(Err("request head is not UTF-8".into())),
+    };
+    let line = head.lines().next().unwrap_or("");
+    let mut parts = line.split(' ');
+    match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(method), Some(target), Some(version), None)
+            if !method.is_empty() && version.starts_with("HTTP/") =>
+        {
+            let path = target.split('?').next().unwrap_or("").to_string();
+            Ok(Ok(Request {
+                method: method.to_string(),
+                path,
+            }))
+        }
+        _ => Ok(Err(format!("malformed request line {line:?}"))),
+    }
+}
+
+/// A response under construction.
+#[derive(Debug, Clone)]
+pub struct Response {
+    status: u16,
+    reason: &'static str,
+    headers: Vec<(String, String)>,
+    body: Vec<u8>,
+}
+
+impl Response {
+    /// A response with the given status and an empty body.
+    pub fn new(status: u16, reason: &'static str) -> Self {
+        Self {
+            status,
+            reason,
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// Adds a header.
+    pub fn header(mut self, name: &str, value: impl Into<String>) -> Self {
+        self.headers.push((name.to_string(), value.into()));
+        self
+    }
+
+    /// Sets the body and its content type.
+    pub fn body(mut self, content_type: &str, body: Vec<u8>) -> Self {
+        self.headers
+            .push(("Content-Type".to_string(), content_type.to_string()));
+        self.body = body;
+        self
+    }
+
+    /// The status code.
+    pub fn status(&self) -> u16 {
+        self.status
+    }
+
+    /// Body length in bytes (what `sent` counters should record).
+    pub fn body_len(&self) -> usize {
+        self.body.len()
+    }
+
+    /// Serializes head + body to one buffer (single `write_all`: no
+    /// interleaving surprises, one syscall for small tiles).
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.body.len() + 256);
+        out.extend_from_slice(format!("HTTP/1.1 {} {}\r\n", self.status, self.reason).as_bytes());
+        for (name, value) in &self.headers {
+            out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+        }
+        out.extend_from_slice(format!("Content-Length: {}\r\n", self.body.len()).as_bytes());
+        out.extend_from_slice(b"Connection: close\r\n\r\n");
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Writes the response and flushes.
+    pub fn write_to(&self, stream: &mut TcpStream) -> io::Result<()> {
+        stream.write_all(&self.to_bytes())?;
+        stream.flush()
+    }
+}
+
+/// Plain-text helper for error bodies.
+pub fn text_response(status: u16, reason: &'static str, message: &str) -> Response {
+    Response::new(status, reason).body("text/plain; charset=utf-8", message.as_bytes().to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    /// Runs the parser against raw bytes through a real socket pair.
+    fn parse_raw(raw: &[u8]) -> io::Result<Result<Request, String>> {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let raw = raw.to_vec();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            s.write_all(&raw).expect("write");
+            s // keep alive until the parser is done
+        });
+        let (mut conn, _) = listener.accept().expect("accept");
+        let out = read_request(&mut conn);
+        drop(writer.join().expect("writer"));
+        out
+    }
+
+    #[test]
+    fn parses_a_get_request_line() {
+        let req = parse_raw(b"GET /tiles/eps/0/0/0.png HTTP/1.1\r\nHost: x\r\n\r\n")
+            .expect("io")
+            .expect("parse");
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/tiles/eps/0/0/0.png");
+    }
+
+    #[test]
+    fn strips_query_strings() {
+        let req = parse_raw(b"GET /metrics?pretty=1 HTTP/1.1\r\n\r\n")
+            .expect("io")
+            .expect("parse");
+        assert_eq!(req.path, "/metrics");
+    }
+
+    #[test]
+    fn rejects_malformed_request_lines() {
+        for raw in [
+            b"GARBAGE\r\n\r\n".to_vec(),
+            b"GET /x\r\n\r\n".to_vec(),
+            b"GET /x HTTP/1.1 EXTRA\r\n\r\n".to_vec(),
+            b"\r\n\r\n".to_vec(),
+        ] {
+            assert!(parse_raw(&raw).expect("io").is_err(), "{raw:?}");
+        }
+    }
+
+    #[test]
+    fn caps_oversized_request_heads() {
+        let mut raw = b"GET /x HTTP/1.1\r\n".to_vec();
+        raw.extend(vec![b'a'; 10 * 1024]);
+        assert!(parse_raw(&raw).expect("io").is_err());
+    }
+
+    #[test]
+    fn response_serializes_with_length_and_close() {
+        let r = Response::new(200, "OK")
+            .header("X-Kdv-Cache", "hit")
+            .body("image/png", vec![1, 2, 3]);
+        let bytes = r.to_bytes();
+        let text = String::from_utf8_lossy(&bytes);
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("X-Kdv-Cache: hit\r\n"));
+        assert!(text.contains("Content-Length: 3\r\n"));
+        assert!(text.contains("Connection: close\r\n\r\n"));
+        assert!(bytes.ends_with(&[1, 2, 3]));
+        assert_eq!(r.body_len(), 3);
+        assert_eq!(r.status(), 200);
+    }
+}

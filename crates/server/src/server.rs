@@ -1,0 +1,633 @@
+//! The tile server: worker pool, admission control, routing.
+//!
+//! Architecture (one process, no async runtime):
+//!
+//! * an **accept thread** owns the `TcpListener`. Each accepted
+//!   connection is pushed onto a *bounded* queue; when the queue is
+//!   full the accept thread answers `429 Too Many Requests` with a
+//!   `Retry-After` hint itself rather than letting latency grow
+//!   without bound — load shedding at the door, not in the kitchen,
+//! * a fixed pool of **worker threads** pops connections, parses one
+//!   request, routes it, and closes the socket (`Connection: close`;
+//!   tile clients multiplex by opening parallel connections anyway),
+//! * the dataset's kd-tree is built **once** at startup and shared
+//!   immutably (`Arc`); each request constructs its own cheap
+//!   [`RefineEvaluator`] over the shared tree,
+//! * every tile render runs under a fresh [`RenderBudget`] issued by
+//!   the configured [`BudgetPolicy`], so one adversarial tile degrades
+//!   (HTTP `200` + `X-Kdv-Degraded`) instead of starving the pool,
+//! * rendered tiles land in the sharded byte-capacity LRU
+//!   ([`crate::cache`]) — except degraded ones: caching a tile that
+//!   only exists because the server was momentarily overloaded would
+//!   serve the degraded bytes forever after the load has passed.
+//!
+//! [`RenderBudget`]: kdv_core::engine::RenderBudget
+
+use std::collections::HashMap;
+use std::fmt;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use kdv_core::bounds::BoundFamily;
+use kdv_core::engine::{BudgetPolicy, RefineEvaluator};
+use kdv_core::error::KdvError;
+use kdv_core::kernel::Kernel;
+use kdv_core::raster::RasterSpec;
+use kdv_geom::{Mbr, PointSet};
+use kdv_index::{KdTree, NodeId};
+use kdv_telemetry::json::{self, Value};
+use kdv_telemetry::{HttpCounters, RenderMetrics};
+use kdv_viz::colormap::render_binary;
+use kdv_viz::render::BinaryGrid;
+use kdv_viz::tile_render::{pyramid_raster, render_tile_eps, render_tile_tau, TileImage};
+use kdv_viz::tiles::{certify_box, BoxCertification};
+use kdv_viz::{png, ColorMap};
+
+use crate::cache::{TileCache, TileKey};
+use crate::http::{read_request, text_response, Request, Response};
+use crate::tile::{parse_tile_path, TileAddr, TileKind};
+
+/// Per-connection socket timeouts: a stuck client costs a worker at
+/// most this long.
+const SOCKET_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Upper bound on remembered τ-tile frontiers (see
+/// [`Inner::frontiers`]); beyond it new frontiers are simply not
+/// recorded — children fall back to the kd-tree root, which is
+/// correct, just slower.
+const MAX_STORED_FRONTIERS: usize = 1 << 16;
+
+/// Longest `/debug/sleep/{ms}` pause honored.
+const MAX_DEBUG_SLEEP_MS: u64 = 10_000;
+
+/// Resolution of the startup density sweep that fixes the map-wide
+/// εKDV color scale.
+const SCALE_SWEEP_RES: u32 = 64;
+
+/// Everything `kdv serve` needs to decide before binding a socket.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:8080` (port 0 picks a free one).
+    pub addr: String,
+    /// Tile edge length in pixels (tiles are square).
+    pub tile_size: u32,
+    /// Deepest zoom level served (tile addresses beyond it are `400`).
+    pub max_z: u8,
+    /// εKDV error tolerance.
+    pub eps: f64,
+    /// τKDV density threshold.
+    pub tau: f64,
+    /// Worker threads rendering tiles.
+    pub workers: usize,
+    /// Bounded accept-queue depth; connection `workers + queue + 1`
+    /// gets a `429`.
+    pub queue: usize,
+    /// Tile-cache capacity in payload bytes.
+    pub cache_bytes: usize,
+    /// Tile-cache shard count.
+    pub cache_shards: usize,
+    /// Per-request render budget recipe.
+    pub policy: BudgetPolicy,
+    /// Margin added around the data's bounding box for the level-0
+    /// window (fraction of each axis span).
+    pub margin_frac: f64,
+    /// Honor `GET /shutdown` (for CI and tests; off by default).
+    pub allow_shutdown: bool,
+    /// Honor `GET /debug/sleep/{ms}` (a testing aid that holds a
+    /// worker busy; off by default).
+    pub debug_sleep: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            tile_size: 256,
+            max_z: 5,
+            eps: 0.05,
+            tau: 1e-3,
+            workers: 4,
+            queue: 64,
+            cache_bytes: 64 << 20,
+            cache_shards: 8,
+            policy: BudgetPolicy::unlimited(),
+            margin_frac: 0.05,
+            allow_shutdown: false,
+            debug_sleep: false,
+        }
+    }
+}
+
+/// Why the server failed to start.
+#[derive(Debug)]
+pub enum ServeError {
+    /// A configuration or dataset problem.
+    Config(String),
+    /// A socket-layer failure (bind, listen).
+    Io(io::Error),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Config(m) => write!(f, "configuration error: {m}"),
+            ServeError::Io(e) => write!(f, "socket error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<io::Error> for ServeError {
+    fn from(e: io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<KdvError> for ServeError {
+    fn from(e: KdvError) -> Self {
+        ServeError::Config(e.to_string())
+    }
+}
+
+/// Inherited τ-certification frontiers, keyed by tile address (τ tiles
+/// only — ε tiles have no transferable certificate).
+type FrontierMap = HashMap<(u8, u32, u32), Arc<Vec<NodeId>>>;
+
+/// Shared immutable server state plus the few mutable rendezvous
+/// points (cache shards, metrics, frontiers — each behind its own
+/// fine-grained lock or atomic).
+struct Inner {
+    tree: KdTree,
+    kernel: Kernel,
+    family: BoundFamily,
+    base: RasterSpec,
+    eps: f64,
+    tau: f64,
+    /// Map-wide density range fixing the ε colormap (see
+    /// [`ColorMap::render_scaled`]).
+    scale: (f64, f64),
+    cm: ColorMap,
+    policy: BudgetPolicy,
+    max_z: u8,
+    cache: TileCache,
+    http: HttpCounters,
+    /// Live merged refinement telemetry across all tile renders.
+    metrics: Mutex<RenderMetrics>,
+    /// Parent→child bound reuse: an undecided τ tile's refined node
+    /// frontier is valid for all four children (bounds certified for a
+    /// box hold for any sub-box), so children start refinement there
+    /// instead of at the kd-tree root.
+    frontiers: Mutex<FrontierMap>,
+    shutdown: AtomicBool,
+    allow_shutdown: bool,
+    debug_sleep: bool,
+    local_addr: SocketAddr,
+    started: Instant,
+}
+
+/// A running tile server (see [`TileServer::start`]).
+pub struct TileServer {
+    inner: Arc<Inner>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl TileServer {
+    /// Validates the configuration, builds the kd-tree, sweeps the
+    /// density range for the shared color scale, binds the socket, and
+    /// spawns the accept thread plus `config.workers` render workers.
+    ///
+    /// `points` should already carry their normalized weights (the CLI
+    /// applies `scale_weights` before calling this); `kernel` is the
+    /// bandwidth-calibrated kernel shared by every tile.
+    pub fn start(
+        config: ServerConfig,
+        points: &PointSet,
+        kernel: Kernel,
+    ) -> Result<Self, ServeError> {
+        if config.tile_size < 8 || config.tile_size > 1024 {
+            return Err(ServeError::Config(format!(
+                "tile size must be in [8, 1024], got {}",
+                config.tile_size
+            )));
+        }
+        if config.workers == 0 {
+            return Err(ServeError::Config("need at least one worker".into()));
+        }
+        if config.queue == 0 {
+            return Err(ServeError::Config("queue depth must be at least 1".into()));
+        }
+        if !(config.eps.is_finite() && config.eps > 0.0) {
+            return Err(ServeError::Config(format!(
+                "ε must be positive, got {}",
+                config.eps
+            )));
+        }
+        if !(config.tau.is_finite() && config.tau > 0.0) {
+            return Err(ServeError::Config(format!(
+                "τ must be positive, got {}",
+                config.tau
+            )));
+        }
+        let base = RasterSpec::try_covering(
+            points,
+            config.tile_size,
+            config.tile_size,
+            config.margin_frac,
+        )?;
+        let tree = KdTree::build_default(points);
+        let family = BoundFamily::Quadratic;
+
+        // Fix the map-wide color scale once: a coarse exact sweep of
+        // the whole window. Tiles must share one normalization or the
+        // ramp would jump at every tile seam.
+        let sweep = base.with_resolution(SCALE_SWEEP_RES, SCALE_SWEEP_RES);
+        let mut ev = RefineEvaluator::new(&tree, kernel, family);
+        let grid = kdv_viz::render::render_eps(&mut ev, &sweep, config.eps);
+        let scale = grid.min_max().unwrap_or((0.0, 1.0));
+        drop(ev);
+
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+
+        let inner = Arc::new(Inner {
+            tree,
+            kernel,
+            family,
+            base,
+            eps: config.eps,
+            tau: config.tau,
+            scale,
+            cm: ColorMap::heat(),
+            policy: config.policy,
+            max_z: config.max_z,
+            cache: TileCache::new(config.cache_bytes, config.cache_shards),
+            http: HttpCounters::default(),
+            metrics: Mutex::new(RenderMetrics::new()),
+            frontiers: Mutex::new(HashMap::new()),
+            shutdown: AtomicBool::new(false),
+            allow_shutdown: config.allow_shutdown,
+            debug_sleep: config.debug_sleep,
+            local_addr,
+            started: Instant::now(),
+        });
+
+        let (tx, rx) = sync_channel::<TcpStream>(config.queue);
+        let rx = Arc::new(Mutex::new(rx));
+        let mut workers = Vec::with_capacity(config.workers);
+        for i in 0..config.workers {
+            let inner = Arc::clone(&inner);
+            let rx = Arc::clone(&rx);
+            let handle = std::thread::Builder::new()
+                .name(format!("kdv-serve-worker-{i}"))
+                .spawn(move || worker_loop(&inner, &rx))
+                .map_err(ServeError::Io)?;
+            workers.push(handle);
+        }
+
+        let accept = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("kdv-serve-accept".to_string())
+                .spawn(move || accept_loop(&inner, &listener, tx))
+                .map_err(ServeError::Io)?
+        };
+
+        Ok(Self {
+            inner,
+            addr: local_addr,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until the server shuts down (via [`TileServer::stop`]
+    /// from another thread, or a `GET /shutdown` when enabled).
+    pub fn join(mut self) {
+        self.join_threads();
+    }
+
+    /// Initiates shutdown and waits for every thread to exit.
+    pub fn stop(mut self) {
+        self.request_stop();
+        self.join_threads();
+    }
+
+    fn request_stop(&self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept thread's blocking `accept()`.
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    fn join_threads(&mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(inner: &Inner, listener: &TcpListener, tx: std::sync::mpsc::SyncSender<TcpStream>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+        };
+        if inner.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let _ = stream.set_read_timeout(Some(SOCKET_TIMEOUT));
+        let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
+        match tx.try_send(stream) {
+            Ok(()) => {}
+            Err(TrySendError::Full(mut stream)) => {
+                // Admission control: shed load at the door with a hint
+                // instead of queueing unboundedly. Drain the request
+                // bytes already in flight first — closing with unread
+                // data sends RST, and the client would see a reset
+                // instead of the 429.
+                inner.http.rejected();
+                let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+                let mut scratch = [0u8; 1024];
+                let _ = io::Read::read(&mut stream, &mut scratch);
+                let resp = text_response(429, "Too Many Requests", "tile queue is full")
+                    .header("Retry-After", "1");
+                let _ = resp.write_to(&mut stream);
+            }
+            Err(TrySendError::Disconnected(_)) => break,
+        }
+    }
+    // Dropping `tx` here disconnects the channel; workers drain the
+    // queue and exit.
+}
+
+fn worker_loop(inner: &Inner, rx: &Mutex<Receiver<TcpStream>>) {
+    loop {
+        let stream = {
+            let guard = rx.lock().expect("accept queue poisoned");
+            guard.recv()
+        };
+        match stream {
+            Ok(mut stream) => handle_connection(inner, &mut stream),
+            Err(_) => break, // accept thread gone and queue drained
+        }
+    }
+}
+
+fn handle_connection(inner: &Inner, stream: &mut TcpStream) {
+    let request = match read_request(stream) {
+        Ok(Ok(request)) => request,
+        Ok(Err(message)) => {
+            inner.http.bad_request();
+            let _ = text_response(400, "Bad Request", &message).write_to(stream);
+            return;
+        }
+        Err(_) => return, // transport failure: nothing to answer
+    };
+    inner.http.request();
+    let response = route(inner, &request);
+    if response.write_to(stream).is_ok() {
+        inner.http.sent(response.body_len() as u64);
+    }
+    if inner.shutdown.load(Ordering::SeqCst) {
+        // Wake the accept thread so shutdown is prompt.
+        let _ = TcpStream::connect(inner.local_addr);
+    }
+}
+
+fn route(inner: &Inner, request: &Request) -> Response {
+    if request.method != "GET" {
+        inner.http.bad_request();
+        return text_response(400, "Bad Request", "only GET is supported");
+    }
+    let path = request.path.as_str();
+    if let Some(rest) = path.strip_prefix("/debug/sleep/") {
+        return debug_sleep(inner, rest);
+    }
+    match path {
+        "/metrics" => {
+            let body = metrics_json(inner).render();
+            inner.http.ok(false);
+            Response::new(200, "OK").body("application/json", body.into_bytes())
+        }
+        "/healthz" => {
+            inner.http.ok(false);
+            text_response(200, "OK", "ok")
+        }
+        "/shutdown" => {
+            if inner.allow_shutdown {
+                inner.shutdown.store(true, Ordering::SeqCst);
+                inner.http.ok(false);
+                text_response(200, "OK", "shutting down")
+            } else {
+                inner.http.not_found();
+                text_response(404, "Not Found", "shutdown is not enabled")
+            }
+        }
+        p if p.starts_with("/tiles/") => tile_response(inner, p),
+        _ => {
+            inner.http.not_found();
+            text_response(404, "Not Found", "no such resource")
+        }
+    }
+}
+
+fn debug_sleep(inner: &Inner, ms: &str) -> Response {
+    if !inner.debug_sleep {
+        inner.http.not_found();
+        return text_response(404, "Not Found", "debug endpoints are not enabled");
+    }
+    match ms.parse::<u64>() {
+        Ok(ms) if ms <= MAX_DEBUG_SLEEP_MS => {
+            std::thread::sleep(Duration::from_millis(ms));
+            inner.http.ok(false);
+            text_response(200, "OK", "slept")
+        }
+        _ => {
+            inner.http.bad_request();
+            text_response(400, "Bad Request", "sleep duration must be a small integer")
+        }
+    }
+}
+
+fn tile_response(inner: &Inner, path: &str) -> Response {
+    let addr = match parse_tile_path(path, inner.max_z) {
+        Ok(addr) => addr,
+        Err(e) => {
+            inner.http.bad_request();
+            return text_response(400, "Bad Request", &e.to_string());
+        }
+    };
+    let key = TileKey {
+        addr,
+        param_bits: match addr.kind {
+            TileKind::Eps => inner.eps.to_bits(),
+            TileKind::Tau => inner.tau.to_bits(),
+        },
+        gamma_bits: inner.kernel.gamma.to_bits(),
+    };
+    if let Some(data) = inner.cache.get(&key) {
+        inner.http.ok(false);
+        return Response::new(200, "OK")
+            .header("X-Kdv-Cache", "hit")
+            .body("image/png", data.as_ref().clone());
+    }
+    match render_tile(inner, addr) {
+        Ok((bytes, degraded_pixels)) => {
+            let data = Arc::new(bytes);
+            if degraded_pixels == 0 {
+                // Degraded tiles are *served* but never cached: they
+                // reflect transient overload, not the density field.
+                inner.cache.insert(key, Arc::clone(&data));
+            }
+            inner.http.ok(degraded_pixels > 0);
+            let mut response = Response::new(200, "OK").header("X-Kdv-Cache", "miss");
+            if degraded_pixels > 0 {
+                response = response.header("X-Kdv-Degraded", degraded_pixels.to_string());
+            }
+            response.body("image/png", data.as_ref().clone())
+        }
+        Err(e) => {
+            inner.http.internal_error();
+            text_response(500, "Internal Server Error", &e.to_string())
+        }
+    }
+}
+
+/// Renders one tile under a fresh budget, merging its telemetry into
+/// the server-wide aggregate. Returns the encoded PNG and the number
+/// of budget-degraded pixels.
+fn render_tile(inner: &Inner, addr: TileAddr) -> Result<(Vec<u8>, u64), KdvError> {
+    let raster = pyramid_raster(&inner.base, addr.z, addr.x, addr.y)?;
+    let mut metrics = RenderMetrics::new();
+    let tile = match addr.kind {
+        TileKind::Eps => {
+            let mut budget = inner.policy.issue();
+            let mut ev = RefineEvaluator::new(&inner.tree, inner.kernel, inner.family);
+            render_tile_eps(
+                &mut ev,
+                &raster,
+                inner.eps,
+                &mut budget,
+                &inner.cm,
+                inner.scale,
+                &mut metrics,
+            )?
+        }
+        TileKind::Tau => render_tau_tile(inner, addr, &raster, &mut metrics)?,
+    };
+    inner
+        .metrics
+        .lock()
+        .expect("metrics aggregate poisoned")
+        .merge(&metrics);
+    Ok((png::encode(&tile.image), tile.degraded_pixels))
+}
+
+/// τ tiles go through box certification first: if the whole tile's
+/// bound bracket clears τ the tile is painted wholesale without
+/// touching the per-pixel engine. Either way, the refined frontier is
+/// inherited from the parent tile and (when undecided) recorded for
+/// the children — the same reuse that makes the hierarchical τ
+/// renderer cheap, applied across pyramid levels.
+fn render_tau_tile(
+    inner: &Inner,
+    addr: TileAddr,
+    raster: &RasterSpec,
+    metrics: &mut RenderMetrics,
+) -> Result<TileImage, KdvError> {
+    let a = raster.pixel_center(0, 0);
+    let b = raster.pixel_center(raster.width() - 1, raster.height() - 1);
+    let tile_box = Mbr::new(
+        vec![a[0].min(b[0]), a[1].min(b[1])],
+        vec![a[0].max(b[0]), a[1].max(b[1])],
+    );
+    let inherited: Arc<Vec<NodeId>> = if addr.z == 0 {
+        Arc::new(vec![inner.tree.root()])
+    } else {
+        let parents = inner.frontiers.lock().expect("frontier map poisoned");
+        parents
+            .get(&(addr.z - 1, addr.x / 2, addr.y / 2))
+            .cloned()
+            .unwrap_or_else(|| Arc::new(vec![inner.tree.root()]))
+    };
+    match certify_box(&inner.tree, inner.kernel, inner.tau, &tile_box, &inherited) {
+        BoxCertification::Decided(hot) => {
+            let mut mask = BinaryGrid::falses(raster.width(), raster.height());
+            if hot {
+                for row in 0..raster.height() {
+                    for col in 0..raster.width() {
+                        mask.set(col, row, true);
+                    }
+                }
+            }
+            Ok(TileImage {
+                image: render_binary(&mask),
+                degraded_pixels: 0,
+            })
+        }
+        BoxCertification::Undecided(frontier) => {
+            if addr.z < inner.max_z {
+                let mut map = inner.frontiers.lock().expect("frontier map poisoned");
+                if map.len() < MAX_STORED_FRONTIERS {
+                    map.insert((addr.z, addr.x, addr.y), Arc::new(frontier));
+                }
+            }
+            let mut budget = inner.policy.issue();
+            let mut ev = RefineEvaluator::new(&inner.tree, inner.kernel, inner.family);
+            render_tile_tau(&mut ev, raster, inner.tau, &mut budget, metrics)
+        }
+    }
+}
+
+/// The `/metrics` document: HTTP + cache counters and the merged
+/// refinement telemetry, all through the kdv-telemetry JSON writer.
+fn metrics_json(inner: &Inner) -> Value {
+    let cache = inner.cache.snapshot();
+    let mut cache_fields = match cache.to_json() {
+        Value::Obj(fields) => fields,
+        _ => unreachable!("cache snapshot serializes to an object"),
+    };
+    cache_fields.push((
+        "bytes_used".to_string(),
+        json::num_u(inner.cache.bytes_used() as u64),
+    ));
+    cache_fields.push((
+        "entries".to_string(),
+        json::num_u(inner.cache.entries() as u64),
+    ));
+    let render = inner
+        .metrics
+        .lock()
+        .expect("metrics aggregate poisoned")
+        .to_json("tiles");
+    Value::obj(vec![
+        ("schema", Value::Str("kdv-serve-metrics/1".to_string())),
+        (
+            "uptime_ms",
+            json::num_u(inner.started.elapsed().as_millis() as u64),
+        ),
+        ("http", inner.http.snapshot().to_json()),
+        ("cache", Value::Obj(cache_fields)),
+        ("render", render),
+    ])
+}

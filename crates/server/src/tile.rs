@@ -1,0 +1,205 @@
+//! Tile addresses: parsing `/tiles/{kind}/{z}/{x}/{y}.png` paths.
+//!
+//! The address grammar is deliberately rigid — a tile URL is a cache
+//! key, and two spellings of one tile (`/tiles/eps/1/01/0.png` vs
+//! `/tiles/eps/1/1/0.png`) would silently double-render and
+//! double-cache. Every component must therefore be canonical: decimal
+//! digits, no leading zeros (except `0` itself), no signs, no
+//! whitespace. Anything else is a `400`, not a guess.
+
+use std::fmt;
+
+use kdv_viz::tile_render::MAX_PYRAMID_Z;
+
+/// Which of the two paper queries a tile renders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TileKind {
+    /// εKDV: colormapped density (paper §3–4).
+    Eps,
+    /// τKDV: two-color hotspot classification (paper §5).
+    Tau,
+}
+
+impl TileKind {
+    /// The path segment naming this kind.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TileKind::Eps => "eps",
+            TileKind::Tau => "tau",
+        }
+    }
+}
+
+/// A fully-validated pyramid address: zoom `z`, column `x`, row `y`
+/// (row 0 at the top), both in `[0, 2^z)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TileAddr {
+    /// Query kind.
+    pub kind: TileKind,
+    /// Zoom level (0 = the whole window in one tile).
+    pub z: u8,
+    /// Tile column.
+    pub x: u32,
+    /// Tile row, 0 at the top.
+    pub y: u32,
+}
+
+impl fmt::Display for TileAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "/tiles/{}/{}/{}/{}.png",
+            self.kind.as_str(),
+            self.z,
+            self.x,
+            self.y
+        )
+    }
+}
+
+/// Why a path failed to parse as a tile address.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TileAddrError {
+    message: String,
+}
+
+impl TileAddrError {
+    fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TileAddrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TileAddrError {}
+
+/// Parses a canonical decimal with no sign, no leading zeros.
+fn parse_canonical_u64(s: &str, what: &str) -> Result<u64, TileAddrError> {
+    if s.is_empty() || !s.bytes().all(|b| b.is_ascii_digit()) {
+        return Err(TileAddrError::new(format!(
+            "{what} must be a decimal number, got {s:?}"
+        )));
+    }
+    if s.len() > 1 && s.starts_with('0') {
+        return Err(TileAddrError::new(format!(
+            "{what} must not have leading zeros, got {s:?}"
+        )));
+    }
+    s.parse()
+        .map_err(|_| TileAddrError::new(format!("{what} out of range: {s:?}")))
+}
+
+/// Parses `/tiles/{eps|tau}/{z}/{x}/{y}.png` into a [`TileAddr`],
+/// enforcing `z ≤ max_z` and `x, y < 2^z`.
+pub fn parse_tile_path(path: &str, max_z: u8) -> Result<TileAddr, TileAddrError> {
+    let rest = path
+        .strip_prefix("/tiles/")
+        .ok_or_else(|| TileAddrError::new("tile paths start with /tiles/"))?;
+    let mut segs = rest.split('/');
+    let (kind, z, x, y) = match (
+        segs.next(),
+        segs.next(),
+        segs.next(),
+        segs.next(),
+        segs.next(),
+    ) {
+        (Some(kind), Some(z), Some(x), Some(y), None) => (kind, z, x, y),
+        _ => {
+            return Err(TileAddrError::new(
+                "tile paths have exactly four segments: /tiles/{kind}/{z}/{x}/{y}.png",
+            ))
+        }
+    };
+    let kind = match kind {
+        "eps" => TileKind::Eps,
+        "tau" => TileKind::Tau,
+        other => {
+            return Err(TileAddrError::new(format!(
+                "unknown tile kind {other:?} (expected \"eps\" or \"tau\")"
+            )))
+        }
+    };
+    let y = y
+        .strip_suffix(".png")
+        .ok_or_else(|| TileAddrError::new("tile paths end in .png"))?;
+
+    let z64 = parse_canonical_u64(z, "zoom")?;
+    let max = max_z.min(MAX_PYRAMID_Z);
+    if z64 > max as u64 {
+        return Err(TileAddrError::new(format!(
+            "zoom {z64} exceeds this server's maximum {max}"
+        )));
+    }
+    let z = z64 as u8;
+    let per_side = 1u64 << z;
+    let x64 = parse_canonical_u64(x, "tile x")?;
+    let y64 = parse_canonical_u64(y, "tile y")?;
+    if x64 >= per_side || y64 >= per_side {
+        return Err(TileAddrError::new(format!(
+            "tile ({x64}, {y64}) outside the {per_side}x{per_side} grid of zoom {z}"
+        )));
+    }
+    Ok(TileAddr {
+        kind,
+        z,
+        x: x64 as u32,
+        y: y64 as u32,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_canonical_addresses() {
+        for (path, kind, z, x, y) in [
+            ("/tiles/eps/0/0/0.png", TileKind::Eps, 0u8, 0u32, 0u32),
+            ("/tiles/tau/3/7/5.png", TileKind::Tau, 3, 7, 5),
+            ("/tiles/eps/10/1023/0.png", TileKind::Eps, 10, 1023, 0),
+        ] {
+            let addr = parse_tile_path(path, 12).expect(path);
+            assert_eq!(addr, TileAddr { kind, z, x, y });
+            assert_eq!(addr.to_string(), path, "Display is the inverse");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_addresses() {
+        for bad in [
+            "/tiles/eps/1/0.png",             // too few segments
+            "/tiles/eps/1/0/0/0.png",         // too many segments
+            "/tiles/eps/1/0/0",               // missing .png
+            "/tiles/gauss/1/0/0.png",         // unknown kind
+            "/tiles/eps/1/2/0.png",           // x out of range for z
+            "/tiles/eps/1/0/2.png",           // y out of range for z
+            "/tiles/eps/-1/0/0.png",          // signed
+            "/tiles/eps/1/01/0.png",          // leading zero (cache aliasing)
+            "/tiles/eps/1/0x1/0.png",         // hex
+            "/tiles/eps/1/ 0/0.png",          // whitespace
+            "/tiles/eps/1//0.png",            // empty segment
+            "/tiles/eps/99999999999/0/0.png", // absurd zoom
+            "/tiles/eps/9/0/0.png",           // beyond server max_z
+            "/metrics",                       // not a tile path at all
+        ] {
+            assert!(parse_tile_path(bad, 8).is_err(), "{bad} should not parse");
+        }
+        // `0` itself is canonical, `00` is not.
+        assert!(parse_tile_path("/tiles/eps/0/0/0.png", 8).is_ok());
+        assert!(parse_tile_path("/tiles/eps/00/0/0.png", 8).is_err());
+    }
+
+    #[test]
+    fn server_max_z_caps_below_pyramid_max() {
+        assert!(parse_tile_path("/tiles/eps/4/0/0.png", 4).is_ok());
+        assert!(parse_tile_path("/tiles/eps/5/0/0.png", 4).is_err());
+        // And the global pyramid ceiling holds even with a huge max_z.
+        assert!(parse_tile_path("/tiles/eps/21/0/0.png", 255).is_err());
+    }
+}

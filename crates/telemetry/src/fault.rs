@@ -194,10 +194,7 @@ mod tests {
         }
         let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| p.node_bound()))
             .expect_err("4th evaluation must panic");
-        let msg = err
-            .downcast_ref::<String>()
-            .cloned()
-            .unwrap_or_default();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
         assert!(msg.starts_with(POISON_MSG), "unexpected message {msg:?}");
     }
 

@@ -20,7 +20,10 @@
 //!   (`kdv render --metrics out.json`) and tests can round-trip it,
 //! * [`fault`] — a deterministic fault-injecting probe (forced
 //!   resyncs, slow nodes, poisoned bound evaluations) driving the
-//!   workspace's chaos-test suite.
+//!   workspace's chaos-test suite,
+//! * [`serve`] — lock-free cache and HTTP traffic counters for the
+//!   long-running tile server (`kdv-server`), scrape-friendly via the
+//!   same JSON writer.
 //!
 //! Everything here is pay-as-you-go: the engine's refinement loop is
 //! monomorphized over the probe, so un-instrumented renders (the
@@ -35,8 +38,10 @@ pub mod fault;
 pub mod hist;
 pub mod json;
 pub mod metrics;
+pub mod serve;
 
 pub use counters::EventCounters;
 pub use fault::{FaultPlan, FaultProbe};
 pub use hist::LogHistogram;
 pub use metrics::{Checkpoint, RenderMetrics, RenderStatus};
+pub use serve::{CacheCounters, CacheSnapshot, HttpCounters, HttpSnapshot};

@@ -1,0 +1,281 @@
+//! Serving-side counters: tile-cache and HTTP traffic telemetry.
+//!
+//! The render-side aggregates in [`crate::metrics`] are single-writer
+//! by design (one render thread, or per-thread siblings merged in band
+//! order). A long-running tile server is different: many worker
+//! threads bump the same counters concurrently and a scrape
+//! (`GET /metrics`) must read them without stopping the world. Both
+//! counter blocks here are plain `AtomicU64` bundles — lock-free,
+//! monotone, and `snapshot()`-able into ordinary structs that feed the
+//! [`crate::json`] writer.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::json::{self, Value};
+
+/// Lock-free tile-cache counters (hits, misses, insertions, evictions).
+///
+/// Byte-level *occupancy* lives in the cache itself (it needs the
+/// eviction lock anyway); everything monotone lives here so the hot
+/// read path never takes a lock just to count.
+#[derive(Debug, Default)]
+pub struct CacheCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+    evicted_bytes: AtomicU64,
+}
+
+/// One consistent-enough reading of [`CacheCounters`] (each field is
+/// atomically read; the set is not a single atomic snapshot, which is
+/// fine for monotone counters).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheSnapshot {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that missed (and typically triggered a render).
+    pub misses: u64,
+    /// Entries inserted.
+    pub insertions: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Total payload bytes evicted.
+    pub evicted_bytes: u64,
+}
+
+impl CacheCounters {
+    /// Records a cache hit.
+    pub fn hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a cache miss.
+    pub fn miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an insertion.
+    pub fn insert(&self) {
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one eviction of a `bytes`-sized payload.
+    pub fn evict(&self, bytes: u64) {
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+        self.evicted_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Reads every counter.
+    pub fn snapshot(&self) -> CacheSnapshot {
+        CacheSnapshot {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            evicted_bytes: self.evicted_bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl CacheSnapshot {
+    /// Hit fraction over all lookups (0 when nothing was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// JSON object with every counter plus the derived hit rate.
+    pub fn to_json(&self) -> Value {
+        Value::obj(vec![
+            ("hits", json::num_u(self.hits)),
+            ("misses", json::num_u(self.misses)),
+            ("hit_rate", json::num_f(self.hit_rate())),
+            ("insertions", json::num_u(self.insertions)),
+            ("evictions", json::num_u(self.evictions)),
+            ("evicted_bytes", json::num_u(self.evicted_bytes)),
+        ])
+    }
+}
+
+/// Lock-free HTTP traffic counters, bumped by every worker thread.
+#[derive(Debug, Default)]
+pub struct HttpCounters {
+    requests: AtomicU64,
+    ok: AtomicU64,
+    degraded: AtomicU64,
+    bad_request: AtomicU64,
+    not_found: AtomicU64,
+    rejected: AtomicU64,
+    internal_error: AtomicU64,
+    bytes_sent: AtomicU64,
+}
+
+/// One reading of [`HttpCounters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HttpSnapshot {
+    /// Requests that reached routing (parsed request line).
+    pub requests: u64,
+    /// `200` responses, including degraded ones.
+    pub ok: u64,
+    /// `200` responses that carried the `Degraded` marker (a budget
+    /// ran out and the tile holds certified-midpoint pixels).
+    pub degraded: u64,
+    /// `400` responses (malformed tile address or request).
+    pub bad_request: u64,
+    /// `404` responses.
+    pub not_found: u64,
+    /// `429` responses (admission control: queue full).
+    pub rejected: u64,
+    /// `500` responses (render errors that were not the client's
+    /// fault).
+    pub internal_error: u64,
+    /// Response payload bytes written (bodies only, not headers).
+    pub bytes_sent: u64,
+}
+
+impl HttpCounters {
+    /// Records a routed request.
+    pub fn request(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a `200`; `degraded` marks a budget-degraded tile.
+    pub fn ok(&self, degraded: bool) {
+        self.ok.fetch_add(1, Ordering::Relaxed);
+        if degraded {
+            self.degraded.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a `400`.
+    pub fn bad_request(&self) {
+        self.bad_request.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a `404`.
+    pub fn not_found(&self) {
+        self.not_found.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a `429` admission rejection.
+    pub fn rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a `500`.
+    pub fn internal_error(&self) {
+        self.internal_error.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds response body bytes.
+    pub fn sent(&self, bytes: u64) {
+        self.bytes_sent.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Reads every counter.
+    pub fn snapshot(&self) -> HttpSnapshot {
+        HttpSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            ok: self.ok.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+            bad_request: self.bad_request.load(Ordering::Relaxed),
+            not_found: self.not_found.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            internal_error: self.internal_error.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl HttpSnapshot {
+    /// JSON object with every counter.
+    pub fn to_json(&self) -> Value {
+        Value::obj(vec![
+            ("requests", json::num_u(self.requests)),
+            ("ok", json::num_u(self.ok)),
+            ("degraded", json::num_u(self.degraded)),
+            ("bad_request", json::num_u(self.bad_request)),
+            ("not_found", json::num_u(self.not_found)),
+            ("rejected", json::num_u(self.rejected)),
+            ("internal_error", json::num_u(self.internal_error)),
+            ("bytes_sent", json::num_u(self.bytes_sent)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn cache_counters_accumulate_and_snapshot() {
+        let c = CacheCounters::default();
+        c.hit();
+        c.hit();
+        c.miss();
+        c.insert();
+        c.evict(100);
+        c.evict(50);
+        let s = c.snapshot();
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.insertions, 1);
+        assert_eq!(s.evictions, 2);
+        assert_eq!(s.evicted_bytes, 150);
+        assert!((s.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(CacheSnapshot::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn http_counters_accumulate_and_export_json() {
+        let c = HttpCounters::default();
+        c.request();
+        c.request();
+        c.ok(false);
+        c.ok(true);
+        c.bad_request();
+        c.rejected();
+        c.sent(1024);
+        let s = c.snapshot();
+        assert_eq!(s.requests, 2);
+        assert_eq!(s.ok, 2);
+        assert_eq!(s.degraded, 1);
+        assert_eq!(s.bad_request, 1);
+        assert_eq!(s.rejected, 1);
+        assert_eq!(s.bytes_sent, 1024);
+
+        let doc = s.to_json();
+        let back = crate::json::parse(&doc.render()).expect("parses");
+        assert_eq!(back.get("ok").and_then(Value::as_f64), Some(2.0));
+        assert_eq!(back.get("degraded").and_then(Value::as_f64), Some(1.0));
+    }
+
+    #[test]
+    fn counters_survive_concurrent_hammering() {
+        let c = Arc::new(CacheCounters::default());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..10_000 {
+                    c.hit();
+                    c.miss();
+                    c.evict(3);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("no panics");
+        }
+        let s = c.snapshot();
+        assert_eq!(s.hits, 40_000);
+        assert_eq!(s.misses, 40_000);
+        assert_eq!(s.evicted_bytes, 120_000);
+    }
+}

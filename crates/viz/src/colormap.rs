@@ -77,11 +77,28 @@ impl ColorMap {
     /// `sqrt_stretch` (recommended for KDE fields).
     pub fn render(&self, grid: &DensityGrid, sqrt_stretch: bool) -> RgbImage {
         let (lo, hi) = grid.min_max().unwrap_or((0.0, 1.0));
+        self.render_scaled(grid, lo, hi, sqrt_stretch)
+    }
+
+    /// Renders with an **explicit** normalization range instead of the
+    /// grid's own min/max. This is what tile pyramids need: every tile
+    /// sees only a window of the density field, so per-tile min/max
+    /// normalization would give each tile its own color scale and the
+    /// seams between adjacent tiles would jump. Fixing `(lo, hi)`
+    /// map-wide keeps the ramp continuous across tile boundaries.
+    /// Values outside the range clamp to the ramp's ends.
+    pub fn render_scaled(
+        &self,
+        grid: &DensityGrid,
+        lo: f64,
+        hi: f64,
+        sqrt_stretch: bool,
+    ) -> RgbImage {
         let span = (hi - lo).max(1e-300);
         let mut img = RgbImage::new(grid.width(), grid.height());
         for row in 0..grid.height() {
             for col in 0..grid.width() {
-                let mut t = (grid.get(col, row) - lo) / span;
+                let mut t = ((grid.get(col, row) - lo) / span).clamp(0.0, 1.0);
                 if sqrt_stretch {
                     t = t.sqrt();
                 }
@@ -171,6 +188,28 @@ mod tests {
         let img = render_binary(&mask);
         assert_ne!(img.get(0, 0), img.get(1, 0));
         assert_eq!(img.get(1, 0), [215, 25, 28], "hot pixel is red");
+    }
+
+    #[test]
+    fn render_scaled_is_continuous_across_a_tile_split() {
+        // One 4×1 grid vs the same values split into two 2×1 tiles
+        // rendered under the shared scale: identical colors. Per-tile
+        // min/max normalization (plain `render`) would disagree.
+        let full = DensityGrid::from_values(4, 1, vec![0.0, 1.0, 2.0, 3.0]);
+        let left = DensityGrid::from_values(2, 1, vec![0.0, 1.0]);
+        let right = DensityGrid::from_values(2, 1, vec![2.0, 3.0]);
+        let cm = ColorMap::heat();
+        let whole = cm.render_scaled(&full, 0.0, 3.0, true);
+        let l = cm.render_scaled(&left, 0.0, 3.0, true);
+        let r = cm.render_scaled(&right, 0.0, 3.0, true);
+        for col in 0..2 {
+            assert_eq!(whole.get(col, 0), l.get(col, 0));
+            assert_eq!(whole.get(col + 2, 0), r.get(col, 0));
+        }
+        // Out-of-range values clamp instead of wrapping or panicking.
+        let img = cm.render_scaled(&full, 1.0, 2.0, false);
+        assert_eq!(img.get(0, 0), cm.sample(0.0));
+        assert_eq!(img.get(3, 0), cm.sample(1.0));
     }
 
     #[test]

@@ -20,7 +20,12 @@
 //!   sequentially and reported, never aborting the whole render,
 //! * [`metered`] — the same renderers instrumented with
 //!   [`kdv_telemetry`]: event counters, per-pixel histograms, cost
-//!   maps, and time-to-quality checkpoints.
+//!   maps, and time-to-quality checkpoints,
+//! * [`tile_render`] — the z/x/y slippy tile pyramid over a data
+//!   window (budgeted, fixed-scale colormapped tiles for
+//!   `kdv-server`); [`tiles`] — hierarchical box-bound τ
+//!   certification, whose frontier inheritance also seeds the server's
+//!   parent→child tile reuse.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,13 +38,15 @@ pub mod parallel;
 pub mod png;
 pub mod progressive;
 pub mod render;
+pub mod tile_render;
 pub mod tiles;
 
 pub use colormap::ColorMap;
 pub use image::RgbImage;
 pub use metered::{
     render_eps_budgeted_metered, render_eps_metered, render_eps_parallel_budgeted_metered,
-    render_eps_parallel_metered, render_eps_progressive_metered, render_tau_metered,
+    render_eps_parallel_metered, render_eps_progressive_metered, render_tau_budgeted_metered,
+    render_tau_metered,
 };
 pub use parallel::{try_render_eps_parallel, ParallelOutcome};
 pub use progressive::{progressive_order, ProgressiveStep};
@@ -47,4 +54,5 @@ pub use render::{
     render_eps, render_eps_budgeted, render_eps_progressive, render_eps_progressive_budgeted,
     render_tau, render_tau_budgeted, BinaryGrid, BudgetedRender, BudgetedTauRender,
 };
-pub use tiles::render_tau_tiled;
+pub use tile_render::{pyramid_raster, render_tile_eps, render_tile_tau, TileImage};
+pub use tiles::{certify_box, render_tau_tiled, BoxCertification};

@@ -14,7 +14,9 @@
 //! is counted twice.
 
 use crate::progressive::progressive_order;
-use crate::render::{BinaryGrid, BudgetedRender, ProgressiveCanvas, ProgressiveRender};
+use crate::render::{
+    BinaryGrid, BudgetedRender, BudgetedTauRender, ProgressiveCanvas, ProgressiveRender,
+};
 use kdv_core::engine::{RefineEvaluator, RenderBudget};
 use kdv_core::error::KdvError;
 use kdv_core::query::validate_eps;
@@ -180,6 +182,44 @@ pub fn render_eps_budgeted_metered(
     })
 }
 
+/// Renders τKDV under a [`RenderBudget`] with metrics: undecided
+/// pixels (bracket had not cleared τ at exhaustion) are counted as
+/// degraded, exactly mirroring [`render_eps_budgeted_metered`]. This
+/// is the tile server's τ path: per-tile budgets, live metrics.
+pub fn render_tau_budgeted_metered(
+    ev: &mut RefineEvaluator<'_>,
+    raster: &RasterSpec,
+    tau: f64,
+    budget: &mut RenderBudget,
+    metrics: &mut RenderMetrics,
+) -> Result<BudgetedTauRender, KdvError> {
+    let start = Instant::now();
+    let mut mask = BinaryGrid::falses(raster.width(), raster.height());
+    let mut undecided_map = BinaryGrid::falses(raster.width(), raster.height());
+    let mut undecided = 0u64;
+    for row in 0..raster.height() {
+        for col in 0..raster.width() {
+            let q = raster.pixel_center(col, row);
+            let t0 = Instant::now();
+            let t = ev.eval_tau_budgeted_with(&q, tau, budget, &mut metrics.events)?;
+            let latency = t0.elapsed().as_nanos() as u64;
+            mask.set(col, row, t.hot);
+            undecided_map.set(col, row, !t.decided);
+            metrics.record_pixel(col, row, &ev.last_stats(), latency);
+            if !t.decided {
+                undecided += 1;
+                metrics.mark_degraded_pixel();
+            }
+        }
+    }
+    metrics.set_wall_ns(start.elapsed().as_nanos() as u64);
+    Ok(BudgetedTauRender {
+        mask,
+        undecided_map,
+        undecided,
+    })
+}
+
 /// Renders εKDV on `threads` workers under one render-wide
 /// [`RenderBudget`], with metrics and full fault containment.
 ///
@@ -311,8 +351,10 @@ where
                 let errs = &mut errors[start_idx..end];
                 let child = budget.split(band.rows as f64 / height as f64);
                 let local = metrics.sibling();
-                catch_unwind(AssertUnwindSafe(|| run_band(band, vals, errs, child, local)))
-                    .map_err(|_| KdvError::WorkerPanicked { band: i })?
+                catch_unwind(AssertUnwindSafe(|| {
+                    run_band(band, vals, errs, child, local)
+                }))
+                .map_err(|_| KdvError::WorkerPanicked { band: i })?
             }
         };
         let (local, child, degraded) = result?;

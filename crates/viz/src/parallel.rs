@@ -281,7 +281,10 @@ mod tests {
         .expect("zero threads rejected");
         assert!(matches!(
             err.0,
-            kdv_core::KdvError::InvalidParameter { name: "threads", .. }
+            kdv_core::KdvError::InvalidParameter {
+                name: "threads",
+                ..
+            }
         ));
     }
 

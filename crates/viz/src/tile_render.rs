@@ -1,0 +1,262 @@
+//! Tile-window rendering: the z/x/y slippy pyramid over a data window.
+//!
+//! A web map consumes a density field as a pyramid of fixed-size
+//! square tiles: level `z` divides the base window into `2^z × 2^z`
+//! tiles of `tile_size²` pixels each, addressed `(z, x, y)` with
+//! `y = 0` at the **top** (matching both slippy-map convention and
+//! [`RasterSpec`]'s row-0-on-top orientation). [`pyramid_raster`] maps
+//! an address to the raster of exactly that window — via
+//! [`RasterSpec::sub_window`], the same pixel→data-space arithmetic
+//! the tiled τ renderer splits quadrants with — and the two
+//! `render_tile_*` helpers produce colormapped tile images under a
+//! per-request [`RenderBudget`], degrading to certified midpoints
+//! instead of overrunning.
+
+use crate::colormap::ColorMap;
+use crate::image::RgbImage;
+use crate::metered::{render_eps_budgeted_metered, render_tau_budgeted_metered};
+use kdv_core::engine::{RefineEvaluator, RenderBudget};
+use kdv_core::error::KdvError;
+use kdv_core::raster::RasterSpec;
+use kdv_telemetry::RenderMetrics;
+
+/// Deepest zoom level a pyramid address may name. `tile_size << z`
+/// must fit a `u32` raster dimension; 20 levels over a 256-px tile is
+/// a 268-million-pixel-wide virtual raster — far beyond any realistic
+/// deployment, while keeping every shift well-defined.
+pub const MAX_PYRAMID_Z: u8 = 20;
+
+/// The raster of tile `(z, x, y)` in the pyramid over `base`.
+///
+/// `base` is the level-0 window: one `tile_size × tile_size` raster
+/// covering the whole dataset (its data window is typically
+/// [`RasterSpec::try_covering`]'s). Level `z` is the virtual
+/// `(tile_size·2^z)²` raster over the same window; tile `(x, y)` is
+/// its `sub_window` at pixel offset `(x·tile_size, y·tile_size)`.
+///
+/// Rejects `z > MAX_PYRAMID_Z`, `x`/`y` outside `[0, 2^z)`, and a
+/// non-square or zero-sized `base` with a structured [`KdvError`].
+pub fn pyramid_raster(base: &RasterSpec, z: u8, x: u32, y: u32) -> Result<RasterSpec, KdvError> {
+    let tile_size = base.width();
+    if tile_size == 0 || base.height() != tile_size {
+        return Err(KdvError::DegenerateRaster {
+            message: format!(
+                "pyramid base must be a square tile, got {}x{}",
+                base.width(),
+                base.height()
+            ),
+        });
+    }
+    if z > MAX_PYRAMID_Z {
+        return Err(KdvError::invalid(
+            "z",
+            format!("zoom {z} exceeds the maximum pyramid depth {MAX_PYRAMID_Z}"),
+        ));
+    }
+    let tiles_per_side = 1u32 << z;
+    if x >= tiles_per_side || y >= tiles_per_side {
+        return Err(KdvError::invalid(
+            "tile",
+            format!(
+                "tile ({x}, {y}) outside the {tiles_per_side}x{tiles_per_side} grid of zoom {z}"
+            ),
+        ));
+    }
+    if tile_size.checked_shl(z as u32).is_none() || (tile_size as u64) << z > u32::MAX as u64 {
+        return Err(KdvError::invalid(
+            "tile_size",
+            format!("tile size {tile_size} at zoom {z} overflows the virtual raster"),
+        ));
+    }
+    base.with_resolution(tile_size << z, tile_size << z)
+        .sub_window(x * tile_size, y * tile_size, tile_size, tile_size)
+}
+
+/// A rendered tile: the image plus how much of it is best-effort.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TileImage {
+    /// The colormapped tile.
+    pub image: RgbImage,
+    /// Pixels whose refinement was cut short by the budget (εKDV) or
+    /// whose classification had not cleared τ (τKDV). Zero means the
+    /// tile is exact to its quality contract.
+    pub degraded_pixels: u64,
+}
+
+impl TileImage {
+    /// Whether every pixel met its quality contract.
+    pub fn is_complete(&self) -> bool {
+        self.degraded_pixels == 0
+    }
+}
+
+/// Renders one εKDV tile under `budget`, colormapped against the
+/// map-wide density range `(lo, hi)` (see [`ColorMap::render_scaled`]
+/// for why tiles must not self-normalize). Refinement telemetry
+/// accumulates into `metrics` — a long-running server merges these
+/// per-tile metrics into its live `/metrics` aggregate.
+pub fn render_tile_eps(
+    ev: &mut RefineEvaluator<'_>,
+    raster: &RasterSpec,
+    eps: f64,
+    budget: &mut RenderBudget,
+    cm: &ColorMap,
+    scale: (f64, f64),
+    metrics: &mut RenderMetrics,
+) -> Result<TileImage, KdvError> {
+    let out = render_eps_budgeted_metered(ev, raster, eps, budget, metrics)?;
+    Ok(TileImage {
+        image: cm.render_scaled(&out.grid, scale.0, scale.1, true),
+        degraded_pixels: out.degraded_pixels,
+    })
+}
+
+/// Renders one τKDV tile under `budget` with the paper's two-color
+/// convention; undecided pixels count as degraded. Telemetry
+/// accumulates into `metrics` as in [`render_tile_eps`].
+pub fn render_tile_tau(
+    ev: &mut RefineEvaluator<'_>,
+    raster: &RasterSpec,
+    tau: f64,
+    budget: &mut RenderBudget,
+    metrics: &mut RenderMetrics,
+) -> Result<TileImage, KdvError> {
+    let out = render_tau_budgeted_metered(ev, raster, tau, budget, metrics)?;
+    Ok(TileImage {
+        image: crate::colormap::render_binary(&out.mask),
+        degraded_pixels: out.undecided,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdv_core::bandwidth::scott_gamma;
+    use kdv_core::bounds::BoundFamily;
+    use kdv_core::kernel::Kernel;
+    use kdv_data::Dataset;
+    use kdv_index::KdTree;
+
+    fn setup() -> (kdv_geom::PointSet, Kernel, RasterSpec) {
+        let ps = Dataset::Crime.generate(2000, 11);
+        let kernel = Kernel::gaussian(scott_gamma(&ps).gamma);
+        let base = RasterSpec::covering(&ps, 16, 16, 0.05);
+        (ps, kernel, base)
+    }
+
+    #[test]
+    fn pyramid_tiles_partition_each_level() {
+        let (_, _, base) = setup();
+        // Level 0 is the base itself.
+        assert_eq!(pyramid_raster(&base, 0, 0, 0).expect("root"), base);
+        // Level 2: 16 tiles tiling the base window exactly.
+        let ((bx0, bx1), (by0, by1)) = base.window();
+        let mut x_edges = Vec::new();
+        for x in 0..4 {
+            let t = pyramid_raster(&base, 2, x, 0).expect("tile");
+            assert_eq!((t.width(), t.height()), (16, 16));
+            x_edges.push(t.window().0);
+        }
+        assert!((x_edges[0].0 - bx0).abs() < 1e-12);
+        assert!((x_edges[3].1 - bx1).abs() < 1e-12);
+        for w in x_edges.windows(2) {
+            assert!(
+                (w[0].1 - w[1].0).abs() < 1e-12,
+                "adjacent tiles must share an edge: {w:?}"
+            );
+        }
+        // y = 0 is the top of the map (maximum data-space y).
+        let top = pyramid_raster(&base, 1, 0, 0).expect("top");
+        let bottom = pyramid_raster(&base, 1, 0, 1).expect("bottom");
+        assert!((top.window().1 .1 - by1).abs() < 1e-12);
+        assert!((bottom.window().1 .0 - by0).abs() < 1e-12);
+        assert!(top.window().1 .0 > bottom.window().1 .0);
+    }
+
+    #[test]
+    fn pyramid_rejects_bad_addresses() {
+        let (_, _, base) = setup();
+        assert!(pyramid_raster(&base, 1, 2, 0).is_err(), "x out of range");
+        assert!(pyramid_raster(&base, 1, 0, 2).is_err(), "y out of range");
+        assert!(pyramid_raster(&base, 0, 1, 0).is_err(), "root has one tile");
+        assert!(
+            pyramid_raster(&base, MAX_PYRAMID_Z + 1, 0, 0).is_err(),
+            "zoom too deep"
+        );
+        let rect = RasterSpec::new(16, 8, (0.0, 1.0), (0.0, 1.0));
+        assert!(pyramid_raster(&rect, 0, 0, 0).is_err(), "non-square base");
+    }
+
+    #[test]
+    fn tile_renders_match_full_raster_windows() {
+        let (ps, kernel, base) = setup();
+        let tree = KdTree::build_default(&ps);
+        // Render the whole level-1 raster in one pass…
+        let full_raster = base.with_resolution(32, 32);
+        let mut ev = RefineEvaluator::new(&tree, kernel, BoundFamily::Quadratic);
+        let full = crate::render::render_eps(&mut ev, &full_raster, 0.01);
+        let (lo, hi) = full.min_max().expect("non-empty");
+        let cm = ColorMap::heat();
+        let reference = cm.render_scaled(&full, lo, hi, true);
+        // …then tile by tile; the mosaic must match pixel-for-pixel.
+        for ty in 0..2u32 {
+            for tx in 0..2u32 {
+                let raster = pyramid_raster(&base, 1, tx, ty).expect("tile");
+                let mut ev = RefineEvaluator::new(&tree, kernel, BoundFamily::Quadratic);
+                let mut budget = RenderBudget::unlimited();
+                let mut metrics = RenderMetrics::new();
+                let tile = render_tile_eps(
+                    &mut ev,
+                    &raster,
+                    0.01,
+                    &mut budget,
+                    &cm,
+                    (lo, hi),
+                    &mut metrics,
+                )
+                .expect("tile render");
+                assert!(tile.is_complete());
+                assert_eq!(metrics.pixels, 16 * 16, "every tile pixel is metered");
+                for row in 0..16 {
+                    for col in 0..16 {
+                        assert_eq!(
+                            tile.image.get(col, row),
+                            reference.get(tx * 16 + col, ty * 16 + row),
+                            "tile ({tx},{ty}) pixel ({col},{row})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_degrades_instead_of_failing() {
+        let (ps, kernel, base) = setup();
+        let tree = KdTree::build_default(&ps);
+        let raster = pyramid_raster(&base, 0, 0, 0).expect("root");
+        let mut ev = RefineEvaluator::new(&tree, kernel, BoundFamily::Quadratic);
+        let mut tiny = RenderBudget::unlimited().with_max_work(3 * raster.num_pixels() as u64);
+        let mut metrics = RenderMetrics::new();
+        let tile = render_tile_eps(
+            &mut ev,
+            &raster,
+            1e-7,
+            &mut tiny,
+            &ColorMap::heat(),
+            (0.0, 1.0),
+            &mut metrics,
+        )
+        .expect("degrades, not errors");
+        assert!(tile.degraded_pixels > 0);
+        assert!(!tile.is_complete());
+        assert_eq!(metrics.degraded_pixels, tile.degraded_pixels);
+
+        let mut ev2 = RefineEvaluator::new(&tree, kernel, BoundFamily::Quadratic);
+        let mut tiny2 = RenderBudget::unlimited().with_max_work(raster.num_pixels() as u64);
+        let mut metrics2 = RenderMetrics::new();
+        let tau_tile = render_tile_tau(&mut ev2, &raster, 1e-3, &mut tiny2, &mut metrics2)
+            .expect("tau degrades");
+        assert!(tau_tile.degraded_pixels > 0);
+    }
+}

@@ -37,6 +37,114 @@ const TILE_REFINE_BUDGET: usize = 48;
 /// straddles fine structure — splitting beats refining.
 const FRONTIER_CAP: usize = 192;
 
+/// Outcome of one box-level τ certification (see [`certify_box`]).
+#[derive(Debug, Clone)]
+pub enum BoxCertification {
+    /// The kernel aggregation clears τ on one side for **every** point
+    /// of the box: `true` = uniformly hot, `false` = uniformly cold.
+    Decided(bool),
+    /// Bounds did not clear τ within the refinement allowance; carries
+    /// the refined node frontier, valid for any sub-box of the input
+    /// box (hand it to the children — that inheritance is the reuse
+    /// that makes hierarchical splitting cheap).
+    Undecided(Vec<NodeId>),
+}
+
+/// Refines box bounds of the kernel aggregation over `tile_box`,
+/// starting from an inherited node `frontier`, until the bounds clear
+/// `tau` on either side or the per-box refinement allowance runs out.
+///
+/// This is the primitive behind both [`render_tau_tiled`]'s quadrant
+/// recursion and `kdv-server`'s parent→child tile seeding: bounds
+/// certified for a parent box hold for any sub-box, so a child tile
+/// starts from the parent's frontier instead of re-descending from the
+/// kd-tree root.
+pub fn certify_box(
+    tree: &KdTree,
+    kernel: Kernel,
+    tau: f64,
+    tile_box: &Mbr,
+    frontier: &[NodeId],
+) -> BoxCertification {
+    // (gap, id, lb, ub) — a small working set with linear
+    // max-extraction; boxes rarely hold more than a few dozen entries,
+    // so this beats heap churn.
+    let mut work: Vec<(f64, NodeId, f64, f64)> = Vec::with_capacity(frontier.len() + 16);
+    let mut lb_sum = 0.0;
+    let mut ub_sum = 0.0;
+    for &id in frontier {
+        let node = tree.node(id);
+        let b = box_bounds(&kernel, &node.stats, &node.mbr, tile_box);
+        lb_sum += b.lb;
+        ub_sum += b.ub;
+        work.push((b.gap(), id, b.lb, b.ub));
+    }
+    // `done` holds leaves refined to point granularity (their ids stay
+    // in the child frontier; point-level bounds are not transferable
+    // across boxes).
+    let mut done: Vec<NodeId> = Vec::new();
+
+    for _ in 0..TILE_REFINE_BUDGET {
+        if lb_sum >= tau {
+            return BoxCertification::Decided(true);
+        }
+        if ub_sum < tau {
+            return BoxCertification::Decided(false);
+        }
+        if work.len() + done.len() > FRONTIER_CAP {
+            break;
+        }
+        let Some(widest) = work
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1 .0.total_cmp(&b.1 .0))
+            .map(|(i, _)| i)
+        else {
+            break;
+        };
+        let (_, id, lb, ub) = work.swap_remove(widest);
+        match tree.node(id).kind {
+            NodeKind::Leaf { .. } => {
+                let (lp, up) = leaf_point_bounds(tree, kernel, id, tile_box);
+                lb_sum += lp - lb;
+                ub_sum += up - ub;
+                done.push(id);
+            }
+            NodeKind::Internal { left, right } => {
+                for child in [left, right] {
+                    let node = tree.node(child);
+                    let b = box_bounds(&kernel, &node.stats, &node.mbr, tile_box);
+                    lb_sum += b.lb;
+                    ub_sum += b.ub;
+                    work.push((b.gap(), child, b.lb, b.ub));
+                }
+                lb_sum -= lb;
+                ub_sum -= ub;
+            }
+        }
+    }
+    if lb_sum >= tau {
+        return BoxCertification::Decided(true);
+    }
+    if ub_sum < tau {
+        return BoxCertification::Decided(false);
+    }
+    let mut next: Vec<NodeId> = work.into_iter().map(|(_, id, _, _)| id).collect();
+    next.extend(done);
+    BoxCertification::Undecided(next)
+}
+
+/// Point-granularity uniform bounds for one leaf over the tile box.
+fn leaf_point_bounds(tree: &KdTree, kernel: Kernel, id: NodeId, tile_box: &Mbr) -> (f64, f64) {
+    let mut lb = 0.0;
+    let mut ub = 0.0;
+    for (p, w) in tree.leaf_points(id) {
+        lb += w * kernel.eval_dist2(tile_box.max_dist2(p));
+        ub += w * kernel.eval_dist2(tile_box.min_dist2(p));
+    }
+    (lb, ub)
+}
+
 /// Undecided tiles at or below this pixel count go straight to the
 /// per-pixel engine (the engine is already efficient at boundary
 /// pixels; further tiling only adds overhead).
@@ -88,24 +196,24 @@ struct TileCtx<'a> {
     pixel_engine: RefineEvaluator<'a>,
 }
 
-enum Outcome {
-    Decided(bool),
-    /// Undecided: the refined node frontier for children to inherit.
-    Undecided(Vec<NodeId>),
-}
-
 impl TileCtx<'_> {
     fn classify_tile(&mut self, col0: u32, row0: u32, w: u32, h: u32, frontier: &[NodeId]) {
-        // Data-space box spanned by the tile's pixel centers.
-        let a = self.raster.pixel_center(col0, row0);
-        let b = self.raster.pixel_center(col0 + w - 1, row0 + h - 1);
+        // Data-space box spanned by the tile's pixel centers, via the
+        // shared sub-window mapping (one pixel→data-space code path
+        // with kdv-server's tile extraction).
+        let sub = self
+            .raster
+            .sub_window(col0, row0, w, h)
+            .expect("quadrant rect is always inside the raster");
+        let a = sub.pixel_center(0, 0);
+        let b = sub.pixel_center(w - 1, h - 1);
         let tile_box = Mbr::new(
             vec![a[0].min(b[0]), a[1].min(b[1])],
             vec![a[0].max(b[0]), a[1].max(b[1])],
         );
 
-        match self.refine_box(&tile_box, frontier) {
-            Outcome::Decided(hot) => {
+        match certify_box(self.tree, self.kernel, self.tau, &tile_box, frontier) {
+            BoxCertification::Decided(hot) => {
                 for row in row0..row0 + h {
                     for col in col0..col0 + w {
                         self.grid.set(col, row, hot);
@@ -114,7 +222,7 @@ impl TileCtx<'_> {
                 self.stats.tiles_decided += 1;
                 self.stats.pixels_via_tiles += (w * h) as usize;
             }
-            Outcome::Undecided(next_frontier) => {
+            BoxCertification::Undecided(next_frontier) => {
                 if w * h <= MIN_TILE_PIXELS {
                     for row in row0..row0 + h {
                         for col in col0..col0 + w {
@@ -138,87 +246,6 @@ impl TileCtx<'_> {
                 }
             }
         }
-    }
-
-    /// Refines box bounds starting from an inherited frontier.
-    fn refine_box(&mut self, tile_box: &Mbr, frontier: &[NodeId]) -> Outcome {
-        // (gap, id, lb, ub) — a small working set with linear
-        // max-extraction; tiles rarely hold more than a few dozen
-        // entries, so this beats heap churn.
-        let mut work: Vec<(f64, NodeId, f64, f64)> = Vec::with_capacity(frontier.len() + 16);
-        let mut lb_sum = 0.0;
-        let mut ub_sum = 0.0;
-        for &id in frontier {
-            let node = self.tree.node(id);
-            let b = box_bounds(&self.kernel, &node.stats, &node.mbr, tile_box);
-            lb_sum += b.lb;
-            ub_sum += b.ub;
-            work.push((b.gap(), id, b.lb, b.ub));
-        }
-        // `done` holds leaves refined to point granularity (their ids
-        // stay in the child frontier; point-level bounds are not
-        // transferable across boxes).
-        let mut done: Vec<NodeId> = Vec::new();
-
-        for _ in 0..TILE_REFINE_BUDGET {
-            if lb_sum >= self.tau {
-                return Outcome::Decided(true);
-            }
-            if ub_sum < self.tau {
-                return Outcome::Decided(false);
-            }
-            if work.len() + done.len() > FRONTIER_CAP {
-                break;
-            }
-            let Some(widest) = work
-                .iter()
-                .enumerate()
-                .max_by(|a, b| a.1 .0.total_cmp(&b.1 .0))
-                .map(|(i, _)| i)
-            else {
-                break;
-            };
-            let (_, id, lb, ub) = work.swap_remove(widest);
-            match self.tree.node(id).kind {
-                NodeKind::Leaf { .. } => {
-                    let (lp, up) = self.leaf_point_bounds(id, tile_box);
-                    lb_sum += lp - lb;
-                    ub_sum += up - ub;
-                    done.push(id);
-                }
-                NodeKind::Internal { left, right } => {
-                    for child in [left, right] {
-                        let node = self.tree.node(child);
-                        let b = box_bounds(&self.kernel, &node.stats, &node.mbr, tile_box);
-                        lb_sum += b.lb;
-                        ub_sum += b.ub;
-                        work.push((b.gap(), child, b.lb, b.ub));
-                    }
-                    lb_sum -= lb;
-                    ub_sum -= ub;
-                }
-            }
-        }
-        if lb_sum >= self.tau {
-            return Outcome::Decided(true);
-        }
-        if ub_sum < self.tau {
-            return Outcome::Decided(false);
-        }
-        let mut next: Vec<NodeId> = work.into_iter().map(|(_, id, _, _)| id).collect();
-        next.extend(done);
-        Outcome::Undecided(next)
-    }
-
-    /// Point-granularity uniform bounds for one leaf over the tile box.
-    fn leaf_point_bounds(&self, id: NodeId, tile_box: &Mbr) -> (f64, f64) {
-        let mut lb = 0.0;
-        let mut ub = 0.0;
-        for (p, w) in self.tree.leaf_points(id) {
-            lb += w * self.kernel.eval_dist2(tile_box.max_dist2(p));
-            ub += w * self.kernel.eval_dist2(tile_box.min_dist2(p));
-        }
-        (lb, ub)
     }
 }
 

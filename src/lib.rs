@@ -18,7 +18,9 @@
 //! * [`data`] — synthetic dataset generators and CSV I/O,
 //! * [`telemetry`] — render metrics: refinement-event counters,
 //!   per-pixel histograms, cost maps, JSON export,
-//! * [`viz`] — color maps, image output, progressive rendering.
+//! * [`viz`] — color maps, image output, progressive rendering,
+//! * [`server`] — HTTP tile server: cached z/x/y pyramid, admission
+//!   control, live `/metrics`.
 //!
 //! ## Quick start
 //!
@@ -50,6 +52,7 @@ pub use kdv_geom as geom;
 pub use kdv_index as index;
 pub use kdv_pca as pca;
 pub use kdv_sampling as sampling;
+pub use kdv_server as server;
 pub use kdv_telemetry as telemetry;
 pub use kdv_viz as viz;
 
