@@ -1,28 +1,41 @@
-//! Serving-latency baseline: cold vs. cached tile fetches.
+//! Serving-latency baseline: cold vs. cached tile fetches, plus the
+//! snapshot cold-start comparison.
 //!
 //! Starts an in-process [`TileServer`] on an emulated crime dataset,
 //! fetches every εKDV tile at z ∈ {0, 2, 4} twice over real sockets —
 //! the first pass renders (cold), the second is served from the LRU
 //! cache — and writes per-level latency histograms (p50/p99/mean) to
-//! `BENCH_serve.json`. Later PRs diff this sidecar to catch serving
+//! `BENCH_serve.json`. A second section times the cold start on a
+//! 1M-point synthetic dataset two ways: booting the server from CSV
+//! (`cold_start_ms_build`) versus from a KDVS snapshot catalog
+//! (`cold_start_ms_load`), with the bare index-acquisition cost
+//! (`index_ms_*`) and the first-tile latency of each serving mode
+//! reported alongside. Later PRs diff this sidecar to catch serving
 //! regressions.
 //!
 //! ```text
 //! cargo run --release -p kdv-bench --bin serve_bench [-- out.json]
 //! ```
+//!
+//! Set `KDV_BENCH_COLD_POINTS` to shrink the cold-start dataset for
+//! quick local runs (the committed sidecar uses the full 1M).
 
 use std::io::{Read as _, Write as _};
 use std::net::{SocketAddr, TcpStream};
+use std::path::Path;
 use std::time::Instant;
 
 use kdv_core::bandwidth::scott_gamma;
 use kdv_core::kernel::Kernel;
 use kdv_data::Dataset;
+use kdv_index::KdTree;
 use kdv_server::{ServerConfig, TileServer};
+use kdv_store::SnapshotWriter;
 use kdv_telemetry::json::{self, Value};
 use kdv_telemetry::LogHistogram;
 
 const POINTS: usize = 20_000;
+const COLD_POINTS: usize = 1_000_000;
 const SEED: u64 = 11;
 const TILE_SIZE: u32 = 128;
 const LEVELS: [u8; 3] = [0, 2, 4];
@@ -55,6 +68,112 @@ fn hist_json(h: &LogHistogram) -> Value {
         ("p50_le_us", json::num_f(h.quantile_le(0.5) as f64 / 1e3)),
         ("p99_le_us", json::num_f(h.quantile_le(0.99) as f64 / 1e3)),
         ("max_us", json::num_f(h.max() as f64 / 1e3)),
+    ])
+}
+
+/// Cold start of `kdv serve`, measured both ways on the same dataset.
+///
+/// `cold_start_ms_build` is invocation → ready-to-serve for the CSV
+/// path: parse, sanitize, Scott bandwidth, kd-tree with QUAD moments,
+/// color-scale warm — everything `TileServer::start` finishes before
+/// binding. `cold_start_ms_load` is the same span for
+/// `TileServer::start_with_store`, whose catalog defers dataset
+/// materialization to first touch. So that the deferred work is not
+/// hidden, the sidecar also carries `index_ms_{build,load}` — the
+/// index-acquisition cost alone (CSV rebuild vs `Snapshot::open`),
+/// timed on the main thread — and `first_tile_ms_{build,load}`, the
+/// first tile over a real socket in each mode (in store mode that
+/// request pays the lazy snapshot load + warm).
+fn cold_start(tmp: &Path) -> Value {
+    let n = std::env::var("KDV_BENCH_COLD_POINTS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(COLD_POINTS);
+    let mut points = Dataset::Crime.generate(n, SEED);
+    points.scale_weights(1.0 / points.len() as f64);
+    let kernel = Kernel::gaussian(scott_gamma(&points).gamma);
+
+    let csv_path = tmp.join("cold.csv");
+    kdv_data::csv::save(&csv_path, &points, false).expect("write csv");
+    let store_dir = tmp.join("store");
+    std::fs::create_dir_all(&store_dir).expect("mkdir store");
+    let snap_path = store_dir.join("cold.kdvs");
+    let tree = KdTree::build_default(&points);
+    SnapshotWriter::new(&tree, kernel)
+        .write_to(&snap_path)
+        .expect("write snapshot");
+    drop(tree);
+    drop(points);
+
+    // Index acquisition alone, main thread, page-warm files: the
+    // snapshot's head-to-head against the CSV rebuild it replaces.
+    let start = Instant::now();
+    let snap = kdv_store::Snapshot::open(&snap_path).expect("open snapshot");
+    let index_load = start.elapsed().as_secs_f64() * 1e3;
+    let snap_nodes = snap.tree.num_nodes();
+    drop(snap);
+
+    let start = Instant::now();
+    let mut pts = kdv_data::csv::load(&csv_path, 2, false).expect("load csv");
+    kdv_data::sanitize::validate(&pts).expect("sanitize");
+    pts.scale_weights(1.0 / pts.len() as f64);
+    std::hint::black_box(Kernel::gaussian(scott_gamma(&pts).gamma));
+    let built = KdTree::build_default(&pts);
+    let index_build = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(snap_nodes, built.num_nodes(), "same index both ways");
+    drop(built);
+    drop(pts);
+
+    // Boot to ready-to-serve, then the first tile, in each mode. A
+    // coarse ε and small tiles keep the (identical) render cheap.
+    let config = ServerConfig {
+        tile_size: 64,
+        max_z: 2,
+        eps: 0.2,
+        workers: 4,
+        ..ServerConfig::default()
+    };
+    let start = Instant::now();
+    let mut pts = kdv_data::csv::load(&csv_path, 2, false).expect("load csv");
+    kdv_data::sanitize::validate(&pts).expect("sanitize");
+    pts.scale_weights(1.0 / pts.len() as f64);
+    let k = Kernel::gaussian(scott_gamma(&pts).gamma);
+    let server = TileServer::start(config.clone(), &pts, k).expect("server start (build)");
+    let ms_build = start.elapsed().as_secs_f64() * 1e3;
+    let start = Instant::now();
+    let (status, body) = fetch(server.local_addr(), "/tiles/eps/0/0/0.png");
+    let tile_build = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(status, 200, "build-path tile");
+    assert!(body.starts_with(b"\x89PNG"), "build-path tile: not a PNG");
+    server.stop();
+    drop(pts);
+
+    let start = Instant::now();
+    let server = TileServer::start_with_store(config, &store_dir).expect("server start (load)");
+    let ms_load = start.elapsed().as_secs_f64() * 1e3;
+    let start = Instant::now();
+    let (status, body) = fetch(server.local_addr(), "/tiles/cold/eps/0/0/0.png");
+    let tile_load = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(status, 200, "load-path tile");
+    assert!(body.starts_with(b"\x89PNG"), "load-path tile: not a PNG");
+    server.stop();
+
+    println!(
+        "cold start ({n} points): CSV boot {ms_build:.0} ms vs snapshot boot {ms_load:.1} ms \
+         ({:.0}x); index alone {index_build:.0} ms rebuilt / {index_load:.0} ms loaded \
+         ({:.1}x); first tile {tile_build:.0} ms / {tile_load:.0} ms",
+        ms_build / ms_load,
+        index_build / index_load,
+    );
+    Value::obj(vec![
+        ("points", json::num_u(n as u64)),
+        ("cold_start_ms_build", json::num_f(ms_build)),
+        ("cold_start_ms_load", json::num_f(ms_load)),
+        ("speedup", json::num_f(ms_build / ms_load)),
+        ("index_ms_build", json::num_f(index_build)),
+        ("index_ms_load", json::num_f(index_load)),
+        ("first_tile_ms_build", json::num_f(tile_build)),
+        ("first_tile_ms_load", json::num_f(tile_load)),
     ])
 }
 
@@ -107,13 +226,20 @@ fn main() {
     }
     server.stop();
 
+    let tmp = std::env::temp_dir().join(format!("kdv-serve-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&tmp);
+    std::fs::create_dir_all(&tmp).expect("mkdir tmp");
+    let cold_start = cold_start(&tmp);
+    std::fs::remove_dir_all(&tmp).ok();
+
     let doc = Value::obj(vec![
-        ("schema", Value::Str("kdv-bench-serve/1".to_string())),
+        ("schema", Value::Str("kdv-bench-serve/2".to_string())),
         ("dataset", Value::Str("crime".to_string())),
         ("points", json::num_u(POINTS as u64)),
         ("tile_size", json::num_u(TILE_SIZE as u64)),
         ("kind", Value::Str("eps".to_string())),
         ("levels", Value::Arr(levels)),
+        ("cold_start", cold_start),
     ]);
     std::fs::write(&out, doc.render()).expect("write sidecar");
     println!("wrote {out}");

@@ -15,6 +15,7 @@ use kdv_geom::PointSet;
 use kdv_index::KdTree;
 use kdv_sampling::{sample_size_for, zorder_sample};
 use kdv_server::{ServerConfig, TileServer};
+use kdv_store::{Snapshot, SnapshotWriter};
 use kdv_telemetry::RenderMetrics;
 use kdv_viz::colormap::{render_binary, ColorMap};
 use kdv_viz::metered::{
@@ -51,8 +52,14 @@ fn load_input(args: &Args) -> Result<Input, String> {
     let [path] = args.positional() else {
         return Err("expected exactly one input CSV path".into());
     };
+    load_input_from(Path::new(path), args)
+}
+
+/// [`load_input`] with the CSV path supplied by the caller (the `index`
+/// subcommands carry their own positional grammar).
+fn load_input_from(path: &Path, args: &Args) -> Result<Input, String> {
     let has_weights = args.has("weights");
-    let points = csv::load(Path::new(path), 2, has_weights).map_err(|e| e.to_string())?;
+    let points = csv::load(path, 2, has_weights).map_err(|e| e.to_string())?;
     if points.is_empty() {
         return Err("input contains no points".into());
     }
@@ -416,7 +423,8 @@ pub fn progressive(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// `kdv serve` — HTTP tile server over the dataset.
+/// `kdv serve` — HTTP tile server over the dataset (or, with
+/// `--store`, over a whole catalog of snapshot-backed datasets).
 pub fn serve(args: &Args) -> Result<(), String> {
     if args.has("help") {
         println!(
@@ -425,14 +433,31 @@ pub fn serve(args: &Args) -> Result<(), String> {
              \x20         [--weights] [--workers 4] [--queue 64] [--cache-mb 64]\n\
              \x20         [--cache-shards 8] [--tile-max-work UNITS] [--tile-deadline-ms MS]\n\
              \x20         [--allow-shutdown] [--debug-sleep]\n\
+             kdv serve --store <dir> [--store-budget-mb MB] [--tau T] [same serving flags]\n\
              \n\
              Serves GET /tiles/{{eps|tau}}/{{z}}/{{x}}/{{y}}.png, /metrics, /healthz.\n\
+             With --store: scans <dir> for {{name}}.kdvs snapshots (built by `kdv index\n\
+             build`) and {{name}}.csv fallbacks, serves them under\n\
+             /tiles/{{name}}/{{eps|tau}}/…, loading each dataset lazily on first touch.\n\
              Budget-degraded tiles answer 200 with an X-Kdv-Degraded header; a full\n\
              accept queue answers 429 with Retry-After."
         );
         return Ok(());
     }
-    let input = load_input(args)?;
+    let store_dir = args.get("store").map(PathBuf::from);
+    let input = match &store_dir {
+        Some(_) => {
+            if !args.positional().is_empty() {
+                return Err("--store serves a directory; drop the CSV argument".into());
+            }
+            None
+        }
+        None => {
+            let load_started = Instant::now();
+            let input = load_input(args)?;
+            Some((input, load_started.elapsed().as_millis() as u64))
+        }
+    };
     let eps: f64 = args.get_parsed("eps", 0.05)?;
     validate_eps(eps).map_err(|e| e.to_string())?;
     let tile_size = args.get_parsed("tile-size", 256u32)?;
@@ -441,6 +466,7 @@ pub fn serve(args: &Args) -> Result<(), String> {
     let queue = args.get_parsed("queue", 64usize)?;
     let cache_mb = args.get_parsed("cache-mb", 64usize)?;
     let cache_shards = args.get_parsed("cache-shards", 8usize)?;
+    let store_budget_mb = args.get_parsed("store-budget-mb", 0u64)?;
     let addr = args.get("addr").unwrap_or("127.0.0.1:8080").to_string();
 
     let tau = match args.get("tau") {
@@ -450,20 +476,27 @@ pub fn serve(args: &Args) -> Result<(), String> {
                 .map_err(|_| format!("--tau: cannot parse {v:?}"))?;
             validate_tau(tau).map_err(|e| e.to_string())?
         }
-        None => {
-            let k = args.get_parsed("tau-sigma", 0.1)?;
-            let tree = KdTree::try_build_default(&input.points).map_err(|e| e.to_string())?;
-            let raster = RasterSpec::try_covering(&input.points, tile_size, tile_size, 0.05)
-                .map_err(|e| e.to_string())?;
-            let levels = estimate_levels(&tree, input.kernel, &raster, 48, 36);
-            println!(
-                "pixel densities: µ = {:.4e}, σ = {:.4e} → τ = µ + {k}σ = {:.4e}",
-                levels.mu,
-                levels.sigma,
+        None => match &input {
+            Some((input, _)) => {
+                let k = args.get_parsed("tau-sigma", 0.1)?;
+                let tree = KdTree::try_build_default(&input.points).map_err(|e| e.to_string())?;
+                let raster = RasterSpec::try_covering(&input.points, tile_size, tile_size, 0.05)
+                    .map_err(|e| e.to_string())?;
+                let levels = estimate_levels(&tree, input.kernel, &raster, 48, 36);
+                println!(
+                    "pixel densities: µ = {:.4e}, σ = {:.4e} → τ = µ + {k}σ = {:.4e}",
+                    levels.mu,
+                    levels.sigma,
+                    levels.tau(k)
+                );
                 levels.tau(k)
-            );
-            levels.tau(k)
-        }
+            }
+            // No dataset is loaded at boot in store mode, so there is
+            // nothing to calibrate τ against; require an explicit
+            // level rather than estimating from whichever dataset
+            // happens to be touched first.
+            None => return Err("--store requires an explicit --tau level".into()),
+        },
     };
 
     let mut policy = BudgetPolicy::unlimited();
@@ -500,19 +533,181 @@ pub fn serve(args: &Args) -> Result<(), String> {
         margin_frac: 0.05,
         allow_shutdown: args.has("allow-shutdown"),
         debug_sleep: args.has("debug-sleep"),
+        data_load_ms: input.as_ref().map_or(0, |(_, ms)| *ms),
+        store_budget_bytes: store_budget_mb << 20,
     };
-    let server =
-        TileServer::start(config, &input.points, input.kernel).map_err(|e| e.to_string())?;
+    let server = match (&store_dir, &input) {
+        (Some(dir), _) => TileServer::start_with_store(config, dir),
+        (None, Some((input, _))) => TileServer::start(config, &input.points, input.kernel),
+        (None, None) => unreachable!("one of --store and the CSV path is always present"),
+    }
+    .map_err(|e| e.to_string())?;
     let bound = server.local_addr();
+    match (&store_dir, &input) {
+        (Some(dir), _) => {
+            let names = server.dataset_names();
+            println!(
+                "serving {} dataset(s) from {}: ε = {eps}, τ = {tau:.4e}, {tile_size}px tiles \
+                 to z ≤ {max_z}, {workers} workers, queue {queue}, cache {cache_mb} MiB",
+                names.len(),
+                dir.display()
+            );
+            println!("  datasets: {}", names.join(", "));
+            println!(
+                "  tiles:    http://{bound}/tiles/{}/eps/0/0/0.png   (kinds: eps, tau)",
+                names.first().map(String::as_str).unwrap_or("{dataset}")
+            );
+        }
+        (None, Some((input, _))) => {
+            println!(
+                "serving {} points: ε = {eps}, τ = {tau:.4e}, {tile_size}px tiles to z ≤ {max_z}, \
+                 {workers} workers, queue {queue}, cache {cache_mb} MiB",
+                input.points.len()
+            );
+            println!("  tiles:   http://{bound}/tiles/eps/0/0/0.png   (kinds: eps, tau)");
+        }
+        (None, None) => unreachable!(),
+    }
+    let su = server.startup();
     println!(
-        "serving {} points: ε = {eps}, τ = {tau:.4e}, {tile_size}px tiles to z ≤ {max_z}, \
-         {workers} workers, queue {queue}, cache {cache_mb} MiB",
-        input.points.len()
+        "  startup: {} ms (data load {} ms, index {} ms, warm {} ms, source {})",
+        su.total_ms, su.data_load_ms, su.index_ms, su.warm_ms, su.source
     );
-    println!("  tiles:   http://{bound}/tiles/eps/0/0/0.png   (kinds: eps, tau)");
     println!("  metrics: http://{bound}/metrics");
     server.join();
     println!("server stopped");
+    Ok(())
+}
+
+/// `kdv index` — build, inspect, and verify KDVS snapshots.
+pub fn index(args: &Args) -> Result<(), String> {
+    let help = || {
+        println!(
+            "kdv index build <points.csv> [--out points.kdvs] [--kernel ...] [--gamma G]\n\
+             \x20          [--weights] [--coresets N1,N2,...]\n\
+             kdv index inspect <file.kdvs>\n\
+             kdv index verify <file.kdvs>\n\
+             \n\
+             build    serialize the kd-tree + QUAD moments to a KDVS snapshot\n\
+             inspect  print header, section table, and metadata (checksums verified)\n\
+             verify   full load + deep re-validation of moments and topology"
+        );
+    };
+    if args.has("help") {
+        help();
+        return Ok(());
+    }
+    match args.positional() {
+        [sub, path] => {
+            let path = Path::new(path);
+            match sub.as_str() {
+                "build" => index_build(args, path),
+                "inspect" => index_inspect(path),
+                "verify" => index_verify(path),
+                other => Err(format!(
+                    "unknown index subcommand {other:?} (want build, inspect, or verify)"
+                )),
+            }
+        }
+        _ => {
+            help();
+            Err("expected: kdv index <build|inspect|verify> <path>".into())
+        }
+    }
+}
+
+fn index_build(args: &Args, csv_path: &Path) -> Result<(), String> {
+    let input = load_input_from(csv_path, args)?;
+    let build_started = Instant::now();
+    let tree = KdTree::try_build_default(&input.points).map_err(|e| e.to_string())?;
+    let build_ms = build_started.elapsed().as_millis();
+
+    let mut writer = SnapshotWriter::new(&tree, input.kernel);
+    if let Some(spec) = args.get("coresets") {
+        let mut sizes = Vec::new();
+        for part in spec.split(',') {
+            let size: usize = part
+                .trim()
+                .parse()
+                .map_err(|_| format!("--coresets: cannot parse {part:?}"))?;
+            if size == 0 || size > input.points.len() {
+                return Err(format!(
+                    "--coresets: size {size} outside [1, {}]",
+                    input.points.len()
+                ));
+            }
+            sizes.push(size);
+        }
+        let levels: Vec<_> = sizes
+            .iter()
+            .map(|&s| zorder_sample(tree.points(), s, 0.25))
+            .collect();
+        writer = writer.with_coresets(levels);
+    }
+
+    let out = match args.get("out") {
+        Some(p) => PathBuf::from(p),
+        None => csv_path.with_extension(kdv_store::EXTENSION),
+    };
+    let write_started = Instant::now();
+    let bytes = writer.write_to(&out).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} ({} points, {} nodes, {bytes} bytes) — build {build_ms} ms, write {} ms",
+        out.display(),
+        input.points.len(),
+        tree.num_nodes(),
+        write_started.elapsed().as_millis()
+    );
+    Ok(())
+}
+
+fn index_inspect(path: &Path) -> Result<(), String> {
+    let info = Snapshot::inspect(path).map_err(|e| e.to_string())?;
+    println!("{}: KDVS version {}", path.display(), info.version);
+    println!(
+        "  flags: {:#06x}{}",
+        info.flags,
+        if info.flags & kdv_store::FLAG_CORESETS != 0 {
+            " (coresets)"
+        } else {
+            ""
+        }
+    );
+    println!("  file length: {} bytes", info.file_len);
+    println!("  sections:");
+    for s in &info.sections {
+        println!(
+            "    {:4}  offset {:>10}  len {:>10}  crc32 {:#010x}",
+            s.name, s.offset, s.len, s.crc
+        );
+    }
+    let m = &info.meta;
+    println!(
+        "  dataset: {} points (dim {}), {} nodes, root {}, leaf capacity {}, split {:?}",
+        m.point_count, m.dim, m.node_count, m.root, m.leaf_capacity, m.split
+    );
+    println!(
+        "  kernel: {:?}, γ = {}, coreset levels: {}",
+        m.kernel, m.gamma, m.coreset_levels
+    );
+    Ok(())
+}
+
+fn index_verify(path: &Path) -> Result<(), String> {
+    let load_started = Instant::now();
+    let snap = Snapshot::open(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let load_ms = load_started.elapsed().as_millis();
+    let deep_started = Instant::now();
+    snap.verify_deep()
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    println!(
+        "{}: ok — {} points, {} nodes, {} coreset level(s); load {load_ms} ms, deep verify {} ms",
+        path.display(),
+        snap.meta.point_count,
+        snap.meta.node_count,
+        snap.coresets.len(),
+        deep_started.elapsed().as_millis()
+    );
     Ok(())
 }
 

@@ -30,6 +30,7 @@ commands:
   hotspot      τKDV two-color hotspot map (PPM out)
   progressive  time-budgeted coarse-to-fine render (PPM out)
   sample       Z-order (ε, δ) coreset extraction (CSV out)
+  index        build / inspect / verify KDVS index snapshots
   serve        HTTP tile server: cached z/x/y pyramid + /metrics
   stats        dataset statistics and recommended parameters
   synth        generate an emulated benchmark dataset (CSV out)
@@ -82,6 +83,7 @@ fn run() -> ExitCode {
         "hotspot" => commands::hotspot(&parsed),
         "progressive" => commands::progressive(&parsed),
         "sample" => commands::sample(&parsed),
+        "index" => commands::index(&parsed),
         "serve" => commands::serve(&parsed),
         "stats" => commands::stats(&parsed),
         "synth" => commands::synth(&parsed),

@@ -105,6 +105,32 @@ impl PointSet {
         }
     }
 
+    /// Builds a point set by taking ownership of pre-assembled flat
+    /// buffers — the zero-copy sibling of [`PointSet::from_rows_weighted`]
+    /// for callers (snapshot loading, bulk decoders) that already hold
+    /// the data in the final layout and would otherwise pay a
+    /// multi-megabyte copy per million points.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch, `dim == 0`, or a non-finite/negative
+    /// weight.
+    pub fn from_vecs(dim: usize, coords: Vec<f64>, weights: Vec<f64>) -> Self {
+        assert!(dim > 0, "point dimensionality must be positive");
+        assert!(
+            coords.len().is_multiple_of(dim),
+            "flat buffer not a multiple of dim"
+        );
+        assert_eq!(coords.len() / dim, weights.len(), "weight count mismatch");
+        for &w in &weights {
+            assert!(w.is_finite() && w >= 0.0, "weights must be finite and ≥ 0");
+        }
+        Self {
+            dim,
+            coords,
+            weights,
+        }
+    }
+
     /// Appends one point with weight 1.
     ///
     /// # Panics

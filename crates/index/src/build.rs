@@ -199,6 +199,219 @@ impl KdTree {
             f(NodeId(i as u32), n);
         }
     }
+
+    /// Read-only access to the node arena in build order (the order
+    /// [`KdTree::for_each_node`] visits; `NodeId(i)` is `nodes()[i]`).
+    /// Snapshot serialization walks this slice directly.
+    #[inline]
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Reassembles a tree from externally-supplied parts — the inverse
+    /// of reading [`KdTree::points`] and [`KdTree::nodes`] back out —
+    /// validating every invariant the builder would have established:
+    ///
+    /// * points are non-empty with finite coordinates and weights,
+    /// * every node id is in range, children come *after* their parent
+    ///   in the arena (build order), each node is reachable from the
+    ///   root exactly once, and depths increase by one per level,
+    /// * leaf ranges partition `[0, len)` exactly,
+    /// * node counts are consistent bottom-up,
+    /// * all moments are finite, share one center, and every internal
+    ///   node's moments equal the sum of its children's (to floating-
+    ///   point tolerance).
+    ///
+    /// `kdv-store` uses this as the trust boundary between decoded
+    /// snapshot bytes and the query engine: a snapshot whose sections
+    /// pass their checksums can still be *semantically* inconsistent
+    /// (a buggy or hostile writer), and this is where that is caught.
+    pub fn try_from_parts(
+        points: PointSet,
+        nodes: Vec<Node>,
+        root: NodeId,
+        config: BuildConfig,
+    ) -> Result<Self, BuildError> {
+        if points.is_empty() {
+            return Err(BuildError::EmptyPointSet);
+        }
+        if config.leaf_capacity == 0 {
+            return Err(BuildError::ZeroLeafCapacity);
+        }
+        for i in 0..points.len() {
+            if let Some(axis) = points.point(i).iter().position(|c| !c.is_finite()) {
+                return Err(BuildError::NonFiniteCoordinate { point: i, axis });
+            }
+            if !points.weight(i).is_finite() {
+                return Err(BuildError::NonFiniteWeight { point: i });
+            }
+        }
+        let topo = |detail: String| BuildError::InvalidTopology { detail };
+        let moments = |detail: String| BuildError::InvalidMoments { detail };
+        let n = points.len();
+        let d = points.dim();
+        if nodes.is_empty() {
+            return Err(topo("node arena is empty".into()));
+        }
+        if root.index() >= nodes.len() {
+            return Err(topo(format!(
+                "root id {} out of range ({} nodes)",
+                root.0,
+                nodes.len()
+            )));
+        }
+        let center = nodes[root.index()].stats.center.clone();
+        for (i, node) in nodes.iter().enumerate() {
+            if node.mbr.dim() != d {
+                return Err(topo(format!(
+                    "node {i}: MBR dimensionality {} != point dimensionality {d}",
+                    node.mbr.dim()
+                )));
+            }
+            let s = &node.stats;
+            if s.dim() != d {
+                return Err(moments(format!(
+                    "node {i}: moment dimensionality {} != point dimensionality {d}",
+                    s.dim()
+                )));
+            }
+            if s.center != center {
+                return Err(moments(format!(
+                    "node {i}: moment center differs from the root's"
+                )));
+            }
+            let finite = s.weight.is_finite()
+                && s.weight >= 0.0
+                && s.sum_norm2.is_finite()
+                && s.sum_norm4.is_finite()
+                && s.sum.iter().all(|v| v.is_finite())
+                && s.sum_norm2_p.iter().all(|v| v.is_finite())
+                && s.moment2.iter().all(|v| v.is_finite())
+                && s.center.iter().all(|v| v.is_finite());
+            if !finite {
+                return Err(moments(format!("node {i}: non-finite moment")));
+            }
+        }
+        // Reachability walk: every node exactly once, children strictly
+        // after their parent (the builder reserves the parent slot
+        // before recursing, so arena order doubles as a cycle guard).
+        let mut visited = vec![false; nodes.len()];
+        let mut leaf_ranges: Vec<(u32, u32)> = Vec::new();
+        let mut stack = vec![root];
+        if nodes[root.index()].depth != 0 {
+            return Err(topo(format!(
+                "root depth {} != 0",
+                nodes[root.index()].depth
+            )));
+        }
+        while let Some(id) = stack.pop() {
+            let i = id.index();
+            if visited[i] {
+                return Err(topo(format!("node {i} is reachable more than once")));
+            }
+            visited[i] = true;
+            let node = &nodes[i];
+            match node.kind {
+                NodeKind::Leaf { start, end } => {
+                    if start > end || end as usize > n {
+                        return Err(topo(format!(
+                            "leaf {i}: point range [{start}, {end}) outside [0, {n})"
+                        )));
+                    }
+                    if node.count != end - start {
+                        return Err(topo(format!(
+                            "leaf {i}: count {} != range length {}",
+                            node.count,
+                            end - start
+                        )));
+                    }
+                    leaf_ranges.push((start, end));
+                }
+                NodeKind::Internal { left, right } => {
+                    for child in [left, right] {
+                        if child.index() >= nodes.len() {
+                            return Err(topo(format!(
+                                "node {i}: child id {} out of range",
+                                child.0
+                            )));
+                        }
+                        if child.index() <= i {
+                            return Err(topo(format!(
+                                "node {i}: child {} does not follow its parent in build order",
+                                child.0
+                            )));
+                        }
+                        if nodes[child.index()].depth != node.depth + 1 {
+                            return Err(topo(format!(
+                                "node {i}: child {} depth {} != parent depth {} + 1",
+                                child.0,
+                                nodes[child.index()].depth,
+                                node.depth
+                            )));
+                        }
+                    }
+                    let (lc, rc) = (nodes[left.index()].count, nodes[right.index()].count);
+                    if node.count != lc + rc {
+                        return Err(topo(format!(
+                            "node {i}: count {} != children's {lc} + {rc}",
+                            node.count
+                        )));
+                    }
+                    stack.push(left);
+                    stack.push(right);
+                }
+            }
+        }
+        if let Some(orphan) = visited.iter().position(|v| !v) {
+            return Err(topo(format!("node {orphan} is unreachable from the root")));
+        }
+        // Leaf ranges must tile [0, n) exactly: no gap, no overlap.
+        leaf_ranges.sort_unstable();
+        let mut cursor = 0u32;
+        for (start, end) in leaf_ranges {
+            if start != cursor {
+                return Err(topo(format!(
+                    "leaf ranges leave a gap or overlap at point {cursor} (next leaf starts at {start})"
+                )));
+            }
+            cursor = end;
+        }
+        if cursor as usize != n {
+            return Err(topo(format!(
+                "leaf ranges cover [0, {cursor}) but the set has {n} points"
+            )));
+        }
+        // Moment additivity: an internal node is the merge of its
+        // children. Snapshots written from our builder match bitwise;
+        // the tolerance leaves room for writers that re-derive moments.
+        for (i, node) in nodes.iter().enumerate() {
+            if let NodeKind::Internal { left, right } = node.kind {
+                let l = &nodes[left.index()].stats;
+                let r = &nodes[right.index()].stats;
+                let wsum = l.weight + r.weight;
+                let w_tol = 1e-9 * (1.0 + wsum.abs());
+                if (node.stats.weight - wsum).abs() > w_tol {
+                    return Err(moments(format!(
+                        "node {i}: weight {} != children's sum {wsum}",
+                        node.stats.weight
+                    )));
+                }
+                let b = l.sum_norm2 + r.sum_norm2;
+                if (node.stats.sum_norm2 - b).abs() > 1e-9 * (1.0 + b.abs()) {
+                    return Err(moments(format!(
+                        "node {i}: Σw‖p−c‖² {} != children's sum {b}",
+                        node.stats.sum_norm2
+                    )));
+                }
+            }
+        }
+        Ok(Self {
+            points,
+            nodes,
+            root,
+            config,
+        })
+    }
 }
 
 fn build_recursive(
@@ -436,6 +649,90 @@ mod tests {
     #[should_panic(expected = "empty point set")]
     fn empty_set_panics() {
         KdTree::build_default(&PointSet::new(2));
+    }
+
+    #[test]
+    fn try_from_parts_round_trips_a_built_tree() {
+        let ps = random_points(300, 2, 77);
+        let tree = KdTree::build_default(&ps);
+        let rebuilt = KdTree::try_from_parts(
+            tree.points().clone(),
+            tree.nodes().to_vec(),
+            tree.root(),
+            tree.config(),
+        )
+        .expect("decomposed tree must reassemble");
+        assert_eq!(rebuilt.num_nodes(), tree.num_nodes());
+        assert_eq!(rebuilt.root(), tree.root());
+        assert_eq!(rebuilt.points().coords(), tree.points().coords());
+        for i in 0..tree.num_nodes() {
+            let (a, b) = (&tree.nodes()[i], &rebuilt.nodes()[i]);
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.stats.weight.to_bits(), b.stats.weight.to_bits());
+        }
+    }
+
+    #[test]
+    fn try_from_parts_rejects_topology_and_moment_defects() {
+        let ps = random_points(64, 2, 78);
+        let cfg = BuildConfig {
+            leaf_capacity: 8,
+            ..BuildConfig::default()
+        };
+        let tree = KdTree::build(&ps, cfg);
+        let parts = || {
+            (
+                tree.points().clone(),
+                tree.nodes().to_vec(),
+                tree.root(),
+                tree.config(),
+            )
+        };
+        let is_topo = |r: Result<KdTree, BuildError>| {
+            matches!(r, Err(BuildError::InvalidTopology { .. }))
+        };
+        let is_moments = |r: Result<KdTree, BuildError>| {
+            matches!(r, Err(BuildError::InvalidMoments { .. }))
+        };
+
+        // Empty arena.
+        let (p, _, root, cfg) = parts();
+        assert!(is_topo(KdTree::try_from_parts(p, Vec::new(), root, cfg)));
+
+        // Root out of range.
+        let (p, n, _, cfg) = parts();
+        let bad_root = NodeId(n.len() as u32);
+        assert!(is_topo(KdTree::try_from_parts(p, n, bad_root, cfg)));
+
+        // Child pointing backwards (build-order violation / cycle).
+        let (p, mut n, root, cfg) = parts();
+        if let NodeKind::Internal { right, .. } = &mut n[0].kind {
+            *right = NodeId(0);
+        }
+        assert!(is_topo(KdTree::try_from_parts(p, n, root, cfg)));
+
+        // Leaf range escaping the point set.
+        let (p, mut n, root, cfg) = parts();
+        let leaf = (0..n.len())
+            .find(|&i| matches!(n[i].kind, NodeKind::Leaf { .. }))
+            .unwrap();
+        if let NodeKind::Leaf { end, .. } = &mut n[leaf].kind {
+            *end += 1;
+        }
+        assert!(is_topo(KdTree::try_from_parts(p, n, root, cfg)));
+
+        // Corrupted internal weight: children no longer sum to parent.
+        let (p, mut n, root, cfg) = parts();
+        let internal = (0..n.len())
+            .find(|&i| matches!(n[i].kind, NodeKind::Internal { .. }))
+            .unwrap();
+        n[internal].stats.weight += 1.0;
+        assert!(is_moments(KdTree::try_from_parts(p, n, root, cfg)));
+
+        // Non-finite moment.
+        let (p, mut n, root, cfg) = parts();
+        n[1].stats.sum_norm2 = f64::NAN;
+        assert!(is_moments(KdTree::try_from_parts(p, n, root, cfg)));
     }
 
     #[test]

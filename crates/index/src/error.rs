@@ -30,6 +30,21 @@ pub enum BuildError {
         /// Row index of the offending point (pre-reorder).
         point: usize,
     },
+    /// Externally-supplied node topology (a deserialized snapshot, for
+    /// example) violates the tree invariants: bad child indices, a
+    /// cycle, unreachable nodes, leaf ranges that do not partition the
+    /// point set, or inconsistent depths/counts.
+    InvalidTopology {
+        /// Human-readable description of the violated invariant.
+        detail: String,
+    },
+    /// Externally-supplied node moments are non-finite or do not add up
+    /// (an internal node's statistics must be the merge of its
+    /// children's).
+    InvalidMoments {
+        /// Human-readable description of the violated invariant.
+        detail: String,
+    },
 }
 
 impl fmt::Display for BuildError {
@@ -42,6 +57,12 @@ impl fmt::Display for BuildError {
             }
             BuildError::NonFiniteWeight { point } => {
                 write!(f, "non-finite weight at point {point}")
+            }
+            BuildError::InvalidTopology { detail } => {
+                write!(f, "invalid tree topology: {detail}")
+            }
+            BuildError::InvalidMoments { detail } => {
+                write!(f, "invalid node moments: {detail}")
             }
         }
     }

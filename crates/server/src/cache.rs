@@ -33,6 +33,10 @@ use crate::tile::TileAddr;
 /// poison `Eq`/`Hash`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TileKey {
+    /// Catalog slot index of the dataset (0 in single-dataset mode).
+    /// Two datasets can share an address, ε, and γ yet render
+    /// different bytes, so the dataset is part of the key.
+    pub dataset: u32,
     /// The pyramid address (kind, z, x, y).
     pub addr: TileAddr,
     /// `ε.to_bits()` for εKDV tiles, `τ.to_bits()` for τKDV tiles.
@@ -97,6 +101,7 @@ impl TileCache {
                 h = h.wrapping_mul(PRIME);
             }
         };
+        eat(&key.dataset.to_le_bytes());
         eat(&[key.addr.kind as u8, key.addr.z]);
         eat(&key.addr.x.to_le_bytes());
         eat(&key.addr.y.to_le_bytes());
@@ -214,6 +219,7 @@ mod tests {
 
     fn key(z: u8, x: u32, y: u32) -> TileKey {
         TileKey {
+            dataset: 0,
             addr: TileAddr {
                 kind: TileKind::Eps,
                 z,
@@ -239,8 +245,12 @@ mod tests {
         let mut other = key(0, 0, 0);
         other.param_bits = 0.01f64.to_bits();
         assert!(cache.get(&other).is_none());
+        // Same address, different dataset: also a different tile.
+        let mut other_ds = key(0, 0, 0);
+        other_ds.dataset = 1;
+        assert!(cache.get(&other_ds).is_none());
         let s = cache.snapshot();
-        assert_eq!((s.hits, s.misses, s.insertions), (1, 2, 1));
+        assert_eq!((s.hits, s.misses, s.insertions), (1, 3, 1));
     }
 
     #[test]

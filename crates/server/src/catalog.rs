@@ -1,0 +1,503 @@
+//! The multi-dataset catalog: lazy snapshot loads, byte-budget
+//! eviction, per-dataset materialization telemetry.
+//!
+//! A store directory maps one file per dataset — `{name}.kdvs`
+//! snapshots (preferred) or `{name}.csv` raw points (fallback, rebuilt
+//! with Scott's-rule bandwidth) — onto `/tiles/{name}/…` URL space.
+//! Datasets are **lazy**: the catalog scans the directory at boot
+//! (milliseconds) and materializes a dataset the first time a tile
+//! touches it, so a server fronting fifty city datasets boots instantly
+//! and pays only for the cities anyone looks at.
+//!
+//! Materialization is **single-flight**: concurrent first requests for
+//! one dataset elect one loader; the rest block on a condvar and share
+//! the `Arc<DatasetEntry>`. A failed load resets the slot to cold —
+//! errors are returned, never cached, so replacing a corrupt snapshot
+//! file heals the dataset without a restart.
+//!
+//! Under a byte budget the catalog evicts the least-recently-touched
+//! *reloadable* dataset (never the one just materialized, never a
+//! preloaded single-dataset slot) and counts the eviction in
+//! [`StoreCounters`], the same telemetry that feeds `/metrics`.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use kdv_core::bandwidth::try_scott_gamma_for;
+use kdv_core::bounds::BoundFamily;
+use kdv_core::engine::RefineEvaluator;
+use kdv_core::kernel::{Kernel, KernelType};
+use kdv_core::raster::RasterSpec;
+use kdv_index::KdTree;
+use kdv_store::{Snapshot, StoreError};
+use kdv_telemetry::json::{self, Value};
+use kdv_telemetry::StoreCounters;
+
+use crate::tile::valid_dataset_name;
+
+/// Resolution of the per-dataset density sweep that fixes its εKDV
+/// color scale (tiles of one dataset must share one normalization).
+const SCALE_SWEEP_RES: u32 = 64;
+
+/// How a dataset's tree came to exist in this process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetSource {
+    /// Deserialized from a KDVS snapshot.
+    Snapshot,
+    /// Built from raw points (CSV fallback or preloaded CLI input).
+    Built,
+}
+
+impl DatasetSource {
+    /// Stable string for logs and `/metrics`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DatasetSource::Snapshot => "snapshot",
+            DatasetSource::Built => "built",
+        }
+    }
+}
+
+/// Everything the tile pipeline needs about one materialized dataset.
+pub struct DatasetEntry {
+    /// Catalog name (the `{dataset}` path segment).
+    pub name: String,
+    /// The QUAD index.
+    pub tree: KdTree,
+    /// Bandwidth-calibrated kernel shared by every tile.
+    pub kernel: Kernel,
+    /// Level-0 window raster.
+    pub base: RasterSpec,
+    /// Map-wide density range fixing the ε colormap.
+    pub scale: (f64, f64),
+    /// Estimated resident bytes (points + node arena), for budgeting.
+    pub bytes: u64,
+    /// Milliseconds spent materializing the index (snapshot read or
+    /// tree build), excluding the color sweep.
+    pub index_ms: u64,
+    /// Milliseconds spent on the color-scale sweep.
+    pub warm_ms: u64,
+    /// Where the tree came from.
+    pub source: DatasetSource,
+}
+
+/// Raster/sweep parameters the catalog needs to finish materializing a
+/// dataset (shared by every slot; per-dataset γ comes from the file).
+#[derive(Debug, Clone, Copy)]
+pub struct RenderSettings {
+    /// Tile edge length in pixels.
+    pub tile_size: u32,
+    /// Margin around the data's bounding box (fraction of axis span).
+    pub margin_frac: f64,
+    /// εKDV tolerance used for the color-scale sweep.
+    pub eps: f64,
+}
+
+/// Rough resident-set estimate: coordinates + weights, plus the node
+/// arena (MBR corners, the d+d²+d+3 moment scalars, and per-node Vec
+/// headers). Budgeting needs proportionality, not exactness.
+fn estimate_bytes(tree: &KdTree) -> u64 {
+    let d = tree.points().dim() as u64;
+    let n = tree.points().len() as u64;
+    let per_node = 8 * (4 * d + d * d + 4) + 160;
+    n * (d + 1) * 8 + tree.num_nodes() as u64 * per_node
+}
+
+/// Finishes a materialized tree into a [`DatasetEntry`]: level-0
+/// raster, color-scale sweep, byte estimate.
+pub(crate) fn finish_entry(
+    name: &str,
+    tree: KdTree,
+    kernel: Kernel,
+    settings: RenderSettings,
+    index_ms: u64,
+    source: DatasetSource,
+) -> Result<DatasetEntry, String> {
+    let base = RasterSpec::try_covering(
+        tree.points(),
+        settings.tile_size,
+        settings.tile_size,
+        settings.margin_frac,
+    )
+    .map_err(|e| format!("dataset {name:?}: {e}"))?;
+    let warm_started = Instant::now();
+    let sweep = base.with_resolution(SCALE_SWEEP_RES, SCALE_SWEEP_RES);
+    let mut ev = RefineEvaluator::new(&tree, kernel, BoundFamily::Quadratic);
+    let grid = kdv_viz::render::render_eps(&mut ev, &sweep, settings.eps);
+    let scale = grid.min_max().unwrap_or((0.0, 1.0));
+    drop(ev);
+    let warm_ms = warm_started.elapsed().as_millis() as u64;
+    let bytes = estimate_bytes(&tree);
+    Ok(DatasetEntry {
+        name: name.to_string(),
+        tree,
+        kernel,
+        base,
+        scale,
+        bytes,
+        index_ms,
+        warm_ms,
+        source,
+    })
+}
+
+/// Loads a KDVS snapshot into an entry. Checksum or format damage
+/// surfaces as the store's structured error text.
+fn load_snapshot(
+    name: &str,
+    path: &Path,
+    settings: RenderSettings,
+) -> Result<DatasetEntry, (String, bool)> {
+    let started = Instant::now();
+    let snap = Snapshot::open(path).map_err(|e| {
+        let checksum = matches!(e, StoreError::ChecksumMismatch { .. });
+        (format!("dataset {name:?}: {e}"), checksum)
+    })?;
+    let index_ms = started.elapsed().as_millis() as u64;
+    finish_entry(
+        name,
+        snap.tree,
+        snap.kernel,
+        settings,
+        index_ms,
+        DatasetSource::Snapshot,
+    )
+    .map_err(|m| (m, false))
+}
+
+/// Builds an entry from a raw CSV (the no-snapshot fallback): 2-D
+/// unweighted points, weights normalized to 1/n, Scott's-rule Gaussian
+/// bandwidth — the same recipe as `kdv serve <csv>`.
+fn build_csv(
+    name: &str,
+    path: &Path,
+    settings: RenderSettings,
+) -> Result<DatasetEntry, (String, bool)> {
+    let started = Instant::now();
+    let mut points = kdv_data::csv::load(path, 2, false)
+        .map_err(|e| (format!("dataset {name:?}: {e}"), false))?;
+    if points.is_empty() {
+        return Err((format!("dataset {name:?}: input contains no points"), false));
+    }
+    kdv_data::sanitize::validate(&points)
+        .map_err(|e| (format!("dataset {name:?}: {e}"), false))?;
+    let n = points.len() as f64;
+    points.scale_weights(1.0 / n);
+    let bw = try_scott_gamma_for(&points, KernelType::Gaussian).map_err(|e| {
+        (
+            format!("dataset {name:?}: Scott's rule failed ({e}); provide a snapshot instead"),
+            false,
+        )
+    })?;
+    let tree = KdTree::build_default(&points);
+    let index_ms = started.elapsed().as_millis() as u64;
+    finish_entry(
+        name,
+        tree,
+        Kernel::gaussian(bw.gamma),
+        settings,
+        index_ms,
+        DatasetSource::Built,
+    )
+    .map_err(|m| (m, false))
+}
+
+/// How a cold slot re-materializes. Ordered so the directory scan's
+/// sort+dedup keeps a snapshot over a same-stem CSV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum SlotKind {
+    /// `{name}.kdvs` on disk.
+    Snapshot,
+    /// `{name}.csv` on disk.
+    Csv,
+    /// Handed in pre-built (single-dataset mode); never evictable.
+    Preloaded,
+}
+
+enum SlotState {
+    Cold,
+    Loading,
+    Ready(Arc<DatasetEntry>),
+}
+
+struct Slot {
+    name: String,
+    path: PathBuf,
+    kind: SlotKind,
+    state: Mutex<SlotState>,
+    loaded: Condvar,
+    /// Catalog-clock reading of the last tile touch (for LRU eviction).
+    last_access: AtomicU64,
+}
+
+/// The dataset catalog: named slots, lazy single-flight materialization,
+/// byte-budget eviction.
+pub struct Catalog {
+    slots: Vec<Slot>,
+    /// Estimated-byte budget across ready datasets; 0 = unlimited.
+    budget_bytes: u64,
+    counters: StoreCounters,
+    clock: AtomicU64,
+    settings: RenderSettings,
+}
+
+impl Catalog {
+    /// Scans `dir` for `{name}.kdvs` snapshots and `{name}.csv`
+    /// fallbacks (snapshot wins when both exist). Nothing is loaded
+    /// yet. Errors if the directory is unreadable, holds no datasets,
+    /// or a stem is not a valid dataset name.
+    pub fn open(
+        dir: &Path,
+        budget_bytes: u64,
+        settings: RenderSettings,
+    ) -> Result<Self, String> {
+        let entries = std::fs::read_dir(dir)
+            .map_err(|e| format!("cannot read store directory {}: {e}", dir.display()))?;
+        let mut found: Vec<(String, PathBuf, SlotKind)> = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("store directory scan failed: {e}"))?;
+            let path = entry.path();
+            if !path.is_file() {
+                continue;
+            }
+            let kind = match path.extension().and_then(|e| e.to_str()) {
+                Some(ext) if ext.eq_ignore_ascii_case(kdv_store::EXTENSION) => SlotKind::Snapshot,
+                Some(ext) if ext.eq_ignore_ascii_case("csv") => SlotKind::Csv,
+                _ => continue,
+            };
+            let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else {
+                continue;
+            };
+            if !valid_dataset_name(stem) {
+                return Err(format!(
+                    "store file {} has an invalid dataset name (want 1-64 chars of \
+                     [A-Za-z0-9_-])",
+                    path.display()
+                ));
+            }
+            found.push((stem.to_string(), path, kind));
+        }
+        // Snapshot beats CSV for the same stem; sort for binary lookup.
+        found.sort_by(|a, b| a.0.cmp(&b.0).then(a.2.cmp(&b.2)));
+        found.dedup_by(|later, earlier| later.0 == earlier.0);
+        if found.is_empty() {
+            return Err(format!(
+                "store directory {} holds no .{} or .csv datasets",
+                dir.display(),
+                kdv_store::EXTENSION
+            ));
+        }
+        let slots = found
+            .into_iter()
+            .map(|(name, path, kind)| Slot {
+                name,
+                path,
+                kind,
+                state: Mutex::new(SlotState::Cold),
+                loaded: Condvar::new(),
+                last_access: AtomicU64::new(0),
+            })
+            .collect();
+        Ok(Self {
+            slots,
+            budget_bytes,
+            counters: StoreCounters::default(),
+            clock: AtomicU64::new(0),
+            settings,
+        })
+    }
+
+    /// A one-slot catalog around a pre-built dataset (single-dataset
+    /// serving: `kdv serve points.csv`). The slot is never evicted.
+    pub fn single(entry: DatasetEntry) -> Self {
+        let slot = Slot {
+            name: entry.name.clone(),
+            path: PathBuf::new(),
+            kind: SlotKind::Preloaded,
+            state: Mutex::new(SlotState::Ready(Arc::new(entry))),
+            loaded: Condvar::new(),
+            last_access: AtomicU64::new(0),
+        };
+        Self {
+            slots: vec![slot],
+            budget_bytes: 0,
+            counters: StoreCounters::default(),
+            clock: AtomicU64::new(0),
+            settings: RenderSettings {
+                tile_size: 256,
+                margin_frac: 0.05,
+                eps: 0.05,
+            },
+        }
+    }
+
+    /// Number of cataloged datasets.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when the catalog is empty (never constructed that way).
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Sorted dataset names.
+    pub fn names(&self) -> Vec<&str> {
+        self.slots.iter().map(|s| s.name.as_str()).collect()
+    }
+
+    /// Slot index for a dataset name.
+    pub fn lookup(&self, name: &str) -> Option<usize> {
+        self.slots
+            .binary_search_by(|s| s.name.as_str().cmp(name))
+            .ok()
+    }
+
+    /// The materialization telemetry shared with `/metrics`.
+    pub fn counters(&self) -> &StoreCounters {
+        &self.counters
+    }
+
+    /// Returns the dataset at `idx`, materializing it first if cold.
+    /// Exactly one thread loads; the rest wait and share the result.
+    /// Errors are returned to every waiter and never cached.
+    pub fn get(&self, idx: usize) -> Result<Arc<DatasetEntry>, String> {
+        let slot = &self.slots[idx];
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        slot.last_access.store(stamp, Ordering::Relaxed);
+        let mut state = slot.state.lock().expect("catalog slot poisoned");
+        loop {
+            match &*state {
+                SlotState::Ready(entry) => return Ok(Arc::clone(entry)),
+                SlotState::Loading => {
+                    state = slot.loaded.wait(state).expect("catalog slot poisoned");
+                    // A failed load leaves Cold: fall through and try
+                    // the load ourselves rather than spin-waiting.
+                    if matches!(&*state, SlotState::Cold) {
+                        break;
+                    }
+                }
+                SlotState::Cold => break,
+            }
+        }
+        *state = SlotState::Loading;
+        drop(state);
+
+        let started = Instant::now();
+        let result = match slot.kind {
+            SlotKind::Snapshot => load_snapshot(&slot.name, &slot.path, self.settings),
+            SlotKind::Csv => build_csv(&slot.name, &slot.path, self.settings),
+            SlotKind::Preloaded => Err((
+                format!("dataset {:?} was evicted and cannot be rebuilt", slot.name),
+                false,
+            )),
+        };
+        let elapsed_ns = started.elapsed().as_nanos() as u64;
+
+        let mut state = slot.state.lock().expect("catalog slot poisoned");
+        match result {
+            Ok(entry) => {
+                match entry.source {
+                    DatasetSource::Snapshot => self.counters.load(elapsed_ns),
+                    DatasetSource::Built => self.counters.build(elapsed_ns),
+                }
+                let entry = Arc::new(entry);
+                *state = SlotState::Ready(Arc::clone(&entry));
+                slot.loaded.notify_all();
+                drop(state);
+                self.evict_over_budget(idx);
+                Ok(entry)
+            }
+            Err((message, checksum)) => {
+                self.counters.load_failure(checksum);
+                *state = SlotState::Cold;
+                slot.loaded.notify_all();
+                Err(message)
+            }
+        }
+    }
+
+    /// Drops least-recently-touched reloadable datasets until the
+    /// ready set fits the byte budget. `keep` (the slot that just
+    /// loaded) is never a victim — evicting the dataset someone is
+    /// actively touching would thrash.
+    fn evict_over_budget(&self, keep: usize) {
+        if self.budget_bytes == 0 {
+            return;
+        }
+        loop {
+            let mut total = 0u64;
+            let mut victim: Option<(usize, u64, u64)> = None; // (idx, stamp, bytes)
+            for (i, slot) in self.slots.iter().enumerate() {
+                let Ok(state) = slot.state.try_lock() else {
+                    continue; // contended slot: someone is using it
+                };
+                if let SlotState::Ready(entry) = &*state {
+                    total += entry.bytes;
+                    if i == keep || slot.kind == SlotKind::Preloaded {
+                        continue;
+                    }
+                    let stamp = slot.last_access.load(Ordering::Relaxed);
+                    if victim.map_or(true, |(_, best, _)| stamp < best) {
+                        victim = Some((i, stamp, entry.bytes));
+                    }
+                }
+            }
+            if total <= self.budget_bytes {
+                return;
+            }
+            let Some((idx, _, bytes)) = victim else {
+                return; // over budget but nothing evictable
+            };
+            let slot = &self.slots[idx];
+            let mut state = slot.state.lock().expect("catalog slot poisoned");
+            if matches!(&*state, SlotState::Ready(_)) {
+                *state = SlotState::Cold;
+                drop(state);
+                self.counters.evict(bytes);
+            }
+        }
+    }
+
+    /// Per-dataset catalog state for `/metrics`: name, state, source
+    /// kind, and (when ready) size and materialization timings.
+    pub fn status_json(&self) -> Value {
+        let rows = self
+            .slots
+            .iter()
+            .map(|slot| {
+                let kind = match slot.kind {
+                    SlotKind::Snapshot => "snapshot",
+                    SlotKind::Csv => "csv",
+                    SlotKind::Preloaded => "preloaded",
+                };
+                let mut fields = vec![
+                    ("dataset".to_string(), Value::Str(slot.name.clone())),
+                    ("kind".to_string(), Value::Str(kind.to_string())),
+                ];
+                let state = match slot.state.try_lock() {
+                    Err(_) => "loading",
+                    Ok(guard) => match &*guard {
+                        SlotState::Cold => "cold",
+                        SlotState::Loading => "loading",
+                        SlotState::Ready(entry) => {
+                            fields.push(("bytes".to_string(), json::num_u(entry.bytes)));
+                            fields.push(("index_ms".to_string(), json::num_u(entry.index_ms)));
+                            fields.push(("warm_ms".to_string(), json::num_u(entry.warm_ms)));
+                            fields.push((
+                                "source".to_string(),
+                                Value::Str(entry.source.as_str().to_string()),
+                            ));
+                            "ready"
+                        }
+                    },
+                };
+                fields.insert(1, ("state".to_string(), Value::Str(state.to_string())));
+                Value::Obj(fields)
+            })
+            .collect();
+        Value::Arr(rows)
+    }
+}

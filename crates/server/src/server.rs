@@ -27,6 +27,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
 use std::sync::{Arc, Mutex};
@@ -49,6 +50,7 @@ use kdv_viz::tiles::{certify_box, BoxCertification};
 use kdv_viz::{png, ColorMap};
 
 use crate::cache::{TileCache, TileKey};
+use crate::catalog::{finish_entry, Catalog, DatasetEntry, DatasetSource, RenderSettings};
 use crate::http::{read_request, text_response, Request, Response};
 use crate::tile::{parse_tile_path, TileAddr, TileKind};
 
@@ -64,10 +66,6 @@ const MAX_STORED_FRONTIERS: usize = 1 << 16;
 
 /// Longest `/debug/sleep/{ms}` pause honored.
 const MAX_DEBUG_SLEEP_MS: u64 = 10_000;
-
-/// Resolution of the startup density sweep that fixes the map-wide
-/// εKDV color scale.
-const SCALE_SWEEP_RES: u32 = 64;
 
 /// Everything `kdv serve` needs to decide before binding a socket.
 #[derive(Debug, Clone)]
@@ -101,6 +99,13 @@ pub struct ServerConfig {
     /// Honor `GET /debug/sleep/{ms}` (a testing aid that holds a
     /// worker busy; off by default).
     pub debug_sleep: bool,
+    /// Milliseconds the caller spent loading the raw data before
+    /// handing it over (the CLI measures its CSV read); folded into
+    /// the startup report so `startup.total_ms` is honest end-to-end.
+    pub data_load_ms: u64,
+    /// Estimated-byte budget across materialized catalog datasets
+    /// (store mode only); 0 disables eviction.
+    pub store_budget_bytes: u64,
 }
 
 impl Default for ServerConfig {
@@ -119,7 +124,41 @@ impl Default for ServerConfig {
             margin_frac: 0.05,
             allow_shutdown: false,
             debug_sleep: false,
+            data_load_ms: 0,
+            store_budget_bytes: 0,
         }
+    }
+}
+
+/// Where the boot time went, for the startup log line and `/metrics`.
+///
+/// The store exists to shrink `index_ms`: building the kd-tree and its
+/// moments is the dominant cost, and a snapshot-backed boot replaces it
+/// with a directory scan (datasets then load lazily, off the boot
+/// path).
+#[derive(Debug, Clone, Copy)]
+pub struct StartupReport {
+    /// End-to-end milliseconds from data to accepting sockets.
+    pub total_ms: u64,
+    /// Reading the raw data (reported by the caller; 0 when unknown).
+    pub data_load_ms: u64,
+    /// Building the index — or, in store mode, scanning the catalog.
+    pub index_ms: u64,
+    /// The εKDV color-scale sweep (pyramid warm-up).
+    pub warm_ms: u64,
+    /// `"built"` for an in-process tree, `"catalog"` for a store boot.
+    pub source: &'static str,
+}
+
+impl StartupReport {
+    fn to_json(self) -> Value {
+        Value::obj(vec![
+            ("total_ms", json::num_u(self.total_ms)),
+            ("data_load_ms", json::num_u(self.data_load_ms)),
+            ("index_ms", json::num_u(self.index_ms)),
+            ("warm_ms", json::num_u(self.warm_ms)),
+            ("source", Value::Str(self.source.to_string())),
+        ])
     }
 }
 
@@ -155,23 +194,22 @@ impl From<KdvError> for ServeError {
     }
 }
 
-/// Inherited τ-certification frontiers, keyed by tile address (τ tiles
-/// only — ε tiles have no transferable certificate).
-type FrontierMap = HashMap<(u8, u32, u32), Arc<Vec<NodeId>>>;
+/// Inherited τ-certification frontiers, keyed by dataset slot + tile
+/// address (τ tiles only — ε tiles have no transferable certificate).
+type FrontierMap = HashMap<(u32, u8, u32, u32), Arc<Vec<NodeId>>>;
 
 /// Shared immutable server state plus the few mutable rendezvous
 /// points (cache shards, metrics, frontiers — each behind its own
 /// fine-grained lock or atomic).
 struct Inner {
-    tree: KdTree,
-    kernel: Kernel,
+    /// Every dataset this server fronts. Single-dataset mode is a
+    /// one-slot catalog; store mode scans a directory and loads lazily.
+    catalog: Catalog,
+    /// Whether tile paths carry a `{dataset}` segment (store mode).
+    multi: bool,
     family: BoundFamily,
-    base: RasterSpec,
     eps: f64,
     tau: f64,
-    /// Map-wide density range fixing the ε colormap (see
-    /// [`ColorMap::render_scaled`]).
-    scale: (f64, f64),
     cm: ColorMap,
     policy: BudgetPolicy,
     max_z: u8,
@@ -184,6 +222,7 @@ struct Inner {
     /// box hold for any sub-box), so children start refinement there
     /// instead of at the kd-tree root.
     frontiers: Mutex<FrontierMap>,
+    startup: StartupReport,
     shutdown: AtomicBool,
     allow_shutdown: bool,
     debug_sleep: bool,
@@ -212,59 +251,69 @@ impl TileServer {
         points: &PointSet,
         kernel: Kernel,
     ) -> Result<Self, ServeError> {
-        if config.tile_size < 8 || config.tile_size > 1024 {
-            return Err(ServeError::Config(format!(
-                "tile size must be in [8, 1024], got {}",
-                config.tile_size
-            )));
-        }
-        if config.workers == 0 {
-            return Err(ServeError::Config("need at least one worker".into()));
-        }
-        if config.queue == 0 {
-            return Err(ServeError::Config("queue depth must be at least 1".into()));
-        }
-        if !(config.eps.is_finite() && config.eps > 0.0) {
-            return Err(ServeError::Config(format!(
-                "ε must be positive, got {}",
-                config.eps
-            )));
-        }
-        if !(config.tau.is_finite() && config.tau > 0.0) {
-            return Err(ServeError::Config(format!(
-                "τ must be positive, got {}",
-                config.tau
-            )));
-        }
-        let base = RasterSpec::try_covering(
-            points,
-            config.tile_size,
-            config.tile_size,
-            config.margin_frac,
-        )?;
+        validate_config(&config)?;
+        let build_started = Instant::now();
         let tree = KdTree::build_default(points);
-        let family = BoundFamily::Quadratic;
+        let index_ms = build_started.elapsed().as_millis() as u64;
+        let entry = finish_entry(
+            "default",
+            tree,
+            kernel,
+            render_settings(&config),
+            index_ms,
+            DatasetSource::Built,
+        )
+        .map_err(ServeError::Config)?;
+        let startup = StartupReport {
+            total_ms: config.data_load_ms + index_ms + entry.warm_ms,
+            data_load_ms: config.data_load_ms,
+            index_ms,
+            warm_ms: entry.warm_ms,
+            source: "built",
+        };
+        Self::start_inner(config, Catalog::single(entry), startup, false)
+    }
 
-        // Fix the map-wide color scale once: a coarse exact sweep of
-        // the whole window. Tiles must share one normalization or the
-        // ramp would jump at every tile seam.
-        let sweep = base.with_resolution(SCALE_SWEEP_RES, SCALE_SWEEP_RES);
-        let mut ev = RefineEvaluator::new(&tree, kernel, family);
-        let grid = kdv_viz::render::render_eps(&mut ev, &sweep, config.eps);
-        let scale = grid.min_max().unwrap_or((0.0, 1.0));
-        drop(ev);
+    /// Boots from a store directory instead of raw points: scans the
+    /// catalog (`{name}.kdvs` snapshots, `{name}.csv` fallbacks),
+    /// binds, and serves `/tiles/{dataset}/{kind}/{z}/{x}/{y}.png`.
+    /// Datasets materialize lazily on first touch — the boot path pays
+    /// a directory scan, not an index build.
+    pub fn start_with_store(config: ServerConfig, store_dir: &Path) -> Result<Self, ServeError> {
+        validate_config(&config)?;
+        let scan_started = Instant::now();
+        let catalog = Catalog::open(
+            store_dir,
+            config.store_budget_bytes,
+            render_settings(&config),
+        )
+        .map_err(ServeError::Config)?;
+        let index_ms = scan_started.elapsed().as_millis() as u64;
+        let startup = StartupReport {
+            total_ms: config.data_load_ms + index_ms,
+            data_load_ms: config.data_load_ms,
+            index_ms,
+            warm_ms: 0,
+            source: "catalog",
+        };
+        Self::start_inner(config, catalog, startup, true)
+    }
 
+    fn start_inner(
+        config: ServerConfig,
+        catalog: Catalog,
+        startup: StartupReport,
+        multi: bool,
+    ) -> Result<Self, ServeError> {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
 
         let inner = Arc::new(Inner {
-            tree,
-            kernel,
-            family,
-            base,
+            catalog,
+            multi,
+            family: BoundFamily::Quadratic,
             eps: config.eps,
             tau: config.tau,
-            scale,
             cm: ColorMap::heat(),
             policy: config.policy,
             max_z: config.max_z,
@@ -272,6 +321,7 @@ impl TileServer {
             http: HttpCounters::default(),
             metrics: Mutex::new(RenderMetrics::new()),
             frontiers: Mutex::new(HashMap::new()),
+            startup,
             shutdown: AtomicBool::new(false),
             allow_shutdown: config.allow_shutdown,
             debug_sleep: config.debug_sleep,
@@ -313,6 +363,22 @@ impl TileServer {
         self.addr
     }
 
+    /// Where this server's boot time went (also under `startup` in
+    /// `/metrics`). The CLI logs it right after binding.
+    pub fn startup(&self) -> StartupReport {
+        self.inner.startup
+    }
+
+    /// Sorted names of the datasets this server fronts.
+    pub fn dataset_names(&self) -> Vec<String> {
+        self.inner
+            .catalog
+            .names()
+            .into_iter()
+            .map(str::to_string)
+            .collect()
+    }
+
     /// Blocks until the server shuts down (via [`TileServer::stop`]
     /// from another thread, or a `GET /shutdown` when enabled).
     pub fn join(mut self) {
@@ -338,6 +404,42 @@ impl TileServer {
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
+    }
+}
+
+fn validate_config(config: &ServerConfig) -> Result<(), ServeError> {
+    if config.tile_size < 8 || config.tile_size > 1024 {
+        return Err(ServeError::Config(format!(
+            "tile size must be in [8, 1024], got {}",
+            config.tile_size
+        )));
+    }
+    if config.workers == 0 {
+        return Err(ServeError::Config("need at least one worker".into()));
+    }
+    if config.queue == 0 {
+        return Err(ServeError::Config("queue depth must be at least 1".into()));
+    }
+    if !(config.eps.is_finite() && config.eps > 0.0) {
+        return Err(ServeError::Config(format!(
+            "ε must be positive, got {}",
+            config.eps
+        )));
+    }
+    if !(config.tau.is_finite() && config.tau > 0.0) {
+        return Err(ServeError::Config(format!(
+            "τ must be positive, got {}",
+            config.tau
+        )));
+    }
+    Ok(())
+}
+
+fn render_settings(config: &ServerConfig) -> RenderSettings {
+    RenderSettings {
+        tile_size: config.tile_size,
+        margin_frac: config.margin_frac,
+        eps: config.eps,
     }
 }
 
@@ -470,20 +572,46 @@ fn debug_sleep(inner: &Inner, ms: &str) -> Response {
 }
 
 fn tile_response(inner: &Inner, path: &str) -> Response {
-    let addr = match parse_tile_path(path, inner.max_z) {
-        Ok(addr) => addr,
+    let (dataset, addr) = match parse_tile_path(path, inner.max_z, inner.multi) {
+        Ok(parsed) => parsed,
         Err(e) => {
             inner.http.bad_request();
             return text_response(400, "Bad Request", &e.to_string());
         }
     };
+    let idx = match &dataset {
+        Some(name) => match inner.catalog.lookup(name) {
+            Some(idx) => idx,
+            None => {
+                inner.http.not_found();
+                return text_response(
+                    404,
+                    "Not Found",
+                    &format!("no dataset {name:?} in this catalog"),
+                );
+            }
+        },
+        None => 0,
+    };
+    // Materialize the dataset (instant when already resident). A load
+    // failure — corrupt snapshot, unreadable file — is a 500 with the
+    // store's structured message, and is *not* cached: replacing the
+    // file heals the dataset on the next request.
+    let entry = match inner.catalog.get(idx) {
+        Ok(entry) => entry,
+        Err(message) => {
+            inner.http.internal_error();
+            return text_response(500, "Internal Server Error", &message);
+        }
+    };
     let key = TileKey {
+        dataset: idx as u32,
         addr,
         param_bits: match addr.kind {
             TileKind::Eps => inner.eps.to_bits(),
             TileKind::Tau => inner.tau.to_bits(),
         },
-        gamma_bits: inner.kernel.gamma.to_bits(),
+        gamma_bits: entry.kernel.gamma.to_bits(),
     };
     if let Some(data) = inner.cache.get(&key) {
         inner.http.ok(false);
@@ -491,7 +619,7 @@ fn tile_response(inner: &Inner, path: &str) -> Response {
             .header("X-Kdv-Cache", "hit")
             .body("image/png", data.as_ref().clone());
     }
-    match render_tile(inner, addr) {
+    match render_tile(inner, &entry, idx as u32, addr) {
         Ok((bytes, degraded_pixels)) => {
             let data = Arc::new(bytes);
             if degraded_pixels == 0 {
@@ -516,24 +644,29 @@ fn tile_response(inner: &Inner, path: &str) -> Response {
 /// Renders one tile under a fresh budget, merging its telemetry into
 /// the server-wide aggregate. Returns the encoded PNG and the number
 /// of budget-degraded pixels.
-fn render_tile(inner: &Inner, addr: TileAddr) -> Result<(Vec<u8>, u64), KdvError> {
-    let raster = pyramid_raster(&inner.base, addr.z, addr.x, addr.y)?;
+fn render_tile(
+    inner: &Inner,
+    entry: &DatasetEntry,
+    dataset: u32,
+    addr: TileAddr,
+) -> Result<(Vec<u8>, u64), KdvError> {
+    let raster = pyramid_raster(&entry.base, addr.z, addr.x, addr.y)?;
     let mut metrics = RenderMetrics::new();
     let tile = match addr.kind {
         TileKind::Eps => {
             let mut budget = inner.policy.issue();
-            let mut ev = RefineEvaluator::new(&inner.tree, inner.kernel, inner.family);
+            let mut ev = RefineEvaluator::new(&entry.tree, entry.kernel, inner.family);
             render_tile_eps(
                 &mut ev,
                 &raster,
                 inner.eps,
                 &mut budget,
                 &inner.cm,
-                inner.scale,
+                entry.scale,
                 &mut metrics,
             )?
         }
-        TileKind::Tau => render_tau_tile(inner, addr, &raster, &mut metrics)?,
+        TileKind::Tau => render_tau_tile(inner, entry, dataset, addr, &raster, &mut metrics)?,
     };
     inner
         .metrics
@@ -551,6 +684,8 @@ fn render_tile(inner: &Inner, addr: TileAddr) -> Result<(Vec<u8>, u64), KdvError
 /// renderer cheap, applied across pyramid levels.
 fn render_tau_tile(
     inner: &Inner,
+    entry: &DatasetEntry,
+    dataset: u32,
     addr: TileAddr,
     raster: &RasterSpec,
     metrics: &mut RenderMetrics,
@@ -562,15 +697,15 @@ fn render_tau_tile(
         vec![a[0].max(b[0]), a[1].max(b[1])],
     );
     let inherited: Arc<Vec<NodeId>> = if addr.z == 0 {
-        Arc::new(vec![inner.tree.root()])
+        Arc::new(vec![entry.tree.root()])
     } else {
         let parents = inner.frontiers.lock().expect("frontier map poisoned");
         parents
-            .get(&(addr.z - 1, addr.x / 2, addr.y / 2))
+            .get(&(dataset, addr.z - 1, addr.x / 2, addr.y / 2))
             .cloned()
-            .unwrap_or_else(|| Arc::new(vec![inner.tree.root()]))
+            .unwrap_or_else(|| Arc::new(vec![entry.tree.root()]))
     };
-    match certify_box(&inner.tree, inner.kernel, inner.tau, &tile_box, &inherited) {
+    match certify_box(&entry.tree, entry.kernel, inner.tau, &tile_box, &inherited) {
         BoxCertification::Decided(hot) => {
             let mut mask = BinaryGrid::falses(raster.width(), raster.height());
             if hot {
@@ -589,11 +724,11 @@ fn render_tau_tile(
             if addr.z < inner.max_z {
                 let mut map = inner.frontiers.lock().expect("frontier map poisoned");
                 if map.len() < MAX_STORED_FRONTIERS {
-                    map.insert((addr.z, addr.x, addr.y), Arc::new(frontier));
+                    map.insert((dataset, addr.z, addr.x, addr.y), Arc::new(frontier));
                 }
             }
             let mut budget = inner.policy.issue();
-            let mut ev = RefineEvaluator::new(&inner.tree, inner.kernel, inner.family);
+            let mut ev = RefineEvaluator::new(&entry.tree, entry.kernel, inner.family);
             render_tile_tau(&mut ev, raster, inner.tau, &mut budget, metrics)
         }
     }
@@ -620,14 +755,21 @@ fn metrics_json(inner: &Inner) -> Value {
         .lock()
         .expect("metrics aggregate poisoned")
         .to_json("tiles");
+    let mut store_fields = match inner.catalog.counters().snapshot().to_json() {
+        Value::Obj(fields) => fields,
+        _ => unreachable!("store snapshot serializes to an object"),
+    };
+    store_fields.push(("catalog".to_string(), inner.catalog.status_json()));
     Value::obj(vec![
-        ("schema", Value::Str("kdv-serve-metrics/1".to_string())),
+        ("schema", Value::Str("kdv-serve-metrics/2".to_string())),
         (
             "uptime_ms",
             json::num_u(inner.started.elapsed().as_millis() as u64),
         ),
+        ("startup", inner.startup.to_json()),
         ("http", inner.http.snapshot().to_json()),
         ("cache", Value::Obj(cache_fields)),
         ("render", render),
+        ("store", Value::Obj(store_fields)),
     ])
 }

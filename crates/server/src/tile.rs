@@ -95,13 +95,49 @@ fn parse_canonical_u64(s: &str, what: &str) -> Result<u64, TileAddrError> {
         .map_err(|_| TileAddrError::new(format!("{what} out of range: {s:?}")))
 }
 
-/// Parses `/tiles/{eps|tau}/{z}/{x}/{y}.png` into a [`TileAddr`],
+/// Whether `name` is a legal dataset path segment: 1–64 characters of
+/// `[A-Za-z0-9_-]`. The grammar doubles as the catalog's file-stem
+/// rule, so every cataloged dataset is addressable and no URL segment
+/// can traverse paths or alias another dataset.
+pub fn valid_dataset_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 64
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-')
+}
+
+/// Parses a tile path into its optional dataset segment and address,
 /// enforcing `z ≤ max_z` and `x, y < 2^z`.
-pub fn parse_tile_path(path: &str, max_z: u8) -> Result<TileAddr, TileAddrError> {
+///
+/// With `with_dataset` false the grammar is the single-dataset
+/// `/tiles/{eps|tau}/{z}/{x}/{y}.png`; with it true a catalog-serving
+/// grammar `/tiles/{dataset}/{eps|tau}/{z}/{x}/{y}.png` is required
+/// (the dataset segment is validated by [`valid_dataset_name`] and
+/// returned as `Some`). The two grammars never mix: a server knows
+/// which one it speaks, and an address is a cache key.
+pub fn parse_tile_path(
+    path: &str,
+    max_z: u8,
+    with_dataset: bool,
+) -> Result<(Option<String>, TileAddr), TileAddrError> {
     let rest = path
         .strip_prefix("/tiles/")
         .ok_or_else(|| TileAddrError::new("tile paths start with /tiles/"))?;
     let mut segs = rest.split('/');
+    let dataset = if with_dataset {
+        let name = segs
+            .next()
+            .ok_or_else(|| TileAddrError::new("missing dataset segment"))?;
+        if !valid_dataset_name(name) {
+            return Err(TileAddrError::new(format!(
+                "invalid dataset name {name:?} (want 1-64 chars of [A-Za-z0-9_-])"
+            )));
+        }
+        Some(name.to_string())
+    } else {
+        None
+    };
     let (kind, z, x, y) = match (
         segs.next(),
         segs.next(),
@@ -111,9 +147,11 @@ pub fn parse_tile_path(path: &str, max_z: u8) -> Result<TileAddr, TileAddrError>
     ) {
         (Some(kind), Some(z), Some(x), Some(y), None) => (kind, z, x, y),
         _ => {
-            return Err(TileAddrError::new(
-                "tile paths have exactly four segments: /tiles/{kind}/{z}/{x}/{y}.png",
-            ))
+            return Err(TileAddrError::new(if with_dataset {
+                "tile paths have exactly five segments: /tiles/{dataset}/{kind}/{z}/{x}/{y}.png"
+            } else {
+                "tile paths have exactly four segments: /tiles/{kind}/{z}/{x}/{y}.png"
+            }))
         }
     };
     let kind = match kind {
@@ -145,12 +183,15 @@ pub fn parse_tile_path(path: &str, max_z: u8) -> Result<TileAddr, TileAddrError>
             "tile ({x64}, {y64}) outside the {per_side}x{per_side} grid of zoom {z}"
         )));
     }
-    Ok(TileAddr {
-        kind,
-        z,
-        x: x64 as u32,
-        y: y64 as u32,
-    })
+    Ok((
+        dataset,
+        TileAddr {
+            kind,
+            z,
+            x: x64 as u32,
+            y: y64 as u32,
+        },
+    ))
 }
 
 #[cfg(test)]
@@ -164,9 +205,54 @@ mod tests {
             ("/tiles/tau/3/7/5.png", TileKind::Tau, 3, 7, 5),
             ("/tiles/eps/10/1023/0.png", TileKind::Eps, 10, 1023, 0),
         ] {
-            let addr = parse_tile_path(path, 12).expect(path);
+            let (dataset, addr) = parse_tile_path(path, 12, false).expect(path);
+            assert_eq!(dataset, None);
             assert_eq!(addr, TileAddr { kind, z, x, y });
             assert_eq!(addr.to_string(), path, "Display is the inverse");
+        }
+    }
+
+    #[test]
+    fn dataset_segment_parses_only_in_catalog_mode() {
+        let (dataset, addr) = parse_tile_path("/tiles/crime_2024/tau/2/1/3.png", 4, true)
+            .expect("catalog address");
+        assert_eq!(dataset.as_deref(), Some("crime_2024"));
+        assert_eq!(
+            addr,
+            TileAddr {
+                kind: TileKind::Tau,
+                z: 2,
+                x: 1,
+                y: 3
+            }
+        );
+        // The same path without catalog mode has the wrong arity; a
+        // dataset-less path in catalog mode likewise fails (the kind
+        // segment is not a valid z, and "eps" is eaten as a dataset).
+        assert!(parse_tile_path("/tiles/crime_2024/tau/2/1/3.png", 4, false).is_err());
+        assert!(parse_tile_path("/tiles/eps/2/1/3.png", 4, true).is_err());
+        // Hostile dataset segments never parse.
+        for bad in [
+            "/tiles//eps/0/0/0.png",
+            "/tiles/../eps/0/0/0.png",
+            "/tiles/a.b/eps/0/0/0.png",
+            "/tiles/sp ace/eps/0/0/0.png",
+        ] {
+            assert!(parse_tile_path(bad, 4, true).is_err(), "{bad}");
+        }
+        let long = format!("/tiles/{}/eps/0/0/0.png", "d".repeat(65));
+        assert!(parse_tile_path(&long, 4, true).is_err());
+        let max = format!("/tiles/{}/eps/0/0/0.png", "d".repeat(64));
+        assert!(parse_tile_path(&max, 4, true).is_ok());
+    }
+
+    #[test]
+    fn dataset_name_grammar() {
+        for good in ["a", "crime", "el-nino_2024", "X"] {
+            assert!(valid_dataset_name(good), "{good}");
+        }
+        for bad in ["", ".", "..", "a/b", "a b", "café", &"x".repeat(65)] {
+            assert!(!valid_dataset_name(bad), "{bad:?}");
         }
     }
 
@@ -188,18 +274,21 @@ mod tests {
             "/tiles/eps/9/0/0.png",           // beyond server max_z
             "/metrics",                       // not a tile path at all
         ] {
-            assert!(parse_tile_path(bad, 8).is_err(), "{bad} should not parse");
+            assert!(
+                parse_tile_path(bad, 8, false).is_err(),
+                "{bad} should not parse"
+            );
         }
         // `0` itself is canonical, `00` is not.
-        assert!(parse_tile_path("/tiles/eps/0/0/0.png", 8).is_ok());
-        assert!(parse_tile_path("/tiles/eps/00/0/0.png", 8).is_err());
+        assert!(parse_tile_path("/tiles/eps/0/0/0.png", 8, false).is_ok());
+        assert!(parse_tile_path("/tiles/eps/00/0/0.png", 8, false).is_err());
     }
 
     #[test]
     fn server_max_z_caps_below_pyramid_max() {
-        assert!(parse_tile_path("/tiles/eps/4/0/0.png", 4).is_ok());
-        assert!(parse_tile_path("/tiles/eps/5/0/0.png", 4).is_err());
+        assert!(parse_tile_path("/tiles/eps/4/0/0.png", 4, false).is_ok());
+        assert!(parse_tile_path("/tiles/eps/5/0/0.png", 4, false).is_err());
         // And the global pyramid ceiling holds even with a huge max_z.
-        assert!(parse_tile_path("/tiles/eps/21/0/0.png", 255).is_err());
+        assert!(parse_tile_path("/tiles/eps/21/0/0.png", 255, false).is_err());
     }
 }

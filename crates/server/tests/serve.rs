@@ -156,7 +156,34 @@ fn serves_the_full_pyramid_concurrently_with_cache_reuse() {
     let doc = json::parse(std::str::from_utf8(&body).expect("utf8")).expect("metrics JSON");
     assert_eq!(
         doc.get("schema").and_then(Value::as_str),
-        Some("kdv-serve-metrics/1")
+        Some("kdv-serve-metrics/2")
+    );
+    // Startup accounting is present and self-consistent.
+    let startup = doc.get("startup").expect("startup block");
+    assert_eq!(
+        startup.get("source").and_then(Value::as_str),
+        Some("built")
+    );
+    let startup_total = startup
+        .get("total_ms")
+        .and_then(Value::as_f64)
+        .expect("total_ms");
+    let parts: f64 = ["data_load_ms", "index_ms", "warm_ms"]
+        .iter()
+        .map(|k| startup.get(k).and_then(Value::as_f64).expect(k))
+        .sum();
+    assert_eq!(startup_total, parts, "startup splits sum to the total");
+    // Single-dataset mode still reports its catalog: one preloaded,
+    // ready dataset.
+    let store = doc.get("store").expect("store block");
+    let catalog = store
+        .get("catalog")
+        .and_then(Value::as_arr)
+        .expect("catalog array");
+    assert_eq!(catalog.len(), 1);
+    assert_eq!(
+        catalog[0].get("state").and_then(Value::as_str),
+        Some("ready")
     );
     let cache = doc.get("cache").expect("cache block");
     let hits = cache.get("hits").and_then(Value::as_f64).expect("hits");

@@ -1,0 +1,253 @@
+//! Catalog serving end-to-end: a store directory of snapshots + CSV
+//! fallbacks behind `/tiles/{dataset}/…`, lazy loads, corruption
+//! answered with structured 500s (and healed by replacing the file),
+//! and byte-budget eviction — all observable through `/metrics`.
+
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use kdv_core::bandwidth::scott_gamma;
+use kdv_core::kernel::Kernel;
+use kdv_data::Dataset;
+use kdv_index::KdTree;
+use kdv_server::{ServerConfig, TileServer};
+use kdv_store::SnapshotWriter;
+use kdv_telemetry::json::{self, Value};
+
+fn get(addr: SocketAddr, path: &str) -> (u16, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nHost: kdv\r\n\r\n").as_bytes())
+        .expect("send request");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let split = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("response head");
+    let head = std::str::from_utf8(&raw[..split]).expect("head UTF-8");
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    (status, raw[split + 4..].to_vec())
+}
+
+fn write_snapshot(dir: &Path, name: &str, dataset: Dataset, n: usize, seed: u64) -> PathBuf {
+    let mut points = dataset.generate(n, seed);
+    points.scale_weights(1.0 / points.len() as f64);
+    let kernel = Kernel::gaussian(scott_gamma(&points).gamma);
+    let tree = KdTree::build_default(&points);
+    let path = dir.join(format!("{name}.kdvs"));
+    SnapshotWriter::new(&tree, kernel)
+        .write_to(&path)
+        .expect("write snapshot");
+    path
+}
+
+fn write_csv(dir: &Path, name: &str, dataset: Dataset, n: usize, seed: u64) {
+    let points = dataset.generate(n, seed);
+    kdv_data::csv::save(&dir.join(format!("{name}.csv")), &points, false).expect("write csv");
+}
+
+fn temp_store(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("kdv-store-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+fn config() -> ServerConfig {
+    ServerConfig {
+        tile_size: 32,
+        max_z: 2,
+        eps: 0.2,
+        tau: 1e-3,
+        workers: 4,
+        queue: 32,
+        allow_shutdown: true,
+        ..ServerConfig::default()
+    }
+}
+
+fn metrics(addr: SocketAddr) -> Value {
+    let (status, body) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    json::parse(std::str::from_utf8(&body).expect("utf8")).expect("metrics JSON")
+}
+
+#[test]
+fn serves_a_catalog_of_snapshots_and_csv_fallbacks() {
+    let dir = temp_store("catalog");
+    write_snapshot(&dir, "crime", Dataset::Crime, 2000, 7);
+    write_snapshot(&dir, "home", Dataset::Home, 1500, 9);
+    write_csv(&dir, "elnino", Dataset::ElNino, 1200, 11);
+
+    let server = TileServer::start_with_store(config(), &dir).expect("start");
+    let addr = server.local_addr();
+    assert_eq!(server.dataset_names(), ["crime", "elnino", "home"]);
+    assert_eq!(server.startup().source, "catalog");
+
+    // Nothing is materialized before the first touch.
+    let doc = metrics(addr);
+    let store = doc.get("store").expect("store block");
+    assert_eq!(store.get("loads").and_then(Value::as_f64), Some(0.0));
+    for row in store
+        .get("catalog")
+        .and_then(Value::as_arr)
+        .expect("catalog")
+    {
+        assert_eq!(row.get("state").and_then(Value::as_str), Some("cold"));
+    }
+
+    // One tile per dataset, both kinds for one of them.
+    for path in [
+        "/tiles/crime/eps/0/0/0.png",
+        "/tiles/crime/tau/1/1/0.png",
+        "/tiles/home/eps/0/0/0.png",
+        "/tiles/elnino/eps/0/0/0.png",
+    ] {
+        let (status, body) = get(addr, path);
+        assert_eq!(status, 200, "{path}");
+        assert!(body.starts_with(b"\x89PNG"), "{path}: not a PNG");
+    }
+
+    // Two snapshot loads, one CSV build — each dataset exactly once.
+    let doc = metrics(addr);
+    let store = doc.get("store").expect("store block");
+    assert_eq!(store.get("loads").and_then(Value::as_f64), Some(2.0));
+    assert_eq!(store.get("builds").and_then(Value::as_f64), Some(1.0));
+    assert_eq!(store.get("load_failures").and_then(Value::as_f64), Some(0.0));
+    for row in store
+        .get("catalog")
+        .and_then(Value::as_arr)
+        .expect("catalog")
+    {
+        assert_eq!(row.get("state").and_then(Value::as_str), Some("ready"));
+        let source = row.get("source").and_then(Value::as_str).expect("source");
+        let kind = row.get("kind").and_then(Value::as_str).expect("kind");
+        match kind {
+            "snapshot" => assert_eq!(source, "snapshot"),
+            "csv" => assert_eq!(source, "built"),
+            other => panic!("unexpected kind {other}"),
+        }
+        assert!(row.get("bytes").and_then(Value::as_f64).expect("bytes") > 0.0);
+    }
+
+    // Unknown datasets are 404, not 500; dataset-less paths are 400.
+    assert_eq!(get(addr, "/tiles/nope/eps/0/0/0.png").0, 404);
+    assert_eq!(get(addr, "/tiles/eps/0/0/0.png").0, 400);
+
+    // Same dataset again: served from cache or at least without a
+    // second materialization.
+    let (status, _) = get(addr, "/tiles/crime/eps/0/0/0.png");
+    assert_eq!(status, 200);
+    let doc = metrics(addr);
+    let store = doc.get("store").expect("store block");
+    assert_eq!(store.get("loads").and_then(Value::as_f64), Some(2.0));
+
+    server.stop();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_snapshot_is_a_structured_500_and_heals_on_replacement() {
+    let dir = temp_store("corrupt");
+    let path = write_snapshot(&dir, "crime", Dataset::Crime, 1000, 3);
+    let clean = std::fs::read(&path).expect("read snapshot");
+    let mut bad = clean.clone();
+    let mid = bad.len() / 2;
+    bad[mid] ^= 0xFF;
+    std::fs::write(&path, &bad).expect("corrupt snapshot");
+
+    let server = TileServer::start_with_store(config(), &dir).expect("start");
+    let addr = server.local_addr();
+
+    // The flip lands in a section payload: a checksum failure, reported
+    // as a structured 500 (never a panic, never a wrong tile).
+    let (status, body) = get(addr, "/tiles/crime/eps/0/0/0.png");
+    assert_eq!(status, 500);
+    let message = String::from_utf8(body).expect("utf8 error body");
+    assert!(
+        message.contains("checksum") || message.contains("section"),
+        "unstructured error: {message}"
+    );
+    let doc = metrics(addr);
+    let store = doc.get("store").expect("store block");
+    assert_eq!(store.get("load_failures").and_then(Value::as_f64), Some(1.0));
+    assert_eq!(
+        store.get("checksum_failures").and_then(Value::as_f64),
+        Some(1.0)
+    );
+
+    // Failure is not cached: restoring the bytes heals the dataset
+    // without a restart.
+    std::fs::write(&path, &clean).expect("restore snapshot");
+    let (status, body) = get(addr, "/tiles/crime/eps/0/0/0.png");
+    assert_eq!(status, 200);
+    assert!(body.starts_with(b"\x89PNG"));
+
+    server.stop();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn idle_datasets_are_evicted_under_the_byte_budget() {
+    let dir = temp_store("evict");
+    write_snapshot(&dir, "a", Dataset::Crime, 2000, 1);
+    write_snapshot(&dir, "b", Dataset::Home, 2000, 2);
+
+    // A budget big enough for one materialized dataset (~85 KB of
+    // points + arena at n = 2000) but not two.
+    let mut cfg = config();
+    cfg.store_budget_bytes = 128 << 10;
+    let server = TileServer::start_with_store(cfg, &dir).expect("start");
+    let addr = server.local_addr();
+
+    assert_eq!(get(addr, "/tiles/a/eps/0/0/0.png").0, 200);
+    assert_eq!(get(addr, "/tiles/b/eps/0/0/0.png").0, 200);
+
+    // Loading `b` pushed the ready set over budget; idle `a` went cold.
+    let doc = metrics(addr);
+    let store = doc.get("store").expect("store block");
+    assert!(
+        store
+            .get("evictions")
+            .and_then(Value::as_f64)
+            .expect("evictions")
+            >= 1.0
+    );
+    let rows = store
+        .get("catalog")
+        .and_then(Value::as_arr)
+        .expect("catalog");
+    let state_of = |name: &str| {
+        rows.iter()
+            .find(|r| r.get("dataset").and_then(Value::as_str) == Some(name))
+            .and_then(|r| r.get("state"))
+            .and_then(Value::as_str)
+            .map(str::to_string)
+    };
+    assert_eq!(state_of("a").as_deref(), Some("cold"));
+    assert_eq!(state_of("b").as_deref(), Some("ready"));
+
+    // Touching `a` again reloads it transparently (and evicts `b`).
+    assert_eq!(get(addr, "/tiles/a/eps/1/0/0.png").0, 200);
+    let doc = metrics(addr);
+    let loads = doc
+        .get("store")
+        .and_then(|s| s.get("loads"))
+        .and_then(Value::as_f64)
+        .expect("loads");
+    assert_eq!(loads, 3.0, "a, b, then a again");
+
+    server.stop();
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,98 @@
+//! CRC-32 (IEEE 802.3, polynomial `0xEDB88320`), slice-by-16.
+//!
+//! The workspace is dependency-free by policy, so the snapshot format
+//! carries its own checksum. Slice-by-16 processes sixteen input bytes
+//! per loop iteration off sixteen precomputed tables — section payloads
+//! reach tens of megabytes for million-point datasets, and the checksum
+//! pass is on the cold-start critical path the snapshot exists to win
+//! back, so bytes-per-iteration directly buys boot time.
+
+const POLY: u32 = 0xEDB8_8320;
+
+const fn make_tables() -> [[u32; 256]; 16] {
+    let mut t = [[0u32; 256]; 16];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { POLY ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        t[0][i] = c;
+        i += 1;
+    }
+    let mut j = 1;
+    while j < 16 {
+        let mut i = 0;
+        while i < 256 {
+            t[j][i] = (t[j - 1][i] >> 8) ^ t[0][(t[j - 1][i] & 0xFF) as usize];
+            i += 1;
+        }
+        j += 1;
+    }
+    t
+}
+
+static TABLES: [[u32; 256]; 16] = make_tables();
+
+/// CRC-32 of `data` (standard init/final XOR with `!0`).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    let mut chunks = data.chunks_exact(16);
+    for c in &mut chunks {
+        let lo = u32::from_le_bytes([c[0], c[1], c[2], c[3]]) ^ crc;
+        crc = TABLES[15][(lo & 0xFF) as usize]
+            ^ TABLES[14][((lo >> 8) & 0xFF) as usize]
+            ^ TABLES[13][((lo >> 16) & 0xFF) as usize]
+            ^ TABLES[12][(lo >> 24) as usize]
+            ^ TABLES[11][c[4] as usize]
+            ^ TABLES[10][c[5] as usize]
+            ^ TABLES[9][c[6] as usize]
+            ^ TABLES[8][c[7] as usize]
+            ^ TABLES[7][c[8] as usize]
+            ^ TABLES[6][c[9] as usize]
+            ^ TABLES[5][c[10] as usize]
+            ^ TABLES[4][c[11] as usize]
+            ^ TABLES[3][c[12] as usize]
+            ^ TABLES[2][c[13] as usize]
+            ^ TABLES[1][c[14] as usize]
+            ^ TABLES[0][c[15] as usize];
+    }
+    for &b in chunks.remainder() {
+        crc = (crc >> 8) ^ TABLES[0][((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_the_standard_check_value() {
+        // The canonical CRC-32 test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn slice_by_16_agrees_with_bytewise_at_every_alignment() {
+        let data: Vec<u8> = (0u32..1000).map(|i| (i * 31 + 7) as u8).collect();
+        let bytewise = |d: &[u8]| {
+            let mut crc = !0u32;
+            for &b in d {
+                crc ^= b as u32;
+                for _ in 0..8 {
+                    crc = if crc & 1 != 0 { POLY ^ (crc >> 1) } else { crc >> 1 };
+                }
+            }
+            !crc
+        };
+        for start in 0..17 {
+            for end in [start, start + 1, start + 15, start + 16, data.len()] {
+                assert_eq!(crc32(&data[start..end]), bytewise(&data[start..end]));
+            }
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Structured load/store failures.
+//!
+//! The reader's contract is *zero surprise*: any byte sequence — hostile,
+//! truncated, or stale — produces exactly one of these variants, never a
+//! panic. Variants are ordered roughly by how early the reader can
+//! detect them; each carries enough context to tell an operator what to
+//! regenerate (the snapshot) versus what to upgrade (the binary).
+
+use std::fmt;
+
+/// Why a snapshot could not be written or loaded.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The underlying filesystem operation failed.
+    Io {
+        /// What the store was doing (`"read snapshot"`, …).
+        op: &'static str,
+        /// Path involved, as given by the caller.
+        path: String,
+        /// The OS error.
+        source: std::io::Error,
+    },
+    /// The file does not start with the `KDVS` magic — not a snapshot.
+    BadMagic {
+        /// The first four bytes actually found.
+        found: [u8; 4],
+    },
+    /// The snapshot was written by a different format version. Version
+    /// checks run *before* checksum verification so a newer writer's
+    /// file reports "upgrade the reader", not "corrupt file".
+    UnsupportedVersion {
+        /// Version stored in the file.
+        found: u16,
+        /// Version this reader implements.
+        supported: u16,
+    },
+    /// The header carries feature flags this reader does not know.
+    UnsupportedFlags {
+        /// The unrecognised flag bits.
+        flags: u16,
+    },
+    /// The file ends before a structure it promises.
+    Truncated {
+        /// What the reader was trying to read.
+        what: &'static str,
+        /// Bytes that structure needs.
+        needed: u64,
+        /// Bytes actually available.
+        available: u64,
+    },
+    /// The header's recorded file length disagrees with the actual file
+    /// size (the usual signature of a torn or truncated write).
+    LengthMismatch {
+        /// Length recorded in the header.
+        stored: u64,
+        /// Actual file size.
+        actual: u64,
+    },
+    /// A CRC32 check failed — the bytes changed after writing.
+    ChecksumMismatch {
+        /// Which region failed (`"header"` or a section name).
+        section: &'static str,
+        /// Checksum recorded in the file.
+        stored: u32,
+        /// Checksum of the bytes as read.
+        computed: u32,
+    },
+    /// A section-table entry points outside the file, overlaps its
+    /// neighbour, or leaves unchecksummed gap bytes.
+    SectionOutOfBounds {
+        /// The offending section's name (or `"?"` for unknown ids).
+        section: &'static str,
+        /// Detail of the bounds violation.
+        detail: String,
+    },
+    /// A section required by this version (or by the header flags) is
+    /// absent.
+    MissingSection {
+        /// Name of the missing section.
+        section: &'static str,
+    },
+    /// The same section id appears twice in the table.
+    DuplicateSection {
+        /// Name of the duplicated section.
+        section: &'static str,
+    },
+    /// The section table names an id this version does not define.
+    UnknownSection {
+        /// The unrecognised four-character code.
+        id: [u8; 4],
+    },
+    /// A section's payload decoded to nonsense: wrong length for the
+    /// counts it declares, out-of-range enum codes, non-finite or
+    /// negative values where the engine requires otherwise.
+    Malformed {
+        /// Section the defect is in.
+        section: &'static str,
+        /// Human-readable description.
+        detail: String,
+    },
+    /// Sections decoded cleanly but are mutually inconsistent — the
+    /// kd-tree invariant checks (`KdTree::try_from_parts`) rejected the
+    /// topology or moments.
+    Inconsistent {
+        /// Description forwarded from the index layer.
+        detail: String,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { op, path, source } => {
+                write!(f, "{op} {path}: {source}")
+            }
+            StoreError::BadMagic { found } => {
+                write!(f, "not a KDVS snapshot (magic {:02x?})", found)
+            }
+            StoreError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "snapshot format version {found} is not supported (reader implements {supported})"
+            ),
+            StoreError::UnsupportedFlags { flags } => {
+                write!(f, "snapshot uses unknown feature flags {flags:#06x}")
+            }
+            StoreError::Truncated {
+                what,
+                needed,
+                available,
+            } => write!(
+                f,
+                "truncated snapshot: {what} needs {needed} bytes, {available} available"
+            ),
+            StoreError::LengthMismatch { stored, actual } => write!(
+                f,
+                "snapshot length mismatch: header records {stored} bytes, file has {actual}"
+            ),
+            StoreError::ChecksumMismatch {
+                section,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "checksum mismatch in {section}: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+            StoreError::SectionOutOfBounds { section, detail } => {
+                write!(f, "section {section} out of bounds: {detail}")
+            }
+            StoreError::MissingSection { section } => {
+                write!(f, "required section {section} is missing")
+            }
+            StoreError::DuplicateSection { section } => {
+                write!(f, "section {section} appears more than once")
+            }
+            StoreError::UnknownSection { id } => {
+                write!(
+                    f,
+                    "unknown section id {:?}",
+                    String::from_utf8_lossy(id)
+                )
+            }
+            StoreError::Malformed { section, detail } => {
+                write!(f, "malformed {section} section: {detail}")
+            }
+            StoreError::Inconsistent { detail } => {
+                write!(f, "inconsistent snapshot: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_defect() {
+        let e = StoreError::ChecksumMismatch {
+            section: "PNTS",
+            stored: 0xDEAD_BEEF,
+            computed: 0x0BAD_F00D,
+        };
+        assert_eq!(
+            e.to_string(),
+            "checksum mismatch in PNTS: stored 0xdeadbeef, computed 0x0badf00d"
+        );
+        let e = StoreError::UnsupportedVersion {
+            found: 9,
+            supported: 1,
+        };
+        assert!(e.to_string().contains("version 9"));
+    }
+}

@@ -1,0 +1,255 @@
+//! KDVS wire-format constants and low-level decode helpers.
+//!
+//! Layout (all integers and floats little-endian; full byte-level spec
+//! in DESIGN.md §10):
+//!
+//! ```text
+//! header        magic "KDVS" · version u16 · flags u16 ·
+//!               section_count u32 · file_len u64          (20 bytes)
+//! section table section_count × { id u32 (4CC) · offset u64 ·
+//!               len u64 · crc32 u32 }                     (24 bytes each)
+//! header_crc    u32 over bytes [0, 20 + 24·section_count)
+//! payload       section payloads, contiguous, in table order
+//! ```
+//!
+//! Sections must exactly tile the payload region: every byte of the
+//! file is covered either by `header_crc` or by exactly one section
+//! CRC, so *any* single-byte corruption is detectable.
+
+use crate::error::StoreError;
+use kdv_core::KernelType;
+use kdv_index::SplitRule;
+
+/// The four magic bytes every snapshot starts with.
+pub const MAGIC: [u8; 4] = *b"KDVS";
+/// Format version this crate reads and writes.
+pub const FORMAT_VERSION: u16 = 1;
+/// Flag bit: the optional CORE (coreset levels) section is present.
+pub const FLAG_CORESETS: u16 = 1 << 0;
+/// All flag bits this version defines.
+pub const KNOWN_FLAGS: u16 = FLAG_CORESETS;
+/// Fixed header size (before the section table).
+pub const HEADER_LEN: usize = 20;
+/// Size of one section-table entry.
+pub const SECTION_ENTRY_LEN: usize = 24;
+/// Hard cap on the section count — v1 defines five sections, and a
+/// hostile count would otherwise size the table allocation.
+pub const MAX_SECTIONS: u32 = 16;
+/// Conventional file extension (`<dataset>.kdvs`).
+pub const EXTENSION: &str = "kdvs";
+
+/// Section ids (four-character codes, stored as little-endian u32).
+pub mod section {
+    /// Dataset/tree metadata: dimensions, counts, kernel, γ, build config.
+    pub const META: [u8; 4] = *b"META";
+    /// Sanitized point set in tree order: coords then weights.
+    pub const PNTS: [u8; 4] = *b"PNTS";
+    /// Node arena in build order: kind, children/range, depth, count, MBR.
+    pub const TOPO: [u8; 4] = *b"TOPO";
+    /// QUAD moment blocks: shared center, then per-node moments.
+    pub const MOMT: [u8; 4] = *b"MOMT";
+    /// Optional Z-order coreset levels (flag bit 0).
+    pub const CORE: [u8; 4] = *b"CORE";
+}
+
+/// Human-readable name for a section id, if this version defines it.
+pub fn section_name(id: [u8; 4]) -> Option<&'static str> {
+    match &id {
+        b"META" => Some("META"),
+        b"PNTS" => Some("PNTS"),
+        b"TOPO" => Some("TOPO"),
+        b"MOMT" => Some("MOMT"),
+        b"CORE" => Some("CORE"),
+        _ => None,
+    }
+}
+
+/// Stable on-disk code for a kernel type. The mapping is part of the
+/// wire format: never renumber, only append.
+pub fn kernel_code(ty: KernelType) -> u8 {
+    match ty {
+        KernelType::Gaussian => 0,
+        KernelType::Triangular => 1,
+        KernelType::Cosine => 2,
+        KernelType::Exponential => 3,
+        KernelType::Epanechnikov => 4,
+        KernelType::Quartic => 5,
+    }
+}
+
+/// Inverse of [`kernel_code`].
+pub fn kernel_from_code(code: u8) -> Option<KernelType> {
+    Some(match code {
+        0 => KernelType::Gaussian,
+        1 => KernelType::Triangular,
+        2 => KernelType::Cosine,
+        3 => KernelType::Exponential,
+        4 => KernelType::Epanechnikov,
+        5 => KernelType::Quartic,
+        _ => return None,
+    })
+}
+
+/// Stable on-disk code for a split rule (same append-only contract).
+pub fn split_code(rule: SplitRule) -> u8 {
+    match rule {
+        SplitRule::WidestAxisMedian => 0,
+        SplitRule::MaxVarianceAxisMedian => 1,
+        SplitRule::WidestAxisMidpoint => 2,
+    }
+}
+
+/// Inverse of [`split_code`].
+pub fn split_from_code(code: u8) -> Option<SplitRule> {
+    Some(match code {
+        0 => SplitRule::WidestAxisMedian,
+        1 => SplitRule::MaxVarianceAxisMedian,
+        2 => SplitRule::WidestAxisMidpoint,
+        _ => return None,
+    })
+}
+
+/// Bounds-checked little-endian reader over one section's payload.
+///
+/// Every decode path goes through this cursor, so an overrun surfaces
+/// as [`StoreError::Malformed`] naming the section instead of a slice
+/// panic — the core of the no-panic-on-hostile-bytes guarantee.
+pub(crate) struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    section: &'static str,
+}
+
+impl<'a> Cursor<'a> {
+    pub fn new(buf: &'a [u8], section: &'static str) -> Self {
+        Self {
+            buf,
+            pos: 0,
+            section,
+        }
+    }
+
+    fn overrun(&self, needed: usize) -> StoreError {
+        StoreError::Malformed {
+            section: self.section,
+            detail: format!(
+                "payload too short: need {needed} more bytes at offset {}, {} remain",
+                self.pos,
+                self.buf.len() - self.pos
+            ),
+        }
+    }
+
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        if self.buf.len() - self.pos < n {
+            return Err(self.overrun(n));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn u8(&mut self) -> Result<u8, StoreError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn u16(&mut self) -> Result<u16, StoreError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    pub fn u32(&mut self) -> Result<u32, StoreError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub fn u64(&mut self) -> Result<u64, StoreError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn f64(&mut self) -> Result<f64, StoreError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads `n` f64 values into `out`.
+    pub fn f64s(&mut self, n: usize, out: &mut Vec<f64>) -> Result<(), StoreError> {
+        let bytes = self.take(n * 8)?;
+        out.reserve(n);
+        for chunk in bytes.chunks_exact(8) {
+            out.push(f64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        Ok(())
+    }
+
+    /// Fails unless the payload was consumed exactly — trailing bytes
+    /// in a section are as suspicious as missing ones.
+    pub fn finish(self) -> Result<(), StoreError> {
+        if self.pos != self.buf.len() {
+            return Err(StoreError::Malformed {
+                section: self.section,
+                detail: format!(
+                    "{} trailing bytes after the declared content",
+                    self.buf.len() - self.pos
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Little-endian append helpers for the writer.
+pub(crate) fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+pub(crate) fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+pub(crate) fn put_f64s(out: &mut Vec<u8>, vs: &[f64]) {
+    out.reserve(vs.len() * 8);
+    for &v in vs {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip() {
+        for ty in KernelType::ALL {
+            assert_eq!(kernel_from_code(kernel_code(ty)), Some(ty));
+        }
+        assert_eq!(kernel_from_code(99), None);
+        for rule in [
+            SplitRule::WidestAxisMedian,
+            SplitRule::MaxVarianceAxisMedian,
+            SplitRule::WidestAxisMidpoint,
+        ] {
+            assert_eq!(split_from_code(split_code(rule)), Some(rule));
+        }
+        assert_eq!(split_from_code(3), None);
+    }
+
+    #[test]
+    fn cursor_rejects_overrun_and_trailing_bytes() {
+        let buf = [1u8, 2, 3, 4];
+        let mut c = Cursor::new(&buf, "META");
+        assert_eq!(c.u32().unwrap(), 0x0403_0201);
+        assert!(matches!(
+            c.u8(),
+            Err(StoreError::Malformed { section: "META", .. })
+        ));
+
+        let mut c = Cursor::new(&buf, "META");
+        c.u16().unwrap();
+        assert!(matches!(
+            c.finish(),
+            Err(StoreError::Malformed { section: "META", .. })
+        ));
+    }
+}

@@ -1,0 +1,37 @@
+//! Versioned, checksummed index snapshots — instant cold starts.
+//!
+//! Building the kd-tree and its QUAD moment blocks (paper §4, Eq. 3) is
+//! an O(n log n) pass that dominates every `kdv` invocation and every
+//! `kdv serve` boot. This crate persists the finished artifact — the
+//! sanitized point set in tree order, the node arena, the per-node
+//! moments, bandwidth metadata, and optional Z-order coreset levels —
+//! in the **KDVS** binary format so the next process pays a sequential
+//! read plus checksum instead of a rebuild.
+//!
+//! Two properties define the format:
+//!
+//! * **Bit-exact round-trip.** Moments are stored as the builder's
+//!   `f64` bits, so a loaded tree renders `render_eps`/`render_tau`
+//!   output identical to the tree it was written from.
+//! * **Zero-surprise loading.** Every byte is covered by a CRC32
+//!   (header or section), decode is bounds-checked, and the assembled
+//!   tree passes `KdTree::try_from_parts` invariant checks — hostile
+//!   bytes produce a structured [`StoreError`], never a panic and never
+//!   a silently wrong density map.
+//!
+//! See DESIGN.md §10 for the byte-level wire specification, and
+//! `kdv index build/inspect/verify` for the operator workflow.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crc32;
+pub mod error;
+pub mod format;
+pub mod reader;
+pub mod writer;
+
+pub use error::StoreError;
+pub use format::{EXTENSION, FLAG_CORESETS, FORMAT_VERSION, MAGIC};
+pub use reader::{SectionInfo, Snapshot, SnapshotInfo, SnapshotMeta};
+pub use writer::SnapshotWriter;

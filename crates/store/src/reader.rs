@@ -1,0 +1,593 @@
+//! Strict snapshot loading.
+//!
+//! `Snapshot::open` treats the file as untrusted input end to end:
+//! container checks (magic → version → flags → lengths → CRCs) run
+//! before any payload byte is interpreted, every decode goes through a
+//! bounds-checked cursor, engine types with panicking constructors
+//! (`PointSet`, `Mbr`, `Kernel`) are only built after their inputs are
+//! validated, and the assembled parts pass through
+//! `KdTree::try_from_parts` so a checksum-clean but semantically
+//! inconsistent file is still rejected. The result: structured
+//! [`StoreError`]s for hostile bytes, never a panic.
+
+use crate::crc32::crc32;
+use crate::error::StoreError;
+use crate::format::{
+    kernel_from_code, section_name, split_from_code, Cursor, FLAG_CORESETS, FORMAT_VERSION,
+    HEADER_LEN, KNOWN_FLAGS, MAGIC, MAX_SECTIONS, SECTION_ENTRY_LEN,
+};
+use kdv_core::{Kernel, KernelType};
+use kdv_geom::{Mbr, PointSet};
+use kdv_index::{BuildConfig, BuildError, KdTree, Node, NodeId, NodeKind, NodeStats, SplitRule};
+use std::path::Path;
+
+/// Decoded META section: everything about the snapshot except the bulk
+/// payloads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotMeta {
+    /// Point dimensionality.
+    pub dim: usize,
+    /// Number of points (tree order).
+    pub point_count: usize,
+    /// Number of kd-tree nodes.
+    pub node_count: usize,
+    /// Root node id (slot 0 for trees from our builder).
+    pub root: u32,
+    /// Build configuration the tree was constructed with.
+    pub leaf_capacity: usize,
+    /// Split rule the tree was constructed with.
+    pub split: SplitRule,
+    /// Kernel family the bandwidth was chosen for.
+    pub kernel: KernelType,
+    /// Kernel scale γ.
+    pub gamma: f64,
+    /// Number of coreset levels in the CORE section (0 if absent).
+    pub coreset_levels: usize,
+}
+
+/// A fully-validated, query-ready snapshot.
+pub struct Snapshot {
+    /// Decoded metadata.
+    pub meta: SnapshotMeta,
+    /// The reassembled index, invariant-checked.
+    pub tree: KdTree,
+    /// Kernel (family + γ) recorded at write time.
+    pub kernel: Kernel,
+    /// Optional Z-order coreset levels, largest first as written.
+    pub coresets: Vec<PointSet>,
+}
+
+/// One row of [`SnapshotInfo::sections`].
+#[derive(Debug, Clone)]
+pub struct SectionInfo {
+    /// Section name (META/PNTS/…).
+    pub name: &'static str,
+    /// Byte offset of the payload.
+    pub offset: u64,
+    /// Payload length in bytes.
+    pub len: u64,
+    /// CRC32 recorded in the section table (verified before reporting).
+    pub crc: u32,
+}
+
+/// Container-level description returned by [`Snapshot::inspect`].
+#[derive(Debug, Clone)]
+pub struct SnapshotInfo {
+    /// Format version of the file.
+    pub version: u16,
+    /// Feature flags.
+    pub flags: u16,
+    /// Total file size in bytes.
+    pub file_len: u64,
+    /// Section table, in file order.
+    pub sections: Vec<SectionInfo>,
+    /// Decoded metadata.
+    pub meta: SnapshotMeta,
+}
+
+struct RawSection<'a> {
+    name: &'static str,
+    offset: u64,
+    crc: u32,
+    payload: &'a [u8],
+}
+
+/// Validates the container: header, section table, tiling, checksums.
+/// Returns the flags and the CRC-verified sections in file order.
+fn parse_container(bytes: &[u8]) -> Result<(u16, Vec<RawSection<'_>>), StoreError> {
+    let available = bytes.len() as u64;
+    if bytes.len() < HEADER_LEN {
+        return Err(StoreError::Truncated {
+            what: "header",
+            needed: HEADER_LEN as u64,
+            available,
+        });
+    }
+    let magic: [u8; 4] = bytes[0..4].try_into().unwrap();
+    if magic != MAGIC {
+        return Err(StoreError::BadMagic { found: magic });
+    }
+    let version = u16::from_le_bytes(bytes[4..6].try_into().unwrap());
+    if version != FORMAT_VERSION {
+        return Err(StoreError::UnsupportedVersion {
+            found: version,
+            supported: FORMAT_VERSION,
+        });
+    }
+    let flags = u16::from_le_bytes(bytes[6..8].try_into().unwrap());
+    if flags & !KNOWN_FLAGS != 0 {
+        return Err(StoreError::UnsupportedFlags {
+            flags: flags & !KNOWN_FLAGS,
+        });
+    }
+    let section_count = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if section_count == 0 || section_count > MAX_SECTIONS {
+        return Err(StoreError::Malformed {
+            section: "header",
+            detail: format!("section count {section_count} outside [1, {MAX_SECTIONS}]"),
+        });
+    }
+    let file_len = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
+    let table_end = HEADER_LEN + SECTION_ENTRY_LEN * section_count as usize;
+    let payload_start = table_end as u64 + 4;
+    if available < payload_start {
+        return Err(StoreError::Truncated {
+            what: "section table",
+            needed: payload_start,
+            available,
+        });
+    }
+    if file_len != available {
+        return Err(StoreError::LengthMismatch {
+            stored: file_len,
+            actual: available,
+        });
+    }
+    let stored_crc = u32::from_le_bytes(bytes[table_end..table_end + 4].try_into().unwrap());
+    let computed = crc32(&bytes[..table_end]);
+    if stored_crc != computed {
+        return Err(StoreError::ChecksumMismatch {
+            section: "header",
+            stored: stored_crc,
+            computed,
+        });
+    }
+
+    // The table is now trusted. Sections must tile [payload_start,
+    // file_len) exactly — no gaps a flipped byte could hide in.
+    let mut sections = Vec::with_capacity(section_count as usize);
+    let mut expected_offset = payload_start;
+    for i in 0..section_count as usize {
+        let e = &bytes[HEADER_LEN + i * SECTION_ENTRY_LEN..];
+        let id: [u8; 4] = e[0..4].try_into().unwrap();
+        let offset = u64::from_le_bytes(e[4..12].try_into().unwrap());
+        let len = u64::from_le_bytes(e[12..20].try_into().unwrap());
+        let crc = u32::from_le_bytes(e[20..24].try_into().unwrap());
+        let name = section_name(id).ok_or(StoreError::UnknownSection { id })?;
+        if sections.iter().any(|s: &RawSection<'_>| s.name == name) {
+            return Err(StoreError::DuplicateSection { section: name });
+        }
+        if offset != expected_offset {
+            return Err(StoreError::SectionOutOfBounds {
+                section: name,
+                detail: format!("offset {offset}, expected {expected_offset} (sections must be contiguous)"),
+            });
+        }
+        let end = offset.checked_add(len).filter(|&e| e <= available).ok_or_else(|| {
+            StoreError::SectionOutOfBounds {
+                section: name,
+                detail: format!("range [{offset}, {offset}+{len}) escapes the {available}-byte file"),
+            }
+        })?;
+        expected_offset = end;
+        sections.push(RawSection {
+            name,
+            offset,
+            crc,
+            payload: &bytes[offset as usize..end as usize],
+        });
+    }
+    if expected_offset != available {
+        return Err(StoreError::SectionOutOfBounds {
+            section: sections.last().map(|s| s.name).unwrap_or("?"),
+            detail: format!(
+                "sections end at {expected_offset} but the file has {available} bytes"
+            ),
+        });
+    }
+    for s in &sections {
+        let computed = crc32(s.payload);
+        if computed != s.crc {
+            return Err(StoreError::ChecksumMismatch {
+                section: s.name,
+                stored: s.crc,
+                computed,
+            });
+        }
+    }
+    Ok((flags, sections))
+}
+
+fn find<'a, 'b>(
+    sections: &'b [RawSection<'a>],
+    name: &'static str,
+) -> Result<&'b RawSection<'a>, StoreError> {
+    sections
+        .iter()
+        .find(|s| s.name == name)
+        .ok_or(StoreError::MissingSection { section: name })
+}
+
+fn decode_meta(payload: &[u8], flags: u16, has_core: bool) -> Result<SnapshotMeta, StoreError> {
+    let malformed = |detail: String| StoreError::Malformed {
+        section: "META",
+        detail,
+    };
+    let mut c = Cursor::new(payload, "META");
+    let dim = c.u32()?;
+    if dim == 0 || dim > 64 {
+        return Err(malformed(format!("dimensionality {dim} outside [1, 64]")));
+    }
+    let point_count = c.u64()?;
+    if point_count == 0 || point_count > u32::MAX as u64 {
+        return Err(malformed(format!(
+            "point count {point_count} outside [1, 2³²)"
+        )));
+    }
+    let node_count = c.u64()?;
+    if node_count == 0 || node_count > 2 * point_count {
+        return Err(malformed(format!(
+            "node count {node_count} outside [1, 2·points]"
+        )));
+    }
+    let root = c.u32()?;
+    if root as u64 >= node_count {
+        return Err(malformed(format!(
+            "root id {root} outside the {node_count}-node arena"
+        )));
+    }
+    let leaf_capacity = c.u64()?;
+    if leaf_capacity == 0 || leaf_capacity > u32::MAX as u64 {
+        return Err(malformed(format!("leaf capacity {leaf_capacity} invalid")));
+    }
+    let split_raw = c.u8()?;
+    let split = split_from_code(split_raw)
+        .ok_or_else(|| malformed(format!("unknown split-rule code {split_raw}")))?;
+    let kernel_raw = c.u8()?;
+    let kernel = kernel_from_code(kernel_raw)
+        .ok_or_else(|| malformed(format!("unknown kernel code {kernel_raw}")))?;
+    let gamma = c.f64()?;
+    if !gamma.is_finite() || gamma <= 0.0 {
+        return Err(malformed(format!("γ = {gamma} is not a positive finite number")));
+    }
+    let coreset_levels = c.u32()?;
+    c.finish()?;
+    let flagged = flags & FLAG_CORESETS != 0;
+    if flagged != (coreset_levels > 0) || flagged != has_core {
+        return Err(malformed(format!(
+            "coreset flag, level count ({coreset_levels}) and CORE section presence disagree"
+        )));
+    }
+    Ok(SnapshotMeta {
+        dim: dim as usize,
+        point_count: point_count as usize,
+        node_count: node_count as usize,
+        root,
+        leaf_capacity: leaf_capacity as usize,
+        split,
+        kernel,
+        gamma,
+        coreset_levels: coreset_levels as usize,
+    })
+}
+
+fn decode_points(payload: &[u8], meta: &SnapshotMeta) -> Result<PointSet, StoreError> {
+    let (n, d) = (meta.point_count, meta.dim);
+    let mut c = Cursor::new(payload, "PNTS");
+    let mut coords = Vec::new();
+    c.f64s(n * d, &mut coords)?;
+    let mut weights = Vec::new();
+    c.f64s(n, &mut weights)?;
+    c.finish()?;
+    // PointSet's constructors assert finite non-negative weights, so
+    // hostile values must be turned into errors here, before it exists.
+    for (i, &w) in weights.iter().enumerate() {
+        if !w.is_finite() || w < 0.0 {
+            return Err(StoreError::Malformed {
+                section: "PNTS",
+                detail: format!("weight {w} of point {i} is not finite and non-negative"),
+            });
+        }
+    }
+    for (k, &v) in coords.iter().enumerate() {
+        if !v.is_finite() {
+            return Err(StoreError::Malformed {
+                section: "PNTS",
+                detail: format!("non-finite coordinate at point {}, axis {}", k / d, k % d),
+            });
+        }
+    }
+    // `from_vecs` takes ownership: no second multi-megabyte copy of the
+    // coordinate buffer on the cold-start path.
+    Ok(PointSet::from_vecs(d, coords, weights))
+}
+
+/// Per-node topology fields, pre-`Node` (stats arrive from MOMT).
+struct TopoRecord {
+    kind: NodeKind,
+    depth: u16,
+    count: u32,
+    mbr: Mbr,
+}
+
+fn decode_topo(payload: &[u8], meta: &SnapshotMeta) -> Result<Vec<TopoRecord>, StoreError> {
+    let d = meta.dim;
+    let mut c = Cursor::new(payload, "TOPO");
+    let mut out = Vec::with_capacity(meta.node_count);
+    for i in 0..meta.node_count {
+        let malformed = |detail: String| StoreError::Malformed {
+            section: "TOPO",
+            detail: format!("node {i}: {detail}"),
+        };
+        let kind_raw = c.u8()?;
+        let a = c.u32()?;
+        let b = c.u32()?;
+        let kind = match kind_raw {
+            0 => NodeKind::Leaf { start: a, end: b },
+            1 => NodeKind::Internal {
+                left: NodeId(a),
+                right: NodeId(b),
+            },
+            k => return Err(malformed(format!("unknown node kind {k}"))),
+        };
+        let depth = c.u16()?;
+        let count = c.u32()?;
+        let mut lo = Vec::new();
+        c.f64s(d, &mut lo)?;
+        let mut hi = Vec::new();
+        c.f64s(d, &mut hi)?;
+        // Mbr::new panics on inverted or non-finite corners; validate
+        // before constructing.
+        for j in 0..d {
+            if !lo[j].is_finite() || !hi[j].is_finite() || lo[j] > hi[j] {
+                return Err(malformed(format!(
+                    "MBR axis {j} invalid: [{}, {}]",
+                    lo[j], hi[j]
+                )));
+            }
+        }
+        out.push(TopoRecord {
+            kind,
+            depth,
+            count,
+            mbr: Mbr::new(lo, hi),
+        });
+    }
+    c.finish()?;
+    Ok(out)
+}
+
+fn decode_moments(payload: &[u8], meta: &SnapshotMeta) -> Result<Vec<NodeStats>, StoreError> {
+    let d = meta.dim;
+    let mut c = Cursor::new(payload, "MOMT");
+    let mut center = Vec::new();
+    c.f64s(d, &mut center)?;
+    let mut out = Vec::with_capacity(meta.node_count);
+    for _ in 0..meta.node_count {
+        let weight = c.f64()?;
+        let mut sum = Vec::new();
+        c.f64s(d, &mut sum)?;
+        let sum_norm2 = c.f64()?;
+        let mut sum_norm2_p = Vec::new();
+        c.f64s(d, &mut sum_norm2_p)?;
+        let sum_norm4 = c.f64()?;
+        let mut moment2 = Vec::new();
+        c.f64s(d * d, &mut moment2)?;
+        out.push(NodeStats {
+            center: center.clone(),
+            weight,
+            sum,
+            sum_norm2,
+            sum_norm2_p,
+            sum_norm4,
+            moment2,
+        });
+    }
+    c.finish()?;
+    Ok(out)
+}
+
+fn decode_coresets(payload: &[u8], meta: &SnapshotMeta) -> Result<Vec<PointSet>, StoreError> {
+    let d = meta.dim;
+    let mut c = Cursor::new(payload, "CORE");
+    let mut levels = Vec::with_capacity(meta.coreset_levels);
+    for level in 0..meta.coreset_levels {
+        let malformed = |detail: String| StoreError::Malformed {
+            section: "CORE",
+            detail: format!("level {level}: {detail}"),
+        };
+        let size = c.u64()?;
+        if size == 0 || size > meta.point_count as u64 {
+            return Err(malformed(format!(
+                "size {size} outside [1, {}]",
+                meta.point_count
+            )));
+        }
+        let size = size as usize;
+        let mut coords = Vec::new();
+        c.f64s(size * d, &mut coords)?;
+        let mut weights = Vec::new();
+        c.f64s(size, &mut weights)?;
+        if let Some(k) = coords.iter().position(|v| !v.is_finite()) {
+            return Err(malformed(format!("non-finite coordinate at entry {}", k / d)));
+        }
+        if let Some(i) = weights.iter().position(|&w| !w.is_finite() || w < 0.0) {
+            return Err(malformed(format!("invalid weight at entry {i}")));
+        }
+        levels.push(PointSet::from_rows_weighted(d, &coords, &weights));
+    }
+    c.finish()?;
+    Ok(levels)
+}
+
+impl Snapshot {
+    /// Loads and fully validates a snapshot file.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let path = path.as_ref();
+        let bytes = std::fs::read(path).map_err(|e| StoreError::Io {
+            op: "read snapshot",
+            path: path.display().to_string(),
+            source: e,
+        })?;
+        Self::from_bytes(&bytes)
+    }
+
+    /// Decodes a snapshot from memory. See the module docs for the
+    /// validation pipeline.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, StoreError> {
+        let (flags, sections) = parse_container(bytes)?;
+        let has_core = sections.iter().any(|s| s.name == "CORE");
+        let meta = decode_meta(find(&sections, "META")?.payload, flags, has_core)?;
+        let points = decode_points(find(&sections, "PNTS")?.payload, &meta)?;
+        let topo = decode_topo(find(&sections, "TOPO")?.payload, &meta)?;
+        let stats = decode_moments(find(&sections, "MOMT")?.payload, &meta)?;
+        let coresets = if meta.coreset_levels > 0 {
+            decode_coresets(find(&sections, "CORE")?.payload, &meta)?
+        } else {
+            Vec::new()
+        };
+        let nodes: Vec<Node> = topo
+            .into_iter()
+            .zip(stats)
+            .map(|(t, s)| Node {
+                mbr: t.mbr,
+                stats: s,
+                kind: t.kind,
+                depth: t.depth,
+                count: t.count,
+            })
+            .collect();
+        let config = BuildConfig {
+            leaf_capacity: meta.leaf_capacity,
+            split: meta.split,
+        };
+        let tree = KdTree::try_from_parts(points, nodes, NodeId(meta.root), config).map_err(
+            |e| match e {
+                BuildError::InvalidTopology { .. } | BuildError::InvalidMoments { .. } => {
+                    StoreError::Inconsistent {
+                        detail: e.to_string(),
+                    }
+                }
+                other => StoreError::Inconsistent {
+                    detail: other.to_string(),
+                },
+            },
+        )?;
+        // γ was range-checked in decode_meta, so this cannot panic.
+        let kernel = Kernel::new(meta.kernel, meta.gamma);
+        Ok(Snapshot {
+            meta,
+            tree,
+            kernel,
+            coresets,
+        })
+    }
+
+    /// Parses the container and META without decoding the bulk payload.
+    /// All checksums are still verified, so `inspect` doubles as a fast
+    /// integrity check.
+    pub fn inspect(path: impl AsRef<Path>) -> Result<SnapshotInfo, StoreError> {
+        let path = path.as_ref();
+        let bytes = std::fs::read(path).map_err(|e| StoreError::Io {
+            op: "read snapshot",
+            path: path.display().to_string(),
+            source: e,
+        })?;
+        let (flags, sections) = parse_container(&bytes)?;
+        let has_core = sections.iter().any(|s| s.name == "CORE");
+        let meta = decode_meta(find(&sections, "META")?.payload, flags, has_core)?;
+        Ok(SnapshotInfo {
+            version: FORMAT_VERSION,
+            flags,
+            file_len: bytes.len() as u64,
+            sections: sections
+                .iter()
+                .map(|s| SectionInfo {
+                    name: s.name,
+                    offset: s.offset,
+                    len: s.payload.len() as u64,
+                    crc: s.crc,
+                })
+                .collect(),
+            meta,
+        })
+    }
+
+    /// Deep semantic verification beyond what loading already checks:
+    /// recomputes every leaf's moments from its points (the load-time
+    /// check only validates internal nodes against their children) and
+    /// confirms each leaf's points lie inside its MBR and each internal
+    /// MBR contains its children's. O(n·d²) — this is `kdv index verify
+    /// --deep`, not part of the serving path.
+    pub fn verify_deep(&self) -> Result<(), StoreError> {
+        let tree = &self.tree;
+        let ps = tree.points();
+        let nodes = tree.nodes();
+        let center = &nodes[tree.root().index()].stats.center;
+        let close = |a: f64, b: f64, scale: f64| (a - b).abs() <= 1e-9 * (1.0 + scale.abs());
+        for (i, node) in nodes.iter().enumerate() {
+            match node.kind {
+                NodeKind::Leaf { start, end } => {
+                    let mut fresh = NodeStats::zero_at(center.clone());
+                    for p in start..end {
+                        let pt = ps.point(p as usize);
+                        if !node.mbr.contains(pt) {
+                            return Err(StoreError::Inconsistent {
+                                detail: format!("leaf {i}: point {p} escapes the node MBR"),
+                            });
+                        }
+                        fresh.accumulate(pt, ps.weight(p as usize));
+                    }
+                    let s = &node.stats;
+                    let ok = close(s.weight, fresh.weight, fresh.weight)
+                        && close(s.sum_norm2, fresh.sum_norm2, fresh.sum_norm2)
+                        && close(s.sum_norm4, fresh.sum_norm4, fresh.sum_norm4)
+                        && s.sum
+                            .iter()
+                            .zip(&fresh.sum)
+                            .all(|(&a, &b)| close(a, b, fresh.sum_norm2))
+                        && s.sum_norm2_p
+                            .iter()
+                            .zip(&fresh.sum_norm2_p)
+                            .all(|(&a, &b)| close(a, b, fresh.sum_norm4))
+                        && s.moment2
+                            .iter()
+                            .zip(&fresh.moment2)
+                            .all(|(&a, &b)| close(a, b, fresh.sum_norm2));
+                    if !ok {
+                        return Err(StoreError::Inconsistent {
+                            detail: format!("leaf {i}: stored moments differ from recomputation"),
+                        });
+                    }
+                }
+                NodeKind::Internal { left, right } => {
+                    for child in [left, right] {
+                        let c = &nodes[child.index()].mbr;
+                        let inside = (0..ps.dim()).all(|j| {
+                            node.mbr.lo()[j] <= c.lo()[j] && c.hi()[j] <= node.mbr.hi()[j]
+                        });
+                        if !inside {
+                            return Err(StoreError::Inconsistent {
+                                detail: format!(
+                                    "internal {i}: child {} MBR escapes the parent's",
+                                    child.0
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,195 @@
+//! Snapshot serialization.
+//!
+//! The writer walks a built [`KdTree`] and emits the KDVS byte layout
+//! described in `format`. It never re-derives moments — the bytes are
+//! the builder's `f64`s verbatim, which is what makes the round-trip
+//! property (`load(write(tree))` renders bit-identically) hold.
+
+use crate::crc32::crc32;
+use crate::error::StoreError;
+use crate::format::{
+    put_f64, put_f64s, put_u16, put_u32, put_u64, section, FLAG_CORESETS, FORMAT_VERSION,
+    HEADER_LEN, MAGIC, SECTION_ENTRY_LEN,
+};
+use crate::format::{kernel_code, split_code};
+use kdv_core::Kernel;
+use kdv_geom::PointSet;
+use kdv_index::{KdTree, NodeKind};
+use std::io::Write as _;
+use std::path::Path;
+
+/// Serializes one dataset's index (plus kernel metadata and optional
+/// coreset levels) into a KDVS snapshot.
+///
+/// ```no_run
+/// # use kdv_geom::PointSet;
+/// # use kdv_index::KdTree;
+/// # use kdv_core::Kernel;
+/// # use kdv_store::SnapshotWriter;
+/// # let points = PointSet::from_rows(2, &[0.0, 0.0, 1.0, 1.0]);
+/// let tree = KdTree::build_default(&points);
+/// SnapshotWriter::new(&tree, Kernel::gaussian(0.5))
+///     .write_to("crime.kdvs")
+///     .unwrap();
+/// ```
+pub struct SnapshotWriter<'a> {
+    tree: &'a KdTree,
+    kernel: Kernel,
+    coresets: Vec<PointSet>,
+}
+
+impl<'a> SnapshotWriter<'a> {
+    /// Prepares a writer for `tree` evaluated under `kernel`.
+    pub fn new(tree: &'a KdTree, kernel: Kernel) -> Self {
+        Self {
+            tree,
+            kernel,
+            coresets: Vec::new(),
+        }
+    }
+
+    /// Attaches precomputed coreset levels (typically Z-order samples of
+    /// decreasing size from `kdv-sampling`). Each level is stored as a
+    /// self-contained re-weighted point set.
+    ///
+    /// # Panics
+    /// Panics if a level's dimensionality differs from the tree's or a
+    /// level is empty — writer inputs come from our own pipeline, so
+    /// these are programming errors, not data errors.
+    pub fn with_coresets(mut self, levels: Vec<PointSet>) -> Self {
+        for l in &levels {
+            assert_eq!(l.dim(), self.tree.points().dim(), "coreset dim mismatch");
+            assert!(!l.is_empty(), "empty coreset level");
+        }
+        self.coresets = levels;
+        self
+    }
+
+    /// Serializes the snapshot into memory.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let tree = self.tree;
+        let ps = tree.points();
+        let d = ps.dim();
+        let nodes = tree.nodes();
+
+        // META
+        let mut meta = Vec::with_capacity(64);
+        put_u32(&mut meta, d as u32);
+        put_u64(&mut meta, ps.len() as u64);
+        put_u64(&mut meta, nodes.len() as u64);
+        put_u32(&mut meta, tree.root().0);
+        put_u64(&mut meta, tree.config().leaf_capacity as u64);
+        meta.push(split_code(tree.config().split));
+        meta.push(kernel_code(self.kernel.ty));
+        put_f64(&mut meta, self.kernel.gamma);
+        put_u32(&mut meta, self.coresets.len() as u32);
+
+        // PNTS: coords then weights, already in tree order.
+        let mut pnts = Vec::with_capacity((ps.len() * (d + 1)) * 8);
+        put_f64s(&mut pnts, ps.coords());
+        put_f64s(&mut pnts, ps.weights());
+
+        // TOPO: fixed 15-byte record + MBR corners per node.
+        let mut topo = Vec::with_capacity(nodes.len() * (15 + 16 * d));
+        for n in nodes {
+            let (kind, a, b) = match n.kind {
+                NodeKind::Leaf { start, end } => (0u8, start, end),
+                NodeKind::Internal { left, right } => (1u8, left.0, right.0),
+            };
+            topo.push(kind);
+            put_u32(&mut topo, a);
+            put_u32(&mut topo, b);
+            put_u16(&mut topo, n.depth);
+            put_u32(&mut topo, n.count);
+            put_f64s(&mut topo, n.mbr.lo());
+            put_f64s(&mut topo, n.mbr.hi());
+        }
+
+        // MOMT: the shared center once, then per-node moment blocks.
+        let mut momt = Vec::with_capacity(8 * (d + nodes.len() * (3 + 2 * d + d * d)));
+        put_f64s(&mut momt, &nodes[tree.root().index()].stats.center);
+        for n in nodes {
+            let s = &n.stats;
+            put_f64(&mut momt, s.weight);
+            put_f64s(&mut momt, &s.sum);
+            put_f64(&mut momt, s.sum_norm2);
+            put_f64s(&mut momt, &s.sum_norm2_p);
+            put_f64(&mut momt, s.sum_norm4);
+            put_f64s(&mut momt, &s.moment2);
+        }
+
+        let mut sections: Vec<([u8; 4], Vec<u8>)> = vec![
+            (section::META, meta),
+            (section::PNTS, pnts),
+            (section::TOPO, topo),
+            (section::MOMT, momt),
+        ];
+        let mut flags = 0u16;
+        if !self.coresets.is_empty() {
+            let mut core = Vec::new();
+            for level in &self.coresets {
+                put_u64(&mut core, level.len() as u64);
+                put_f64s(&mut core, level.coords());
+                put_f64s(&mut core, level.weights());
+            }
+            sections.push((section::CORE, core));
+            flags |= FLAG_CORESETS;
+        }
+
+        // Assemble: header, table, header CRC, contiguous payloads.
+        let table_end = HEADER_LEN + SECTION_ENTRY_LEN * sections.len();
+        let payload_start = table_end + 4;
+        let total: usize =
+            payload_start + sections.iter().map(|(_, p)| p.len()).sum::<usize>();
+
+        let mut out = Vec::with_capacity(total);
+        out.extend_from_slice(&MAGIC);
+        put_u16(&mut out, FORMAT_VERSION);
+        put_u16(&mut out, flags);
+        put_u32(&mut out, sections.len() as u32);
+        put_u64(&mut out, total as u64);
+        let mut offset = payload_start as u64;
+        for (id, payload) in &sections {
+            out.extend_from_slice(id);
+            put_u64(&mut out, offset);
+            put_u64(&mut out, payload.len() as u64);
+            put_u32(&mut out, crc32(payload));
+            offset += payload.len() as u64;
+        }
+        debug_assert_eq!(out.len(), table_end);
+        let header_crc = crc32(&out);
+        put_u32(&mut out, header_crc);
+        for (_, payload) in &sections {
+            out.extend_from_slice(payload);
+        }
+        debug_assert_eq!(out.len(), total);
+        out
+    }
+
+    /// Serializes to `path` atomically: the bytes land in a `.tmp`
+    /// sibling first and are renamed into place, so a crash mid-write
+    /// never leaves a half-snapshot under the published name.
+    pub fn write_to(&self, path: impl AsRef<Path>) -> Result<u64, StoreError> {
+        let path = path.as_ref();
+        let bytes = self.to_bytes();
+        let display = path.display().to_string();
+        let tmp = path.with_extension("kdvs.tmp");
+        let io_err = |op: &'static str, p: &Path, source: std::io::Error| StoreError::Io {
+            op,
+            path: p.display().to_string(),
+            source,
+        };
+        let mut f =
+            std::fs::File::create(&tmp).map_err(|e| io_err("create snapshot", &tmp, e))?;
+        f.write_all(&bytes)
+            .and_then(|()| f.sync_all())
+            .map_err(|e| io_err("write snapshot", &tmp, e))?;
+        drop(f);
+        std::fs::rename(&tmp, path).map_err(|e| StoreError::Io {
+            op: "publish snapshot",
+            path: display,
+            source: e,
+        })?;
+        Ok(bytes.len() as u64)
+    }
+}

@@ -1,0 +1,206 @@
+//! Corruption resilience: the loader's no-panic contract under hostile
+//! bytes. The exhaustive sweep flips *every byte* of a small snapshot —
+//! stronger than randomized mutation — and demands a structured error
+//! each time; targeted cases pin the specific `StoreError` variant per
+//! defect class.
+
+use kdv_core::Kernel;
+use kdv_data::emulate::Dataset;
+use kdv_index::KdTree;
+use kdv_store::{Snapshot, SnapshotWriter, StoreError};
+
+fn small_snapshot() -> Vec<u8> {
+    let ps = Dataset::Crime.generate(120, 5);
+    let tree = KdTree::build_default(&ps);
+    SnapshotWriter::new(&tree, Kernel::gaussian(0.8)).to_bytes()
+}
+
+#[test]
+fn every_single_byte_flip_is_a_structured_error() {
+    let clean = small_snapshot();
+    assert!(Snapshot::from_bytes(&clean).is_ok());
+    for i in 0..clean.len() {
+        for flip in [0xFFu8, 0x01] {
+            let mut bytes = clean.clone();
+            bytes[i] ^= flip;
+            // Every byte is covered by a checksum (or *is* a checksum),
+            // so no flip may load cleanly — and none may panic. A panic
+            // here aborts the test, which is the point.
+            match Snapshot::from_bytes(&bytes) {
+                Ok(_) => panic!("flip {flip:#x} at byte {i} loaded successfully"),
+                Err(e) => {
+                    let _ = e.to_string(); // Display must not panic either.
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn every_truncation_is_a_structured_error() {
+    let clean = small_snapshot();
+    // All short prefixes at structure boundaries plus a byte-level
+    // sweep of the first kilobyte.
+    let mut cuts: Vec<usize> = (0..clean.len().min(1024)).collect();
+    for frac in [1, 2, 3, 4, 7] {
+        cuts.push(clean.len() * frac / 8);
+    }
+    cuts.push(clean.len() - 1);
+    for cut in cuts {
+        let e = match Snapshot::from_bytes(&clean[..cut]) {
+            Ok(_) => panic!("truncation at {cut} must fail"),
+            Err(e) => e,
+        };
+        assert!(
+            matches!(
+                e,
+                StoreError::Truncated { .. } | StoreError::LengthMismatch { .. }
+            ),
+            "cut at {cut}: unexpected error {e}"
+        );
+    }
+}
+
+#[test]
+fn wrong_magic() {
+    let mut bytes = small_snapshot();
+    bytes[0..4].copy_from_slice(b"PNGx");
+    assert!(matches!(
+        Snapshot::from_bytes(&bytes),
+        Err(StoreError::BadMagic { found }) if &found == b"PNGx"
+    ));
+}
+
+#[test]
+fn future_version_reports_upgrade_not_corruption() {
+    let mut bytes = small_snapshot();
+    bytes[4..6].copy_from_slice(&9u16.to_le_bytes());
+    assert!(matches!(
+        Snapshot::from_bytes(&bytes),
+        Err(StoreError::UnsupportedVersion {
+            found: 9,
+            supported: 1
+        })
+    ));
+}
+
+#[test]
+fn unknown_flags_are_rejected() {
+    let mut bytes = small_snapshot();
+    bytes[6..8].copy_from_slice(&0x8000u16.to_le_bytes());
+    assert!(matches!(
+        Snapshot::from_bytes(&bytes),
+        Err(StoreError::UnsupportedFlags { flags: 0x8000 })
+    ));
+}
+
+#[test]
+fn flipped_byte_in_each_section_names_that_section() {
+    let clean = small_snapshot();
+    // Locate sections via inspect on a temp file.
+    let dir = std::env::temp_dir().join(format!("kdvs-corrupt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("probe.kdvs");
+    std::fs::write(&path, &clean).unwrap();
+    let info = Snapshot::inspect(&path).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+
+    for s in &info.sections {
+        let mut bytes = clean.clone();
+        let mid = (s.offset + s.len / 2) as usize;
+        bytes[mid] ^= 0xFF;
+        match Snapshot::from_bytes(&bytes) {
+            Err(StoreError::ChecksumMismatch { section, .. }) => {
+                assert_eq!(section, s.name, "wrong section blamed");
+            }
+            other => panic!(
+                "flip inside {} produced {:?} instead of ChecksumMismatch",
+                s.name,
+                other.err().map(|e| e.to_string())
+            ),
+        }
+    }
+}
+
+#[test]
+fn checksum_clean_but_inconsistent_payload_is_rejected() {
+    // A hostile writer can produce valid CRCs over nonsense. Re-sign a
+    // tampered TOPO section (child pointing at itself) and confirm the
+    // semantic layer catches it.
+    let ps = Dataset::Crime.generate(120, 5);
+    let tree = KdTree::build_default(&ps);
+    let mut nodes = tree.nodes().to_vec();
+    let internal = (0..nodes.len())
+        .find(|&i| matches!(nodes[i].kind, kdv_index::NodeKind::Internal { .. }))
+        .expect("tree has an internal node");
+    if let kdv_index::NodeKind::Internal { left, .. } = &mut nodes[internal].kind {
+        *left = kdv_index::NodeId(internal as u32);
+    }
+    let forged = KdTree::try_from_parts(
+        tree.points().clone(),
+        nodes,
+        tree.root(),
+        tree.config(),
+    );
+    // The index layer itself refuses; the store-level equivalent is the
+    // Inconsistent variant mapped from the same check.
+    assert!(forged.is_err());
+
+    // Same defect at the byte level: corrupt, then fix the CRC so only
+    // semantic validation can catch it. TOPO node record: kind u8,
+    // a u32, b u32 … — point the root's left child back at node 0.
+    let clean = small_snapshot();
+    let dir = std::env::temp_dir().join(format!("kdvs-forge-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("probe.kdvs");
+    std::fs::write(&path, &clean).unwrap();
+    let info = Snapshot::inspect(&path).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+    let topo = info.sections.iter().find(|s| s.name == "TOPO").unwrap();
+
+    let mut bytes = clean.clone();
+    let rec = topo.offset as usize;
+    assert_eq!(bytes[rec], 1, "root of a 120-point tree is internal");
+    bytes[rec + 1..rec + 5].copy_from_slice(&0u32.to_le_bytes()); // left = root
+    // Re-sign: section CRCs live in the table; recompute TOPO's and the
+    // header CRC that covers the table.
+    let table_entry = 20 + 24 * info.sections.iter().position(|s| s.name == "TOPO").unwrap();
+    let crc = kdv_store::crc32::crc32(&bytes[rec..rec + topo.len as usize]);
+    bytes[table_entry + 20..table_entry + 24].copy_from_slice(&crc.to_le_bytes());
+    let table_end = 20 + 24 * info.sections.len();
+    let hcrc = kdv_store::crc32::crc32(&bytes[..table_end]);
+    bytes[table_end..table_end + 4].copy_from_slice(&hcrc.to_le_bytes());
+
+    match Snapshot::from_bytes(&bytes) {
+        Err(StoreError::Inconsistent { detail }) => {
+            assert!(detail.contains("topology"), "unexpected detail: {detail}");
+        }
+        other => panic!(
+            "forged topology produced {:?}",
+            other.err().map(|e| e.to_string())
+        ),
+    }
+}
+
+#[test]
+fn io_errors_are_structured() {
+    let missing = std::env::temp_dir().join("kdvs-definitely-missing.kdvs");
+    assert!(matches!(
+        Snapshot::open(&missing),
+        Err(StoreError::Io { op: "read snapshot", .. })
+    ));
+}
+
+#[test]
+fn empty_and_tiny_files_are_truncation_errors() {
+    for len in 0..20 {
+        let bytes = vec![0u8; len];
+        match Snapshot::from_bytes(&bytes) {
+            Err(StoreError::Truncated { .. }) | Err(StoreError::BadMagic { .. }) => {}
+            other => panic!(
+                "{len}-byte file produced {:?}",
+                other.err().map(|e| e.to_string())
+            ),
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Round-trip property: a loaded snapshot is indistinguishable from the
+//! tree it was written from — bit-identical moments, bit-identical
+//! `render_eps`/`render_tau` output — across the synthetic datasets and
+//! every kernel family.
+
+use kdv_core::{BoundFamily, Kernel, KernelType, RasterSpec, RefineEvaluator};
+use kdv_data::emulate::Dataset;
+use kdv_index::{BuildConfig, KdTree};
+use kdv_sampling::zorder_sample;
+use kdv_store::{Snapshot, SnapshotWriter};
+use kdv_viz::render::{render_eps, render_tau};
+
+fn build(dataset: Dataset, n: usize, seed: u64) -> KdTree {
+    let ps = dataset.generate(n, seed);
+    KdTree::build_default(&ps)
+}
+
+fn round_trip(tree: &KdTree, kernel: Kernel) -> Snapshot {
+    let bytes = SnapshotWriter::new(tree, kernel).to_bytes();
+    Snapshot::from_bytes(&bytes).expect("own snapshot must load")
+}
+
+#[test]
+fn moments_and_points_are_bit_identical() {
+    for (dataset, seed) in [(Dataset::Crime, 1u64), (Dataset::ElNino, 2), (Dataset::Home, 3)] {
+        let tree = build(dataset, 3000, seed);
+        let snap = round_trip(&tree, Kernel::gaussian(0.7));
+        assert_eq!(snap.tree.num_nodes(), tree.num_nodes());
+        assert_eq!(snap.tree.points().coords(), tree.points().coords());
+        assert_eq!(snap.tree.points().weights(), tree.points().weights());
+        for (a, b) in tree.nodes().iter().zip(snap.tree.nodes()) {
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.depth, b.depth);
+            assert_eq!(a.mbr, b.mbr);
+            // Bit-level, not approximate: the format stores raw f64s.
+            assert_eq!(a.stats.weight.to_bits(), b.stats.weight.to_bits());
+            assert_eq!(a.stats.sum_norm2.to_bits(), b.stats.sum_norm2.to_bits());
+            assert_eq!(a.stats.sum_norm4.to_bits(), b.stats.sum_norm4.to_bits());
+            assert_eq!(a.stats.sum, b.stats.sum);
+            assert_eq!(a.stats.sum_norm2_p, b.stats.sum_norm2_p);
+            assert_eq!(a.stats.moment2, b.stats.moment2);
+        }
+    }
+}
+
+#[test]
+fn renders_are_bit_identical_for_every_kernel() {
+    let tree = build(Dataset::Crime, 2500, 7);
+    for ty in KernelType::ALL {
+        let kernel = Kernel::new(ty, 0.9);
+        let snap = round_trip(&tree, kernel);
+        assert_eq!(snap.kernel, kernel);
+
+        let raster = RasterSpec::try_covering(tree.points(), 48, 36, 0.05).unwrap();
+        let mut ev_a = RefineEvaluator::new(&tree, kernel, BoundFamily::Quadratic);
+        let mut ev_b = RefineEvaluator::new(&snap.tree, kernel, BoundFamily::Quadratic);
+
+        let eps_a = render_eps(&mut ev_a, &raster, 0.01);
+        let eps_b = render_eps(&mut ev_b, &raster, 0.01);
+        for (a, b) in eps_a.values().iter().zip(eps_b.values()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "εKDV diverged for {ty:?}");
+        }
+
+        let tau = tree.points().total_weight() * 0.02;
+        let mut ev_a = RefineEvaluator::new(&tree, kernel, BoundFamily::Quadratic);
+        let mut ev_b = RefineEvaluator::new(&snap.tree, kernel, BoundFamily::Quadratic);
+        let tau_a = render_tau(&mut ev_a, &raster, tau);
+        let tau_b = render_tau(&mut ev_b, &raster, tau);
+        assert_eq!(tau_a.disagreement(&tau_b), 0.0, "τKDV diverged for {ty:?}");
+    }
+}
+
+#[test]
+fn non_default_build_config_survives() {
+    let ps = Dataset::ElNino.generate(1500, 11);
+    let cfg = BuildConfig {
+        leaf_capacity: 8,
+        split: kdv_index::SplitRule::WidestAxisMidpoint,
+    };
+    let tree = KdTree::build(&ps, cfg);
+    let snap = round_trip(&tree, Kernel::gaussian(0.5));
+    assert_eq!(snap.tree.config(), cfg);
+    assert_eq!(snap.meta.leaf_capacity, 8);
+}
+
+#[test]
+fn coreset_levels_round_trip() {
+    let ps = Dataset::Home.generate(4000, 13);
+    let tree = KdTree::build_default(&ps);
+    let levels = vec![
+        zorder_sample(tree.points(), 1000, 0.25),
+        zorder_sample(tree.points(), 250, 0.25),
+    ];
+    let bytes = SnapshotWriter::new(&tree, Kernel::gaussian(0.4))
+        .with_coresets(levels.clone())
+        .to_bytes();
+    let snap = Snapshot::from_bytes(&bytes).unwrap();
+    assert_eq!(snap.meta.coreset_levels, 2);
+    assert_eq!(snap.coresets.len(), 2);
+    for (a, b) in levels.iter().zip(&snap.coresets) {
+        assert_eq!(a.coords(), b.coords());
+        assert_eq!(a.weights(), b.weights());
+    }
+}
+
+#[test]
+fn file_round_trip_and_inspect() {
+    let dir = std::env::temp_dir().join(format!("kdvs-rt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("crime.kdvs");
+
+    let tree = build(Dataset::Crime, 2000, 17);
+    let written = SnapshotWriter::new(&tree, Kernel::gaussian(0.6))
+        .write_to(&path)
+        .unwrap();
+    assert_eq!(written, std::fs::metadata(&path).unwrap().len());
+
+    let snap = Snapshot::open(&path).unwrap();
+    assert_eq!(snap.meta.point_count, 2000);
+    snap.verify_deep().expect("fresh snapshot passes deep verify");
+
+    let info = Snapshot::inspect(&path).unwrap();
+    assert_eq!(info.version, kdv_store::FORMAT_VERSION);
+    assert_eq!(info.file_len, written);
+    let names: Vec<_> = info.sections.iter().map(|s| s.name).collect();
+    assert_eq!(names, ["META", "PNTS", "TOPO", "MOMT"]);
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -39,9 +39,11 @@ pub mod hist;
 pub mod json;
 pub mod metrics;
 pub mod serve;
+pub mod store;
 
 pub use counters::EventCounters;
 pub use fault::{FaultPlan, FaultProbe};
 pub use hist::LogHistogram;
 pub use metrics::{Checkpoint, RenderMetrics, RenderStatus};
 pub use serve::{CacheCounters, CacheSnapshot, HttpCounters, HttpSnapshot};
+pub use store::{StoreCounters, StoreSnapshot};

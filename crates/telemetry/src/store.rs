@@ -1,0 +1,190 @@
+//! Snapshot-store telemetry: catalog loads, builds, and failures.
+//!
+//! The serving catalog materializes datasets two ways — loading a KDVS
+//! snapshot or rebuilding from CSV — and the entire value of the store
+//! is the gap between those two paths. `StoreCounters` makes that gap
+//! observable in production: monotone lock-free counters for the event
+//! counts (same design as [`crate::serve`]) plus mutex-guarded
+//! [`LogHistogram`]s for the load/build latencies. Loads and builds
+//! happen per *dataset*, not per request, so a mutex on the histograms
+//! costs nothing measurable while keeping the bucket updates exact.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::hist::LogHistogram;
+use crate::json::{self, Value};
+
+/// Telemetry for a snapshot-backed dataset catalog.
+#[derive(Debug, Default)]
+pub struct StoreCounters {
+    loads: AtomicU64,
+    builds: AtomicU64,
+    load_failures: AtomicU64,
+    checksum_failures: AtomicU64,
+    evictions: AtomicU64,
+    evicted_bytes: AtomicU64,
+    load_ns: Mutex<LogHistogram>,
+    build_ns: Mutex<LogHistogram>,
+}
+
+/// One reading of [`StoreCounters`], histograms included.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreSnapshot {
+    /// Datasets materialized from a snapshot file.
+    pub loads: u64,
+    /// Datasets materialized by building from raw data.
+    pub builds: u64,
+    /// Failed materializations of either kind (the dataset stayed
+    /// unavailable; checksum failures are counted separately *and*
+    /// here).
+    pub load_failures: u64,
+    /// Loads rejected specifically for CRC mismatches — the corruption
+    /// alarm an operator should page on.
+    pub checksum_failures: u64,
+    /// Idle datasets evicted under the catalog byte budget.
+    pub evictions: u64,
+    /// Total estimated bytes released by evictions.
+    pub evicted_bytes: u64,
+    /// Wall-clock nanoseconds per snapshot load.
+    pub load_ns: LogHistogram,
+    /// Wall-clock nanoseconds per from-scratch build.
+    pub build_ns: LogHistogram,
+}
+
+impl StoreCounters {
+    /// Records a successful snapshot load taking `ns` nanoseconds.
+    pub fn load(&self, ns: u64) {
+        self.loads.fetch_add(1, Ordering::Relaxed);
+        self.load_ns.lock().expect("histogram lock").record(ns);
+    }
+
+    /// Records a successful from-source build taking `ns` nanoseconds.
+    pub fn build(&self, ns: u64) {
+        self.builds.fetch_add(1, Ordering::Relaxed);
+        self.build_ns.lock().expect("histogram lock").record(ns);
+    }
+
+    /// Records a failed materialization; `checksum` marks CRC
+    /// mismatches (counted in both failure columns).
+    pub fn load_failure(&self, checksum: bool) {
+        self.load_failures.fetch_add(1, Ordering::Relaxed);
+        if checksum {
+            self.checksum_failures.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records the eviction of an idle dataset holding ~`bytes`.
+    pub fn evict(&self, bytes: u64) {
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+        self.evicted_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Reads every counter and clones the histograms.
+    pub fn snapshot(&self) -> StoreSnapshot {
+        StoreSnapshot {
+            loads: self.loads.load(Ordering::Relaxed),
+            builds: self.builds.load(Ordering::Relaxed),
+            load_failures: self.load_failures.load(Ordering::Relaxed),
+            checksum_failures: self.checksum_failures.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            evicted_bytes: self.evicted_bytes.load(Ordering::Relaxed),
+            load_ns: self.load_ns.lock().expect("histogram lock").clone(),
+            build_ns: self.build_ns.lock().expect("histogram lock").clone(),
+        }
+    }
+}
+
+impl StoreSnapshot {
+    /// JSON object with counters and histogram summaries.
+    pub fn to_json(&self) -> Value {
+        let hist_json = |h: &LogHistogram| {
+            Value::obj(vec![
+                ("count", json::num_u(h.count())),
+                ("mean", json::num_f(h.mean())),
+                ("p50_le", json::num_u(h.quantile_le(0.5))),
+                ("p99_le", json::num_u(h.quantile_le(0.99))),
+                ("max", json::num_u(h.max())),
+            ])
+        };
+        Value::obj(vec![
+            ("loads", json::num_u(self.loads)),
+            ("builds", json::num_u(self.builds)),
+            ("load_failures", json::num_u(self.load_failures)),
+            ("checksum_failures", json::num_u(self.checksum_failures)),
+            ("evictions", json::num_u(self.evictions)),
+            ("evicted_bytes", json::num_u(self.evicted_bytes)),
+            ("load_ns", hist_json(&self.load_ns)),
+            ("build_ns", hist_json(&self.build_ns)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counters_accumulate_and_histograms_separate_load_from_build() {
+        let c = StoreCounters::default();
+        c.load(1_000);
+        c.load(2_000);
+        c.build(1_000_000);
+        c.load_failure(true);
+        c.load_failure(false);
+        c.evict(4096);
+        let s = c.snapshot();
+        assert_eq!(s.loads, 2);
+        assert_eq!(s.builds, 1);
+        assert_eq!(s.load_failures, 2);
+        assert_eq!(s.checksum_failures, 1);
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.evicted_bytes, 4096);
+        assert_eq!(s.load_ns.count(), 2);
+        assert_eq!(s.build_ns.count(), 1);
+        assert!(s.build_ns.mean() > s.load_ns.mean());
+    }
+
+    #[test]
+    fn json_round_trips_through_the_parser() {
+        let c = StoreCounters::default();
+        c.load(500);
+        c.build(10_000);
+        c.load_failure(true);
+        let doc = c.snapshot().to_json();
+        let back = crate::json::parse(&doc.render()).expect("parses");
+        assert_eq!(back.get("loads").and_then(Value::as_f64), Some(1.0));
+        assert_eq!(
+            back.get("checksum_failures").and_then(Value::as_f64),
+            Some(1.0)
+        );
+        assert!(back
+            .get("load_ns")
+            .and_then(|h| h.get("count"))
+            .and_then(Value::as_f64)
+            .is_some());
+    }
+
+    #[test]
+    fn concurrent_hammering_loses_nothing() {
+        let c = Arc::new(StoreCounters::default());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..2_000 {
+                    c.load(i + 1);
+                    c.evict(2);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("no panics");
+        }
+        let s = c.snapshot();
+        assert_eq!(s.loads, 8_000);
+        assert_eq!(s.load_ns.count(), 8_000);
+        assert_eq!(s.evicted_bytes, 16_000);
+    }
+}

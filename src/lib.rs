@@ -53,6 +53,7 @@ pub use kdv_index as index;
 pub use kdv_pca as pca;
 pub use kdv_sampling as sampling;
 pub use kdv_server as server;
+pub use kdv_store as store;
 pub use kdv_telemetry as telemetry;
 pub use kdv_viz as viz;
 
