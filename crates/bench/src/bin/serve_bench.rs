@@ -10,8 +10,10 @@
 //! (`cold_start_ms_build`) versus from a KDVS snapshot catalog
 //! (`cold_start_ms_load`), with the bare index-acquisition cost
 //! (`index_ms_*`) and the first-tile latency of each serving mode
-//! reported alongside. Later PRs diff this sidecar to catch serving
-//! regressions.
+//! reported alongside. A third section measures the request-tracing
+//! tax on cached tiles (tracing off vs. on, same warmed level) so the
+//! <5% cached-p99 overhead contract stays pinned in the sidecar.
+//! Later PRs diff this sidecar to catch serving regressions.
 //!
 //! ```text
 //! cargo run --release -p kdv-bench --bin serve_bench [-- out.json]
@@ -177,6 +179,86 @@ fn cold_start(tmp: &Path) -> Value {
     ])
 }
 
+/// The tracing tax on the hot path, measured where it matters: cached
+/// tiles, where per-request work is a hash lookup plus a socket write
+/// and any fixed overhead is proportionally largest. Two identical
+/// servers — tracing off vs. on — serve the same warmed z=2 level;
+/// the sidecar records both distributions and the p50/p99 deltas. The
+/// serving contract (ISSUE: observability) allows cached p99 to
+/// regress at most 5% with tracing enabled.
+fn trace_overhead() -> Value {
+    const ROUNDS: usize = 64;
+    const Z: u32 = 2;
+    let mut points = Dataset::Crime.generate(POINTS, SEED);
+    points.scale_weights(1.0 / points.len() as f64);
+    let kernel = Kernel::gaussian(scott_gamma(&points).gamma);
+
+    // Both servers live at once, samples interleaved per tile, so
+    // scheduler and allocator drift hits both modes identically: any
+    // consistent gap is the tracing tax, not warmup order.
+    let servers: Vec<TileServer> = [false, true]
+        .into_iter()
+        .map(|trace| {
+            let config = ServerConfig {
+                tile_size: TILE_SIZE,
+                max_z: Z as u8,
+                eps: 0.1,
+                workers: 4,
+                trace,
+                ..ServerConfig::default()
+            };
+            TileServer::start(config, &points, kernel).expect("server start")
+        })
+        .collect();
+    let mut hists = [LogHistogram::new(), LogHistogram::new()];
+    for round in 0..=ROUNDS {
+        for x in 0..1u32 << Z {
+            for y in 0..1u32 << Z {
+                let path = format!("/tiles/eps/{Z}/{x}/{y}.png");
+                for (slot, server) in servers.iter().enumerate() {
+                    let start = Instant::now();
+                    let (status, _) = fetch(server.local_addr(), &path);
+                    let ns = start.elapsed().as_nanos() as u64;
+                    assert_eq!(status, 200, "{path} (traced={})", slot == 1);
+                    if round > 0 {
+                        // Round 0 renders; only cached fetches count.
+                        hists[slot].record(ns);
+                    }
+                }
+            }
+        }
+    }
+    for server in servers {
+        server.stop();
+    }
+
+    let pct = |on: f64, off: f64| (on - off) / off * 100.0;
+    let mean_pct = pct(hists[1].mean(), hists[0].mean());
+    let p50_pct = pct(
+        hists[1].quantile_le(0.5) as f64,
+        hists[0].quantile_le(0.5) as f64,
+    );
+    let p99_pct = pct(
+        hists[1].quantile_le(0.99) as f64,
+        hists[0].quantile_le(0.99) as f64,
+    );
+    println!(
+        "cached-tile tracing overhead: mean {:+.1}% (exact), p50 {:+.1}%, p99 {:+.1}% \
+         ({} samples per mode; quantiles carry ≤6.25% bucket error)",
+        mean_pct,
+        p50_pct,
+        p99_pct,
+        ROUNDS * (1 << Z) * (1 << Z),
+    );
+    Value::obj(vec![
+        ("untraced", hist_json(&hists[0])),
+        ("traced", hist_json(&hists[1])),
+        ("mean_overhead_pct", json::num_f(mean_pct)),
+        ("p50_overhead_pct", json::num_f(p50_pct)),
+        ("p99_overhead_pct", json::num_f(p99_pct)),
+    ])
+}
+
 fn main() {
     let out = std::env::args()
         .nth(1)
@@ -231,15 +313,17 @@ fn main() {
     std::fs::create_dir_all(&tmp).expect("mkdir tmp");
     let cold_start = cold_start(&tmp);
     std::fs::remove_dir_all(&tmp).ok();
+    let trace_overhead = trace_overhead();
 
     let doc = Value::obj(vec![
-        ("schema", Value::Str("kdv-bench-serve/2".to_string())),
+        ("schema", Value::Str("kdv-bench-serve/3".to_string())),
         ("dataset", Value::Str("crime".to_string())),
         ("points", json::num_u(POINTS as u64)),
         ("tile_size", json::num_u(TILE_SIZE as u64)),
         ("kind", Value::Str("eps".to_string())),
         ("levels", Value::Arr(levels)),
         ("cold_start", cold_start),
+        ("trace_overhead", trace_overhead),
     ]);
     std::fs::write(&out, doc.render()).expect("write sidecar");
     println!("wrote {out}");

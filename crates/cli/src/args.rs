@@ -12,7 +12,7 @@ pub struct Args {
 }
 
 /// Flags that take no value.
-const BOOLEAN_FLAGS: [&str; 7] = [
+const BOOLEAN_FLAGS: [&str; 9] = [
     "help",
     "weights",
     "grayscale",
@@ -20,6 +20,8 @@ const BOOLEAN_FLAGS: [&str; 7] = [
     "verbose",
     "allow-shutdown",
     "debug-sleep",
+    "no-trace",
+    "preload",
 ];
 
 impl Args {
@@ -134,7 +136,7 @@ mod tests {
     #[test]
     fn require_reports_missing() {
         let a = parse(&[]);
-        let err = a.require::<f64>("tau").err().expect("missing");
+        let err = a.require::<f64>("tau").expect_err("missing");
         assert!(err.contains("--tau"));
     }
 

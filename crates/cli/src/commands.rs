@@ -432,13 +432,22 @@ pub fn serve(args: &Args) -> Result<(), String> {
              \x20         [--eps 0.05] [--tau T | --tau-sigma K] [--kernel ...] [--gamma G]\n\
              \x20         [--weights] [--workers 4] [--queue 64] [--cache-mb 64]\n\
              \x20         [--cache-shards 8] [--tile-max-work UNITS] [--tile-deadline-ms MS]\n\
-             \x20         [--allow-shutdown] [--debug-sleep]\n\
-             kdv serve --store <dir> [--store-budget-mb MB] [--tau T] [same serving flags]\n\
+             \x20         [--no-trace] [--trace-ring 128] [--slow-ms 100]\n\
+             \x20         [--access-log PATH|-] [--allow-shutdown] [--debug-sleep]\n\
+             kdv serve --store <dir> [--store-budget-mb MB] [--tau T] [--preload]\n\
+             \x20         [same serving flags]\n\
              \n\
-             Serves GET /tiles/{{eps|tau}}/{{z}}/{{x}}/{{y}}.png, /metrics, /healthz.\n\
+             Serves GET /tiles/{{eps|tau}}/{{z}}/{{x}}/{{y}}.png, /metrics (JSON, or\n\
+             Prometheus text with ?format=prometheus), /healthz, /readyz, and — while\n\
+             tracing is on (the default) — /debug/traces and /debug/slow. Every\n\
+             response echoes its X-Kdv-Trace-Id; requests at or over --slow-ms are\n\
+             retained preferentially. --access-log writes one JSON line per request\n\
+             (per-stage latency included) to PATH, or stdout with `-`.\n\
              With --store: scans <dir> for {{name}}.kdvs snapshots (built by `kdv index\n\
              build`) and {{name}}.csv fallbacks, serves them under\n\
-             /tiles/{{name}}/{{eps|tau}}/…, loading each dataset lazily on first touch.\n\
+             /tiles/{{name}}/{{eps|tau}}/…, loading each dataset lazily on first touch\n\
+             (--preload materializes all of them in the background; /readyz answers\n\
+             503 until the sweep finishes).\n\
              Budget-degraded tiles answer 200 with an X-Kdv-Degraded header; a full\n\
              accept queue answers 429 with Retry-After."
         );
@@ -535,7 +544,17 @@ pub fn serve(args: &Args) -> Result<(), String> {
         debug_sleep: args.has("debug-sleep"),
         data_load_ms: input.as_ref().map_or(0, |(_, ms)| *ms),
         store_budget_bytes: store_budget_mb << 20,
+        trace: !args.has("no-trace"),
+        trace_ring: args.get_parsed("trace-ring", 128usize)?,
+        slow_ms: args.get_parsed("slow-ms", 100u64)?,
+        access_log: args.get("access-log").map(str::to_string),
+        preload: args.has("preload"),
     };
+    if config.preload && store_dir.is_none() {
+        return Err("--preload only applies to --store serving".into());
+    }
+    let trace_on = config.trace || config.access_log.is_some();
+    let slow_ms = config.slow_ms;
     let server = match (&store_dir, &input) {
         (Some(dir), _) => TileServer::start_with_store(config, dir),
         (None, Some((input, _))) => TileServer::start(config, &input.points, input.kernel),
@@ -573,7 +592,10 @@ pub fn serve(args: &Args) -> Result<(), String> {
         "  startup: {} ms (data load {} ms, index {} ms, warm {} ms, source {})",
         su.total_ms, su.data_load_ms, su.index_ms, su.warm_ms, su.source
     );
-    println!("  metrics: http://{bound}/metrics");
+    println!("  metrics: http://{bound}/metrics  (Prometheus: /metrics?format=prometheus)");
+    if trace_on {
+        println!("  traces:  http://{bound}/debug/traces  (slow ≥ {slow_ms} ms: /debug/slow)");
+    }
     server.join();
     println!("server stopped");
     Ok(())
@@ -1062,8 +1084,7 @@ mod tests {
             "--metrics",
             tmp("nope.json").to_str().expect("utf8"),
         ]))
-        .err()
-        .expect("tiled + metrics must be rejected");
+        .expect_err("tiled + metrics must be rejected");
         assert!(err.contains("--tiled"), "unexpected error: {err}");
     }
 
@@ -1089,17 +1110,15 @@ mod tests {
         // Corrupt CSV: non-numeric field.
         let garbled = tmp("garbled.csv");
         std::fs::write(&garbled, "0.0,0.0\n1.0,banana\n").expect("write");
-        let err = render(&args(&[garbled.to_str().expect("utf8")]))
-            .err()
-            .expect("corrupt CSV rejected");
+        let err =
+            render(&args(&[garbled.to_str().expect("utf8")])).expect_err("corrupt CSV rejected");
         assert!(err.contains("line 2"), "error names the line: {err}");
 
         // NaN coordinates.
         let nans = tmp("nans.csv");
         std::fs::write(&nans, "0.0,0.0\nNaN,1.0\n").expect("write");
-        let err = render(&args(&[nans.to_str().expect("utf8")]))
-            .err()
-            .expect("NaN coordinate rejected");
+        let err =
+            render(&args(&[nans.to_str().expect("utf8")])).expect_err("NaN coordinate rejected");
         assert!(err.contains("non-finite"), "unexpected error: {err}");
 
         // Empty input.
@@ -1121,7 +1140,7 @@ mod tests {
         let dup = tmp("dup.csv");
         std::fs::write(&dup, "1.0,2.0\n1.0,2.0\n1.0,2.0\n1.0,2.0\n").expect("write");
         let p = dup.to_str().expect("utf8");
-        let err = render(&args(&[p])).err().expect("Scott must degenerate");
+        let err = render(&args(&[p])).expect_err("Scott must degenerate");
         assert!(err.contains("--gamma"), "error suggests the fix: {err}");
         // With an explicit scale the pipeline runs end to end.
         let out = tmp("dup.ppm");

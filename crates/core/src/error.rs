@@ -88,7 +88,10 @@ impl fmt::Display for KdvError {
                 write!(f, "non-finite {what} at index {index}")
             }
             KdvError::DimensionMismatch { got, expected } => {
-                write!(f, "dimension mismatch: query has {got}, data has {expected}")
+                write!(
+                    f,
+                    "dimension mismatch: query has {got}, data has {expected}"
+                )
             }
             KdvError::DegenerateRaster { message } => {
                 write!(f, "degenerate raster: {message}")

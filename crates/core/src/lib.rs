@@ -57,7 +57,9 @@ pub mod regress;
 pub mod threshold;
 
 pub use bounds::{BoundFamily, Interval};
-pub use engine::{BudgetedEval, BudgetedTau, NoProbe, Probe, RefineEvaluator, RefineStats, RenderBudget};
+pub use engine::{
+    BudgetedEval, BudgetedTau, NoProbe, Probe, RefineEvaluator, RefineStats, RenderBudget,
+};
 pub use error::KdvError;
 pub use kernel::{Kernel, KernelType};
 pub use method::{MethodKind, PixelEvaluator};

@@ -114,7 +114,7 @@ mod tests {
         let tree = KdTree::build_default(&ps);
         let kernel = Kernel::gaussian(0.3);
         let mut dfs = ScikitDfs::new(&tree, kernel);
-        let mut exact = ExactScan::new(&ps, kernel);
+        let exact = ExactScan::new(&ps, kernel);
         let q = [0.5, -0.5];
         let f = exact.density(&q);
         assert!(dfs.eval_tau(&q, f * 0.9));

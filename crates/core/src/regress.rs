@@ -236,9 +236,9 @@ mod tests {
     fn brute_nw(xs: &PointSet, ys: &[f64], kernel: &Kernel, q: &[f64]) -> Option<f64> {
         let mut num = 0.0;
         let mut den = 0.0;
-        for i in 0..xs.len() {
+        for (i, y) in ys.iter().enumerate().take(xs.len()) {
             let k = xs.weight(i) * kernel.eval_dist2(dist2(q, xs.point(i)));
-            num += ys[i] * k;
+            num += y * k;
             den += k;
         }
         (den > 0.0).then_some(num / den)

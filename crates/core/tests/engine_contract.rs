@@ -17,10 +17,7 @@ fn brute_force(ps: &PointSet, kernel: &Kernel, q: &[f64]) -> f64 {
 
 fn arb_dataset() -> impl Strategy<Value = PointSet> {
     proptest::collection::vec(
-        (
-            proptest::collection::vec(-20.0..20.0f64, 2),
-            0.01..2.0f64,
-        ),
+        (proptest::collection::vec(-20.0..20.0f64, 2), 0.01..2.0f64),
         8..120,
     )
     .prop_map(|rows| {

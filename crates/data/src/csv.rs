@@ -163,7 +163,7 @@ mod tests {
 
     #[test]
     fn wrong_field_count_is_reported_with_line() {
-        let err = parse("1.0,2.0\n3.0\n", 2, false).err().expect("error");
+        let err = parse("1.0,2.0\n3.0\n", 2, false).expect_err("error");
         match err {
             CsvError::Parse { line, .. } => assert_eq!(line, 2),
             other => panic!("unexpected error {other:?}"),
@@ -172,13 +172,13 @@ mod tests {
 
     #[test]
     fn bad_number_is_reported() {
-        let err = parse("1.0,abc\n", 2, false).err().expect("error");
+        let err = parse("1.0,abc\n", 2, false).expect_err("error");
         assert!(err.to_string().contains("abc"));
     }
 
     #[test]
     fn negative_weight_rejected() {
-        let err = parse("0.0,0.0,-1.0\n", 2, true).err().expect("error");
+        let err = parse("0.0,0.0,-1.0\n", 2, true).expect_err("error");
         assert!(err.to_string().contains("invalid weight"));
     }
 
@@ -186,7 +186,7 @@ mod tests {
     fn non_finite_coordinates_rejected_with_line_number() {
         for bad in ["inf", "-inf", "NaN", "nan", "infinity"] {
             let text = format!("1.0,2.0\n{bad},4.0\n");
-            let err = parse(&text, 2, false).err().expect(bad);
+            let err = parse(&text, 2, false).expect_err(bad);
             match &err {
                 CsvError::Parse { line, message } => {
                     assert_eq!(*line, 2, "{bad}: wrong line");
@@ -202,9 +202,9 @@ mod tests {
 
     #[test]
     fn non_finite_weight_rejected() {
-        let err = parse("0.0,0.0,inf\n", 2, true).err().expect("error");
+        let err = parse("0.0,0.0,inf\n", 2, true).expect_err("error");
         assert!(err.to_string().contains("invalid weight"));
-        let err = parse("0.0,0.0,NaN\n", 2, true).err().expect("error");
+        let err = parse("0.0,0.0,NaN\n", 2, true).expect_err("error");
         assert!(err.to_string().contains("invalid weight"));
     }
 

@@ -688,12 +688,10 @@ mod tests {
                 tree.config(),
             )
         };
-        let is_topo = |r: Result<KdTree, BuildError>| {
-            matches!(r, Err(BuildError::InvalidTopology { .. }))
-        };
-        let is_moments = |r: Result<KdTree, BuildError>| {
-            matches!(r, Err(BuildError::InvalidMoments { .. }))
-        };
+        let is_topo =
+            |r: Result<KdTree, BuildError>| matches!(r, Err(BuildError::InvalidTopology { .. }));
+        let is_moments =
+            |r: Result<KdTree, BuildError>| matches!(r, Err(BuildError::InvalidMoments { .. }));
 
         // Empty arena.
         let (p, _, root, cfg) = parts();
@@ -763,10 +761,15 @@ mod tests {
             KdTree::try_build_default(&inf).err(),
             Some(BuildError::NonFiniteCoordinate { point: 1, axis: 0 })
         );
-        let bad_w = PointSet::from_rows_weighted(2, &[0.0, 0.0, 1.0, 1.0], &[1.0, f64::NAN]);
-        assert_eq!(
-            KdTree::try_build_default(&bad_w).err(),
-            Some(BuildError::NonFiniteWeight { point: 1 })
+        // Non-finite weights never reach `try_build` through the public
+        // API: every `PointSet` constructor rejects them at the door,
+        // so the builder's own weight check is second-line defense.
+        let bad_w = std::panic::catch_unwind(|| {
+            PointSet::from_rows_weighted(2, &[0.0, 0.0, 1.0, 1.0], &[1.0, f64::NAN])
+        });
+        assert!(
+            bad_w.is_err(),
+            "NaN weight must be rejected at construction"
         );
     }
 
@@ -798,7 +801,9 @@ mod tests {
                 },
             )
             .unwrap_or_else(|e| panic!("{split:?}: {e}"));
-            assert_eq!(tree.node(tree.root()).point_count(), 50, "{split:?}");
+            // The root covers the whole set; collinearity must not
+            // shed points.
+            assert_eq!(tree.node(tree.root()).point_count(), 100, "{split:?}");
         }
     }
 

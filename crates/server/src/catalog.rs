@@ -181,8 +181,7 @@ fn build_csv(
     if points.is_empty() {
         return Err((format!("dataset {name:?}: input contains no points"), false));
     }
-    kdv_data::sanitize::validate(&points)
-        .map_err(|e| (format!("dataset {name:?}: {e}"), false))?;
+    kdv_data::sanitize::validate(&points).map_err(|e| (format!("dataset {name:?}: {e}"), false))?;
     let n = points.len() as f64;
     points.scale_weights(1.0 / n);
     let bw = try_scott_gamma_for(&points, KernelType::Gaussian).map_err(|e| {
@@ -248,11 +247,7 @@ impl Catalog {
     /// fallbacks (snapshot wins when both exist). Nothing is loaded
     /// yet. Errors if the directory is unreadable, holds no datasets,
     /// or a stem is not a valid dataset name.
-    pub fn open(
-        dir: &Path,
-        budget_bytes: u64,
-        settings: RenderSettings,
-    ) -> Result<Self, String> {
+    pub fn open(dir: &Path, budget_bytes: u64, settings: RenderSettings) -> Result<Self, String> {
         let entries = std::fs::read_dir(dir)
             .map_err(|e| format!("cannot read store directory {}: {e}", dir.display()))?;
         let mut found: Vec<(String, PathBuf, SlotKind)> = Vec::new();
@@ -440,7 +435,7 @@ impl Catalog {
                         continue;
                     }
                     let stamp = slot.last_access.load(Ordering::Relaxed);
-                    if victim.map_or(true, |(_, best, _)| stamp < best) {
+                    if victim.is_none_or(|(_, best, _)| stamp < best) {
                         victim = Some((i, stamp, entry.bytes));
                     }
                 }

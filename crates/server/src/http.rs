@@ -21,6 +21,8 @@ pub struct Request {
     pub method: String,
     /// The path component, query string stripped.
     pub path: String,
+    /// The raw query string after `?`, when present (`format=prometheus`).
+    pub query: Option<String>,
 }
 
 /// Reads and parses one request head from `stream`.
@@ -53,10 +55,14 @@ pub fn read_request(stream: &mut TcpStream) -> io::Result<Result<Request, String
         (Some(method), Some(target), Some(version), None)
             if !method.is_empty() && version.starts_with("HTTP/") =>
         {
-            let path = target.split('?').next().unwrap_or("").to_string();
+            let (path, query) = match target.split_once('?') {
+                Some((p, q)) => (p.to_string(), Some(q.to_string())),
+                None => (target.to_string(), None),
+            };
             Ok(Ok(Request {
                 method: method.to_string(),
                 path,
+                query,
             }))
         }
         _ => Ok(Err(format!("malformed request line {line:?}"))),
@@ -161,14 +167,16 @@ mod tests {
             .expect("parse");
         assert_eq!(req.method, "GET");
         assert_eq!(req.path, "/tiles/eps/0/0/0.png");
+        assert_eq!(req.query, None);
     }
 
     #[test]
-    fn strips_query_strings() {
-        let req = parse_raw(b"GET /metrics?pretty=1 HTTP/1.1\r\n\r\n")
+    fn strips_query_strings_but_keeps_them() {
+        let req = parse_raw(b"GET /metrics?format=prometheus HTTP/1.1\r\n\r\n")
             .expect("io")
             .expect("parse");
         assert_eq!(req.path, "/metrics");
+        assert_eq!(req.query.as_deref(), Some("format=prometheus"));
     }
 
     #[test]

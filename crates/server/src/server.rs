@@ -19,13 +19,22 @@
 //! * rendered tiles land in the sharded byte-capacity LRU
 //!   ([`crate::cache`]) — except degraded ones: caching a tile that
 //!   only exists because the server was momentarily overloaded would
-//!   serve the degraded bytes forever after the load has passed.
+//!   serve the degraded bytes forever after the load has passed,
+//! * every request is **traced** end to end (on by default): the
+//!   accept timestamp is the span origin, each stage — queue wait,
+//!   parse, cache lookup, catalog materialization, refinement, PNG
+//!   encode, socket write — is a named span with work/byte
+//!   annotations, and the completed trace lands in a bounded
+//!   [`TraceRing`] served at `/debug/traces` (slow traces are retained
+//!   preferentially at `/debug/slow`). The trace ID is echoed on every
+//!   response as `X-Kdv-Trace-Id`. With `--no-trace` the builder is
+//!   inert: no clock reads, no allocation, no ring pushes.
 //!
 //! [`RenderBudget`]: kdv_core::engine::RenderBudget
 
 use std::collections::HashMap;
 use std::fmt;
-use std::io;
+use std::io::{self, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -42,10 +51,16 @@ use kdv_core::raster::RasterSpec;
 use kdv_geom::{Mbr, PointSet};
 use kdv_index::{KdTree, NodeId};
 use kdv_telemetry::json::{self, Value};
-use kdv_telemetry::{HttpCounters, RenderMetrics};
+use kdv_telemetry::{
+    DepthProfile, HttpCounters, LogHistogram, PromWriter, RenderMetrics, TagValue, Trace,
+    TraceBuilder, TraceMeta, TraceRing,
+};
 use kdv_viz::colormap::render_binary;
 use kdv_viz::render::BinaryGrid;
-use kdv_viz::tile_render::{pyramid_raster, render_tile_eps, render_tile_tau, TileImage};
+use kdv_viz::tile_render::{
+    pyramid_raster, render_tile_eps, render_tile_eps_probed, render_tile_tau,
+    render_tile_tau_probed, TileImage,
+};
 use kdv_viz::tiles::{certify_box, BoxCertification};
 use kdv_viz::{png, ColorMap};
 
@@ -106,6 +121,23 @@ pub struct ServerConfig {
     /// Estimated-byte budget across materialized catalog datasets
     /// (store mode only); 0 disables eviction.
     pub store_budget_bytes: u64,
+    /// Record per-request traces (spans, `/debug/traces`, stage
+    /// histograms). On by default; `--no-trace` turns the builder into
+    /// a no-op with zero clock reads on the request path.
+    pub trace: bool,
+    /// Completed traces retained in each ring (recent and slow).
+    pub trace_ring: usize,
+    /// Requests at or over this many milliseconds end-to-end are
+    /// retained preferentially in the slow ring (`/debug/slow`).
+    pub slow_ms: u64,
+    /// JSON-lines access log destination: a file path, or `-` for
+    /// stdout. `None` disables the log. Setting it forces tracing on
+    /// (log lines are derived from the completed trace).
+    pub access_log: Option<String>,
+    /// Materialize every catalog dataset in the background at boot;
+    /// `/readyz` answers `503` until the sweep finishes. Off by
+    /// default: datasets load lazily and `/readyz` is ready at bind.
+    pub preload: bool,
 }
 
 impl Default for ServerConfig {
@@ -126,6 +158,11 @@ impl Default for ServerConfig {
             debug_sleep: false,
             data_load_ms: 0,
             store_budget_bytes: 0,
+            trace: true,
+            trace_ring: 128,
+            slow_ms: 100,
+            access_log: None,
+            preload: false,
         }
     }
 }
@@ -198,6 +235,62 @@ impl From<KdvError> for ServeError {
 /// address (τ tiles only — ε tiles have no transferable certificate).
 type FrontierMap = HashMap<(u32, u8, u32, u32), Arc<Vec<NodeId>>>;
 
+/// The fixed span taxonomy, in pipeline order. Every traced request
+/// passes through a subset of these; `/metrics` exposes one latency
+/// histogram per stage under this exact name set.
+pub const STAGES: [&str; 7] = [
+    "queue", "parse", "cache", "catalog", "render", "encode", "write",
+];
+
+/// Per-stage latency histograms (microseconds), fed from completed
+/// traces — so they cost nothing when tracing is off.
+struct StageStats {
+    stages: [LogHistogram; STAGES.len()],
+    /// End-to-end (accept → response written) latency.
+    total: LogHistogram,
+}
+
+impl StageStats {
+    fn new() -> Self {
+        Self {
+            stages: std::array::from_fn(|_| LogHistogram::new()),
+            total: LogHistogram::new(),
+        }
+    }
+
+    fn record(&mut self, trace: &Trace) {
+        for span in &trace.spans {
+            if let Some(i) = STAGES.iter().position(|s| *s == span.name) {
+                self.stages[i].record(span.dur_us);
+            }
+        }
+        self.total.record(trace.total_us);
+    }
+}
+
+/// Per-request trace state threaded through routing: the span builder
+/// plus the metadata bits ([`TraceMeta`]) that are only known deep in
+/// the tile path (cache disposition, degradation).
+struct RequestTrace {
+    tb: TraceBuilder,
+    cache: Option<&'static str>,
+    degraded: bool,
+}
+
+impl RequestTrace {
+    fn new(inner: &Inner, accepted: Instant) -> Self {
+        Self {
+            tb: if inner.traces.is_some() {
+                TraceBuilder::with_origin(accepted)
+            } else {
+                TraceBuilder::off()
+            },
+            cache: None,
+            degraded: false,
+        }
+    }
+}
+
 /// Shared immutable server state plus the few mutable rendezvous
 /// points (cache shards, metrics, frontiers — each behind its own
 /// fine-grained lock or atomic).
@@ -228,6 +321,16 @@ struct Inner {
     debug_sleep: bool,
     local_addr: SocketAddr,
     started: Instant,
+    /// Completed-trace retention; `None` when tracing is disabled.
+    traces: Option<TraceRing>,
+    /// Per-stage latency histograms, fed on trace completion only.
+    stages: Mutex<StageStats>,
+    /// JSON-lines access log sink (file or stdout), one line per
+    /// completed trace.
+    access_log: Option<Mutex<Box<dyn io::Write + Send>>>,
+    /// `/readyz` gate: false while a `--preload` sweep is still
+    /// materializing catalog datasets.
+    ready: AtomicBool,
 }
 
 /// A running tile server (see [`TileServer::start`]).
@@ -308,6 +411,24 @@ impl TileServer {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
 
+        // The access log implies tracing: its lines are rendered from
+        // completed traces.
+        let trace_on = config.trace || config.access_log.is_some();
+        let access_log: Option<Mutex<Box<dyn io::Write + Send>>> = match &config.access_log {
+            None => None,
+            Some(dest) if dest == "-" => Some(Mutex::new(Box::new(io::stdout()))),
+            Some(path) => {
+                let file = std::fs::File::options()
+                    .create(true)
+                    .append(true)
+                    .open(path)
+                    .map_err(|e| {
+                        ServeError::Config(format!("cannot open access log {path}: {e}"))
+                    })?;
+                Some(Mutex::new(Box::new(file)))
+            }
+        };
+
         let inner = Arc::new(Inner {
             catalog,
             multi,
@@ -327,9 +448,31 @@ impl TileServer {
             debug_sleep: config.debug_sleep,
             local_addr,
             started: Instant::now(),
+            traces: trace_on
+                .then(|| TraceRing::new(config.trace_ring, config.slow_ms.saturating_mul(1_000))),
+            stages: Mutex::new(StageStats::new()),
+            access_log,
+            ready: AtomicBool::new(!config.preload),
         });
 
-        let (tx, rx) = sync_channel::<TcpStream>(config.queue);
+        if config.preload {
+            // Materialize every dataset off the accept path; `/readyz`
+            // flips to 200 when the sweep completes. Load failures are
+            // already surfaced per-dataset through /metrics and tile
+            // 500s, so the sweep itself is best-effort.
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("kdv-serve-preload".to_string())
+                .spawn(move || {
+                    for idx in 0..inner.catalog.len() {
+                        let _ = inner.catalog.get(idx);
+                    }
+                    inner.ready.store(true, Ordering::SeqCst);
+                })
+                .map_err(ServeError::Io)?;
+        }
+
+        let (tx, rx) = sync_channel::<(TcpStream, Instant)>(config.queue);
         let rx = Arc::new(Mutex::new(rx));
         let mut workers = Vec::with_capacity(config.workers);
         for i in 0..config.workers {
@@ -443,7 +586,11 @@ fn render_settings(config: &ServerConfig) -> RenderSettings {
     }
 }
 
-fn accept_loop(inner: &Inner, listener: &TcpListener, tx: std::sync::mpsc::SyncSender<TcpStream>) {
+fn accept_loop(
+    inner: &Inner,
+    listener: &TcpListener,
+    tx: std::sync::mpsc::SyncSender<(TcpStream, Instant)>,
+) {
     loop {
         let stream = match listener.accept() {
             Ok((stream, _)) => stream,
@@ -459,9 +606,11 @@ fn accept_loop(inner: &Inner, listener: &TcpListener, tx: std::sync::mpsc::SyncS
         }
         let _ = stream.set_read_timeout(Some(SOCKET_TIMEOUT));
         let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
-        match tx.try_send(stream) {
+        // The accept timestamp rides along so the worker can attribute
+        // queue wait to a span whose origin is *here*, not at dequeue.
+        match tx.try_send((stream, Instant::now())) {
             Ok(()) => {}
-            Err(TrySendError::Full(mut stream)) => {
+            Err(TrySendError::Full((mut stream, _))) => {
                 // Admission control: shed load at the door with a hint
                 // instead of queueing unboundedly. Drain the request
                 // bytes already in flight first — closing with unread
@@ -482,41 +631,139 @@ fn accept_loop(inner: &Inner, listener: &TcpListener, tx: std::sync::mpsc::SyncS
     // queue and exit.
 }
 
-fn worker_loop(inner: &Inner, rx: &Mutex<Receiver<TcpStream>>) {
+fn worker_loop(inner: &Inner, rx: &Mutex<Receiver<(TcpStream, Instant)>>) {
     loop {
         let stream = {
             let guard = rx.lock().expect("accept queue poisoned");
             guard.recv()
         };
         match stream {
-            Ok(mut stream) => handle_connection(inner, &mut stream),
+            Ok((stream, accepted)) => handle_connection(inner, stream, accepted),
             Err(_) => break, // accept thread gone and queue drained
         }
     }
 }
 
-fn handle_connection(inner: &Inner, stream: &mut TcpStream) {
-    let request = match read_request(stream) {
+fn handle_connection(inner: &Inner, mut stream: TcpStream, accepted: Instant) {
+    let mut rt = RequestTrace::new(inner, accepted);
+    rt.tb.span_between("queue", accepted, Instant::now());
+    let parse = rt.tb.begin("parse");
+    let request = match read_request(&mut stream) {
         Ok(Ok(request)) => request,
         Ok(Err(message)) => {
+            rt.tb.end(parse);
             inner.http.bad_request();
-            let _ = text_response(400, "Bad Request", &message).write_to(stream);
+            let response = stamp_trace(&rt, text_response(400, "Bad Request", &message));
+            let _ = response.write_to(&mut stream);
+            drop(stream);
+            finish_trace(inner, rt, "", "", &response);
             return;
         }
         Err(_) => return, // transport failure: nothing to answer
     };
+    rt.tb.end(parse);
     inner.http.request();
-    let response = route(inner, &request);
-    if response.write_to(stream).is_ok() {
+    let response = route(inner, &request, &mut rt);
+    let response = stamp_trace(&rt, response);
+    let write = rt.tb.begin("write");
+    let wrote = response.write_to(&mut stream).is_ok();
+    rt.tb.end_with(
+        write,
+        vec![("bytes", TagValue::U64(response.body_len() as u64))],
+    );
+    // Close before sealing the trace: the client's read-to-EOF
+    // completes without waiting on ring and histogram mutexes, so
+    // trace finalization is off the measured latency path.
+    drop(stream);
+    if wrote {
         inner.http.sent(response.body_len() as u64);
     }
+    finish_trace(inner, rt, &request.method, &request.path, &response);
     if inner.shutdown.load(Ordering::SeqCst) {
         // Wake the accept thread so shutdown is prompt.
         let _ = TcpStream::connect(inner.local_addr);
     }
 }
 
-fn route(inner: &Inner, request: &Request) -> Response {
+/// Echoes the trace ID on the outgoing response (every response, so a
+/// client can quote the ID when reporting a slow or failed tile).
+fn stamp_trace(rt: &RequestTrace, response: Response) -> Response {
+    match rt.tb.id() {
+        Some(id) => response.header("X-Kdv-Trace-Id", id.to_hex()),
+        None => response,
+    }
+}
+
+/// Seals the request's trace: pushes it into the retention rings,
+/// folds its spans into the per-stage histograms, and emits the
+/// access-log line. All of it is skipped when tracing is off.
+fn finish_trace(inner: &Inner, rt: RequestTrace, method: &str, path: &str, response: &Response) {
+    let Some(ring) = &inner.traces else {
+        return;
+    };
+    let RequestTrace {
+        tb,
+        cache,
+        degraded,
+    } = rt;
+    let Some(trace) = tb.finish(TraceMeta {
+        method: method.to_string(),
+        path: path.to_string(),
+        status: response.status(),
+        bytes: response.body_len() as u64,
+        cache,
+        degraded,
+    }) else {
+        return;
+    };
+    inner
+        .stages
+        .lock()
+        .expect("stage histograms poisoned")
+        .record(&trace);
+    if let Some(log) = &inner.access_log {
+        let line = access_log_line(&trace);
+        let mut sink = log.lock().expect("access log poisoned");
+        let _ = writeln!(sink, "{line}");
+        let _ = sink.flush();
+    }
+    ring.push(trace);
+}
+
+/// One JSON access-log line for a completed trace: request line,
+/// outcome, total and per-stage latency, and the trace ID.
+fn access_log_line(trace: &Trace) -> String {
+    let ts_ms = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0);
+    let stage_fields = trace
+        .spans
+        .iter()
+        .map(|s| (s.name, json::num_u(s.dur_us)))
+        .collect();
+    Value::obj(vec![
+        ("ts_ms", json::num_u(ts_ms)),
+        ("trace_id", Value::Str(trace.id.to_hex())),
+        ("method", Value::Str(trace.meta.method.clone())),
+        ("path", Value::Str(trace.meta.path.clone())),
+        ("status", json::num_u(trace.meta.status as u64)),
+        ("bytes", json::num_u(trace.meta.bytes)),
+        (
+            "cache",
+            match trace.meta.cache {
+                Some(c) => Value::Str(c.to_string()),
+                None => Value::Null,
+            },
+        ),
+        ("degraded", Value::Bool(trace.meta.degraded)),
+        ("total_us", json::num_u(trace.total_us)),
+        ("stages_us", Value::obj(stage_fields)),
+    ])
+    .render_compact()
+}
+
+fn route(inner: &Inner, request: &Request, rt: &mut RequestTrace) -> Response {
     if request.method != "GET" {
         inner.http.bad_request();
         return text_response(400, "Bad Request", "only GET is supported");
@@ -527,13 +774,31 @@ fn route(inner: &Inner, request: &Request) -> Response {
     }
     match path {
         "/metrics" => {
-            let body = metrics_json(inner).render();
             inner.http.ok(false);
-            Response::new(200, "OK").body("application/json", body.into_bytes())
+            if request.query.as_deref() == Some("format=prometheus") {
+                let body = metrics_prometheus(inner);
+                Response::new(200, "OK").body(
+                    "text/plain; version=0.0.4; charset=utf-8",
+                    body.into_bytes(),
+                )
+            } else {
+                let body = metrics_json(inner).render();
+                Response::new(200, "OK").body("application/json", body.into_bytes())
+            }
         }
+        "/debug/traces" => debug_traces(inner, false),
+        "/debug/slow" => debug_traces(inner, true),
         "/healthz" => {
             inner.http.ok(false);
             text_response(200, "OK", "ok")
+        }
+        "/readyz" => {
+            if inner.ready.load(Ordering::SeqCst) {
+                inner.http.ok(false);
+                text_response(200, "OK", "ready")
+            } else {
+                text_response(503, "Service Unavailable", "preloading datasets")
+            }
         }
         "/shutdown" => {
             if inner.allow_shutdown {
@@ -545,12 +810,41 @@ fn route(inner: &Inner, request: &Request) -> Response {
                 text_response(404, "Not Found", "shutdown is not enabled")
             }
         }
-        p if p.starts_with("/tiles/") => tile_response(inner, p),
+        p if p.starts_with("/tiles/") => tile_response(inner, p, rt),
         _ => {
             inner.http.not_found();
             text_response(404, "Not Found", "no such resource")
         }
     }
+}
+
+/// `/debug/traces` (recent) and `/debug/slow` (threshold-crossers):
+/// the retained rings as JSON, newest first.
+fn debug_traces(inner: &Inner, slow_only: bool) -> Response {
+    let Some(ring) = &inner.traces else {
+        inner.http.not_found();
+        return text_response(404, "Not Found", "tracing is disabled (--no-trace)");
+    };
+    let traces = if slow_only {
+        ring.slow()
+    } else {
+        ring.recent()
+    };
+    let body = Value::obj(vec![
+        (
+            "slow_threshold_ms",
+            json::num_u(ring.slow_threshold_us() / 1_000),
+        ),
+        ("completed", json::num_u(ring.completed())),
+        ("slow_seen", json::num_u(ring.slow_seen())),
+        (
+            "traces",
+            Value::Arr(traces.iter().map(|t| t.to_json()).collect()),
+        ),
+    ])
+    .render();
+    inner.http.ok(false);
+    Response::new(200, "OK").body("application/json", body.into_bytes())
 }
 
 fn debug_sleep(inner: &Inner, ms: &str) -> Response {
@@ -571,7 +865,7 @@ fn debug_sleep(inner: &Inner, ms: &str) -> Response {
     }
 }
 
-fn tile_response(inner: &Inner, path: &str) -> Response {
+fn tile_response(inner: &Inner, path: &str, rt: &mut RequestTrace) -> Response {
     let (dataset, addr) = match parse_tile_path(path, inner.max_z, inner.multi) {
         Ok(parsed) => parsed,
         Err(e) => {
@@ -597,13 +891,16 @@ fn tile_response(inner: &Inner, path: &str) -> Response {
     // failure — corrupt snapshot, unreadable file — is a 500 with the
     // store's structured message, and is *not* cached: replacing the
     // file heals the dataset on the next request.
+    let catalog_span = rt.tb.begin("catalog");
     let entry = match inner.catalog.get(idx) {
         Ok(entry) => entry,
         Err(message) => {
+            rt.tb.end(catalog_span);
             inner.http.internal_error();
             return text_response(500, "Internal Server Error", &message);
         }
     };
+    rt.tb.end(catalog_span);
     let key = TileKey {
         dataset: idx as u32,
         addr,
@@ -613,13 +910,24 @@ fn tile_response(inner: &Inner, path: &str) -> Response {
         },
         gamma_bits: entry.kernel.gamma.to_bits(),
     };
-    if let Some(data) = inner.cache.get(&key) {
+    let cache_span = rt.tb.begin("cache");
+    let cached = inner.cache.get(&key);
+    rt.tb.end_with(
+        cache_span,
+        vec![(
+            "bytes",
+            TagValue::U64(cached.as_ref().map_or(0, |d| d.len() as u64)),
+        )],
+    );
+    if let Some(data) = cached {
         inner.http.ok(false);
+        rt.cache = Some("hit");
         return Response::new(200, "OK")
             .header("X-Kdv-Cache", "hit")
             .body("image/png", data.as_ref().clone());
     }
-    match render_tile(inner, &entry, idx as u32, addr) {
+    rt.cache = Some("miss");
+    match render_tile(inner, &entry, idx as u32, addr, rt) {
         Ok((bytes, degraded_pixels)) => {
             let data = Arc::new(bytes);
             if degraded_pixels == 0 {
@@ -628,6 +936,7 @@ fn tile_response(inner: &Inner, path: &str) -> Response {
                 inner.cache.insert(key, Arc::clone(&data));
             }
             inner.http.ok(degraded_pixels > 0);
+            rt.degraded = degraded_pixels > 0;
             let mut response = Response::new(200, "OK").header("X-Kdv-Cache", "miss");
             if degraded_pixels > 0 {
                 response = response.header("X-Kdv-Degraded", degraded_pixels.to_string());
@@ -644,36 +953,85 @@ fn tile_response(inner: &Inner, path: &str) -> Response {
 /// Renders one tile under a fresh budget, merging its telemetry into
 /// the server-wide aggregate. Returns the encoded PNG and the number
 /// of budget-degraded pixels.
+///
+/// When the request is traced, the refinement runs with a
+/// [`DepthProfile`] teed into the engine's probe, so the `render` span
+/// carries the work attribution (heap pops, bound evaluations, point
+/// evaluations, resyncs, and pops-by-depth); the untraced path keeps
+/// the plain `NoProbe`-monomorphized renderer.
 fn render_tile(
     inner: &Inner,
     entry: &DatasetEntry,
     dataset: u32,
     addr: TileAddr,
+    rt: &mut RequestTrace,
 ) -> Result<(Vec<u8>, u64), KdvError> {
     let raster = pyramid_raster(&entry.base, addr.z, addr.x, addr.y)?;
     let mut metrics = RenderMetrics::new();
+    let mut depth = DepthProfile::new();
+    let traced = rt.tb.is_enabled();
+    let render_span = rt.tb.begin("render");
     let tile = match addr.kind {
         TileKind::Eps => {
             let mut budget = inner.policy.issue();
             let mut ev = RefineEvaluator::new(&entry.tree, entry.kernel, inner.family);
-            render_tile_eps(
-                &mut ev,
-                &raster,
-                inner.eps,
-                &mut budget,
-                &inner.cm,
-                entry.scale,
-                &mut metrics,
-            )?
+            if traced {
+                render_tile_eps_probed(
+                    &mut ev,
+                    &raster,
+                    inner.eps,
+                    &mut budget,
+                    &inner.cm,
+                    entry.scale,
+                    &mut metrics,
+                    &mut depth,
+                )?
+            } else {
+                render_tile_eps(
+                    &mut ev,
+                    &raster,
+                    inner.eps,
+                    &mut budget,
+                    &inner.cm,
+                    entry.scale,
+                    &mut metrics,
+                )?
+            }
         }
-        TileKind::Tau => render_tau_tile(inner, entry, dataset, addr, &raster, &mut metrics)?,
+        TileKind::Tau => render_tau_tile(
+            inner,
+            entry,
+            dataset,
+            addr,
+            &raster,
+            &mut metrics,
+            traced,
+            &mut depth,
+        )?,
     };
+    rt.tb.end_with(
+        render_span,
+        vec![
+            ("heap_pops", TagValue::U64(metrics.events.heap_pops)),
+            ("node_bounds", TagValue::U64(metrics.events.node_bounds)),
+            ("point_evals", TagValue::U64(metrics.events.point_evals)),
+            ("resyncs", TagValue::U64(metrics.events.resyncs)),
+            ("degraded_pixels", TagValue::U64(tile.degraded_pixels)),
+            ("depth_pops", TagValue::Pairs(depth.nonzero())),
+        ],
+    );
     inner
         .metrics
         .lock()
         .expect("metrics aggregate poisoned")
         .merge(&metrics);
-    Ok((png::encode(&tile.image), tile.degraded_pixels))
+    let encode_span = rt.tb.begin("encode");
+    let bytes = png::encode(&tile.image);
+    rt.tb.end_with(
+        encode_span,
+        vec![("bytes", TagValue::U64(bytes.len() as u64))],
+    );
+    Ok((bytes, tile.degraded_pixels))
 }
 
 /// τ tiles go through box certification first: if the whole tile's
@@ -682,6 +1040,7 @@ fn render_tile(
 /// inherited from the parent tile and (when undecided) recorded for
 /// the children — the same reuse that makes the hierarchical τ
 /// renderer cheap, applied across pyramid levels.
+#[allow(clippy::too_many_arguments)]
 fn render_tau_tile(
     inner: &Inner,
     entry: &DatasetEntry,
@@ -689,6 +1048,8 @@ fn render_tau_tile(
     addr: TileAddr,
     raster: &RasterSpec,
     metrics: &mut RenderMetrics,
+    traced: bool,
+    depth: &mut DepthProfile,
 ) -> Result<TileImage, KdvError> {
     let a = raster.pixel_center(0, 0);
     let b = raster.pixel_center(raster.width() - 1, raster.height() - 1);
@@ -729,7 +1090,11 @@ fn render_tau_tile(
             }
             let mut budget = inner.policy.issue();
             let mut ev = RefineEvaluator::new(&entry.tree, entry.kernel, inner.family);
-            render_tile_tau(&mut ev, raster, inner.tau, &mut budget, metrics)
+            if traced {
+                render_tile_tau_probed(&mut ev, raster, inner.tau, &mut budget, metrics, depth)
+            } else {
+                render_tile_tau(&mut ev, raster, inner.tau, &mut budget, metrics)
+            }
         }
     }
 }
@@ -761,7 +1126,7 @@ fn metrics_json(inner: &Inner) -> Value {
     };
     store_fields.push(("catalog".to_string(), inner.catalog.status_json()));
     Value::obj(vec![
-        ("schema", Value::Str("kdv-serve-metrics/2".to_string())),
+        ("schema", Value::Str("kdv-serve-metrics/3".to_string())),
         (
             "uptime_ms",
             json::num_u(inner.started.elapsed().as_millis() as u64),
@@ -771,5 +1136,239 @@ fn metrics_json(inner: &Inner) -> Value {
         ("cache", Value::Obj(cache_fields)),
         ("render", render),
         ("store", Value::Obj(store_fields)),
+        ("trace", trace_json(inner)),
     ])
+}
+
+/// The `trace` block of the JSON `/metrics` document: ring state and
+/// per-stage latency summaries (microseconds).
+fn trace_json(inner: &Inner) -> Value {
+    let Some(ring) = &inner.traces else {
+        return Value::obj(vec![("enabled", Value::Bool(false))]);
+    };
+    let stages = inner.stages.lock().expect("stage histograms poisoned");
+    let hist_summary = |h: &LogHistogram| {
+        Value::obj(vec![
+            ("count", json::num_u(h.count())),
+            ("mean_us", json::num_f(h.mean())),
+            ("p50_le_us", json::num_u(h.quantile_le(0.5))),
+            ("p99_le_us", json::num_u(h.quantile_le(0.99))),
+            ("max_us", json::num_u(h.max())),
+        ])
+    };
+    let mut stage_fields: Vec<(&str, Value)> = STAGES
+        .iter()
+        .zip(stages.stages.iter())
+        .map(|(name, h)| (*name, hist_summary(h)))
+        .collect();
+    stage_fields.push(("total", hist_summary(&stages.total)));
+    Value::obj(vec![
+        ("enabled", Value::Bool(true)),
+        (
+            "slow_threshold_ms",
+            json::num_u(ring.slow_threshold_us() / 1_000),
+        ),
+        ("completed", json::num_u(ring.completed())),
+        ("slow_seen", json::num_u(ring.slow_seen())),
+        ("stages", Value::obj(stage_fields)),
+    ])
+}
+
+/// `/metrics?format=prometheus`: the same counters and histograms in
+/// text exposition 0.0.4. Names carry the `kdv_` prefix and base units
+/// (`_seconds`, `_bytes`) per the Prometheus conventions; the
+/// [`PromWriter`] enforces header-before-samples and name uniqueness.
+fn metrics_prometheus(inner: &Inner) -> String {
+    let mut w = PromWriter::new();
+    w.gauge(
+        "kdv_uptime_seconds",
+        "Seconds since the server started.",
+        inner.started.elapsed().as_secs_f64(),
+    );
+    let http = inner.http.snapshot();
+    w.counter(
+        "kdv_http_requests_total",
+        "Requests that reached routing.",
+        http.requests as f64,
+    );
+    w.counter_family(
+        "kdv_http_responses_total",
+        "Responses by outcome class.",
+        &[
+            ("class=\"ok\"".to_string(), http.ok as f64),
+            ("class=\"bad_request\"".to_string(), http.bad_request as f64),
+            ("class=\"not_found\"".to_string(), http.not_found as f64),
+            ("class=\"rejected\"".to_string(), http.rejected as f64),
+            (
+                "class=\"internal_error\"".to_string(),
+                http.internal_error as f64,
+            ),
+        ],
+    );
+    w.counter(
+        "kdv_http_degraded_responses_total",
+        "200 responses that carried the degraded marker.",
+        http.degraded as f64,
+    );
+    w.counter(
+        "kdv_http_response_bytes_total",
+        "Response body bytes written.",
+        http.bytes_sent as f64,
+    );
+    let cache = inner.cache.snapshot();
+    w.counter(
+        "kdv_cache_hits_total",
+        "Tile-cache hits.",
+        cache.hits as f64,
+    );
+    w.counter(
+        "kdv_cache_misses_total",
+        "Tile-cache misses.",
+        cache.misses as f64,
+    );
+    w.counter(
+        "kdv_cache_insertions_total",
+        "Tiles inserted into the cache.",
+        cache.insertions as f64,
+    );
+    w.counter(
+        "kdv_cache_evictions_total",
+        "Tiles evicted to make room.",
+        cache.evictions as f64,
+    );
+    w.counter(
+        "kdv_cache_evicted_bytes_total",
+        "Payload bytes evicted.",
+        cache.evicted_bytes as f64,
+    );
+    w.gauge(
+        "kdv_cache_bytes_used",
+        "Payload bytes resident in the tile cache.",
+        inner.cache.bytes_used() as f64,
+    );
+    w.gauge(
+        "kdv_cache_entries",
+        "Tiles resident in the cache.",
+        inner.cache.entries() as f64,
+    );
+    let store = inner.catalog.counters().snapshot();
+    w.counter(
+        "kdv_store_loads_total",
+        "Datasets materialized from snapshots.",
+        store.loads as f64,
+    );
+    w.counter(
+        "kdv_store_builds_total",
+        "Datasets built from raw data.",
+        store.builds as f64,
+    );
+    w.counter(
+        "kdv_store_load_failures_total",
+        "Failed dataset materializations.",
+        store.load_failures as f64,
+    );
+    w.counter(
+        "kdv_store_checksum_failures_total",
+        "Snapshot loads rejected for CRC mismatches.",
+        store.checksum_failures as f64,
+    );
+    w.counter(
+        "kdv_store_evictions_total",
+        "Datasets evicted under the byte budget.",
+        store.evictions as f64,
+    );
+    w.counter(
+        "kdv_store_evicted_bytes_total",
+        "Estimated bytes released by dataset evictions.",
+        store.evicted_bytes as f64,
+    );
+    w.histogram(
+        "kdv_store_load_seconds",
+        "Wall time per snapshot load.",
+        &store.load_ns,
+        1e-9,
+    );
+    w.histogram(
+        "kdv_store_build_seconds",
+        "Wall time per from-source dataset build.",
+        &store.build_ns,
+        1e-9,
+    );
+    {
+        let render = inner.metrics.lock().expect("metrics aggregate poisoned");
+        w.counter(
+            "kdv_render_pixels_total",
+            "Tile pixels rendered.",
+            render.pixels as f64,
+        );
+        w.counter(
+            "kdv_render_heap_pops_total",
+            "Refinement heap pops across all tiles.",
+            render.events.heap_pops as f64,
+        );
+        w.counter(
+            "kdv_render_node_bounds_total",
+            "Quadratic bound evaluations.",
+            render.events.node_bounds as f64,
+        );
+        w.counter(
+            "kdv_render_point_evals_total",
+            "Exact kernel evaluations at leaves.",
+            render.events.point_evals as f64,
+        );
+        w.counter(
+            "kdv_render_resyncs_total",
+            "Kahan-resync passes over the refinement heap.",
+            render.events.resyncs as f64,
+        );
+        w.counter(
+            "kdv_render_degraded_pixels_total",
+            "Pixels cut short by a render budget.",
+            render.degraded_pixels as f64,
+        );
+        w.histogram(
+            "kdv_render_pixel_seconds",
+            "Per-pixel refinement latency.",
+            &render.latency_ns,
+            1e-9,
+        );
+        w.histogram(
+            "kdv_render_iterations",
+            "Refinement iterations per pixel.",
+            &render.iterations,
+            1.0,
+        );
+    }
+    if let Some(ring) = &inner.traces {
+        w.counter(
+            "kdv_traces_total",
+            "Requests traced end to end.",
+            ring.completed() as f64,
+        );
+        w.counter(
+            "kdv_slow_traces_total",
+            "Traces at or over the slow threshold.",
+            ring.slow_seen() as f64,
+        );
+        let stages = inner.stages.lock().expect("stage histograms poisoned");
+        let labels: Vec<String> = STAGES.iter().map(|s| format!("stage=\"{s}\"")).collect();
+        let series: Vec<(&str, &LogHistogram)> = labels
+            .iter()
+            .map(String::as_str)
+            .zip(stages.stages.iter())
+            .collect();
+        w.histogram_family(
+            "kdv_stage_duration_seconds",
+            "Per-stage request latency, from traces.",
+            &series,
+            1e-6,
+        );
+        w.histogram(
+            "kdv_request_duration_seconds",
+            "End-to-end request latency (accept to response written).",
+            &stages.total,
+            1e-6,
+        );
+    }
+    w.finish()
 }

@@ -214,8 +214,8 @@ mod tests {
 
     #[test]
     fn dataset_segment_parses_only_in_catalog_mode() {
-        let (dataset, addr) = parse_tile_path("/tiles/crime_2024/tau/2/1/3.png", 4, true)
-            .expect("catalog address");
+        let (dataset, addr) =
+            parse_tile_path("/tiles/crime_2024/tau/2/1/3.png", 4, true).expect("catalog address");
         assert_eq!(dataset.as_deref(), Some("crime_2024"));
         assert_eq!(
             addr,

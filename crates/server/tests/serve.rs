@@ -156,14 +156,11 @@ fn serves_the_full_pyramid_concurrently_with_cache_reuse() {
     let doc = json::parse(std::str::from_utf8(&body).expect("utf8")).expect("metrics JSON");
     assert_eq!(
         doc.get("schema").and_then(Value::as_str),
-        Some("kdv-serve-metrics/2")
+        Some("kdv-serve-metrics/3")
     );
     // Startup accounting is present and self-consistent.
     let startup = doc.get("startup").expect("startup block");
-    assert_eq!(
-        startup.get("source").and_then(Value::as_str),
-        Some("built")
-    );
+    assert_eq!(startup.get("source").and_then(Value::as_str), Some("built"));
     let startup_total = startup
         .get("total_ms")
         .and_then(Value::as_f64)

@@ -124,7 +124,10 @@ fn serves_a_catalog_of_snapshots_and_csv_fallbacks() {
     let store = doc.get("store").expect("store block");
     assert_eq!(store.get("loads").and_then(Value::as_f64), Some(2.0));
     assert_eq!(store.get("builds").and_then(Value::as_f64), Some(1.0));
-    assert_eq!(store.get("load_failures").and_then(Value::as_f64), Some(0.0));
+    assert_eq!(
+        store.get("load_failures").and_then(Value::as_f64),
+        Some(0.0)
+    );
     for row in store
         .get("catalog")
         .and_then(Value::as_arr)
@@ -181,7 +184,10 @@ fn corrupt_snapshot_is_a_structured_500_and_heals_on_replacement() {
     );
     let doc = metrics(addr);
     let store = doc.get("store").expect("store block");
-    assert_eq!(store.get("load_failures").and_then(Value::as_f64), Some(1.0));
+    assert_eq!(
+        store.get("load_failures").and_then(Value::as_f64),
+        Some(1.0)
+    );
     assert_eq!(
         store.get("checksum_failures").and_then(Value::as_f64),
         Some(1.0)
@@ -247,6 +253,48 @@ fn idle_datasets_are_evicted_under_the_byte_budget() {
         .and_then(Value::as_f64)
         .expect("loads");
     assert_eq!(loads, 3.0, "a, b, then a again");
+
+    server.stop();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn preload_holds_readyz_at_503_until_every_dataset_materializes() {
+    let dir = temp_store("preload");
+    write_snapshot(&dir, "a", Dataset::Crime, 1500, 1);
+    write_snapshot(&dir, "b", Dataset::Home, 1500, 2);
+
+    let mut cfg = config();
+    cfg.preload = true;
+    let server = TileServer::start_with_store(cfg, &dir).expect("start");
+    let addr = server.local_addr();
+
+    // Liveness is immediate; readiness flips only after the preload
+    // thread has walked the whole catalog. Poll until it does (the
+    // 503 window is real but may already be over on a fast machine).
+    assert_eq!(get(addr, "/healthz").0, 200);
+    let mut status = 0;
+    for _ in 0..500 {
+        status = get(addr, "/readyz").0;
+        assert!(status == 200 || status == 503, "readyz answered {status}");
+        if status == 200 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(status, 200, "preload never completed");
+
+    // Ready means both datasets loaded — no cold entries left.
+    let doc = metrics(addr);
+    let store = doc.get("store").expect("store block");
+    assert_eq!(store.get("loads").and_then(Value::as_f64), Some(2.0));
+    for row in store
+        .get("catalog")
+        .and_then(Value::as_arr)
+        .expect("catalog")
+    {
+        assert_eq!(row.get("state").and_then(Value::as_str), Some("ready"));
+    }
 
     server.stop();
     std::fs::remove_dir_all(&dir).ok();

@@ -84,7 +84,11 @@ mod tests {
             for &b in d {
                 crc ^= b as u32;
                 for _ in 0..8 {
-                    crc = if crc & 1 != 0 { POLY ^ (crc >> 1) } else { crc >> 1 };
+                    crc = if crc & 1 != 0 {
+                        POLY ^ (crc >> 1)
+                    } else {
+                        crc >> 1
+                    };
                 }
             }
             !crc

@@ -153,11 +153,7 @@ impl fmt::Display for StoreError {
                 write!(f, "section {section} appears more than once")
             }
             StoreError::UnknownSection { id } => {
-                write!(
-                    f,
-                    "unknown section id {:?}",
-                    String::from_utf8_lossy(id)
-                )
+                write!(f, "unknown section id {:?}", String::from_utf8_lossy(id))
             }
             StoreError::Malformed { section, detail } => {
                 write!(f, "malformed {section} section: {detail}")

@@ -242,14 +242,20 @@ mod tests {
         assert_eq!(c.u32().unwrap(), 0x0403_0201);
         assert!(matches!(
             c.u8(),
-            Err(StoreError::Malformed { section: "META", .. })
+            Err(StoreError::Malformed {
+                section: "META",
+                ..
+            })
         ));
 
         let mut c = Cursor::new(&buf, "META");
         c.u16().unwrap();
         assert!(matches!(
             c.finish(),
-            Err(StoreError::Malformed { section: "META", .. })
+            Err(StoreError::Malformed {
+                section: "META",
+                ..
+            })
         ));
     }
 }

@@ -170,15 +170,20 @@ fn parse_container(bytes: &[u8]) -> Result<(u16, Vec<RawSection<'_>>), StoreErro
         if offset != expected_offset {
             return Err(StoreError::SectionOutOfBounds {
                 section: name,
-                detail: format!("offset {offset}, expected {expected_offset} (sections must be contiguous)"),
+                detail: format!(
+                    "offset {offset}, expected {expected_offset} (sections must be contiguous)"
+                ),
             });
         }
-        let end = offset.checked_add(len).filter(|&e| e <= available).ok_or_else(|| {
-            StoreError::SectionOutOfBounds {
+        let end = offset
+            .checked_add(len)
+            .filter(|&e| e <= available)
+            .ok_or_else(|| StoreError::SectionOutOfBounds {
                 section: name,
-                detail: format!("range [{offset}, {offset}+{len}) escapes the {available}-byte file"),
-            }
-        })?;
+                detail: format!(
+                    "range [{offset}, {offset}+{len}) escapes the {available}-byte file"
+                ),
+            })?;
         expected_offset = end;
         sections.push(RawSection {
             name,
@@ -190,9 +195,7 @@ fn parse_container(bytes: &[u8]) -> Result<(u16, Vec<RawSection<'_>>), StoreErro
     if expected_offset != available {
         return Err(StoreError::SectionOutOfBounds {
             section: sections.last().map(|s| s.name).unwrap_or("?"),
-            detail: format!(
-                "sections end at {expected_offset} but the file has {available} bytes"
-            ),
+            detail: format!("sections end at {expected_offset} but the file has {available} bytes"),
         });
     }
     for s in &sections {
@@ -258,7 +261,9 @@ fn decode_meta(payload: &[u8], flags: u16, has_core: bool) -> Result<SnapshotMet
         .ok_or_else(|| malformed(format!("unknown kernel code {kernel_raw}")))?;
     let gamma = c.f64()?;
     if !gamma.is_finite() || gamma <= 0.0 {
-        return Err(malformed(format!("γ = {gamma} is not a positive finite number")));
+        return Err(malformed(format!(
+            "γ = {gamma} is not a positive finite number"
+        )));
     }
     let coreset_levels = c.u32()?;
     c.finish()?;
@@ -419,7 +424,10 @@ fn decode_coresets(payload: &[u8], meta: &SnapshotMeta) -> Result<Vec<PointSet>,
         let mut weights = Vec::new();
         c.f64s(size, &mut weights)?;
         if let Some(k) = coords.iter().position(|v| !v.is_finite()) {
-            return Err(malformed(format!("non-finite coordinate at entry {}", k / d)));
+            return Err(malformed(format!(
+                "non-finite coordinate at entry {}",
+                k / d
+            )));
         }
         if let Some(i) = weights.iter().position(|&w| !w.is_finite() || w < 0.0) {
             return Err(malformed(format!("invalid weight at entry {i}")));

@@ -7,11 +7,11 @@
 
 use crate::crc32::crc32;
 use crate::error::StoreError;
+use crate::format::{kernel_code, split_code};
 use crate::format::{
     put_f64, put_f64s, put_u16, put_u32, put_u64, section, FLAG_CORESETS, FORMAT_VERSION,
     HEADER_LEN, MAGIC, SECTION_ENTRY_LEN,
 };
-use crate::format::{kernel_code, split_code};
 use kdv_core::Kernel;
 use kdv_geom::PointSet;
 use kdv_index::{KdTree, NodeKind};
@@ -139,8 +139,7 @@ impl<'a> SnapshotWriter<'a> {
         // Assemble: header, table, header CRC, contiguous payloads.
         let table_end = HEADER_LEN + SECTION_ENTRY_LEN * sections.len();
         let payload_start = table_end + 4;
-        let total: usize =
-            payload_start + sections.iter().map(|(_, p)| p.len()).sum::<usize>();
+        let total: usize = payload_start + sections.iter().map(|(_, p)| p.len()).sum::<usize>();
 
         let mut out = Vec::with_capacity(total);
         out.extend_from_slice(&MAGIC);
@@ -179,8 +178,7 @@ impl<'a> SnapshotWriter<'a> {
             path: p.display().to_string(),
             source,
         };
-        let mut f =
-            std::fs::File::create(&tmp).map_err(|e| io_err("create snapshot", &tmp, e))?;
+        let mut f = std::fs::File::create(&tmp).map_err(|e| io_err("create snapshot", &tmp, e))?;
         f.write_all(&bytes)
             .and_then(|()| f.sync_all())
             .map_err(|e| io_err("write snapshot", &tmp, e))?;

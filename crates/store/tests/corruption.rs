@@ -136,12 +136,7 @@ fn checksum_clean_but_inconsistent_payload_is_rejected() {
     if let kdv_index::NodeKind::Internal { left, .. } = &mut nodes[internal].kind {
         *left = kdv_index::NodeId(internal as u32);
     }
-    let forged = KdTree::try_from_parts(
-        tree.points().clone(),
-        nodes,
-        tree.root(),
-        tree.config(),
-    );
+    let forged = KdTree::try_from_parts(tree.points().clone(), nodes, tree.root(), tree.config());
     // The index layer itself refuses; the store-level equivalent is the
     // Inconsistent variant mapped from the same check.
     assert!(forged.is_err());
@@ -162,8 +157,8 @@ fn checksum_clean_but_inconsistent_payload_is_rejected() {
     let rec = topo.offset as usize;
     assert_eq!(bytes[rec], 1, "root of a 120-point tree is internal");
     bytes[rec + 1..rec + 5].copy_from_slice(&0u32.to_le_bytes()); // left = root
-    // Re-sign: section CRCs live in the table; recompute TOPO's and the
-    // header CRC that covers the table.
+                                                                  // Re-sign: section CRCs live in the table; recompute TOPO's and the
+                                                                  // header CRC that covers the table.
     let table_entry = 20 + 24 * info.sections.iter().position(|s| s.name == "TOPO").unwrap();
     let crc = kdv_store::crc32::crc32(&bytes[rec..rec + topo.len as usize]);
     bytes[table_entry + 20..table_entry + 24].copy_from_slice(&crc.to_le_bytes());
@@ -187,7 +182,10 @@ fn io_errors_are_structured() {
     let missing = std::env::temp_dir().join("kdvs-definitely-missing.kdvs");
     assert!(matches!(
         Snapshot::open(&missing),
-        Err(StoreError::Io { op: "read snapshot", .. })
+        Err(StoreError::Io {
+            op: "read snapshot",
+            ..
+        })
     ));
 }
 

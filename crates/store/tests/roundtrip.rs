@@ -22,7 +22,11 @@ fn round_trip(tree: &KdTree, kernel: Kernel) -> Snapshot {
 
 #[test]
 fn moments_and_points_are_bit_identical() {
-    for (dataset, seed) in [(Dataset::Crime, 1u64), (Dataset::ElNino, 2), (Dataset::Home, 3)] {
+    for (dataset, seed) in [
+        (Dataset::Crime, 1u64),
+        (Dataset::ElNino, 2),
+        (Dataset::Home, 3),
+    ] {
         let tree = build(dataset, 3000, seed);
         let snap = round_trip(&tree, Kernel::gaussian(0.7));
         assert_eq!(snap.tree.num_nodes(), tree.num_nodes());
@@ -117,7 +121,8 @@ fn file_round_trip_and_inspect() {
 
     let snap = Snapshot::open(&path).unwrap();
     assert_eq!(snap.meta.point_count, 2000);
-    snap.verify_deep().expect("fresh snapshot passes deep verify");
+    snap.verify_deep()
+        .expect("fresh snapshot passes deep verify");
 
     let info = Snapshot::inspect(&path).unwrap();
     assert_eq!(info.version, kdv_store::FORMAT_VERSION);

@@ -1,18 +1,36 @@
-//! Power-of-two-bucketed histograms.
+//! Log-linear-bucketed histograms.
 //!
 //! Per-pixel refinement effort spans four orders of magnitude on real
 //! renders (empty sky vs. hotspot core), so linear buckets either
-//! saturate or waste space. Log buckets give a stable, resolution-free
-//! shape: bucket `b ≥ 1` covers values in `[2^(b−1), 2^b − 1]`, bucket
-//! 0 counts exact zeros.
+//! saturate or waste space — but pure log₂ buckets proved too coarse
+//! the other way: at the millisecond range a single bucket spans
+//! ~134 ms, wide enough that a served benchmark reported p50 == p99.
+//! The shape here is **log-linear** (HDR-histogram style): each
+//! power-of-two octave is split into 16 equal sub-buckets, bounding
+//! the relative quantization error at 1/16 = 6.25% everywhere while
+//! still covering all of `u64` in under a thousand fixed slots.
+//!
+//! Layout: values `0..16` get exact single-value buckets `0..16`
+//! (their octaves are narrower than 16 slots); a value `v ≥ 16` with
+//! `e = ⌊log₂ v⌋` lands in octave `e`, sub-bucket `(v >> (e−4)) & 15`.
 
-/// Fixed-shape log₂ histogram over `u64` values.
+/// Exact single-value buckets below the first split octave.
+const LINEAR_MAX: u64 = 16;
+/// Sub-buckets per power-of-two octave (16 → ≤ 6.25% relative error).
+const SUB_BUCKETS: usize = 16;
+/// log₂ of [`SUB_BUCKETS`].
+const SUB_BITS: u32 = 4;
+/// Total bucket count: 16 exact + 16 per octave for octaves 4..=63.
+const NUM_BUCKETS: usize = LINEAR_MAX as usize + (64 - SUB_BITS as usize) * SUB_BUCKETS;
+
+/// Fixed-shape log-linear histogram over `u64` values.
 ///
-/// 65 buckets cover the whole `u64` range; `sum`/`max` ride along so
-/// means and extremes survive aggregation without a second pass.
+/// 976 buckets cover the whole `u64` range at ≤ 6.25% relative error;
+/// `sum`/`max` ride along so means and extremes survive aggregation
+/// without a second pass.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LogHistogram {
-    buckets: [u64; 65],
+    buckets: [u64; NUM_BUCKETS],
     count: u64,
     sum: u64,
     max: u64,
@@ -28,27 +46,39 @@ impl LogHistogram {
     /// An empty histogram.
     pub fn new() -> Self {
         Self {
-            buckets: [0; 65],
+            buckets: [0; NUM_BUCKETS],
             count: 0,
             sum: 0,
             max: 0,
         }
     }
 
-    /// Bucket index of a value: 0 for 0, else `⌊log₂ v⌋ + 1`.
+    /// Bucket index of a value: exact below 16, else octave
+    /// `e = ⌊log₂ v⌋` sliced into 16 equal sub-buckets.
     #[inline]
     fn bucket_of(v: u64) -> usize {
-        (u64::BITS - v.leading_zeros()) as usize
+        if v < LINEAR_MAX {
+            return v as usize;
+        }
+        let e = (u64::BITS - 1 - v.leading_zeros()) as usize;
+        let m = ((v >> (e as u32 - SUB_BITS)) & (SUB_BUCKETS as u64 - 1)) as usize;
+        LINEAR_MAX as usize + (e - SUB_BITS as usize) * SUB_BUCKETS + m
     }
 
-    /// Inclusive upper edge of bucket `b` (`0`, `1`, `3`, `7`, …).
+    /// Inclusive upper edge of bucket `b` (`0`, `1`, …, `15`, `16`,
+    /// …, `31`, `33`, `35`, …); the last bucket ends at `u64::MAX`.
     #[inline]
     pub fn bucket_le(b: usize) -> u64 {
-        if b >= 64 {
-            u64::MAX
-        } else {
-            (1u64 << b) - 1
+        if b < LINEAR_MAX as usize {
+            return b as u64;
         }
+        let rel = b - LINEAR_MAX as usize;
+        let e = (rel / SUB_BUCKETS) as u32 + SUB_BITS;
+        let m = (rel % SUB_BUCKETS) as u64;
+        let step = 1u64 << (e - SUB_BITS);
+        // lower + step − 1, summed in an order that cannot overflow
+        // even in the top octave (where it lands exactly on u64::MAX).
+        (1u64 << e) + m * step + (step - 1)
     }
 
     /// Records one value.
@@ -96,7 +126,7 @@ impl LogHistogram {
 
     /// Smallest value `v` such that at least `q` (in `[0, 1]`) of the
     /// recorded mass lies in buckets with edge ≤ `v` — a bucket-upper-
-    /// edge quantile, biased at most one bucket high (0 when empty).
+    /// edge quantile, biased at most 6.25% high (0 when empty).
     pub fn quantile_le(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -128,17 +158,47 @@ mod tests {
     use super::*;
 
     #[test]
-    fn buckets_are_log2_ranges() {
-        assert_eq!(LogHistogram::bucket_of(0), 0);
-        assert_eq!(LogHistogram::bucket_of(1), 1);
-        assert_eq!(LogHistogram::bucket_of(2), 2);
-        assert_eq!(LogHistogram::bucket_of(3), 2);
-        assert_eq!(LogHistogram::bucket_of(4), 3);
-        assert_eq!(LogHistogram::bucket_of(1023), 10);
-        assert_eq!(LogHistogram::bucket_of(1024), 11);
-        assert_eq!(LogHistogram::bucket_le(0), 0);
-        assert_eq!(LogHistogram::bucket_le(3), 7);
-        assert_eq!(LogHistogram::bucket_le(64), u64::MAX);
+    fn small_values_get_exact_buckets() {
+        for v in 0..32u64 {
+            // Octaves up to 2^5 have ≤ 16 values, so every value below
+            // 32 is its own bucket and the edge is the value itself.
+            assert_eq!(LogHistogram::bucket_of(v), v as usize);
+            assert_eq!(LogHistogram::bucket_le(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn buckets_split_each_octave_sixteen_ways() {
+        // v = 100: octave 6 (64..128, step 4), sub-bucket 9 → 100..104.
+        let b = LogHistogram::bucket_of(100);
+        assert_eq!(LogHistogram::bucket_of(103), b);
+        assert_ne!(LogHistogram::bucket_of(104), b);
+        assert_eq!(LogHistogram::bucket_le(b), 103);
+        // Octave boundaries land on sub-bucket 0.
+        assert_eq!(
+            LogHistogram::bucket_of(1024),
+            LogHistogram::bucket_of(1024 + 63)
+        );
+        assert_ne!(LogHistogram::bucket_of(1023), LogHistogram::bucket_of(1024));
+        // The top bucket's edge is exactly u64::MAX.
+        assert_eq!(LogHistogram::bucket_le(NUM_BUCKETS - 1), u64::MAX);
+        assert_eq!(LogHistogram::bucket_of(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        // Every value's bucket edge overshoots by at most 1/16.
+        for shift in 0..63u32 {
+            for nudge in [0u64, 1, 3] {
+                let v = (1u64 << shift).saturating_add(nudge * (1 << shift) / 7);
+                let le = LogHistogram::bucket_le(LogHistogram::bucket_of(v));
+                assert!(le >= v, "edge below value for {v}");
+                assert!(
+                    (le - v) as f64 <= v as f64 / 16.0 + 1.0,
+                    "edge {le} too far above {v}"
+                );
+            }
+        }
     }
 
     #[test]
@@ -152,8 +212,8 @@ mod tests {
         assert_eq!(h.max(), 100);
         assert!((h.mean() - 22.2).abs() < 1e-12);
         let buckets: Vec<_> = h.nonzero_buckets().collect();
-        // 0 → edge 0; 1 → edge 1; 5,5 → edge 7; 100 → edge 127.
-        assert_eq!(buckets, vec![(0, 1), (1, 1), (7, 2), (127, 1)]);
+        // 0, 1, and 5 are exact; 100 sits in [100, 103].
+        assert_eq!(buckets, vec![(0, 1), (1, 1), (5, 2), (103, 1)]);
     }
 
     #[test]
@@ -182,8 +242,26 @@ mod tests {
             h.record(v);
         }
         assert_eq!(h.quantile_le(1.0), 100); // capped at the true max
-        assert!(h.quantile_le(0.5) >= 50);
+        let p50 = h.quantile_le(0.5);
+        assert!((50..=53).contains(&p50), "p50 = {p50}");
         assert!(h.quantile_le(0.0) <= h.quantile_le(1.0));
         assert_eq!(LogHistogram::new().quantile_le(0.5), 0);
+    }
+
+    #[test]
+    fn millisecond_range_quantiles_are_distinguishable() {
+        // The regression this shape fixes: with log₂ buckets, 150 ms
+        // and 300 ms (in µs) shared one bucket and p50 == p99.
+        let mut h = LogHistogram::new();
+        for _ in 0..98 {
+            h.record(150_000);
+        }
+        h.record(300_000);
+        h.record(310_000);
+        let p50 = h.quantile_le(0.5);
+        let p99 = h.quantile_le(0.99);
+        assert!(p50 < p99, "p50 {p50} must split from p99 {p99}");
+        assert!((p50 as f64) < 150_000.0 * 1.0625 + 1.0);
+        assert!((p99 as f64) < 310_000.0 * 1.0625 + 1.0);
     }
 }

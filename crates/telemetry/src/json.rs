@@ -78,6 +78,45 @@ impl Value {
         out
     }
 
+    /// Serializes on a single line with no whitespace — the shape a
+    /// JSON-lines stream (one record per line) requires.
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Num(n) => write_num(out, *n),
+            Value::Str(s) => write_str(out, s),
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_str(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write(&self, out: &mut String, indent: usize) {
         match self {
             Value::Null => out.push_str("null"),
@@ -429,6 +468,23 @@ mod tests {
         let original = Value::Str("line1\nline2\t\"q\"\\ \u{1} µ".into());
         let back = parse(&original.render()).expect("parse");
         assert_eq!(back, original);
+    }
+
+    #[test]
+    fn compact_render_is_one_line_and_roundtrips() {
+        let doc = Value::obj(vec![
+            ("path", Value::Str("/tiles/eps/0/0/0.png".into())),
+            ("status", num_u(200)),
+            ("degraded", Value::Bool(false)),
+            ("stages", Value::obj(vec![("render_us", num_u(1234))])),
+            ("tags", Value::Arr(vec![num_u(1), num_u(2)])),
+        ]);
+        let line = doc.render_compact();
+        assert!(!line.contains('\n'), "JSON-lines records are one line");
+        assert!(!line.contains(": "), "no pretty separators: {line}");
+        assert_eq!(parse(&line).expect("round-trip"), doc);
+        assert_eq!(Value::Arr(vec![]).render_compact(), "[]");
+        assert_eq!(Value::Obj(vec![]).render_compact(), "{}");
     }
 
     #[test]

@@ -23,7 +23,13 @@
 //!   workspace's chaos-test suite,
 //! * [`serve`] — lock-free cache and HTTP traffic counters for the
 //!   long-running tile server (`kdv-server`), scrape-friendly via the
-//!   same JSON writer.
+//!   same JSON writer,
+//! * [`trace`] — end-to-end request tracing: named spans against one
+//!   monotonic origin, bounded rings of recent and slow traces, and a
+//!   per-depth refinement work profile teed off the same probe hooks,
+//! * [`prom`] — Prometheus text exposition of the same counters and
+//!   histograms, so standard scrapers can consume the server without
+//!   a JSON adapter.
 //!
 //! Everything here is pay-as-you-go: the engine's refinement loop is
 //! monomorphized over the probe, so un-instrumented renders (the
@@ -38,12 +44,18 @@ pub mod fault;
 pub mod hist;
 pub mod json;
 pub mod metrics;
+pub mod prom;
 pub mod serve;
 pub mod store;
+pub mod trace;
 
 pub use counters::EventCounters;
 pub use fault::{FaultPlan, FaultProbe};
 pub use hist::LogHistogram;
 pub use metrics::{Checkpoint, RenderMetrics, RenderStatus};
+pub use prom::PromWriter;
 pub use serve::{CacheCounters, CacheSnapshot, HttpCounters, HttpSnapshot};
 pub use store::{StoreCounters, StoreSnapshot};
+pub use trace::{
+    DepthProfile, Span, TagValue, Trace, TraceBuilder, TraceId, TraceMeta, TraceRing, TracingProbe,
+};

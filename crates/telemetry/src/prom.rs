@@ -1,0 +1,274 @@
+//! Prometheus text exposition (format 0.0.4), dependency-free.
+//!
+//! The JSON `/metrics` document is the workspace's own artifact; this
+//! writer renders the same counters and histograms in the line
+//! protocol every standard scraper understands: `# HELP`/`# TYPE`
+//! headers before samples, cumulative `le` histogram buckets ending in
+//! `+Inf`, `_sum`/`_count` companions, and base units (seconds, bytes)
+//! per the Prometheus naming conventions. Metric names carry the
+//! `kdv_` prefix at the call sites; this module enforces the
+//! structural rules — each name emitted once, header before samples —
+//! so the exposition always passes a format lint.
+
+use crate::hist::LogHistogram;
+use std::fmt::Write as _;
+
+/// Incremental builder of one exposition document.
+///
+/// A metric name may only be registered once; a duplicate registration
+/// is skipped wholesale (header and samples) rather than corrupting
+/// the document, since a scrape must never 500 over a server-side
+/// naming slip.
+#[derive(Debug, Default)]
+pub struct PromWriter {
+    out: String,
+    names: Vec<String>,
+}
+
+impl PromWriter {
+    /// An empty document.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `name`; false (skip the metric) when already emitted.
+    fn claim(&mut self, name: &str) -> bool {
+        if self.names.iter().any(|n| n == name) {
+            return false;
+        }
+        self.names.push(name.to_string());
+        true
+    }
+
+    fn header(&mut self, name: &str, help: &str, kind: &str) {
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} {kind}");
+    }
+
+    /// A single-sample counter.
+    pub fn counter(&mut self, name: &str, help: &str, value: f64) {
+        if !self.claim(name) {
+            return;
+        }
+        self.header(name, help, "counter");
+        let _ = writeln!(self.out, "{name} {}", num(value));
+    }
+
+    /// A counter family: one sample per `(label, value)` pair, where
+    /// `label` is a full `key="value"` clause.
+    pub fn counter_family(&mut self, name: &str, help: &str, series: &[(String, f64)]) {
+        if !self.claim(name) {
+            return;
+        }
+        self.header(name, help, "counter");
+        for (label, value) in series {
+            let _ = writeln!(self.out, "{name}{{{label}}} {}", num(*value));
+        }
+    }
+
+    /// A single-sample gauge.
+    pub fn gauge(&mut self, name: &str, help: &str, value: f64) {
+        if !self.claim(name) {
+            return;
+        }
+        self.header(name, help, "gauge");
+        let _ = writeln!(self.out, "{name} {}", num(value));
+    }
+
+    /// A [`LogHistogram`] as a Prometheus histogram. Recorded values
+    /// are multiplied by `scale` (e.g. `1e-9` for nanoseconds →
+    /// seconds). Only non-empty buckets are emitted — `le` edges are
+    /// cumulative and end at `+Inf`, so sparse emission stays valid.
+    pub fn histogram(&mut self, name: &str, help: &str, hist: &LogHistogram, scale: f64) {
+        self.histogram_family(name, help, &[("", hist)], scale);
+    }
+
+    /// A histogram family, one series per `(label, histogram)` pair
+    /// (`label` a full `key="value"` clause, or `""` for none).
+    pub fn histogram_family(
+        &mut self,
+        name: &str,
+        help: &str,
+        series: &[(&str, &LogHistogram)],
+        scale: f64,
+    ) {
+        if !self.claim(name) {
+            return;
+        }
+        self.header(name, help, "histogram");
+        for (label, hist) in series {
+            let sep = if label.is_empty() { "" } else { "," };
+            let mut cumulative = 0u64;
+            for (edge, count) in hist.nonzero_buckets() {
+                cumulative += count;
+                let _ = writeln!(
+                    self.out,
+                    "{name}_bucket{{{label}{sep}le=\"{}\"}} {cumulative}",
+                    num(edge as f64 * scale)
+                );
+            }
+            let _ = writeln!(
+                self.out,
+                "{name}_bucket{{{label}{sep}le=\"+Inf\"}} {}",
+                hist.count()
+            );
+            let sum_label = if label.is_empty() {
+                String::new()
+            } else {
+                format!("{{{label}}}")
+            };
+            let _ = writeln!(
+                self.out,
+                "{name}_sum{sum_label} {}",
+                num(hist.sum() as f64 * scale)
+            );
+            let _ = writeln!(self.out, "{name}_count{sum_label} {}", hist.count());
+        }
+    }
+
+    /// The finished exposition document.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// Sample-value formatting: integers without a fraction, everything
+/// else through Rust's shortest-roundtrip float rendering.
+fn num(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 9.0e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal exposition-format lint: `# TYPE` precedes samples of
+    /// its metric, no metric family appears twice, every sample line
+    /// is `name{labels} value`.
+    fn lint(text: &str) {
+        let mut typed: Vec<String> = Vec::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let name = rest.split(' ').next().expect("type name").to_string();
+                assert!(!typed.contains(&name), "duplicate family {name}");
+                typed.push(name);
+            } else if !line.starts_with('#') && !line.is_empty() {
+                let name_part = line
+                    .split([' ', '{'])
+                    .next()
+                    .expect("sample name")
+                    .to_string();
+                let family = typed.iter().any(|t| {
+                    name_part == *t
+                        || name_part == format!("{t}_bucket")
+                        || name_part == format!("{t}_sum")
+                        || name_part == format!("{t}_count")
+                });
+                assert!(family, "sample {name_part} before its # TYPE");
+                let value = line.rsplit(' ').next().expect("value");
+                assert!(
+                    value.parse::<f64>().is_ok(),
+                    "unparseable sample value {value:?} in {line:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn counters_and_gauges_have_headers_before_samples() {
+        let mut w = PromWriter::new();
+        w.counter("kdv_http_requests_total", "Requests routed.", 42.0);
+        w.gauge("kdv_cache_bytes_used", "Bytes resident.", 1.5e6);
+        w.counter_family(
+            "kdv_http_responses_total",
+            "Responses by class.",
+            &[
+                ("class=\"ok\"".to_string(), 40.0),
+                ("class=\"not_found\"".to_string(), 2.0),
+            ],
+        );
+        let text = w.finish();
+        lint(&text);
+        assert!(text.contains("# TYPE kdv_http_requests_total counter"));
+        assert!(text.contains("kdv_http_requests_total 42"));
+        assert!(text.contains("kdv_http_responses_total{class=\"ok\"} 40"));
+        assert!(text.contains("# TYPE kdv_cache_bytes_used gauge"));
+        assert!(text.contains("kdv_cache_bytes_used 1500000"));
+    }
+
+    #[test]
+    fn duplicate_names_are_dropped_not_doubled() {
+        let mut w = PromWriter::new();
+        w.counter("kdv_x_total", "First registration wins.", 1.0);
+        w.counter("kdv_x_total", "Second is dropped.", 2.0);
+        let text = w.finish();
+        lint(&text);
+        assert_eq!(text.matches("# TYPE kdv_x_total").count(), 1);
+        assert!(text.contains("kdv_x_total 1"));
+        assert!(!text.contains("kdv_x_total 2"));
+    }
+
+    #[test]
+    fn histograms_emit_cumulative_buckets_and_inf() {
+        let mut h = LogHistogram::new();
+        for v in [100u64, 200, 200, 3_000_000] {
+            h.record(v);
+        }
+        let mut w = PromWriter::new();
+        // Values are nanoseconds; exposition must be seconds.
+        w.histogram("kdv_render_pixel_seconds", "Per-pixel latency.", &h, 1e-9);
+        let text = w.finish();
+        lint(&text);
+        assert!(text.contains("# TYPE kdv_render_pixel_seconds histogram"));
+        assert!(text.contains("kdv_render_pixel_seconds_bucket{le=\"+Inf\"} 4"));
+        assert!(text.contains("kdv_render_pixel_seconds_count 4"));
+        // Buckets are cumulative: the one holding the two 200s reads 3.
+        let two_hundreds = text
+            .lines()
+            .find(|l| l.contains("_bucket") && l.ends_with(" 3"))
+            .expect("cumulative bucket of 3");
+        let le: f64 = two_hundreds
+            .split("le=\"")
+            .nth(1)
+            .and_then(|r| r.split('"').next())
+            .expect("le edge")
+            .parse()
+            .expect("numeric le");
+        // 200 ns scaled to seconds, inside the ≤6.25%-wide bucket.
+        assert!(
+            (200e-9..220e-9).contains(&le),
+            "got {two_hundreds} (le = {le})"
+        );
+        // The sum is in seconds.
+        let sum_line = text
+            .lines()
+            .find(|l| l.starts_with("kdv_render_pixel_seconds_sum"))
+            .expect("sum line");
+        let sum: f64 = sum_line.rsplit(' ').next().unwrap().parse().unwrap();
+        assert!((sum - 3_000_500e-9).abs() < 1e-12, "sum {sum}");
+    }
+
+    #[test]
+    fn histogram_families_carry_labels_on_every_sample() {
+        let mut a = LogHistogram::new();
+        a.record(50);
+        let mut b = LogHistogram::new();
+        b.record(7_000);
+        let mut w = PromWriter::new();
+        w.histogram_family(
+            "kdv_stage_duration_seconds",
+            "Per-stage latency.",
+            &[("stage=\"render\"", &a), ("stage=\"encode\"", &b)],
+            1e-6,
+        );
+        let text = w.finish();
+        lint(&text);
+        assert!(text.contains("kdv_stage_duration_seconds_bucket{stage=\"render\",le=\"+Inf\"} 1"));
+        assert!(text.contains("kdv_stage_duration_seconds_count{stage=\"encode\"} 1"));
+        assert_eq!(text.matches("# TYPE kdv_stage_duration_seconds").count(), 1);
+    }
+}

@@ -259,8 +259,7 @@ mod tests {
             0.01,
             2,
         )
-        .err()
-        .expect("double failure must be an error");
+        .expect_err("double failure must be an error");
         assert!(matches!(err.0, kdv_core::KdvError::WorkerPanicked { .. }));
         assert!(err.1.is_some(), "panic payload preserved for re-raise");
     }
@@ -277,8 +276,7 @@ mod tests {
             0.01,
             0,
         )
-        .err()
-        .expect("zero threads rejected");
+        .expect_err("zero threads rejected");
         assert!(matches!(
             err.0,
             kdv_core::KdvError::InvalidParameter {

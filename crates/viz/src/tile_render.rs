@@ -14,8 +14,8 @@
 
 use crate::colormap::ColorMap;
 use crate::image::RgbImage;
-use crate::metered::{render_eps_budgeted_metered, render_tau_budgeted_metered};
-use kdv_core::engine::{RefineEvaluator, RenderBudget};
+use crate::metered::{render_eps_budgeted_metered_probed, render_tau_budgeted_metered_probed};
+use kdv_core::engine::{NoProbe, Probe, RefineEvaluator, RenderBudget};
 use kdv_core::error::KdvError;
 use kdv_core::raster::RasterSpec;
 use kdv_telemetry::RenderMetrics;
@@ -104,7 +104,26 @@ pub fn render_tile_eps(
     scale: (f64, f64),
     metrics: &mut RenderMetrics,
 ) -> Result<TileImage, KdvError> {
-    let out = render_eps_budgeted_metered(ev, raster, eps, budget, metrics)?;
+    render_tile_eps_probed(ev, raster, eps, budget, cm, scale, metrics, &mut NoProbe)
+}
+
+/// [`render_tile_eps`] with an additional caller-supplied probe teed
+/// into the refinement loop — how the tile server attributes one
+/// request's work (e.g. a [`kdv_telemetry::DepthProfile`]) without
+/// touching the shared metrics aggregate. [`NoProbe`] reduces it to
+/// the plain tile renderer.
+#[allow(clippy::too_many_arguments)]
+pub fn render_tile_eps_probed<X: Probe>(
+    ev: &mut RefineEvaluator<'_>,
+    raster: &RasterSpec,
+    eps: f64,
+    budget: &mut RenderBudget,
+    cm: &ColorMap,
+    scale: (f64, f64),
+    metrics: &mut RenderMetrics,
+    extra: &mut X,
+) -> Result<TileImage, KdvError> {
+    let out = render_eps_budgeted_metered_probed(ev, raster, eps, budget, metrics, extra)?;
     Ok(TileImage {
         image: cm.render_scaled(&out.grid, scale.0, scale.1, true),
         degraded_pixels: out.degraded_pixels,
@@ -121,7 +140,20 @@ pub fn render_tile_tau(
     budget: &mut RenderBudget,
     metrics: &mut RenderMetrics,
 ) -> Result<TileImage, KdvError> {
-    let out = render_tau_budgeted_metered(ev, raster, tau, budget, metrics)?;
+    render_tile_tau_probed(ev, raster, tau, budget, metrics, &mut NoProbe)
+}
+
+/// [`render_tile_tau`] with an additional caller-supplied probe,
+/// exactly as [`render_tile_eps_probed`].
+pub fn render_tile_tau_probed<X: Probe>(
+    ev: &mut RefineEvaluator<'_>,
+    raster: &RasterSpec,
+    tau: f64,
+    budget: &mut RenderBudget,
+    metrics: &mut RenderMetrics,
+    extra: &mut X,
+) -> Result<TileImage, KdvError> {
+    let out = render_tau_budgeted_metered_probed(ev, raster, tau, budget, metrics, extra)?;
     Ok(TileImage {
         image: crate::colormap::render_binary(&out.mask),
         degraded_pixels: out.undecided,

@@ -139,7 +139,10 @@ fn slow_nodes_degrade_deadline_renders_instead_of_hanging() {
     }
     assert!(budget.is_exhausted(), "deadline must trip");
     assert!(exhausted_pixels > 0, "no pixel was flagged degraded");
-    assert!(probe.injected_sleeps > 0, "fault never fired: proves nothing");
+    assert!(
+        probe.injected_sleeps > 0,
+        "fault never fired: proves nothing"
+    );
 }
 
 /// Wraps a real evaluator with a poisoned fault probe. The probe
@@ -212,8 +215,7 @@ fn deterministic_poison_is_flagged_with_the_injected_message() {
         0.01,
         2,
     )
-    .err()
-    .expect("all-instances-poisoned cannot succeed");
+    .expect_err("all-instances-poisoned cannot succeed");
     assert!(matches!(err, kdv_core::KdvError::WorkerPanicked { .. }));
     let msg = payload
         .as_ref()

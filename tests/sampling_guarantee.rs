@@ -83,7 +83,7 @@ fn zorder_method_is_faster_than_exact_but_approximate() {
     };
     let mut z =
         make_evaluator(MethodKind::ZOrder, &tree, kernel, "εKDV", &params).expect("Z-order εKDV");
-    let mut exact = ExactScan::new(&points, kernel);
+    let exact = ExactScan::new(&points, kernel);
     let q = [0.5, 0.5];
     let f = exact.density(&q);
     let r = z.eval_eps(&q, 0.05);

@@ -1,0 +1,173 @@
+//! Offline stand-in for the subset of `criterion 0.5` this workspace
+//! uses: `Criterion`, benchmark groups, `bench_function` /
+//! `bench_with_input`, `BenchmarkId`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Each benchmark is timed over a small fixed batch of iterations and
+//! reported as one `name ... mean per-iter` line on stdout; there is
+//! no warm-up calibration, statistical analysis, or HTML report. See
+//! `third_party/README.md`.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Iterations timed per benchmark (after one untimed warm-up call).
+const TIMED_ITERS: u32 = 10;
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// A named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Times `f` as a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{id}"), &mut f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing a prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub's iteration count is
+    /// fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Times `f` under `group/id`.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id), &mut f);
+        self
+    }
+
+    /// Times `f` with a borrowed input under `group/id`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id.id), &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (a no-op here; upstream flushes reports).
+    pub fn finish(self) {}
+}
+
+fn run_one(label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { total_ns: 0.0 };
+    f(&mut b); // warm-up; also the only shot at lazy initialization
+    b.total_ns = 0.0;
+    f(&mut b);
+    println!("bench {label:<56} {:>12.0} ns/iter", b.total_ns);
+}
+
+/// Passed to every benchmark closure; times the measured routine.
+#[derive(Debug)]
+pub struct Bencher {
+    total_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine` over a fixed batch, recording mean ns/iter.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..TIMED_ITERS {
+            black_box(routine());
+        }
+        self.total_ns = start.elapsed().as_nanos() as f64 / f64::from(TIMED_ITERS);
+    }
+}
+
+/// A benchmark identifier: function name plus a parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only identifier.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: format!("{parameter}"),
+        }
+    }
+}
+
+/// Bundles benchmark functions into one callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// The `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_ids_render_benchmarks() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(10);
+        let mut runs = 0u32;
+        group.bench_function("inline", |b| {
+            b.iter(|| black_box(2 + 2));
+            runs += 1;
+        });
+        group.bench_with_input(BenchmarkId::new("param", 7), &7u32, |b, &x| {
+            b.iter(|| black_box(x * 3));
+        });
+        group.finish();
+        c.bench_function(BenchmarkId::from_parameter("top").id, |b| b.iter(|| ()));
+        assert_eq!(runs, 2);
+    }
+}

@@ -1,0 +1,367 @@
+//! Offline stand-in for the subset of `proptest 1.x` this workspace
+//! uses: the `proptest!` test macro, `prop_assert!`/`prop_assert_eq!`,
+//! range and tuple strategies, `collection::vec`, `prop_map`, and
+//! `ProptestConfig::with_cases`.
+//!
+//! Cases are sampled uniformly from each strategy with a deterministic
+//! per-test seed (an FNV hash of the test's module path and name), so
+//! runs are reproducible. There is **no shrinking**: a failing case
+//! panics with the assertion message as-is. See `third_party/README.md`.
+
+#![forbid(unsafe_code)]
+
+#[doc(hidden)]
+pub use rand as __rand;
+
+/// Test-case plumbing: the error type `prop_assert!` returns and the
+/// run configuration.
+pub mod test_runner {
+    /// A failed test case, carrying the assertion message.
+    #[derive(Debug)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        /// A failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            Self(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// One test case's outcome.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Runner configuration. Only `cases` is honored.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of generated cases per test (default 256).
+        pub cases: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self { cases: 256 }
+        }
+    }
+
+    impl Config {
+        /// The default configuration with `cases` overridden.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+}
+
+/// The [`Strategy`] trait and combinators.
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng as _;
+    use std::ops::Range;
+
+    /// A recipe for generating values of `Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value: std::fmt::Debug;
+
+        /// One uniformly sampled value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// A strategy producing `f` of this strategy's values.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            O: std::fmt::Debug,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// The [`Strategy::prop_map`] combinator.
+    #[derive(Debug)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        O: std::fmt::Debug,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    range_strategy!(f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategy {
+        ($($s:ident),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($s,)+) = self;
+                    ($($s.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F2);
+}
+
+/// Collection strategies (`vec`).
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng as _;
+    use std::ops::Range;
+
+    /// Admissible lengths for a generated collection: either an exact
+    /// size or a half-open range, mirroring upstream's conversions.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self {
+                min: n,
+                max_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            Self {
+                min: r.start,
+                max_exclusive: r.end,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    #[derive(Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A vector strategy: each element from `element`, length from
+    /// `size` (a `usize` for exact, a `Range<usize>` for half-open).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = if self.size.min + 1 == self.size.max_exclusive {
+                self.size.min
+            } else {
+                rng.gen_range(self.size.min..self.size.max_exclusive)
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// `use proptest::prelude::*;` convenience re-exports.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::{TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from
+/// strategies. Supports an optional leading
+/// `#![proptest_config(...)]`; each case runs the body as a
+/// `Result`-returning closure so `prop_assert!` and `return Ok(())`
+/// work as upstream.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!(($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::test_runner::Config = $cfg;
+            // Deterministic per-test seed: FNV-1a of the full test path.
+            let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in concat!(module_path!(), "::", stringify!($name)).bytes() {
+                seed ^= b as u64;
+                seed = seed.wrapping_mul(0x1_0000_0000_01b3);
+            }
+            let mut rng = <$crate::__rand::rngs::StdRng as $crate::__rand::SeedableRng>::seed_from_u64(seed);
+            for case in 0..cfg.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&$strat, &mut rng);)+
+                // Render inputs up front: the body may consume them.
+                let inputs =
+                    [$(format!("{} = {:?}", stringify!($arg), $arg)),+].join(", ");
+                let outcome: $crate::test_runner::TestCaseResult = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest case {}/{} of {} failed: {}\n  inputs: {}",
+                        case + 1,
+                        cfg.cases,
+                        stringify!($name),
+                        e,
+                        inputs,
+                    );
+                }
+            }
+        }
+        $crate::__proptest_tests!(($cfg) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case
+/// (not unwinding) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)+),
+            l,
+            r
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in -3.0..3.0f64, n in 1usize..9) {
+            prop_assert!((-3.0..3.0).contains(&x), "x out of range: {x}");
+            prop_assert!((1..9).contains(&n));
+        }
+
+        #[test]
+        fn vec_and_tuple_strategies_compose(
+            rows in crate::collection::vec((0.0..1.0f64, 0u32..4), 2..7),
+        ) {
+            prop_assert!((2..7).contains(&rows.len()));
+            for (f, u) in rows {
+                prop_assert!((0.0..1.0).contains(&f));
+                prop_assert!(u < 4);
+            }
+        }
+
+        #[test]
+        fn prop_map_transforms(v in crate::collection::vec(0.0..1.0f64, 4).prop_map(|v| v.len())) {
+            prop_assert_eq!(v, 4);
+        }
+    }
+
+    #[test]
+    fn failing_case_panics_with_inputs() {
+        let caught = std::panic::catch_unwind(|| {
+            proptest! {
+                #[test]
+                fn always_fails(x in 0..10u32) {
+                    prop_assert!(x > 100, "x was {x}");
+                }
+            }
+            always_fails();
+        });
+        let msg = *caught.unwrap_err().downcast::<String>().expect("string panic");
+        assert!(msg.contains("always_fails"), "{msg}");
+        assert!(msg.contains("x = "), "{msg}");
+    }
+
+    #[test]
+    fn seeds_are_stable_across_runs() {
+        use rand::{Rng as _, SeedableRng as _};
+        let mut a = rand::rngs::StdRng::seed_from_u64(5);
+        let mut b = rand::rngs::StdRng::seed_from_u64(5);
+        let sa: Vec<f64> = (0..4).map(|_| a.gen_range(0.0..1.0)).collect();
+        let sb: Vec<f64> = (0..4).map(|_| b.gen_range(0.0..1.0)).collect();
+        assert_eq!(sa, sb);
+    }
+}

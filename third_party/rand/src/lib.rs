@@ -1,0 +1,248 @@
+//! Offline stand-in for the subset of `rand 0.8` this workspace uses.
+//!
+//! See `third_party/README.md` for scope and caveats. The one
+//! behavioral difference from upstream: [`rngs::StdRng`] is a
+//! SplitMix64 generator, not ChaCha12, so seeded streams differ from
+//! real `rand` (workspace tests are self-consistent under any
+//! fixed-seed generator).
+
+#![forbid(unsafe_code)]
+
+/// Low-level source of random bits.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// High-level sampling methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniform sample from `range` (half-open or inclusive).
+    fn gen_range<T, SR>(&mut self, range: SR) -> T
+    where
+        SR: distributions::uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of range: {p}");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// A generator deterministically derived from `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// `u64` bits → uniform `f64` in `[0, 1)` with 53 bits of precision.
+#[inline]
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: SplitMix64. Fast, passes
+    /// casual statistical muster, and — unlike upstream's ChaCha12 —
+    /// trivially dependency-free.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            Self { state: seed }
+        }
+    }
+}
+
+/// Distribution sampling.
+pub mod distributions {
+    use super::Rng;
+
+    /// A sampleable distribution over `T`.
+    pub trait Distribution<T> {
+        /// One sample using `rng`.
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// Range sampling machinery backing [`Rng::gen_range`].
+    pub mod uniform {
+        use crate::{unit_f64, Rng, RngCore};
+        use std::ops::{Range, RangeInclusive};
+
+        /// A range that can produce one uniform sample of `T`.
+        pub trait SampleRange<T> {
+            /// One uniform sample from the range.
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        impl SampleRange<f64> for Range<f64> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+                assert!(self.start < self.end, "empty f64 range");
+                let u = unit_f64(rng.next_u64());
+                let v = self.start + (self.end - self.start) * u;
+                // Floating rounding may land on `end`; fold back inside.
+                if v >= self.end {
+                    self.start
+                } else {
+                    v
+                }
+            }
+        }
+
+        impl SampleRange<f64> for RangeInclusive<f64> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty f64 range");
+                lo + (hi - lo) * unit_f64(rng.next_u64())
+            }
+        }
+
+        impl SampleRange<f32> for Range<f32> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+                let v = (self.start as f64..self.end as f64).sample_single(rng) as f32;
+                if v >= self.end {
+                    self.start
+                } else {
+                    v
+                }
+            }
+        }
+
+        /// Lemire-style unbiased bounded sampling on u64, by rejection.
+        fn bounded_u64<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            // Rejection zone keeps the modulo unbiased.
+            let zone = u64::MAX - (u64::MAX - bound + 1) % bound;
+            loop {
+                let v = rng.next_u64();
+                if v <= zone {
+                    return v % bound;
+                }
+            }
+        }
+
+        macro_rules! int_sample_range {
+            ($($t:ty),*) => {$(
+                impl SampleRange<$t> for Range<$t> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        assert!(self.start < self.end, "empty integer range");
+                        let span = (self.end as i128 - self.start as i128) as u64;
+                        let off = bounded_u64(rng, span);
+                        (self.start as i128 + off as i128) as $t
+                    }
+                }
+                impl SampleRange<$t> for RangeInclusive<$t> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        let (lo, hi) = (*self.start(), *self.end());
+                        assert!(lo <= hi, "empty integer range");
+                        let span = (hi as i128 - lo as i128) as u64;
+                        if span == u64::MAX {
+                            return rng.next_u64() as $t;
+                        }
+                        let off = bounded_u64(rng, span + 1);
+                        (lo as i128 + off as i128) as $t
+                    }
+                }
+            )*};
+        }
+
+        int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+        // Silence "unused" when only a subset of impls is exercised.
+        const _: fn(&mut crate::rngs::StdRng) -> u64 = |r| r.gen_range(0..10u64);
+    }
+}
+
+/// `use rand::prelude::*;` convenience re-exports.
+pub mod prelude {
+    pub use crate::distributions::Distribution;
+    pub use crate::rngs::StdRng;
+    pub use crate::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn seeded_streams_are_deterministic_and_distinct() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..2_000 {
+            let f = rng.gen_range(-2.0..3.0f64);
+            assert!((-2.0..3.0).contains(&f), "{f}");
+            let i = rng.gen_range(-5..=5i32);
+            assert!((-5..=5).contains(&i), "{i}");
+            let u = rng.gen_range(0..7usize);
+            assert!(u < 7, "{u}");
+        }
+    }
+
+    #[test]
+    fn small_int_ranges_hit_every_value() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 6];
+        for _ in 0..500 {
+            seen[rng.gen_range(0..6usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "{hits}");
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0) || true));
+    }
+
+    #[test]
+    fn works_through_mut_references() {
+        fn takes_dyn(rng: &mut dyn crate::RngCore) -> u64 {
+            rng.next_u64()
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        let r = &mut rng;
+        let _ = r.gen_range(0.0..1.0f64);
+        let _ = takes_dyn(&mut rng);
+    }
+}
