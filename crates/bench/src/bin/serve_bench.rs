@@ -32,7 +32,7 @@ use kdv_core::kernel::Kernel;
 use kdv_data::Dataset;
 use kdv_index::KdTree;
 use kdv_server::{ServerConfig, TileServer};
-use kdv_store::SnapshotWriter;
+use kdv_store::{FsyncPolicy, SnapshotWriter};
 use kdv_telemetry::json::{self, Value};
 use kdv_telemetry::LogHistogram;
 
@@ -259,6 +259,174 @@ fn trace_overhead() -> Value {
     ])
 }
 
+fn post(addr: SocketAddr, path: &str, body: &str) -> u16 {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(
+            format!(
+                "POST {path} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .expect("request");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("response");
+    std::str::from_utf8(&raw)
+        .expect("UTF-8 head")
+        .split(' ')
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status")
+}
+
+/// Streaming-ingest latency: durable-ack distribution under each
+/// fsync policy (four concurrent writers, so `batch` group commit has
+/// something to amortize over), tile latency while a write storm
+/// churns compactions underneath the readers, and the WAL replay cost
+/// a crash recovery pays, normalized per MiB.
+fn ingest_bench(tmp: &Path) -> Value {
+    const WRITERS: usize = 4;
+    const WRITES: usize = 150; // per writer, per mode
+    let mut base = Dataset::Crime.generate(POINTS / 4, SEED);
+    base.scale_weights(1.0 / base.len() as f64);
+    let kernel = Kernel::gaussian(scott_gamma(&base).gamma);
+    let tree = KdTree::build_default(&base);
+    let anchor = base.point(10);
+    let (ax, ay) = (anchor[0], anchor[1]);
+
+    let spawn_writers = |addr: SocketAddr, writes: usize| {
+        let hist = std::sync::Arc::new(std::sync::Mutex::new(LogHistogram::new()));
+        let handles: Vec<_> = (0..WRITERS)
+            .map(|w| {
+                let hist = std::sync::Arc::clone(&hist);
+                std::thread::spawn(move || {
+                    for i in 0..writes {
+                        let body = format!(
+                            "{{\"append\":[[{},{},0.0001]]}}",
+                            ax + 0.001 * (w * writes + i) as f64,
+                            ay
+                        );
+                        let start = Instant::now();
+                        let status = post(addr, "/datasets/crime/points", &body);
+                        let ns = start.elapsed().as_nanos() as u64;
+                        assert_eq!(status, 200, "ingest ack");
+                        hist.lock().expect("ack histogram").record(ns);
+                    }
+                })
+            })
+            .collect();
+        (hist, handles)
+    };
+
+    let mut modes = Vec::new();
+    for (name, fsync) in [("every", FsyncPolicy::Every), ("batch", FsyncPolicy::Batch)] {
+        let dir = tmp.join(format!("ingest-{name}"));
+        std::fs::create_dir_all(&dir).expect("mkdir ingest store");
+        SnapshotWriter::new(&tree, kernel)
+            .write_to(dir.join("crime.kdvs"))
+            .expect("write snapshot");
+        let config = ServerConfig {
+            tile_size: 64,
+            max_z: 2,
+            eps: 0.2,
+            workers: WRITERS + 1,
+            fsync,
+            // Acks only in this section: keep compaction out of it.
+            memtable_points: 1 << 16,
+            compact_points: 1 << 16,
+            ..ServerConfig::default()
+        };
+        let server = TileServer::start_with_store(config, &dir).expect("server start (ingest)");
+        let (hist, handles) = spawn_writers(server.local_addr(), WRITES);
+        for h in handles {
+            h.join().expect("writer thread");
+        }
+        server.stop();
+        let hist = hist.lock().expect("ack histogram");
+
+        // Crash-recovery tax: replay the WAL this storm left behind.
+        let wal_path = dir.join("crime.wal");
+        let wal_bytes = std::fs::metadata(&wal_path).expect("WAL metadata").len();
+        let start = Instant::now();
+        let replay = kdv_store::wal::replay(&wal_path).expect("replay");
+        let replay_ms = start.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(replay.records.len(), WRITERS * WRITES, "all acks replay");
+        let replay_ms_per_mb = replay_ms / (wal_bytes as f64 / (1 << 20) as f64);
+        println!(
+            "ingest fsync={name}: ack p50 {:.2} ms, p99 {:.2} ms ({} acks); \
+             replay {replay_ms:.2} ms for {wal_bytes} WAL bytes ({replay_ms_per_mb:.1} ms/MiB)",
+            hist.quantile_le(0.5) as f64 / 1e6,
+            hist.quantile_le(0.99) as f64 / 1e6,
+            hist.count(),
+        );
+        modes.push(Value::obj(vec![
+            ("fsync", Value::Str(name.to_string())),
+            ("ack", hist_json(&hist)),
+            ("wal_bytes", json::num_u(wal_bytes)),
+            ("replay_ms", json::num_f(replay_ms)),
+            ("replay_ms_per_mb", json::num_f(replay_ms_per_mb)),
+        ]));
+    }
+
+    // Reads under churn: a batch-mode write storm with an aggressive
+    // compaction threshold, while a reader hammers the warmed z=1
+    // level. Tile latency here pays delta merges, cache invalidation,
+    // and base swaps — the worst sustained case for a reader.
+    let dir = tmp.join("ingest-churn");
+    std::fs::create_dir_all(&dir).expect("mkdir churn store");
+    SnapshotWriter::new(&tree, kernel)
+        .write_to(dir.join("crime.kdvs"))
+        .expect("write snapshot");
+    let config = ServerConfig {
+        tile_size: 64,
+        max_z: 2,
+        eps: 0.2,
+        workers: WRITERS + 2,
+        fsync: FsyncPolicy::Batch,
+        compact_points: 128,
+        ..ServerConfig::default()
+    };
+    let server = TileServer::start_with_store(config, &dir).expect("server start (churn)");
+    let addr = server.local_addr();
+    for x in 0..2u32 {
+        for y in 0..2u32 {
+            let (status, _) = fetch(addr, &format!("/tiles/crime/eps/1/{x}/{y}.png"));
+            assert_eq!(status, 200, "warm tile");
+        }
+    }
+    let (_, writers) = spawn_writers(addr, 1500);
+    let mut tiles = LogHistogram::new();
+    let mut writers_done = false;
+    while !writers_done {
+        for x in 0..2u32 {
+            for y in 0..2u32 {
+                let path = format!("/tiles/crime/eps/1/{x}/{y}.png");
+                let start = Instant::now();
+                let (status, _) = fetch(addr, &path);
+                tiles.record(start.elapsed().as_nanos() as u64);
+                assert_eq!(status, 200, "{path} under churn");
+            }
+        }
+        writers_done = writers.iter().all(|h| h.is_finished());
+    }
+    for h in writers {
+        h.join().expect("writer thread");
+    }
+    server.stop();
+    println!(
+        "tiles under ingest+compaction churn: p50 {:.2} ms, p99 {:.2} ms ({} fetches)",
+        tiles.quantile_le(0.5) as f64 / 1e6,
+        tiles.quantile_le(0.99) as f64 / 1e6,
+        tiles.count(),
+    );
+    Value::obj(vec![
+        ("modes", Value::Arr(modes)),
+        ("tile_under_churn", hist_json(&tiles)),
+    ])
+}
+
 fn main() {
     let out = std::env::args()
         .nth(1)
@@ -312,17 +480,19 @@ fn main() {
     let _ = std::fs::remove_dir_all(&tmp);
     std::fs::create_dir_all(&tmp).expect("mkdir tmp");
     let cold_start = cold_start(&tmp);
+    let ingest = ingest_bench(&tmp);
     std::fs::remove_dir_all(&tmp).ok();
     let trace_overhead = trace_overhead();
 
     let doc = Value::obj(vec![
-        ("schema", Value::Str("kdv-bench-serve/3".to_string())),
+        ("schema", Value::Str("kdv-bench-serve/4".to_string())),
         ("dataset", Value::Str("crime".to_string())),
         ("points", json::num_u(POINTS as u64)),
         ("tile_size", json::num_u(TILE_SIZE as u64)),
         ("kind", Value::Str("eps".to_string())),
         ("levels", Value::Arr(levels)),
         ("cold_start", cold_start),
+        ("ingest", ingest),
         ("trace_overhead", trace_overhead),
     ]);
     std::fs::write(&out, doc.render()).expect("write sidecar");

@@ -435,7 +435,8 @@ pub fn serve(args: &Args) -> Result<(), String> {
              \x20         [--no-trace] [--trace-ring 128] [--slow-ms 100]\n\
              \x20         [--access-log PATH|-] [--allow-shutdown] [--debug-sleep]\n\
              kdv serve --store <dir> [--store-budget-mb MB] [--tau T] [--preload]\n\
-             \x20         [same serving flags]\n\
+             \x20         [--fsync every|batch] [--memtable-points N] [--compact-points N]\n\
+             \x20         [--ingest-max-kb KB] [same serving flags]\n\
              \n\
              Serves GET /tiles/{{eps|tau}}/{{z}}/{{x}}/{{y}}.png, /metrics (JSON, or\n\
              Prometheus text with ?format=prometheus), /healthz, /readyz, and — while\n\
@@ -449,7 +450,12 @@ pub fn serve(args: &Args) -> Result<(), String> {
              (--preload materializes all of them in the background; /readyz answers\n\
              503 until the sweep finishes).\n\
              Budget-degraded tiles answer 200 with an X-Kdv-Degraded header; a full\n\
-             accept queue answers 429 with Retry-After."
+             accept queue answers 429 with Retry-After.\n\
+             Snapshot-backed datasets accept durable writes: POST\n\
+             /datasets/{{name}}/points with {{\"append\": [[x,y,w],…], \"remove\":\n\
+             [[x,y],…]}} acks only after the WAL record is durable under --fsync\n\
+             (every: fsync per write; batch: group commit). GET /datasets/{{name}}/stats\n\
+             reports the WAL/memtable watermarks."
         );
         return Ok(());
     }
@@ -477,6 +483,14 @@ pub fn serve(args: &Args) -> Result<(), String> {
     let cache_shards = args.get_parsed("cache-shards", 8usize)?;
     let store_budget_mb = args.get_parsed("store-budget-mb", 0u64)?;
     let addr = args.get("addr").unwrap_or("127.0.0.1:8080").to_string();
+    let fsync = match args.get("fsync").unwrap_or("every") {
+        "every" => kdv_store::FsyncPolicy::Every,
+        "batch" => kdv_store::FsyncPolicy::Batch,
+        other => return Err(format!("--fsync must be 'every' or 'batch', got {other:?}")),
+    };
+    let memtable_points = args.get_parsed("memtable-points", 8192usize)?;
+    let compact_points = args.get_parsed("compact-points", 2048usize)?;
+    let ingest_max_kb = args.get_parsed("ingest-max-kb", 1024u64)?;
 
     let tau = match args.get("tau") {
         Some(v) => {
@@ -549,6 +563,10 @@ pub fn serve(args: &Args) -> Result<(), String> {
         slow_ms: args.get_parsed("slow-ms", 100u64)?,
         access_log: args.get("access-log").map(str::to_string),
         preload: args.has("preload"),
+        fsync,
+        ingest_max_body: ingest_max_kb << 10,
+        memtable_points,
+        compact_points,
     };
     if config.preload && store_dir.is_none() {
         return Err("--preload only applies to --store serving".into());

@@ -173,6 +173,28 @@ impl TileCache {
         true
     }
 
+    /// Removes every entry whose key satisfies `pred`, returning how
+    /// many were dropped. This is the ingest path's correctness hook:
+    /// a cached tile whose pixels a new point could have changed must
+    /// not outlive the write, so the server invalidates by
+    /// MBR-intersection after each acked batch. Shards are swept one
+    /// at a time — readers of other shards never block — and the
+    /// predicate runs under the shard lock, so it must be cheap (a
+    /// rectangle test, not a render).
+    pub fn invalidate_where(&self, pred: impl Fn(&TileKey) -> bool) -> u64 {
+        let mut removed = 0u64;
+        for s in &self.shards {
+            let mut shard = s.lock().expect("cache shard poisoned");
+            let victims: Vec<TileKey> = shard.map.keys().filter(|k| pred(k)).copied().collect();
+            for k in victims {
+                let entry = shard.map.remove(&k).expect("victim exists");
+                shard.bytes -= entry.data.len();
+                removed += 1;
+            }
+        }
+        removed
+    }
+
     /// Total payload bytes currently held, across shards.
     pub fn bytes_used(&self) -> usize {
         self.shards
@@ -288,6 +310,25 @@ mod tests {
         // A payload larger than a whole shard is refused, not churned.
         assert!(!cache.insert(key(2, 1, 1), payload(2000, 5)));
         assert!(cache.get(&key(2, 1, 1)).is_none());
+        cache.assert_consistent();
+    }
+
+    #[test]
+    fn invalidate_where_removes_matches_and_keeps_accounting() {
+        let cache = TileCache::new(1 << 20, 4);
+        for z in 0..3u8 {
+            for x in 0..4u32 {
+                assert!(cache.insert(key(z, x, 0), payload(50, z)));
+            }
+        }
+        assert_eq!(cache.entries(), 12);
+        let removed = cache.invalidate_where(|k| k.addr.z == 1);
+        assert_eq!(removed, 4);
+        assert_eq!(cache.entries(), 8);
+        assert_eq!(cache.bytes_used(), 8 * 50);
+        assert!(cache.get(&key(1, 0, 0)).is_none());
+        assert!(cache.get(&key(0, 0, 0)).is_some());
+        assert_eq!(cache.invalidate_where(|_| false), 0);
         cache.assert_consistent();
     }
 

@@ -81,6 +81,10 @@ pub struct DatasetEntry {
     pub warm_ms: u64,
     /// Where the tree came from.
     pub source: DatasetSource,
+    /// Highest WAL sequence number already folded into this base
+    /// (`0` when the dataset predates streaming ingest). Boot-time
+    /// replay skips records at or below it.
+    pub applied_seq: u64,
 }
 
 /// Raster/sweep parameters the catalog needs to finish materializing a
@@ -140,6 +144,7 @@ pub(crate) fn finish_entry(
         index_ms,
         warm_ms,
         source,
+        applied_seq: 0,
     })
 }
 
@@ -156,7 +161,8 @@ fn load_snapshot(
         (format!("dataset {name:?}: {e}"), checksum)
     })?;
     let index_ms = started.elapsed().as_millis() as u64;
-    finish_entry(
+    let applied_seq = snap.applied_seq;
+    let mut entry = finish_entry(
         name,
         snap.tree,
         snap.kernel,
@@ -164,7 +170,9 @@ fn load_snapshot(
         index_ms,
         DatasetSource::Snapshot,
     )
-    .map_err(|m| (m, false))
+    .map_err(|m| (m, false))?;
+    entry.applied_seq = applied_seq;
+    Ok(entry)
 }
 
 /// Builds an entry from a raw CSV (the no-snapshot fallback): 2-D
@@ -353,6 +361,37 @@ impl Catalog {
     /// The materialization telemetry shared with `/metrics`.
     pub fn counters(&self) -> &StoreCounters {
         &self.counters
+    }
+
+    /// The shared raster/sweep parameters (ingest compaction rebuilds
+    /// entries with exactly the settings the catalog would use).
+    pub(crate) fn settings(&self) -> RenderSettings {
+        self.settings
+    }
+
+    /// The on-disk snapshot path for slot `idx`, or `None` when the
+    /// slot is not snapshot-backed (CSV fallback, preloaded single
+    /// dataset). Streaming ingest is only offered for snapshot slots:
+    /// the WAL lives next to the `.kdvs` file and compaction rewrites
+    /// it in place.
+    pub(crate) fn snapshot_path(&self, idx: usize) -> Option<&Path> {
+        let slot = &self.slots[idx];
+        (slot.kind == SlotKind::Snapshot).then_some(slot.path.as_path())
+    }
+
+    /// Atomically swaps slot `idx` to `entry` (compaction publishing a
+    /// freshly folded snapshot). Waiters blocked in [`Catalog::get`]
+    /// see the new entry; readers holding the old `Arc` finish their
+    /// renders against the old tree, which stays correct — the
+    /// memtable delta they merge covers exactly the ops the old base
+    /// is missing.
+    pub(crate) fn replace(&self, idx: usize, entry: DatasetEntry) -> Arc<DatasetEntry> {
+        let slot = &self.slots[idx];
+        let entry = Arc::new(entry);
+        let mut state = slot.state.lock().expect("catalog slot poisoned");
+        *state = SlotState::Ready(Arc::clone(&entry));
+        slot.loaded.notify_all();
+        entry
     }
 
     /// Returns the dataset at `idx`, materializing it first if cold.

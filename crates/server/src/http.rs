@@ -1,7 +1,8 @@
 //! A deliberately minimal HTTP/1.1 layer over `std::net`.
 //!
-//! The tile server speaks exactly the subset of HTTP a tile client
-//! needs: parse one `GET` request line, ignore the headers, write one
+//! The tile server speaks exactly the subset of HTTP its clients
+//! need: parse one request line plus the `Content-Length` header,
+//! read the body (ingest POSTs carry one) under a hard cap, write one
 //! `Connection: close` response. No keep-alive, no chunking, no TLS —
 //! and no dependencies. Requests are read with a hard byte cap and a
 //! socket read timeout so a slow-loris client costs one worker at most
@@ -14,44 +15,73 @@ use std::net::TcpStream;
 /// requests are tiny; anything bigger is garbage or abuse.
 const MAX_HEAD_BYTES: usize = 8 * 1024;
 
-/// One parsed request line.
+/// One parsed request: the request line plus (for methods that carry
+/// one) the body.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
-    /// The HTTP method, verbatim (`GET`, `HEAD`, …).
+    /// The HTTP method, verbatim (`GET`, `POST`, …).
     pub method: String,
     /// The path component, query string stripped.
     pub path: String,
     /// The raw query string after `?`, when present (`format=prometheus`).
     pub query: Option<String>,
+    /// The request body, read up to the caller's cap. Empty for
+    /// bodyless requests.
+    pub body: Vec<u8>,
 }
 
-/// Reads and parses one request head from `stream`.
+/// Why a request could not be parsed into a [`Request`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestError {
+    /// Malformed head or body: answer `400`.
+    Bad(String),
+    /// A declared `Content-Length` over the caller's cap: answer
+    /// `413` *without* reading the body — refusing cheap is the point.
+    TooLarge {
+        /// The declared body size.
+        declared: u64,
+        /// The cap it exceeded.
+        cap: u64,
+    },
+}
+
+/// Reads and parses one request (head + body) from `stream`.
 ///
+/// `max_body` caps the accepted `Content-Length`; a declaration over
+/// it returns [`RequestError::TooLarge`] before any body byte is read.
 /// The outer `Err` is a transport failure (reset, timeout); the inner
-/// `Err` is a malformed request the caller should answer with `400`.
-pub fn read_request(stream: &mut TcpStream) -> io::Result<Result<Request, String>> {
+/// `Err` is a protocol-level rejection with its response status.
+pub fn read_request(
+    stream: &mut TcpStream,
+    max_body: u64,
+) -> io::Result<Result<Request, RequestError>> {
     let mut buf = Vec::with_capacity(512);
     let mut chunk = [0u8; 512];
-    loop {
-        let n = stream.read(&mut chunk)?;
-        if n == 0 {
-            return Ok(Err("connection closed before a full request head".into()));
-        }
-        buf.extend_from_slice(&chunk[..n]);
-        if buf.windows(4).any(|w| w == b"\r\n\r\n") {
-            break;
+    let head_end = loop {
+        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos + 4;
         }
         if buf.len() > MAX_HEAD_BYTES {
-            return Ok(Err(format!("request head exceeds {MAX_HEAD_BYTES} bytes")));
+            return Ok(Err(RequestError::Bad(format!(
+                "request head exceeds {MAX_HEAD_BYTES} bytes"
+            ))));
         }
-    }
-    let head = match std::str::from_utf8(&buf) {
-        Ok(s) => s,
-        Err(_) => return Ok(Err("request head is not UTF-8".into())),
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Ok(Err(RequestError::Bad(
+                "connection closed before a full request head".into(),
+            )));
+        }
+        buf.extend_from_slice(&chunk[..n]);
     };
-    let line = head.lines().next().unwrap_or("");
+    let head = match std::str::from_utf8(&buf[..head_end]) {
+        Ok(s) => s,
+        Err(_) => return Ok(Err(RequestError::Bad("request head is not UTF-8".into()))),
+    };
+    let mut lines = head.lines();
+    let line = lines.next().unwrap_or("");
     let mut parts = line.split(' ');
-    match (parts.next(), parts.next(), parts.next(), parts.next()) {
+    let (method, path, query) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
         (Some(method), Some(target), Some(version), None)
             if !method.is_empty() && version.starts_with("HTTP/") =>
         {
@@ -59,14 +89,65 @@ pub fn read_request(stream: &mut TcpStream) -> io::Result<Result<Request, String
                 Some((p, q)) => (p.to_string(), Some(q.to_string())),
                 None => (target.to_string(), None),
             };
-            Ok(Ok(Request {
-                method: method.to_string(),
-                path,
-                query,
-            }))
+            (method.to_string(), path, query)
         }
-        _ => Ok(Err(format!("malformed request line {line:?}"))),
+        _ => {
+            return Ok(Err(RequestError::Bad(format!(
+                "malformed request line {line:?}"
+            ))))
+        }
+    };
+    let mut content_length: u64 = 0;
+    let mut expect_continue = false;
+    for header in lines {
+        let Some((name, value)) = header.split_once(':') else {
+            continue;
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("Content-Length") {
+            content_length = match value.parse() {
+                Ok(n) => n,
+                Err(_) => {
+                    return Ok(Err(RequestError::Bad(format!(
+                        "unparseable Content-Length {value:?}"
+                    ))))
+                }
+            };
+        } else if name.eq_ignore_ascii_case("Expect") && value.eq_ignore_ascii_case("100-continue")
+        {
+            expect_continue = true;
+        }
     }
+    if content_length > max_body {
+        return Ok(Err(RequestError::TooLarge {
+            declared: content_length,
+            cap: max_body,
+        }));
+    }
+    if expect_continue && content_length > 0 {
+        // Clients (curl included) that sent Expect wait for this
+        // interim line before transmitting the body.
+        stream.write_all(b"HTTP/1.1 100 Continue\r\n\r\n")?;
+        stream.flush()?;
+    }
+    let mut body = buf[head_end..].to_vec();
+    while (body.len() as u64) < content_length {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Ok(Err(RequestError::Bad(format!(
+                "connection closed {} bytes into a {content_length}-byte body",
+                body.len()
+            ))));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length as usize);
+    Ok(Ok(Request {
+        method,
+        path,
+        query,
+        body,
+    }))
 }
 
 /// A response under construction.
@@ -145,19 +226,27 @@ mod tests {
     use std::net::{TcpListener, TcpStream};
 
     /// Runs the parser against raw bytes through a real socket pair.
-    fn parse_raw(raw: &[u8]) -> io::Result<Result<Request, String>> {
+    fn parse_raw_cap(raw: &[u8], max_body: u64) -> io::Result<Result<Request, RequestError>> {
         let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
         let addr = listener.local_addr().expect("addr");
         let raw = raw.to_vec();
         let writer = std::thread::spawn(move || {
             let mut s = TcpStream::connect(addr).expect("connect");
             s.write_all(&raw).expect("write");
-            s // keep alive until the parser is done
+            // Half-close: the parser must see EOF after these bytes
+            // (a truncated body would otherwise block forever), while
+            // the read half stays open for any interim response.
+            s.shutdown(std::net::Shutdown::Write).expect("half-close");
+            s
         });
         let (mut conn, _) = listener.accept().expect("accept");
-        let out = read_request(&mut conn);
+        let out = read_request(&mut conn, max_body);
         drop(writer.join().expect("writer"));
         out
+    }
+
+    fn parse_raw(raw: &[u8]) -> io::Result<Result<Request, RequestError>> {
+        parse_raw_cap(raw, 1 << 20)
     }
 
     #[test]
@@ -168,6 +257,7 @@ mod tests {
         assert_eq!(req.method, "GET");
         assert_eq!(req.path, "/tiles/eps/0/0/0.png");
         assert_eq!(req.query, None);
+        assert!(req.body.is_empty());
     }
 
     #[test]
@@ -177,6 +267,70 @@ mod tests {
             .expect("parse");
         assert_eq!(req.path, "/metrics");
         assert_eq!(req.query.as_deref(), Some("format=prometheus"));
+    }
+
+    #[test]
+    fn reads_a_post_body_to_its_declared_length() {
+        let req = parse_raw(
+            b"POST /datasets/d/points HTTP/1.1\r\nContent-Length: 11\r\n\r\nhello worldEXTRA",
+        )
+        .expect("io")
+        .expect("parse");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"hello world");
+    }
+
+    #[test]
+    fn rejects_oversized_bodies_without_reading_them() {
+        let err = parse_raw_cap(b"POST /d HTTP/1.1\r\nContent-Length: 1000\r\n\r\n", 64)
+            .expect("io")
+            .expect_err("should refuse");
+        assert_eq!(
+            err,
+            RequestError::TooLarge {
+                declared: 1000,
+                cap: 64
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_truncated_bodies_and_bad_lengths() {
+        assert!(matches!(
+            parse_raw(b"POST /d HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort")
+                .expect("io")
+                .expect_err("truncated body"),
+            RequestError::Bad(_)
+        ));
+        assert!(matches!(
+            parse_raw(b"POST /d HTTP/1.1\r\nContent-Length: nope\r\n\r\n")
+                .expect("io")
+                .expect_err("bad length"),
+            RequestError::Bad(_)
+        ));
+    }
+
+    #[test]
+    fn answers_100_continue_before_the_body() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            s.write_all(b"POST /d HTTP/1.1\r\nContent-Length: 2\r\nExpect: 100-continue\r\n\r\n")
+                .expect("head");
+            // A real client waits for the interim response here.
+            let mut interim = [0u8; 25];
+            io::Read::read_exact(&mut s, &mut interim).expect("interim");
+            assert!(interim.starts_with(b"HTTP/1.1 100 Continue"));
+            s.write_all(b"ok").expect("body");
+            s
+        });
+        let (mut conn, _) = listener.accept().expect("accept");
+        let req = read_request(&mut conn, 1 << 20)
+            .expect("io")
+            .expect("parse");
+        assert_eq!(req.body, b"ok");
+        drop(writer.join().expect("writer"));
     }
 
     #[test]

@@ -29,6 +29,7 @@
 pub mod cache;
 pub mod catalog;
 pub mod http;
+mod ingest;
 pub mod server;
 pub mod tile;
 

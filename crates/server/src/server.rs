@@ -50,10 +50,11 @@ use kdv_core::kernel::Kernel;
 use kdv_core::raster::RasterSpec;
 use kdv_geom::{Mbr, PointSet};
 use kdv_index::{KdTree, NodeId};
+use kdv_store::{FsyncPolicy, WalOp};
 use kdv_telemetry::json::{self, Value};
 use kdv_telemetry::{
-    DepthProfile, HttpCounters, LogHistogram, PromWriter, RenderMetrics, TagValue, Trace,
-    TraceBuilder, TraceMeta, TraceRing,
+    DepthProfile, HttpCounters, IngestCounters, LogHistogram, PromWriter, RenderMetrics, TagValue,
+    Trace, TraceBuilder, TraceMeta, TraceRing,
 };
 use kdv_viz::colormap::render_binary;
 use kdv_viz::render::BinaryGrid;
@@ -66,8 +67,9 @@ use kdv_viz::{png, ColorMap};
 
 use crate::cache::{TileCache, TileKey};
 use crate::catalog::{finish_entry, Catalog, DatasetEntry, DatasetSource, RenderSettings};
-use crate::http::{read_request, text_response, Request, Response};
-use crate::tile::{parse_tile_path, TileAddr, TileKind};
+use crate::http::{read_request, text_response, Request, RequestError, Response};
+use crate::ingest::{self, DeltaView, IngestState};
+use crate::tile::{parse_tile_path, valid_dataset_name, TileAddr, TileKind};
 
 /// Per-connection socket timeouts: a stuck client costs a worker at
 /// most this long.
@@ -138,6 +140,20 @@ pub struct ServerConfig {
     /// `/readyz` answers `503` until the sweep finishes. Off by
     /// default: datasets load lazily and `/readyz` is ready at bind.
     pub preload: bool,
+    /// WAL durability policy for streaming ingest: `Every` fsyncs per
+    /// acknowledged record, `Batch` group-commits (one fsync covers
+    /// every record appended before it started).
+    pub fsync: FsyncPolicy,
+    /// Largest accepted ingest request body in bytes; a declared
+    /// `Content-Length` over it is refused with `413` before the body
+    /// is read.
+    pub ingest_max_body: u64,
+    /// Memtable size (points) beyond which ingest writes are shed
+    /// with `429 Retry-After` until compaction catches up.
+    pub memtable_points: usize,
+    /// Memtable size (points) that triggers a background compaction
+    /// folding the log into a fresh snapshot.
+    pub compact_points: usize,
 }
 
 impl Default for ServerConfig {
@@ -163,6 +179,10 @@ impl Default for ServerConfig {
             slow_ms: 100,
             access_log: None,
             preload: false,
+            fsync: FsyncPolicy::Every,
+            ingest_max_body: 1 << 20,
+            memtable_points: 8192,
+            compact_points: 2048,
         }
     }
 }
@@ -238,8 +258,8 @@ type FrontierMap = HashMap<(u32, u8, u32, u32), Arc<Vec<NodeId>>>;
 /// The fixed span taxonomy, in pipeline order. Every traced request
 /// passes through a subset of these; `/metrics` exposes one latency
 /// histogram per stage under this exact name set.
-pub const STAGES: [&str; 7] = [
-    "queue", "parse", "cache", "catalog", "render", "encode", "write",
+pub const STAGES: [&str; 8] = [
+    "queue", "parse", "cache", "catalog", "ingest", "render", "encode", "write",
 ];
 
 /// Per-stage latency histograms (microseconds), fed from completed
@@ -331,6 +351,23 @@ struct Inner {
     /// `/readyz` gate: false while a `--preload` sweep is still
     /// materializing catalog datasets.
     ready: AtomicBool,
+    /// Per-dataset ingest pipelines (WAL + memtable), materialized on
+    /// the first write — or on the first read when a WAL file already
+    /// exists next to the snapshot (boot-time crash recovery).
+    ingest: Mutex<HashMap<usize, Arc<IngestState>>>,
+    /// The streaming-ingest ledger shared with `/metrics`.
+    ingest_counters: IngestCounters,
+    /// WAL durability policy.
+    fsync: FsyncPolicy,
+    /// Ingest body cap (bytes).
+    ingest_max_body: u64,
+    /// Memtable backpressure threshold (points).
+    memtable_points: usize,
+    /// Memtable compaction threshold (points).
+    compact_points: usize,
+    /// In-flight background compaction threads, joined at shutdown so
+    /// a stopped server leaves no half-written snapshot swap behind.
+    compactions: Mutex<Vec<JoinHandle<()>>>,
 }
 
 /// A running tile server (see [`TileServer::start`]).
@@ -453,6 +490,13 @@ impl TileServer {
             stages: Mutex::new(StageStats::new()),
             access_log,
             ready: AtomicBool::new(!config.preload),
+            ingest: Mutex::new(HashMap::new()),
+            ingest_counters: IngestCounters::default(),
+            fsync: config.fsync,
+            ingest_max_body: config.ingest_max_body,
+            memtable_points: config.memtable_points,
+            compact_points: config.compact_points,
+            compactions: Mutex::new(Vec::new()),
         });
 
         if config.preload {
@@ -547,6 +591,20 @@ impl TileServer {
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
+        // Compactions finish their snapshot swap before the process is
+        // considered stopped (tests copy the store directory right
+        // after `stop()` returns).
+        let handles: Vec<JoinHandle<()>> = {
+            let mut guard = self
+                .inner
+                .compactions
+                .lock()
+                .expect("compaction registry poisoned");
+            guard.drain(..).collect()
+        };
+        for h in handles {
+            let _ = h.join();
+        }
     }
 }
 
@@ -573,6 +631,18 @@ fn validate_config(config: &ServerConfig) -> Result<(), ServeError> {
         return Err(ServeError::Config(format!(
             "τ must be positive, got {}",
             config.tau
+        )));
+    }
+    if config.memtable_points == 0 || config.compact_points == 0 {
+        return Err(ServeError::Config(
+            "memtable and compaction thresholds must be at least 1 point".into(),
+        ));
+    }
+    if config.compact_points > config.memtable_points {
+        return Err(ServeError::Config(format!(
+            "compaction threshold ({}) must not exceed the memtable cap ({}) — writes \
+             would stall before compaction ever triggers",
+            config.compact_points, config.memtable_points
         )));
     }
     Ok(())
@@ -631,7 +701,7 @@ fn accept_loop(
     // queue and exit.
 }
 
-fn worker_loop(inner: &Inner, rx: &Mutex<Receiver<(TcpStream, Instant)>>) {
+fn worker_loop(inner: &Arc<Inner>, rx: &Mutex<Receiver<(TcpStream, Instant)>>) {
     loop {
         let stream = {
             let guard = rx.lock().expect("accept queue poisoned");
@@ -644,16 +714,43 @@ fn worker_loop(inner: &Inner, rx: &Mutex<Receiver<(TcpStream, Instant)>>) {
     }
 }
 
-fn handle_connection(inner: &Inner, mut stream: TcpStream, accepted: Instant) {
+fn handle_connection(inner: &Arc<Inner>, mut stream: TcpStream, accepted: Instant) {
     let mut rt = RequestTrace::new(inner, accepted);
     rt.tb.span_between("queue", accepted, Instant::now());
     let parse = rt.tb.begin("parse");
-    let request = match read_request(&mut stream) {
+    let request = match read_request(&mut stream, inner.ingest_max_body) {
         Ok(Ok(request)) => request,
-        Ok(Err(message)) => {
+        Ok(Err(reject)) => {
             rt.tb.end(parse);
-            inner.http.bad_request();
-            let response = stamp_trace(&rt, text_response(400, "Bad Request", &message));
+            let response = match reject {
+                RequestError::Bad(message) => {
+                    inner.http.bad_request();
+                    text_response(400, "Bad Request", &message)
+                }
+                RequestError::TooLarge { declared, cap } => {
+                    // Backpressure by refusal: the body was never read,
+                    // so the worker is free immediately. Drain what the
+                    // client already pipelined (bounded) so closing
+                    // with unread data doesn't RST away the response.
+                    inner.ingest_counters.reject_too_large();
+                    inner.http.bad_request();
+                    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+                    let mut scratch = [0u8; 4096];
+                    for _ in 0..16 {
+                        match io::Read::read(&mut stream, &mut scratch) {
+                            Ok(0) | Err(_) => break,
+                            Ok(_) => {}
+                        }
+                    }
+                    text_response(
+                        413,
+                        "Payload Too Large",
+                        &format!("declared body of {declared} bytes exceeds the {cap}-byte cap"),
+                    )
+                    .header("Retry-After", "1")
+                }
+            };
+            let response = stamp_trace(&rt, response);
             let _ = response.write_to(&mut stream);
             drop(stream);
             finish_trace(inner, rt, "", "", &response);
@@ -763,12 +860,15 @@ fn access_log_line(trace: &Trace) -> String {
     .render_compact()
 }
 
-fn route(inner: &Inner, request: &Request, rt: &mut RequestTrace) -> Response {
+fn route(inner: &Arc<Inner>, request: &Request, rt: &mut RequestTrace) -> Response {
+    let path = request.path.as_str();
+    if let Some(rest) = path.strip_prefix("/datasets/") {
+        return datasets_response(inner, request, rest, rt);
+    }
     if request.method != "GET" {
         inner.http.bad_request();
         return text_response(400, "Bad Request", "only GET is supported");
     }
-    let path = request.path.as_str();
     if let Some(rest) = path.strip_prefix("/debug/sleep/") {
         return debug_sleep(inner, rest);
     }
@@ -797,7 +897,10 @@ fn route(inner: &Inner, request: &Request, rt: &mut RequestTrace) -> Response {
                 inner.http.ok(false);
                 text_response(200, "OK", "ready")
             } else {
+                // Not-ready is transient by construction; tell load
+                // balancers when to look again.
                 text_response(503, "Service Unavailable", "preloading datasets")
+                    .header("Retry-After", "1")
             }
         }
         "/shutdown" => {
@@ -865,7 +968,7 @@ fn debug_sleep(inner: &Inner, ms: &str) -> Response {
     }
 }
 
-fn tile_response(inner: &Inner, path: &str, rt: &mut RequestTrace) -> Response {
+fn tile_response(inner: &Arc<Inner>, path: &str, rt: &mut RequestTrace) -> Response {
     let (dataset, addr) = match parse_tile_path(path, inner.max_z, inner.multi) {
         Ok(parsed) => parsed,
         Err(e) => {
@@ -901,6 +1004,16 @@ fn tile_response(inner: &Inner, path: &str, rt: &mut RequestTrace) -> Response {
         }
     };
     rt.tb.end(catalog_span);
+    // Streaming ingest: pick up this dataset's WAL-backed memtable if
+    // one exists on disk. GETs never *create* a WAL — read-only
+    // catalogs stay read-only.
+    let state = match ingest_state(inner, idx, &entry, false) {
+        Ok(state) => state,
+        Err(message) => {
+            inner.http.internal_error();
+            return text_response(500, "Internal Server Error", &message);
+        }
+    };
     let key = TileKey {
         dataset: idx as u32,
         addr,
@@ -927,27 +1040,472 @@ fn tile_response(inner: &Inner, path: &str, rt: &mut RequestTrace) -> Response {
             .body("image/png", data.as_ref().clone());
     }
     rt.cache = Some("miss");
-    match render_tile(inner, &entry, idx as u32, addr, rt) {
-        Ok((bytes, degraded_pixels)) => {
-            let data = Arc::new(bytes);
-            if degraded_pixels == 0 {
-                // Degraded tiles are *served* but never cached: they
-                // reflect transient overload, not the density field.
-                inner.cache.insert(key, Arc::clone(&data));
+    // Render against a consistent (base, memtable) pair. A compaction
+    // that lands mid-render swaps the base under us and rebuilds the
+    // memtable — detected by the generation counter bumping, in which
+    // case the torn tile is discarded and re-rendered against the new
+    // pair. Bounded retries: compactions are rare next to one render.
+    let mut entry = entry;
+    let mut attempts = 0;
+    loop {
+        let generation = state.as_ref().map(|s| s.generation());
+        let delta = state.as_ref().map(|s| s.delta());
+        let rendered = render_tile(
+            inner,
+            &entry,
+            idx as u32,
+            addr,
+            rt,
+            delta.as_ref().filter(|d| !d.is_empty()),
+        );
+        let (bytes, degraded_pixels) = match rendered {
+            Ok(out) => out,
+            Err(e) => {
+                inner.http.internal_error();
+                return text_response(500, "Internal Server Error", &e.to_string());
             }
-            inner.http.ok(degraded_pixels > 0);
-            rt.degraded = degraded_pixels > 0;
-            let mut response = Response::new(200, "OK").header("X-Kdv-Cache", "miss");
-            if degraded_pixels > 0 {
-                response = response.header("X-Kdv-Degraded", degraded_pixels.to_string());
+        };
+        if let (Some(s), Some(g)) = (&state, generation) {
+            if s.generation() != g && attempts < 3 {
+                attempts += 1;
+                entry = match inner.catalog.get(idx) {
+                    Ok(entry) => entry,
+                    Err(message) => {
+                        inner.http.internal_error();
+                        return text_response(500, "Internal Server Error", &message);
+                    }
+                };
+                continue;
             }
-            response.body("image/png", data.as_ref().clone())
         }
-        Err(e) => {
-            inner.http.internal_error();
-            text_response(500, "Internal Server Error", &e.to_string())
+        // A write landing mid-render may have already invalidated this
+        // tile's cache line before we insert: only cache tiles whose
+        // delta snapshot is still current (and whose base was stable).
+        let fresh = match (&state, &delta) {
+            (Some(s), Some(d)) => s.epoch() == d.epoch && Some(s.generation()) == generation,
+            _ => true,
+        };
+        let data = Arc::new(bytes);
+        if degraded_pixels == 0 && fresh {
+            // Degraded tiles are *served* but never cached: they
+            // reflect transient overload, not the density field.
+            inner.cache.insert(key, Arc::clone(&data));
+        }
+        inner.http.ok(degraded_pixels > 0);
+        rt.degraded = degraded_pixels > 0;
+        let mut response = Response::new(200, "OK").header("X-Kdv-Cache", "miss");
+        if degraded_pixels > 0 {
+            response = response.header("X-Kdv-Degraded", degraded_pixels.to_string());
+        }
+        return response.body("image/png", data.as_ref().clone());
+    }
+}
+
+/// Dispatches `/datasets/{name}/points` (POST: durable streaming
+/// ingest) and `/datasets/{name}/stats` (GET: ingest bookkeeping).
+fn datasets_response(
+    inner: &Arc<Inner>,
+    request: &Request,
+    rest: &str,
+    rt: &mut RequestTrace,
+) -> Response {
+    let Some((name, action)) = rest.split_once('/') else {
+        inner.http.not_found();
+        return text_response(404, "Not Found", "expected /datasets/{name}/{points|stats}");
+    };
+    if !valid_dataset_name(name) {
+        inner.http.bad_request();
+        return text_response(400, "Bad Request", "invalid dataset name");
+    }
+    let Some(idx) = inner.catalog.lookup(name) else {
+        inner.http.not_found();
+        return text_response(
+            404,
+            "Not Found",
+            &format!("no dataset {name:?} in this catalog"),
+        );
+    };
+    match (request.method.as_str(), action) {
+        ("POST", "points") => ingest_post(inner, request, idx, rt),
+        ("GET", "stats") => dataset_stats(inner, idx),
+        (_, "points") | (_, "stats") => {
+            inner.http.bad_request();
+            text_response(400, "Bad Request", "wrong method for this resource")
+        }
+        _ => {
+            inner.http.not_found();
+            text_response(404, "Not Found", "expected /datasets/{name}/{points|stats}")
         }
     }
+}
+
+/// A parsed `/points` body: weighted appends + tombstone coordinates.
+type IngestBatch = (Vec<[f64; 3]>, Vec<[f64; 2]>);
+
+/// Parses a `/points` body: `{"append": [[x, y, w], ...],
+/// "remove": [[x, y], ...]}`. At least one list must be non-empty and
+/// every number finite.
+fn parse_ingest_body(body: &[u8]) -> Result<IngestBatch, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not valid UTF-8".to_string())?;
+    let value = json::parse(text)?;
+    let floats = |v: &Value, arity: usize, what: &str| -> Result<Vec<f64>, String> {
+        let items = v
+            .as_arr()
+            .filter(|items| items.len() == arity)
+            .ok_or_else(|| format!("each {what:?} entry must be an array of {arity} numbers"))?;
+        items
+            .iter()
+            .map(|x| {
+                x.as_f64()
+                    .filter(|f| f.is_finite())
+                    .ok_or_else(|| format!("{what:?} entries must hold finite numbers"))
+            })
+            .collect()
+    };
+    let list = |key: &str| -> Result<Vec<Vec<f64>>, String> {
+        match value.get(key) {
+            None => Ok(Vec::new()),
+            Some(v) => v
+                .as_arr()
+                .ok_or_else(|| format!("{key:?} must be an array"))?
+                .iter()
+                .map(|item| floats(item, if key == "append" { 3 } else { 2 }, key))
+                .collect(),
+        }
+    };
+    let appends: Vec<[f64; 3]> = list("append")?
+        .into_iter()
+        .map(|f| [f[0], f[1], f[2]])
+        .collect();
+    let removes: Vec<[f64; 2]> = list("remove")?.into_iter().map(|f| [f[0], f[1]]).collect();
+    if appends.is_empty() && removes.is_empty() {
+        return Err("body must carry a non-empty \"append\" or \"remove\" list".to_string());
+    }
+    Ok((appends, removes))
+}
+
+/// The lazily materialized [`IngestState`] for slot `idx`. With
+/// `create` false (read paths) a state only materializes when a WAL
+/// file already exists on disk; POSTs pass true and create one.
+/// `Ok(None)` means the dataset has no ingest state and should not get
+/// one here (directory-backed slots stay read-only).
+fn ingest_state(
+    inner: &Inner,
+    idx: usize,
+    entry: &DatasetEntry,
+    create: bool,
+) -> Result<Option<Arc<IngestState>>, String> {
+    {
+        let registry = inner.ingest.lock().expect("ingest registry poisoned");
+        if let Some(state) = registry.get(&idx) {
+            return Ok(Some(Arc::clone(state)));
+        }
+    }
+    let Some(snapshot_path) = inner.catalog.snapshot_path(idx) else {
+        return Ok(None);
+    };
+    let wal_path = snapshot_path.with_extension(kdv_store::WAL_EXTENSION);
+    if !create && !wal_path.exists() {
+        return Ok(None);
+    }
+    let mut registry = inner.ingest.lock().expect("ingest registry poisoned");
+    // Double-checked: another worker may have opened the WAL while we
+    // probed the filesystem.
+    if let Some(state) = registry.get(&idx) {
+        return Ok(Some(Arc::clone(state)));
+    }
+    let state = Arc::new(IngestState::open(
+        wal_path,
+        entry,
+        inner.fsync,
+        &inner.ingest_counters,
+    )?);
+    registry.insert(idx, Arc::clone(&state));
+    Ok(Some(state))
+}
+
+/// `POST /datasets/{name}/points`: appends/tombstones points durably.
+/// The 200 is written only after the WAL record reached the
+/// configured durability point — an acked point survives any crash.
+fn ingest_post(
+    inner: &Arc<Inner>,
+    request: &Request,
+    idx: usize,
+    rt: &mut RequestTrace,
+) -> Response {
+    let catalog_span = rt.tb.begin("catalog");
+    let entry = match inner.catalog.get(idx) {
+        Ok(entry) => entry,
+        Err(message) => {
+            rt.tb.end(catalog_span);
+            inner.http.internal_error();
+            return text_response(500, "Internal Server Error", &message);
+        }
+    };
+    rt.tb.end(catalog_span);
+    let (appends, removes) = match parse_ingest_body(&request.body) {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            inner.http.bad_request();
+            return text_response(400, "Bad Request", &message);
+        }
+    };
+    let state = match ingest_state(inner, idx, &entry, true) {
+        Ok(Some(state)) => state,
+        Ok(None) => {
+            inner.http.bad_request();
+            return text_response(
+                400,
+                "Bad Request",
+                "streaming ingest needs a snapshot-backed dataset (.kdvs store)",
+            );
+        }
+        Err(message) => {
+            inner.http.internal_error();
+            return text_response(500, "Internal Server Error", &message);
+        }
+    };
+    let incoming = appends.len() + removes.len();
+    if state.point_count() + incoming > inner.memtable_points {
+        // The memtable is priced into every tile pixel; past the cap,
+        // writes wait for compaction rather than degrade reads.
+        inner.ingest_counters.reject_backpressure();
+        inner.http.rejected();
+        return text_response(
+            429,
+            "Too Many Requests",
+            "memtable is full; retry after compaction",
+        )
+        .header("Retry-After", "1");
+    }
+    let ingest_span = rt.tb.begin("ingest");
+    let base = entry.tree.points();
+    let mut committed = None;
+    for op in [
+        (!appends.is_empty()).then(|| WalOp::Append(appends.clone())),
+        (!removes.is_empty()).then(|| WalOp::Tombstone(removes.clone())),
+    ]
+    .into_iter()
+    .flatten()
+    {
+        let points = match &op {
+            WalOp::Append(p) => p.len() as u64,
+            WalOp::Tombstone(c) => c.len() as u64,
+        };
+        let is_append = matches!(op, WalOp::Append(_));
+        let started = Instant::now();
+        match state.commit(op, base, &inner.ingest_counters) {
+            Ok(done) => {
+                let ns = started.elapsed().as_nanos() as u64;
+                if is_append {
+                    inner.ingest_counters.append(points, ns);
+                } else {
+                    inner.ingest_counters.tombstone(points, ns);
+                }
+                committed = Some(done);
+            }
+            Err(e) => {
+                rt.tb.end(ingest_span);
+                inner.http.internal_error();
+                return text_response(
+                    500,
+                    "Internal Server Error",
+                    &format!("durable write failed: {e}"),
+                );
+            }
+        }
+    }
+    let committed = committed.expect("parse_ingest_body rejects empty bodies");
+    rt.tb.end_with(
+        ingest_span,
+        vec![
+            ("points", TagValue::U64(incoming as u64)),
+            ("seq", TagValue::U64(committed.seq)),
+        ],
+    );
+    // Drop exactly the cached tiles the write can alter: anything the
+    // dilated bounding rect of the touched coordinates reaches.
+    let mut invalidated = 0u64;
+    for op in [
+        (!appends.is_empty()).then_some(WalOp::Append(appends)),
+        (!removes.is_empty()).then_some(WalOp::Tombstone(removes)),
+    ]
+    .into_iter()
+    .flatten()
+    {
+        invalidated += invalidate_for_write(inner, idx, &entry, &op);
+    }
+    maybe_spawn_compaction(inner, idx, &state);
+    inner.http.ok(false);
+    let body = Value::obj(vec![
+        ("acked", Value::Bool(true)),
+        ("seq", json::num_u(committed.seq)),
+        ("wal_len", json::num_u(committed.wal_len)),
+        (
+            "fsync",
+            Value::Str(
+                match inner.fsync {
+                    FsyncPolicy::Every => "every",
+                    FsyncPolicy::Batch => "batch",
+                }
+                .to_string(),
+            ),
+        ),
+        ("invalidated_tiles", json::num_u(invalidated)),
+    ])
+    .render();
+    Response::new(200, "OK").body("application/json", body.into_bytes())
+}
+
+/// Drops cached tiles a write can alter. With a finite-support (or
+/// effectively finite) kernel only tiles whose window intersects the
+/// write's dilated bounding rect go; a kernel with no usable cutoff
+/// clears the whole dataset.
+fn invalidate_for_write(inner: &Inner, idx: usize, entry: &DatasetEntry, op: &WalOp) -> u64 {
+    let dataset = idx as u32;
+    let dropped = match (ingest::support_radius(entry.kernel), ingest::op_rect(op)) {
+        (Some(r), Some(rect)) => {
+            let rect = ingest::dilate_rect(rect, r);
+            inner.cache.invalidate_where(|k| {
+                k.dataset == dataset
+                    && ingest::tile_intersects(&entry.base, k.addr.z, k.addr.x, k.addr.y, &rect)
+            })
+        }
+        _ => inner.cache.invalidate_where(|k| k.dataset == dataset),
+    };
+    inner.ingest_counters.invalidated(dropped);
+    dropped
+}
+
+/// Kicks off a background compaction when the memtable crosses the
+/// configured threshold; at most one per dataset at a time.
+fn maybe_spawn_compaction(inner: &Arc<Inner>, idx: usize, state: &Arc<IngestState>) {
+    if state.point_count() < inner.compact_points {
+        return;
+    }
+    if state.compacting.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    let worker_inner = Arc::clone(inner);
+    let worker_state = Arc::clone(state);
+    let spawned = std::thread::Builder::new()
+        .name("kdv-serve-compact".to_string())
+        .spawn(move || {
+            run_compaction(&worker_inner, idx, &worker_state);
+            worker_state.compacting.store(false, Ordering::SeqCst);
+        });
+    match spawned {
+        Ok(handle) => {
+            let mut handles = inner
+                .compactions
+                .lock()
+                .expect("compaction registry poisoned");
+            handles.retain(|h| !h.is_finished());
+            handles.push(handle);
+        }
+        Err(_) => state.compacting.store(false, Ordering::SeqCst),
+    }
+}
+
+/// One compaction run: fold the memtable into a fresh snapshot, swap
+/// it into the catalog, and drop every cached artifact derived from
+/// the old base. Failure leaves the WAL intact — durability is never
+/// traded for compaction progress.
+fn run_compaction(inner: &Inner, idx: usize, state: &IngestState) {
+    let entry = match inner.catalog.get(idx) {
+        Ok(entry) => entry,
+        Err(message) => {
+            inner.ingest_counters.compaction_failure();
+            eprintln!("kdv-serve: compaction skipped: {message}");
+            return;
+        }
+    };
+    match ingest::compact(state, &inner.catalog, idx, &entry, &inner.ingest_counters) {
+        Ok(None) => {}
+        Ok(Some(_)) => {
+            let dataset = idx as u32;
+            // The base changed wholesale: every cached tile and every
+            // stored τ frontier for this dataset describes the old
+            // tree's summation order and node ids.
+            let dropped = inner.cache.invalidate_where(|k| k.dataset == dataset);
+            inner.ingest_counters.invalidated(dropped);
+            inner
+                .frontiers
+                .lock()
+                .expect("frontier map poisoned")
+                .retain(|k, _| k.0 != dataset);
+        }
+        Err(message) => {
+            inner.ingest_counters.compaction_failure();
+            eprintln!("kdv-serve: compaction failed: {message}");
+        }
+    }
+}
+
+/// `GET /datasets/{name}/stats`: point counts and, when streaming
+/// ingest is live for this dataset, the WAL/memtable watermarks the
+/// crash harness verifies recovery against.
+fn dataset_stats(inner: &Arc<Inner>, idx: usize) -> Response {
+    let entry = match inner.catalog.get(idx) {
+        Ok(entry) => entry,
+        Err(message) => {
+            inner.http.internal_error();
+            return text_response(500, "Internal Server Error", &message);
+        }
+    };
+    let state = match ingest_state(inner, idx, &entry, false) {
+        Ok(state) => state,
+        Err(message) => {
+            inner.http.internal_error();
+            return text_response(500, "Internal Server Error", &message);
+        }
+    };
+    let base_points = entry.tree.points().len() as u64;
+    let (points_live, ingest) = match &state {
+        Some(state) => {
+            let s = state.status();
+            let live = (base_points + s.appends as u64).saturating_sub(s.removed as u64);
+            let obj = Value::obj(vec![
+                ("enabled", Value::Bool(true)),
+                (
+                    "fsync",
+                    Value::Str(
+                        match inner.fsync {
+                            FsyncPolicy::Every => "every",
+                            FsyncPolicy::Batch => "batch",
+                        }
+                        .to_string(),
+                    ),
+                ),
+                ("last_seq", json::num_u(s.last_seq)),
+                ("durable_seq", json::num_u(s.durable_seq)),
+                ("wal_len", json::num_u(s.wal_len)),
+                ("ops", json::num_u(s.ops as u64)),
+                ("appends", json::num_u(s.appends as u64)),
+                ("removed", json::num_u(s.removed as u64)),
+                ("epoch", json::num_u(s.epoch)),
+                (
+                    "compacting",
+                    Value::Bool(state.compacting.load(Ordering::SeqCst)),
+                ),
+            ]);
+            (live, obj)
+        }
+        None => (
+            base_points,
+            Value::obj(vec![("enabled", Value::Bool(false))]),
+        ),
+    };
+    inner.http.ok(false);
+    let body = Value::obj(vec![
+        ("name", Value::Str(entry.name.clone())),
+        ("base_points", json::num_u(base_points)),
+        ("applied_seq", json::num_u(entry.applied_seq)),
+        ("points_live", json::num_u(points_live)),
+        ("ingest", ingest),
+    ])
+    .render();
+    Response::new(200, "OK").body("application/json", body.into_bytes())
 }
 
 /// Renders one tile under a fresh budget, merging its telemetry into
@@ -965,14 +1523,53 @@ fn render_tile(
     dataset: u32,
     addr: TileAddr,
     rt: &mut RequestTrace,
+    delta: Option<&DeltaView>,
 ) -> Result<(Vec<u8>, u64), KdvError> {
     let raster = pyramid_raster(&entry.base, addr.z, addr.x, addr.y)?;
     let mut metrics = RenderMetrics::new();
     let mut depth = DepthProfile::new();
     let traced = rt.tb.is_enabled();
     let render_span = rt.tb.begin("render");
-    let tile = match addr.kind {
-        TileKind::Eps => {
+    let tile = match (addr.kind, delta) {
+        // Memtable non-empty: the exact per-pixel delta path. τ box
+        // certification and frontier reuse are base-only machinery, so
+        // they are bypassed here (and never polluted with merged
+        // state — frontiers survive writes untouched).
+        (TileKind::Eps, Some(delta)) => {
+            let mut budget = inner.policy.issue();
+            let mut ev = RefineEvaluator::new(&entry.tree, entry.kernel, inner.family);
+            let (grid, degraded_pixels) = ingest::render_eps_delta(
+                &mut ev,
+                &raster,
+                inner.eps,
+                &mut budget,
+                delta,
+                entry.kernel,
+            )?;
+            TileImage {
+                image: inner
+                    .cm
+                    .render_scaled(&grid, entry.scale.0, entry.scale.1, true),
+                degraded_pixels,
+            }
+        }
+        (TileKind::Tau, Some(delta)) => {
+            let mut budget = inner.policy.issue();
+            let mut ev = RefineEvaluator::new(&entry.tree, entry.kernel, inner.family);
+            let (mask, degraded_pixels) = ingest::render_tau_delta(
+                &mut ev,
+                &raster,
+                inner.tau,
+                &mut budget,
+                delta,
+                entry.kernel,
+            )?;
+            TileImage {
+                image: render_binary(&mask),
+                degraded_pixels,
+            }
+        }
+        (TileKind::Eps, None) => {
             let mut budget = inner.policy.issue();
             let mut ev = RefineEvaluator::new(&entry.tree, entry.kernel, inner.family);
             if traced {
@@ -998,7 +1595,7 @@ fn render_tile(
                 )?
             }
         }
-        TileKind::Tau => render_tau_tile(
+        (TileKind::Tau, None) => render_tau_tile(
             inner,
             entry,
             dataset,
@@ -1126,7 +1723,7 @@ fn metrics_json(inner: &Inner) -> Value {
     };
     store_fields.push(("catalog".to_string(), inner.catalog.status_json()));
     Value::obj(vec![
-        ("schema", Value::Str("kdv-serve-metrics/3".to_string())),
+        ("schema", Value::Str("kdv-serve-metrics/4".to_string())),
         (
             "uptime_ms",
             json::num_u(inner.started.elapsed().as_millis() as u64),
@@ -1136,6 +1733,7 @@ fn metrics_json(inner: &Inner) -> Value {
         ("cache", Value::Obj(cache_fields)),
         ("render", render),
         ("store", Value::Obj(store_fields)),
+        ("ingest", inner.ingest_counters.snapshot().to_json()),
         ("trace", trace_json(inner)),
     ])
 }
@@ -1292,6 +1890,97 @@ fn metrics_prometheus(inner: &Inner) -> String {
         "kdv_store_build_seconds",
         "Wall time per from-source dataset build.",
         &store.build_ns,
+        1e-9,
+    );
+    let ingest = inner.ingest_counters.snapshot();
+    w.counter_family(
+        "kdv_ingest_records_total",
+        "Durable WAL records written, by operation.",
+        &[
+            ("op=\"append\"".to_string(), ingest.appends as f64),
+            ("op=\"tombstone\"".to_string(), ingest.tombstones as f64),
+        ],
+    );
+    w.counter_family(
+        "kdv_ingest_points_total",
+        "Points carried by durable WAL records, by operation.",
+        &[
+            ("op=\"append\"".to_string(), ingest.append_points as f64),
+            (
+                "op=\"tombstone\"".to_string(),
+                ingest.tombstone_points as f64,
+            ),
+        ],
+    );
+    w.counter(
+        "kdv_ingest_acks_total",
+        "Writes acknowledged after reaching the durability point.",
+        ingest.acks as f64,
+    );
+    w.counter_family(
+        "kdv_ingest_rejections_total",
+        "Ingest requests refused before any WAL write.",
+        &[
+            (
+                "reason=\"too_large\"".to_string(),
+                ingest.rejected_too_large as f64,
+            ),
+            (
+                "reason=\"backpressure\"".to_string(),
+                ingest.rejected_backpressure as f64,
+            ),
+        ],
+    );
+    w.counter(
+        "kdv_ingest_wal_bytes_total",
+        "WAL record bytes appended.",
+        ingest.wal_bytes as f64,
+    );
+    w.counter(
+        "kdv_ingest_fsyncs_total",
+        "WAL fsync calls issued.",
+        ingest.fsyncs as f64,
+    );
+    w.counter(
+        "kdv_ingest_compactions_total",
+        "Memtable-to-snapshot compactions completed.",
+        ingest.compactions as f64,
+    );
+    w.counter(
+        "kdv_ingest_compaction_failures_total",
+        "Compactions that failed and left the WAL intact.",
+        ingest.compaction_failures as f64,
+    );
+    w.counter(
+        "kdv_ingest_replays_total",
+        "Boot-time WAL replays.",
+        ingest.replays as f64,
+    );
+    w.counter(
+        "kdv_ingest_replayed_records_total",
+        "Records recovered by WAL replays.",
+        ingest.replayed_records as f64,
+    );
+    w.counter(
+        "kdv_ingest_torn_tails_total",
+        "Replays that truncated a torn WAL tail.",
+        ingest.torn_tails as f64,
+    );
+    w.counter(
+        "kdv_ingest_invalidated_tiles_total",
+        "Cached tiles dropped because a write could alter them.",
+        ingest.invalidated_tiles as f64,
+    );
+    w.histogram(
+        "kdv_ingest_ack_seconds",
+        "Wall time from WAL append to durable ack.",
+        &ingest.ack_ns,
+        1e-9,
+    );
+    w.histogram(
+        "kdv_ingest_compaction_seconds",
+        "Wall time per compaction.",
+        &ingest.compact_ns,
         1e-9,
     );
     {

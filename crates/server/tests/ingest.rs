@@ -1,0 +1,464 @@
+//! Streaming-ingest end-to-end: durable acks that survive a stop +
+//! restart bit-for-bit, MBR-scoped cache invalidation, body/memtable
+//! backpressure, compaction folding, and graceful shutdown under a
+//! write storm. The kill-anywhere crash harness (SIGKILL + WAL
+//! tampering) lives in the CLI crate where a real child process is
+//! available.
+
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use kdv_core::bandwidth::scott_gamma;
+use kdv_core::kernel::{Kernel, KernelType};
+use kdv_data::Dataset;
+use kdv_geom::PointSet;
+use kdv_index::KdTree;
+use kdv_server::{ServerConfig, TileServer};
+use kdv_store::{FsyncPolicy, SnapshotWriter};
+use kdv_telemetry::json::{self, Value};
+
+fn request(addr: SocketAddr, raw: String) -> (u16, Vec<(String, String)>, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    stream.write_all(raw.as_bytes()).expect("send request");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let split = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("response head");
+    let head = std::str::from_utf8(&raw[..split]).expect("head UTF-8");
+    let mut lines = head.split("\r\n");
+    let status: u16 = lines
+        .next()
+        .expect("status line")
+        .split(' ')
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let headers = lines
+        .map(|l| {
+            let (name, value) = l.split_once(':').expect("header");
+            (name.trim().to_ascii_lowercase(), value.trim().to_string())
+        })
+        .collect();
+    (status, headers, raw[split + 4..].to_vec())
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, Vec<(String, String)>, Vec<u8>) {
+    request(addr, format!("GET {path} HTTP/1.1\r\nHost: kdv\r\n\r\n"))
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, Vec<(String, String)>, Vec<u8>) {
+    request(
+        addr,
+        format!(
+            "POST {path} HTTP/1.1\r\nHost: kdv\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(n, _)| n == &name.to_ascii_lowercase())
+        .map(|(_, v)| v.as_str())
+}
+
+fn json_body(body: &[u8]) -> Value {
+    json::parse(std::str::from_utf8(body).expect("utf8")).expect("JSON body")
+}
+
+fn num(doc: &Value, key: &str) -> f64 {
+    doc.get(key)
+        .and_then(Value::as_f64)
+        .unwrap_or_else(|| panic!("numeric field {key:?} in {doc:?}"))
+}
+
+fn temp_store(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("kdv-ingest-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+fn crime_points() -> PointSet {
+    let mut points = Dataset::Crime.generate(2000, 7);
+    points.scale_weights(1.0 / points.len() as f64);
+    points
+}
+
+fn write_snapshot(dir: &Path, name: &str, points: &PointSet, kernel: Kernel) {
+    let tree = KdTree::build_default(points);
+    SnapshotWriter::new(&tree, kernel)
+        .write_to(dir.join(format!("{name}.kdvs")))
+        .expect("write snapshot");
+}
+
+fn config() -> ServerConfig {
+    ServerConfig {
+        tile_size: 32,
+        max_z: 2,
+        eps: 0.2,
+        tau: 1e-3,
+        workers: 4,
+        queue: 32,
+        allow_shutdown: true,
+        // Keep compaction out of tests that don't ask for it.
+        memtable_points: 8192,
+        compact_points: 8192,
+        ..ServerConfig::default()
+    }
+}
+
+fn stats(addr: SocketAddr, name: &str) -> Value {
+    let (status, _, body) = get(addr, &format!("/datasets/{name}/stats"));
+    assert_eq!(status, 200, "stats status");
+    json_body(&body)
+}
+
+fn ingest_field(doc: &Value, key: &str) -> f64 {
+    num(doc.get("ingest").expect("ingest block"), key)
+}
+
+/// The acked-write durability contract: every acknowledged point is
+/// present after a stop + restart, and the recovered server renders
+/// the *same bytes* as it did before going down.
+#[test]
+fn acked_writes_survive_restart_bit_for_bit() {
+    let dir = temp_store("durable");
+    let points = crime_points();
+    let kernel = Kernel::gaussian(scott_gamma(&points).gamma);
+    write_snapshot(&dir, "crime", &points, kernel);
+
+    let server = TileServer::start_with_store(config(), &dir).expect("start");
+    let addr = server.local_addr();
+
+    // A batch of heavy appends near existing mass plus one tombstone
+    // of a real base coordinate: both op kinds go through the WAL.
+    let anchor = points.point(10);
+    let victim = points.point(0);
+    let appends: Vec<String> = (0..5)
+        .map(|i| {
+            format!(
+                "[{},{},0.2]",
+                anchor[0] + 0.01 * i as f64,
+                anchor[1] + 0.01 * i as f64
+            )
+        })
+        .collect();
+    let body = format!(
+        "{{\"append\":[{}],\"remove\":[[{},{}]]}}",
+        appends.join(","),
+        victim[0],
+        victim[1]
+    );
+    let (status, _, resp) = post(addr, "/datasets/crime/points", &body);
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&resp));
+    let ack = json_body(&resp);
+    assert_eq!(ack.get("acked"), Some(&Value::Bool(true)));
+    assert_eq!(num(&ack, "seq"), 2.0, "append then tombstone");
+
+    let doc = stats(addr, "crime");
+    assert_eq!(num(&doc, "base_points"), 2000.0);
+    assert_eq!(ingest_field(&doc, "appends"), 5.0);
+    assert_eq!(ingest_field(&doc, "removed"), 1.0);
+    assert_eq!(ingest_field(&doc, "last_seq"), 2.0);
+    assert_eq!(ingest_field(&doc, "durable_seq"), 2.0);
+
+    let (status, _, before) = get(addr, "/tiles/crime/eps/0/0/0.png");
+    assert_eq!(status, 200);
+    server.stop();
+
+    // Same directory, fresh process state: the WAL replays.
+    let server = TileServer::start_with_store(config(), &dir).expect("restart");
+    let addr = server.local_addr();
+    let doc = stats(addr, "crime");
+    assert_eq!(ingest_field(&doc, "appends"), 5.0, "replayed appends");
+    assert_eq!(ingest_field(&doc, "removed"), 1.0, "replayed tombstone");
+    assert_eq!(ingest_field(&doc, "last_seq"), 2.0);
+    let (status, _, after) = get(addr, "/tiles/crime/eps/0/0/0.png");
+    assert_eq!(status, 200);
+    assert_eq!(before, after, "recovered render differs from pre-crash");
+
+    let (_, _, body) = get(addr, "/metrics");
+    let doc = json_body(&body);
+    let ingest = doc.get("ingest").expect("ingest metrics");
+    assert_eq!(num(ingest, "replays"), 1.0);
+    assert_eq!(num(ingest, "replayed_records"), 2.0);
+    server.stop();
+}
+
+/// Finite-support kernels invalidate only the tiles a write can
+/// reach: a far-away cached tile survives as a hit, the touched one
+/// is re-rendered.
+#[test]
+fn cache_invalidation_is_scoped_by_the_kernel_support() {
+    let dir = temp_store("invalidate");
+    // A uniform 20×20 grid over [0, 95]²; Epanechnikov with γ = 1 has
+    // support radius 1 — far smaller than a z=2 tile (~26 units).
+    let mut coords = Vec::new();
+    for i in 0..20 {
+        for j in 0..20 {
+            coords.push(5.0 * i as f64);
+            coords.push(5.0 * j as f64);
+        }
+    }
+    let n = coords.len() / 2;
+    let points = PointSet::from_vecs(2, coords, vec![1.0 / n as f64; n]);
+    write_snapshot(
+        &dir,
+        "grid",
+        &points,
+        Kernel::new(KernelType::Epanechnikov, 1.0),
+    );
+
+    let server = TileServer::start_with_store(config(), &dir).expect("start");
+    let addr = server.local_addr();
+
+    // Warm two opposite corners at z=2. Row 0 is the *top* (max y),
+    // so the low-x/low-y corner is tile (0, 3).
+    for path in ["/tiles/grid/eps/2/0/3.png", "/tiles/grid/eps/2/3/0.png"] {
+        let (status, _, _) = get(addr, path);
+        assert_eq!(status, 200, "{path}");
+    }
+    let (_, headers, _) = get(addr, "/tiles/grid/eps/2/3/0.png");
+    assert_eq!(header(&headers, "X-Kdv-Cache"), Some("hit"));
+
+    // Write near the low corner: only tile (0, 3) can change.
+    let (status, _, resp) = post(
+        addr,
+        "/datasets/grid/points",
+        "{\"append\":[[2.0,2.0,0.5]]}",
+    );
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&resp));
+    let ack = json_body(&resp);
+    assert!(
+        num(&ack, "invalidated_tiles") >= 1.0,
+        "the touched corner must be dropped"
+    );
+
+    let (_, headers, _) = get(addr, "/tiles/grid/eps/2/3/0.png");
+    assert_eq!(
+        header(&headers, "X-Kdv-Cache"),
+        Some("hit"),
+        "far corner is beyond the kernel support and must stay cached"
+    );
+    let (_, headers, _) = get(addr, "/tiles/grid/eps/2/0/3.png");
+    assert_eq!(
+        header(&headers, "X-Kdv-Cache"),
+        Some("miss"),
+        "touched corner must be re-rendered"
+    );
+    server.stop();
+}
+
+/// Backpressure fires *before* any WAL write: oversized bodies get
+/// 413, a full memtable gets 429, both with a Retry-After hint, and
+/// CSV-backed datasets refuse ingest outright.
+#[test]
+fn rejects_oversized_bodies_and_full_memtables_before_the_wal() {
+    let dir = temp_store("backpressure");
+    let points = crime_points();
+    write_snapshot(
+        &dir,
+        "crime",
+        &points,
+        Kernel::gaussian(scott_gamma(&points).gamma),
+    );
+    kdv_data::csv::save(&dir.join("raw.csv"), &points, false).expect("write csv");
+
+    let mut cfg = config();
+    cfg.ingest_max_body = 256;
+    cfg.memtable_points = 8;
+    cfg.compact_points = 8;
+    let server = TileServer::start_with_store(cfg, &dir).expect("start");
+    let addr = server.local_addr();
+
+    // Declared body over the cap: refused before the body is read.
+    let big = format!("{{\"append\":[{}]}}", vec!["[1.0,1.0,1.0]"; 40].join(","));
+    assert!(big.len() > 256);
+    let (status, headers, _) = post(addr, "/datasets/crime/points", &big);
+    assert_eq!(status, 413);
+    assert_eq!(header(&headers, "Retry-After"), Some("1"));
+
+    // Six points fit; six more would overflow the 8-point memtable.
+    let six = format!(
+        "{{\"append\":[{}]}}",
+        (0..6)
+            .map(|i| format!("[{}.0,1.0,0.1]", i))
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    let (status, _, resp) = post(addr, "/datasets/crime/points", &six);
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&resp));
+    let (status, headers, _) = post(addr, "/datasets/crime/points", &six);
+    assert_eq!(status, 429);
+    assert_eq!(header(&headers, "Retry-After"), Some("1"));
+
+    // Nothing past the first batch reached the WAL.
+    let doc = stats(addr, "crime");
+    assert_eq!(ingest_field(&doc, "appends"), 6.0);
+    assert_eq!(ingest_field(&doc, "last_seq"), 1.0);
+
+    // CSV-backed slots have no snapshot to compact into.
+    let (status, _, _) = post(addr, "/datasets/raw/points", "{\"append\":[[1.0,1.0,1.0]]}");
+    assert_eq!(status, 400);
+    // Unknown datasets and malformed bodies are refused too.
+    let (status, _, _) = post(
+        addr,
+        "/datasets/nope/points",
+        "{\"append\":[[1.0,1.0,1.0]]}",
+    );
+    assert_eq!(status, 404);
+    let (status, _, _) = post(addr, "/datasets/crime/points", "{\"append\":[[1.0]]}");
+    assert_eq!(status, 400);
+
+    let (_, _, body) = get(addr, "/metrics");
+    let ingest = json_body(&body);
+    let ingest = ingest.get("ingest").expect("ingest metrics");
+    assert_eq!(num(ingest, "rejected_too_large"), 1.0);
+    assert_eq!(num(ingest, "rejected_backpressure"), 1.0);
+    server.stop();
+}
+
+/// Compaction folds the memtable into a new snapshot: the WAL shrinks
+/// to nothing, the base grows, and a restart lands on the folded
+/// snapshot with an identical render.
+#[test]
+fn compaction_folds_the_memtable_and_survives_restart() {
+    let dir = temp_store("compact");
+    let points = crime_points();
+    write_snapshot(
+        &dir,
+        "crime",
+        &points,
+        Kernel::gaussian(scott_gamma(&points).gamma),
+    );
+
+    let mut cfg = config();
+    cfg.compact_points = 16;
+    let server = TileServer::start_with_store(cfg.clone(), &dir).expect("start");
+    let addr = server.local_addr();
+
+    let anchor = points.point(10);
+    let body = format!(
+        "{{\"append\":[{}]}}",
+        (0..20)
+            .map(|i| format!("[{},{},0.05]", anchor[0] + 0.02 * i as f64, anchor[1]))
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    let (status, _, resp) = post(addr, "/datasets/crime/points", &body);
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&resp));
+
+    // The 20-point batch crosses the 16-point threshold; wait for the
+    // background fold to land.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let folded = loop {
+        let doc = stats(addr, "crime");
+        if num(&doc, "applied_seq") >= 1.0 && ingest_field(&doc, "ops") == 0.0 {
+            break doc;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "compaction never landed: {doc:?}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    assert_eq!(num(&folded, "base_points"), 2020.0);
+    assert_eq!(ingest_field(&folded, "appends"), 0.0);
+
+    let (status, _, before) = get(addr, "/tiles/crime/eps/0/0/0.png");
+    assert_eq!(status, 200);
+    server.stop();
+
+    let server = TileServer::start_with_store(cfg, &dir).expect("restart");
+    let addr = server.local_addr();
+    let doc = stats(addr, "crime");
+    assert_eq!(num(&doc, "base_points"), 2020.0, "folded base persisted");
+    assert_eq!(ingest_field(&doc, "appends"), 0.0, "WAL was truncated");
+    let (status, _, after) = get(addr, "/tiles/crime/eps/0/0/0.png");
+    assert_eq!(status, 200);
+    assert_eq!(before, after, "folded render differs across restart");
+    server.stop();
+}
+
+/// Graceful shutdown under a write storm: every write acked before
+/// the stop is durable, and the server never acks a write it then
+/// loses. Batch fsync exercises the group-commit path under real
+/// concurrency.
+#[test]
+fn shutdown_under_load_keeps_every_acked_point() {
+    let dir = temp_store("shutdown");
+    let points = crime_points();
+    write_snapshot(
+        &dir,
+        "crime",
+        &points,
+        Kernel::gaussian(scott_gamma(&points).gamma),
+    );
+
+    let mut cfg = config();
+    cfg.fsync = FsyncPolicy::Batch;
+    let server = TileServer::start_with_store(cfg.clone(), &dir).expect("start");
+    let addr = server.local_addr();
+    let acked = Arc::new(AtomicUsize::new(0));
+    const WRITERS: usize = 4;
+
+    let mut handles = Vec::new();
+    for w in 0..WRITERS {
+        let acked = Arc::clone(&acked);
+        handles.push(std::thread::spawn(move || {
+            for i in 0..10_000usize {
+                let x = 10.0 + w as f64;
+                let body = format!("{{\"append\":[[{x},{}.0,0.001]]}}", i % 50);
+                let sent = format!(
+                    "POST /datasets/crime/points HTTP/1.1\r\nHost: kdv\r\n\
+                     Content-Length: {}\r\n\r\n{body}",
+                    body.len()
+                );
+                let Ok(mut stream) = TcpStream::connect(addr) else {
+                    break;
+                };
+                let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+                if stream.write_all(sent.as_bytes()).is_err() {
+                    break;
+                }
+                let mut raw = Vec::new();
+                if stream.read_to_end(&mut raw).is_err() || !raw.starts_with(b"HTTP/1.1 200") {
+                    break;
+                }
+                acked.fetch_add(1, Ordering::SeqCst);
+            }
+        }));
+    }
+    std::thread::sleep(Duration::from_millis(300));
+    server.stop();
+    for h in handles {
+        h.join().expect("writer thread");
+    }
+    let acked = acked.load(Ordering::SeqCst);
+    assert!(acked > 0, "no write ever succeeded");
+
+    let server = TileServer::start_with_store(cfg, &dir).expect("restart");
+    let doc = stats(server.local_addr(), "crime");
+    let recovered = ingest_field(&doc, "appends") as usize;
+    assert!(
+        recovered >= acked,
+        "acked {acked} appends but recovered only {recovered}"
+    );
+    assert!(
+        recovered <= acked + WRITERS,
+        "recovered {recovered} appends with only {acked} acked (+{WRITERS} possibly in flight)"
+    );
+    server.stop();
+}

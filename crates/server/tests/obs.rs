@@ -366,12 +366,13 @@ fn metrics_json_key_set_is_pinned() {
             "cache",
             "render",
             "store",
+            "ingest",
             "trace"
         ]
     );
     assert_eq!(
         doc.get("schema").and_then(Value::as_str),
-        Some("kdv-serve-metrics/3")
+        Some("kdv-serve-metrics/4")
     );
     assert_eq!(
         keys(doc.get("http").expect("http")),

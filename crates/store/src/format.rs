@@ -26,8 +26,10 @@ pub const MAGIC: [u8; 4] = *b"KDVS";
 pub const FORMAT_VERSION: u16 = 1;
 /// Flag bit: the optional CORE (coreset levels) section is present.
 pub const FLAG_CORESETS: u16 = 1 << 0;
+/// Flag bit: the optional INGS (ingest watermark) section is present.
+pub const FLAG_INGEST: u16 = 1 << 1;
 /// All flag bits this version defines.
-pub const KNOWN_FLAGS: u16 = FLAG_CORESETS;
+pub const KNOWN_FLAGS: u16 = FLAG_CORESETS | FLAG_INGEST;
 /// Fixed header size (before the section table).
 pub const HEADER_LEN: usize = 20;
 /// Size of one section-table entry.
@@ -50,6 +52,10 @@ pub mod section {
     pub const MOMT: [u8; 4] = *b"MOMT";
     /// Optional Z-order coreset levels (flag bit 0).
     pub const CORE: [u8; 4] = *b"CORE";
+    /// Optional ingest watermark (flag bit 1): the WAL sequence number
+    /// this snapshot has folded in. Recovery skips WAL records at or
+    /// below it, which is what makes compaction + crash idempotent.
+    pub const INGS: [u8; 4] = *b"INGS";
 }
 
 /// Human-readable name for a section id, if this version defines it.
@@ -60,6 +66,7 @@ pub fn section_name(id: [u8; 4]) -> Option<&'static str> {
         b"TOPO" => Some("TOPO"),
         b"MOMT" => Some("MOMT"),
         b"CORE" => Some("CORE"),
+        b"INGS" => Some("INGS"),
         _ => None,
     }
 }

@@ -29,9 +29,11 @@ pub mod crc32;
 pub mod error;
 pub mod format;
 pub mod reader;
+pub mod wal;
 pub mod writer;
 
 pub use error::StoreError;
 pub use format::{EXTENSION, FLAG_CORESETS, FORMAT_VERSION, MAGIC};
 pub use reader::{SectionInfo, Snapshot, SnapshotInfo, SnapshotMeta};
+pub use wal::{FsyncPolicy, WalOp, WalRecord, WalReplay, WalWriter, WAL_EXTENSION};
 pub use writer::SnapshotWriter;

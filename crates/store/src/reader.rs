@@ -13,8 +13,8 @@
 use crate::crc32::crc32;
 use crate::error::StoreError;
 use crate::format::{
-    kernel_from_code, section_name, split_from_code, Cursor, FLAG_CORESETS, FORMAT_VERSION,
-    HEADER_LEN, KNOWN_FLAGS, MAGIC, MAX_SECTIONS, SECTION_ENTRY_LEN,
+    kernel_from_code, section_name, split_from_code, Cursor, FLAG_CORESETS, FLAG_INGEST,
+    FORMAT_VERSION, HEADER_LEN, KNOWN_FLAGS, MAGIC, MAX_SECTIONS, SECTION_ENTRY_LEN,
 };
 use kdv_core::{Kernel, KernelType};
 use kdv_geom::{Mbr, PointSet};
@@ -55,6 +55,9 @@ pub struct Snapshot {
     pub kernel: Kernel,
     /// Optional Z-order coreset levels, largest first as written.
     pub coresets: Vec<PointSet>,
+    /// Highest WAL sequence number folded into this snapshot (0 when
+    /// the snapshot predates streaming ingest or never saw a WAL).
+    pub applied_seq: u64,
 }
 
 /// One row of [`SnapshotInfo::sections`].
@@ -402,6 +405,35 @@ fn decode_moments(payload: &[u8], meta: &SnapshotMeta) -> Result<Vec<NodeStats>,
     Ok(out)
 }
 
+/// Decodes the optional INGS section. The flag and the section must
+/// agree (either both present or both absent), and a zero watermark is
+/// rejected — the writer only emits the section for non-zero values.
+fn decode_applied_seq(flags: u16, sections: &[RawSection<'_>]) -> Result<u64, StoreError> {
+    let flagged = flags & FLAG_INGEST != 0;
+    let present = sections.iter().any(|s| s.name == "INGS");
+    if flagged != present {
+        return Err(StoreError::Malformed {
+            section: "INGS",
+            detail: format!(
+                "ingest flag ({flagged}) and INGS section presence ({present}) disagree"
+            ),
+        });
+    }
+    if !present {
+        return Ok(0);
+    }
+    let mut c = Cursor::new(find(sections, "INGS")?.payload, "INGS");
+    let seq = c.u64()?;
+    c.finish()?;
+    if seq == 0 {
+        return Err(StoreError::Malformed {
+            section: "INGS",
+            detail: "zero ingest watermark (the section is omitted instead)".to_string(),
+        });
+    }
+    Ok(seq)
+}
+
 fn decode_coresets(payload: &[u8], meta: &SnapshotMeta) -> Result<Vec<PointSet>, StoreError> {
     let d = meta.dim;
     let mut c = Cursor::new(payload, "CORE");
@@ -464,6 +496,7 @@ impl Snapshot {
         } else {
             Vec::new()
         };
+        let applied_seq = decode_applied_seq(flags, &sections)?;
         let nodes: Vec<Node> = topo
             .into_iter()
             .zip(stats)
@@ -498,6 +531,7 @@ impl Snapshot {
             tree,
             kernel,
             coresets,
+            applied_seq,
         })
     }
 

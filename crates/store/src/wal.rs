@@ -1,0 +1,605 @@
+//! Write-ahead log for streaming ingest.
+//!
+//! The WAL is the durability half of the mini-LSM the serving layer
+//! runs over KDVS snapshots: every accepted mutation (point appends or
+//! coordinate tombstones) is appended here *before* it is acknowledged,
+//! and a background compaction later folds the log into a fresh
+//! snapshot via [`crate::SnapshotWriter`]'s atomic tmp+rename path.
+//!
+//! Layout (all integers and floats little-endian):
+//!
+//! ```text
+//! header  magic "KDVW" · version u16 · flags u16            (8 bytes)
+//! record  payload_len u32 · crc32(payload) u32 · payload    (repeated)
+//! payload op u8 (1=append, 2=tombstone) · seq u64 ·
+//!         count u32 · count × point
+//!         point   append:    x f64 · y f64 · w f64
+//!                 tombstone: x f64 · y f64
+//! ```
+//!
+//! The contract mirrors the snapshot reader's: *no byte sequence ever
+//! panics the replayer*. A torn tail — the usual result of `kill -9`
+//! mid-append or of power loss — is detected by the length prefix and
+//! per-record CRC; replay returns every record before the first invalid
+//! byte and reports where the valid prefix ends so the writer can
+//! truncate the garbage before appending again. Corruption *inside* the
+//! valid region is indistinguishable from a torn tail by design: the
+//! log is a prefix-valid structure, and everything at or after the
+//! first bad byte is discarded.
+
+use crate::crc32::crc32;
+use crate::error::StoreError;
+use crate::format::{put_u16, put_u32, put_u64};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+/// The four magic bytes every WAL starts with.
+pub const WAL_MAGIC: [u8; 4] = *b"KDVW";
+/// WAL format version this crate reads and writes.
+pub const WAL_VERSION: u16 = 1;
+/// Fixed header size.
+pub const WAL_HEADER_LEN: u64 = 8;
+/// Conventional file extension (`<dataset>.wal`).
+pub const WAL_EXTENSION: &str = "wal";
+/// Per-record frame overhead (length prefix + CRC).
+pub const WAL_FRAME_LEN: u64 = 8;
+/// Hard cap on one record's payload — a batch this large should have
+/// been rejected by admission control long before it reached the log,
+/// so anything bigger is treated as corruption, not data.
+pub const MAX_RECORD_LEN: u32 = 64 << 20;
+
+/// One durable mutation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalRecord {
+    /// Monotone sequence number assigned at append time. Survives
+    /// replay so recovery can re-establish the counter.
+    pub seq: u64,
+    /// What the record does to the dataset.
+    pub op: WalOp,
+}
+
+/// The mutation a [`WalRecord`] carries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalOp {
+    /// Add weighted 2-D points: `[x, y, w]` each.
+    Append(Vec<[f64; 3]>),
+    /// Hide every point whose coordinates equal `[x, y]` exactly
+    /// (bit-for-bit `f64` comparison, matching the snapshot round-trip
+    /// guarantee).
+    Tombstone(Vec<[f64; 2]>),
+}
+
+impl WalRecord {
+    /// Serializes the record as one framed log entry.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(16);
+        match &self.op {
+            WalOp::Append(pts) => {
+                payload.push(1u8);
+                put_u64(&mut payload, self.seq);
+                put_u32(&mut payload, pts.len() as u32);
+                for p in pts {
+                    for v in p {
+                        payload.extend_from_slice(&v.to_le_bytes());
+                    }
+                }
+            }
+            WalOp::Tombstone(pts) => {
+                payload.push(2u8);
+                put_u64(&mut payload, self.seq);
+                put_u32(&mut payload, pts.len() as u32);
+                for p in pts {
+                    for v in p {
+                        payload.extend_from_slice(&v.to_le_bytes());
+                    }
+                }
+            }
+        }
+        let mut out = Vec::with_capacity(payload.len() + WAL_FRAME_LEN as usize);
+        put_u32(&mut out, payload.len() as u32);
+        put_u32(&mut out, crc32(&payload));
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Number of points the record touches.
+    pub fn point_count(&self) -> usize {
+        match &self.op {
+            WalOp::Append(p) => p.len(),
+            WalOp::Tombstone(p) => p.len(),
+        }
+    }
+}
+
+/// When an append becomes durable (and therefore ackable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fsync` after every record: lowest loss window, highest latency.
+    Every,
+    /// Group commit: records are batched and a single `fsync` covers
+    /// all of them. Callers must still wait for the sync covering their
+    /// record before acknowledging.
+    Batch,
+}
+
+impl FsyncPolicy {
+    /// Parses the CLI spelling (`every` | `batch`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "every" => Some(FsyncPolicy::Every),
+            "batch" => Some(FsyncPolicy::Batch),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FsyncPolicy::Every => "every",
+            FsyncPolicy::Batch => "batch",
+        }
+    }
+}
+
+fn io_err(op: &'static str, path: &Path, source: std::io::Error) -> StoreError {
+    StoreError::Io {
+        op,
+        path: path.display().to_string(),
+        source,
+    }
+}
+
+/// Flushes directory metadata so a just-renamed or just-created file
+/// survives power loss. On non-Unix targets this is a no-op (the
+/// serving stack targets Linux; tests on other hosts still pass).
+pub fn fsync_dir(dir: &Path) -> Result<(), StoreError> {
+    #[cfg(unix)]
+    {
+        let d = File::open(dir).map_err(|e| io_err("open directory", dir, e))?;
+        d.sync_all()
+            .map_err(|e| io_err("fsync directory", dir, e))?;
+    }
+    #[cfg(not(unix))]
+    let _ = dir;
+    Ok(())
+}
+
+/// Append-only writer half of the log.
+///
+/// The writer itself never fsyncs implicitly — [`WalWriter::append`]
+/// only buffers into the OS; callers decide when [`WalWriter::sync`]
+/// runs according to their [`FsyncPolicy`] and must not acknowledge a
+/// record until a sync at or past its end offset has returned.
+pub struct WalWriter {
+    file: File,
+    path: PathBuf,
+    len: u64,
+}
+
+impl WalWriter {
+    /// Creates (or truncates) the log at `path`, writes the header,
+    /// fsyncs it and the parent directory — after this returns the
+    /// empty log itself is durable.
+    pub fn create(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = File::create(&path).map_err(|e| io_err("create wal", &path, e))?;
+        let mut header = Vec::with_capacity(WAL_HEADER_LEN as usize);
+        header.extend_from_slice(&WAL_MAGIC);
+        put_u16(&mut header, WAL_VERSION);
+        put_u16(&mut header, 0);
+        file.write_all(&header)
+            .and_then(|()| file.sync_all())
+            .map_err(|e| io_err("write wal header", &path, e))?;
+        if let Some(dir) = path.parent() {
+            fsync_dir(dir)?;
+        }
+        Ok(Self {
+            file,
+            path,
+            len: WAL_HEADER_LEN,
+        })
+    }
+
+    /// Opens an existing log for appending, first truncating it to
+    /// `valid_len` (as reported by [`replay`]) so a torn tail is
+    /// physically removed before new records can land after it. A
+    /// prefix too short to hold even the header means nothing in the
+    /// file is trustworthy — the log is recreated from scratch.
+    pub fn open_at(path: impl AsRef<Path>, valid_len: u64) -> Result<Self, StoreError> {
+        if valid_len < WAL_HEADER_LEN {
+            return Self::create(path);
+        }
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&path)
+            .map_err(|e| io_err("open wal", &path, e))?;
+        file.set_len(valid_len)
+            .and_then(|()| file.sync_all())
+            .map_err(|e| io_err("truncate wal", &path, e))?;
+        let mut w = Self {
+            file,
+            path,
+            len: valid_len,
+        };
+        use std::io::Seek;
+        w.file
+            .seek(std::io::SeekFrom::End(0))
+            .map_err(|e| io_err("seek wal", &w.path, e))?;
+        Ok(w)
+    }
+
+    /// Appends one framed record and returns the log length after it —
+    /// the offset a covering [`WalWriter::sync`] must reach before the
+    /// record may be acknowledged. No fsync happens here.
+    pub fn append(&mut self, rec: &WalRecord) -> Result<u64, StoreError> {
+        let bytes = rec.to_bytes();
+        self.file
+            .write_all(&bytes)
+            .map_err(|e| io_err("append wal record", &self.path, e))?;
+        self.len += bytes.len() as u64;
+        Ok(self.len)
+    }
+
+    /// Forces everything appended so far to stable storage.
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        self.file
+            .sync_all()
+            .map_err(|e| io_err("fsync wal", &self.path, e))
+    }
+
+    /// A second handle to the same open file, for group commit: the
+    /// syncing thread fsyncs through the clone while appenders keep the
+    /// writer itself (both handles share one file description, so a
+    /// sync through either covers writes through both).
+    pub fn sync_handle(&self) -> Result<File, StoreError> {
+        self.file
+            .try_clone()
+            .map_err(|e| io_err("clone wal handle", &self.path, e))
+    }
+
+    /// Current log length in bytes (header included).
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the log holds no records yet.
+    pub fn is_empty(&self) -> bool {
+        self.len <= WAL_HEADER_LEN
+    }
+
+    /// The log's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// What [`replay`] recovered from a log file.
+#[derive(Debug)]
+pub struct WalReplay {
+    /// Every record in the valid prefix, in append order.
+    pub records: Vec<WalRecord>,
+    /// Byte length of the valid prefix. Pass to [`WalWriter::open_at`]
+    /// to drop anything after it before appending resumes.
+    pub valid_len: u64,
+    /// True when bytes existed past `valid_len` — a torn tail (crash
+    /// mid-append) or in-place corruption. Either way the tail was
+    /// never acknowledgeable and is safe to discard.
+    pub torn: bool,
+    /// Total file length as found on disk.
+    pub file_len: u64,
+}
+
+impl WalReplay {
+    /// An empty recovery result (no log on disk).
+    pub fn empty() -> Self {
+        Self {
+            records: Vec::new(),
+            valid_len: 0,
+            torn: false,
+            file_len: 0,
+        }
+    }
+
+    /// Highest sequence number seen, or 0 for an empty log.
+    pub fn last_seq(&self) -> u64 {
+        self.records.last().map(|r| r.seq).unwrap_or(0)
+    }
+}
+
+fn decode_payload(payload: &[u8]) -> Option<WalRecord> {
+    if payload.len() < 13 {
+        return None;
+    }
+    let op = payload[0];
+    let seq = u64::from_le_bytes(payload[1..9].try_into().unwrap());
+    let count = u32::from_le_bytes(payload[9..13].try_into().unwrap()) as usize;
+    let body = &payload[13..];
+    let stride = match op {
+        1 => 24,
+        2 => 16,
+        _ => return None,
+    };
+    if body.len() != count.checked_mul(stride)? {
+        return None;
+    }
+    let mut vals = Vec::with_capacity(count * stride / 8);
+    for chunk in body.chunks_exact(8) {
+        let v = f64::from_le_bytes(chunk.try_into().unwrap());
+        if !v.is_finite() {
+            return None;
+        }
+        vals.push(v);
+    }
+    let op = if op == 1 {
+        WalOp::Append(vals.chunks_exact(3).map(|c| [c[0], c[1], c[2]]).collect())
+    } else {
+        WalOp::Tombstone(vals.chunks_exact(2).map(|c| [c[0], c[1]]).collect())
+    };
+    Some(WalRecord { seq, op })
+}
+
+/// Replays a log from disk, tolerating any torn or hostile tail.
+///
+/// Returns `Err` only for filesystem failures; *content* problems are
+/// never errors — they terminate the valid prefix instead. A missing
+/// file replays as empty. A file whose header is damaged has an empty
+/// valid prefix: nothing in it can be trusted, and `valid_len` is 0 so
+/// the caller recreates the log from scratch.
+pub fn replay(path: impl AsRef<Path>) -> Result<WalReplay, StoreError> {
+    let path = path.as_ref();
+    let mut bytes = Vec::new();
+    match File::open(path) {
+        Ok(mut f) => {
+            f.read_to_end(&mut bytes)
+                .map_err(|e| io_err("read wal", path, e))?;
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(WalReplay::empty()),
+        Err(e) => return Err(io_err("open wal", path, e)),
+    }
+    Ok(replay_bytes(&bytes))
+}
+
+/// [`replay`] over an in-memory image (shared by tests and recovery).
+pub fn replay_bytes(bytes: &[u8]) -> WalReplay {
+    let file_len = bytes.len() as u64;
+    let hdr_ok = bytes.len() >= WAL_HEADER_LEN as usize
+        && bytes[..4] == WAL_MAGIC
+        && u16::from_le_bytes([bytes[4], bytes[5]]) == WAL_VERSION
+        && u16::from_le_bytes([bytes[6], bytes[7]]) == 0;
+    if !hdr_ok {
+        return WalReplay {
+            records: Vec::new(),
+            valid_len: 0,
+            torn: file_len > 0,
+            file_len,
+        };
+    }
+    let mut records = Vec::new();
+    let mut pos = WAL_HEADER_LEN as usize;
+    let mut last_seq = 0u64;
+    loop {
+        let rest = &bytes[pos..];
+        if rest.is_empty() {
+            return WalReplay {
+                records,
+                valid_len: pos as u64,
+                torn: false,
+                file_len,
+            };
+        }
+        let valid = (|| {
+            if rest.len() < 8 {
+                return None;
+            }
+            let len = u32::from_le_bytes(rest[..4].try_into().unwrap());
+            if len > MAX_RECORD_LEN {
+                return None;
+            }
+            let stored_crc = u32::from_le_bytes(rest[4..8].try_into().unwrap());
+            let payload = rest.get(8..8 + len as usize)?;
+            if crc32(payload) != stored_crc {
+                return None;
+            }
+            let rec = decode_payload(payload)?;
+            // Sequence numbers are assigned monotonically; a regression
+            // means the frame is stale garbage that happens to checksum.
+            if rec.seq <= last_seq {
+                return None;
+            }
+            Some((rec, 8 + len as usize))
+        })();
+        match valid {
+            Some((rec, consumed)) => {
+                last_seq = rec.seq;
+                records.push(rec);
+                pos += consumed;
+            }
+            None => {
+                return WalReplay {
+                    records,
+                    valid_len: pos as u64,
+                    torn: true,
+                    file_len,
+                };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("kdv-wal-{}-{}", std::process::id(), name));
+        p
+    }
+
+    fn sample_records() -> Vec<WalRecord> {
+        vec![
+            WalRecord {
+                seq: 1,
+                op: WalOp::Append(vec![[0.5, 0.5, 1.0], [0.25, 0.75, 2.0]]),
+            },
+            WalRecord {
+                seq: 2,
+                op: WalOp::Tombstone(vec![[0.5, 0.5]]),
+            },
+            WalRecord {
+                seq: 3,
+                op: WalOp::Append(vec![[0.1, 0.9, 0.5]]),
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trip_preserves_records_bit_for_bit() {
+        let path = temp_path("roundtrip.wal");
+        let mut w = WalWriter::create(&path).unwrap();
+        for r in sample_records() {
+            w.append(&r).unwrap();
+        }
+        w.sync().unwrap();
+        let replayed = replay(&path).unwrap();
+        assert_eq!(replayed.records, sample_records());
+        assert!(!replayed.torn);
+        assert_eq!(replayed.valid_len, replayed.file_len);
+        assert_eq!(replayed.last_seq(), 3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_replays_empty() {
+        let r = replay(temp_path("never-created.wal")).unwrap();
+        assert!(r.records.is_empty());
+        assert_eq!(r.valid_len, 0);
+        assert!(!r.torn);
+    }
+
+    #[test]
+    fn truncation_at_every_offset_keeps_exactly_the_full_records() {
+        let mut image = Vec::new();
+        image.extend_from_slice(&WAL_MAGIC);
+        put_u16(&mut image, WAL_VERSION);
+        put_u16(&mut image, 0);
+        let recs = sample_records();
+        let mut ends = vec![WAL_HEADER_LEN as usize];
+        for r in &recs {
+            image.extend_from_slice(&r.to_bytes());
+            ends.push(image.len());
+        }
+        for cut in 0..=image.len() {
+            let r = replay_bytes(&image[..cut]);
+            let expect_full = ends.iter().filter(|&&e| e <= cut).count().saturating_sub(1);
+            assert_eq!(
+                r.records.len(),
+                expect_full,
+                "cut at {cut} should keep {expect_full} records"
+            );
+            assert_eq!(r.records[..], recs[..expect_full]);
+            if cut < WAL_HEADER_LEN as usize {
+                assert_eq!(r.valid_len, 0);
+            } else {
+                assert_eq!(r.valid_len as usize, ends[expect_full]);
+            }
+            // An empty file is "no log yet", not a torn one.
+            assert_eq!(r.torn, cut != 0 && cut != ends[expect_full]);
+        }
+    }
+
+    #[test]
+    fn bit_flip_at_every_offset_never_panics_and_stops_before_the_flip() {
+        let mut image = Vec::new();
+        image.extend_from_slice(&WAL_MAGIC);
+        put_u16(&mut image, WAL_VERSION);
+        put_u16(&mut image, 0);
+        let recs = sample_records();
+        let mut ends = vec![WAL_HEADER_LEN as usize];
+        for r in &recs {
+            image.extend_from_slice(&r.to_bytes());
+            ends.push(image.len());
+        }
+        for off in 0..image.len() {
+            for bit in 0..8 {
+                let mut bad = image.clone();
+                bad[off] ^= 1 << bit;
+                let r = replay_bytes(&bad);
+                // Records wholly before the flipped byte must survive;
+                // the flipped record and everything after must not.
+                let intact = ends.iter().filter(|&&e| e <= off).count().saturating_sub(1);
+                assert!(
+                    r.records.len() <= recs.len(),
+                    "flip at {off}.{bit} invented records"
+                );
+                assert!(
+                    r.records.len() >= intact || r.valid_len == 0,
+                    "flip at {off}.{bit} lost intact prefix records"
+                );
+                for (i, rec) in r.records.iter().enumerate().take(intact) {
+                    assert_eq!(*rec, recs[i], "flip at {off}.{bit} corrupted record {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn open_at_truncates_torn_tail_and_appends_cleanly() {
+        let path = temp_path("reopen.wal");
+        let mut w = WalWriter::create(&path).unwrap();
+        let recs = sample_records();
+        w.append(&recs[0]).unwrap();
+        w.append(&recs[1]).unwrap();
+        w.sync().unwrap();
+        drop(w);
+        // Simulate a torn append: garbage tail.
+        {
+            use std::io::Write as _;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&[0x55; 7]).unwrap();
+        }
+        let r = replay(&path).unwrap();
+        assert_eq!(r.records.len(), 2);
+        assert!(r.torn);
+        let mut w = WalWriter::open_at(&path, r.valid_len).unwrap();
+        w.append(&recs[2]).unwrap();
+        w.sync().unwrap();
+        drop(w);
+        let r = replay(&path).unwrap();
+        assert_eq!(r.records, recs);
+        assert!(!r.torn);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stale_seq_frame_is_rejected() {
+        let mut image = Vec::new();
+        image.extend_from_slice(&WAL_MAGIC);
+        put_u16(&mut image, WAL_VERSION);
+        put_u16(&mut image, 0);
+        let a = WalRecord {
+            seq: 5,
+            op: WalOp::Append(vec![[0.0, 0.0, 1.0]]),
+        };
+        let b = WalRecord {
+            seq: 5,
+            op: WalOp::Append(vec![[1.0, 1.0, 1.0]]),
+        };
+        image.extend_from_slice(&a.to_bytes());
+        image.extend_from_slice(&b.to_bytes());
+        let r = replay_bytes(&image);
+        assert_eq!(r.records.len(), 1);
+        assert!(r.torn);
+    }
+
+    #[test]
+    fn fsync_policy_parses_cli_spellings() {
+        assert_eq!(FsyncPolicy::parse("every"), Some(FsyncPolicy::Every));
+        assert_eq!(FsyncPolicy::parse("batch"), Some(FsyncPolicy::Batch));
+        assert_eq!(FsyncPolicy::parse("nope"), None);
+        assert_eq!(FsyncPolicy::Every.as_str(), "every");
+    }
+}

@@ -9,8 +9,8 @@ use crate::crc32::crc32;
 use crate::error::StoreError;
 use crate::format::{kernel_code, split_code};
 use crate::format::{
-    put_f64, put_f64s, put_u16, put_u32, put_u64, section, FLAG_CORESETS, FORMAT_VERSION,
-    HEADER_LEN, MAGIC, SECTION_ENTRY_LEN,
+    put_f64, put_f64s, put_u16, put_u32, put_u64, section, FLAG_CORESETS, FLAG_INGEST,
+    FORMAT_VERSION, HEADER_LEN, MAGIC, SECTION_ENTRY_LEN,
 };
 use kdv_core::Kernel;
 use kdv_geom::PointSet;
@@ -36,6 +36,7 @@ pub struct SnapshotWriter<'a> {
     tree: &'a KdTree,
     kernel: Kernel,
     coresets: Vec<PointSet>,
+    applied_seq: u64,
 }
 
 impl<'a> SnapshotWriter<'a> {
@@ -45,7 +46,17 @@ impl<'a> SnapshotWriter<'a> {
             tree,
             kernel,
             coresets: Vec::new(),
+            applied_seq: 0,
         }
+    }
+
+    /// Records the WAL sequence number this snapshot has folded in
+    /// (written as the optional INGS section when non-zero). Recovery
+    /// skips WAL records at or below it, so a crash between publishing
+    /// a compacted snapshot and rotating its WAL never double-applies.
+    pub fn with_applied_seq(mut self, seq: u64) -> Self {
+        self.applied_seq = seq;
+        self
     }
 
     /// Attaches precomputed coreset levels (typically Z-order samples of
@@ -135,6 +146,12 @@ impl<'a> SnapshotWriter<'a> {
             sections.push((section::CORE, core));
             flags |= FLAG_CORESETS;
         }
+        if self.applied_seq > 0 {
+            let mut ings = Vec::with_capacity(8);
+            put_u64(&mut ings, self.applied_seq);
+            sections.push((section::INGS, ings));
+            flags |= FLAG_INGEST;
+        }
 
         // Assemble: header, table, header CRC, contiguous payloads.
         let table_end = HEADER_LEN + SECTION_ENTRY_LEN * sections.len();
@@ -188,6 +205,12 @@ impl<'a> SnapshotWriter<'a> {
             path: display,
             source: e,
         })?;
+        // The rename itself lives in directory metadata: without this
+        // fsync a power cut can roll the directory back to the old (or
+        // no) entry even though the file's bytes are on disk.
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            crate::wal::fsync_dir(dir)?;
+        }
         Ok(bytes.len() as u64)
     }
 }

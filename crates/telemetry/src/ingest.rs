@@ -1,0 +1,301 @@
+//! Streaming-ingest telemetry: WAL appends, acks, backpressure,
+//! compaction, and recovery.
+//!
+//! The durability contract (DESIGN.md §12) is only auditable if every
+//! step of it is counted: a point is *acked* exactly once its WAL
+//! record reaches the configured durability device, so `acks` versus
+//! `rejected_*` is the ingest success ledger, `wal_bytes` tracks how
+//! much history a crash would replay, and `replayed_records` after a
+//! boot says the recovery path actually ran. Same construction as the
+//! other serving counters ([`crate::serve`]): lock-free monotone
+//! atomics for the hot path, mutex-guarded [`LogHistogram`]s for the
+//! per-request ack latency and the rarer compaction/replay wall times.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::hist::LogHistogram;
+use crate::json::{self, Value};
+
+/// Telemetry for the WAL + memtable ingest pipeline.
+#[derive(Debug, Default)]
+pub struct IngestCounters {
+    appends: AtomicU64,
+    append_points: AtomicU64,
+    tombstones: AtomicU64,
+    tombstone_points: AtomicU64,
+    acks: AtomicU64,
+    rejected_too_large: AtomicU64,
+    rejected_backpressure: AtomicU64,
+    wal_bytes: AtomicU64,
+    fsyncs: AtomicU64,
+    compactions: AtomicU64,
+    compaction_failures: AtomicU64,
+    replays: AtomicU64,
+    replayed_records: AtomicU64,
+    torn_tails: AtomicU64,
+    invalidated_tiles: AtomicU64,
+    ack_ns: Mutex<LogHistogram>,
+    compact_ns: Mutex<LogHistogram>,
+    replay_ns: Mutex<LogHistogram>,
+}
+
+/// One reading of [`IngestCounters`], histograms included.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IngestSnapshot {
+    /// Append records durably written and acked.
+    pub appends: u64,
+    /// Points carried by those append records.
+    pub append_points: u64,
+    /// Tombstone records durably written and acked.
+    pub tombstones: u64,
+    /// Coordinates carried by those tombstone records.
+    pub tombstone_points: u64,
+    /// Writes acknowledged (each after its WAL record reached the
+    /// configured durability point).
+    pub acks: u64,
+    /// Requests refused with `413` (body over the configured cap).
+    pub rejected_too_large: u64,
+    /// Requests refused with `429` (memtable full; retry after
+    /// compaction catches up).
+    pub rejected_backpressure: u64,
+    /// WAL bytes appended (records only, not the header).
+    pub wal_bytes: u64,
+    /// WAL fsync calls issued (group commit batches several acks into
+    /// one of these under `--fsync batch`).
+    pub fsyncs: u64,
+    /// Memtable→snapshot compactions completed.
+    pub compactions: u64,
+    /// Compactions that failed and left the WAL untouched (every acked
+    /// record is still replayable).
+    pub compaction_failures: u64,
+    /// Boot-time WAL replays performed.
+    pub replays: u64,
+    /// Records recovered by those replays.
+    pub replayed_records: u64,
+    /// Replays that found a torn tail (records past the valid prefix
+    /// were discarded — unacked by construction).
+    pub torn_tails: u64,
+    /// Cached tiles invalidated because an ingest batch's dilated MBR
+    /// intersected them.
+    pub invalidated_tiles: u64,
+    /// Wall-clock nanoseconds from request receipt to durable ack.
+    pub ack_ns: LogHistogram,
+    /// Wall-clock nanoseconds per compaction.
+    pub compact_ns: LogHistogram,
+    /// Wall-clock nanoseconds per boot-time replay.
+    pub replay_ns: LogHistogram,
+}
+
+impl IngestCounters {
+    /// Records one durably-acked append of `points` points whose ack
+    /// took `ns` nanoseconds end to end.
+    pub fn append(&self, points: u64, ns: u64) {
+        self.appends.fetch_add(1, Ordering::Relaxed);
+        self.append_points.fetch_add(points, Ordering::Relaxed);
+        self.ack(ns);
+    }
+
+    /// Records one durably-acked tombstone of `points` coordinates.
+    pub fn tombstone(&self, points: u64, ns: u64) {
+        self.tombstones.fetch_add(1, Ordering::Relaxed);
+        self.tombstone_points.fetch_add(points, Ordering::Relaxed);
+        self.ack(ns);
+    }
+
+    fn ack(&self, ns: u64) {
+        self.acks.fetch_add(1, Ordering::Relaxed);
+        self.ack_ns.lock().expect("histogram lock").record(ns);
+    }
+
+    /// Records a `413` (body too large).
+    pub fn reject_too_large(&self) {
+        self.rejected_too_large.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a `429` (memtable backpressure).
+    pub fn reject_backpressure(&self) {
+        self.rejected_backpressure.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `bytes` of WAL record payload written.
+    pub fn wal_written(&self, bytes: u64) {
+        self.wal_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records one fsync of the WAL file.
+    pub fn fsync(&self) {
+        self.fsyncs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a completed compaction taking `ns` nanoseconds.
+    pub fn compaction(&self, ns: u64) {
+        self.compactions.fetch_add(1, Ordering::Relaxed);
+        self.compact_ns.lock().expect("histogram lock").record(ns);
+    }
+
+    /// Records a failed compaction (WAL left intact).
+    pub fn compaction_failure(&self) {
+        self.compaction_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one boot-time replay that recovered `records` records,
+    /// found (or not) a torn tail, and took `ns` nanoseconds.
+    pub fn replay(&self, records: u64, torn: bool, ns: u64) {
+        self.replays.fetch_add(1, Ordering::Relaxed);
+        self.replayed_records.fetch_add(records, Ordering::Relaxed);
+        if torn {
+            self.torn_tails.fetch_add(1, Ordering::Relaxed);
+        }
+        self.replay_ns.lock().expect("histogram lock").record(ns);
+    }
+
+    /// Adds `tiles` cache entries invalidated by an ingest batch.
+    pub fn invalidated(&self, tiles: u64) {
+        self.invalidated_tiles.fetch_add(tiles, Ordering::Relaxed);
+    }
+
+    /// Reads every counter and clones the histograms.
+    pub fn snapshot(&self) -> IngestSnapshot {
+        IngestSnapshot {
+            appends: self.appends.load(Ordering::Relaxed),
+            append_points: self.append_points.load(Ordering::Relaxed),
+            tombstones: self.tombstones.load(Ordering::Relaxed),
+            tombstone_points: self.tombstone_points.load(Ordering::Relaxed),
+            acks: self.acks.load(Ordering::Relaxed),
+            rejected_too_large: self.rejected_too_large.load(Ordering::Relaxed),
+            rejected_backpressure: self.rejected_backpressure.load(Ordering::Relaxed),
+            wal_bytes: self.wal_bytes.load(Ordering::Relaxed),
+            fsyncs: self.fsyncs.load(Ordering::Relaxed),
+            compactions: self.compactions.load(Ordering::Relaxed),
+            compaction_failures: self.compaction_failures.load(Ordering::Relaxed),
+            replays: self.replays.load(Ordering::Relaxed),
+            replayed_records: self.replayed_records.load(Ordering::Relaxed),
+            torn_tails: self.torn_tails.load(Ordering::Relaxed),
+            invalidated_tiles: self.invalidated_tiles.load(Ordering::Relaxed),
+            ack_ns: self.ack_ns.lock().expect("histogram lock").clone(),
+            compact_ns: self.compact_ns.lock().expect("histogram lock").clone(),
+            replay_ns: self.replay_ns.lock().expect("histogram lock").clone(),
+        }
+    }
+}
+
+impl IngestSnapshot {
+    /// JSON object with counters and histogram summaries.
+    pub fn to_json(&self) -> Value {
+        let hist_json = |h: &LogHistogram| {
+            Value::obj(vec![
+                ("count", json::num_u(h.count())),
+                ("mean", json::num_f(h.mean())),
+                ("p50_le", json::num_u(h.quantile_le(0.5))),
+                ("p99_le", json::num_u(h.quantile_le(0.99))),
+                ("max", json::num_u(h.max())),
+            ])
+        };
+        Value::obj(vec![
+            ("appends", json::num_u(self.appends)),
+            ("append_points", json::num_u(self.append_points)),
+            ("tombstones", json::num_u(self.tombstones)),
+            ("tombstone_points", json::num_u(self.tombstone_points)),
+            ("acks", json::num_u(self.acks)),
+            ("rejected_too_large", json::num_u(self.rejected_too_large)),
+            (
+                "rejected_backpressure",
+                json::num_u(self.rejected_backpressure),
+            ),
+            ("wal_bytes", json::num_u(self.wal_bytes)),
+            ("fsyncs", json::num_u(self.fsyncs)),
+            ("compactions", json::num_u(self.compactions)),
+            ("compaction_failures", json::num_u(self.compaction_failures)),
+            ("replays", json::num_u(self.replays)),
+            ("replayed_records", json::num_u(self.replayed_records)),
+            ("torn_tails", json::num_u(self.torn_tails)),
+            ("invalidated_tiles", json::num_u(self.invalidated_tiles)),
+            ("ack_ns", hist_json(&self.ack_ns)),
+            ("compact_ns", hist_json(&self.compact_ns)),
+            ("replay_ns", hist_json(&self.replay_ns)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let c = IngestCounters::default();
+        c.append(3, 1_000);
+        c.append(2, 2_000);
+        c.tombstone(1, 500);
+        c.reject_too_large();
+        c.reject_backpressure();
+        c.reject_backpressure();
+        c.wal_written(128);
+        c.fsync();
+        c.compaction(5_000_000);
+        c.compaction_failure();
+        c.replay(7, true, 40_000);
+        c.invalidated(12);
+        let s = c.snapshot();
+        assert_eq!(s.appends, 2);
+        assert_eq!(s.append_points, 5);
+        assert_eq!(s.tombstones, 1);
+        assert_eq!(s.tombstone_points, 1);
+        assert_eq!(s.acks, 3);
+        assert_eq!(s.rejected_too_large, 1);
+        assert_eq!(s.rejected_backpressure, 2);
+        assert_eq!(s.wal_bytes, 128);
+        assert_eq!(s.fsyncs, 1);
+        assert_eq!(s.compactions, 1);
+        assert_eq!(s.compaction_failures, 1);
+        assert_eq!(s.replays, 1);
+        assert_eq!(s.replayed_records, 7);
+        assert_eq!(s.torn_tails, 1);
+        assert_eq!(s.invalidated_tiles, 12);
+        assert_eq!(s.ack_ns.count(), 3);
+        assert_eq!(s.compact_ns.count(), 1);
+        assert_eq!(s.replay_ns.count(), 1);
+    }
+
+    #[test]
+    fn json_round_trips_through_the_parser() {
+        let c = IngestCounters::default();
+        c.append(4, 900);
+        c.replay(2, false, 100);
+        let doc = c.snapshot().to_json();
+        let back = crate::json::parse(&doc.render()).expect("parses");
+        assert_eq!(back.get("appends").and_then(Value::as_f64), Some(1.0));
+        assert_eq!(back.get("append_points").and_then(Value::as_f64), Some(4.0));
+        assert_eq!(back.get("torn_tails").and_then(Value::as_f64), Some(0.0));
+        assert!(back
+            .get("ack_ns")
+            .and_then(|h| h.get("p99_le"))
+            .and_then(Value::as_f64)
+            .is_some());
+    }
+
+    #[test]
+    fn concurrent_hammering_loses_nothing() {
+        let c = Arc::new(IngestCounters::default());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..2_000 {
+                    c.append(2, i + 1);
+                    c.wal_written(10);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("no panics");
+        }
+        let s = c.snapshot();
+        assert_eq!(s.appends, 8_000);
+        assert_eq!(s.append_points, 16_000);
+        assert_eq!(s.wal_bytes, 80_000);
+        assert_eq!(s.ack_ns.count(), 8_000);
+    }
+}

@@ -24,6 +24,9 @@
 //! * [`serve`] — lock-free cache and HTTP traffic counters for the
 //!   long-running tile server (`kdv-server`), scrape-friendly via the
 //!   same JSON writer,
+//! * [`ingest`] — the streaming-ingest ledger (WAL appends, durable
+//!   acks, backpressure rejections, compactions, boot-time replays)
+//!   backing the server's durability contract,
 //! * [`trace`] — end-to-end request tracing: named spans against one
 //!   monotonic origin, bounded rings of recent and slow traces, and a
 //!   per-depth refinement work profile teed off the same probe hooks,
@@ -42,6 +45,7 @@
 pub mod counters;
 pub mod fault;
 pub mod hist;
+pub mod ingest;
 pub mod json;
 pub mod metrics;
 pub mod prom;
@@ -52,6 +56,7 @@ pub mod trace;
 pub use counters::EventCounters;
 pub use fault::{FaultPlan, FaultProbe};
 pub use hist::LogHistogram;
+pub use ingest::{IngestCounters, IngestSnapshot};
 pub use metrics::{Checkpoint, RenderMetrics, RenderStatus};
 pub use prom::PromWriter;
 pub use serve::{CacheCounters, CacheSnapshot, HttpCounters, HttpSnapshot};

@@ -350,7 +350,10 @@ mod tests {
             }
             always_fails();
         });
-        let msg = *caught.unwrap_err().downcast::<String>().expect("string panic");
+        let msg = *caught
+            .unwrap_err()
+            .downcast::<String>()
+            .expect("string panic");
         assert!(msg.contains("always_fails"), "{msg}");
         assert!(msg.contains("x = "), "{msg}");
     }
