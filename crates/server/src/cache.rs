@@ -173,6 +173,23 @@ impl TileCache {
         true
     }
 
+    /// Removes one entry if present, returning whether it was there.
+    /// Used by a renderer cancelling its own just-inserted tile after
+    /// detecting that a concurrent write invalidated the region
+    /// between its freshness check and the insert.
+    pub fn remove(&self, key: &TileKey) -> bool {
+        let mut shard = self.shards[self.shard_index(key)]
+            .lock()
+            .expect("cache shard poisoned");
+        match shard.map.remove(key) {
+            Some(entry) => {
+                shard.bytes -= entry.data.len();
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Removes every entry whose key satisfies `pred`, returning how
     /// many were dropped. This is the ingest path's correctness hook:
     /// a cached tile whose pixels a new point could have changed must
@@ -329,6 +346,19 @@ mod tests {
         assert!(cache.get(&key(1, 0, 0)).is_none());
         assert!(cache.get(&key(0, 0, 0)).is_some());
         assert_eq!(cache.invalidate_where(|_| false), 0);
+        cache.assert_consistent();
+    }
+
+    #[test]
+    fn remove_drops_one_entry_and_keeps_accounting() {
+        let cache = TileCache::new(1 << 20, 4);
+        assert!(!cache.remove(&key(0, 0, 0)), "removing a miss is a no-op");
+        cache.insert(key(0, 0, 0), payload(100, 1));
+        cache.insert(key(0, 1, 0), payload(100, 2));
+        assert!(cache.remove(&key(0, 0, 0)));
+        assert!(cache.get(&key(0, 0, 0)).is_none());
+        assert!(cache.get(&key(0, 1, 0)).is_some());
+        assert_eq!(cache.bytes_used(), 100);
         cache.assert_consistent();
     }
 

@@ -187,6 +187,24 @@ struct WalState {
     syncing: bool,
 }
 
+/// Why a [`IngestState::commit`] produced no durable record.
+#[derive(Debug)]
+pub(crate) enum CommitError {
+    /// The tombstone would leave the logical dataset with zero live
+    /// points. An empty dataset has no buildable index and no render
+    /// window, so compaction could never fold it; the write is refused
+    /// instead (HTTP 400).
+    WouldEmpty,
+    /// The WAL append or sync failed.
+    Store(StoreError),
+}
+
+impl From<StoreError> for CommitError {
+    fn from(e: StoreError) -> Self {
+        CommitError::Store(e)
+    }
+}
+
 /// A durably committed write, ready to acknowledge.
 pub(crate) struct Committed {
     /// The record's sequence number.
@@ -214,10 +232,18 @@ pub(crate) struct IngestStatus {
 }
 
 /// Everything one dataset needs to accept durable writes. Lock order
-/// is `wal` before `mem`; `delta()` takes only `mem`.
+/// is `wal` before `mem` before `base`; `delta()` takes only `mem`.
 pub(crate) struct IngestState {
     mem: Mutex<Memtable>,
     wal: Mutex<WalState>,
+    /// The catalog entry the memtable's derived views were computed
+    /// against. Updated at the compaction swap point while both the
+    /// `wal` and `mem` locks are held, so a committer resolving the
+    /// base under the `mem` lock always sees a (base, memtable) pair
+    /// that is mutually consistent — a tombstone's hidden weight is
+    /// never computed against a base a concurrent compaction already
+    /// replaced.
+    base: Mutex<Arc<DatasetEntry>>,
     /// Signaled whenever `durable_seq` advances (group commit, WAL
     /// rotation) so batch-mode waiters can re-check.
     flushed: Condvar,
@@ -240,7 +266,7 @@ impl IngestState {
     /// nothing in it was ever acknowledged.
     pub(crate) fn open(
         wal_path: PathBuf,
-        entry: &DatasetEntry,
+        entry: &Arc<DatasetEntry>,
         fsync: FsyncPolicy,
         counters: &IngestCounters,
     ) -> Result<Self, String> {
@@ -277,6 +303,7 @@ impl IngestState {
         };
         Ok(Self {
             mem: Mutex::new(mem),
+            base: Mutex::new(Arc::clone(entry)),
             wal: Mutex::new(WalState {
                 writer,
                 next_seq,
@@ -295,6 +322,13 @@ impl IngestState {
     /// until the record is durable under the configured fsync policy.
     /// Only after this returns `Ok` may the write be acknowledged.
     ///
+    /// The base the op folds against is resolved *inside* the memtable
+    /// lock, never passed in: a compaction that published a new base
+    /// between the caller's admission checks and this commit updates
+    /// [`IngestState::base`] under the same lock, so a tombstone's
+    /// hidden weight is always computed against the base the memtable
+    /// currently describes.
+    ///
     /// The memtable is updated *before* the durability wait: dirty
     /// (unacked) reads are acceptable — a crash loses exactly the
     /// unacked tail, which no client was ever promised — and it keeps
@@ -302,10 +336,19 @@ impl IngestState {
     pub(crate) fn commit(
         &self,
         op: WalOp,
-        base: &PointSet,
         counters: &IngestCounters,
-    ) -> Result<Committed, StoreError> {
+    ) -> Result<Committed, CommitError> {
         let mut wal = self.wal.lock().expect("wal state poisoned");
+        // Race-free backstop for the server's admission-time check:
+        // commits are serialized by the wal lock, so two writers whose
+        // tombstones only *jointly* empty the dataset cannot both slip
+        // past (the second sees the first's tombstones in the
+        // memtable here and is refused before anything hits the WAL).
+        if let WalOp::Tombstone(coords) = &op {
+            if self.would_empty(&[], coords) {
+                return Err(CommitError::WouldEmpty);
+            }
+        }
         let seq = wal.next_seq;
         let rec = WalRecord { seq, op };
         let before = wal.writer.len();
@@ -314,7 +357,8 @@ impl IngestState {
         counters.wal_written(end - before);
         {
             let mut mem = self.mem.lock().expect("memtable poisoned");
-            mem.apply(&rec, base);
+            let base = Arc::clone(&self.base.lock().expect("base entry poisoned"));
+            mem.apply(&rec, base.tree.points());
         }
         match self.fsync {
             FsyncPolicy::Every => {
@@ -355,7 +399,7 @@ impl IngestState {
                         }
                         Err(e) => {
                             self.flushed.notify_all();
-                            return Err(e);
+                            return Err(e.into());
                         }
                     }
                 }
@@ -364,6 +408,49 @@ impl IngestState {
         Ok(Committed {
             seq,
             wal_len: wal.writer.len(),
+        })
+    }
+
+    /// The catalog entry the memtable currently folds against (see
+    /// [`IngestState::base`]).
+    pub(crate) fn base_entry(&self) -> Arc<DatasetEntry> {
+        Arc::clone(&self.base.lock().expect("base entry poisoned"))
+    }
+
+    /// True when committing `appends` then tombstoning `removes` would
+    /// leave the logical dataset (base + memtable) with zero live
+    /// points. The server refuses such batches at admission and
+    /// [`IngestState::commit`] re-checks under the wal lock — an empty
+    /// dataset could never compact (no index, no window), so the 429
+    /// path would wedge permanently once the memtable filled.
+    pub(crate) fn would_empty(&self, appends: &[[f64; 3]], removes: &[[f64; 2]]) -> bool {
+        if removes.is_empty() {
+            return false;
+        }
+        let key = |x: f64, y: f64| (x.to_bits(), y.to_bits());
+        let rkeys: HashSet<(u64, u64)> = removes.iter().map(|c| key(c[0], c[1])).collect();
+        // Any point surviving the batch keeps the dataset non-empty:
+        // a batch append not tombstoned by the batch itself, ...
+        if appends.iter().any(|p| !rkeys.contains(&key(p[0], p[1]))) {
+            return false;
+        }
+        let mem = self.mem.lock().expect("memtable poisoned");
+        // ... a live memtable append the batch does not tombstone, ...
+        if mem
+            .appends
+            .iter()
+            .any(|p| !rkeys.contains(&key(p[0], p[1])))
+        {
+            return false;
+        }
+        // ... or a base point neither already hidden nor tombstoned
+        // by the batch.
+        let base = Arc::clone(&self.base.lock().expect("base entry poisoned"));
+        let pts = base.tree.points();
+        (0..pts.len()).all(|i| {
+            let p = pts.point(i);
+            let k = key(p[0], p[1]);
+            mem.removed_keys.contains(&k) || rkeys.contains(&k)
         })
     }
 
@@ -422,10 +509,13 @@ pub(crate) fn compact(
     state: &IngestState,
     catalog: &Catalog,
     idx: usize,
-    entry: &DatasetEntry,
     counters: &IngestCounters,
 ) -> Result<Option<Arc<DatasetEntry>>, String> {
     let started = Instant::now();
+    // Fold against the base the memtable was built over (identical to
+    // the catalog's view — only compaction replaces entries, and at
+    // most one runs per dataset).
+    let entry = state.base_entry();
     let name = &entry.name;
     let (ops, upto) = {
         let mem = state.mem.lock().expect("memtable poisoned");
@@ -490,6 +580,7 @@ pub(crate) fn compact(
     wal.durable_seq = wal.next_seq - 1;
     mem.ops = remaining;
     let published = catalog.replace(idx, folded);
+    *state.base.lock().expect("base entry poisoned") = Arc::clone(&published);
     mem.rebuild(published.tree.points());
     mem.last_seq = mem.last_seq.max(upto);
     state.generation.fetch_add(1, Ordering::SeqCst);
@@ -664,6 +755,32 @@ pub(crate) fn render_tau_delta(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::catalog::RenderSettings;
+
+    /// A catalog + ingest state over a 3-point snapshot in a fresh
+    /// temp directory (caller removes the directory).
+    fn open_fixture(tag: &str) -> (PathBuf, Catalog, IngestState, IngestCounters) {
+        let dir =
+            std::env::temp_dir().join(format!("kdv-ingest-unit-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let points = base_set();
+        let tree = KdTree::build_default(&points);
+        SnapshotWriter::new(&tree, Kernel::gaussian(0.8))
+            .write_to(dir.join("unit.kdvs"))
+            .expect("snapshot");
+        let settings = RenderSettings {
+            tile_size: 16,
+            margin_frac: 0.05,
+            eps: 0.2,
+        };
+        let catalog = Catalog::open(&dir, 0, settings).expect("catalog");
+        let entry = catalog.get(0).expect("entry");
+        let counters = IngestCounters::default();
+        let state = IngestState::open(dir.join("unit.wal"), &entry, FsyncPolicy::Every, &counters)
+            .expect("ingest state");
+        (dir, catalog, state, counters)
+    }
 
     fn base_set() -> PointSet {
         // Two points sharing a coordinate (weights 0.2 + 0.3), one
@@ -772,6 +889,54 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn tombstones_resolve_against_the_base_a_compaction_just_published() {
+        let (dir, catalog, state, counters) = open_fixture("swap");
+        // Append a fresh point and fold it into a new base snapshot.
+        state
+            .commit(WalOp::Append(vec![[2.0, 2.0, 0.7]]), &counters)
+            .expect("append");
+        compact(&state, &catalog, 0, &counters)
+            .expect("compact")
+            .expect("memtable was non-empty");
+        assert_eq!(state.base_entry().tree.points().len(), 4);
+        // Tombstoning that point now must find its weight in the *new*
+        // base — the pre-compaction base never contained (2, 2), so a
+        // commit resolving a stale base would hide nothing and renders
+        // would silently under-subtract until the next compaction.
+        state
+            .commit(WalOp::Tombstone(vec![[2.0, 2.0]]), &counters)
+            .expect("tombstone");
+        let delta = state.delta();
+        assert!(delta.appends.is_empty());
+        assert_eq!(delta.removed, vec![[2.0, 2.0, 0.7]]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn commits_that_would_empty_the_dataset_are_refused() {
+        let (dir, _catalog, state, counters) = open_fixture("empty");
+        // The base holds coordinates (1,1) and (4,5).
+        assert!(state.would_empty(&[], &[[1.0, 1.0], [4.0, 5.0]]));
+        assert!(!state.would_empty(&[], &[[1.0, 1.0]]));
+        // A batch append that survives its own removes keeps the
+        // dataset alive; one tombstoned by the same batch does not.
+        assert!(!state.would_empty(&[[9.0, 9.0, 1.0]], &[[1.0, 1.0], [4.0, 5.0]]));
+        assert!(state.would_empty(&[[9.0, 9.0, 1.0]], &[[9.0, 9.0], [1.0, 1.0], [4.0, 5.0]]));
+        // The commit-time backstop refuses the final tombstone even
+        // when the emptying happens incrementally.
+        state
+            .commit(WalOp::Tombstone(vec![[1.0, 1.0]]), &counters)
+            .expect("partial tombstone is fine");
+        let refused = state.commit(WalOp::Tombstone(vec![[4.0, 5.0]]), &counters);
+        assert!(matches!(refused, Err(CommitError::WouldEmpty)));
+        // Nothing from the refused op reached the WAL or the memtable.
+        let status = state.status();
+        assert_eq!(status.last_seq, 1);
+        assert_eq!(status.removed, 1);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

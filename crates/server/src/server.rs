@@ -68,7 +68,7 @@ use kdv_viz::{png, ColorMap};
 use crate::cache::{TileCache, TileKey};
 use crate::catalog::{finish_entry, Catalog, DatasetEntry, DatasetSource, RenderSettings};
 use crate::http::{read_request, text_response, Request, RequestError, Response};
-use crate::ingest::{self, DeltaView, IngestState};
+use crate::ingest::{self, CommitError, DeltaView, IngestState};
 use crate::tile::{parse_tile_path, valid_dataset_name, TileAddr, TileKind};
 
 /// Per-connection socket timeouts: a stuck client costs a worker at
@@ -732,8 +732,11 @@ fn handle_connection(inner: &Arc<Inner>, mut stream: TcpStream, accepted: Instan
                     // so the worker is free immediately. Drain what the
                     // client already pipelined (bounded) so closing
                     // with unread data doesn't RST away the response.
+                    // Counted as a shed/rejection (like the 429 paths),
+                    // not a 400: /metrics should separate client bugs
+                    // from backpressure.
                     inner.ingest_counters.reject_too_large();
-                    inner.http.bad_request();
+                    inner.http.rejected();
                     let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
                     let mut scratch = [0u8; 4096];
                     for _ in 0..16 {
@@ -1090,6 +1093,19 @@ fn tile_response(inner: &Arc<Inner>, path: &str, rt: &mut RequestTrace) -> Respo
             // Degraded tiles are *served* but never cached: they
             // reflect transient overload, not the density field.
             inner.cache.insert(key, Arc::clone(&data));
+            // A write can commit (bumping the epoch) and run its
+            // invalidation sweep entirely between the freshness check
+            // above and the insert — the sweep misses an entry that
+            // is not there yet. Re-check after the insert: if the
+            // world moved on, pull the tile ourselves. Writers bump
+            // before sweeping, so one side always sees the other.
+            let still_fresh = match (&state, &delta) {
+                (Some(s), Some(d)) => s.epoch() == d.epoch && Some(s.generation()) == generation,
+                _ => true,
+            };
+            if !still_fresh {
+                inner.cache.remove(&key);
+            }
         }
         inner.http.ok(degraded_pixels > 0);
         rt.degraded = degraded_pixels > 0;
@@ -1143,8 +1159,10 @@ fn datasets_response(
 type IngestBatch = (Vec<[f64; 3]>, Vec<[f64; 2]>);
 
 /// Parses a `/points` body: `{"append": [[x, y, w], ...],
-/// "remove": [[x, y], ...]}`. At least one list must be non-empty and
-/// every number finite.
+/// "remove": [[x, y], ...]}`. At least one list must be non-empty,
+/// every number finite, and every append weight strictly positive —
+/// a negative weight would panic `PointSet::from_vecs` at compaction
+/// time, long after the write was durably acknowledged.
 fn parse_ingest_body(body: &[u8]) -> Result<IngestBatch, String> {
     let text = std::str::from_utf8(body).map_err(|_| "body is not valid UTF-8".to_string())?;
     let value = json::parse(text)?;
@@ -1177,6 +1195,9 @@ fn parse_ingest_body(body: &[u8]) -> Result<IngestBatch, String> {
         .into_iter()
         .map(|f| [f[0], f[1], f[2]])
         .collect();
+    if appends.iter().any(|p| p[2] <= 0.0) {
+        return Err("\"append\" weights must be > 0".to_string());
+    }
     let removes: Vec<[f64; 2]> = list("remove")?.into_iter().map(|f| [f[0], f[1]]).collect();
     if appends.is_empty() && removes.is_empty() {
         return Err("body must carry a non-empty \"append\" or \"remove\" list".to_string());
@@ -1192,7 +1213,7 @@ fn parse_ingest_body(body: &[u8]) -> Result<IngestBatch, String> {
 fn ingest_state(
     inner: &Inner,
     idx: usize,
-    entry: &DatasetEntry,
+    entry: &Arc<DatasetEntry>,
     create: bool,
 ) -> Result<Option<Arc<IngestState>>, String> {
     {
@@ -1265,6 +1286,19 @@ fn ingest_post(
             return text_response(500, "Internal Server Error", &message);
         }
     };
+    // A batch that would tombstone every remaining point is refused
+    // up front: an empty dataset can never compact, so accepting it
+    // would wedge the dataset behind permanent 429s. (Checked again
+    // race-free inside commit; this early check keeps the common case
+    // all-or-nothing.)
+    if state.would_empty(&appends, &removes) {
+        inner.http.bad_request();
+        return text_response(
+            400,
+            "Bad Request",
+            "batch would tombstone every remaining point; a dataset cannot be emptied",
+        );
+    }
     let incoming = appends.len() + removes.len();
     if state.point_count() + incoming > inner.memtable_points {
         // The memtable is priced into every tile pixel; past the cap,
@@ -1279,7 +1313,6 @@ fn ingest_post(
         .header("Retry-After", "1");
     }
     let ingest_span = rt.tb.begin("ingest");
-    let base = entry.tree.points();
     let mut committed = None;
     for op in [
         (!appends.is_empty()).then(|| WalOp::Append(appends.clone())),
@@ -1294,7 +1327,7 @@ fn ingest_post(
         };
         let is_append = matches!(op, WalOp::Append(_));
         let started = Instant::now();
-        match state.commit(op, base, &inner.ingest_counters) {
+        match state.commit(op, &inner.ingest_counters) {
             Ok(done) => {
                 let ns = started.elapsed().as_nanos() as u64;
                 if is_append {
@@ -1304,7 +1337,19 @@ fn ingest_post(
                 }
                 committed = Some(done);
             }
-            Err(e) => {
+            Err(CommitError::WouldEmpty) => {
+                // A concurrent writer emptied the rest between our
+                // admission check and this commit. Any appends in this
+                // batch were already applied (and stay durable).
+                rt.tb.end(ingest_span);
+                inner.http.bad_request();
+                return text_response(
+                    400,
+                    "Bad Request",
+                    "remove rejected: it would tombstone every remaining point",
+                );
+            }
+            Err(CommitError::Store(e)) => {
                 rt.tb.end(ingest_span);
                 inner.http.internal_error();
                 return text_response(
@@ -1391,8 +1436,18 @@ fn maybe_spawn_compaction(inner: &Arc<Inner>, idx: usize, state: &Arc<IngestStat
     let spawned = std::thread::Builder::new()
         .name("kdv-serve-compact".to_string())
         .spawn(move || {
+            // Reset via a drop guard: if compaction panics, unwinding
+            // must still clear the flag — a stuck `compacting` would
+            // silently disable compaction for this dataset forever
+            // (and, once the memtable filled, reject every write).
+            struct ClearCompacting(Arc<IngestState>);
+            impl Drop for ClearCompacting {
+                fn drop(&mut self) {
+                    self.0.compacting.store(false, Ordering::SeqCst);
+                }
+            }
+            let _clear = ClearCompacting(Arc::clone(&worker_state));
             run_compaction(&worker_inner, idx, &worker_state);
-            worker_state.compacting.store(false, Ordering::SeqCst);
         });
     match spawned {
         Ok(handle) => {
@@ -1412,15 +1467,7 @@ fn maybe_spawn_compaction(inner: &Arc<Inner>, idx: usize, state: &Arc<IngestStat
 /// the old base. Failure leaves the WAL intact — durability is never
 /// traded for compaction progress.
 fn run_compaction(inner: &Inner, idx: usize, state: &IngestState) {
-    let entry = match inner.catalog.get(idx) {
-        Ok(entry) => entry,
-        Err(message) => {
-            inner.ingest_counters.compaction_failure();
-            eprintln!("kdv-serve: compaction skipped: {message}");
-            return;
-        }
-    };
-    match ingest::compact(state, &inner.catalog, idx, &entry, &inner.ingest_counters) {
+    match ingest::compact(state, &inner.catalog, idx, &inner.ingest_counters) {
         Ok(None) => {}
         Ok(Some(_)) => {
             let dataset = idx as u32;

@@ -330,6 +330,65 @@ fn rejects_oversized_bodies_and_full_memtables_before_the_wal() {
     server.stop();
 }
 
+/// Writes that could never compact are refused before anything is
+/// acknowledged: non-positive append weights (the merged point set
+/// asserts weights ≥ 0 at fold time, long after the ack) and
+/// tombstone batches that would empty the dataset (an empty dataset
+/// has no buildable index, so compaction would fail on every trigger
+/// and the memtable could never drain).
+#[test]
+fn rejects_poison_weights_and_emptying_tombstones() {
+    let dir = temp_store("poison");
+    let points = PointSet::from_vecs(2, vec![0.0, 0.0, 8.0, 8.0], vec![0.5, 0.5]);
+    write_snapshot(
+        &dir,
+        "tiny",
+        &points,
+        Kernel::new(KernelType::Epanechnikov, 1.0),
+    );
+    let server = TileServer::start_with_store(config(), &dir).expect("start");
+    let addr = server.local_addr();
+
+    for bad in [
+        "{\"append\":[[1.0,1.0,-1.0]]}",
+        "{\"append\":[[1.0,1.0,0.0]]}",
+    ] {
+        let (status, _, resp) = post(addr, "/datasets/tiny/points", bad);
+        assert_eq!(status, 400, "{bad}: {}", String::from_utf8_lossy(&resp));
+    }
+
+    // Tombstoning every point at once is refused...
+    let (status, _, resp) = post(
+        addr,
+        "/datasets/tiny/points",
+        "{\"remove\":[[0.0,0.0],[8.0,8.0]]}",
+    );
+    assert_eq!(status, 400, "{}", String::from_utf8_lossy(&resp));
+    // ...and so is finishing the job incrementally.
+    let (status, _, resp) = post(addr, "/datasets/tiny/points", "{\"remove\":[[0.0,0.0]]}");
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&resp));
+    let ack = json_body(&resp);
+    assert_eq!(num(&ack, "seq"), 1.0, "rejected writes consumed no seq");
+    let (status, _, _) = post(addr, "/datasets/tiny/points", "{\"remove\":[[8.0,8.0]]}");
+    assert_eq!(status, 400);
+    // A batch whose appends outlive its removes keeps the dataset
+    // alive and is accepted.
+    let (status, _, resp) = post(
+        addr,
+        "/datasets/tiny/points",
+        "{\"append\":[[4.0,4.0,0.5]],\"remove\":[[8.0,8.0]]}",
+    );
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&resp));
+
+    let doc = stats(addr, "tiny");
+    assert_eq!(
+        num(&doc, "points_live"),
+        1.0,
+        "one base point survives + one append - one removed"
+    );
+    server.stop();
+}
+
 /// Compaction folds the memtable into a new snapshot: the WAL shrinks
 /// to nothing, the base grows, and a restart lands on the folded
 /// snapshot with an identical render.

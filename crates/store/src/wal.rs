@@ -334,7 +334,15 @@ fn decode_payload(payload: &[u8]) -> Option<WalRecord> {
         vals.push(v);
     }
     let op = if op == 1 {
-        WalOp::Append(vals.chunks_exact(3).map(|c| [c[0], c[1], c[2]]).collect())
+        let pts: Vec<[f64; 3]> = vals.chunks_exact(3).map(|c| [c[0], c[1], c[2]]).collect();
+        // No writer ever logs a negative weight (admission rejects
+        // them), so one here is corruption — and letting it through
+        // would poison compaction, which asserts weights ≥ 0 when it
+        // materializes the merged point set.
+        if pts.iter().any(|p| p[2] < 0.0) {
+            return None;
+        }
+        WalOp::Append(pts)
     } else {
         WalOp::Tombstone(vals.chunks_exact(2).map(|c| [c[0], c[1]]).collect())
     };
@@ -572,6 +580,27 @@ mod tests {
         assert_eq!(r.records, recs);
         assert!(!r.torn);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn negative_weight_append_is_treated_as_corruption() {
+        let mut image = Vec::new();
+        image.extend_from_slice(&WAL_MAGIC);
+        put_u16(&mut image, WAL_VERSION);
+        put_u16(&mut image, 0);
+        let good = WalRecord {
+            seq: 1,
+            op: WalOp::Append(vec![[0.1, 0.2, 1.0]]),
+        };
+        let poison = WalRecord {
+            seq: 2,
+            op: WalOp::Append(vec![[0.3, 0.4, -1.0]]),
+        };
+        image.extend_from_slice(&good.to_bytes());
+        image.extend_from_slice(&poison.to_bytes());
+        let r = replay_bytes(&image);
+        assert_eq!(r.records, vec![good]);
+        assert!(r.torn, "the poison record terminates the valid prefix");
     }
 
     #[test]
