@@ -12,7 +12,11 @@
 //! (`index_ms_*`) and the first-tile latency of each serving mode
 //! reported alongside. A third section measures the request-tracing
 //! tax on cached tiles (tracing off vs. on, same warmed level) so the
-//! <5% cached-p99 overhead contract stays pinned in the sidecar.
+//! <5% cached-p99 overhead contract stays pinned in the sidecar. A
+//! fourth section benches the cluster tier: cold-pyramid and cached
+//! throughput behind the router at 1/2/4 shards, aggregate-cache
+//! scaling under a deliberately tight per-shard budget, and the
+//! router's proxy overhead on cached tiles.
 //! Later PRs diff this sidecar to catch serving regressions.
 //!
 //! ```text
@@ -27,6 +31,7 @@ use std::net::{SocketAddr, TcpStream};
 use std::path::Path;
 use std::time::Instant;
 
+use kdv_cluster::{Router, RouterConfig};
 use kdv_core::bandwidth::scott_gamma;
 use kdv_core::kernel::Kernel;
 use kdv_data::Dataset;
@@ -427,6 +432,269 @@ fn ingest_bench(tmp: &Path) -> Value {
     ])
 }
 
+/// Concurrent pyramid sweep through `addr`: `clients` threads drain a
+/// shared tile work-list; returns wall seconds and the merged per-tile
+/// latency histogram (plus total encoded bytes moved).
+fn sweep(
+    addr: SocketAddr,
+    paths: &std::sync::Arc<Vec<String>>,
+    clients: usize,
+) -> (f64, LogHistogram, u64) {
+    let next = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    let started = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|_| {
+            let paths = std::sync::Arc::clone(paths);
+            let next = std::sync::Arc::clone(&next);
+            std::thread::spawn(move || {
+                let mut hist = LogHistogram::new();
+                let mut bytes = 0u64;
+                loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let Some(path) = paths.get(i) else { break };
+                    let start = Instant::now();
+                    let (status, body) = fetch(addr, path);
+                    hist.record(start.elapsed().as_nanos() as u64);
+                    assert_eq!(status, 200, "{path}");
+                    bytes += body.len() as u64;
+                }
+                (hist, bytes)
+            })
+        })
+        .collect();
+    let mut hist = LogHistogram::new();
+    let mut bytes = 0u64;
+    for h in handles {
+        let (part, b) = h.join().expect("sweep client");
+        hist.merge(&part);
+        bytes += b;
+    }
+    (started.elapsed().as_secs_f64(), hist, bytes)
+}
+
+/// Scale-out: the same 20k crime store behind a router with 1, 2, and
+/// 4 shards.
+///
+/// Three measurements per fleet size:
+///
+/// * `cold` — full z≤3 εKDV pyramid, every tile rendered once. This
+///   is CPU-bound, so the scaling it shows is bounded by the host's
+///   core count (`host_cores` is recorded alongside: on a 1-core box
+///   the expected scaling is ~1×, and the number is still worth
+///   pinning to catch router-layer regressions).
+/// * `cached` — the same sweep warm: every tile a shard-cache hit,
+///   measuring the proxy path itself under concurrency.
+/// * `cache_pressure` — the capacity win that scales on any host: the
+///   per-shard cache budget is set to ~60% of the pyramid's bytes, so
+///   one shard thrashes its LRU on every sweep while two or more hold
+///   the whole pyramid in aggregate (rendezvous partitioning means no
+///   tile is cached twice). Steady-state sweep throughput is the
+///   metric the 1→2 shard scaling floor is checked against.
+///
+/// `router_overhead` pins the proxy tax: cached-tile p50 direct to a
+/// shard vs. through the router (target: ≤ 1 ms added).
+fn cluster_bench(tmp: &Path) -> Value {
+    const MAX_Z: u8 = 3;
+    const CLIENTS: usize = 4;
+    const FLEETS: [usize; 3] = [1, 2, 4];
+
+    let dir = tmp.join("cluster-store");
+    std::fs::create_dir_all(&dir).expect("mkdir cluster store");
+    let mut points = Dataset::Crime.generate(POINTS, SEED);
+    points.scale_weights(1.0 / points.len() as f64);
+    let kernel = Kernel::gaussian(scott_gamma(&points).gamma);
+    let tree = KdTree::build_default(&points);
+    SnapshotWriter::new(&tree, kernel)
+        .write_to(dir.join("crime.kdvs"))
+        .expect("write snapshot");
+    drop(tree);
+    drop(points);
+
+    let mut paths = Vec::new();
+    for z in 0..=MAX_Z {
+        let side = 1u32 << z;
+        for x in 0..side {
+            for y in 0..side {
+                paths.push(format!("/tiles/crime/eps/{z}/{x}/{y}.png"));
+            }
+        }
+    }
+    let paths = std::sync::Arc::new(paths);
+    let tiles = paths.len() as f64;
+
+    let start_fleet = |n: usize, cache_bytes: usize| -> (Vec<TileServer>, Router) {
+        let shards: Vec<TileServer> = (0..n)
+            .map(|_| {
+                let config = ServerConfig {
+                    tile_size: TILE_SIZE,
+                    max_z: MAX_Z,
+                    eps: 0.1,
+                    workers: 4,
+                    cache_bytes,
+                    cache_shards: 1,
+                    ..ServerConfig::default()
+                };
+                TileServer::start_with_store(config, &dir).expect("start shard")
+            })
+            .collect();
+        let router = Router::start(RouterConfig {
+            shards: shards.iter().map(|s| s.local_addr().to_string()).collect(),
+            ..RouterConfig::default()
+        })
+        .expect("start router");
+        (shards, router)
+    };
+
+    let mut fleets = Vec::new();
+    let mut cold_rates = Vec::new();
+    let mut pyramid_bytes = 0u64;
+    for n in FLEETS {
+        let (shards, router) = start_fleet(n, 64 << 20);
+        let addr = router.local_addr();
+        let (cold_secs, cold_hist, bytes) = sweep(addr, &paths, CLIENTS);
+        pyramid_bytes = bytes;
+        let (warm_secs, warm_hist, _) = sweep(addr, &paths, CLIENTS);
+        let cold_rate = tiles / cold_secs;
+        cold_rates.push(cold_rate);
+        println!(
+            "cluster {n} shard(s): cold {cold_rate:.1} tiles/s (p50 {:.2} ms, p99 {:.2} ms); \
+             cached {:.0} tiles/s (p50 {:.3} ms, p99 {:.3} ms)",
+            cold_hist.quantile_le(0.5) as f64 / 1e6,
+            cold_hist.quantile_le(0.99) as f64 / 1e6,
+            tiles / warm_secs,
+            warm_hist.quantile_le(0.5) as f64 / 1e6,
+            warm_hist.quantile_le(0.99) as f64 / 1e6,
+        );
+        fleets.push(Value::obj(vec![
+            ("shards", json::num_u(n as u64)),
+            ("cold_tiles_per_s", json::num_f(cold_rate)),
+            ("cold", hist_json(&cold_hist)),
+            ("cached_tiles_per_s", json::num_f(tiles / warm_secs)),
+            ("cached", hist_json(&warm_hist)),
+        ]));
+        router.stop();
+        for s in shards {
+            s.stop();
+        }
+    }
+
+    // Aggregate-cache capacity: per-shard budget ~60% of the pyramid,
+    // so only fleets of ≥ 2 shards hold it all. Steady state = the
+    // mean of three post-cold sweeps.
+    let budget = (pyramid_bytes as usize * 6 / 10).max(1 << 16);
+    let mut pressure = Vec::new();
+    let mut pressure_rates = Vec::new();
+    for n in FLEETS {
+        let (shards, router) = start_fleet(n, budget);
+        let addr = router.local_addr();
+        let _ = sweep(addr, &paths, CLIENTS); // cold fill
+        let mut secs = 0.0;
+        let mut hist = LogHistogram::new();
+        for _ in 0..3 {
+            let (s, h, _) = sweep(addr, &paths, CLIENTS);
+            secs += s;
+            hist.merge(&h);
+        }
+        let rate = 3.0 * tiles / secs;
+        pressure_rates.push(rate);
+        println!(
+            "cache pressure ({} byte budget/shard), {n} shard(s): {rate:.0} tiles/s \
+             (p50 {:.3} ms, p99 {:.2} ms)",
+            budget,
+            hist.quantile_le(0.5) as f64 / 1e6,
+            hist.quantile_le(0.99) as f64 / 1e6,
+        );
+        pressure.push(Value::obj(vec![
+            ("shards", json::num_u(n as u64)),
+            ("tiles_per_s", json::num_f(rate)),
+            ("tile", hist_json(&hist)),
+        ]));
+        router.stop();
+        for s in shards {
+            s.stop();
+        }
+    }
+
+    // Proxy tax on cached tiles: one shard, warm z=3 level, p50 direct
+    // vs. through the router.
+    let (shards, router) = start_fleet(1, 64 << 20);
+    let shard_addr = shards[0].local_addr();
+    let routed_addr = router.local_addr();
+    let z3: Vec<&String> = paths.iter().filter(|p| p.contains("/3/")).collect();
+    for path in &z3 {
+        let (status, _) = fetch(shard_addr, path);
+        assert_eq!(status, 200, "warm {path}");
+    }
+    let mut direct = LogHistogram::new();
+    let mut routed = LogHistogram::new();
+    for _ in 0..8 {
+        for path in &z3 {
+            let start = Instant::now();
+            let (status, _) = fetch(shard_addr, path);
+            direct.record(start.elapsed().as_nanos() as u64);
+            assert_eq!(status, 200);
+            let start = Instant::now();
+            let (status, _) = fetch(routed_addr, path);
+            routed.record(start.elapsed().as_nanos() as u64);
+            assert_eq!(status, 200);
+        }
+    }
+    router.stop();
+    for s in shards {
+        s.stop();
+    }
+    let direct_p50_us = direct.quantile_le(0.5) as f64 / 1e3;
+    let routed_p50_us = routed.quantile_le(0.5) as f64 / 1e3;
+    println!(
+        "router proxy overhead on cached tiles: p50 {direct_p50_us:.0} µs direct \
+         → {routed_p50_us:.0} µs routed (+{:.0} µs)",
+        routed_p50_us - direct_p50_us
+    );
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    Value::obj(vec![
+        ("host_cores", json::num_u(cores as u64)),
+        ("max_z", json::num_u(MAX_Z as u64)),
+        ("tiles", json::num_u(paths.len() as u64)),
+        ("clients", json::num_u(CLIENTS as u64)),
+        ("fleets", Value::Arr(fleets)),
+        (
+            "cold_scaling_1_to_2",
+            json::num_f(cold_rates[1] / cold_rates[0]),
+        ),
+        (
+            "cold_scaling_1_to_4",
+            json::num_f(cold_rates[2] / cold_rates[0]),
+        ),
+        (
+            "cache_pressure",
+            Value::obj(vec![
+                ("budget_bytes_per_shard", json::num_u(budget as u64)),
+                ("pyramid_bytes", json::num_u(pyramid_bytes)),
+                ("fleets", Value::Arr(pressure)),
+                (
+                    "scaling_1_to_2",
+                    json::num_f(pressure_rates[1] / pressure_rates[0]),
+                ),
+                (
+                    "scaling_1_to_4",
+                    json::num_f(pressure_rates[2] / pressure_rates[0]),
+                ),
+            ]),
+        ),
+        (
+            "router_overhead",
+            Value::obj(vec![
+                ("direct", hist_json(&direct)),
+                ("routed", hist_json(&routed)),
+                ("direct_p50_us", json::num_f(direct_p50_us)),
+                ("routed_p50_us", json::num_f(routed_p50_us)),
+                ("added_p50_us", json::num_f(routed_p50_us - direct_p50_us)),
+            ]),
+        ),
+    ])
+}
+
 fn main() {
     let out = std::env::args()
         .nth(1)
@@ -481,11 +749,12 @@ fn main() {
     std::fs::create_dir_all(&tmp).expect("mkdir tmp");
     let cold_start = cold_start(&tmp);
     let ingest = ingest_bench(&tmp);
+    let cluster = cluster_bench(&tmp);
     std::fs::remove_dir_all(&tmp).ok();
     let trace_overhead = trace_overhead();
 
     let doc = Value::obj(vec![
-        ("schema", Value::Str("kdv-bench-serve/4".to_string())),
+        ("schema", Value::Str("kdv-bench-serve/5".to_string())),
         ("dataset", Value::Str("crime".to_string())),
         ("points", json::num_u(POINTS as u64)),
         ("tile_size", json::num_u(TILE_SIZE as u64)),
@@ -493,6 +762,7 @@ fn main() {
         ("levels", Value::Arr(levels)),
         ("cold_start", cold_start),
         ("ingest", ingest),
+        ("cluster", cluster),
         ("trace_overhead", trace_overhead),
     ]);
     std::fs::write(&out, doc.render()).expect("write sidecar");

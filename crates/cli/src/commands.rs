@@ -1,6 +1,7 @@
 //! Subcommand implementations.
 
 use crate::args::Args;
+use kdv_cluster::{Router, RouterConfig, Supervisor, SupervisorConfig};
 use kdv_core::bandwidth::{try_scott_gamma_for, Bandwidth};
 use kdv_core::bounds::BoundFamily;
 use kdv_core::engine::{BudgetPolicy, RefineEvaluator, RenderBudget};
@@ -26,6 +27,48 @@ use kdv_viz::parallel::render_eps_parallel;
 use kdv_viz::render::{render_eps, render_eps_progressive, render_tau};
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
+
+/// SIGTERM-to-flag plumbing for the long-running serving commands
+/// (`serve`, `router`, `cluster`): orchestrators (and the cluster
+/// supervisor itself) stop services with SIGTERM and expect a drain,
+/// not an abort. The handler only flips an atomic — every
+/// async-signal-unsafe consequence (closing sockets, fsyncing WALs)
+/// runs on the main thread's poll loop.
+#[cfg(unix)]
+mod term {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static TERM: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_term(_signum: i32) {
+        TERM.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGTERM: i32 = 15;
+        // SAFETY: installing a handler that only stores to a static
+        // atomic — async-signal-safe by construction.
+        unsafe {
+            signal(SIGTERM, on_term as *const () as usize);
+        }
+    }
+
+    pub fn requested() -> bool {
+        TERM.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod term {
+    pub fn install() {}
+
+    pub fn requested() -> bool {
+        false
+    }
+}
 
 /// Loaded, weight-normalized input plus derived parameters.
 struct Input {
@@ -434,6 +477,7 @@ pub fn serve(args: &Args) -> Result<(), String> {
              \x20         [--cache-shards 8] [--tile-max-work UNITS] [--tile-deadline-ms MS]\n\
              \x20         [--no-trace] [--trace-ring 128] [--slow-ms 100]\n\
              \x20         [--access-log PATH|-] [--allow-shutdown] [--debug-sleep]\n\
+             \x20         [--port-file PATH]\n\
              kdv serve --store <dir> [--store-budget-mb MB] [--tau T] [--preload]\n\
              \x20         [--fsync every|batch] [--memtable-points N] [--compact-points N]\n\
              \x20         [--ingest-max-kb KB] [same serving flags]\n\
@@ -450,7 +494,10 @@ pub fn serve(args: &Args) -> Result<(), String> {
              (--preload materializes all of them in the background; /readyz answers\n\
              503 until the sweep finishes).\n\
              Budget-degraded tiles answer 200 with an X-Kdv-Degraded header; a full\n\
-             accept queue answers 429 with Retry-After.\n\
+             accept queue answers 429 with Retry-After. --port-file writes the bound\n\
+             address once the listener is live (supervisors discover `--addr :0`\n\
+             ports this way). SIGTERM drains: in-flight requests finish, WALs fsync,\n\
+             then the process exits 0.\n\
              Snapshot-backed datasets accept durable writes: POST\n\
              /datasets/{{name}}/points with {{\"append\": [[x,y,w],…], \"remove\":\n\
              [[x,y],…]}} acks only after the WAL record is durable under --fsync\n\
@@ -614,8 +661,177 @@ pub fn serve(args: &Args) -> Result<(), String> {
     if trace_on {
         println!("  traces:  http://{bound}/debug/traces  (slow ≥ {slow_ms} ms: /debug/slow)");
     }
-    server.join();
+    // The port file is how supervisors discover a `--addr 127.0.0.1:0`
+    // shard's actual port; written only once the listener is live, so
+    // the file's existence doubles as a readiness signal.
+    if let Some(path) = args.get("port-file") {
+        std::fs::write(path, format!("{bound}\n")).map_err(|e| format!("--port-file: {e}"))?;
+    }
+    term::install();
+    loop {
+        if term::requested() {
+            // Graceful drain: stop accepting, finish in-flight
+            // requests, fsync the WALs, then exit 0.
+            server.stop();
+            break;
+        }
+        if server.is_shutdown() {
+            // `/shutdown` (when allowed) flips the same flag.
+            server.join();
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
     println!("server stopped");
+    Ok(())
+}
+
+/// `kdv router` — the cluster tier's consistent-hash reverse proxy
+/// over an externally managed set of shards.
+pub fn router(args: &Args) -> Result<(), String> {
+    if args.has("help") {
+        println!(
+            "kdv router --shards HOST:PORT,HOST:PORT,... [--addr 127.0.0.1:8090]\n\
+             \x20         [--workers 8] [--queue 128] [--max-inflight 64]\n\
+             \x20         [--probe-ms 250] [--max-z 24] [--ingest-max-kb 1024]\n\
+             \n\
+             Fronts N `kdv serve` shards: routes each tile to its rendezvous-hash\n\
+             owner (per-shard cache partitioning), probes /readyz, retries a dead\n\
+             shard's tiles once on the hash ring's runner-up (X-Kdv-Failover), and\n\
+             pins ingest-mutable datasets wholly to their owner shard. /metrics\n\
+             merges every shard's document plus a summed rollup\n\
+             (schema kdv-cluster-metrics/1; Prometheus with ?format=prometheus).\n\
+             Shard order is identity: keep the --shards list stable across router\n\
+             restarts or tile ownership reshuffles."
+        );
+        return Ok(());
+    }
+    let shards: Vec<String> = args
+        .require::<String>("shards")?
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect();
+    if shards.is_empty() {
+        return Err("--shards needs at least one HOST:PORT".into());
+    }
+    let config = RouterConfig {
+        addr: args.get("addr").unwrap_or("127.0.0.1:8090").to_string(),
+        shards,
+        workers: args.get_parsed("workers", 8usize)?,
+        queue: args.get_parsed("queue", 128usize)?,
+        max_inflight: args.get_parsed("max-inflight", 64usize)?,
+        probe_ms: args.get_parsed("probe-ms", 250u64)?,
+        max_z: args.get_parsed("max-z", 24u8)?,
+        max_body: args.get_parsed("ingest-max-kb", 1024u64)? << 10,
+    };
+    let n = config.shards.len();
+    let router = Router::start(config).map_err(|e| e.to_string())?;
+    let bound = router.local_addr();
+    println!("routing {n} shard(s) at http://{bound}/  (metrics: /metrics)");
+    term::install();
+    while !term::requested() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    router.stop();
+    println!("router stopped");
+    Ok(())
+}
+
+/// `kdv cluster` — one-command scale-out: spawn N shard processes
+/// over a shared store, babysit them, and front them with a router.
+pub fn cluster(args: &Args) -> Result<(), String> {
+    if args.has("help") {
+        println!(
+            "kdv cluster --shards N --store <dir> --tau T [--addr 127.0.0.1:8090]\n\
+             \x20          [--port-dir DIR] [--workers 8] [--queue 128]\n\
+             \x20          [--max-inflight 64] [--probe-ms 250] [--ingest-max-kb 1024]\n\
+             \x20          [--shard-flags \"...\"]\n\
+             \n\
+             Spawns N `kdv serve --store <dir>` shard processes on loopback, then a\n\
+             router in this process. Crashed shards respawn automatically (same ring\n\
+             index, so tile ownership never moves); SIGTERM drains the whole fleet.\n\
+             --shard-flags passes extra space-separated flags to every shard, e.g.:\n\
+             \x20 kdv cluster --shards 4 --store data/ --tau 2e-4 \\\n\
+             \x20             --shard-flags \"--cache-mb 128 --fsync batch\""
+        );
+        return Ok(());
+    }
+    let shards: usize = args.get_parsed("shards", 2usize)?;
+    if shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    let store: String = args.require("store")?;
+    let tau: f64 = args.require("tau")?;
+    validate_tau(tau).map_err(|e| e.to_string())?;
+    let exe = std::env::current_exe().map_err(|e| format!("cannot locate kdv binary: {e}"))?;
+    let port_dir = match args.get("port-dir") {
+        Some(dir) => PathBuf::from(dir),
+        None => std::env::temp_dir().join(format!("kdv-cluster-{}", std::process::id())),
+    };
+    let mut shard_args = vec![
+        "--store".to_string(),
+        store.clone(),
+        "--tau".to_string(),
+        tau.to_string(),
+    ];
+    if let Some(extra) = args.get("shard-flags") {
+        shard_args.extend(extra.split_whitespace().map(str::to_string));
+    }
+
+    let sup_config = SupervisorConfig {
+        exe,
+        shards,
+        shard_args,
+        port_dir,
+    };
+    // The router comes up after the shards (it needs their ports), but
+    // the supervisor needs somewhere to publish respawned addresses
+    // from day one — hence the shared slot.
+    let router_slot: std::sync::Arc<std::sync::Mutex<Option<Router>>> =
+        std::sync::Arc::new(std::sync::Mutex::new(None));
+    let respawn_slot = std::sync::Arc::clone(&router_slot);
+    let sup = Supervisor::start(
+        sup_config,
+        Box::new(move |shard, addr| {
+            if let Some(router) = respawn_slot.lock().expect("router slot").as_ref() {
+                router.set_shard_addr(shard, addr);
+            }
+        }),
+    )
+    .map_err(|e| e.to_string())?;
+    let addrs = sup.addrs();
+    println!("spawned {shards} shard(s): {}", addrs.join(", "));
+    let config = RouterConfig {
+        addr: args.get("addr").unwrap_or("127.0.0.1:8090").to_string(),
+        shards: addrs,
+        workers: args.get_parsed("workers", 8usize)?,
+        queue: args.get_parsed("queue", 128usize)?,
+        max_inflight: args.get_parsed("max-inflight", 64usize)?,
+        probe_ms: args.get_parsed("probe-ms", 250u64)?,
+        max_z: args.get_parsed("max-z", 24u8)?,
+        max_body: args.get_parsed("ingest-max-kb", 1024u64)? << 10,
+    };
+    let router = match Router::start(config) {
+        Ok(router) => router,
+        Err(e) => {
+            sup.stop();
+            return Err(e.to_string());
+        }
+    };
+    let bound = router.local_addr();
+    *router_slot.lock().expect("router slot") = Some(router);
+    println!("cluster at http://{bound}/  (merged metrics: /metrics)");
+    term::install();
+    while !term::requested() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    if let Some(router) = router_slot.lock().expect("router slot").take() {
+        router.stop();
+    }
+    sup.stop();
+    println!("cluster stopped");
     Ok(())
 }
 

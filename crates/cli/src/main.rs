@@ -32,6 +32,8 @@ commands:
   sample       Z-order (ε, δ) coreset extraction (CSV out)
   index        build / inspect / verify KDVS index snapshots
   serve        HTTP tile server: cached z/x/y pyramid + /metrics
+  router       consistent-hash reverse proxy over running shards
+  cluster      spawn N shards + router: one-command scale-out
   stats        dataset statistics and recommended parameters
   synth        generate an emulated benchmark dataset (CSV out)
 
@@ -85,6 +87,8 @@ fn run() -> ExitCode {
         "sample" => commands::sample(&parsed),
         "index" => commands::index(&parsed),
         "serve" => commands::serve(&parsed),
+        "router" => commands::router(&parsed),
+        "cluster" => commands::cluster(&parsed),
         "stats" => commands::stats(&parsed),
         "synth" => commands::synth(&parsed),
         "--help" | "-h" | "help" => {

@@ -1,0 +1,206 @@
+//! SIGTERM drain contract for `kdv serve`.
+//!
+//! Orchestrators (including `kdv cluster`'s supervisor) stop shards
+//! with SIGTERM and expect a graceful drain, not an abort:
+//!
+//! * the accept socket closes (new connections get nothing),
+//! * requests already in flight complete with real responses,
+//! * WALs are fsynced so every acked write survives the restart,
+//! * the process exits 0.
+//!
+//! The in-flight guarantee is exercised with `/debug/sleep`: a request
+//! parked inside a worker when the signal lands must still answer 200.
+
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use kdv_core::bandwidth::scott_gamma;
+use kdv_core::kernel::Kernel;
+use kdv_data::Dataset;
+use kdv_index::KdTree;
+use kdv_store::SnapshotWriter;
+use kdv_telemetry::json::{self, Value};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("kdv-drain-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+fn seed_store(dir: &Path) {
+    let mut points = Dataset::Crime.generate(400, 11);
+    points.scale_weights(1.0 / points.len() as f64);
+    let kernel = Kernel::gaussian(scott_gamma(&points).gamma);
+    let tree = KdTree::build_default(&points);
+    SnapshotWriter::new(&tree, kernel)
+        .write_to(dir.join("crime.kdvs"))
+        .expect("write snapshot");
+}
+
+/// Spawns a serve child discovering its port through `--port-file` —
+/// the same mechanism the cluster supervisor uses.
+fn spawn_server(dir: &Path, extra: &[&str]) -> (Child, SocketAddr) {
+    let port_file = dir.join("serve.port");
+    let _ = std::fs::remove_file(&port_file);
+    let mut child = Command::new(env!("CARGO_BIN_EXE_kdv"))
+        .arg("serve")
+        .arg("--store")
+        .arg(dir)
+        .args([
+            "--addr",
+            "127.0.0.1:0",
+            "--tau",
+            "1e-3",
+            "--tile-size",
+            "32",
+            "--max-z",
+            "2",
+        ])
+        .arg("--port-file")
+        .arg(&port_file)
+        .args(extra)
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn kdv serve");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let addr = loop {
+        if let Ok(text) = std::fs::read_to_string(&port_file) {
+            let text = text.trim();
+            if !text.is_empty() {
+                break text.parse::<SocketAddr>().expect("bound address");
+            }
+        }
+        if let Ok(Some(status)) = child.try_wait() {
+            panic!("server died during startup: {status}");
+        }
+        assert!(Instant::now() < deadline, "port file never appeared");
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    (child, addr)
+}
+
+fn sigterm(child: &Child) {
+    let ok = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("run kill")
+        .success();
+    assert!(ok, "kill -TERM failed");
+}
+
+fn request(addr: SocketAddr, raw: String) -> Option<(u16, Vec<u8>)> {
+    let mut stream = TcpStream::connect(addr).ok()?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .ok()?;
+    stream.write_all(raw.as_bytes()).ok()?;
+    let mut bytes = Vec::new();
+    stream.read_to_end(&mut bytes).ok()?;
+    let split = bytes.windows(4).position(|w| w == b"\r\n\r\n")?;
+    let status: u16 = std::str::from_utf8(&bytes[..split])
+        .ok()?
+        .split(' ')
+        .nth(1)?
+        .parse()
+        .ok()?;
+    Some((status, bytes[split + 4..].to_vec()))
+}
+
+fn get(addr: SocketAddr, path: &str) -> Option<(u16, Vec<u8>)> {
+    request(addr, format!("GET {path} HTTP/1.1\r\nHost: kdv\r\n\r\n"))
+}
+
+fn post_point(addr: SocketAddr, x: f64) -> bool {
+    let body = format!("{{\"append\":[[{x},30.0,0.002]]}}");
+    let raw = format!(
+        "POST /datasets/crime/points HTTP/1.1\r\nHost: kdv\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    matches!(request(addr, raw), Some((200, _)))
+}
+
+fn wait_exit(mut child: Child) -> std::process::ExitStatus {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            return status;
+        }
+        if Instant::now() > deadline {
+            let _ = child.kill();
+            let _ = child.wait();
+            panic!("server did not exit within 30s of SIGTERM");
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn sigterm_drains_inflight_requests_and_exits_zero() {
+    let dir = temp_dir("inflight");
+    seed_store(&dir);
+    let (child, addr) = spawn_server(&dir, &["--debug-sleep"]);
+    assert_eq!(get(addr, "/readyz").expect("readyz").0, 200);
+
+    // Park a request inside a worker, then signal mid-sleep.
+    let slow = std::thread::spawn(move || get(addr, "/debug/sleep/1500"));
+    std::thread::sleep(Duration::from_millis(300));
+    sigterm(&child);
+    let (status, _) = slow
+        .join()
+        .expect("slow request thread")
+        .expect("in-flight request must get a response");
+    assert_eq!(status, 200, "in-flight request must complete through drain");
+
+    let exit = wait_exit(child);
+    assert_eq!(exit.code(), Some(0), "drain must exit 0, got {exit}");
+
+    // The accept socket is gone: a fresh request finds nobody home.
+    assert!(
+        TcpStream::connect_timeout(&addr, Duration::from_millis(500)).is_err(),
+        "socket still accepting after drain"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sigterm_fsyncs_acked_writes_before_exit() {
+    let dir = temp_dir("durable");
+    seed_store(&dir);
+    let (child, addr) = spawn_server(&dir, &["--fsync", "batch"]);
+    assert_eq!(get(addr, "/readyz").expect("readyz").0, 200);
+    let mut acked = 0u64;
+    for i in 0..40 {
+        if post_point(addr, 20.0 + 0.001 * i as f64) {
+            acked += 1;
+        }
+    }
+    assert!(acked > 0, "no write was acked");
+    sigterm(&child);
+    let exit = wait_exit(child);
+    assert_eq!(exit.code(), Some(0), "drain must exit 0, got {exit}");
+
+    // Reboot the store: every acked point must have survived — the
+    // drain fsyncs the WAL even under --fsync batch.
+    let (kill_me, addr) = spawn_server(&dir, &[]);
+    let (status, body) = get(addr, "/datasets/crime/stats").expect("stats");
+    assert_eq!(status, 200);
+    let doc = json::parse(std::str::from_utf8(&body).expect("utf8")).expect("stats JSON");
+    let live = doc
+        .get("points_live")
+        .and_then(Value::as_f64)
+        .expect("points_live") as u64;
+    assert!(
+        live >= 400 + acked,
+        "drain lost acked writes: {acked} acked, {live} live (base 400)"
+    );
+    let mut kill_me = kill_me;
+    let _ = kill_me.kill();
+    let _ = kill_me.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,232 @@
+//! Per-shard liveness: `/readyz` probes, passive failure marking, and
+//! the bounded in-flight admission counter.
+//!
+//! Health here is deliberately coarse — a shard is `up` or it is not —
+//! because the proxy path has its own second chance (retry the
+//! hash-ring fallback once). The prober flips a shard down after
+//! [`DOWN_AFTER`] consecutive probe failures and back up after one
+//! success; proxy failures count as probe failures too, so a crashed
+//! shard stops receiving first-choice traffic after at most one
+//! in-flight round even between probe ticks.
+
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Consecutive failures before a shard is marked down.
+pub const DOWN_AFTER: u32 = 2;
+
+/// Probe socket budget: connect + readyz round trip.
+const PROBE_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// Upper bound on pooled idle connections per shard. Shard workers
+/// block (briefly) on idle kept-alive connections, so the pool must
+/// stay well under the shard's worker count.
+const POOL_PER_SHARD: usize = 2;
+
+/// One shard as the router sees it: address (respawns may move it),
+/// health state, admission counter, and the keep-alive connection
+/// pool.
+#[derive(Debug)]
+pub struct ShardSlot {
+    /// Shard index — the identity rendezvous hashing ranks. Stable
+    /// across respawns.
+    pub index: usize,
+    addr: Mutex<String>,
+    up: AtomicBool,
+    fails: AtomicU32,
+    inflight: AtomicUsize,
+    pool: Mutex<Vec<TcpStream>>,
+}
+
+impl ShardSlot {
+    /// A slot that assumes the shard is up until a probe says
+    /// otherwise (optimistic start: the first requests race the first
+    /// probe tick, and the proxy path handles a dead shard anyway).
+    pub fn new(index: usize, addr: String) -> Self {
+        Self {
+            index,
+            addr: Mutex::new(addr),
+            up: AtomicBool::new(true),
+            fails: AtomicU32::new(0),
+            inflight: AtomicUsize::new(0),
+            pool: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The shard's current address.
+    pub fn addr(&self) -> String {
+        self.addr.lock().expect("shard addr poisoned").clone()
+    }
+
+    /// Points the slot at a respawned shard's new address and drops
+    /// every pooled connection to the old incarnation.
+    pub fn set_addr(&self, addr: String) {
+        *self.addr.lock().expect("shard addr poisoned") = addr;
+        self.pool.lock().expect("shard pool poisoned").clear();
+        // Give the respawn the benefit of the doubt immediately: the
+        // supervisor only rewrites the address once the child wrote
+        // its port file, i.e. once it is accepting.
+        self.fails.store(0, Ordering::Relaxed);
+        self.up.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the shard is currently believed up.
+    pub fn is_up(&self) -> bool {
+        self.up.load(Ordering::Relaxed)
+    }
+
+    /// Current in-flight proxied requests.
+    pub fn inflight(&self) -> usize {
+        self.inflight.load(Ordering::Relaxed)
+    }
+
+    /// Tries to reserve an admission slot; false when `cap` is
+    /// already saturated (the caller sheds `429`).
+    pub fn try_admit(&self, cap: usize) -> bool {
+        let mut cur = self.inflight.load(Ordering::Relaxed);
+        loop {
+            if cur >= cap {
+                return false;
+            }
+            match self.inflight.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Releases an admission slot.
+    pub fn release(&self) {
+        self.inflight.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Records a successful probe or proxied request.
+    pub fn mark_ok(&self) {
+        self.fails.store(0, Ordering::Relaxed);
+        self.up.store(true, Ordering::Relaxed);
+    }
+
+    /// Records a failed probe or proxied request; flips the shard
+    /// down after [`DOWN_AFTER`] consecutive failures.
+    pub fn mark_failure(&self) {
+        let fails = self.fails.fetch_add(1, Ordering::Relaxed) + 1;
+        if fails >= DOWN_AFTER {
+            self.up.store(false, Ordering::Relaxed);
+        }
+    }
+
+    /// Pops a pooled keep-alive connection, if any survive.
+    pub fn pooled(&self) -> Option<TcpStream> {
+        self.pool.lock().expect("shard pool poisoned").pop()
+    }
+
+    /// Returns a still-healthy keep-alive connection to the pool
+    /// (dropped instead when the pool is full — the shard's worker
+    /// pool is finite and an idle pooled connection pins a worker).
+    pub fn pool_push(&self, conn: TcpStream) {
+        let mut pool = self.pool.lock().expect("shard pool poisoned");
+        if pool.len() < POOL_PER_SHARD {
+            pool.push(conn);
+        }
+    }
+
+    /// One active `/readyz` probe: TCP connect, minimal GET, status
+    /// check. Any failure — connect, write, read, non-200 — counts
+    /// against the shard.
+    pub fn probe(&self) {
+        if self.probe_once().is_some() {
+            self.mark_ok();
+        } else {
+            self.mark_failure();
+        }
+    }
+
+    fn probe_once(&self) -> Option<()> {
+        let addr: SocketAddr = self.addr().parse().ok()?;
+        let mut stream = TcpStream::connect_timeout(&addr, PROBE_TIMEOUT).ok()?;
+        stream.set_read_timeout(Some(PROBE_TIMEOUT)).ok()?;
+        stream.set_write_timeout(Some(PROBE_TIMEOUT)).ok()?;
+        let _ = stream.set_nodelay(true);
+        stream.write_all(b"GET /readyz HTTP/1.1\r\n\r\n").ok()?;
+        let mut head = [0u8; 16];
+        let mut filled = 0;
+        while filled < head.len() {
+            match stream.read(&mut head[filled..]) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => filled += n,
+            }
+        }
+        let text = std::str::from_utf8(&head[..filled]).ok()?;
+        if text.starts_with("HTTP/1.1 200") {
+            Some(())
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn admission_counter_is_bounded_and_releases() {
+        let slot = ShardSlot::new(0, "127.0.0.1:1".into());
+        assert!(slot.try_admit(2));
+        assert!(slot.try_admit(2));
+        assert!(!slot.try_admit(2));
+        assert_eq!(slot.inflight(), 2);
+        slot.release();
+        assert!(slot.try_admit(2));
+    }
+
+    #[test]
+    fn consecutive_failures_flip_down_and_one_success_recovers() {
+        let slot = ShardSlot::new(0, "127.0.0.1:1".into());
+        assert!(slot.is_up());
+        slot.mark_failure();
+        assert!(slot.is_up(), "one failure is not enough");
+        slot.mark_failure();
+        assert!(!slot.is_up());
+        slot.mark_ok();
+        assert!(slot.is_up());
+    }
+
+    #[test]
+    fn probe_accepts_200_and_rejects_503_or_dead() {
+        // A hand-rolled one-shot "shard" answering 200.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = std::thread::spawn(move || {
+            for status in ["200 OK", "503 Unavailable"] {
+                let (mut conn, _) = listener.accept().expect("accept");
+                let mut scratch = [0u8; 256];
+                let _ = std::io::Read::read(&mut conn, &mut scratch);
+                conn.write_all(
+                    format!("HTTP/1.1 {status}\r\nContent-Length: 0\r\nConnection: close\r\n\r\n")
+                        .as_bytes(),
+                )
+                .expect("write");
+            }
+        });
+        let slot = ShardSlot::new(0, addr.to_string());
+        slot.probe();
+        assert!(slot.is_up());
+        slot.probe(); // the 503 round
+        slot.probe(); // listener dropped: connect refused
+        assert!(!slot.is_up());
+        server.join().expect("server");
+
+        slot.set_addr(addr.to_string());
+        assert!(slot.is_up(), "respawn resets health optimistically");
+    }
+}

@@ -1,0 +1,200 @@
+//! Aggregated observability: the router's own `/metrics` endpoint.
+//!
+//! Two formats, mirroring the shard server:
+//!
+//! * **JSON** (default) — schema `kdv-cluster-metrics/1`: router
+//!   counters, one entry per shard (health + that shard's full
+//!   `/metrics` document, fetched live), and a `rollup` section that
+//!   sums the fleet's `http`, `cache`, and `ingest` counters so a
+//!   dashboard needs one scrape, not N.
+//! * **Prometheus** (`?format=prometheus`) — router counters plus
+//!   per-shard up/in-flight gauges via the shared [`PromWriter`].
+//!
+//! Rollup semantics: numeric leaves sum, nested objects recurse, and
+//! derived ratios (the cache `hit_rate`) are **recomputed** from the
+//! summed numerators — a mean of per-shard ratios would weight an
+//! idle shard the same as a busy one.
+
+use std::sync::Arc;
+
+use kdv_server::http::Response;
+use kdv_telemetry::json::{self, Value};
+use kdv_telemetry::{sum_objects, PromWriter};
+
+use crate::proxy::{fetch, RouterInner};
+
+/// Serves `GET /metrics` (and `?format=prometheus`) on the router.
+pub(crate) fn respond(inner: &Arc<RouterInner>, query: Option<&str>) -> Response {
+    if query == Some("format=prometheus") {
+        Response::new(200, "OK").body(
+            "text/plain; version=0.0.4; charset=utf-8",
+            prometheus(inner).into_bytes(),
+        )
+    } else {
+        Response::new(200, "OK").body(
+            "application/json",
+            metrics_json(inner).render().into_bytes(),
+        )
+    }
+}
+
+/// Pulls one shard's `/metrics` JSON, bypassing admission control —
+/// observability must work on a saturated fleet.
+fn shard_metrics(inner: &RouterInner, index: usize) -> Value {
+    let slot = &inner.shards[index];
+    let bytes = b"GET /metrics HTTP/1.1\r\nConnection: keep-alive\r\n\r\n";
+    match fetch(inner, slot, bytes, true) {
+        Some(upstream) if upstream.status == 200 => std::str::from_utf8(&upstream.body)
+            .ok()
+            .and_then(|text| json::parse(text).ok())
+            .unwrap_or(Value::Null),
+        _ => Value::Null,
+    }
+}
+
+/// The merged document (schema `kdv-cluster-metrics/1`).
+pub(crate) fn metrics_json(inner: &Arc<RouterInner>) -> Value {
+    let docs: Vec<Value> = (0..inner.shards.len())
+        .map(|i| shard_metrics(inner, i))
+        .collect();
+    let shards: Vec<Value> = inner
+        .shards
+        .iter()
+        .zip(&docs)
+        .map(|(slot, doc)| {
+            Value::obj(vec![
+                ("id", json::num_u(slot.index as u64)),
+                ("addr", Value::Str(slot.addr())),
+                ("up", Value::Bool(slot.is_up())),
+                ("inflight", json::num_u(slot.inflight() as u64)),
+                ("metrics", doc.clone()),
+            ])
+        })
+        .collect();
+    let rollup = rollup(&docs);
+    Value::obj(vec![
+        ("schema", Value::Str("kdv-cluster-metrics/1".to_string())),
+        (
+            "uptime_ms",
+            json::num_u(inner.started.elapsed().as_millis() as u64),
+        ),
+        ("router", inner.counters.snapshot().to_json()),
+        ("shards", Value::Arr(shards)),
+        ("rollup", rollup),
+    ])
+}
+
+/// Sums the reachable shards' `http` / `cache` / `ingest` sections.
+fn rollup(docs: &[Value]) -> Value {
+    let section = |key: &str| -> Value {
+        let parts: Vec<&Value> = docs.iter().filter_map(|d| d.get(key)).collect();
+        let mut summed = sum_objects(&parts);
+        // hit_rate is a ratio, not a counter: replace the summed
+        // nonsense with hits / (hits + misses) over the fleet.
+        if key == "cache" {
+            if let Value::Obj(fields) = &mut summed {
+                let hits = fields
+                    .iter()
+                    .find(|(k, _)| k == "hits")
+                    .and_then(|(_, v)| v.as_f64())
+                    .unwrap_or(0.0);
+                let misses = fields
+                    .iter()
+                    .find(|(k, _)| k == "misses")
+                    .and_then(|(_, v)| v.as_f64())
+                    .unwrap_or(0.0);
+                let rate = if hits + misses > 0.0 {
+                    hits / (hits + misses)
+                } else {
+                    0.0
+                };
+                if let Some(slot) = fields.iter_mut().find(|(k, _)| k == "hit_rate") {
+                    slot.1 = json::num_f(rate);
+                }
+            }
+        }
+        summed
+    };
+    Value::obj(vec![
+        ("shards_reporting", {
+            let n = docs.iter().filter(|d| !matches!(d, Value::Null)).count();
+            json::num_u(n as u64)
+        }),
+        ("http", section("http")),
+        ("cache", section("cache")),
+        ("ingest", section("ingest")),
+    ])
+}
+
+/// Router counters and shard gauges in text exposition 0.0.4.
+fn prometheus(inner: &Arc<RouterInner>) -> String {
+    let snap = inner.counters.snapshot();
+    let mut w = PromWriter::new();
+    w.gauge(
+        "kdv_router_uptime_seconds",
+        "Router uptime.",
+        inner.started.elapsed().as_secs_f64(),
+    );
+    w.counter(
+        "kdv_router_requests_total",
+        "Client requests accepted by the router.",
+        snap.requests as f64,
+    );
+    w.counter(
+        "kdv_router_proxied_total",
+        "Upstream exchange attempts.",
+        snap.proxied as f64,
+    );
+    w.counter(
+        "kdv_router_retries_total",
+        "Stale pooled-connection retries.",
+        snap.retries as f64,
+    );
+    w.counter(
+        "kdv_router_failovers_total",
+        "Requests answered by a non-owner shard.",
+        snap.failovers as f64,
+    );
+    w.counter(
+        "kdv_router_shed_total",
+        "Requests shed with 429 (queue or in-flight cap).",
+        snap.shed as f64,
+    );
+    w.counter(
+        "kdv_router_upstream_errors_total",
+        "Failed upstream exchanges.",
+        snap.upstream_errors as f64,
+    );
+    w.counter(
+        "kdv_router_no_upstream_total",
+        "Requests that exhausted every candidate shard.",
+        snap.no_upstream as f64,
+    );
+    w.counter(
+        "kdv_router_sent_bytes_total",
+        "Response body bytes returned to clients.",
+        snap.bytes_sent as f64,
+    );
+    let up: Vec<(String, f64)> = inner
+        .shards
+        .iter()
+        .map(|s| {
+            (
+                format!("shard=\"{}\"", s.index),
+                if s.is_up() { 1.0 } else { 0.0 },
+            )
+        })
+        .collect();
+    w.gauge_family("kdv_router_shard_up", "Shard liveness (1 = up).", &up);
+    let inflight: Vec<(String, f64)> = inner
+        .shards
+        .iter()
+        .map(|s| (format!("shard=\"{}\"", s.index), s.inflight() as f64))
+        .collect();
+    w.gauge_family(
+        "kdv_router_shard_inflight",
+        "In-flight proxied requests per shard.",
+        &inflight,
+    );
+    w.finish()
+}

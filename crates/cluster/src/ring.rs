@@ -1,0 +1,252 @@
+//! Rendezvous (highest-random-weight) hashing: which shard owns a
+//! tile, and which shard is its failover.
+//!
+//! Every router process must agree on ownership without coordination —
+//! across restarts, across machines — so the hash is a **fixed**
+//! dependency-free mixer (FNV-1a over the key bytes, then a
+//! SplitMix64 finalizer per shard), never `RandomState` or anything
+//! seeded per-process. For each key, every shard index gets a pseudo-
+//! random weight `mix(key_hash, shard)`; the shard with the highest
+//! weight owns the key and the runner-up is the failover target.
+//!
+//! Rendezvous hashing gives the two properties the cluster tier is
+//! built on:
+//!
+//! * **balance** — weights are i.i.d.-ish across keys, so each of N
+//!   shards owns ~1/N of the key space (the test suite bounds the max
+//!   shard's share at 1/N + 5 percentage points over 10k tile keys);
+//! * **minimal reshuffle** — adding or removing a shard only moves
+//!   the keys whose top weight involved that shard: ~1/N of them.
+//!   Every other key keeps its owner, so N−1 LRU caches stay hot
+//!   through a membership change.
+
+/// The fixed 64-bit avalanche finalizer (SplitMix64). Public domain
+/// constants from Steele et al.; chosen because it is tiny, fast, and
+/// statistically strong enough that per-shard weights behave
+/// independently.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// FNV-1a over a byte string: the key-bytes → u64 step. Fixed offset
+/// basis and prime, so the same key hashes identically in every
+/// process forever.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One key's pseudo-random weight at one shard.
+fn weight(key: u64, shard: usize) -> u64 {
+    mix(key ^ mix(shard as u64 ^ 0x6b64_765f_7368_6172)) // "kdv_shar"
+}
+
+/// The rendezvous ring over shard indices `0..n`.
+///
+/// The ring knows *indices*, not addresses or health: membership is
+/// the configured shard count (stable across respawns — a restarted
+/// shard keeps its index, so ownership never moves), and the router
+/// layers liveness on top by skipping dead candidates in rank order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ring {
+    n: usize,
+}
+
+impl Ring {
+    /// A ring over `n ≥ 1` shards.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "a ring needs at least one shard");
+        Self { n }
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True only for the degenerate zero-shard ring (unreachable via
+    /// [`Ring::new`], present for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The canonical key of one tile. `dataset` is `""` in
+    /// single-dataset mode; `kind` is the tile kind string (`"eps"` /
+    /// `"tau"`). NUL separators keep distinct field tuples from
+    /// colliding as byte strings.
+    pub fn tile_key(dataset: &str, kind: &str, z: u8, x: u32, y: u32) -> u64 {
+        let mut bytes = Vec::with_capacity(dataset.len() + kind.len() + 16);
+        bytes.extend_from_slice(dataset.as_bytes());
+        bytes.push(0);
+        bytes.extend_from_slice(kind.as_bytes());
+        bytes.push(0);
+        bytes.push(z);
+        bytes.extend_from_slice(&x.to_le_bytes());
+        bytes.extend_from_slice(&y.to_le_bytes());
+        fnv1a(&bytes)
+    }
+
+    /// The canonical key of one dataset (ingest pinning routes every
+    /// request for a mutable dataset through this key).
+    pub fn dataset_key(dataset: &str) -> u64 {
+        fnv1a(dataset.as_bytes())
+    }
+
+    /// The owning shard index for `key`.
+    pub fn owner(&self, key: u64) -> usize {
+        (0..self.n)
+            .max_by_key(|&s| weight(key, s))
+            .expect("ring is non-empty")
+    }
+
+    /// The failover shard for `key` — the runner-up by weight — or
+    /// `None` on a single-shard ring.
+    pub fn fallback(&self, key: u64) -> Option<usize> {
+        if self.n < 2 {
+            return None;
+        }
+        let owner = self.owner(key);
+        (0..self.n)
+            .filter(|&s| s != owner)
+            .max_by_key(|&s| weight(key, s))
+    }
+
+    /// All shard indices ranked by descending weight for `key`: the
+    /// order a router walks when shards are down.
+    pub fn ranked(&self, key: u64) -> Vec<usize> {
+        let mut shards: Vec<usize> = (0..self.n).collect();
+        shards.sort_by_key(|&s| std::cmp::Reverse(weight(key, s)));
+        shards
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 10k synthetic tile keys shaped like real pyramid traffic:
+    /// every tile of a z≤5 pyramid across a few datasets and both
+    /// kinds, padded with deep-zoom singles.
+    fn synthetic_tile_keys() -> Vec<u64> {
+        let mut keys = Vec::new();
+        for dataset in ["", "crime", "taxi", "quake"] {
+            for kind in ["eps", "tau"] {
+                for z in 0u8..=5 {
+                    let side = 1u32 << z;
+                    for x in 0..side {
+                        for y in 0..side {
+                            keys.push(Ring::tile_key(dataset, kind, z, x, y));
+                        }
+                    }
+                }
+            }
+        }
+        let mut x = 7u32;
+        while keys.len() < 10_000 {
+            // Cheap LCG walk over deep-zoom coordinates.
+            x = x.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            keys.push(Ring::tile_key("crime", "eps", 9, x % 512, (x >> 9) % 512));
+        }
+        keys.truncate(10_000);
+        keys
+    }
+
+    #[test]
+    fn ownership_is_deterministic_across_processes() {
+        // Golden pins: these exact assignments must hold forever — a
+        // hash change silently reshuffles every cache in a live fleet
+        // and breaks mixed-version routers. If this test fails, the
+        // change is wrong, not the pins.
+        let ring = Ring::new(4);
+        let pins = [
+            (Ring::tile_key("", "eps", 0, 0, 0), 1usize),
+            (Ring::tile_key("", "tau", 3, 4, 5), 0),
+            (Ring::tile_key("crime", "eps", 2, 1, 3), 0),
+            (Ring::tile_key("crime", "tau", 5, 17, 9), 1),
+            (Ring::dataset_key("crime"), 0),
+            (Ring::dataset_key("taxi"), 1),
+        ];
+        for (key, owner) in pins {
+            assert_eq!(ring.owner(key), owner, "key {key:#x}");
+        }
+        // And the raw hash itself is pinned (FNV-1a is a published
+        // constant; this guards the byte-layout of the key tuple).
+        assert_eq!(Ring::dataset_key(""), 0xcbf2_9ce4_8422_2325);
+    }
+
+    #[test]
+    fn fields_are_framed_not_concatenated() {
+        // ("ab", "c") and ("a", "bc") must not collide.
+        assert_ne!(
+            Ring::tile_key("ab", "c", 1, 0, 0),
+            Ring::tile_key("a", "bc", 1, 0, 0)
+        );
+        assert_ne!(Ring::dataset_key("a"), Ring::tile_key("a", "", 0, 0, 0));
+    }
+
+    #[test]
+    fn load_skew_stays_under_five_points_over_fair_share() {
+        let keys = synthetic_tile_keys();
+        for n in [2usize, 3, 4, 8] {
+            let ring = Ring::new(n);
+            let mut counts = vec![0usize; n];
+            for &k in &keys {
+                counts[ring.owner(k)] += 1;
+            }
+            let max_share = *counts.iter().max().unwrap() as f64 / keys.len() as f64;
+            let bound = 1.0 / n as f64 + 0.05;
+            assert!(
+                max_share <= bound,
+                "n={n}: max share {max_share:.4} exceeds {bound:.4} (counts {counts:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn membership_change_remaps_about_one_nth() {
+        let keys = synthetic_tile_keys();
+        // Shard N joins: only keys whose new top weight is the new
+        // shard move, and they move *to* the new shard.
+        for n in [2usize, 4, 8] {
+            let before = Ring::new(n);
+            let after = Ring::new(n + 1);
+            let mut moved = 0usize;
+            for &k in &keys {
+                let (was, is) = (before.owner(k), after.owner(k));
+                if was != is {
+                    moved += 1;
+                    assert_eq!(is, n, "a key moved to an old shard on join");
+                }
+            }
+            let frac = moved as f64 / keys.len() as f64;
+            let expect = 1.0 / (n + 1) as f64;
+            assert!(
+                (frac - expect).abs() <= 0.03,
+                "join at n={n}: moved {frac:.4}, expected ~{expect:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn fallback_is_the_runner_up_and_never_the_owner() {
+        let ring = Ring::new(4);
+        for &k in synthetic_tile_keys().iter().take(500) {
+            let owner = ring.owner(k);
+            let fb = ring.fallback(k).expect("n>1 has a fallback");
+            assert_ne!(owner, fb);
+            let ranked = ring.ranked(k);
+            assert_eq!(ranked[0], owner);
+            assert_eq!(ranked[1], fb);
+            assert_eq!(ranked.len(), 4);
+        }
+        assert_eq!(Ring::new(1).fallback(42), None);
+        assert_eq!(Ring::new(1).owner(42), 0);
+    }
+}

@@ -1,0 +1,285 @@
+//! Shard process supervision: spawn N `kdv serve` children, discover
+//! their ports, respawn crashed shards, and tear the fleet down
+//! cleanly.
+//!
+//! The supervisor never routes traffic itself — it owns the child
+//! `Child` handles and feeds address updates to whoever does (the
+//! router, via a callback). Shards bind port 0 and write their actual
+//! address to a per-shard port file; the supervisor polls that file
+//! rather than parsing child stdout, so shard logging stays free-form.
+//!
+//! A respawned shard keeps its index, and the rendezvous ring hashes
+//! by index, so a crash-and-respawn cycle never moves tile ownership —
+//! the other shards' caches stay hot and the replacement re-warms only
+//! its own slice of the pyramid.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How long a freshly spawned shard gets to write its port file.
+const SPAWN_DEADLINE: Duration = Duration::from_secs(30);
+
+/// Pause between respawn attempts after a child dies.
+const RESPAWN_BACKOFF: Duration = Duration::from_millis(500);
+
+/// How the supervisor launches shards.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Binary to exec (normally `std::env::current_exe()`).
+    pub exe: PathBuf,
+    /// Number of shard children.
+    pub shards: usize,
+    /// Arguments after `serve`, shared by every shard (store dir,
+    /// bandwidth, cache size...). `--addr` and `--port-file` are
+    /// appended per shard.
+    pub shard_args: Vec<String>,
+    /// Directory for `shard-{i}.port` files.
+    pub port_dir: PathBuf,
+}
+
+/// Why the fleet could not start.
+#[derive(Debug)]
+pub enum SpawnError {
+    /// exec / port-file I/O failure.
+    Io(io::Error),
+    /// A shard exited before writing its port file.
+    Died { shard: usize, status: String },
+    /// A shard never wrote its port file within the deadline.
+    Timeout { shard: usize },
+}
+
+impl std::fmt::Display for SpawnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpawnError::Io(e) => write!(f, "spawn io: {e}"),
+            SpawnError::Died { shard, status } => {
+                write!(f, "shard {shard} exited during startup ({status})")
+            }
+            SpawnError::Timeout { shard } => {
+                write!(f, "shard {shard} did not report a port in time")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpawnError {}
+
+impl From<io::Error> for SpawnError {
+    fn from(e: io::Error) -> Self {
+        SpawnError::Io(e)
+    }
+}
+
+struct ShardProc {
+    child: Child,
+    addr: String,
+}
+
+/// A running fleet of shard children plus the babysitter thread.
+pub struct Supervisor {
+    config: SupervisorConfig,
+    children: Arc<Mutex<Vec<ShardProc>>>,
+    stopping: Arc<AtomicBool>,
+    babysitter: Option<JoinHandle<()>>,
+}
+
+fn port_file(dir: &Path, shard: usize) -> PathBuf {
+    dir.join(format!("shard-{shard}.port"))
+}
+
+/// Spawns one shard and waits for its port file.
+fn spawn_shard(config: &SupervisorConfig, shard: usize) -> Result<ShardProc, SpawnError> {
+    let file = port_file(&config.port_dir, shard);
+    let _ = std::fs::remove_file(&file);
+    let mut child = Command::new(&config.exe)
+        .arg("serve")
+        .args(&config.shard_args)
+        .arg("--addr")
+        .arg("127.0.0.1:0")
+        .arg("--port-file")
+        .arg(&file)
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::inherit())
+        .spawn()?;
+    let deadline = Instant::now() + SPAWN_DEADLINE;
+    loop {
+        if let Ok(text) = std::fs::read_to_string(&file) {
+            let addr = text.trim().to_string();
+            if !addr.is_empty() {
+                return Ok(ShardProc { child, addr });
+            }
+        }
+        if let Ok(Some(status)) = child.try_wait() {
+            return Err(SpawnError::Died {
+                shard,
+                status: status.to_string(),
+            });
+        }
+        if Instant::now() > deadline {
+            let _ = child.kill();
+            let _ = child.wait();
+            return Err(SpawnError::Timeout { shard });
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+impl Supervisor {
+    /// Spawns the full fleet (failing fast and killing already-started
+    /// shards if any child cannot come up), then starts the babysitter
+    /// that respawns crashed shards and reports new addresses through
+    /// `on_addr(shard_index, new_addr)`.
+    pub fn start(
+        config: SupervisorConfig,
+        on_addr: Box<dyn Fn(usize, String) + Send + Sync>,
+    ) -> Result<Self, SpawnError> {
+        assert!(config.shards >= 1, "a fleet needs at least one shard");
+        std::fs::create_dir_all(&config.port_dir)?;
+        let mut fleet = Vec::with_capacity(config.shards);
+        for shard in 0..config.shards {
+            match spawn_shard(&config, shard) {
+                Ok(proc) => fleet.push(proc),
+                Err(e) => {
+                    for mut proc in fleet {
+                        let _ = proc.child.kill();
+                        let _ = proc.child.wait();
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        let children = Arc::new(Mutex::new(fleet));
+        let stopping = Arc::new(AtomicBool::new(false));
+        let babysitter = {
+            let config = config.clone();
+            let children = Arc::clone(&children);
+            let stopping = Arc::clone(&stopping);
+            std::thread::Builder::new()
+                .name("kdv-babysitter".into())
+                .spawn(move || babysit(&config, &children, &stopping, on_addr.as_ref()))?
+        };
+        Ok(Self {
+            config,
+            children,
+            stopping,
+            babysitter: Some(babysitter),
+        })
+    }
+
+    /// Current shard addresses, index-ordered.
+    pub fn addrs(&self) -> Vec<String> {
+        self.children
+            .lock()
+            .expect("fleet poisoned")
+            .iter()
+            .map(|p| p.addr.clone())
+            .collect()
+    }
+
+    /// SIGKILLs one shard — fault-injection hook for tests and the
+    /// smoke harness.
+    pub fn kill_shard(&self, shard: usize) {
+        let mut fleet = self.children.lock().expect("fleet poisoned");
+        if let Some(proc) = fleet.get_mut(shard) {
+            let _ = proc.child.kill();
+            let _ = proc.child.wait();
+        }
+    }
+
+    /// Stops the babysitter, asks every shard to drain (SIGTERM), and
+    /// reaps them — escalating to SIGKILL for stragglers.
+    pub fn stop(mut self) {
+        self.stopping.store(true, Ordering::SeqCst);
+        if let Some(h) = self.babysitter.take() {
+            let _ = h.join();
+        }
+        let mut fleet = self.children.lock().expect("fleet poisoned");
+        for proc in fleet.iter_mut() {
+            terminate(&proc.child);
+        }
+        let deadline = Instant::now() + Duration::from_secs(10);
+        for proc in fleet.iter_mut() {
+            loop {
+                match proc.child.try_wait() {
+                    Ok(Some(_)) => break,
+                    Ok(None) if Instant::now() > deadline => {
+                        let _ = proc.child.kill();
+                        let _ = proc.child.wait();
+                        break;
+                    }
+                    Ok(None) => std::thread::sleep(Duration::from_millis(20)),
+                    Err(_) => break,
+                }
+            }
+        }
+        for shard in 0..self.config.shards {
+            let _ = std::fs::remove_file(port_file(&self.config.port_dir, shard));
+        }
+    }
+}
+
+/// Respawn loop: poll children, respawn any that died, publish the
+/// replacement's address.
+fn babysit(
+    config: &SupervisorConfig,
+    children: &Mutex<Vec<ShardProc>>,
+    stopping: &AtomicBool,
+    on_addr: &(dyn Fn(usize, String) + Send + Sync),
+) {
+    while !stopping.load(Ordering::SeqCst) {
+        let mut dead = Vec::new();
+        {
+            let mut fleet = children.lock().expect("fleet poisoned");
+            for (shard, proc) in fleet.iter_mut().enumerate() {
+                if let Ok(Some(_)) = proc.child.try_wait() {
+                    dead.push(shard);
+                }
+            }
+        }
+        for shard in dead {
+            if stopping.load(Ordering::SeqCst) {
+                return;
+            }
+            std::thread::sleep(RESPAWN_BACKOFF);
+            match spawn_shard(config, shard) {
+                Ok(proc) => {
+                    let addr = proc.addr.clone();
+                    children.lock().expect("fleet poisoned")[shard] = proc;
+                    on_addr(shard, addr);
+                }
+                Err(_) => {
+                    // Leave the corpse in place; the next sweep
+                    // retries after another backoff.
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+}
+
+/// Graceful termination: SIGTERM on unix (the shard drains in-flight
+/// requests and fsyncs its WAL), plain kill elsewhere.
+#[cfg(unix)]
+fn terminate(child: &Child) {
+    extern "C" {
+        fn kill(pid: i32, sig: i32) -> i32;
+    }
+    const SIGTERM: i32 = 15;
+    // SAFETY: kill(2) with a PID we own from `Child::id`; worst case
+    // (already-reaped PID) it returns ESRCH, which we ignore.
+    unsafe {
+        let _ = kill(child.id() as i32, SIGTERM);
+    }
+}
+
+#[cfg(not(unix))]
+fn terminate(child: &Child) {
+    // No SIGTERM semantics: rely on Supervisor::stop's kill escalation.
+    let _ = child;
+}

@@ -1,12 +1,22 @@
 //! A deliberately minimal HTTP/1.1 layer over `std::net`.
 //!
 //! The tile server speaks exactly the subset of HTTP its clients
-//! need: parse one request line plus the `Content-Length` header,
-//! read the body (ingest POSTs carry one) under a hard cap, write one
-//! `Connection: close` response. No keep-alive, no chunking, no TLS —
-//! and no dependencies. Requests are read with a hard byte cap and a
-//! socket read timeout so a slow-loris client costs one worker at most
-//! a few seconds, never a hang.
+//! need: parse one request line plus the handful of headers that
+//! matter (`Content-Length`, `Expect`, `Connection`,
+//! `X-Kdv-Trace-Id`), read the body (ingest POSTs carry one) under a
+//! hard cap, write one `Content-Length`-framed response. No chunking,
+//! no TLS — and no dependencies. Requests are read with a hard byte
+//! cap and a socket read timeout so a slow-loris client costs one
+//! worker at most a few seconds, never a hang.
+//!
+//! Persistent connections are *opt-in*: only a client that sends an
+//! explicit `Connection: keep-alive` header gets one (the cluster
+//! router does, on its proxy path). Bare HTTP/1.1 requests still get
+//! `Connection: close`, so simple read-to-EOF clients — curl scripts,
+//! the test suites, the benches — keep working unchanged. Pipelined
+//! bytes that arrive behind one request's body are carried over into
+//! the next [`read_request_from`] call on the same connection instead
+//! of being dropped.
 
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
@@ -28,6 +38,13 @@ pub struct Request {
     /// The request body, read up to the caller's cap. Empty for
     /// bodyless requests.
     pub body: Vec<u8>,
+    /// Whether the client asked to keep the connection open
+    /// (`Connection: keep-alive`, case-insensitive). Absent or any
+    /// other value — including bare HTTP/1.1 — means close.
+    pub keep_alive: bool,
+    /// The forwarded `X-Kdv-Trace-Id` header value, when present (the
+    /// cluster router sends one so shard traces stitch end to end).
+    pub trace_id: Option<String>,
 }
 
 /// Why a request could not be parsed into a [`Request`].
@@ -55,7 +72,21 @@ pub fn read_request(
     stream: &mut TcpStream,
     max_body: u64,
 ) -> io::Result<Result<Request, RequestError>> {
-    let mut buf = Vec::with_capacity(512);
+    let mut carry = Vec::new();
+    read_request_from(stream, max_body, &mut carry)
+}
+
+/// [`read_request`] for persistent connections: `carry` holds bytes
+/// already read off the socket but not yet consumed (pipelined data
+/// behind the previous request's body). The buffer is drained as this
+/// request's head/body and refilled with whatever trails it, so one
+/// allocation serves every request on the connection.
+pub fn read_request_from(
+    stream: &mut TcpStream,
+    max_body: u64,
+    carry: &mut Vec<u8>,
+) -> io::Result<Result<Request, RequestError>> {
+    let mut buf = std::mem::take(carry);
     let mut chunk = [0u8; 512];
     let head_end = loop {
         if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
@@ -99,6 +130,8 @@ pub fn read_request(
     };
     let mut content_length: u64 = 0;
     let mut expect_continue = false;
+    let mut keep_alive = false;
+    let mut trace_id = None;
     for header in lines {
         let Some((name, value)) = header.split_once(':') else {
             continue;
@@ -116,6 +149,10 @@ pub fn read_request(
         } else if name.eq_ignore_ascii_case("Expect") && value.eq_ignore_ascii_case("100-continue")
         {
             expect_continue = true;
+        } else if name.eq_ignore_ascii_case("Connection") {
+            keep_alive = value.eq_ignore_ascii_case("keep-alive");
+        } else if name.eq_ignore_ascii_case("X-Kdv-Trace-Id") {
+            trace_id = Some(value.to_string());
         }
     }
     if content_length > max_body {
@@ -130,7 +167,7 @@ pub fn read_request(
         stream.write_all(b"HTTP/1.1 100 Continue\r\n\r\n")?;
         stream.flush()?;
     }
-    let mut body = buf[head_end..].to_vec();
+    let mut body = buf.split_off(head_end);
     while (body.len() as u64) < content_length {
         let n = stream.read(&mut chunk)?;
         if n == 0 {
@@ -141,12 +178,16 @@ pub fn read_request(
         }
         body.extend_from_slice(&chunk[..n]);
     }
-    body.truncate(content_length as usize);
+    // Bytes behind this request's body belong to the *next* request on
+    // a persistent connection; hand them back instead of dropping them.
+    *carry = body.split_off(content_length as usize);
     Ok(Ok(Request {
         method,
         path,
         query,
         body,
+        keep_alive,
+        trace_id,
     }))
 }
 
@@ -157,6 +198,7 @@ pub struct Response {
     reason: &'static str,
     headers: Vec<(String, String)>,
     body: Vec<u8>,
+    close: bool,
 }
 
 impl Response {
@@ -167,7 +209,21 @@ impl Response {
             reason,
             headers: Vec::new(),
             body: Vec::new(),
+            close: true,
         }
+    }
+
+    /// Marks the response `Connection: keep-alive` (the default is
+    /// `close`). Only set this when the request asked for it *and* the
+    /// server intends to read another request from the connection.
+    pub fn keep_alive(mut self, keep: bool) -> Self {
+        self.close = !keep;
+        self
+    }
+
+    /// Whether this response will close the connection.
+    pub fn closes(&self) -> bool {
+        self.close
     }
 
     /// Adds a header.
@@ -203,7 +259,11 @@ impl Response {
             out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
         }
         out.extend_from_slice(format!("Content-Length: {}\r\n", self.body.len()).as_bytes());
-        out.extend_from_slice(b"Connection: close\r\n\r\n");
+        if self.close {
+            out.extend_from_slice(b"Connection: close\r\n\r\n");
+        } else {
+            out.extend_from_slice(b"Connection: keep-alive\r\n\r\n");
+        }
         out.extend_from_slice(&self.body);
         out
     }
@@ -350,6 +410,73 @@ mod tests {
         let mut raw = b"GET /x HTTP/1.1\r\n".to_vec();
         raw.extend(vec![b'a'; 10 * 1024]);
         assert!(parse_raw(&raw).expect("io").is_err());
+    }
+
+    #[test]
+    fn captures_keep_alive_and_trace_id_headers() {
+        let req = parse_raw(
+            b"GET /t HTTP/1.1\r\nConnection: Keep-Alive\r\nX-Kdv-Trace-Id: 00ab00ab00ab00ab\r\n\r\n",
+        )
+        .expect("io")
+        .expect("parse");
+        assert!(req.keep_alive);
+        assert_eq!(req.trace_id.as_deref(), Some("00ab00ab00ab00ab"));
+
+        let req = parse_raw(b"GET /t HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .expect("io")
+            .expect("parse");
+        assert!(!req.keep_alive);
+        assert_eq!(req.trace_id, None);
+
+        // Bare HTTP/1.1 (no Connection header) defaults to close:
+        // persistence is opt-in so read-to-EOF clients keep working.
+        let req = parse_raw(b"GET /t HTTP/1.1\r\n\r\n")
+            .expect("io")
+            .expect("parse");
+        assert!(!req.keep_alive);
+    }
+
+    #[test]
+    fn carries_pipelined_bytes_to_the_next_request() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            // Two pipelined requests in one write: the second must not
+            // be discarded with the first request's trailing bytes.
+            s.write_all(
+                b"POST /a HTTP/1.1\r\nContent-Length: 2\r\nConnection: keep-alive\r\n\r\nhi\
+                  GET /b HTTP/1.1\r\n\r\n",
+            )
+            .expect("write");
+            s.shutdown(std::net::Shutdown::Write).expect("half-close");
+            s
+        });
+        let (mut conn, _) = listener.accept().expect("accept");
+        let mut carry = Vec::new();
+        let first = read_request_from(&mut conn, 1 << 20, &mut carry)
+            .expect("io")
+            .expect("parse");
+        assert_eq!(first.path, "/a");
+        assert_eq!(first.body, b"hi");
+        assert!(first.keep_alive);
+        assert!(!carry.is_empty(), "second request should be carried over");
+        let second = read_request_from(&mut conn, 1 << 20, &mut carry)
+            .expect("io")
+            .expect("parse");
+        assert_eq!(second.path, "/b");
+        assert!(second.body.is_empty());
+        assert!(carry.is_empty());
+        drop(writer.join().expect("writer"));
+    }
+
+    #[test]
+    fn response_serializes_keep_alive_when_asked() {
+        let r = Response::new(200, "OK").keep_alive(true);
+        assert!(!r.closes());
+        let text = String::from_utf8_lossy(&r.to_bytes()).to_string();
+        assert!(text.contains("Connection: keep-alive\r\n\r\n"));
+        assert!(!text.contains("Connection: close"));
     }
 
     #[test]

@@ -417,6 +417,19 @@ impl IngestState {
         Arc::clone(&self.base.lock().expect("base entry poisoned"))
     }
 
+    /// Fsyncs the WAL unconditionally and advances the durable
+    /// watermark over everything appended so far. The graceful-drain
+    /// path calls this after the worker pool has exited so a
+    /// batch-mode server never exits 0 with acknowledged-but-buffered
+    /// bytes still sitting in the page cache.
+    pub(crate) fn sync_wal(&self) -> Result<(), StoreError> {
+        let mut wal = self.wal.lock().expect("wal state poisoned");
+        wal.writer.sync()?;
+        wal.durable_seq = wal.next_seq - 1;
+        self.flushed.notify_all();
+        Ok(())
+    }
+
     /// True when committing `appends` then tombstoning `removes` would
     /// leave the logical dataset (base + memtable) with zero live
     /// points. The server refuses such batches at admission and

@@ -8,8 +8,11 @@
 //!   `Retry-After` hint itself rather than letting latency grow
 //!   without bound — load shedding at the door, not in the kitchen,
 //! * a fixed pool of **worker threads** pops connections, parses one
-//!   request, routes it, and closes the socket (`Connection: close`;
-//!   tile clients multiplex by opening parallel connections anyway),
+//!   request, routes it, and closes the socket (`Connection: close` by
+//!   default; a client that sends an explicit `Connection: keep-alive`
+//!   — the cluster router's proxy path does — keeps the connection,
+//!   and the worker serves follow-up requests from the same read
+//!   buffer under a short idle timeout),
 //! * the dataset's kd-tree is built **once** at startup and shared
 //!   immutably (`Arc`); each request constructs its own cheap
 //!   [`RefineEvaluator`] over the shared tree,
@@ -54,7 +57,7 @@ use kdv_store::{FsyncPolicy, WalOp};
 use kdv_telemetry::json::{self, Value};
 use kdv_telemetry::{
     DepthProfile, HttpCounters, IngestCounters, LogHistogram, PromWriter, RenderMetrics, TagValue,
-    Trace, TraceBuilder, TraceMeta, TraceRing,
+    Trace, TraceBuilder, TraceId, TraceMeta, TraceRing,
 };
 use kdv_viz::colormap::render_binary;
 use kdv_viz::render::BinaryGrid;
@@ -67,7 +70,7 @@ use kdv_viz::{png, ColorMap};
 
 use crate::cache::{TileCache, TileKey};
 use crate::catalog::{finish_entry, Catalog, DatasetEntry, DatasetSource, RenderSettings};
-use crate::http::{read_request, text_response, Request, RequestError, Response};
+use crate::http::{read_request_from, text_response, Request, RequestError, Response};
 use crate::ingest::{self, CommitError, DeltaView, IngestState};
 use crate::tile::{parse_tile_path, valid_dataset_name, TileAddr, TileKind};
 
@@ -578,6 +581,14 @@ impl TileServer {
         self.join_threads();
     }
 
+    /// Whether shutdown has been requested (a `/shutdown` hit, or
+    /// [`TileServer::stop`] racing from another thread). The CLI polls
+    /// this so a SIGTERM watcher and the HTTP shutdown path can share
+    /// one exit loop.
+    pub fn is_shutdown(&self) -> bool {
+        self.inner.shutdown.load(Ordering::SeqCst)
+    }
+
     fn request_stop(&self) {
         self.inner.shutdown.store(true, Ordering::SeqCst);
         // Unblock the accept thread's blocking `accept()`.
@@ -604,6 +615,16 @@ impl TileServer {
         };
         for h in handles {
             let _ = h.join();
+        }
+        // Graceful-drain durability: with the worker pool gone, fsync
+        // every live WAL so nothing acknowledged (or even buffered)
+        // rides only in the page cache when the process exits.
+        let states: Vec<Arc<IngestState>> = {
+            let guard = self.inner.ingest.lock().expect("ingest registry poisoned");
+            guard.values().cloned().collect()
+        };
+        for state in states {
+            let _ = state.sync_wal();
         }
     }
 }
@@ -676,6 +697,10 @@ fn accept_loop(
         }
         let _ = stream.set_read_timeout(Some(SOCKET_TIMEOUT));
         let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
+        // Nagle off: every response is written in one buffer, so
+        // delaying the final short segment for an ACK only adds
+        // latency — most visibly on the router's proxy path.
+        let _ = stream.set_nodelay(true);
         // The accept timestamp rides along so the worker can attribute
         // queue wait to a span whose origin is *here*, not at dequeue.
         match tx.try_send((stream, Instant::now())) {
@@ -714,11 +739,60 @@ fn worker_loop(inner: &Arc<Inner>, rx: &Mutex<Receiver<(TcpStream, Instant)>>) {
     }
 }
 
+/// How long a worker waits for the next request on a kept-alive
+/// connection before handing itself back to the pool. Short on
+/// purpose: an idle persistent connection pins a worker, and the
+/// router reconnects transparently when its pooled connection has
+/// been idled out.
+const KEEPALIVE_IDLE: Duration = Duration::from_secs(2);
+
 fn handle_connection(inner: &Arc<Inner>, mut stream: TcpStream, accepted: Instant) {
+    // The head/body read buffer persists across requests on the same
+    // connection (carrying any pipelined bytes with it), so a
+    // keep-alive proxy path pays one allocation per connection, not
+    // one per tile.
+    let mut carry = Vec::new();
+    let mut accepted = accepted;
+    loop {
+        if !handle_request(inner, &mut stream, accepted, &mut carry) {
+            break;
+        }
+        if inner.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        // Between requests, wait for the next request's first byte
+        // under the (short) keep-alive idle timeout — *outside* any
+        // trace, so idle time on a persistent connection is never
+        // attributed to a request.
+        if carry.is_empty() {
+            let _ = stream.set_read_timeout(Some(KEEPALIVE_IDLE));
+            let mut first = [0u8; 1];
+            match stream.peek(&mut first) {
+                Ok(n) if n > 0 => {}
+                _ => break, // closed, reset, or idled out
+            }
+            let _ = stream.set_read_timeout(Some(SOCKET_TIMEOUT));
+        }
+        accepted = Instant::now();
+    }
+    if inner.shutdown.load(Ordering::SeqCst) {
+        // Wake the accept thread so shutdown is prompt.
+        let _ = TcpStream::connect(inner.local_addr);
+    }
+}
+
+/// Serves one request off `stream`; returns whether the connection
+/// should be kept open for another.
+fn handle_request(
+    inner: &Arc<Inner>,
+    stream: &mut TcpStream,
+    accepted: Instant,
+    carry: &mut Vec<u8>,
+) -> bool {
     let mut rt = RequestTrace::new(inner, accepted);
     rt.tb.span_between("queue", accepted, Instant::now());
     let parse = rt.tb.begin("parse");
-    let request = match read_request(&mut stream, inner.ingest_max_body) {
+    let request = match read_request_from(stream, inner.ingest_max_body, carry) {
         Ok(Ok(request)) => request,
         Ok(Err(reject)) => {
             rt.tb.end(parse);
@@ -740,7 +814,7 @@ fn handle_connection(inner: &Arc<Inner>, mut stream: TcpStream, accepted: Instan
                     let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
                     let mut scratch = [0u8; 4096];
                     for _ in 0..16 {
-                        match io::Read::read(&mut stream, &mut scratch) {
+                        match io::Read::read(&mut *stream, &mut scratch) {
                             Ok(0) | Err(_) => break,
                             Ok(_) => {}
                         }
@@ -754,35 +828,44 @@ fn handle_connection(inner: &Arc<Inner>, mut stream: TcpStream, accepted: Instan
                 }
             };
             let response = stamp_trace(&rt, response);
-            let _ = response.write_to(&mut stream);
-            drop(stream);
+            let _ = response.write_to(stream);
+            let _ = stream.shutdown(std::net::Shutdown::Write);
             finish_trace(inner, rt, "", "", &response);
-            return;
+            return false;
         }
-        Err(_) => return, // transport failure: nothing to answer
+        Err(_) => return false, // transport failure: nothing to answer
     };
     rt.tb.end(parse);
+    // Adopt a forwarded trace ID (the cluster router sends one) so the
+    // shard's trace carries the same ID the client saw end to end.
+    if let Some(forwarded) = request.trace_id.as_deref().and_then(TraceId::from_hex) {
+        rt.tb.set_id(forwarded);
+    }
     inner.http.request();
-    let response = route(inner, &request, &mut rt);
+    // Persistence is opt-in (explicit `Connection: keep-alive`), and a
+    // draining server closes regardless so shutdown never waits out an
+    // idle connection.
+    let keep = request.keep_alive && !inner.shutdown.load(Ordering::SeqCst);
+    let response = route(inner, &request, &mut rt).keep_alive(keep);
     let response = stamp_trace(&rt, response);
     let write = rt.tb.begin("write");
-    let wrote = response.write_to(&mut stream).is_ok();
+    let wrote = response.write_to(stream).is_ok();
     rt.tb.end_with(
         write,
         vec![("bytes", TagValue::U64(response.body_len() as u64))],
     );
-    // Close before sealing the trace: the client's read-to-EOF
-    // completes without waiting on ring and histogram mutexes, so
-    // trace finalization is off the measured latency path.
-    drop(stream);
+    let keep = keep && wrote;
+    if !keep {
+        // Half-close before sealing the trace: the client's
+        // read-to-EOF completes without waiting on ring and histogram
+        // mutexes, so trace finalization is off the measured path.
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+    }
     if wrote {
         inner.http.sent(response.body_len() as u64);
     }
     finish_trace(inner, rt, &request.method, &request.path, &response);
-    if inner.shutdown.load(Ordering::SeqCst) {
-        // Wake the accept thread so shutdown is prompt.
-        let _ = TcpStream::connect(inner.local_addr);
-    }
+    keep
 }
 
 /// Echoes the trace ID on the outgoing response (every response, so a

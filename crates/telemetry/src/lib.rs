@@ -24,6 +24,9 @@
 //! * [`serve`] — lock-free cache and HTTP traffic counters for the
 //!   long-running tile server (`kdv-server`), scrape-friendly via the
 //!   same JSON writer,
+//! * [`cluster`] — router-tier traffic counters (sheds, failovers,
+//!   upstream errors) and the structural JSON rollup that merges N
+//!   shard metric documents into one fleet view,
 //! * [`ingest`] — the streaming-ingest ledger (WAL appends, durable
 //!   acks, backpressure rejections, compactions, boot-time replays)
 //!   backing the server's durability contract,
@@ -42,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cluster;
 pub mod counters;
 pub mod fault;
 pub mod hist;
@@ -53,6 +57,7 @@ pub mod serve;
 pub mod store;
 pub mod trace;
 
+pub use cluster::{sum_objects, RouterCounters, RouterSnapshot};
 pub use counters::EventCounters;
 pub use fault::{FaultPlan, FaultProbe};
 pub use hist::LogHistogram;

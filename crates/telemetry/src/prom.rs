@@ -75,6 +75,19 @@ impl PromWriter {
         let _ = writeln!(self.out, "{name} {}", num(value));
     }
 
+    /// A gauge family: one sample per `(label, value)` pair, where
+    /// `label` is a full `key="value"` clause (the cluster router emits
+    /// per-shard `shard="N"` health and in-flight gauges this way).
+    pub fn gauge_family(&mut self, name: &str, help: &str, series: &[(String, f64)]) {
+        if !self.claim(name) {
+            return;
+        }
+        self.header(name, help, "gauge");
+        for (label, value) in series {
+            let _ = writeln!(self.out, "{name}{{{label}}} {}", num(*value));
+        }
+    }
+
     /// A [`LogHistogram`] as a Prometheus histogram. Recorded values
     /// are multiplied by `scale` (e.g. `1e-9` for nanoseconds →
     /// seconds). Only non-empty buckets are emitted — `le` edges are
@@ -198,6 +211,24 @@ mod tests {
         assert!(text.contains("kdv_http_responses_total{class=\"ok\"} 40"));
         assert!(text.contains("# TYPE kdv_cache_bytes_used gauge"));
         assert!(text.contains("kdv_cache_bytes_used 1500000"));
+    }
+
+    #[test]
+    fn gauge_families_emit_one_sample_per_label() {
+        let mut w = PromWriter::new();
+        w.gauge_family(
+            "kdv_router_shard_up",
+            "Shard health by index.",
+            &[
+                ("shard=\"0\"".to_string(), 1.0),
+                ("shard=\"1\"".to_string(), 0.0),
+            ],
+        );
+        let text = w.finish();
+        lint(&text);
+        assert!(text.contains("# TYPE kdv_router_shard_up gauge"));
+        assert!(text.contains("kdv_router_shard_up{shard=\"0\"} 1"));
+        assert!(text.contains("kdv_router_shard_up{shard=\"1\"} 0"));
     }
 
     #[test]

@@ -63,6 +63,17 @@ impl TraceId {
     pub fn to_hex(self) -> String {
         format!("{:016x}", self.0)
     }
+
+    /// Parses the exact rendering [`TraceId::to_hex`] produces — 16
+    /// lowercase-insensitive hex digits — and nothing else. Used by a
+    /// shard adopting the ID a router forwarded, so garbage in the
+    /// header can never become a confusing half-parsed ID.
+    pub fn from_hex(s: &str) -> Option<Self> {
+        if s.len() != 16 {
+            return None;
+        }
+        u64::from_str_radix(s, 16).ok().map(Self)
+    }
 }
 
 /// One span annotation value.
@@ -216,6 +227,16 @@ impl TraceBuilder {
     /// An enabled builder originating now.
     pub fn new() -> Self {
         Self::with_origin(Instant::now())
+    }
+
+    /// Replaces the trace ID on an enabled builder. An upstream hop
+    /// (the cluster router) forwards its ID via `X-Kdv-Trace-Id`; the
+    /// shard adopts it here so both tiers log the same ID and traces
+    /// stitch end to end. No-op on a disabled builder.
+    pub fn set_id(&mut self, id: TraceId) {
+        if self.id.is_some() {
+            self.id = Some(id);
+        }
     }
 
     /// A disabled builder: every method is a near-free no-op.
@@ -510,6 +531,32 @@ mod tests {
         let hex = a.to_hex();
         assert_eq!(hex.len(), 16);
         assert!(hex.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn trace_ids_round_trip_through_hex() {
+        let id = TraceId::next();
+        assert_eq!(TraceId::from_hex(&id.to_hex()), Some(id));
+        assert_eq!(TraceId::from_hex(""), None);
+        assert_eq!(TraceId::from_hex("xyz"), None);
+        assert_eq!(TraceId::from_hex("00000000000000001"), None); // 17 digits
+        assert_eq!(TraceId::from_hex("00ab00ab00ab00a"), None); // 15 digits
+        assert_eq!(
+            TraceId::from_hex("00AB00ab00AB00ab"),
+            TraceId::from_hex("00ab00ab00ab00ab")
+        );
+    }
+
+    #[test]
+    fn forwarded_ids_replace_the_drawn_id_only_when_enabled() {
+        let fwd = TraceId::from_hex("00ab00ab00ab00ab").expect("hex");
+        let mut tb = TraceBuilder::new();
+        tb.set_id(fwd);
+        assert_eq!(tb.id(), Some(fwd));
+
+        let mut off = TraceBuilder::off();
+        off.set_id(fwd);
+        assert_eq!(off.id(), None);
     }
 
     #[test]
