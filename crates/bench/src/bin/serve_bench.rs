@@ -16,7 +16,11 @@
 //! fourth section benches the cluster tier: cold-pyramid and cached
 //! throughput behind the router at 1/2/4 shards, aggregate-cache
 //! scaling under a deliberately tight per-shard budget, and the
-//! router's proxy overhead on cached tiles.
+//! router's proxy overhead on cached tiles. A fifth section proves
+//! the coreset-pyramid claim: z0–z4 cold tiles on the 1M-point
+//! dataset served from a certified ladder vs. the full index at
+//! identical ε, with a 20k-point full-index baseline as the
+//! "small-dataset cost" yardstick.
 //! Later PRs diff this sidecar to catch serving regressions.
 //!
 //! ```text
@@ -36,6 +40,7 @@ use kdv_core::bandwidth::scott_gamma;
 use kdv_core::kernel::Kernel;
 use kdv_data::Dataset;
 use kdv_index::KdTree;
+use kdv_pyramid::{geometric_ladder, PyramidBuilder, PyramidConfig};
 use kdv_server::{ServerConfig, TileServer};
 use kdv_store::{FsyncPolicy, SnapshotWriter};
 use kdv_telemetry::json::{self, Value};
@@ -695,6 +700,227 @@ fn cluster_bench(tmp: &Path) -> Value {
     ])
 }
 
+/// One GET that also surfaces the `X-Kdv-Level` header, so the sweep
+/// can prove which index actually answered.
+fn fetch_level(addr: SocketAddr, path: &str) -> (u16, Option<String>, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nHost: bench\r\n\r\n").as_bytes())
+        .expect("request");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("response");
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("response head");
+    let head = std::str::from_utf8(&raw[..head_end]).expect("UTF-8 head");
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let level = head.lines().find_map(|l| {
+        let (name, value) = l.split_once(':')?;
+        name.trim()
+            .eq_ignore_ascii_case("x-kdv-level")
+            .then(|| value.trim().to_string())
+    });
+    (status, level, raw[head_end + 4..].to_vec())
+}
+
+/// The planet-scale claim, measured: z0–z4 cold εKDV tiles on the
+/// ≥1M-point cold-start dataset, served three ways at identical ε —
+/// from the certified coreset pyramid, from the full QUAD index, and
+/// from a 20k-point baseline dataset (the "small-dataset cost" the
+/// pyramid is supposed to match). Every tile is fetched exactly once
+/// per server, so each histogram is pure render cost. The sidecar pins
+/// the per-zoom level the picker chose, the full-index→pyramid p99
+/// speedup (contract: ≥5× at z ≤ 4), and the pyramid-vs-baseline cost
+/// ratio (target: within ~2×).
+fn pyramid_bench(tmp: &Path) -> Value {
+    const MAX_Z: u8 = 4;
+    const BASELINE_POINTS: usize = 20_000;
+    let n = std::env::var("KDV_BENCH_COLD_POINTS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(COLD_POINTS);
+    let mut points = Dataset::Crime.generate(n, SEED);
+    points.scale_weights(1.0 / points.len() as f64);
+    let kernel = Kernel::gaussian(scott_gamma(&points).gamma);
+    let tree = KdTree::build_default(&points);
+    let ladder = geometric_ladder(n);
+    assert!(
+        !ladder.is_empty(),
+        "cold dataset too small for a pyramid; raise KDV_BENCH_COLD_POINTS to ≥ 4096"
+    );
+    let start = Instant::now();
+    let (pyramid, report) = PyramidBuilder::new(&tree, kernel)
+        .with_config(PyramidConfig {
+            sizes: ladder.clone(),
+            ..PyramidConfig::default()
+        })
+        .build()
+        .expect("pyramid build");
+    let build_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let pyra_dir = tmp.join("pyra-store");
+    std::fs::create_dir_all(&pyra_dir).expect("mkdir pyramid store");
+    SnapshotWriter::new(&tree, kernel)
+        .with_pyramid(
+            pyramid
+                .levels()
+                .iter()
+                .map(|lv| (lv.tree.points().clone(), lv.eps_s))
+                .collect(),
+        )
+        .write_to(pyra_dir.join("crime.kdvs"))
+        .expect("write pyramid snapshot");
+    let full_dir = tmp.join("pyra-full");
+    std::fs::create_dir_all(&full_dir).expect("mkdir full store");
+    SnapshotWriter::new(&tree, kernel)
+        .write_to(full_dir.join("crime.kdvs"))
+        .expect("write full snapshot");
+    let eps_s: Vec<f64> = pyramid.levels().iter().map(|lv| lv.eps_s).collect();
+    drop(pyramid);
+    drop(tree);
+    drop(points);
+
+    let base_dir = tmp.join("pyra-baseline");
+    std::fs::create_dir_all(&base_dir).expect("mkdir baseline store");
+    let mut base = Dataset::Crime.generate(BASELINE_POINTS, SEED);
+    base.scale_weights(1.0 / base.len() as f64);
+    let base_kernel = Kernel::gaussian(scott_gamma(&base).gamma);
+    SnapshotWriter::new(&KdTree::build_default(&base), base_kernel)
+        .write_to(base_dir.join("crime.kdvs"))
+        .expect("write baseline snapshot");
+    drop(base);
+
+    // Identical serving config everywhere; preload so the lazy
+    // snapshot load never pollutes the first tile's timing.
+    let eps = 0.1;
+    let start_server = |dir: &Path| {
+        let config = ServerConfig {
+            tile_size: 64,
+            max_z: MAX_Z,
+            pyramid_max_z: MAX_Z,
+            eps,
+            workers: 4,
+            preload: true,
+            ..ServerConfig::default()
+        };
+        let server = TileServer::start_with_store(config, dir).expect("start");
+        while fetch(server.local_addr(), "/readyz").0 != 200 {
+            std::thread::sleep(std::time::Duration::from_millis(25));
+        }
+        server
+    };
+    let servers = [
+        ("pyramid", start_server(&pyra_dir)),
+        ("full", start_server(&full_dir)),
+        ("baseline", start_server(&base_dir)),
+    ];
+
+    let mut zooms = Vec::new();
+    let mut speedups = Vec::new();
+    let mut cost_ratios = Vec::new();
+    for z in 0..=MAX_Z {
+        let side = 1u32 << z;
+        let mut hists = [
+            LogHistogram::new(),
+            LogHistogram::new(),
+            LogHistogram::new(),
+        ];
+        let mut level = None;
+        for x in 0..side {
+            for y in 0..side {
+                let path = format!("/tiles/crime/eps/{z}/{x}/{y}.png");
+                for (slot, (name, server)) in servers.iter().enumerate() {
+                    let start = Instant::now();
+                    let (status, lvl, body) = fetch_level(server.local_addr(), &path);
+                    let ns = start.elapsed().as_nanos() as u64;
+                    assert_eq!(status, 200, "{name} {path}");
+                    assert!(body.starts_with(b"\x89PNG"), "{name} {path}: not a PNG");
+                    hists[slot].record(ns);
+                    if slot == 0 {
+                        let lvl = lvl.expect("level header");
+                        assert_ne!(lvl, "full", "{path}: the picker must admit a level");
+                        level = Some(lvl);
+                    }
+                }
+            }
+        }
+        let level = level.expect("at least one tile per zoom");
+        let p99 = |h: &LogHistogram| h.quantile_le(0.99) as f64;
+        let p50 = |h: &LogHistogram| h.quantile_le(0.5) as f64;
+        let speedup = p99(&hists[1]) / p99(&hists[0]);
+        let cost_ratio = p50(&hists[0]) / p50(&hists[2]);
+        speedups.push(speedup);
+        cost_ratios.push(cost_ratio);
+        println!(
+            "pyramid z={z} (level {level}): cold p99 {:.2} ms vs full {:.2} ms ({speedup:.1}x); \
+             baseline p50 ratio {cost_ratio:.2}",
+            p99(&hists[0]) / 1e6,
+            p99(&hists[1]) / 1e6,
+        );
+        zooms.push(Value::obj(vec![
+            ("z", json::num_u(z as u64)),
+            ("tiles", json::num_u((side * side) as u64)),
+            ("level", Value::Str(level)),
+            ("pyramid", hist_json(&hists[0])),
+            ("full", hist_json(&hists[1])),
+            ("baseline", hist_json(&hists[2])),
+            ("p99_speedup", json::num_f(speedup)),
+            ("baseline_p50_ratio", json::num_f(cost_ratio)),
+        ]));
+    }
+    for (_, server) in servers {
+        server.stop();
+    }
+
+    let min_speedup = speedups.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max_ratio = cost_ratios.iter().cloned().fold(0.0, f64::max);
+    println!(
+        "pyramid on {n} points: build {build_ms:.0} ms, ladder {ladder:?}; \
+         worst z≤{MAX_Z} p99 speedup {min_speedup:.1}x, \
+         worst cost vs 20k baseline {max_ratio:.2}x"
+    );
+    Value::obj(vec![
+        ("points", json::num_u(n as u64)),
+        ("baseline_points", json::num_u(BASELINE_POINTS as u64)),
+        ("eps", json::num_f(eps)),
+        ("build_ms", json::num_f(build_ms)),
+        (
+            "ladder",
+            Value::Arr(ladder.iter().map(|&s| json::num_u(s as u64)).collect()),
+        ),
+        (
+            "eps_s",
+            Value::Arr(eps_s.iter().map(|&e| json::num_f(e)).collect()),
+        ),
+        (
+            "certified",
+            Value::Arr(
+                report
+                    .levels
+                    .iter()
+                    .map(|lv| {
+                        Value::obj(vec![
+                            ("size", json::num_u(lv.size as u64)),
+                            ("hoeffding_eps", json::num_f(lv.hoeffding_eps)),
+                            ("measured_eps", json::num_f(lv.measured_eps)),
+                            ("certified_eps", json::num_f(lv.certified_eps)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("zooms", Value::Arr(zooms)),
+        ("p99_speedup_min", json::num_f(min_speedup)),
+        ("baseline_p50_ratio_max", json::num_f(max_ratio)),
+    ])
+}
+
 fn main() {
     let out = std::env::args()
         .nth(1)
@@ -750,11 +976,12 @@ fn main() {
     let cold_start = cold_start(&tmp);
     let ingest = ingest_bench(&tmp);
     let cluster = cluster_bench(&tmp);
+    let pyramid = pyramid_bench(&tmp);
     std::fs::remove_dir_all(&tmp).ok();
     let trace_overhead = trace_overhead();
 
     let doc = Value::obj(vec![
-        ("schema", Value::Str("kdv-bench-serve/5".to_string())),
+        ("schema", Value::Str("kdv-bench-serve/6".to_string())),
         ("dataset", Value::Str("crime".to_string())),
         ("points", json::num_u(POINTS as u64)),
         ("tile_size", json::num_u(TILE_SIZE as u64)),
@@ -763,6 +990,7 @@ fn main() {
         ("cold_start", cold_start),
         ("ingest", ingest),
         ("cluster", cluster),
+        ("pyramid", pyramid),
         ("trace_overhead", trace_overhead),
     ]);
     std::fs::write(&out, doc.render()).expect("write sidecar");

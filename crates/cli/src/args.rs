@@ -12,7 +12,7 @@ pub struct Args {
 }
 
 /// Flags that take no value.
-const BOOLEAN_FLAGS: [&str; 9] = [
+const BOOLEAN_FLAGS: [&str; 10] = [
     "help",
     "weights",
     "grayscale",
@@ -22,6 +22,7 @@ const BOOLEAN_FLAGS: [&str; 9] = [
     "debug-sleep",
     "no-trace",
     "preload",
+    "pyramid",
 ];
 
 impl Args {

@@ -14,6 +14,7 @@ use kdv_core::threshold::estimate_levels;
 use kdv_data::{csv, sanitize, Dataset};
 use kdv_geom::PointSet;
 use kdv_index::KdTree;
+use kdv_pyramid::{geometric_ladder, PyramidBuilder, PyramidConfig};
 use kdv_sampling::{sample_size_for, zorder_sample};
 use kdv_server::{ServerConfig, TileServer};
 use kdv_store::{Snapshot, SnapshotWriter};
@@ -472,6 +473,7 @@ pub fn serve(args: &Args) -> Result<(), String> {
     if args.has("help") {
         println!(
             "kdv serve <points.csv> [--addr 127.0.0.1:8080] [--tile-size 256] [--max-z 5]\n\
+             \x20         [--pyramid-max-z 4]\n\
              \x20         [--eps 0.05] [--tau T | --tau-sigma K] [--kernel ...] [--gamma G]\n\
              \x20         [--weights] [--workers 4] [--queue 64] [--cache-mb 64]\n\
              \x20         [--cache-shards 8] [--tile-max-work UNITS] [--tile-deadline-ms MS]\n\
@@ -524,6 +526,7 @@ pub fn serve(args: &Args) -> Result<(), String> {
     validate_eps(eps).map_err(|e| e.to_string())?;
     let tile_size = args.get_parsed("tile-size", 256u32)?;
     let max_z = args.get_parsed("max-z", 5u8)?;
+    let pyramid_max_z = args.get_parsed("pyramid-max-z", 4u8)?;
     let workers = args.get_parsed("workers", 4usize)?;
     let queue = args.get_parsed("queue", 64usize)?;
     let cache_mb = args.get_parsed("cache-mb", 64usize)?;
@@ -593,6 +596,7 @@ pub fn serve(args: &Args) -> Result<(), String> {
         addr,
         tile_size,
         max_z,
+        pyramid_max_z,
         eps,
         tau,
         workers,
@@ -840,12 +844,14 @@ pub fn index(args: &Args) -> Result<(), String> {
     let help = || {
         println!(
             "kdv index build <points.csv> [--out points.kdvs] [--kernel ...] [--gamma G]\n\
-             \x20          [--weights] [--coresets N1,N2,...]\n\
+             \x20          [--weights] [--coresets N1,N2,...] [--pyramid] [--pyramid-delta D]\n\
              kdv index inspect <file.kdvs>\n\
              kdv index verify <file.kdvs>\n\
              \n\
-             build    serialize the kd-tree + QUAD moments to a KDVS snapshot\n\
-             inspect  print header, section table, and metadata (checksums verified)\n\
+             build    serialize the kd-tree + QUAD moments to a KDVS snapshot;\n\
+             \x20        --pyramid certifies a coreset ladder (geometric sizes, or\n\
+             \x20        --coresets overrides) with per-level sampling bounds ε_s\n\
+             inspect  print header, section table, metadata, and pyramid levels\n\
              verify   full load + deep re-validation of moments and topology"
         );
     };
@@ -879,21 +885,71 @@ fn index_build(args: &Args, csv_path: &Path) -> Result<(), String> {
     let build_ms = build_started.elapsed().as_millis();
 
     let mut writer = SnapshotWriter::new(&tree, input.kernel);
-    if let Some(spec) = args.get("coresets") {
-        let mut sizes = Vec::new();
-        for part in spec.split(',') {
-            let size: usize = part
-                .trim()
-                .parse()
-                .map_err(|_| format!("--coresets: cannot parse {part:?}"))?;
-            if size == 0 || size > input.points.len() {
-                return Err(format!(
-                    "--coresets: size {size} outside [1, {}]",
-                    input.points.len()
-                ));
+    let sizes = match args.get("coresets") {
+        Some(spec) => {
+            let mut sizes = Vec::new();
+            for part in spec.split(',') {
+                let size: usize = part
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("--coresets: cannot parse {part:?}"))?;
+                if size == 0 || size > input.points.len() {
+                    return Err(format!(
+                        "--coresets: size {size} outside [1, {}]",
+                        input.points.len()
+                    ));
+                }
+                sizes.push(size);
             }
-            sizes.push(size);
+            Some(sizes)
         }
+        None => None,
+    };
+    if args.has("pyramid") {
+        // Certified ladder: sample, index, and *validate* each level
+        // against the exact KDE before persisting its ε_s bound.
+        let delta = args.get_parsed("pyramid-delta", 1e-6)?;
+        if !(delta > 0.0 && delta < 1.0) {
+            return Err("--pyramid-delta must be in (0, 1)".into());
+        }
+        let mut ladder = sizes.unwrap_or_else(|| geometric_ladder(input.points.len()));
+        if ladder.is_empty() {
+            return Err(format!(
+                "--pyramid: {} points is too small for the default ladder \
+                 (needs ≥ 4096); pass explicit sizes via --coresets",
+                input.points.len()
+            ));
+        }
+        ladder.sort_unstable();
+        let config = PyramidConfig {
+            sizes: ladder,
+            delta,
+            ..PyramidConfig::default()
+        };
+        let certify_started = Instant::now();
+        let (pyramid, report) = PyramidBuilder::new(&tree, input.kernel)
+            .with_config(config)
+            .build()
+            .map_err(|e| format!("--pyramid: {e}"))?;
+        println!(
+            "pyramid: {} level(s) certified in {} ms (δ = {delta:.1e})",
+            pyramid.len(),
+            certify_started.elapsed().as_millis()
+        );
+        for (i, lv) in report.levels.iter().enumerate() {
+            println!(
+                "  level {i}: {:>8} points  ε_s = {:.5} (hoeffding {:.5}, measured {:.5})",
+                lv.size, lv.certified_eps, lv.hoeffding_eps, lv.measured_eps
+            );
+        }
+        writer = writer.with_pyramid(
+            pyramid
+                .levels()
+                .iter()
+                .map(|lv| (lv.tree.points().clone(), lv.eps_s))
+                .collect(),
+        );
+    } else if let Some(sizes) = sizes {
         let levels: Vec<_> = sizes
             .iter()
             .map(|&s| zorder_sample(tree.points(), s, 0.25))
@@ -920,13 +976,23 @@ fn index_build(args: &Args, csv_path: &Path) -> Result<(), String> {
 fn index_inspect(path: &Path) -> Result<(), String> {
     let info = Snapshot::inspect(path).map_err(|e| e.to_string())?;
     println!("{}: KDVS version {}", path.display(), info.version);
+    let mut flag_names = Vec::new();
+    for (bit, name) in [
+        (kdv_store::FLAG_CORESETS, "coresets"),
+        (kdv_store::FLAG_INGEST, "ingest"),
+        (kdv_store::FLAG_PYRAMID, "pyramid"),
+    ] {
+        if info.flags & bit != 0 {
+            flag_names.push(name);
+        }
+    }
     println!(
         "  flags: {:#06x}{}",
         info.flags,
-        if info.flags & kdv_store::FLAG_CORESETS != 0 {
-            " (coresets)"
+        if flag_names.is_empty() {
+            String::new()
         } else {
-            ""
+            format!(" ({})", flag_names.join(", "))
         }
     );
     println!("  file length: {} bytes", info.file_len);
@@ -946,6 +1012,25 @@ fn index_inspect(path: &Path) -> Result<(), String> {
         "  kernel: {:?}, γ = {}, coreset levels: {}",
         m.kernel, m.gamma, m.coreset_levels
     );
+    if m.coreset_levels > 0 {
+        // Per-level detail lives in the CORE/PYRA payloads, so this
+        // needs a full (checksummed) load, not just the header.
+        let snap = Snapshot::open(path).map_err(|e| e.to_string())?;
+        let d = snap.tree.points().dim() as u64;
+        println!("  levels:");
+        for (i, level) in snap.coresets.iter().enumerate() {
+            let bytes = 8 + 8 * level.len() as u64 * (d + 1);
+            let bound = match snap.level_bounds.get(i) {
+                Some(eps_s) => format!("ε_s = {eps_s:.5} (certified)"),
+                None => "uncertified".to_string(),
+            };
+            println!(
+                "    level {i}: {:>8} points  {:>10} bytes  {bound}",
+                level.len(),
+                bytes
+            );
+        }
+    }
     Ok(())
 }
 
@@ -957,11 +1042,16 @@ fn index_verify(path: &Path) -> Result<(), String> {
     snap.verify_deep()
         .map_err(|e| format!("{}: {e}", path.display()))?;
     println!(
-        "{}: ok — {} points, {} nodes, {} coreset level(s); load {load_ms} ms, deep verify {} ms",
+        "{}: ok — {} points, {} nodes, {} coreset level(s){}; load {load_ms} ms, deep verify {} ms",
         path.display(),
         snap.meta.point_count,
         snap.meta.node_count,
         snap.coresets.len(),
+        if snap.level_bounds.is_empty() {
+            ""
+        } else {
+            " with certified pyramid bounds"
+        },
         deep_started.elapsed().as_millis()
     );
     Ok(())

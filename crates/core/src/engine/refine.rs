@@ -93,6 +93,9 @@ pub struct RefineEvaluator<'a> {
 enum StopRule {
     /// Terminate when `ub ≤ (1 + ε)·lb`.
     Eps(f64),
+    /// Terminate when `ub − lb ≤ 2·t` (absolute-error contract: the
+    /// midpoint is then within `t` of the true density).
+    Abs(f64),
     /// Terminate when `lb ≥ τ` or `ub ≤ τ`.
     Tau(f64),
     /// Refine until every node is exact (ground-truth evaluation).
@@ -196,6 +199,42 @@ impl<'a> RefineEvaluator<'a> {
         validate_query_point(q, self.tree.points().dim())?;
         let (lb, ub, exhausted) =
             self.refine(q, StopRule::Eps(eps), Some(budget), probe, |_, _| {});
+        Ok(BudgetedEval { lb, ub, exhausted })
+    }
+
+    /// Budget-aware εKDV under an **absolute** tolerance: refines until
+    /// `ub − lb ≤ 2·abs_tol` — so the midpoint estimate is within
+    /// `abs_tol` of the true density — or `budget` runs out. This is
+    /// the contract the coreset pyramid serves under: sampling error is
+    /// an absolute `ε_s·W` band, so the refinement share of the budget
+    /// must be absolute too for the two to add (`kdv-pyramid`).
+    pub fn eval_abs_budgeted(
+        &mut self,
+        q: &[f64],
+        abs_tol: f64,
+        budget: &mut RenderBudget,
+    ) -> Result<BudgetedEval, KdvError> {
+        self.eval_abs_budgeted_with(q, abs_tol, budget, &mut NoProbe)
+    }
+
+    /// [`RefineEvaluator::eval_abs_budgeted`] with an instrumentation
+    /// [`Probe`].
+    pub fn eval_abs_budgeted_with<P: Probe>(
+        &mut self,
+        q: &[f64],
+        abs_tol: f64,
+        budget: &mut RenderBudget,
+        probe: &mut P,
+    ) -> Result<BudgetedEval, KdvError> {
+        if !(abs_tol.is_finite() && abs_tol > 0.0) {
+            return Err(KdvError::invalid(
+                "abs_tol",
+                format!("absolute tolerance must be positive and finite, got {abs_tol}"),
+            ));
+        }
+        validate_query_point(q, self.tree.points().dim())?;
+        let (lb, ub, exhausted) =
+            self.refine(q, StopRule::Abs(abs_tol), Some(budget), probe, |_, _| {});
         Ok(BudgetedEval { lb, ub, exhausted })
     }
 
@@ -400,6 +439,11 @@ impl<'a> RefineEvaluator<'a> {
             match rule {
                 StopRule::Eps(eps) => {
                     if best_ub <= (1.0 + eps) * best_lb {
+                        return (best_lb, best_ub, false);
+                    }
+                }
+                StopRule::Abs(t) => {
+                    if best_ub - best_lb <= 2.0 * t {
                         return (best_lb, best_ub, false);
                     }
                 }
@@ -880,6 +924,35 @@ mod tests {
             // (bounded by leaf capacity), never run away.
             assert!(budget.work_done() <= cap + 16, "cap {cap} overshot");
         }
+    }
+
+    #[test]
+    fn abs_tolerance_certifies_absolute_error() {
+        let ps = random_points(2000, 36);
+        let tree = KdTree::build_default(&ps);
+        let kernel = Kernel::gaussian(0.05);
+        let mut ev = RefineEvaluator::new(&tree, kernel, BoundFamily::Quadratic);
+        let w: f64 = ps.iter().map(|p| p.weight).sum();
+        for q in [[0.0, 0.0], [5.0, -3.0], [25.0, 25.0]] {
+            let f = exact_scan(&ps, &kernel, &q);
+            for tol in [1e-2 * w, 1e-5 * w] {
+                let mut budget = RenderBudget::unlimited();
+                let e = ev.eval_abs_budgeted(&q, tol, &mut budget).unwrap();
+                assert!(!e.exhausted);
+                assert!(e.ub - e.lb <= 2.0 * tol + 1e-12 * (1.0 + f.abs()));
+                assert!(
+                    (e.estimate() - f).abs() <= tol + 1e-12 * (1.0 + f.abs()),
+                    "abs tol {tol} violated at {q:?}: {} vs {f}",
+                    e.estimate()
+                );
+            }
+        }
+        // Structured rejection, no panic.
+        let mut budget = RenderBudget::unlimited();
+        assert!(ev.eval_abs_budgeted(&[0.0, 0.0], 0.0, &mut budget).is_err());
+        assert!(ev
+            .eval_abs_budgeted(&[0.0, 0.0], f64::NAN, &mut budget)
+            .is_err());
     }
 
     #[test]

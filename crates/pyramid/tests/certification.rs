@@ -1,0 +1,112 @@
+//! Property tests for the pyramid's certified sampling bounds
+//! (ISSUE 9 satellite #3).
+//!
+//! Over random clustered datasets, the empirical max
+//! `|F_coreset(q) − F_exact(q)|` on a probe grid must stay below the
+//! level's claimed `ε_s · W`; and the Hoeffding sample-size rule must
+//! be monotone in both ε and δ.
+
+use kdv_core::kernel::Kernel;
+use kdv_core::raster::RasterSpec;
+use kdv_data::synthetic::{gaussian_mixture, MixtureComponent};
+use kdv_geom::vecmath::dist2;
+use kdv_geom::PointSet;
+use kdv_index::KdTree;
+use kdv_pyramid::{PyramidBuilder, PyramidConfig};
+use kdv_sampling::{sample_size_for, sampling_eps_for};
+use proptest::prelude::*;
+
+/// Brute-force KDE at `q` over `set`.
+fn exact_kde(set: &PointSet, kernel: Kernel, q: &[f64]) -> f64 {
+    set.iter()
+        .map(|p| p.weight * kernel.eval_dist2(dist2(q, p.coords)))
+        .sum()
+}
+
+/// A random clustered dataset: 2–4 Gaussian blobs with varying spread
+/// and mixture weight.
+fn clustered_dataset(n: usize, seed: u64, spread: f64) -> PointSet {
+    let k = 2 + (seed % 3) as usize;
+    let comps: Vec<MixtureComponent> = (0..k)
+        .map(|i| {
+            let angle = i as f64 * 2.4 + seed as f64 * 0.01;
+            MixtureComponent::isotropic(
+                vec![4.0 * angle.cos(), 4.0 * angle.sin()],
+                spread * (1.0 + 0.5 * i as f64),
+                1.0 + i as f64,
+            )
+        })
+        .collect();
+    gaussian_mixture(n, &comps, seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The certificate a build emits is honest: on a *fresh* probe
+    /// grid (denser than the builder's own), brute-force coreset KDE
+    /// stays within `ε_s · W` of brute-force exact KDE.
+    #[test]
+    fn certified_bound_holds_empirically(
+        seed in 0u64..1000,
+        spread in 0.4f64..1.6,
+        gamma in 0.05f64..0.8,
+    ) {
+        let n = 6_000;
+        let ps = clustered_dataset(n, seed, spread);
+        let tree = KdTree::try_build_default(&ps).expect("index");
+        let kernel = Kernel::gaussian(gamma);
+        let (pyramid, report) = PyramidBuilder::new(&tree, kernel)
+            .with_config(PyramidConfig {
+                sizes: vec![300, 1200],
+                probe_res: 12,
+                ..PyramidConfig::default()
+            })
+            .build()
+            .expect("build");
+        prop_assert_eq!(pyramid.len(), 2);
+
+        let w = ps.total_weight();
+        // An independent probe grid, finer and with a different margin
+        // than the builder used, so the check is not circular.
+        let res = 20u32;
+        let spec = RasterSpec::try_covering(&ps, res, res, 0.02).expect("probe grid");
+        for (level, rep) in pyramid.levels().iter().zip(&report.levels) {
+            prop_assert!(level.eps_s >= rep.hoeffding_eps);
+            let mut worst = 0.0f64;
+            for row in 0..res {
+                for col in 0..res {
+                    let q = spec.pixel_center(col, row);
+                    let err = (exact_kde(level.tree.points(), kernel, &q)
+                        - exact_kde(&ps, kernel, &q))
+                        .abs();
+                    worst = worst.max(err);
+                }
+            }
+            prop_assert!(
+                worst <= level.eps_s * w,
+                "level {}: empirical max err {} exceeds certificate {}",
+                rep.size, worst, level.eps_s * w
+            );
+        }
+    }
+
+    /// `sample_size_for` is monotone: tightening ε or δ never asks for
+    /// fewer points, and its inverse is consistent.
+    #[test]
+    fn sample_size_monotone(
+        eps in 0.005f64..0.5,
+        delta in 1e-8f64..0.5,
+        shrink in 0.1f64..0.99,
+    ) {
+        let s = sample_size_for(eps, delta);
+        // Tighter ε → at least as many points.
+        prop_assert!(sample_size_for(eps * shrink, delta) >= s);
+        // Tighter δ → at least as many points.
+        prop_assert!(sample_size_for(eps, delta * shrink) >= s);
+        // Inverse round trip never loses budget.
+        prop_assert!(sample_size_for(sampling_eps_for(s, delta), delta) <= s);
+        // And the inverse is monotone decreasing in size.
+        prop_assert!(sampling_eps_for(s + 1, delta) <= sampling_eps_for(s, delta));
+    }
+}

@@ -20,6 +20,31 @@ pub fn sample_size_for(eps: f64, delta: f64) -> usize {
     ((2.0 / delta).ln() / (2.0 * eps * eps)).ceil() as usize
 }
 
+/// Inverse of [`sample_size_for`]: the tightest per-query error budget
+/// `ε` a sample of `size` points certifies at confidence `1 − δ`:
+///
+/// `ε = √( ln(2/δ) / (2 s) )`.
+///
+/// Round-tripping through [`sample_size_for`] never loses budget:
+/// `sample_size_for(sampling_eps_for(s, δ), δ) ≤ s` (the ceiling in the
+/// forward direction only ever asks for *more* points than `ε` needs).
+///
+/// # Panics
+/// Panics unless `size > 0` and `0 < δ < 1`.
+pub fn sampling_eps_for(size: usize, delta: f64) -> f64 {
+    assert!(size > 0, "sample size must be positive");
+    assert!(delta > 0.0 && delta < 1.0, "δ must be in (0, 1)");
+    let mut eps = ((2.0 / delta).ln() / (2.0 * size as f64)).sqrt();
+    // Floating-point guard: when `ln(2/δ)/(2ε²)` lands a hair past an
+    // integer, the forward rule's ceiling would ask for `size + 1`
+    // points. Inflating ε by parts in 10¹² (conservative — a looser
+    // certificate) restores the round-trip invariant exactly.
+    while sample_size_for(eps, delta) > size {
+        eps *= 1.0 + 1e-12;
+    }
+    eps
+}
+
 /// Draws a Z-order stratified sample of (at most) `size` points and
 /// rescales weights by `n/s` so kernel aggregations over the sample
 /// estimate aggregations over the full set.
@@ -55,14 +80,20 @@ pub fn zorder_sample(ps: &PointSet, size: usize, phase: f64) -> PointSet {
     }
 
     let order = sort_indices_by_morton(ps);
+    // One expression, two roles: `n/s` is both the stride between
+    // sampled curve positions and the weight rescale. Taking every
+    // `n/s`-th point and multiplying its weight by `n/s` keeps the
+    // total kernel mass: for uniform weights `w` the sample's mass is
+    // `s · w · n/s = n·w = W` exactly, and for non-uniform weights the
+    // stratified estimator's expected mass is `W` (each point is
+    // selected with probability `s/n` and up-weighted by `n/s`).
     let stride = n as f64 / size as f64;
-    let scale = n as f64 / size as f64;
 
     let mut out = PointSet::with_capacity(ps.dim(), size);
     for k in 0..size {
         let pos = ((k as f64 + phase) * stride) as usize;
         let idx = order[pos.min(n - 1)];
-        out.push_weighted(ps.point(idx), ps.weight(idx) * scale);
+        out.push_weighted(ps.point(idx), ps.weight(idx) * stride);
     }
     out
 }
@@ -86,6 +117,22 @@ mod tests {
     #[should_panic(expected = "δ must be in (0, 1)")]
     fn bad_delta_panics() {
         sample_size_for(0.1, 1.5);
+    }
+
+    #[test]
+    fn eps_for_size_inverts_without_losing_budget() {
+        for delta in [0.5, 0.1, 1e-3, 1e-6] {
+            for size in [1usize, 7, 116, 4096, 1 << 20] {
+                let eps = sampling_eps_for(size, delta);
+                assert!(eps > 0.0 && eps.is_finite());
+                // The ε a size certifies must, fed back through the
+                // forward rule, ask for at most that many points.
+                assert!(
+                    sample_size_for(eps, delta) <= size,
+                    "size {size} δ {delta}: round-trip inflated the sample"
+                );
+            }
+        }
     }
 
     #[test]

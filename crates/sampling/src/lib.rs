@@ -25,5 +25,5 @@
 pub mod coreset;
 pub mod morton;
 
-pub use coreset::{sample_size_for, zorder_sample};
+pub use coreset::{sample_size_for, sampling_eps_for, zorder_sample};
 pub use morton::{morton2, sort_indices_by_morton};

@@ -43,6 +43,11 @@ pub struct TileKey {
     pub param_bits: u64,
     /// Kernel bandwidth `γ.to_bits()`.
     pub gamma_bits: u64,
+    /// Coreset pyramid level that rendered the tile
+    /// ([`crate::server::FULL_LEVEL`] for the full index). A compaction
+    /// that re-certifies the ladder can shift the pick; keying on the
+    /// level keeps stale-level bytes from surviving the swap.
+    pub level: u8,
 }
 
 struct Entry {
@@ -107,6 +112,7 @@ impl TileCache {
         eat(&key.addr.y.to_le_bytes());
         eat(&key.param_bits.to_le_bytes());
         eat(&key.gamma_bits.to_le_bytes());
+        eat(&[key.level]);
         (h % self.shards.len() as u64) as usize
     }
 
@@ -267,6 +273,7 @@ mod tests {
             },
             param_bits: 0.05f64.to_bits(),
             gamma_bits: 1.5f64.to_bits(),
+            level: 0xFF,
         }
     }
 
@@ -288,8 +295,12 @@ mod tests {
         let mut other_ds = key(0, 0, 0);
         other_ds.dataset = 1;
         assert!(cache.get(&other_ds).is_none());
+        // Same address, different pyramid level: also a different tile.
+        let mut other_lv = key(0, 0, 0);
+        other_lv.level = 1;
+        assert!(cache.get(&other_lv).is_none());
         let s = cache.snapshot();
-        assert_eq!((s.hits, s.misses, s.insertions), (1, 3, 1));
+        assert_eq!((s.hits, s.misses, s.insertions), (1, 4, 1));
     }
 
     #[test]

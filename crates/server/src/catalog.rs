@@ -31,6 +31,7 @@ use kdv_core::engine::RefineEvaluator;
 use kdv_core::kernel::{Kernel, KernelType};
 use kdv_core::raster::RasterSpec;
 use kdv_index::KdTree;
+use kdv_pyramid::Pyramid;
 use kdv_store::{Snapshot, StoreError};
 use kdv_telemetry::json::{self, Value};
 use kdv_telemetry::StoreCounters;
@@ -85,6 +86,10 @@ pub struct DatasetEntry {
     /// (`0` when the dataset predates streaming ingest). Boot-time
     /// replay skips records at or below it.
     pub applied_seq: u64,
+    /// Certified coreset pyramid for low-zoom serving (empty when the
+    /// snapshot carries no PYRA section). Shared so compaction can
+    /// swap the ladder without cloning level trees.
+    pub pyramid: Arc<Pyramid>,
 }
 
 /// Raster/sweep parameters the catalog needs to finish materializing a
@@ -145,6 +150,7 @@ pub(crate) fn finish_entry(
         warm_ms,
         source,
         applied_seq: 0,
+        pyramid: Arc::new(Pyramid::empty()),
     })
 }
 
@@ -162,6 +168,21 @@ fn load_snapshot(
     })?;
     let index_ms = started.elapsed().as_millis() as u64;
     let applied_seq = snap.applied_seq;
+    // Rebuild the certified ladder before the tree moves into the
+    // entry: level trees come straight from the persisted coresets,
+    // bounds from PYRA. A snapshot without PYRA yields an empty
+    // pyramid and every tile routes to the full index.
+    let pyramid = if snap.level_bounds.is_empty() {
+        Pyramid::empty()
+    } else {
+        let parts = snap
+            .coresets
+            .into_iter()
+            .zip(snap.level_bounds.iter().copied())
+            .collect();
+        Pyramid::from_parts(parts)
+            .map_err(|e| (format!("dataset {name:?}: pyramid: {e}"), false))?
+    };
     let mut entry = finish_entry(
         name,
         snap.tree,
@@ -172,6 +193,7 @@ fn load_snapshot(
     )
     .map_err(|m| (m, false))?;
     entry.applied_seq = applied_seq;
+    entry.pyramid = Arc::new(pyramid);
     Ok(entry)
 }
 

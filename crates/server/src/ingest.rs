@@ -45,6 +45,7 @@ use kdv_core::kernel::{Kernel, KernelType};
 use kdv_core::raster::{DensityGrid, RasterSpec};
 use kdv_geom::PointSet;
 use kdv_index::KdTree;
+use kdv_pyramid::{Pyramid, PyramidBuilder, PyramidConfig};
 use kdv_store::wal::fsync_dir;
 use kdv_store::{FsyncPolicy, SnapshotWriter, StoreError, WalOp, WalRecord, WalWriter};
 use kdv_telemetry::IngestCounters;
@@ -142,8 +143,8 @@ impl Memtable {
 /// under the lock and merged into tiles outside it.
 #[derive(Debug, Clone)]
 pub(crate) struct DeltaView {
-    appends: Vec<[f64; 3]>,
-    removed: Vec<[f64; 3]>,
+    pub(crate) appends: Vec<[f64; 3]>,
+    pub(crate) removed: Vec<[f64; 3]>,
     /// The memtable epoch this view was taken at.
     pub(crate) epoch: u64,
 }
@@ -559,8 +560,50 @@ pub(crate) fn compact(
         DatasetSource::Snapshot,
     )?;
     folded.applied_seq = upto;
-    SnapshotWriter::new(&folded.tree, folded.kernel)
-        .with_applied_seq(upto)
+    // A pyramid-backed dataset keeps its pyramid across compaction:
+    // rebuild and re-certify the ladder over the folded point set, so
+    // low-zoom serving never regresses to the full index just because
+    // writes happened. Datasets without a ladder stay without one —
+    // opting in is `kdv index build --pyramid`'s job. The old levels'
+    // sizes are the ladder shape the operator chose (explicit
+    // `--coresets` or the geometric default at build time); reuse them
+    // rather than re-deriving, and never keep a stale level — its ε_s
+    // was certified against the pre-compaction base.
+    if !entry.pyramid.is_empty() {
+        let n = folded.tree.points().len();
+        let sizes: Vec<usize> = entry
+            .pyramid
+            .levels()
+            .iter()
+            .map(|lv| lv.tree.points().len())
+            .filter(|&s| s < n)
+            .collect();
+        folded.pyramid = if sizes.is_empty() {
+            Arc::new(Pyramid::empty())
+        } else {
+            let config = PyramidConfig {
+                sizes,
+                ..PyramidConfig::default()
+            };
+            let (pyramid, _) = PyramidBuilder::new(&folded.tree, folded.kernel)
+                .with_config(config)
+                .build()
+                .map_err(|e| format!("dataset {name:?}: pyramid rebuild failed: {e}"))?;
+            Arc::new(pyramid)
+        };
+    }
+    let mut writer = SnapshotWriter::new(&folded.tree, folded.kernel).with_applied_seq(upto);
+    if !folded.pyramid.is_empty() {
+        writer = writer.with_pyramid(
+            folded
+                .pyramid
+                .levels()
+                .iter()
+                .map(|lv| (lv.tree.points().clone(), lv.eps_s))
+                .collect(),
+        );
+    }
+    writer
         .write_to(&snapshot_path)
         .map_err(|e| format!("dataset {name:?}: snapshot write failed: {e}"))?;
 

@@ -30,6 +30,7 @@ pub mod cache;
 pub mod catalog;
 pub mod http;
 mod ingest;
+mod pyramid;
 pub mod server;
 pub mod tile;
 

@@ -1,0 +1,329 @@
+//! Pyramid serving: level selection and the certified render paths.
+//!
+//! Low-zoom tiles cover the whole dataset, so the full QUAD index pays
+//! its worst case exactly where tiles are most shared. The coreset
+//! pyramid (`kdv-pyramid`, DESIGN.md §14) answers those tiles from a
+//! certified subsample instead. The εKDV guarantee splits into two
+//! absolute budgets that add:
+//!
+//! * **sampling** — the level's certificate bounds
+//!   `|F_S(q) − F_P(q)| ≤ ε_s·W` everywhere on the window,
+//! * **refinement** — the engine refines the *coreset* density to an
+//!   absolute `(ε − ε_s)·W` half-gap ([`RefineEvaluator::
+//!   eval_abs_budgeted`]).
+//!
+//! A level is admissible only when `ε_s ≤ ε/2`, so the refinement
+//! share never collapses. τKDV classifies against the widened bracket
+//! `τ ∓ ε_s·W`: a coreset decision that clears the band is certified
+//! for the full set; pixels inside the band are re-decided exactly
+//! against the full index (counted, so `/metrics` shows how much of
+//! the guarantee the band costs). Memtable deltas are exact point
+//! sums, so both paths merge them without touching the certificates.
+
+use kdv_core::engine::{RefineEvaluator, RenderBudget};
+use kdv_core::error::KdvError;
+use kdv_core::kernel::Kernel;
+use kdv_core::raster::{DensityGrid, RasterSpec};
+use kdv_pyramid::Pyramid;
+use kdv_viz::render::BinaryGrid;
+
+use crate::ingest::DeltaView;
+
+/// The [`crate::cache::TileKey::level`] byte meaning "full index".
+pub(crate) const FULL_LEVEL: u8 = 0xFF;
+
+/// Picks the pyramid level for a tile at zoom `z`, or `None` for the
+/// full index. Deterministic in the entry state alone, so the pick is
+/// part of the cache key *before* any rendering happens.
+///
+/// Two gates: pyramid tiles are a low-zoom device (`z ≤ max_z`; deep
+/// tiles are cheap on the full index and callers want its exact
+/// output), and the level must leave at least half of ε for
+/// refinement (`ε_s ≤ ε/2`).
+pub(crate) fn pick_level(pyramid: &Pyramid, z: u8, pyramid_max_z: u8, eps: f64) -> Option<usize> {
+    if z > pyramid_max_z {
+        return None;
+    }
+    pyramid.pick(eps / 2.0).map(|(idx, _)| idx)
+}
+
+/// εKDV from a coreset level: each pixel refines the coreset density
+/// to an absolute `abs_tol` half-gap, then adds the exact memtable
+/// delta. With `abs_tol = (ε − ε_s)·W` the rendered value is within
+/// `ε·W` of the true (base + memtable) density. Returns the grid and
+/// the budget-degraded pixel count.
+pub(crate) fn render_eps_pyramid(
+    ev: &mut RefineEvaluator<'_>,
+    raster: &RasterSpec,
+    abs_tol: f64,
+    budget: &mut RenderBudget,
+    delta: Option<&DeltaView>,
+    kernel: Kernel,
+) -> Result<(DensityGrid, u64), KdvError> {
+    let mut grid = DensityGrid::zeros(raster.width(), raster.height());
+    let mut degraded = 0u64;
+    for row in 0..raster.height() {
+        for col in 0..raster.width() {
+            let q = raster.pixel_center(col, row);
+            let e = ev.eval_abs_budgeted(&q, abs_tol, budget)?;
+            let d = delta.map_or(0.0, |d| d.delta_at(&q, kernel));
+            grid.set(col, row, e.estimate() + d);
+            degraded += u64::from(e.exhausted);
+        }
+    }
+    Ok((grid, degraded))
+}
+
+/// What one pyramid τ render produced.
+pub(crate) struct TauPyramidOutcome {
+    /// The hot/cold mask.
+    pub mask: BinaryGrid,
+    /// Pixels whose classification is a best-effort guess (budget ran
+    /// out) — the tile is served but never cached.
+    pub undecided: u64,
+    /// Pixels inside the `τ ∓ ε_s·W` band that were re-decided exactly
+    /// against the full index.
+    pub fallback_pixels: u64,
+}
+
+/// τKDV from a coreset level with an exact-fallback band.
+///
+/// Per pixel, with `τ′ = τ − δ(q)` (the exact memtable shift) and
+/// `B = ε_s·W`:
+///
+/// * `τ′ ≤ 0` — hot outright: the base density is never negative, so
+///   the delta alone clears τ.
+/// * coreset density certified `≥ τ′ + B` — hot for the full set.
+/// * coreset density certified `< τ′ − B` — cold for the full set.
+/// * otherwise (inside the band, `τ′ − B ≤ 0`, or the budget ran out
+///   mid-certificate) — re-decide exactly on the full index, same
+///   classification the non-pyramid path would produce.
+///
+/// Outside the band every certified decision agrees with the full
+/// index, so pyramid τ tiles are bit-identical to full-index tiles
+/// except where `|F(q) − τ′| ≤ B` — and there the fallback *is* the
+/// full index.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn render_tau_pyramid(
+    level_ev: &mut RefineEvaluator<'_>,
+    full_ev: &mut RefineEvaluator<'_>,
+    raster: &RasterSpec,
+    tau: f64,
+    band: f64,
+    budget: &mut RenderBudget,
+    delta: Option<&DeltaView>,
+    kernel: Kernel,
+) -> Result<TauPyramidOutcome, KdvError> {
+    let mut mask = BinaryGrid::falses(raster.width(), raster.height());
+    let mut undecided = 0u64;
+    let mut fallback_pixels = 0u64;
+    for row in 0..raster.height() {
+        for col in 0..raster.width() {
+            let q = raster.pixel_center(col, row);
+            let shifted = tau - delta.map_or(0.0, |d| d.delta_at(&q, kernel));
+            if shifted <= 0.0 {
+                mask.set(col, row, true);
+                continue;
+            }
+            let hi = level_ev.eval_tau_budgeted(&q, shifted + band, budget)?;
+            if hi.decided && hi.hot {
+                mask.set(col, row, true);
+                continue;
+            }
+            let cold_thresh = shifted - band;
+            if hi.decided && cold_thresh > 0.0 {
+                let lo = level_ev.eval_tau_budgeted(&q, cold_thresh, budget)?;
+                if lo.decided && !lo.hot {
+                    mask.set(col, row, false);
+                    continue;
+                }
+            }
+            fallback_pixels += 1;
+            let exact = full_ev.eval_tau_budgeted(&q, shifted, budget)?;
+            mask.set(col, row, exact.hot);
+            undecided += u64::from(!exact.decided);
+        }
+    }
+    Ok(TauPyramidOutcome {
+        mask,
+        undecided,
+        fallback_pixels,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdv_core::bounds::BoundFamily;
+    use kdv_data::emulate::Dataset;
+    use kdv_index::KdTree;
+    use kdv_pyramid::{PyramidBuilder, PyramidConfig};
+    use kdv_sampling::zorder_sample;
+
+    fn fixture() -> (KdTree, Kernel, Pyramid) {
+        let points = Dataset::Crime.generate(4000, 11);
+        let tree = KdTree::build_default(&points);
+        let kernel = Kernel::gaussian(0.6);
+        let config = PyramidConfig {
+            sizes: vec![400, 1000],
+            probe_res: 16,
+            ..PyramidConfig::default()
+        };
+        let (pyramid, _) = PyramidBuilder::new(&tree, kernel)
+            .with_config(config)
+            .build()
+            .expect("pyramid builds");
+        (tree, kernel, pyramid)
+    }
+
+    #[test]
+    fn pick_level_gates_on_zoom_and_budget() {
+        let (_, _, pyramid) = fixture();
+        let coarse = pyramid.levels()[0].eps_s;
+        // A generous ε admits the smallest level at low zoom only.
+        let eps = coarse * 2.0 + 1e-9;
+        assert_eq!(pick_level(&pyramid, 0, 4, eps), Some(0));
+        assert_eq!(pick_level(&pyramid, 4, 4, eps), Some(0));
+        assert_eq!(pick_level(&pyramid, 5, 4, eps), None, "deep zoom is full");
+        // A tight ε skips to the finer level, then to the full index.
+        let fine = pyramid.levels()[1].eps_s;
+        assert_eq!(pick_level(&pyramid, 0, 4, fine * 2.0 + 1e-9), Some(1));
+        assert_eq!(pick_level(&pyramid, 0, 4, fine * 0.5), None);
+        assert_eq!(pick_level(&Pyramid::empty(), 0, 4, 1.0), None);
+    }
+
+    #[test]
+    fn eps_pyramid_is_within_the_combined_budget() {
+        let (tree, kernel, pyramid) = fixture();
+        let lv = &pyramid.levels()[1];
+        let w = tree.points().total_weight();
+        let eps = lv.eps_s * 2.0 + 1e-9;
+        let raster = kdv_core::raster::RasterSpec::try_covering(tree.points(), 16, 16, 0.05)
+            .expect("raster");
+        let mut ev = RefineEvaluator::new(&lv.tree, kernel, BoundFamily::Quadratic);
+        let mut budget = RenderBudget::unlimited();
+        let (grid, degraded) = render_eps_pyramid(
+            &mut ev,
+            &raster,
+            (eps - lv.eps_s) * w,
+            &mut budget,
+            None,
+            kernel,
+        )
+        .expect("render");
+        assert_eq!(degraded, 0);
+        // Ground truth: brute-force exact density over the full set.
+        let coords = tree.points().coords();
+        let weights = tree.points().weights();
+        for row in 0..raster.height() {
+            for col in 0..raster.width() {
+                let q = raster.pixel_center(col, row);
+                let mut exact = 0.0;
+                for (c, &wt) in coords.chunks(2).zip(weights) {
+                    let d2 = (c[0] - q[0]).powi(2) + (c[1] - q[1]).powi(2);
+                    exact += wt * kernel.eval_dist2(d2);
+                }
+                let got = grid.get(col, row);
+                assert!(
+                    (got - exact).abs() <= eps * w + 1e-12,
+                    "pixel ({col},{row}): |{got} − {exact}| > ε·W = {}",
+                    eps * w
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tau_pyramid_matches_full_index_everywhere() {
+        // The certified decisions agree with the full index outside the
+        // band and the band falls back to it, so the whole mask must
+        // match an all-full-index render bit for bit.
+        let (tree, kernel, pyramid) = fixture();
+        let lv = &pyramid.levels()[0];
+        let w = tree.points().total_weight();
+        let band = lv.eps_s * w;
+        let raster = kdv_core::raster::RasterSpec::try_covering(tree.points(), 16, 16, 0.05)
+            .expect("raster");
+        for tau_frac in [0.002, 0.02, 0.2] {
+            let tau = w * tau_frac;
+            let mut level_ev = RefineEvaluator::new(&lv.tree, kernel, BoundFamily::Quadratic);
+            let mut full_ev = RefineEvaluator::new(&tree, kernel, BoundFamily::Quadratic);
+            let mut budget = RenderBudget::unlimited();
+            let out = render_tau_pyramid(
+                &mut level_ev,
+                &mut full_ev,
+                &raster,
+                tau,
+                band,
+                &mut budget,
+                None,
+                kernel,
+            )
+            .expect("render");
+            assert_eq!(out.undecided, 0);
+            let mut reference_ev = RefineEvaluator::new(&tree, kernel, BoundFamily::Quadratic);
+            for row in 0..raster.height() {
+                for col in 0..raster.width() {
+                    let q = raster.pixel_center(col, row);
+                    let expect = reference_ev.eval_tau(&q, tau);
+                    assert_eq!(
+                        out.mask.get(col, row),
+                        expect,
+                        "pixel ({col},{row}) diverged at τ = {tau_frac}·W"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tau_pyramid_merges_the_delta_exactly() {
+        // A delta hot enough to clear τ alone flips pixels hot without
+        // any engine work; the fallback threshold is shifted the same
+        // way the non-pyramid delta path shifts it.
+        let (tree, kernel, pyramid) = fixture();
+        let lv = &pyramid.levels()[0];
+        let w = tree.points().total_weight();
+        let raster =
+            kdv_core::raster::RasterSpec::try_covering(tree.points(), 8, 8, 0.05).expect("raster");
+        let q0 = raster.pixel_center(0, 0);
+        let delta = DeltaView {
+            appends: vec![[q0[0], q0[1], 10.0 * w]],
+            removed: Vec::new(),
+            epoch: 1,
+        };
+        let mut level_ev = RefineEvaluator::new(&lv.tree, kernel, BoundFamily::Quadratic);
+        let mut full_ev = RefineEvaluator::new(&tree, kernel, BoundFamily::Quadratic);
+        let mut budget = RenderBudget::unlimited();
+        let out = render_tau_pyramid(
+            &mut level_ev,
+            &mut full_ev,
+            &raster,
+            w * 0.5,
+            lv.eps_s * w,
+            &mut budget,
+            Some(&delta),
+            kernel,
+        )
+        .expect("render");
+        assert!(out.mask.get(0, 0), "massive delta at the pixel must be hot");
+    }
+
+    #[test]
+    fn zorder_levels_compose_with_the_builder_pipeline() {
+        // The builder consumes the same sampler the store persists, so
+        // a build → persist-parts → from_parts loop is lossless.
+        let (tree, _, pyramid) = fixture();
+        let parts: Vec<_> = pyramid
+            .levels()
+            .iter()
+            .map(|lv| (lv.tree.points().clone(), lv.eps_s))
+            .collect();
+        assert_eq!(
+            parts[0].0.len(),
+            zorder_sample(tree.points(), 400, 0.25).len()
+        );
+        let back = Pyramid::from_parts(parts).expect("parts round-trip");
+        assert_eq!(back.len(), pyramid.len());
+    }
+}

@@ -56,8 +56,9 @@ use kdv_index::{KdTree, NodeId};
 use kdv_store::{FsyncPolicy, WalOp};
 use kdv_telemetry::json::{self, Value};
 use kdv_telemetry::{
-    DepthProfile, HttpCounters, IngestCounters, LogHistogram, PromWriter, RenderMetrics, TagValue,
-    Trace, TraceBuilder, TraceId, TraceMeta, TraceRing,
+    DepthProfile, HttpCounters, IngestCounters, LogHistogram, PromWriter, PyramidCounters,
+    RenderMetrics, TagValue, Trace, TraceBuilder, TraceId, TraceMeta, TraceRing,
+    MAX_TRACKED_LEVELS,
 };
 use kdv_viz::colormap::render_binary;
 use kdv_viz::render::BinaryGrid;
@@ -72,6 +73,7 @@ use crate::cache::{TileCache, TileKey};
 use crate::catalog::{finish_entry, Catalog, DatasetEntry, DatasetSource, RenderSettings};
 use crate::http::{read_request_from, text_response, Request, RequestError, Response};
 use crate::ingest::{self, CommitError, DeltaView, IngestState};
+use crate::pyramid::{self, FULL_LEVEL};
 use crate::tile::{parse_tile_path, valid_dataset_name, TileAddr, TileKind};
 
 /// Per-connection socket timeouts: a stuck client costs a worker at
@@ -96,6 +98,10 @@ pub struct ServerConfig {
     pub tile_size: u32,
     /// Deepest zoom level served (tile addresses beyond it are `400`).
     pub max_z: u8,
+    /// Deepest zoom level the coreset pyramid may answer; deeper tiles
+    /// always render from the full index. Pyramid routing additionally
+    /// requires a certified level with `ε_s ≤ ε/2`.
+    pub pyramid_max_z: u8,
     /// εKDV error tolerance.
     pub eps: f64,
     /// τKDV density threshold.
@@ -165,6 +171,7 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             tile_size: 256,
             max_z: 5,
+            pyramid_max_z: 4,
             eps: 0.05,
             tau: 1e-3,
             workers: 4,
@@ -329,6 +336,11 @@ struct Inner {
     cm: ColorMap,
     policy: BudgetPolicy,
     max_z: u8,
+    /// Deepest zoom the coreset pyramid may answer.
+    pyramid_max_z: u8,
+    /// Which level (or the full index) served each render, plus the
+    /// τ-band exact-fallback pixel tally.
+    pyramid: PyramidCounters,
     cache: TileCache,
     http: HttpCounters,
     /// Live merged refinement telemetry across all tile renders.
@@ -478,6 +490,8 @@ impl TileServer {
             cm: ColorMap::heat(),
             policy: config.policy,
             max_z: config.max_z,
+            pyramid_max_z: config.pyramid_max_z,
+            pyramid: PyramidCounters::default(),
             cache: TileCache::new(config.cache_bytes, config.cache_shards),
             http: HttpCounters::default(),
             metrics: Mutex::new(RenderMetrics::new()),
@@ -1054,6 +1068,19 @@ fn debug_sleep(inner: &Inner, ms: &str) -> Response {
     }
 }
 
+/// The cache-key byte for a level pick (`FULL_LEVEL` = full index).
+fn level_byte(level: Option<usize>) -> u8 {
+    level.map_or(FULL_LEVEL, |l| l.min(FULL_LEVEL as usize - 1) as u8)
+}
+
+/// The `X-Kdv-Level` header value: a level index, or `full`.
+fn level_label(level: Option<usize>) -> String {
+    match level {
+        Some(l) => l.to_string(),
+        None => "full".to_string(),
+    }
+}
+
 fn tile_response(inner: &Arc<Inner>, path: &str, rt: &mut RequestTrace) -> Response {
     let (dataset, addr) = match parse_tile_path(path, inner.max_z, inner.multi) {
         Ok(parsed) => parsed,
@@ -1100,7 +1127,11 @@ fn tile_response(inner: &Arc<Inner>, path: &str, rt: &mut RequestTrace) -> Respo
             return text_response(500, "Internal Server Error", &message);
         }
     };
-    let key = TileKey {
+    // The pyramid level is part of the tile's identity: it is decided
+    // *before* the cache lookup from the entry state alone, so hits
+    // and misses agree on which bytes a key names.
+    let mut level = pyramid::pick_level(&entry.pyramid, addr.z, inner.pyramid_max_z, inner.eps);
+    let mut key = TileKey {
         dataset: idx as u32,
         addr,
         param_bits: match addr.kind {
@@ -1108,6 +1139,7 @@ fn tile_response(inner: &Arc<Inner>, path: &str, rt: &mut RequestTrace) -> Respo
             TileKind::Tau => inner.tau.to_bits(),
         },
         gamma_bits: entry.kernel.gamma.to_bits(),
+        level: level_byte(level),
     };
     let cache_span = rt.tb.begin("cache");
     let cached = inner.cache.get(&key);
@@ -1123,6 +1155,7 @@ fn tile_response(inner: &Arc<Inner>, path: &str, rt: &mut RequestTrace) -> Respo
         rt.cache = Some("hit");
         return Response::new(200, "OK")
             .header("X-Kdv-Cache", "hit")
+            .header("X-Kdv-Level", level_label(level))
             .body("image/png", data.as_ref().clone());
     }
     rt.cache = Some("miss");
@@ -1143,6 +1176,7 @@ fn tile_response(inner: &Arc<Inner>, path: &str, rt: &mut RequestTrace) -> Respo
             addr,
             rt,
             delta.as_ref().filter(|d| !d.is_empty()),
+            level,
         );
         let (bytes, degraded_pixels) = match rendered {
             Ok(out) => out,
@@ -1161,6 +1195,11 @@ fn tile_response(inner: &Arc<Inner>, path: &str, rt: &mut RequestTrace) -> Respo
                         return text_response(500, "Internal Server Error", &message);
                     }
                 };
+                // Compaction re-certifies the ladder; the new base may
+                // route this tile to a different level, so re-pick and
+                // re-key before the retry render.
+                level = pyramid::pick_level(&entry.pyramid, addr.z, inner.pyramid_max_z, inner.eps);
+                key.level = level_byte(level);
                 continue;
             }
         }
@@ -1192,7 +1231,9 @@ fn tile_response(inner: &Arc<Inner>, path: &str, rt: &mut RequestTrace) -> Respo
         }
         inner.http.ok(degraded_pixels > 0);
         rt.degraded = degraded_pixels > 0;
-        let mut response = Response::new(200, "OK").header("X-Kdv-Cache", "miss");
+        let mut response = Response::new(200, "OK")
+            .header("X-Kdv-Cache", "miss")
+            .header("X-Kdv-Level", level_label(level));
         if degraded_pixels > 0 {
             response = response.header("X-Kdv-Degraded", degraded_pixels.to_string());
         }
@@ -1647,6 +1688,7 @@ fn dataset_stats(inner: &Arc<Inner>, idx: usize) -> Response {
 /// carries the work attribution (heap pops, bound evaluations, point
 /// evaluations, resyncs, and pops-by-depth); the untraced path keeps
 /// the plain `NoProbe`-monomorphized renderer.
+#[allow(clippy::too_many_arguments)]
 fn render_tile(
     inner: &Inner,
     entry: &DatasetEntry,
@@ -1654,91 +1696,146 @@ fn render_tile(
     addr: TileAddr,
     rt: &mut RequestTrace,
     delta: Option<&DeltaView>,
+    level: Option<usize>,
 ) -> Result<(Vec<u8>, u64), KdvError> {
     let raster = pyramid_raster(&entry.base, addr.z, addr.x, addr.y)?;
     let mut metrics = RenderMetrics::new();
     let mut depth = DepthProfile::new();
     let traced = rt.tb.is_enabled();
     let render_span = rt.tb.begin("render");
-    let tile = match (addr.kind, delta) {
-        // Memtable non-empty: the exact per-pixel delta path. τ box
-        // certification and frontier reuse are base-only machinery, so
-        // they are bypassed here (and never polluted with merged
-        // state — frontiers survive writes untouched).
-        (TileKind::Eps, Some(delta)) => {
-            let mut budget = inner.policy.issue();
-            let mut ev = RefineEvaluator::new(&entry.tree, entry.kernel, inner.family);
-            let (grid, degraded_pixels) = ingest::render_eps_delta(
-                &mut ev,
-                &raster,
-                inner.eps,
-                &mut budget,
-                delta,
-                entry.kernel,
-            )?;
-            TileImage {
-                image: inner
-                    .cm
-                    .render_scaled(&grid, entry.scale.0, entry.scale.1, true),
-                degraded_pixels,
+    let picked = level.and_then(|l| entry.pyramid.levels().get(l).map(|lv| (l, lv)));
+    match picked {
+        Some((l, _)) => inner.pyramid.level_render(l),
+        None => inner.pyramid.full_render(),
+    }
+    let tile = if let Some((_, lv)) = picked {
+        // Pyramid path: the level's certificate plus an absolute
+        // refinement budget replace the relative per-pixel contract;
+        // memtable deltas are exact so both tile kinds merge them
+        // without touching the certificate (DESIGN.md §14).
+        let w = entry.tree.points().total_weight();
+        let mut budget = inner.policy.issue();
+        match addr.kind {
+            TileKind::Eps => {
+                let abs_tol = (inner.eps - lv.eps_s) * w;
+                let mut ev = RefineEvaluator::new(&lv.tree, entry.kernel, inner.family);
+                let (grid, degraded_pixels) = pyramid::render_eps_pyramid(
+                    &mut ev,
+                    &raster,
+                    abs_tol,
+                    &mut budget,
+                    delta,
+                    entry.kernel,
+                )?;
+                TileImage {
+                    image: inner
+                        .cm
+                        .render_scaled(&grid, entry.scale.0, entry.scale.1, true),
+                    degraded_pixels,
+                }
+            }
+            TileKind::Tau => {
+                let mut level_ev = RefineEvaluator::new(&lv.tree, entry.kernel, inner.family);
+                let mut full_ev = RefineEvaluator::new(&entry.tree, entry.kernel, inner.family);
+                let out = pyramid::render_tau_pyramid(
+                    &mut level_ev,
+                    &mut full_ev,
+                    &raster,
+                    inner.tau,
+                    lv.eps_s * w,
+                    &mut budget,
+                    delta,
+                    entry.kernel,
+                )?;
+                inner.pyramid.tau_exact_fallback(out.fallback_pixels);
+                TileImage {
+                    image: render_binary(&out.mask),
+                    degraded_pixels: out.undecided,
+                }
             }
         }
-        (TileKind::Tau, Some(delta)) => {
-            let mut budget = inner.policy.issue();
-            let mut ev = RefineEvaluator::new(&entry.tree, entry.kernel, inner.family);
-            let (mask, degraded_pixels) = ingest::render_tau_delta(
-                &mut ev,
-                &raster,
-                inner.tau,
-                &mut budget,
-                delta,
-                entry.kernel,
-            )?;
-            TileImage {
-                image: render_binary(&mask),
-                degraded_pixels,
-            }
-        }
-        (TileKind::Eps, None) => {
-            let mut budget = inner.policy.issue();
-            let mut ev = RefineEvaluator::new(&entry.tree, entry.kernel, inner.family);
-            if traced {
-                render_tile_eps_probed(
+    } else {
+        match (addr.kind, delta) {
+            // Memtable non-empty: the exact per-pixel delta path. τ box
+            // certification and frontier reuse are base-only machinery, so
+            // they are bypassed here (and never polluted with merged
+            // state — frontiers survive writes untouched).
+            (TileKind::Eps, Some(delta)) => {
+                let mut budget = inner.policy.issue();
+                let mut ev = RefineEvaluator::new(&entry.tree, entry.kernel, inner.family);
+                let (grid, degraded_pixels) = ingest::render_eps_delta(
                     &mut ev,
                     &raster,
                     inner.eps,
                     &mut budget,
-                    &inner.cm,
-                    entry.scale,
-                    &mut metrics,
-                    &mut depth,
-                )?
-            } else {
-                render_tile_eps(
+                    delta,
+                    entry.kernel,
+                )?;
+                TileImage {
+                    image: inner
+                        .cm
+                        .render_scaled(&grid, entry.scale.0, entry.scale.1, true),
+                    degraded_pixels,
+                }
+            }
+            (TileKind::Tau, Some(delta)) => {
+                let mut budget = inner.policy.issue();
+                let mut ev = RefineEvaluator::new(&entry.tree, entry.kernel, inner.family);
+                let (mask, degraded_pixels) = ingest::render_tau_delta(
                     &mut ev,
                     &raster,
-                    inner.eps,
+                    inner.tau,
                     &mut budget,
-                    &inner.cm,
-                    entry.scale,
-                    &mut metrics,
-                )?
+                    delta,
+                    entry.kernel,
+                )?;
+                TileImage {
+                    image: render_binary(&mask),
+                    degraded_pixels,
+                }
             }
+            (TileKind::Eps, None) => {
+                let mut budget = inner.policy.issue();
+                let mut ev = RefineEvaluator::new(&entry.tree, entry.kernel, inner.family);
+                if traced {
+                    render_tile_eps_probed(
+                        &mut ev,
+                        &raster,
+                        inner.eps,
+                        &mut budget,
+                        &inner.cm,
+                        entry.scale,
+                        &mut metrics,
+                        &mut depth,
+                    )?
+                } else {
+                    render_tile_eps(
+                        &mut ev,
+                        &raster,
+                        inner.eps,
+                        &mut budget,
+                        &inner.cm,
+                        entry.scale,
+                        &mut metrics,
+                    )?
+                }
+            }
+            (TileKind::Tau, None) => render_tau_tile(
+                inner,
+                entry,
+                dataset,
+                addr,
+                &raster,
+                &mut metrics,
+                traced,
+                &mut depth,
+            )?,
         }
-        (TileKind::Tau, None) => render_tau_tile(
-            inner,
-            entry,
-            dataset,
-            addr,
-            &raster,
-            &mut metrics,
-            traced,
-            &mut depth,
-        )?,
     };
     rt.tb.end_with(
         render_span,
         vec![
+            ("level", TagValue::Str(level_label(level))),
             ("heap_pops", TagValue::U64(metrics.events.heap_pops)),
             ("node_bounds", TagValue::U64(metrics.events.node_bounds)),
             ("point_evals", TagValue::U64(metrics.events.point_evals)),
@@ -1853,7 +1950,7 @@ fn metrics_json(inner: &Inner) -> Value {
     };
     store_fields.push(("catalog".to_string(), inner.catalog.status_json()));
     Value::obj(vec![
-        ("schema", Value::Str("kdv-serve-metrics/4".to_string())),
+        ("schema", Value::Str("kdv-serve-metrics/5".to_string())),
         (
             "uptime_ms",
             json::num_u(inner.started.elapsed().as_millis() as u64),
@@ -1864,6 +1961,7 @@ fn metrics_json(inner: &Inner) -> Value {
         ("render", render),
         ("store", Value::Obj(store_fields)),
         ("ingest", inner.ingest_counters.snapshot().to_json()),
+        ("pyramid", inner.pyramid.snapshot().to_json()),
         ("trace", trace_json(inner)),
     ])
 }
@@ -2100,6 +2198,21 @@ fn metrics_prometheus(inner: &Inner) -> String {
         "kdv_ingest_invalidated_tiles_total",
         "Cached tiles dropped because a write could alter them.",
         ingest.invalidated_tiles as f64,
+    );
+    let pyr = inner.pyramid.snapshot();
+    let mut pyr_family: Vec<(String, f64)> = (0..MAX_TRACKED_LEVELS)
+        .map(|l| (format!("level=\"{l}\""), pyr.level_renders[l] as f64))
+        .collect();
+    pyr_family.push(("level=\"full\"".to_string(), pyr.full_renders as f64));
+    w.counter_family(
+        "kdv_pyramid_renders_total",
+        "Tile renders by the coreset level that served them.",
+        &pyr_family,
+    );
+    w.counter(
+        "kdv_pyramid_tau_fallback_pixels_total",
+        "Tau-band pixels re-decided exactly against the full index.",
+        pyr.tau_exact_fallback_pixels as f64,
     );
     w.histogram(
         "kdv_ingest_ack_seconds",

@@ -367,12 +367,13 @@ fn metrics_json_key_set_is_pinned() {
             "render",
             "store",
             "ingest",
+            "pyramid",
             "trace"
         ]
     );
     assert_eq!(
         doc.get("schema").and_then(Value::as_str),
-        Some("kdv-serve-metrics/4")
+        Some("kdv-serve-metrics/5")
     );
     assert_eq!(
         keys(doc.get("http").expect("http")),
@@ -398,6 +399,15 @@ fn metrics_json_key_set_is_pinned() {
             "evicted_bytes",
             "bytes_used",
             "entries"
+        ]
+    );
+    assert_eq!(
+        keys(doc.get("pyramid").expect("pyramid")),
+        [
+            "level_renders",
+            "pyramid_renders",
+            "full_renders",
+            "tau_exact_fallback_pixels"
         ]
     );
     let trace = doc.get("trace").expect("trace");

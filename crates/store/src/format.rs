@@ -28,8 +28,12 @@ pub const FORMAT_VERSION: u16 = 1;
 pub const FLAG_CORESETS: u16 = 1 << 0;
 /// Flag bit: the optional INGS (ingest watermark) section is present.
 pub const FLAG_INGEST: u16 = 1 << 1;
+/// Flag bit: the optional PYRA (certified pyramid bounds) section is
+/// present. Implies [`FLAG_CORESETS`]: the bounds certify the CORE
+/// levels, one f64 per level.
+pub const FLAG_PYRAMID: u16 = 1 << 2;
 /// All flag bits this version defines.
-pub const KNOWN_FLAGS: u16 = FLAG_CORESETS | FLAG_INGEST;
+pub const KNOWN_FLAGS: u16 = FLAG_CORESETS | FLAG_INGEST | FLAG_PYRAMID;
 /// Fixed header size (before the section table).
 pub const HEADER_LEN: usize = 20;
 /// Size of one section-table entry.
@@ -56,6 +60,11 @@ pub mod section {
     /// this snapshot has folded in. Recovery skips WAL records at or
     /// below it, which is what makes compaction + crash idempotent.
     pub const INGS: [u8; 4] = *b"INGS";
+    /// Optional certified pyramid bounds (flag bit 2): one f64 `ε_s`
+    /// per CORE level, in level order. Turns the coreset ladder into a
+    /// *certified* pyramid the server may substitute for the full
+    /// index whenever `ε_s` fits the request's error budget.
+    pub const PYRA: [u8; 4] = *b"PYRA";
 }
 
 /// Human-readable name for a section id, if this version defines it.
@@ -67,6 +76,7 @@ pub fn section_name(id: [u8; 4]) -> Option<&'static str> {
         b"MOMT" => Some("MOMT"),
         b"CORE" => Some("CORE"),
         b"INGS" => Some("INGS"),
+        b"PYRA" => Some("PYRA"),
         _ => None,
     }
 }

@@ -33,7 +33,7 @@ pub mod wal;
 pub mod writer;
 
 pub use error::StoreError;
-pub use format::{EXTENSION, FLAG_CORESETS, FORMAT_VERSION, MAGIC};
+pub use format::{EXTENSION, FLAG_CORESETS, FLAG_INGEST, FLAG_PYRAMID, FORMAT_VERSION, MAGIC};
 pub use reader::{SectionInfo, Snapshot, SnapshotInfo, SnapshotMeta};
 pub use wal::{FsyncPolicy, WalOp, WalRecord, WalReplay, WalWriter, WAL_EXTENSION};
 pub use writer::SnapshotWriter;

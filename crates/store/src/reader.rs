@@ -14,7 +14,7 @@ use crate::crc32::crc32;
 use crate::error::StoreError;
 use crate::format::{
     kernel_from_code, section_name, split_from_code, Cursor, FLAG_CORESETS, FLAG_INGEST,
-    FORMAT_VERSION, HEADER_LEN, KNOWN_FLAGS, MAGIC, MAX_SECTIONS, SECTION_ENTRY_LEN,
+    FLAG_PYRAMID, FORMAT_VERSION, HEADER_LEN, KNOWN_FLAGS, MAGIC, MAX_SECTIONS, SECTION_ENTRY_LEN,
 };
 use kdv_core::{Kernel, KernelType};
 use kdv_geom::{Mbr, PointSet};
@@ -53,8 +53,13 @@ pub struct Snapshot {
     pub tree: KdTree,
     /// Kernel (family + γ) recorded at write time.
     pub kernel: Kernel,
-    /// Optional Z-order coreset levels, largest first as written.
+    /// Optional Z-order coreset levels, in written order (a certified
+    /// pyramid writes them smallest first).
     pub coresets: Vec<PointSet>,
+    /// Certified per-level sampling bounds `ε_s` from the optional
+    /// PYRA section, parallel to `coresets`. Empty when the snapshot
+    /// carries plain (uncertified) coresets or none at all.
+    pub level_bounds: Vec<f64>,
     /// Highest WAL sequence number folded into this snapshot (0 when
     /// the snapshot predates streaming ingest or never saw a WAL).
     pub applied_seq: u64,
@@ -434,6 +439,65 @@ fn decode_applied_seq(flags: u16, sections: &[RawSection<'_>]) -> Result<u64, St
     Ok(seq)
 }
 
+/// Decodes the optional PYRA section: one certified `ε_s` per coreset
+/// level. The flag and the section must agree, the flag requires
+/// coresets to certify, every bound must be a usable certificate
+/// (finite, in `(0, 8]`), and — since a pyramid's contract is "the
+/// first fitting level is the cheapest" — the certified levels must
+/// grow strictly in size.
+fn decode_pyramid(
+    flags: u16,
+    sections: &[RawSection<'_>],
+    meta: &SnapshotMeta,
+    coresets: &[PointSet],
+) -> Result<Vec<f64>, StoreError> {
+    let flagged = flags & FLAG_PYRAMID != 0;
+    let present = sections.iter().any(|s| s.name == "PYRA");
+    if flagged != present {
+        return Err(StoreError::Malformed {
+            section: "PYRA",
+            detail: format!(
+                "pyramid flag ({flagged}) and PYRA section presence ({present}) disagree"
+            ),
+        });
+    }
+    if !present {
+        return Ok(Vec::new());
+    }
+    let malformed = |detail: String| StoreError::Malformed {
+        section: "PYRA",
+        detail,
+    };
+    if meta.coreset_levels == 0 {
+        return Err(malformed(
+            "pyramid bounds without coreset levels to certify".to_string(),
+        ));
+    }
+    let mut c = Cursor::new(find(sections, "PYRA")?.payload, "PYRA");
+    let mut bounds = Vec::new();
+    c.f64s(meta.coreset_levels, &mut bounds)?;
+    c.finish()?;
+    for (i, &eps_s) in bounds.iter().enumerate() {
+        if !(eps_s.is_finite() && eps_s > 0.0 && eps_s <= 8.0) {
+            return Err(malformed(format!(
+                "level {i}: certified ε_s = {eps_s} outside (0, 8]"
+            )));
+        }
+    }
+    for (i, pair) in coresets.windows(2).enumerate() {
+        if pair[1].len() <= pair[0].len() {
+            return Err(malformed(format!(
+                "certified levels must grow strictly: level {} has {} points, level {} has {}",
+                i,
+                pair[0].len(),
+                i + 1,
+                pair[1].len()
+            )));
+        }
+    }
+    Ok(bounds)
+}
+
 fn decode_coresets(payload: &[u8], meta: &SnapshotMeta) -> Result<Vec<PointSet>, StoreError> {
     let d = meta.dim;
     let mut c = Cursor::new(payload, "CORE");
@@ -496,6 +560,7 @@ impl Snapshot {
         } else {
             Vec::new()
         };
+        let level_bounds = decode_pyramid(flags, &sections, &meta, &coresets)?;
         let applied_seq = decode_applied_seq(flags, &sections)?;
         let nodes: Vec<Node> = topo
             .into_iter()
@@ -531,6 +596,7 @@ impl Snapshot {
             tree,
             kernel,
             coresets,
+            level_bounds,
             applied_seq,
         })
     }

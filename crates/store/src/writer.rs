@@ -10,7 +10,7 @@ use crate::error::StoreError;
 use crate::format::{kernel_code, split_code};
 use crate::format::{
     put_f64, put_f64s, put_u16, put_u32, put_u64, section, FLAG_CORESETS, FLAG_INGEST,
-    FORMAT_VERSION, HEADER_LEN, MAGIC, SECTION_ENTRY_LEN,
+    FLAG_PYRAMID, FORMAT_VERSION, HEADER_LEN, MAGIC, SECTION_ENTRY_LEN,
 };
 use kdv_core::Kernel;
 use kdv_geom::PointSet;
@@ -36,6 +36,7 @@ pub struct SnapshotWriter<'a> {
     tree: &'a KdTree,
     kernel: Kernel,
     coresets: Vec<PointSet>,
+    pyramid_bounds: Vec<f64>,
     applied_seq: u64,
 }
 
@@ -46,6 +47,7 @@ impl<'a> SnapshotWriter<'a> {
             tree,
             kernel,
             coresets: Vec::new(),
+            pyramid_bounds: Vec::new(),
             applied_seq: 0,
         }
     }
@@ -73,6 +75,36 @@ impl<'a> SnapshotWriter<'a> {
             assert!(!l.is_empty(), "empty coreset level");
         }
         self.coresets = levels;
+        self
+    }
+
+    /// Attaches a *certified pyramid*: coreset levels (smallest first,
+    /// strictly increasing in size) each paired with its certified
+    /// normalized sampling bound `ε_s` (from `kdv-pyramid`'s build-time
+    /// validation). Written as CORE + PYRA with both flag bits set.
+    ///
+    /// # Panics
+    /// Panics on empty/misordered levels, dimension mismatch, or an
+    /// `ε_s` outside `(0, 8]` — pyramid inputs come from our own
+    /// builder, so these are programming errors.
+    pub fn with_pyramid(mut self, levels: Vec<(PointSet, f64)>) -> Self {
+        assert!(!levels.is_empty(), "empty pyramid");
+        let mut prev = 0usize;
+        let mut coresets = Vec::with_capacity(levels.len());
+        let mut bounds = Vec::with_capacity(levels.len());
+        for (l, eps_s) in levels {
+            assert_eq!(l.dim(), self.tree.points().dim(), "pyramid dim mismatch");
+            assert!(l.len() > prev, "pyramid levels must grow strictly");
+            assert!(
+                eps_s.is_finite() && eps_s > 0.0 && eps_s <= 8.0,
+                "certified ε_s out of range: {eps_s}"
+            );
+            prev = l.len();
+            coresets.push(l);
+            bounds.push(eps_s);
+        }
+        self.coresets = coresets;
+        self.pyramid_bounds = bounds;
         self
     }
 
@@ -145,6 +177,13 @@ impl<'a> SnapshotWriter<'a> {
             }
             sections.push((section::CORE, core));
             flags |= FLAG_CORESETS;
+        }
+        if !self.pyramid_bounds.is_empty() {
+            debug_assert_eq!(self.pyramid_bounds.len(), self.coresets.len());
+            let mut pyra = Vec::with_capacity(self.pyramid_bounds.len() * 8);
+            put_f64s(&mut pyra, &self.pyramid_bounds);
+            sections.push((section::PYRA, pyra));
+            flags |= FLAG_PYRAMID;
         }
         if self.applied_seq > 0 {
             let mut ings = Vec::with_capacity(8);

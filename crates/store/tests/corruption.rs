@@ -7,6 +7,7 @@
 use kdv_core::Kernel;
 use kdv_data::emulate::Dataset;
 use kdv_index::KdTree;
+use kdv_sampling::zorder_sample;
 use kdv_store::{Snapshot, SnapshotWriter, StoreError};
 
 fn small_snapshot() -> Vec<u8> {
@@ -15,25 +16,55 @@ fn small_snapshot() -> Vec<u8> {
     SnapshotWriter::new(&tree, Kernel::gaussian(0.8)).to_bytes()
 }
 
-#[test]
-fn every_single_byte_flip_is_a_structured_error() {
-    let clean = small_snapshot();
-    assert!(Snapshot::from_bytes(&clean).is_ok());
+/// A snapshot exercising every optional section: certified pyramid
+/// levels (CORE + PYRA) and an ingest watermark (INGS).
+fn pyramid_snapshot() -> Vec<u8> {
+    let ps = Dataset::Crime.generate(120, 5);
+    let tree = KdTree::build_default(&ps);
+    SnapshotWriter::new(&tree, Kernel::gaussian(0.8))
+        .with_pyramid(vec![
+            (zorder_sample(tree.points(), 10, 0.25), 0.9),
+            (zorder_sample(tree.points(), 40, 0.25), 0.43),
+        ])
+        .with_applied_seq(7)
+        .to_bytes()
+}
+
+fn assert_every_flip_fails(clean: &[u8], what: &str) {
     for i in 0..clean.len() {
         for flip in [0xFFu8, 0x01] {
-            let mut bytes = clean.clone();
+            let mut bytes = clean.to_vec();
             bytes[i] ^= flip;
             // Every byte is covered by a checksum (or *is* a checksum),
             // so no flip may load cleanly — and none may panic. A panic
             // here aborts the test, which is the point.
             match Snapshot::from_bytes(&bytes) {
-                Ok(_) => panic!("flip {flip:#x} at byte {i} loaded successfully"),
+                Ok(_) => panic!("{what}: flip {flip:#x} at byte {i} loaded successfully"),
                 Err(e) => {
                     let _ = e.to_string(); // Display must not panic either.
                 }
             }
         }
     }
+}
+
+#[test]
+fn every_single_byte_flip_is_a_structured_error() {
+    let clean = small_snapshot();
+    assert!(Snapshot::from_bytes(&clean).is_ok());
+    assert_every_flip_fails(&clean, "plain snapshot");
+}
+
+#[test]
+fn every_single_byte_flip_in_pyramid_sections_is_a_structured_error() {
+    // Same sweep over a snapshot carrying CORE + PYRA + INGS, so the
+    // optional sections' bytes (and their table entries) are covered
+    // by the no-panic contract too.
+    let clean = pyramid_snapshot();
+    let snap = Snapshot::from_bytes(&clean).expect("pyramid snapshot loads");
+    assert_eq!(snap.level_bounds, vec![0.9, 0.43]);
+    assert_eq!(snap.applied_seq, 7);
+    assert_every_flip_fails(&clean, "pyramid snapshot");
 }
 
 #[test]
@@ -172,6 +203,43 @@ fn checksum_clean_but_inconsistent_payload_is_rejected() {
         }
         other => panic!(
             "forged topology produced {:?}",
+            other.err().map(|e| e.to_string())
+        ),
+    }
+}
+
+#[test]
+fn checksum_clean_but_hostile_pyramid_bound_is_rejected() {
+    // Re-sign a PYRA section whose first certified bound was replaced
+    // with NaN: the CRCs verify, so only the semantic range check can
+    // refuse — a NaN certificate must never reach the level picker.
+    let clean = pyramid_snapshot();
+    let dir = std::env::temp_dir().join(format!("kdvs-pyra-forge-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("probe.kdvs");
+    std::fs::write(&path, &clean).unwrap();
+    let info = Snapshot::inspect(&path).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+
+    let pyra_pos = info.sections.iter().position(|s| s.name == "PYRA").unwrap();
+    let pyra = &info.sections[pyra_pos];
+    let mut bytes = clean.clone();
+    let off = pyra.offset as usize;
+    bytes[off..off + 8].copy_from_slice(&f64::NAN.to_le_bytes());
+    let table_entry = 20 + 24 * pyra_pos;
+    let crc = kdv_store::crc32::crc32(&bytes[off..off + pyra.len as usize]);
+    bytes[table_entry + 20..table_entry + 24].copy_from_slice(&crc.to_le_bytes());
+    let table_end = 20 + 24 * info.sections.len();
+    let hcrc = kdv_store::crc32::crc32(&bytes[..table_end]);
+    bytes[table_end..table_end + 4].copy_from_slice(&hcrc.to_le_bytes());
+
+    match Snapshot::from_bytes(&bytes) {
+        Err(StoreError::Malformed { section, detail }) => {
+            assert_eq!(section, "PYRA");
+            assert!(detail.contains("ε_s"), "unexpected detail: {detail}");
+        }
+        other => panic!(
+            "forged pyramid bound produced {:?}",
             other.err().map(|e| e.to_string())
         ),
     }

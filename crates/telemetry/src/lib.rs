@@ -53,6 +53,7 @@ pub mod ingest;
 pub mod json;
 pub mod metrics;
 pub mod prom;
+pub mod pyramid;
 pub mod serve;
 pub mod store;
 pub mod trace;
@@ -64,6 +65,7 @@ pub use hist::LogHistogram;
 pub use ingest::{IngestCounters, IngestSnapshot};
 pub use metrics::{Checkpoint, RenderMetrics, RenderStatus};
 pub use prom::PromWriter;
+pub use pyramid::{PyramidCounters, PyramidSnapshot, MAX_TRACKED_LEVELS};
 pub use serve::{CacheCounters, CacheSnapshot, HttpCounters, HttpSnapshot};
 pub use store::{StoreCounters, StoreSnapshot};
 pub use trace::{
