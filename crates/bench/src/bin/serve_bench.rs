@@ -27,8 +27,20 @@
 //! cargo run --release -p kdv-bench --bin serve_bench [-- out.json]
 //! ```
 //!
+//! A sixth section isolates the cold-render hot path itself: every
+//! εKDV and τKDV tile at z ∈ {0, 2, 4} rendered once per engine mode —
+//! scalar per-pixel, SIMD per-pixel, and SIMD + tile-batched frontier
+//! refinement — so the sidecar pins the per-mode cold p99 and the
+//! scalar→batched speedup the perf work claims, together with the
+//! host's core count and SIMD capability (the numbers are meaningless
+//! without them).
+//!
 //! Set `KDV_BENCH_COLD_POINTS` to shrink the cold-start dataset for
-//! quick local runs (the committed sidecar uses the full 1M).
+//! quick local runs (the committed sidecar uses the full 1M). Set
+//! `KDV_BENCH_FAST=1` to run only the cached-level and cold-path
+//! sections — the CI perf smoke uses this to check the cold-tile p99
+//! against the committed sidecar without paying for the 1M-point
+//! sections.
 
 use std::io::{Read as _, Write as _};
 use std::net::{SocketAddr, TcpStream};
@@ -921,6 +933,162 @@ fn pyramid_bench(tmp: &Path) -> Value {
     ])
 }
 
+/// The cold-render hot path, isolated per engine mode.
+///
+/// Three servers over the same 20k crime dataset, started one at a
+/// time (the SIMD switch is process-global, so modes must not
+/// overlap): scalar per-pixel (`--no-simd --no-batch`), SIMD
+/// per-pixel (`--no-batch`), and SIMD + tile-batched frontier
+/// refinement (the serving default). Every εKDV and τKDV tile at
+/// z ∈ {0, 2, 4} is fetched cold once per mode per round; a tile's
+/// latency is the **minimum over rounds** (cold renders are
+/// deterministic work, so the min is the run least polluted by
+/// scheduler/clock drift on a shared host), and the histograms are
+/// over the tile population. The headline `p99_speedup_batched` is
+/// taken on the aggregate z ≤ 4 population — "cold-tile p99 at
+/// z ≤ 4" — with per-zoom splits alongside. `host_cores` and the
+/// SIMD capability fields are recorded because the absolute numbers
+/// (and the SIMD column's meaning) depend on them.
+fn cold_path() -> Value {
+    let mut points = Dataset::Crime.generate(POINTS, SEED);
+    points.scale_weights(1.0 / points.len() as f64);
+    let kernel = Kernel::gaussian(scott_gamma(&points).gamma);
+    const MODES: [(&str, bool, bool); 3] = [
+        ("scalar", false, false),
+        ("simd", true, false),
+        ("simd_batched", true, true),
+    ];
+
+    // Modes are interleaved in rounds rather than run as one long phase
+    // each: on a small shared host, clock/thermal drift over a
+    // minutes-long phase would otherwise land entirely on whichever
+    // mode ran last and corrupt the scalar→batched ratio. Per
+    // (zoom, kind, tile, mode) the minimum latency over rounds is
+    // kept — each fetch renders the identical deterministic workload,
+    // so the min estimates the undisturbed cost and the spread across
+    // *tiles* (the thing p99 is about) is preserved.
+    let rounds: usize = if std::env::var("KDV_BENCH_FAST").is_ok() {
+        2
+    } else {
+        3
+    };
+    // zoom → tile-fetch index → mode → best-of-rounds nanoseconds.
+    let mut mins: Vec<Vec<[u64; 3]>> = LEVELS
+        .iter()
+        .map(|&z| vec![[u64::MAX; 3]; 2 * (1usize << z) * (1usize << z)])
+        .collect();
+    for _ in 0..rounds {
+        for (slot, (name, simd, batch)) in MODES.into_iter().enumerate() {
+            let config = ServerConfig {
+                tile_size: TILE_SIZE,
+                max_z: *LEVELS.iter().max().expect("levels"),
+                eps: 0.1,
+                workers: 4,
+                simd,
+                batch,
+                ..ServerConfig::default()
+            };
+            let server = TileServer::start(config, &points, kernel).expect("server start");
+            let addr = server.local_addr();
+            for (zi, &z) in LEVELS.iter().enumerate() {
+                let mut idx = 0usize;
+                for kind in ["eps", "tau"] {
+                    for x in 0..1u32 << z {
+                        for y in 0..1u32 << z {
+                            let path = format!("/tiles/{kind}/{z}/{x}/{y}.png");
+                            let start = Instant::now();
+                            let (status, body) = fetch(addr, &path);
+                            let ns = start.elapsed().as_nanos() as u64;
+                            assert_eq!(status, 200, "{path} ({name})");
+                            assert!(body.starts_with(b"\x89PNG"), "{path}: not a PNG");
+                            let slot_min = &mut mins[zi][idx][slot];
+                            *slot_min = (*slot_min).min(ns);
+                            idx += 1;
+                        }
+                    }
+                }
+            }
+            server.stop();
+        }
+    }
+
+    let mut hists: Vec<[LogHistogram; 3]> = LEVELS
+        .iter()
+        .map(|_| std::array::from_fn(|_| LogHistogram::new()))
+        .collect();
+    let mut all: [LogHistogram; 3] = std::array::from_fn(|_| LogHistogram::new());
+    for (zi, tiles) in mins.iter().enumerate() {
+        for t in tiles {
+            for (slot, &ns) in t.iter().enumerate() {
+                assert_ne!(ns, u64::MAX, "unrecorded tile sample");
+                hists[zi][slot].record(ns);
+                all[slot].record(ns);
+            }
+        }
+    }
+
+    let p99 = |h: &LogHistogram| h.quantile_le(0.99) as f64;
+    let mut zooms = Vec::new();
+    let mut speedups = Vec::new();
+    for (zi, &z) in LEVELS.iter().enumerate() {
+        let speedup = p99(&hists[zi][0]) / p99(&hists[zi][2]);
+        speedups.push(speedup);
+        println!(
+            "cold path z={z}: scalar p99 {:.2} ms, simd p99 {:.2} ms, \
+             simd+batched p99 {:.2} ms ({speedup:.1}x vs scalar)",
+            p99(&hists[zi][0]) / 1e6,
+            p99(&hists[zi][1]) / 1e6,
+            p99(&hists[zi][2]) / 1e6,
+        );
+        let mut fields = vec![
+            ("z", json::num_u(z as u64)),
+            ("tiles", json::num_u(hists[zi][0].count())),
+        ];
+        for (slot, (name, _, _)) in MODES.into_iter().enumerate() {
+            fields.push((name, hist_json(&hists[zi][slot])));
+        }
+        fields.push(("p99_speedup_batched", json::num_f(speedup)));
+        zooms.push(Value::obj(fields));
+    }
+    let min_speedup = speedups.iter().cloned().fold(f64::INFINITY, f64::min);
+    let agg_speedup = p99(&all[0]) / p99(&all[2]);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let max_z = *LEVELS.iter().max().expect("levels");
+    println!(
+        "cold path: z≤{max_z} cold-tile p99 scalar {:.2} ms → simd+batched {:.2} ms \
+         ({agg_speedup:.1}x; worst single zoom {min_speedup:.1}x) \
+         ({cores} core(s), simd {})",
+        p99(&all[0]) / 1e6,
+        p99(&all[2]) / 1e6,
+        if kdv_geom::simd::simd_supported() {
+            "avx2"
+        } else {
+            "unavailable"
+        },
+    );
+    let mut agg_fields = vec![("tiles", json::num_u(all[0].count()))];
+    for (slot, (name, _, _)) in MODES.into_iter().enumerate() {
+        agg_fields.push((name, hist_json(&all[slot])));
+    }
+    Value::obj(vec![
+        ("host_cores", json::num_u(cores as u64)),
+        (
+            "simd_supported",
+            Value::Bool(kdv_geom::simd::simd_supported()),
+        ),
+        (
+            "simd_lanes",
+            json::num_u(kdv_geom::simd::simd_lanes() as u64),
+        ),
+        ("kinds", Value::Str("eps+tau".to_string())),
+        ("rounds", json::num_u(rounds as u64)),
+        ("zooms", Value::Arr(zooms)),
+        ("all_zooms", Value::obj(agg_fields)),
+        ("p99_speedup_batched", json::num_f(agg_speedup)),
+        ("p99_speedup_batched_min", json::num_f(min_speedup)),
+    ])
+}
+
 fn main() {
     let out = std::env::args()
         .nth(1)
@@ -970,29 +1138,34 @@ fn main() {
     }
     server.stop();
 
-    let tmp = std::env::temp_dir().join(format!("kdv-serve-bench-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&tmp);
-    std::fs::create_dir_all(&tmp).expect("mkdir tmp");
-    let cold_start = cold_start(&tmp);
-    let ingest = ingest_bench(&tmp);
-    let cluster = cluster_bench(&tmp);
-    let pyramid = pyramid_bench(&tmp);
-    std::fs::remove_dir_all(&tmp).ok();
-    let trace_overhead = trace_overhead();
+    let cold_path = cold_path();
 
-    let doc = Value::obj(vec![
-        ("schema", Value::Str("kdv-bench-serve/6".to_string())),
+    let mut fields = vec![
+        ("schema", Value::Str("kdv-bench-serve/7".to_string())),
         ("dataset", Value::Str("crime".to_string())),
         ("points", json::num_u(POINTS as u64)),
         ("tile_size", json::num_u(TILE_SIZE as u64)),
         ("kind", Value::Str("eps".to_string())),
         ("levels", Value::Arr(levels)),
-        ("cold_start", cold_start),
-        ("ingest", ingest),
-        ("cluster", cluster),
-        ("pyramid", pyramid),
-        ("trace_overhead", trace_overhead),
-    ]);
+        ("cold_path", cold_path),
+    ];
+    // KDV_BENCH_FAST: the CI perf smoke only needs the sections above
+    // (cached levels + per-mode cold path); the 1M-point cold-start,
+    // ingest, cluster, pyramid, and tracing sections are minutes of
+    // extra wall time that belong to full sidecar refreshes.
+    if std::env::var("KDV_BENCH_FAST").is_err() {
+        let tmp = std::env::temp_dir().join(format!("kdv-serve-bench-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&tmp);
+        std::fs::create_dir_all(&tmp).expect("mkdir tmp");
+        fields.push(("cold_start", cold_start(&tmp)));
+        fields.push(("ingest", ingest_bench(&tmp)));
+        fields.push(("cluster", cluster_bench(&tmp)));
+        fields.push(("pyramid", pyramid_bench(&tmp)));
+        std::fs::remove_dir_all(&tmp).ok();
+        fields.push(("trace_overhead", trace_overhead()));
+    }
+
+    let doc = Value::obj(fields);
     std::fs::write(&out, doc.render()).expect("write sidecar");
     println!("wrote {out}");
 }

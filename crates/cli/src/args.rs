@@ -12,7 +12,7 @@ pub struct Args {
 }
 
 /// Flags that take no value.
-const BOOLEAN_FLAGS: [&str; 10] = [
+const BOOLEAN_FLAGS: [&str; 12] = [
     "help",
     "weights",
     "grayscale",
@@ -21,6 +21,8 @@ const BOOLEAN_FLAGS: [&str; 10] = [
     "allow-shutdown",
     "debug-sleep",
     "no-trace",
+    "no-simd",
+    "no-batch",
     "preload",
     "pyramid",
 ];

@@ -198,6 +198,144 @@ pub fn node_bounds_pre(
     }
 }
 
+/// One-sided cover of the polynomial `exp_neg`'s own relative error
+/// (≲1 ulp of libm, tested ≤ 4 ulp) on the interval-family sides.
+const POLY_EXP_ULP: f64 = 8.0 * f64::EPSILON;
+
+/// Absolute pad — relative to the interval upper bound `W·e^{−x_min}`
+/// — applied to the chord/tangent refinements assembled from
+/// polynomial exps. The constructions are endpoint-interpolating forms
+/// evaluated at in-interval arguments, so perturbing each exp by `η`
+/// relative shifts the aggregate by at most a small multiple of
+/// `η·W·e^{−x_min}` (every exp involved is ≤ `e^{−x_min}`, and the
+/// curvature terms contribute ≤ `(Δ+1)e^{−Δ} ≤ 1` of it per unit
+/// weight). 256 ulp leaves ~30× headroom over that analysis; the
+/// near-degenerate cancellation regimes the guarded constructions
+/// share with the libm path are unchanged.
+const POLY_EXP_PAD: f64 = 256.0 * f64::EPSILON;
+
+/// Upper bound on `exp(−x)` past the polynomial's underflow cutoff:
+/// the poly returns `0.0` there, but an *upper* bound must not, so the
+/// assembly substitutes `exp(−700) < 9.86e−305`.
+const EXP_CUTOFF_CEIL: f64 = 9.86e-305;
+
+/// Interval-family Gaussian bounds from precomputed polynomial exps —
+/// the two-exp core shared by [`gaussian_bounds_from_exps`] and the
+/// tile engine's batched box-bound re-bracketing. One-sided
+/// [`POLY_EXP_ULP`] covers make the poly's ≤4-ulp error certified, and
+/// arguments past the poly's underflow cutoff substitute
+/// [`EXP_CUTOFF_CEIL`] on the upper side.
+#[inline]
+pub fn gaussian_interval_from_exps(w: f64, x_min: f64, e_min: f64, e_max: f64) -> Interval {
+    let ub = w * if x_min > kdv_geom::simd::EXP_NEG_CUTOFF {
+        EXP_CUTOFF_CEIL
+    } else {
+        e_min * (1.0 + POLY_EXP_ULP)
+    };
+    let lb = (w * e_max * (1.0 - POLY_EXP_ULP)).max(0.0);
+    Interval { lb, ub }
+}
+
+/// Gaussian bounds assembled from **precomputed** `exp(−x_min)`,
+/// `exp(−x_max)` and `exp(−t)` values — the batched-evaluation half of
+/// [`node_bounds_pre`]. The caller (the tile engine's node-major
+/// finisher) gathers the three exp arguments for a whole pixel row,
+/// evaluates them in one vectorized [`kdv_geom::simd::exp_neg_map`]
+/// pass, and assembles each pixel's interval here without touching
+/// libm.
+///
+/// The polynomial exp is within 4 ulp of libm but not one-sided, so
+/// the interval sides are widened by [`POLY_EXP_ULP`] and the
+/// chord/tangent refinements by [`POLY_EXP_PAD`]·`ub`: the result is a
+/// certified (slightly wider) bracket of `F_R(q)`, interchangeable
+/// with [`node_bounds_pre`]'s under the engine's ε/τ contracts.
+///
+/// * `w` — node weight (caller guarantees `w > 0`),
+/// * `x_min ≤ x_max` — γ-scaled squared-distance interval to the MBR,
+/// * `e_min`/`e_max` — polynomial `exp_neg(x_min)`/`exp_neg(x_max)`,
+/// * `sx`/`sx2` — moment contractions `γ·Σwᵢdist²`/`γ²·Σwᵢdist⁴`,
+///   already clamped into `[w·x_min, w·x_max]` (resp. squares),
+/// * `t`/`e_t` — tangent argument `clamp(sx/w, x_min, x_max)` and its
+///   polynomial exp (ignored for [`BoundFamily::Interval`]).
+#[allow(clippy::too_many_arguments)]
+#[inline]
+pub fn gaussian_bounds_from_exps(
+    family: BoundFamily,
+    w: f64,
+    x_min: f64,
+    x_max: f64,
+    e_min: f64,
+    e_max: f64,
+    sx: f64,
+    sx2: f64,
+    t: f64,
+    e_t: f64,
+) -> Interval {
+    use crate::kernel::gaussian::DEGENERATE_SPAN;
+    let base = gaussian_interval_from_exps(w, x_min, e_min, e_max);
+    let ub0 = base.ub;
+    let span = x_max - x_min;
+    if matches!(family, BoundFamily::Interval) || span < DEGENERATE_SPAN {
+        return base;
+    }
+    let cand = match family {
+        BoundFamily::Interval => unreachable!("returned above"),
+        BoundFamily::Linear => {
+            // Chord upper / tangent-at-mean lower (`linear::gaussian`).
+            let m = (e_max - e_min) / span;
+            let k = e_min - m * x_min;
+            Interval {
+                lb: w * e_t,
+                ub: m * sx + k * w,
+            }
+        }
+        BoundFamily::Quadratic => {
+            // Endpoint parabola with Theorem 1's optimal curvature /
+            // tangent-through-(x_max) parabola (`quadratic::gaussian`),
+            // with the four interval divisions folded into two
+            // reciprocals — a ≤1-ulp perturbation per coefficient,
+            // absorbed by the pad below.
+            let inv = 1.0 / span;
+            let au = (e_min - (span + 1.0) * e_max) * inv * inv;
+            let bu = (e_max - e_min) * inv - au * (x_min + x_max);
+            let cu = (e_min * x_max - e_max * x_min) * inv + au * x_min * x_max;
+            let ub = au * sx2 + bu * sx + cu * w;
+            let s = x_max - t;
+            let lb = if s < DEGENERATE_SPAN {
+                f64::NEG_INFINITY
+            } else {
+                let inv_s = 1.0 / s;
+                let al = (e_max + (s - 1.0) * e_t) * inv_s * inv_s;
+                let bl = -e_t - 2.0 * t * al;
+                let cl = (1.0 + t) * e_t + t * t * al;
+                al * sx2 + bl * sx + cl * w
+            };
+            Interval { lb, ub }
+        }
+    };
+    let pad = POLY_EXP_PAD * ub0;
+    base.refined_with(Interval {
+        lb: cand.lb - pad,
+        ub: cand.ub + pad,
+    })
+}
+
+/// The [`kdv_geom::simd::gauss_quad_assemble`] parameter block
+/// carrying this module's certification policy — the same exp covers,
+/// candidate pad, cutoff substitute and degeneracy threshold that
+/// [`gaussian_bounds_from_exps`] applies, so the vectorized assembly
+/// produces brackets certified by the same argument (op order differs
+/// from the scalar assembly by at most reassociation of one product,
+/// well inside [`POLY_EXP_PAD`]).
+pub fn quad_assemble_consts() -> kdv_geom::simd::QuadAssembleConsts {
+    kdv_geom::simd::QuadAssembleConsts {
+        ulp: POLY_EXP_ULP,
+        pad: POLY_EXP_PAD,
+        cutoff_ceil: EXP_CUTOFF_CEIL,
+        degenerate_span: crate::kernel::gaussian::DEGENERATE_SPAN,
+    }
+}
+
 /// Uniform bounds over a whole *query box*: an interval bracketing
 /// `F_R(q)` for **every** `q` in `query_box` simultaneously.
 ///
@@ -262,4 +400,51 @@ mod tests {
     // Cross-family correctness and tightness-ordering tests live in
     // `tests/bound_correctness.rs` at the crate root, where they can
     // drive full kd-trees.
+
+    use kdv_geom::simd::exp_neg;
+    use kdv_geom::vecmath::dist2;
+    use kdv_geom::PointSet;
+    use kdv_index::NodeStats;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The batched assembly ([`gaussian_bounds_from_exps`] fed by
+        /// the polynomial exp) is a certified bracket of the exact
+        /// aggregate for every family, like [`node_bounds_pre`].
+        #[test]
+        fn batch_assembly_brackets_exact(
+            flat in proptest::collection::vec(-10.0..10.0f64, 2..40),
+            q in proptest::collection::vec(-12.0..12.0f64, 2),
+            gamma in 0.01..2.0f64,
+            fam_idx in 0usize..3,
+        ) {
+            let family = BoundFamily::ALL[fam_idx];
+            let n = flat.len() / 2 * 2;
+            let ps = PointSet::from_rows(2, &flat[..n]);
+            let mut s = NodeStats::zero(2);
+            for p in ps.iter() {
+                s.accumulate(p.coords, p.weight);
+            }
+            let mbr = Mbr::of_set(&ps).unwrap();
+            let w = s.weight;
+            let x_min = gamma * mbr.min_dist2(&q);
+            let x_max = gamma * mbr.max_dist2(&q);
+            let sx = (gamma * s.sum_dist2(&q)).clamp(w * x_min, w * x_max);
+            let sx2 = (gamma * gamma * s.sum_dist4(&q))
+                .clamp(w * x_min * x_min, w * x_max * x_max);
+            let t = (sx / w).clamp(x_min, x_max);
+            let b = gaussian_bounds_from_exps(
+                family, w, x_min, x_max,
+                exp_neg(x_min), exp_neg(x_max), sx, sx2, t, exp_neg(t),
+            );
+            let f: f64 = ps
+                .iter()
+                .map(|p| p.weight * (-gamma * dist2(&q, p.coords)).exp())
+                .sum();
+            prop_assert!(b.lb <= f * (1.0 + 1e-9) + 1e-12, "lb {} > F {}", b.lb, f);
+            prop_assert!(f <= b.ub * (1.0 + 1e-9) + 1e-12, "F {} > ub {}", f, b.ub);
+            // Never looser than the interval family it intersects.
+            prop_assert!(b.lb >= 0.0 && b.ub <= w * exp_neg(x_min) * (1.0 + 1e-12) + 1e-300);
+        }
+    }
 }

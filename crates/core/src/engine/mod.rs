@@ -24,7 +24,9 @@
 pub mod budget;
 mod probe;
 mod refine;
+mod tile;
 
 pub use budget::{BudgetPolicy, BudgetedEval, BudgetedTau, RenderBudget};
 pub use probe::{NoProbe, Probe};
 pub use refine::{RefineEvaluator, RefineStats};
+pub use tile::{TileEps, TileEvaluator, TileTau};

@@ -6,16 +6,15 @@ use crate::bounds::{node_bounds_pre, BoundFamily, Interval};
 use crate::error::KdvError;
 use crate::kernel::Kernel;
 use crate::query::{validate_eps, validate_query_point, validate_tau};
-use kdv_geom::vecmath::dist2;
 use kdv_index::{KdTree, NodeId, NodeKind};
 use std::collections::BinaryHeap;
 
 /// Unit roundoff of f64 (used for the incremental-sum error tracking).
-const EPS_MACH: f64 = 2.220_446_049_250_313e-16;
+pub(super) const EPS_MACH: f64 = 2.220_446_049_250_313e-16;
 
 /// Resync the incremental sums from the heap once the tracked rounding
 /// error exceeds this fraction of the sums' magnitude.
-const RESYNC_REL: f64 = 1e-6;
+pub(super) const RESYNC_REL: f64 = 1e-6;
 
 /// Per-query diagnostics (iteration counts feed Fig 18, the
 /// `refine_pixel` bench, and the telemetry cost maps).
@@ -31,6 +30,16 @@ pub struct RefineStats {
     pub point_evals: usize,
     /// Incremental-sum resync passes forced by float rounding error.
     pub resyncs: usize,
+    /// Heap pops / bound evaluations *avoided* by sharing one tile
+    /// frontier across pixels (batched path only; always 0 for the
+    /// per-pixel entry points). Excluded from [`total_work`], which
+    /// counts work performed.
+    ///
+    /// [`total_work`]: RefineStats::total_work
+    pub frontier_reuse: usize,
+    /// SIMD lane width the leaf scans ran with for this query
+    /// (4 on the AVX2 path, 1 scalar).
+    pub simd_lanes: usize,
 }
 
 impl RefineStats {
@@ -88,6 +97,8 @@ pub struct RefineEvaluator<'a> {
     /// Reusable buffer for the query translated into the tree's
     /// centered statistics frame (all nodes share one center).
     qt: Vec<f64>,
+    /// Reusable squared-distance scratch for SoA leaf scans.
+    d2: Vec<f64>,
 }
 
 enum StopRule {
@@ -112,6 +123,7 @@ impl<'a> RefineEvaluator<'a> {
             heap: BinaryHeap::new(),
             stats: RefineStats::default(),
             qt: vec![0.0; tree.points().dim()],
+            d2: Vec::new(),
         }
     }
 
@@ -358,7 +370,10 @@ impl<'a> RefineEvaluator<'a> {
             "query dimensionality mismatch"
         );
         self.heap.clear();
-        self.stats = RefineStats::default();
+        self.stats = RefineStats {
+            simd_lanes: kdv_geom::simd::simd_lanes(),
+            ..RefineStats::default()
+        };
         // Translate q once into the shared centered frame. The buffer is
         // moved out for the duration of the loop (it must be borrowable
         // alongside `&mut self.heap`) and restored on every exit path.
@@ -534,15 +549,47 @@ impl<'a> RefineEvaluator<'a> {
 
     /// Exact kernel aggregation over one leaf's contiguous points;
     /// returns the sum and the number of point-kernel evaluations.
-    fn exact_leaf(&self, id: NodeId, q: &[f64]) -> (f64, usize) {
-        let mut acc = 0.0;
-        let mut points = 0usize;
-        for (p, w) in self.tree.leaf_points(id) {
-            acc += w * self.kernel.eval_dist2(dist2(q, p));
-            points += 1;
-        }
-        (acc, points)
+    ///
+    /// Distances come from the tree's column-major view via
+    /// [`kdv_geom::simd::dist2_block`] (runtime-dispatched AVX2 or the
+    /// bit-identical scalar pass) into a reused scratch buffer; the
+    /// kernel transform stays scalar so results never depend on the
+    /// dispatch decision.
+    fn exact_leaf(&mut self, id: NodeId, q: &[f64]) -> (f64, usize) {
+        exact_leaf_scan(self.tree, &self.kernel, id, q, &mut self.d2)
     }
+}
+
+/// Exact kernel aggregation over one leaf's contiguous points; shared
+/// by the per-pixel evaluator above and the tile-batched one
+/// ([`super::tile`]). `d2` is the caller's reusable squared-distance
+/// scratch — no allocation once it has grown to the leaf capacity.
+pub(super) fn exact_leaf_scan(
+    tree: &KdTree,
+    kernel: &Kernel,
+    id: NodeId,
+    q: &[f64],
+    d2: &mut Vec<f64>,
+) -> (f64, usize) {
+    let (start, end) = tree.leaf_range(id);
+    let n = end - start;
+    d2.clear();
+    d2.resize(n, 0.0);
+    kdv_geom::simd::dist2_block(tree.columns(), start, end, q, d2);
+    let weights = &tree.points().weights()[start..end];
+    // The Gaussian profile gets the fused vector primitive (polynomial
+    // exp, bit-identical scalar/AVX2); other profiles use their scalar
+    // closed forms over the SIMD-computed distances.
+    let acc = if matches!(kernel.ty, crate::kernel::KernelType::Gaussian) {
+        kdv_geom::simd::gaussian_weighted_sum(weights, d2, kernel.gamma)
+    } else {
+        let mut acc = 0.0;
+        for (&w, &d2) in weights.iter().zip(d2.iter()) {
+            acc += w * kernel.eval_dist2(d2);
+        }
+        acc
+    };
+    (acc, n)
 }
 
 #[cfg(test)]
@@ -550,6 +597,7 @@ mod tests {
     use super::*;
     use crate::bounds::node_bounds;
     use crate::kernel::KernelType;
+    use kdv_geom::vecmath::dist2;
     use kdv_geom::PointSet;
     use kdv_index::BuildConfig;
     use rand::rngs::StdRng;

@@ -2,8 +2,9 @@
 //! weighted datasets, every kernel, and every bound family.
 
 use kdv_core::bounds::BoundFamily;
-use kdv_core::engine::RefineEvaluator;
+use kdv_core::engine::{RefineEvaluator, RenderBudget, TileEvaluator};
 use kdv_core::kernel::{Kernel, KernelType};
+use kdv_core::raster::RasterSpec;
 use kdv_geom::vecmath::dist2;
 use kdv_geom::PointSet;
 use kdv_index::{BuildConfig, KdTree};
@@ -114,6 +115,55 @@ proptest! {
         let _ = ev.eval_eps(&[100.0, -100.0], 0.5);
         let r2 = ev.eval_eps(&q, 0.01);
         prop_assert_eq!(r1.to_bits(), r2.to_bits());
+    }
+
+    /// Tile-batched refinement honors the same per-pixel contracts as
+    /// independent refinement, on random trees and every bound family:
+    /// every unbudgeted ε pixel is certified (`ub ≤ (1+ε)·lb`) and its
+    /// bracket contains the exact density; the τ hot mask is identical
+    /// to the per-pixel evaluator's answers.
+    #[test]
+    fn batched_tile_matches_per_pixel(
+        ps in arb_dataset(),
+        gamma in 0.05..1.0f64,
+        fam_idx in 0usize..3,
+        eps in 0.01..0.3f64,
+    ) {
+        let family = [BoundFamily::Interval, BoundFamily::Linear, BoundFamily::Quadratic][fam_idx];
+        let kernel = Kernel::gaussian(gamma);
+        let tree = KdTree::build(&ps, BuildConfig { leaf_capacity: 4, ..BuildConfig::default() });
+        let raster = RasterSpec::covering(&ps, 9, 9, 0.05);
+        let mut tev = TileEvaluator::new(&tree, kernel, family);
+        let mut pev = RefineEvaluator::new(&tree, kernel, family);
+
+        let mut budget = RenderBudget::unlimited();
+        let tile = tev.eval_tile_eps(&raster, eps, &mut budget);
+        let mut tau = 0.0;
+        for (i, e) in tile.evals.iter().enumerate() {
+            let (col, row) = (i as u32 % 9, i as u32 / 9);
+            let q = raster.pixel_center(col, row);
+            prop_assert!(!e.exhausted);
+            prop_assert!(e.ub <= (1.0 + eps) * e.lb + 1e-12 * e.ub.abs());
+            let exact = pev.eval_exact(&q);
+            prop_assert!(e.lb <= exact + 1e-9 * (1.0 + exact.abs()));
+            prop_assert!(e.ub >= exact - 1e-9 * (1.0 + exact.abs()));
+            tau += exact;
+        }
+        // τ at ~40% of the mean pixel density: both hot and cold
+        // pixels exist in most generated scenes.
+        let tau = (tau / 81.0) * 0.4;
+        // Densities can underflow to 0 far from the data; skip the τ
+        // half for those degenerate scenes (τ must be positive).
+        if tau > 0.0 && tau.is_finite() {
+            let mut budget = RenderBudget::unlimited();
+            let t = tev.eval_tile_tau(&raster, tau, &mut budget);
+            for (i, b) in t.taus.iter().enumerate() {
+                let (col, row) = (i as u32 % 9, i as u32 / 9);
+                let q = raster.pixel_center(col, row);
+                prop_assert!(b.decided);
+                prop_assert_eq!(b.hot, pev.eval_tau(&q, tau), "pixel ({col},{row})");
+            }
+        }
     }
 }
 

@@ -14,13 +14,20 @@
 //! Everything here is deliberately dependency-free and allocation-averse:
 //! the per-pixel hot loops of the KDV engine call
 //! [`Mbr::min_dist2`]/[`Mbr::max_dist2`] millions of times.
+//!
+//! The one exception to "no unsafe" is [`simd`]: the leaf-scan
+//! distance primitive carries an explicit AVX2 path behind runtime
+//! feature detection. The unsafety is confined to that module (the
+//! crate otherwise denies it) and every caller goes through its safe,
+//! bounds-checked wrappers.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod mbr;
 pub mod point;
+pub mod simd;
 pub mod vecmath;
 
 pub use mbr::Mbr;
-pub use point::{PointRef, PointSet};
+pub use point::{PointColumns, PointRef, PointSet};

@@ -290,6 +290,71 @@ impl PointSet {
     }
 }
 
+/// A column-major (structure-of-arrays) view of a [`PointSet`]:
+/// coordinate `j` of every point lives in one contiguous run, so a
+/// block of consecutive points exposes each dimension as a dense
+/// `&[f64]` — the layout SIMD leaf scans and autovectorized moment
+/// loops want. Weights stay in the owning `PointSet` (already
+/// contiguous there).
+///
+/// The view is derived data: it duplicates the coordinate storage
+/// (`dim · len` doubles) and must be rebuilt whenever the point order
+/// changes. The kd-tree builds it once after its physical leaf
+/// reorder, which makes every leaf a contiguous column block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointColumns {
+    dim: usize,
+    len: usize,
+    /// `data[j*len + i]` = coordinate `j` of point `i`.
+    data: Vec<f64>,
+}
+
+impl PointColumns {
+    /// Transposes `points` into column-major storage.
+    pub fn from_points(points: &PointSet) -> Self {
+        let dim = points.dim();
+        let len = points.len();
+        let coords = points.coords();
+        let mut data = vec![0.0; dim * len];
+        for (j, col) in data.chunks_exact_mut(len.max(1)).enumerate().take(dim) {
+            for (i, slot) in col.iter_mut().enumerate() {
+                *slot = coords[i * dim + j];
+            }
+        }
+        Self { dim, len, data }
+    }
+
+    /// Dimensionality of the underlying points.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of points in the view.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the view holds no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The full column for coordinate `j`.
+    #[inline]
+    pub fn col(&self, j: usize) -> &[f64] {
+        &self.data[j * self.len..(j + 1) * self.len]
+    }
+
+    /// Coordinate `j` of points `start..end` as one dense slice.
+    #[inline]
+    pub fn col_slice(&self, j: usize, start: usize, end: usize) -> &[f64] {
+        &self.data[j * self.len + start..j * self.len + end]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -382,6 +447,28 @@ mod tests {
         let mut ps = sample_set();
         ps.scale_weights(0.5);
         assert!((ps.total_weight() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn columns_transpose_roundtrip() {
+        let ps = PointSet::from_rows(3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0]);
+        let cols = PointColumns::from_points(&ps);
+        assert_eq!((cols.dim(), cols.len()), (3, 3));
+        assert_eq!(cols.col(0), &[1.0, 4.0, 7.0]);
+        assert_eq!(cols.col(2), &[3.0, 6.0, 9.0]);
+        assert_eq!(cols.col_slice(1, 1, 3), &[5.0, 8.0]);
+        for i in 0..ps.len() {
+            for j in 0..ps.dim() {
+                assert_eq!(cols.col(j)[i], ps.point(i)[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn columns_of_empty_set() {
+        let cols = PointColumns::from_points(&PointSet::new(2));
+        assert!(cols.is_empty());
+        assert_eq!(cols.col(1), &[] as &[f64]);
     }
 
     proptest! {

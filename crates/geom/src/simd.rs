@@ -1,0 +1,887 @@
+//! Runtime-dispatched SIMD kernels for the leaf-scan hot path.
+//!
+//! The refinement engine's exact leaf scans reduce to one primitive:
+//! squared distances from a single query point to a block of points
+//! stored column-major ([`PointColumns`]). That primitive lives here
+//! twice — a scalar loop and an explicit AVX2 `f64x4` path — behind
+//! runtime feature detection (`is_x86_feature_detected!`) and a
+//! process-wide kill switch (the server's `--no-simd` flag).
+//!
+//! ## Bit-identical by construction
+//!
+//! The vector path performs exactly the per-element operation chain of
+//! the scalar one — `d = q[j] − p[j]; acc += d·d`, dimensions in
+//! ascending order, no FMA, no reassociation — with four points in
+//! flight instead of one. Each lane therefore produces the same bits
+//! as the scalar loop for its point, which lets the engine treat SIMD
+//! as a pure throughput knob: certified ε/τ results are identical with
+//! it on or off, and the scalar-vs-SIMD property suite pins exactly
+//! that.
+//!
+//! The same discipline extends to the Gaussian profile: [`exp_neg`] is
+//! a fixed Cephes-style polynomial `exp(−x)` whose scalar and 4-lane
+//! forms execute the identical operation sequence (floor-based range
+//! reduction, one Horner chain per lane, exponent-bit scaling), so
+//! [`gaussian_weighted_sum`] — the engine's exact-leaf primitive
+//! `Σ wᵢ·exp(−γ·d²ᵢ)` — is also bit-identical between the scalar and
+//! AVX2 paths. The polynomial differs from libm's `exp` by ≲1 ulp;
+//! every certified interval the engine reports is widened by its
+//! tracked floating-point error, which dominates that difference.
+
+use crate::point::PointColumns;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Process-wide kill switch; `true` means "never take vector paths".
+static SIMD_DISABLED: AtomicBool = AtomicBool::new(false);
+
+/// Enables or disables the SIMD paths process-wide. Disabling is the
+/// `--no-simd` escape hatch; because scalar and vector paths are
+/// bit-identical, flipping this mid-flight changes throughput only.
+pub fn set_simd_enabled(on: bool) {
+    SIMD_DISABLED.store(!on, Ordering::Relaxed);
+}
+
+/// Whether this host supports the AVX2 path at all (regardless of the
+/// kill switch). Recorded in bench sidecars so numbers from different
+/// machines stay comparable.
+pub fn simd_supported() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Whether vector paths are live right now (supported and not killed).
+pub fn simd_enabled() -> bool {
+    simd_supported() && !SIMD_DISABLED.load(Ordering::Relaxed)
+}
+
+/// Lane width the leaf-scan primitive is currently using: 4 on the
+/// AVX2 path, 1 scalar. Exposed to `RefineStats`/`/metrics`.
+pub fn simd_lanes() -> usize {
+    if simd_enabled() {
+        4
+    } else {
+        1
+    }
+}
+
+/// Squared distances from `q` to points `start..end` of `cols`:
+/// `out[i] = Σ_j (q[j] − p_{start+i}[j])²`, bit-identical between the
+/// scalar and AVX2 paths.
+///
+/// # Panics
+/// Panics if `q.len() != cols.dim()`, the range is out of bounds, or
+/// `out` is not exactly `end - start` long.
+pub fn dist2_block(cols: &PointColumns, start: usize, end: usize, q: &[f64], out: &mut [f64]) {
+    assert_eq!(q.len(), cols.dim(), "query dimensionality mismatch");
+    assert!(
+        start <= end && end <= cols.len(),
+        "point range out of bounds"
+    );
+    assert_eq!(out.len(), end - start, "output length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if simd_enabled() {
+        x86::dist2_block_avx2_checked(cols, start, end, q, out);
+        return;
+    }
+    dist2_block_scalar(cols, start, end, q, out);
+}
+
+/// Scalar reference path, written column-pass style so the per-element
+/// operation chain matches the vector path exactly (and so LLVM can
+/// autovectorize it where profitable without changing results: the
+/// pass order is already lane-parallel).
+fn dist2_block_scalar(cols: &PointColumns, start: usize, end: usize, q: &[f64], out: &mut [f64]) {
+    out.fill(0.0);
+    for (j, &qj) in q.iter().enumerate() {
+        let col = cols.col_slice(j, start, end);
+        for (o, &x) in out.iter_mut().zip(col) {
+            let d = qj - x;
+            *o += d * d;
+        }
+    }
+}
+
+/// Cephes-style `exp(−x)` for `x ≥ 0`: floor-based power-of-two range
+/// reduction, a degree-(2,3) rational Horner core, exponent-bit
+/// scaling. Accurate to ≲1 ulp of libm's `exp`, and — the property the
+/// engine actually relies on — **bit-identical** to the AVX2 lanes of
+/// [`gaussian_weighted_sum`], which execute this exact operation
+/// sequence four elements at a time.
+///
+/// Arguments beyond `EXP_NEG_CUTOFF` flush to `0.0` (the true value is
+/// below ~1e-304; the vector path cannot scale into the subnormal
+/// range, so both paths cut off at the same point).
+#[inline]
+pub fn exp_neg(x: f64) -> f64 {
+    debug_assert!(
+        x.is_nan() || x >= 0.0,
+        "exp_neg takes the *magnitude* of the exponent"
+    );
+    let v = 0.0 - x;
+    if v < -EXP_NEG_CUTOFF {
+        return 0.0;
+    }
+    let n = (LOG2E * v + 0.5).floor();
+    let r = v - n * EXP_C1 - n * EXP_C2;
+    let rr = r * r;
+    let px = r * ((EXP_P0 * rr + EXP_P1) * rr + EXP_P2);
+    let q = ((EXP_Q0 * rr + EXP_Q1) * rr + EXP_Q2) * rr + EXP_Q3;
+    let e = px / (q - px);
+    let y = 1.0 + (e + e);
+    let scale = f64::from_bits((((n as i64) + 1023) << 52) as u64);
+    y * scale
+}
+
+/// Largest exponent magnitude before [`exp_neg`] flushes to zero.
+pub const EXP_NEG_CUTOFF: f64 = 700.0;
+
+const LOG2E: f64 = std::f64::consts::LOG2_E;
+const EXP_C1: f64 = 6.931_457_519_531_25e-1;
+const EXP_C2: f64 = 1.428_606_820_309_417_2e-6;
+const EXP_P0: f64 = 1.261_771_930_748_105_9e-4;
+const EXP_P1: f64 = 3.029_944_077_074_419_6e-2;
+const EXP_P2: f64 = 9.999_999_999_999_999e-1;
+const EXP_Q0: f64 = 3.001_985_051_386_644_6e-6;
+const EXP_Q1: f64 = 2.524_483_403_496_841e-3;
+const EXP_Q2: f64 = 2.272_655_482_081_550_3e-1;
+const EXP_Q3: f64 = 2.0;
+
+/// The exact-leaf primitive: `Σᵢ wᵢ · exp(−γ·d2ᵢ)`, bit-identical
+/// between the scalar and AVX2 paths (both accumulate four interleaved
+/// partial sums combined as `((s₀+s₁)+(s₂+s₃)) + tail`).
+///
+/// # Panics
+/// Panics if `weights` and `d2` differ in length.
+pub fn gaussian_weighted_sum(weights: &[f64], d2: &[f64], gamma: f64) -> f64 {
+    assert_eq!(weights.len(), d2.len(), "weights/d2 length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if simd_enabled() {
+        return x86::gaussian_sum_avx2_checked(weights, d2, gamma);
+    }
+    gaussian_weighted_sum_scalar(weights, d2, gamma)
+}
+
+/// Element-wise `exp(−x)` over a slice: `dst[i] = exp_neg(src[i])`.
+/// Bit-identical between the scalar loop and the AVX2 path — both run
+/// the same polynomial per element — so callers (the batched bound
+/// evaluator) produce identical output with SIMD on or off.
+///
+/// # Panics
+/// Panics if `src` and `dst` differ in length.
+pub fn exp_neg_map(src: &[f64], dst: &mut [f64]) {
+    assert_eq!(src.len(), dst.len(), "exp_neg_map length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if simd_enabled() {
+        x86::exp_neg_map_avx2_checked(src, dst);
+        return;
+    }
+    for (d, &x) in dst.iter_mut().zip(src) {
+        *d = exp_neg(x);
+    }
+}
+
+/// Constants for [`gauss_quad_assemble`]. Geom executes the
+/// arithmetic; the *caller* owns the certification story these numbers
+/// encode (one-sided ulp covers for the polynomial exp, an absolute
+/// pad for the parabola candidates, the cutoff substitute, the
+/// degeneracy threshold), so they are parameters, not policy baked in
+/// here.
+#[derive(Debug, Clone, Copy)]
+pub struct QuadAssembleConsts {
+    /// One-sided relative cover applied to the base interval's exps.
+    pub ulp: f64,
+    /// Pad on the parabola candidates, relative to the base upper
+    /// bound.
+    pub pad: f64,
+    /// Upper substitute for `exp(−x)` when `x` is past
+    /// [`EXP_NEG_CUTOFF`] (where [`exp_neg`] flushes to zero).
+    pub cutoff_ceil: f64,
+    /// Spans below this fall back to the base interval.
+    pub degenerate_span: f64,
+}
+
+/// Batched assembly of QUAD's Gaussian quadratic bounds from
+/// pre-evaluated exps: for each element, the padded endpoint-parabola
+/// upper / tangent-parabola lower candidates intersected with the
+/// padded base interval `w·[e_max, e_min]`. Inputs are SoA slices of
+/// equal length — exp arguments `x_min ≤ x_max`, tangency point `t`,
+/// their exps, and the moment contractions `sx`, `sx2`.
+///
+/// The AVX2 path runs four elements per iteration with the branches
+/// turned into blends; every lane executes the same mul/add/div
+/// sequence as the scalar per-element path, so with SIMD on or off
+/// the results are identical (no FMA contraction, no reassociation).
+///
+/// # Panics
+/// Panics if the slices differ in length.
+#[allow(clippy::too_many_arguments)]
+pub fn gauss_quad_assemble(
+    w: f64,
+    x_min: &[f64],
+    x_max: &[f64],
+    t: &[f64],
+    e_min: &[f64],
+    e_max: &[f64],
+    e_t: &[f64],
+    sx: &[f64],
+    sx2: &[f64],
+    c: &QuadAssembleConsts,
+    lb: &mut [f64],
+    ub: &mut [f64],
+) {
+    let n = lb.len();
+    assert!(
+        [
+            x_min.len(),
+            x_max.len(),
+            t.len(),
+            e_min.len(),
+            e_max.len(),
+            e_t.len(),
+            sx.len(),
+            sx2.len(),
+            ub.len(),
+        ]
+        .iter()
+        .all(|&l| l == n),
+        "gauss_quad_assemble length mismatch"
+    );
+    #[cfg(target_arch = "x86_64")]
+    if simd_enabled() {
+        x86::quad_assemble_avx2_checked(w, x_min, x_max, t, e_min, e_max, e_t, sx, sx2, c, lb, ub);
+        return;
+    }
+    for k in 0..n {
+        let (l, u) = quad_assemble_one(
+            w, x_min[k], x_max[k], t[k], e_min[k], e_max[k], e_t[k], sx[k], sx2[k], c,
+        );
+        lb[k] = l;
+        ub[k] = u;
+    }
+}
+
+/// One element of [`gauss_quad_assemble`], in the exact operation
+/// order of the AVX2 lanes.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn quad_assemble_one(
+    w: f64,
+    xmin: f64,
+    xmax: f64,
+    t: f64,
+    emin: f64,
+    emax: f64,
+    et: f64,
+    sx: f64,
+    sx2: f64,
+    c: &QuadAssembleConsts,
+) -> (f64, f64) {
+    let ub0 = w * if xmin > EXP_NEG_CUTOFF {
+        c.cutoff_ceil
+    } else {
+        emin * (1.0 + c.ulp)
+    };
+    let lb0 = (w * emax * (1.0 - c.ulp)).max(0.0);
+    let span = xmax - xmin;
+    if span < c.degenerate_span {
+        return (lb0, ub0);
+    }
+    let inv = 1.0 / span;
+    let au = (emin - (span + 1.0) * emax) * inv * inv;
+    let bu = (emax - emin) * inv - au * (xmin + xmax);
+    let cu = (emin * xmax - emax * xmin) * inv + au * (xmin * xmax);
+    let cub = au * sx2 + bu * sx + cu * w;
+    let s = xmax - t;
+    let clb = if s < c.degenerate_span {
+        f64::NEG_INFINITY
+    } else {
+        let inv_s = 1.0 / s;
+        let al = (emax + (s - 1.0) * et) * inv_s * inv_s;
+        let bl = -et - (2.0 * t) * al;
+        let cl = (1.0 + t) * et + (t * t) * al;
+        al * sx2 + bl * sx + cl * w
+    };
+    let pad = c.pad * ub0;
+    (lb0.max(clb - pad), ub0.min(cub + pad))
+}
+
+/// Scalar reference path, written in the vector path's lane pattern so
+/// the two are bit-identical.
+fn gaussian_weighted_sum_scalar(weights: &[f64], d2: &[f64], gamma: f64) -> f64 {
+    let n = d2.len();
+    let wide = n - n % 4;
+    let mut s = [0.0f64; 4];
+    let mut i = 0;
+    while i < wide {
+        for l in 0..4 {
+            s[l] += weights[i + l] * exp_neg(gamma * d2[i + l]);
+        }
+        i += 4;
+    }
+    let mut tail = 0.0;
+    for j in wide..n {
+        tail += weights[j] * exp_neg(gamma * d2[j]);
+    }
+    ((s[0] + s[1]) + (s[2] + s[3])) + tail
+}
+
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+mod x86 {
+    use crate::point::PointColumns;
+    use std::arch::x86_64::{
+        __m256d, _mm256_add_epi64, _mm256_add_pd, _mm256_andnot_pd, _mm256_blendv_pd,
+        _mm256_castsi256_pd, _mm256_cmp_pd, _mm256_cvtepi32_epi64, _mm256_cvtpd_epi32,
+        _mm256_div_pd, _mm256_floor_pd, _mm256_loadu_pd, _mm256_max_pd, _mm256_min_pd,
+        _mm256_mul_pd, _mm256_set1_epi64x, _mm256_set1_pd, _mm256_setzero_pd, _mm256_slli_epi64,
+        _mm256_storeu_pd, _mm256_sub_pd, _mm256_xor_pd, _CMP_LT_OQ,
+    };
+
+    /// Safe wrapper: the caller already range-checked the slices, and
+    /// [`super::simd_enabled`] verified AVX2 support at runtime.
+    pub(super) fn dist2_block_avx2_checked(
+        cols: &PointColumns,
+        start: usize,
+        end: usize,
+        q: &[f64],
+        out: &mut [f64],
+    ) {
+        debug_assert!(super::simd_supported());
+        // SAFETY: AVX2 support was verified at runtime by the caller.
+        unsafe { dist2_block_avx2(cols, start, end, q, out) }
+    }
+
+    /// Four points per iteration. Explicit intrinsics (sub, mul, add —
+    /// never FMA) keep each lane's rounding identical to the scalar
+    /// loop; the tail runs the same scalar ops.
+    ///
+    /// # Safety
+    /// Caller must have verified AVX2 support at runtime.
+    #[target_feature(enable = "avx2")]
+    unsafe fn dist2_block_avx2(
+        cols: &PointColumns,
+        start: usize,
+        end: usize,
+        q: &[f64],
+        out: &mut [f64],
+    ) {
+        let n = end - start;
+        let wide = n - n % 4;
+        let mut i = 0;
+        while i < wide {
+            let mut acc = _mm256_setzero_pd();
+            for (j, &qj) in q.iter().enumerate() {
+                let col = cols.col_slice(j, start, end);
+                // SAFETY: i + 4 <= wide <= n == col.len().
+                let v = unsafe { _mm256_loadu_pd(col.as_ptr().add(i)) };
+                let d = _mm256_sub_pd(_mm256_set1_pd(qj), v);
+                acc = _mm256_add_pd(acc, _mm256_mul_pd(d, d));
+            }
+            // SAFETY: out.len() == n and i + 4 <= wide <= n.
+            unsafe { _mm256_storeu_pd(out.as_mut_ptr().add(i), acc) };
+            i += 4;
+        }
+        for (i, o) in out.iter_mut().enumerate().skip(wide) {
+            let mut acc = 0.0;
+            for (j, &qj) in q.iter().enumerate() {
+                let d = qj - cols.col_slice(j, start, end)[i];
+                acc += d * d;
+            }
+            *o = acc;
+        }
+    }
+
+    /// Safe wrapper: [`super::simd_enabled`] verified AVX2 support.
+    pub(super) fn gaussian_sum_avx2_checked(weights: &[f64], d2: &[f64], gamma: f64) -> f64 {
+        debug_assert!(super::simd_supported());
+        // SAFETY: AVX2 support was verified at runtime by the caller.
+        unsafe { gaussian_sum_avx2(weights, d2, gamma) }
+    }
+
+    /// Four lanes of [`super::exp_neg`]'s exact operation sequence —
+    /// same floor-based reduction, same Horner chains, same
+    /// exponent-bit scaling — so each lane's bits match the scalar
+    /// path. Lanes beyond the cutoff are masked to `+0.0`, mirroring
+    /// the scalar early return.
+    ///
+    /// # Safety
+    /// Caller must have verified AVX2 support at runtime.
+    #[target_feature(enable = "avx2")]
+    unsafe fn exp_neg_avx2(x: __m256d) -> __m256d {
+        let v = _mm256_sub_pd(_mm256_setzero_pd(), x);
+        let n = _mm256_floor_pd(_mm256_add_pd(
+            _mm256_mul_pd(_mm256_set1_pd(super::LOG2E), v),
+            _mm256_set1_pd(0.5),
+        ));
+        let r = _mm256_sub_pd(v, _mm256_mul_pd(n, _mm256_set1_pd(super::EXP_C1)));
+        let r = _mm256_sub_pd(r, _mm256_mul_pd(n, _mm256_set1_pd(super::EXP_C2)));
+        let rr = _mm256_mul_pd(r, r);
+        let px = _mm256_mul_pd(
+            r,
+            _mm256_add_pd(
+                _mm256_mul_pd(
+                    _mm256_add_pd(
+                        _mm256_mul_pd(_mm256_set1_pd(super::EXP_P0), rr),
+                        _mm256_set1_pd(super::EXP_P1),
+                    ),
+                    rr,
+                ),
+                _mm256_set1_pd(super::EXP_P2),
+            ),
+        );
+        let q = _mm256_add_pd(
+            _mm256_mul_pd(
+                _mm256_add_pd(
+                    _mm256_mul_pd(
+                        _mm256_add_pd(
+                            _mm256_mul_pd(_mm256_set1_pd(super::EXP_Q0), rr),
+                            _mm256_set1_pd(super::EXP_Q1),
+                        ),
+                        rr,
+                    ),
+                    _mm256_set1_pd(super::EXP_Q2),
+                ),
+                rr,
+            ),
+            _mm256_set1_pd(super::EXP_Q3),
+        );
+        let e = _mm256_div_pd(px, _mm256_sub_pd(q, px));
+        let y = _mm256_add_pd(_mm256_set1_pd(1.0), _mm256_add_pd(e, e));
+        // 2^n via the exponent field; `n` is exactly integral and,
+        // inside the cutoff, within the normal-exponent range.
+        let n64 = _mm256_cvtepi32_epi64(_mm256_cvtpd_epi32(n));
+        let scale = _mm256_castsi256_pd(_mm256_slli_epi64(
+            _mm256_add_epi64(n64, _mm256_set1_epi64x(1023)),
+            52,
+        ));
+        let res = _mm256_mul_pd(y, scale);
+        let under = _mm256_cmp_pd::<_CMP_LT_OQ>(v, _mm256_set1_pd(-super::EXP_NEG_CUTOFF));
+        _mm256_andnot_pd(under, res)
+    }
+
+    /// Safe wrapper: [`super::simd_enabled`] verified AVX2 support.
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn quad_assemble_avx2_checked(
+        w: f64,
+        x_min: &[f64],
+        x_max: &[f64],
+        t: &[f64],
+        e_min: &[f64],
+        e_max: &[f64],
+        e_t: &[f64],
+        sx: &[f64],
+        sx2: &[f64],
+        c: &super::QuadAssembleConsts,
+        lb: &mut [f64],
+        ub: &mut [f64],
+    ) {
+        debug_assert!(super::simd_supported());
+        // SAFETY: AVX2 support was verified at runtime by the caller.
+        unsafe { quad_assemble_avx2(w, x_min, x_max, t, e_min, e_max, e_t, sx, sx2, c, lb, ub) }
+    }
+
+    /// Four lanes of [`super::quad_assemble_one`]: branches become
+    /// blends (both sides are computed, the discarded side may be
+    /// inf/NaN — the blend masks exactly the lanes where the scalar
+    /// path would not have evaluated it), every kept lane runs the
+    /// scalar path's exact operation sequence.
+    ///
+    /// # Safety
+    /// Caller must have verified AVX2 support at runtime.
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2")]
+    unsafe fn quad_assemble_avx2(
+        w: f64,
+        x_min: &[f64],
+        x_max: &[f64],
+        t: &[f64],
+        e_min: &[f64],
+        e_max: &[f64],
+        e_t: &[f64],
+        sx: &[f64],
+        sx2: &[f64],
+        c: &super::QuadAssembleConsts,
+        lb: &mut [f64],
+        ub: &mut [f64],
+    ) {
+        let n = lb.len();
+        let wide = n - n % 4;
+        let vw = _mm256_set1_pd(w);
+        let vone = _mm256_set1_pd(1.0);
+        let vulp_hi = _mm256_set1_pd(1.0 + c.ulp);
+        let vulp_lo = _mm256_set1_pd(1.0 - c.ulp);
+        let vceil = _mm256_set1_pd(c.cutoff_ceil);
+        let vcut = _mm256_set1_pd(super::EXP_NEG_CUTOFF);
+        let vdeg = _mm256_set1_pd(c.degenerate_span);
+        let vpad = _mm256_set1_pd(c.pad);
+        let vtwo = _mm256_set1_pd(2.0);
+        let vneg0 = _mm256_set1_pd(-0.0);
+        let vninf = _mm256_set1_pd(f64::NEG_INFINITY);
+        let vzero = _mm256_setzero_pd();
+        let mut i = 0;
+        while i < wide {
+            // SAFETY: i + 4 <= wide <= n == every slice's length.
+            unsafe {
+                let vxmin = _mm256_loadu_pd(x_min.as_ptr().add(i));
+                let vxmax = _mm256_loadu_pd(x_max.as_ptr().add(i));
+                let vt = _mm256_loadu_pd(t.as_ptr().add(i));
+                let vemin = _mm256_loadu_pd(e_min.as_ptr().add(i));
+                let vemax = _mm256_loadu_pd(e_max.as_ptr().add(i));
+                let vet = _mm256_loadu_pd(e_t.as_ptr().add(i));
+                let vsx = _mm256_loadu_pd(sx.as_ptr().add(i));
+                let vsx2 = _mm256_loadu_pd(sx2.as_ptr().add(i));
+
+                // Base interval with the exp-error covers.
+                let m_cut = _mm256_cmp_pd::<_CMP_LT_OQ>(vcut, vxmin);
+                let ub0 = _mm256_mul_pd(
+                    vw,
+                    _mm256_blendv_pd(_mm256_mul_pd(vemin, vulp_hi), vceil, m_cut),
+                );
+                let lb0 = _mm256_max_pd(_mm256_mul_pd(_mm256_mul_pd(vw, vemax), vulp_lo), vzero);
+
+                // Endpoint-parabola upper candidate.
+                let span = _mm256_sub_pd(vxmax, vxmin);
+                let inv = _mm256_div_pd(vone, span);
+                let au = _mm256_mul_pd(
+                    _mm256_mul_pd(
+                        _mm256_sub_pd(vemin, _mm256_mul_pd(_mm256_add_pd(span, vone), vemax)),
+                        inv,
+                    ),
+                    inv,
+                );
+                let bu = _mm256_sub_pd(
+                    _mm256_mul_pd(_mm256_sub_pd(vemax, vemin), inv),
+                    _mm256_mul_pd(au, _mm256_add_pd(vxmin, vxmax)),
+                );
+                let cu = _mm256_add_pd(
+                    _mm256_mul_pd(
+                        _mm256_sub_pd(_mm256_mul_pd(vemin, vxmax), _mm256_mul_pd(vemax, vxmin)),
+                        inv,
+                    ),
+                    _mm256_mul_pd(au, _mm256_mul_pd(vxmin, vxmax)),
+                );
+                let cub = _mm256_add_pd(
+                    _mm256_add_pd(_mm256_mul_pd(au, vsx2), _mm256_mul_pd(bu, vsx)),
+                    _mm256_mul_pd(cu, vw),
+                );
+
+                // Tangent-parabola lower candidate.
+                let s = _mm256_sub_pd(vxmax, vt);
+                let inv_s = _mm256_div_pd(vone, s);
+                let al = _mm256_mul_pd(
+                    _mm256_mul_pd(
+                        _mm256_add_pd(vemax, _mm256_mul_pd(_mm256_sub_pd(s, vone), vet)),
+                        inv_s,
+                    ),
+                    inv_s,
+                );
+                let bl = _mm256_sub_pd(
+                    _mm256_xor_pd(vet, vneg0),
+                    _mm256_mul_pd(_mm256_mul_pd(vtwo, vt), al),
+                );
+                let cl = _mm256_add_pd(
+                    _mm256_mul_pd(_mm256_add_pd(vone, vt), vet),
+                    _mm256_mul_pd(_mm256_mul_pd(vt, vt), al),
+                );
+                let clb_raw = _mm256_add_pd(
+                    _mm256_add_pd(_mm256_mul_pd(al, vsx2), _mm256_mul_pd(bl, vsx)),
+                    _mm256_mul_pd(cl, vw),
+                );
+                let m_degs = _mm256_cmp_pd::<_CMP_LT_OQ>(s, vdeg);
+                let clb = _mm256_blendv_pd(clb_raw, vninf, m_degs);
+
+                // Intersect the padded candidates with the base; lanes
+                // with a degenerate span keep the base interval.
+                let pad = _mm256_mul_pd(vpad, ub0);
+                let vlb = _mm256_max_pd(lb0, _mm256_sub_pd(clb, pad));
+                let vub = _mm256_min_pd(ub0, _mm256_add_pd(cub, pad));
+                let m_deg = _mm256_cmp_pd::<_CMP_LT_OQ>(span, vdeg);
+                _mm256_storeu_pd(lb.as_mut_ptr().add(i), _mm256_blendv_pd(vlb, lb0, m_deg));
+                _mm256_storeu_pd(ub.as_mut_ptr().add(i), _mm256_blendv_pd(vub, ub0, m_deg));
+            }
+            i += 4;
+        }
+        for j in wide..n {
+            let (l, u) = super::quad_assemble_one(
+                w, x_min[j], x_max[j], t[j], e_min[j], e_max[j], e_t[j], sx[j], sx2[j], c,
+            );
+            lb[j] = l;
+            ub[j] = u;
+        }
+    }
+
+    /// Safe wrapper: [`super::simd_enabled`] verified AVX2 support.
+    pub(super) fn exp_neg_map_avx2_checked(src: &[f64], dst: &mut [f64]) {
+        debug_assert!(super::simd_supported());
+        // SAFETY: AVX2 support was verified at runtime by the caller.
+        unsafe { exp_neg_map_avx2(src, dst) }
+    }
+
+    /// Element-wise [`exp_neg_avx2`] over a slice, scalar tail — each
+    /// element's bits match the scalar [`super::exp_neg`].
+    ///
+    /// # Safety
+    /// Caller must have verified AVX2 support at runtime.
+    #[target_feature(enable = "avx2")]
+    unsafe fn exp_neg_map_avx2(src: &[f64], dst: &mut [f64]) {
+        let n = src.len();
+        let wide = n - n % 4;
+        let mut i = 0;
+        while i < wide {
+            // SAFETY: i + 4 <= wide <= n == src.len() == dst.len().
+            unsafe {
+                let x = _mm256_loadu_pd(src.as_ptr().add(i));
+                _mm256_storeu_pd(dst.as_mut_ptr().add(i), exp_neg_avx2(x));
+            }
+            i += 4;
+        }
+        for j in wide..n {
+            dst[j] = super::exp_neg(src[j]);
+        }
+    }
+
+    /// `Σ wᵢ·exp(−γ·d2ᵢ)`, four elements per iteration; the scalar
+    /// path accumulates in the same four interleaved partial sums, so
+    /// the total matches bit-for-bit.
+    ///
+    /// # Safety
+    /// Caller must have verified AVX2 support at runtime.
+    #[target_feature(enable = "avx2")]
+    unsafe fn gaussian_sum_avx2(weights: &[f64], d2: &[f64], gamma: f64) -> f64 {
+        let n = d2.len();
+        let wide = n - n % 4;
+        let g = _mm256_set1_pd(gamma);
+        let mut acc = _mm256_setzero_pd();
+        let mut i = 0;
+        while i < wide {
+            // SAFETY: i + 4 <= wide <= n == d2.len() == weights.len().
+            let d = unsafe { _mm256_loadu_pd(d2.as_ptr().add(i)) };
+            let w = unsafe { _mm256_loadu_pd(weights.as_ptr().add(i)) };
+            let e = exp_neg_avx2(_mm256_mul_pd(g, d));
+            acc = _mm256_add_pd(acc, _mm256_mul_pd(w, e));
+            i += 4;
+        }
+        let mut s = [0.0f64; 4];
+        // SAFETY: `s` is exactly four f64 wide.
+        unsafe { _mm256_storeu_pd(s.as_mut_ptr(), acc) };
+        let mut tail = 0.0;
+        for j in wide..n {
+            tail += weights[j] * super::exp_neg(gamma * d2[j]);
+        }
+        ((s[0] + s[1]) + (s[2] + s[3])) + tail
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::PointSet;
+    use crate::vecmath::dist2;
+    use proptest::prelude::*;
+
+    fn scan(ps: &PointSet, q: &[f64]) -> Vec<f64> {
+        (0..ps.len()).map(|i| dist2(q, ps.point(i))).collect()
+    }
+
+    #[test]
+    fn dist2_block_matches_rowwise_dist2_bitwise() {
+        let flat: Vec<f64> = (0..42).map(|i| (i as f64).sin() * 13.7).collect();
+        let ps = PointSet::from_rows(2, &flat);
+        let cols = PointColumns::from_points(&ps);
+        let q = [0.3, -7.1];
+        let mut out = vec![0.0; ps.len()];
+        dist2_block(&cols, 0, ps.len(), &q, &mut out);
+        for (got, want) in out.iter().zip(scan(&ps, &q)) {
+            assert_eq!(got.to_bits(), want.to_bits());
+        }
+    }
+
+    #[test]
+    fn scalar_and_dispatch_paths_are_bit_identical() {
+        let flat: Vec<f64> = (0..61 * 3).map(|i| (i as f64 * 0.77).cos() * 1e3).collect();
+        let ps = PointSet::from_rows(3, &flat);
+        let cols = PointColumns::from_points(&ps);
+        let q = [1.0, -2.0, 0.5];
+        // Odd-length sub-range exercises the vector tail.
+        let (start, end) = (3, 58);
+        let mut fast = vec![0.0; end - start];
+        let mut slow = vec![0.0; end - start];
+        dist2_block(&cols, start, end, &q, &mut fast);
+        dist2_block_scalar(&cols, start, end, &q, &mut slow);
+        for (a, b) in fast.iter().zip(&slow) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn kill_switch_flips_lanes() {
+        // Serialize against other tests touching the global switch.
+        set_simd_enabled(false);
+        assert_eq!(simd_lanes(), 1);
+        assert!(!simd_enabled());
+        set_simd_enabled(true);
+        assert_eq!(simd_enabled(), simd_supported());
+        if simd_supported() {
+            assert_eq!(simd_lanes(), 4);
+        }
+    }
+
+    #[test]
+    fn exp_neg_map_is_bit_identical_to_scalar() {
+        // Lengths straddling the 4-lane width, values straddling the
+        // cutoff: both dispatch paths must emit the scalar bits.
+        let src: Vec<f64> = (0..23)
+            .map(|i| (i as f64 * 37.3) % 720.0)
+            .chain([0.0, 699.9, 700.1, f64::INFINITY])
+            .collect();
+        let want: Vec<f64> = src.iter().map(|&x| exp_neg(x)).collect();
+        for on in [false, true] {
+            set_simd_enabled(on);
+            let mut dst = vec![f64::NAN; src.len()];
+            exp_neg_map(&src, &mut dst);
+            for (d, w) in dst.iter().zip(&want) {
+                assert_eq!(d.to_bits(), w.to_bits());
+            }
+        }
+        set_simd_enabled(true);
+    }
+
+    #[test]
+    fn quad_assemble_is_bit_identical_to_scalar() {
+        // 27 elements (vector tail of 3) covering the regular regime,
+        // a cutoff-crossing x_min, a degenerate span, and a degenerate
+        // tangent gap (t == x_max).
+        let c = QuadAssembleConsts {
+            ulp: 8.0 * f64::EPSILON,
+            pad: 256.0 * f64::EPSILON,
+            cutoff_ceil: 9.86e-305,
+            degenerate_span: 1e-12,
+        };
+        let w = 0.83;
+        let n = 27;
+        let mut xmin = Vec::new();
+        let mut xmax = Vec::new();
+        let mut t = Vec::new();
+        let (mut sx, mut sx2) = (Vec::new(), Vec::new());
+        for i in 0..n {
+            let a = (i as f64 * 0.917).sin().abs() * 30.0;
+            let span = match i {
+                5 => 0.0,
+                11 => 1e-13,
+                _ => (i as f64 * 0.37).cos().abs() * 5.0 + 1e-6,
+            };
+            let lo = if i == 7 { 701.0 } else { a };
+            xmin.push(lo);
+            xmax.push(lo + span);
+            let tt = if i == 13 {
+                lo + span // degenerate tangent gap
+            } else {
+                lo + span * 0.4
+            };
+            // Moments of a point mass at distance-argument `tt` —
+            // exactly realizable, so the assembled interval must be
+            // proper.
+            t.push(tt);
+            sx.push(w * tt);
+            sx2.push(w * tt * tt);
+        }
+        let e = |v: &[f64]| v.iter().map(|&x| exp_neg(x)).collect::<Vec<_>>();
+        let (emin, emax, et) = (e(&xmin), e(&xmax), e(&t));
+        let mut res = Vec::new();
+        for on in [false, true] {
+            set_simd_enabled(on);
+            let mut lb = vec![f64::NAN; n];
+            let mut ub = vec![f64::NAN; n];
+            gauss_quad_assemble(
+                w, &xmin, &xmax, &t, &emin, &emax, &et, &sx, &sx2, &c, &mut lb, &mut ub,
+            );
+            for (l, u) in lb.iter().zip(&ub) {
+                assert!(l.is_finite() && u.is_finite() && l <= u, "[{l}, {u}]");
+            }
+            res.push((lb, ub));
+        }
+        set_simd_enabled(true);
+        for ((l0, u0), (l1, u1)) in res[0]
+            .0
+            .iter()
+            .zip(&res[0].1)
+            .zip(res[1].0.iter().zip(&res[1].1))
+        {
+            assert_eq!(l0.to_bits(), l1.to_bits());
+            assert_eq!(u0.to_bits(), u1.to_bits());
+        }
+    }
+
+    #[test]
+    fn exp_neg_tracks_libm_exp() {
+        // ≲1 ulp of libm across the whole useful range, exact at 0,
+        // and a hard 0 past the cutoff.
+        assert_eq!(exp_neg(0.0), 1.0);
+        assert_eq!(exp_neg(701.0), 0.0);
+        assert_eq!(exp_neg(f64::INFINITY), 0.0);
+        let mut x = 1e-12;
+        while x < 690.0 {
+            let got = exp_neg(x);
+            let want = (-x).exp();
+            assert!(
+                (got - want).abs() <= 4.0 * f64::EPSILON * want,
+                "exp_neg({x}) = {got:e} vs libm {want:e}"
+            );
+            x *= 1.37;
+        }
+    }
+
+    #[test]
+    fn gaussian_sum_paths_are_bit_identical() {
+        let d2: Vec<f64> = (0..123)
+            .map(|i| (i as f64 * 0.613).sin().abs() * 40.0)
+            .collect();
+        let w: Vec<f64> = (0..123)
+            .map(|i| 0.01 + (i as f64 * 0.17).cos().abs())
+            .collect();
+        for gamma in [1e-3, 0.25, 7.0, 300.0] {
+            let fast = gaussian_weighted_sum(&w, &d2, gamma);
+            let slow = gaussian_weighted_sum_scalar(&w, &d2, gamma);
+            assert_eq!(fast.to_bits(), slow.to_bits(), "gamma {gamma}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn gaussian_sum_agrees_with_libm_reference(
+            rows in proptest::collection::vec((0.0..1e4f64, 1e-3..10.0f64), 1..200),
+            gamma in 1e-6..100.0f64,
+        ) {
+            let (d2, w): (Vec<f64>, Vec<f64>) = rows.into_iter().unzip();
+            let got = gaussian_weighted_sum(&w, &d2, gamma);
+            let slow = gaussian_weighted_sum_scalar(&w, &d2, gamma);
+            prop_assert_eq!(got.to_bits(), slow.to_bits());
+            let want: f64 = w.iter().zip(&d2).map(|(&w, &d)| w * (-gamma * d).exp()).sum();
+            prop_assert!((got - want).abs() <= 1e-12 * (1.0 + want.abs()),
+                "poly sum {got:e} vs libm sum {want:e}");
+        }
+
+        #[test]
+        fn block_agrees_with_scalar_reference(
+            flat in proptest::collection::vec(-1e6..1e6f64, 2..240),
+            qx in -1e6..1e6f64,
+            qy in -1e6..1e6f64,
+        ) {
+            let n = flat.len() / 2;
+            let ps = PointSet::from_rows(2, &flat[..n * 2]);
+            let cols = PointColumns::from_points(&ps);
+            let q = [qx, qy];
+            let mut out = vec![0.0; n];
+            dist2_block(&cols, 0, n, &q, &mut out);
+            for (got, want) in out.iter().zip(scan(&ps, &q)) {
+                prop_assert_eq!(got.to_bits(), want.to_bits());
+            }
+        }
+    }
+}

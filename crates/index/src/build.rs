@@ -9,7 +9,7 @@
 use crate::error::BuildError;
 use crate::node::{Node, NodeId, NodeKind};
 use crate::stats::NodeStats;
-use kdv_geom::{Mbr, PointSet};
+use kdv_geom::{Mbr, PointColumns, PointSet};
 
 /// How an internal node picks its split plane.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -62,6 +62,12 @@ impl Default for BuildConfig {
 #[derive(Debug, Clone)]
 pub struct KdTree {
     points: PointSet,
+    /// Column-major (structure-of-arrays) view of `points`, derived
+    /// after the physical leaf reorder so every leaf's coordinates are
+    /// contiguous per dimension — the layout the SIMD leaf scans read.
+    /// Rebuilt by every constructor (including the snapshot-load path
+    /// through [`KdTree::try_from_parts`]); never serialized.
+    cols: PointColumns,
     nodes: Vec<Node>,
     root: NodeId,
     config: BuildConfig,
@@ -119,8 +125,10 @@ impl KdTree {
         // Physically reorder points so leaf ranges are contiguous.
         let indices: Vec<usize> = perm.iter().map(|&i| i as usize).collect();
         let reordered = points.select(&indices);
+        let cols = PointColumns::from_points(&reordered);
         Ok(Self {
             points: reordered,
+            cols,
             nodes,
             root,
             config,
@@ -153,6 +161,28 @@ impl KdTree {
     #[inline]
     pub fn points(&self) -> &PointSet {
         &self.points
+    }
+
+    /// Column-major view of [`KdTree::points`], aligned with the same
+    /// physical leaf order: a leaf's range indexes contiguous
+    /// per-dimension slices. This is what the engine's SIMD leaf scans
+    /// read instead of the row-major point rows.
+    #[inline]
+    pub fn columns(&self) -> &PointColumns {
+        &self.cols
+    }
+
+    /// The contiguous point range `[start, end)` a leaf owns in the
+    /// reordered point set (and in [`KdTree::columns`]).
+    ///
+    /// # Panics
+    /// Panics if `id` is not a leaf.
+    #[inline]
+    pub fn leaf_range(&self, id: NodeId) -> (usize, usize) {
+        match self.node(id).kind {
+            NodeKind::Leaf { start, end } => (start as usize, end as usize),
+            NodeKind::Internal { .. } => panic!("leaf_range called on internal node"),
+        }
     }
 
     /// Number of nodes in the arena.
@@ -405,8 +435,10 @@ impl KdTree {
                 }
             }
         }
+        let cols = PointColumns::from_points(&points);
         Ok(Self {
             points,
+            cols,
             nodes,
             root,
             config,
@@ -581,6 +613,38 @@ mod tests {
         assert_eq!(tree.root(), NodeId(0));
         assert_eq!(tree.node(tree.root()).point_count(), 500);
         assert!((tree.node(tree.root()).stats.weight - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn columns_mirror_reordered_points_and_leaf_ranges() {
+        let ps = random_points(333, 3, 7);
+        let tree = KdTree::build(
+            &ps,
+            BuildConfig {
+                leaf_capacity: 8,
+                ..BuildConfig::default()
+            },
+        );
+        let cols = tree.columns();
+        assert_eq!(cols.len(), tree.points().len());
+        assert_eq!(cols.dim(), tree.points().dim());
+        for i in 0..tree.points().len() {
+            let p = tree.points().point(i);
+            for (j, &pj) in p.iter().enumerate() {
+                assert_eq!(cols.col(j)[i].to_bits(), pj.to_bits());
+            }
+        }
+        tree.for_each_node(|id, n| {
+            if n.is_leaf() {
+                let (start, end) = tree.leaf_range(id);
+                assert!(start <= end && end <= cols.len());
+                for (i, (p, _)) in (start..end).zip(tree.leaf_points(id)) {
+                    for (j, &pj) in p.iter().enumerate() {
+                        assert_eq!(cols.col_slice(j, start, end)[i - start], pj);
+                    }
+                }
+            }
+        });
     }
 
     #[test]

@@ -116,8 +116,8 @@ impl NodeStats {
     pub fn translate_query(&self, q: &[f64], out: &mut [f64]) {
         debug_assert_eq!(q.len(), self.dim());
         debug_assert_eq!(out.len(), self.dim());
-        for j in 0..q.len() {
-            out[j] = q[j] - self.center[j];
+        for ((o, &qj), &cj) in out.iter_mut().zip(q).zip(&self.center) {
+            *o = qj - cj;
         }
     }
 
@@ -133,10 +133,10 @@ impl NodeStats {
         debug_assert_eq!(q.len(), d);
         let mut qn2 = 0.0;
         let mut qa = 0.0;
-        for (j, &qj) in q.iter().enumerate() {
-            let t = qj - self.center[j];
+        for ((&qj, &cj), &aj) in q.iter().zip(&self.center).zip(&self.sum) {
+            let t = qj - cj;
             qn2 += t * t;
-            qa += t * self.sum[j];
+            qa += t * aj;
         }
         // Exact value is ≥ 0; floating-point cancellation can leave a
         // tiny negative residue which would poison sqrt() callers.
@@ -148,11 +148,14 @@ impl NodeStats {
     pub fn sum_dist2_pre(&self, qt: &[f64]) -> f64 {
         let d = self.dim();
         debug_assert_eq!(qt.len(), d);
+        // Zipped slice walk: no index bounds checks, so the two
+        // accumulator chains vectorize; each chain's op order is
+        // unchanged, so results are bit-identical to the indexed form.
         let mut qn2 = 0.0;
         let mut qa = 0.0;
-        for (j, &t) in qt.iter().enumerate() {
+        for (&t, &aj) in qt.iter().zip(&self.sum) {
             qn2 += t * t;
-            qa += t * self.sum[j];
+            qa += t * aj;
         }
         (self.weight * qn2 - 2.0 * qa + self.sum_norm2).max(0.0)
     }
@@ -192,10 +195,10 @@ impl NodeStats {
         let mut qn2 = 0.0;
         let mut qa = 0.0;
         let mut qv = 0.0;
-        for (j, &t) in qt.iter().enumerate() {
+        for ((&t, &aj), &vj) in qt.iter().zip(&self.sum).zip(&self.sum_norm2_p) {
             qn2 += t * t;
-            qa += t * self.sum[j];
-            qv += t * self.sum_norm2_p[j];
+            qa += t * aj;
+            qv += t * vj;
         }
         let s2 = (self.weight * qn2 - 2.0 * qa + self.sum_norm2).max(0.0);
         let qcq = kdv_geom::vecmath::quadratic_form(&self.moment2, qt);
@@ -215,10 +218,10 @@ impl NodeStats {
         let mut qn2 = 0.0;
         let mut qa = 0.0;
         let mut qv = 0.0;
-        for (j, &t) in qt.iter().enumerate() {
+        for ((&t, &aj), &vj) in qt.iter().zip(&self.sum).zip(&self.sum_norm2_p) {
             qn2 += t * t;
-            qa += t * self.sum[j];
-            qv += t * self.sum_norm2_p[j];
+            qa += t * aj;
+            qv += t * vj;
         }
         let qcq = kdv_geom::vecmath::quadratic_form(&self.moment2, qt);
         let v = self.weight * qn2 * qn2 - 4.0 * qn2 * qa - 4.0 * qv

@@ -47,7 +47,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use kdv_core::bounds::BoundFamily;
-use kdv_core::engine::{BudgetPolicy, RefineEvaluator};
+use kdv_core::engine::{BudgetPolicy, RefineEvaluator, TileEvaluator};
 use kdv_core::error::KdvError;
 use kdv_core::kernel::Kernel;
 use kdv_core::raster::RasterSpec;
@@ -63,8 +63,9 @@ use kdv_telemetry::{
 use kdv_viz::colormap::render_binary;
 use kdv_viz::render::BinaryGrid;
 use kdv_viz::tile_render::{
-    pyramid_raster, render_tile_eps, render_tile_eps_probed, render_tile_tau,
-    render_tile_tau_probed, TileImage,
+    pyramid_raster, render_tile_eps, render_tile_eps_batched, render_tile_eps_batched_probed,
+    render_tile_eps_probed, render_tile_tau, render_tile_tau_batched,
+    render_tile_tau_batched_probed, render_tile_tau_probed, TileImage,
 };
 use kdv_viz::tiles::{certify_box, BoxCertification};
 use kdv_viz::{png, ColorMap};
@@ -163,6 +164,14 @@ pub struct ServerConfig {
     /// Memtable size (points) that triggers a background compaction
     /// folding the log into a fresh snapshot.
     pub compact_points: usize,
+    /// Use the explicit SIMD leaf-scan path when the CPU supports it.
+    /// `--no-simd` turns it off process-wide (the scalar path is
+    /// bit-identical; this is an escape hatch for triage).
+    pub simd: bool,
+    /// Route cold base-index tiles through the tile-batched frontier
+    /// engine instead of independent per-pixel refinement. Off
+    /// (`--no-batch`), every pixel refines from the kd-tree root.
+    pub batch: bool,
 }
 
 impl Default for ServerConfig {
@@ -193,6 +202,8 @@ impl Default for ServerConfig {
             ingest_max_body: 1 << 20,
             memtable_points: 8192,
             compact_points: 2048,
+            simd: true,
+            batch: true,
         }
     }
 }
@@ -335,6 +346,10 @@ struct Inner {
     tau: f64,
     cm: ColorMap,
     policy: BudgetPolicy,
+    /// Cold base-index tiles refine through the tile-batched frontier
+    /// engine (shared bound work amortized across the pixel block);
+    /// `--no-batch` falls back to independent per-pixel refinement.
+    batch: bool,
     max_z: u8,
     /// Deepest zoom the coreset pyramid may answer.
     pyramid_max_z: u8,
@@ -463,6 +478,11 @@ impl TileServer {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
 
+        // Process-wide SIMD kill switch: `--no-simd` forces every leaf
+        // scan (including batched-tile finishing passes) onto the
+        // bit-identical scalar path.
+        kdv_geom::simd::set_simd_enabled(config.simd);
+
         // The access log implies tracing: its lines are rendered from
         // completed traces.
         let trace_on = config.trace || config.access_log.is_some();
@@ -489,6 +509,7 @@ impl TileServer {
             tau: config.tau,
             cm: ColorMap::heat(),
             policy: config.policy,
+            batch: config.batch,
             max_z: config.max_z,
             pyramid_max_z: config.pyramid_max_z,
             pyramid: PyramidCounters::default(),
@@ -1796,28 +1817,58 @@ fn render_tile(
             }
             (TileKind::Eps, None) => {
                 let mut budget = inner.policy.issue();
-                let mut ev = RefineEvaluator::new(&entry.tree, entry.kernel, inner.family);
-                if traced {
-                    render_tile_eps_probed(
-                        &mut ev,
-                        &raster,
-                        inner.eps,
-                        &mut budget,
-                        &inner.cm,
-                        entry.scale,
-                        &mut metrics,
-                        &mut depth,
-                    )?
+                if inner.batch {
+                    // Cold-render hot path: one shared node frontier
+                    // bounds the whole pixel block, so per-pixel
+                    // refinement starts deep in the tree instead of at
+                    // the root. Same ε contract, same budget units.
+                    let mut tev = TileEvaluator::new(&entry.tree, entry.kernel, inner.family);
+                    if traced {
+                        render_tile_eps_batched_probed(
+                            &mut tev,
+                            &raster,
+                            inner.eps,
+                            &mut budget,
+                            &inner.cm,
+                            entry.scale,
+                            &mut metrics,
+                            &mut depth,
+                        )?
+                    } else {
+                        render_tile_eps_batched(
+                            &mut tev,
+                            &raster,
+                            inner.eps,
+                            &mut budget,
+                            &inner.cm,
+                            entry.scale,
+                            &mut metrics,
+                        )?
+                    }
                 } else {
-                    render_tile_eps(
-                        &mut ev,
-                        &raster,
-                        inner.eps,
-                        &mut budget,
-                        &inner.cm,
-                        entry.scale,
-                        &mut metrics,
-                    )?
+                    let mut ev = RefineEvaluator::new(&entry.tree, entry.kernel, inner.family);
+                    if traced {
+                        render_tile_eps_probed(
+                            &mut ev,
+                            &raster,
+                            inner.eps,
+                            &mut budget,
+                            &inner.cm,
+                            entry.scale,
+                            &mut metrics,
+                            &mut depth,
+                        )?
+                    } else {
+                        render_tile_eps(
+                            &mut ev,
+                            &raster,
+                            inner.eps,
+                            &mut budget,
+                            &inner.cm,
+                            entry.scale,
+                            &mut metrics,
+                        )?
+                    }
                 }
             }
             (TileKind::Tau, None) => render_tau_tile(
@@ -1840,6 +1891,8 @@ fn render_tile(
             ("node_bounds", TagValue::U64(metrics.events.node_bounds)),
             ("point_evals", TagValue::U64(metrics.events.point_evals)),
             ("resyncs", TagValue::U64(metrics.events.resyncs)),
+            ("frontier_reuse", TagValue::U64(metrics.frontier_reuse)),
+            ("simd_lanes", TagValue::U64(metrics.simd_lanes as u64)),
             ("degraded_pixels", TagValue::U64(tile.degraded_pixels)),
             ("depth_pops", TagValue::Pairs(depth.nonzero())),
         ],
@@ -1913,11 +1966,32 @@ fn render_tau_tile(
                 }
             }
             let mut budget = inner.policy.issue();
-            let mut ev = RefineEvaluator::new(&entry.tree, entry.kernel, inner.family);
-            if traced {
-                render_tile_tau_probed(&mut ev, raster, inner.tau, &mut budget, metrics, depth)
+            if inner.batch {
+                // Box certification was inconclusive, so the tile pays
+                // for refinement; the batched engine re-derives its own
+                // (deeper) shared frontier from the root, which
+                // subsumes what the inherited certificate frontier
+                // would have seeded per-pixel.
+                let mut tev = TileEvaluator::new(&entry.tree, entry.kernel, inner.family);
+                if traced {
+                    render_tile_tau_batched_probed(
+                        &mut tev,
+                        raster,
+                        inner.tau,
+                        &mut budget,
+                        metrics,
+                        depth,
+                    )
+                } else {
+                    render_tile_tau_batched(&mut tev, raster, inner.tau, &mut budget, metrics)
+                }
             } else {
-                render_tile_tau(&mut ev, raster, inner.tau, &mut budget, metrics)
+                let mut ev = RefineEvaluator::new(&entry.tree, entry.kernel, inner.family);
+                if traced {
+                    render_tile_tau_probed(&mut ev, raster, inner.tau, &mut budget, metrics, depth)
+                } else {
+                    render_tile_tau(&mut ev, raster, inner.tau, &mut budget, metrics)
+                }
             }
         }
     }
@@ -1950,7 +2024,7 @@ fn metrics_json(inner: &Inner) -> Value {
     };
     store_fields.push(("catalog".to_string(), inner.catalog.status_json()));
     Value::obj(vec![
-        ("schema", Value::Str("kdv-serve-metrics/5".to_string())),
+        ("schema", Value::Str("kdv-serve-metrics/6".to_string())),
         (
             "uptime_ms",
             json::num_u(inner.started.elapsed().as_millis() as u64),
@@ -2257,6 +2331,16 @@ fn metrics_prometheus(inner: &Inner) -> String {
             "kdv_render_degraded_pixels_total",
             "Pixels cut short by a render budget.",
             render.degraded_pixels as f64,
+        );
+        w.counter(
+            "kdv_render_frontier_reuse_total",
+            "Node-bound evaluations avoided via shared tile frontiers.",
+            render.frontier_reuse as f64,
+        );
+        w.gauge(
+            "kdv_render_simd_lanes",
+            "f64 lanes per distance evaluation (4 on the AVX2 path, 1 scalar).",
+            render.simd_lanes as f64,
         );
         w.histogram(
             "kdv_render_pixel_seconds",

@@ -373,7 +373,7 @@ fn metrics_json_key_set_is_pinned() {
     );
     assert_eq!(
         doc.get("schema").and_then(Value::as_str),
-        Some("kdv-serve-metrics/5")
+        Some("kdv-serve-metrics/6")
     );
     assert_eq!(
         keys(doc.get("http").expect("http")),

@@ -101,6 +101,7 @@ mod tests {
             node_bounds: 7,
             point_evals: 20,
             resyncs: 1,
+            ..RefineStats::default()
         };
         let mut via_stats = EventCounters::default();
         via_stats.add_stats(&stats);

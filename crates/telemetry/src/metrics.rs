@@ -72,6 +72,13 @@ pub struct RenderMetrics {
     /// Parallel bands whose worker panicked and were retried
     /// sequentially.
     pub band_retries: u32,
+    /// Bound evaluations pixels *skipped* thanks to a shared tile
+    /// frontier (sum of [`RefineStats::frontier_reuse`]; 0 for
+    /// per-pixel renders).
+    pub frontier_reuse: u64,
+    /// Widest SIMD lane count any recorded pixel's leaf scans used
+    /// (1 = scalar everywhere; 0 = no pixels recorded).
+    pub simd_lanes: u32,
     cost_map: Option<DensityGrid>,
 }
 
@@ -95,6 +102,8 @@ impl RenderMetrics {
             status: RenderStatus::Complete,
             degraded_pixels: 0,
             band_retries: 0,
+            frontier_reuse: 0,
+            simd_lanes: 0,
             cost_map: None,
         }
     }
@@ -142,6 +151,8 @@ impl RenderMetrics {
         self.pixels += 1;
         self.iterations.record(stats.iterations as u64);
         self.latency_ns.record(latency_ns);
+        self.frontier_reuse += stats.frontier_reuse as u64;
+        self.simd_lanes = self.simd_lanes.max(stats.simd_lanes as u32);
         if let Some(map) = &mut self.cost_map {
             map.set(col, row, stats.total_work() as f64);
         }
@@ -190,6 +201,8 @@ impl RenderMetrics {
         }
         self.degraded_pixels += other.degraded_pixels;
         self.band_retries += other.band_retries;
+        self.frontier_reuse += other.frontier_reuse;
+        self.simd_lanes = self.simd_lanes.max(other.simd_lanes);
         match (&mut self.cost_map, &other.cost_map) {
             (None, None) => {}
             (Some(mine), Some(theirs)) => {
@@ -293,6 +306,8 @@ impl RenderMetrics {
                     ("point_evals", json::num_u(self.events.point_evals)),
                     ("resyncs", json::num_u(self.events.resyncs)),
                     ("total_work", json::num_u(self.events.total_work())),
+                    ("frontier_reuse", json::num_u(self.frontier_reuse)),
+                    ("simd_lanes", json::num_u(self.simd_lanes as u64)),
                 ]),
             ),
             ("iterations", hist_json(&self.iterations)),
@@ -327,6 +342,7 @@ mod tests {
             node_bounds: 2 * iterations,
             point_evals,
             resyncs: 0,
+            ..RefineStats::default()
         }
     }
 

@@ -15,10 +15,13 @@
 use crate::colormap::ColorMap;
 use crate::image::RgbImage;
 use crate::metered::{render_eps_budgeted_metered_probed, render_tau_budgeted_metered_probed};
-use kdv_core::engine::{NoProbe, Probe, RefineEvaluator, RenderBudget};
+use crate::render::BinaryGrid;
+use kdv_core::engine::{NoProbe, Probe, RefineEvaluator, RenderBudget, TileEvaluator};
 use kdv_core::error::KdvError;
-use kdv_core::raster::RasterSpec;
-use kdv_telemetry::RenderMetrics;
+use kdv_core::query::{validate_eps, validate_tau};
+use kdv_core::raster::{DensityGrid, RasterSpec};
+use kdv_telemetry::{RenderMetrics, TracingProbe};
+use std::time::Instant;
 
 /// Deepest zoom level a pyramid address may name. `tile_size << z`
 /// must fit a `u32` raster dimension; 20 levels over a 256-px tile is
@@ -160,6 +163,120 @@ pub fn render_tile_tau_probed<X: Probe>(
     })
 }
 
+/// [`render_tile_eps`] on the tile-batched refinement path: one shared
+/// node frontier per pixel block instead of a fresh root-to-leaf
+/// refinement per pixel (see [`TileEvaluator`]). Same per-pixel ε
+/// contract, same budget accounting, same colormap pipeline — the
+/// cold-tile fast path the server uses unless `--no-batch` disables it.
+pub fn render_tile_eps_batched(
+    tev: &mut TileEvaluator<'_>,
+    raster: &RasterSpec,
+    eps: f64,
+    budget: &mut RenderBudget,
+    cm: &ColorMap,
+    scale: (f64, f64),
+    metrics: &mut RenderMetrics,
+) -> Result<TileImage, KdvError> {
+    render_tile_eps_batched_probed(tev, raster, eps, budget, cm, scale, metrics, &mut NoProbe)
+}
+
+/// [`render_tile_eps_batched`] with an additional caller-supplied
+/// probe, mirroring [`render_tile_eps_probed`].
+///
+/// Per-pixel latency is not individually attributable on the batched
+/// path (block-level work is shared), so the latency histogram
+/// receives zeros; wall time and every event counter stay accurate.
+#[allow(clippy::too_many_arguments)]
+pub fn render_tile_eps_batched_probed<X: Probe>(
+    tev: &mut TileEvaluator<'_>,
+    raster: &RasterSpec,
+    eps: f64,
+    budget: &mut RenderBudget,
+    cm: &ColorMap,
+    scale: (f64, f64),
+    metrics: &mut RenderMetrics,
+    extra: &mut X,
+) -> Result<TileImage, KdvError> {
+    validate_eps(eps)?;
+    let start = Instant::now();
+    let tile = tev.eval_tile_eps_with(
+        raster,
+        eps,
+        budget,
+        &mut TracingProbe::new(&mut metrics.events, &mut *extra),
+    );
+    let mut grid = DensityGrid::zeros(raster.width(), raster.height());
+    let mut degraded_pixels = 0u64;
+    for row in 0..raster.height() {
+        for col in 0..raster.width() {
+            let idx = (row * raster.width() + col) as usize;
+            let e = tile.evals[idx];
+            grid.set(col, row, e.estimate());
+            metrics.record_pixel(col, row, &tile.stats[idx], 0);
+            if e.exhausted {
+                degraded_pixels += 1;
+                metrics.mark_degraded_pixel();
+            }
+        }
+    }
+    metrics.set_wall_ns(start.elapsed().as_nanos() as u64);
+    Ok(TileImage {
+        image: cm.render_scaled(&grid, scale.0, scale.1, true),
+        degraded_pixels,
+    })
+}
+
+/// [`render_tile_tau`] on the tile-batched refinement path; with an
+/// unlimited budget the mask is bit-identical to the per-pixel path's.
+pub fn render_tile_tau_batched(
+    tev: &mut TileEvaluator<'_>,
+    raster: &RasterSpec,
+    tau: f64,
+    budget: &mut RenderBudget,
+    metrics: &mut RenderMetrics,
+) -> Result<TileImage, KdvError> {
+    render_tile_tau_batched_probed(tev, raster, tau, budget, metrics, &mut NoProbe)
+}
+
+/// [`render_tile_tau_batched`] with an additional caller-supplied
+/// probe, exactly as [`render_tile_eps_batched_probed`].
+pub fn render_tile_tau_batched_probed<X: Probe>(
+    tev: &mut TileEvaluator<'_>,
+    raster: &RasterSpec,
+    tau: f64,
+    budget: &mut RenderBudget,
+    metrics: &mut RenderMetrics,
+    extra: &mut X,
+) -> Result<TileImage, KdvError> {
+    validate_tau(tau)?;
+    let start = Instant::now();
+    let tile = tev.eval_tile_tau_with(
+        raster,
+        tau,
+        budget,
+        &mut TracingProbe::new(&mut metrics.events, &mut *extra),
+    );
+    let mut mask = BinaryGrid::falses(raster.width(), raster.height());
+    let mut undecided = 0u64;
+    for row in 0..raster.height() {
+        for col in 0..raster.width() {
+            let idx = (row * raster.width() + col) as usize;
+            let t = tile.taus[idx];
+            mask.set(col, row, t.hot);
+            metrics.record_pixel(col, row, &tile.stats[idx], 0);
+            if !t.decided {
+                undecided += 1;
+                metrics.mark_degraded_pixel();
+            }
+        }
+    }
+    metrics.set_wall_ns(start.elapsed().as_nanos() as u64);
+    Ok(TileImage {
+        image: crate::colormap::render_binary(&mask),
+        degraded_pixels: undecided,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -260,6 +377,70 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn batched_tau_tile_image_matches_per_pixel_path() {
+        let (ps, kernel, base) = setup();
+        let tree = KdTree::build_default(&ps);
+        let raster = pyramid_raster(&base, 0, 0, 0).expect("root");
+        // A τ from a quick ε render, safely between observed values.
+        let mut probe_ev = RefineEvaluator::new(&tree, kernel, BoundFamily::Quadratic);
+        let grid = crate::render::render_eps(&mut probe_ev, &raster, 0.05);
+        let (lo, hi) = grid.min_max().expect("non-empty");
+        let tau = lo + 0.35 * (hi - lo);
+
+        let mut ev = RefineEvaluator::new(&tree, kernel, BoundFamily::Quadratic);
+        let mut b1 = RenderBudget::unlimited();
+        let mut m1 = RenderMetrics::new();
+        let per_pixel = render_tile_tau(&mut ev, &raster, tau, &mut b1, &mut m1).expect("tau");
+
+        let mut tev = TileEvaluator::new(&tree, kernel, BoundFamily::Quadratic);
+        let mut b2 = RenderBudget::unlimited();
+        let mut m2 = RenderMetrics::new();
+        let batched =
+            render_tile_tau_batched(&mut tev, &raster, tau, &mut b2, &mut m2).expect("tau");
+
+        assert_eq!(per_pixel.image, batched.image, "τ masks must be identical");
+        assert_eq!(batched.degraded_pixels, 0);
+        assert!(
+            m2.frontier_reuse > 0,
+            "batched tile must report shared-frontier reuse"
+        );
+        assert!(m2.simd_lanes >= 1);
+    }
+
+    #[test]
+    fn batched_eps_tile_is_complete_and_meters_pixels() {
+        let (ps, kernel, base) = setup();
+        let tree = KdTree::build_default(&ps);
+        let raster = pyramid_raster(&base, 1, 1, 0).expect("tile");
+        let cm = ColorMap::heat();
+        let mut tev = TileEvaluator::new(&tree, kernel, BoundFamily::Quadratic);
+        let mut budget = RenderBudget::unlimited();
+        let mut metrics = RenderMetrics::new();
+        let tile = render_tile_eps_batched(
+            &mut tev,
+            &raster,
+            0.05,
+            &mut budget,
+            &cm,
+            (0.0, 1.0),
+            &mut metrics,
+        )
+        .expect("tile render");
+        assert!(tile.is_complete());
+        assert_eq!(metrics.pixels, 16 * 16, "every tile pixel is metered");
+        assert!(render_tile_eps_batched(
+            &mut tev,
+            &raster,
+            -1.0,
+            &mut budget,
+            &cm,
+            (0.0, 1.0),
+            &mut metrics,
+        )
+        .is_err());
     }
 
     #[test]
